@@ -1,0 +1,115 @@
+//! Precision / recall / F1 scoring of predicted lineage edges.
+
+use lineagex_core::{LineageGraph, SourceColumn};
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+/// An edge-level score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EdgeScore {
+    /// Correctly predicted edges.
+    pub true_positives: usize,
+    /// Predicted edges absent from the truth.
+    pub false_positives: usize,
+    /// True edges the prediction missed.
+    pub false_negatives: usize,
+}
+
+impl EdgeScore {
+    /// Precision = TP / (TP + FP); 1.0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 1.0 when there is nothing to find.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Score a predicted edge set against the expected one.
+pub fn score_edges(
+    predicted: &BTreeSet<(SourceColumn, SourceColumn)>,
+    expected: &BTreeSet<(SourceColumn, SourceColumn)>,
+) -> EdgeScore {
+    let true_positives = predicted.intersection(expected).count();
+    EdgeScore {
+        true_positives,
+        false_positives: predicted.len() - true_positives,
+        false_negatives: expected.len() - true_positives,
+    }
+}
+
+/// The contribute-edge set of an extracted graph, for scoring.
+pub fn graph_contribute_edges(graph: &LineageGraph) -> BTreeSet<(SourceColumn, SourceColumn)> {
+    graph
+        .contribute_edges()
+        .into_iter()
+        .map(|e| (e.from, e.to))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(a: &str, b: &str) -> (SourceColumn, SourceColumn) {
+        let (t1, c1) = a.split_once('.').unwrap();
+        let (t2, c2) = b.split_once('.').unwrap();
+        (SourceColumn::new(t1, c1), SourceColumn::new(t2, c2))
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let truth = BTreeSet::from([edge("t.a", "v.x"), edge("t.b", "v.y")]);
+        let score = score_edges(&truth, &truth);
+        assert_eq!(score.precision(), 1.0);
+        assert_eq!(score.recall(), 1.0);
+        assert_eq!(score.f1(), 1.0);
+    }
+
+    #[test]
+    fn partial_prediction() {
+        let truth = BTreeSet::from([edge("t.a", "v.x"), edge("t.b", "v.y")]);
+        let predicted = BTreeSet::from([edge("t.a", "v.x"), edge("t.z", "v.w")]);
+        let score = score_edges(&predicted, &truth);
+        assert_eq!(score.true_positives, 1);
+        assert_eq!(score.false_positives, 1);
+        assert_eq!(score.false_negatives, 1);
+        assert!((score.precision() - 0.5).abs() < 1e-9);
+        assert!((score.recall() - 0.5).abs() < 1e-9);
+        assert!((score.f1() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_prediction_conventions() {
+        let truth = BTreeSet::from([edge("t.a", "v.x")]);
+        let score = score_edges(&BTreeSet::new(), &truth);
+        assert_eq!(score.precision(), 1.0); // nothing predicted, no FPs
+        assert_eq!(score.recall(), 0.0);
+        assert_eq!(score.f1(), 0.0);
+        let score = score_edges(&BTreeSet::new(), &BTreeSet::new());
+        assert_eq!(score.f1(), 1.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! A table-level-only lineage extractor.
+//!
+//! The paper's related-work discussion notes that existing tools handle
+//! *table*-level lineage adequately — the hard part is columns. This
+//! baseline extracts only `(source table, target)` edges, resolving CTE
+//! names away (they are intermediates, not tables), and serves as the
+//! sanity point where every system agrees.
+
+use lineagex_sqlparse::ast::visit::ExprRefs;
+use lineagex_sqlparse::ast::{
+    Query, SetExpr, Statement, TableFactor, TableWithJoins,
+};
+use lineagex_sqlparse::parse_sql;
+use std::collections::BTreeSet;
+
+/// Extract table-level edges `(source, target)` from a SQL script.
+pub fn table_edges(sql: &str) -> Result<BTreeSet<(String, String)>, String> {
+    let statements = parse_sql(sql).map_err(|e| e.to_string())?;
+    let mut edges = BTreeSet::new();
+    let mut anon = 0usize;
+    for stmt in &statements {
+        let target = match stmt {
+            Statement::CreateView { name, .. }
+            | Statement::CreateTable { name, query: Some(_), .. } => {
+                name.base_name().to_string()
+            }
+            Statement::Insert { table, .. } | Statement::Update { table, .. } => {
+                table.base_name().to_string()
+            }
+            Statement::Query(_) => {
+                anon += 1;
+                format!("query_{anon}")
+            }
+            _ => continue,
+        };
+        let mut sources = BTreeSet::new();
+        let mut cte_names = BTreeSet::new();
+        if let Some(query) = stmt.defining_query() {
+            collect_query_sources(query, &mut sources, &mut cte_names);
+        } else if let Some(query) = stmt.update_as_query() {
+            collect_query_sources(&query, &mut sources, &mut cte_names);
+        }
+        for source in sources {
+            if !cte_names.contains(&source) {
+                edges.insert((source, target.clone()));
+            }
+        }
+    }
+    Ok(edges)
+}
+
+fn collect_query_sources(
+    query: &Query,
+    sources: &mut BTreeSet<String>,
+    cte_names: &mut BTreeSet<String>,
+) {
+    if let Some(with) = &query.with {
+        for cte in &with.ctes {
+            cte_names.insert(cte.alias.name.value.clone());
+            collect_query_sources(&cte.query, sources, cte_names);
+        }
+    }
+    collect_body_sources(&query.body, sources, cte_names);
+}
+
+fn collect_body_sources(
+    body: &SetExpr,
+    sources: &mut BTreeSet<String>,
+    cte_names: &mut BTreeSet<String>,
+) {
+    match body {
+        SetExpr::Select(select) => {
+            for twj in &select.from {
+                collect_twj_sources(twj, sources, cte_names);
+            }
+            let mut exprs: Vec<&lineagex_sqlparse::ast::Expr> = Vec::new();
+            if let Some(e) = &select.selection {
+                exprs.push(e);
+            }
+            if let Some(e) = &select.having {
+                exprs.push(e);
+            }
+            exprs.extend(select.group_by.iter());
+            for expr in exprs {
+                for sub in ExprRefs::from_expr(expr).subqueries {
+                    collect_query_sources(sub, sources, cte_names);
+                }
+            }
+            for item in &select.projection {
+                if let lineagex_sqlparse::ast::SelectItem::UnnamedExpr(e)
+                | lineagex_sqlparse::ast::SelectItem::ExprWithAlias { expr: e, .. } = item
+                {
+                    for sub in ExprRefs::from_expr(e).subqueries {
+                        collect_query_sources(sub, sources, cte_names);
+                    }
+                }
+            }
+        }
+        SetExpr::Query(q) => collect_query_sources(q, sources, cte_names),
+        SetExpr::SetOperation { left, right, .. } => {
+            collect_body_sources(left, sources, cte_names);
+            collect_body_sources(right, sources, cte_names);
+        }
+        SetExpr::Values(_) => {}
+    }
+}
+
+fn collect_twj_sources(
+    twj: &TableWithJoins,
+    sources: &mut BTreeSet<String>,
+    cte_names: &mut BTreeSet<String>,
+) {
+    collect_factor_sources(&twj.relation, sources, cte_names);
+    for join in &twj.joins {
+        collect_factor_sources(&join.relation, sources, cte_names);
+    }
+}
+
+fn collect_factor_sources(
+    factor: &TableFactor,
+    sources: &mut BTreeSet<String>,
+    cte_names: &mut BTreeSet<String>,
+) {
+    match factor {
+        TableFactor::Table { name, .. } => {
+            sources.insert(name.base_name().to_string());
+        }
+        TableFactor::Derived { subquery, .. } => {
+            collect_query_sources(subquery, sources, cte_names)
+        }
+        TableFactor::NestedJoin(twj) => collect_twj_sources(twj, sources, cte_names),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_view_edges() {
+        let edges = table_edges(
+            "CREATE VIEW v AS SELECT a FROM t JOIN u ON t.x = u.x",
+        )
+        .unwrap();
+        assert_eq!(
+            edges,
+            BTreeSet::from([("t".into(), "v".into()), ("u".into(), "v".into())])
+        );
+    }
+
+    #[test]
+    fn cte_names_are_not_sources() {
+        let edges = table_edges(
+            "CREATE VIEW v AS WITH c AS (SELECT a FROM base) SELECT a FROM c",
+        )
+        .unwrap();
+        assert_eq!(edges, BTreeSet::from([("base".into(), "v".into())]));
+    }
+
+    #[test]
+    fn subquery_and_setop_sources_found() {
+        let edges = table_edges(
+            "CREATE VIEW v AS
+               SELECT a FROM t WHERE a IN (SELECT x FROM lookup)
+               UNION SELECT b FROM u",
+        )
+        .unwrap();
+        let sources: BTreeSet<&str> = edges.iter().map(|(s, _)| s.as_str()).collect();
+        assert_eq!(sources, BTreeSet::from(["t", "lookup", "u"]));
+    }
+
+    #[test]
+    fn update_edges_include_target_scan() {
+        let edges =
+            table_edges("UPDATE t SET a = u.b FROM u WHERE t.id = u.id").unwrap();
+        assert!(edges.contains(&("u".into(), "t".into())));
+        assert!(edges.contains(&("t".into(), "t".into())));
+    }
+
+    #[test]
+    fn matches_lineagex_table_lineage_on_example1() {
+        // Table-level lineage is the easy part: the naive extractor agrees
+        // with the full system.
+        use lineagex_core::lineagex;
+        let log = "
+            CREATE TABLE customers (cid int, name text);
+            CREATE TABLE web (cid int, page text);
+            CREATE VIEW webinfo AS SELECT c.cid, w.page FROM customers c JOIN web w ON c.cid = w.cid;
+            CREATE VIEW info AS SELECT * FROM webinfo;
+        ";
+        let ours: BTreeSet<(String, String)> =
+            lineagex(log).unwrap().graph.table_edges().into_iter().collect();
+        let naive = table_edges(log).unwrap();
+        assert_eq!(ours, naive);
+    }
+}

@@ -1,0 +1,37 @@
+//! PERF — parsing throughput: tokenizer + parser over the paper's
+//! workloads ("lightweight" claim, §I).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lineagex_datasets::{example1, generator, mimic, GeneratorConfig};
+use lineagex_sqlparse::parse_sql;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+
+    let ex1 = example1::full_log();
+    group.throughput(Throughput::Bytes(ex1.len() as u64));
+    group.bench_function("example1", |b| b.iter(|| parse_sql(std::hint::black_box(&ex1))));
+
+    let mimic_sql = mimic::workload().full_sql();
+    group.throughput(Throughput::Bytes(mimic_sql.len() as u64));
+    group.bench_function("mimic_full_log", |b| {
+        b.iter(|| parse_sql(std::hint::black_box(&mimic_sql)))
+    });
+
+    for views in [10usize, 50, 100] {
+        let workload = generator::generate(&GeneratorConfig {
+            views,
+            ..GeneratorConfig::seeded(5)
+        });
+        let sql = workload.full_sql();
+        group.throughput(Throughput::Bytes(sql.len() as u64));
+        group.bench_with_input(BenchmarkId::new("generated_views", views), &sql, |b, sql| {
+            b.iter(|| parse_sql(std::hint::black_box(sql)))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! PERF — scaling behaviour: extraction time vs number of views, vs
+//! reversed (stack-heavy) statement order, and vs feature mix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lineagex_core::lineagex;
+use lineagex_datasets::{generator, GeneratorConfig};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/views");
+    for views in [10usize, 25, 50, 100, 200] {
+        let workload =
+            generator::generate(&GeneratorConfig { views, ..GeneratorConfig::seeded(9) });
+        let sql = workload.full_sql();
+        group.throughput(Throughput::Elements(views as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(views), &sql, |b, sql| {
+            b.iter(|| lineagex(std::hint::black_box(sql)).unwrap())
+        });
+    }
+    group.finish();
+
+    // The auto-inference stack at work: same workload, dependency-reversed
+    // statement order (every view deferred at least once).
+    let mut group = c.benchmark_group("scaling/statement_order");
+    for views in [25usize, 100] {
+        let forward =
+            generator::generate(&GeneratorConfig { views, ..GeneratorConfig::seeded(13) });
+        let reversed = generator::generate(&GeneratorConfig {
+            views,
+            shuffle_statements: true,
+            ..GeneratorConfig::seeded(13)
+        });
+        group.bench_with_input(
+            BenchmarkId::new("forward", views),
+            &forward.full_sql(),
+            |b, sql| b.iter(|| lineagex(std::hint::black_box(sql)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reversed", views),
+            &reversed.full_sql(),
+            |b, sql| b.iter(|| lineagex(std::hint::black_box(sql)).unwrap()),
+        );
+    }
+    group.finish();
+
+    // Feature-mix cost: stars force full expansions, set ops double the
+    // branch work.
+    let mut group = c.benchmark_group("scaling/feature_mix");
+    let mixes: [(&str, fn(&mut GeneratorConfig)); 3] = [
+        ("plain", |c| {
+            c.star_probability = 0.0;
+            c.setop_probability = 0.0;
+            c.cte_probability = 0.0;
+        }),
+        ("stars", |c| {
+            c.star_probability = 0.8;
+            c.setop_probability = 0.0;
+        }),
+        ("setops_ctes", |c| {
+            c.setop_probability = 0.5;
+            c.cte_probability = 0.5;
+        }),
+    ];
+    for (label, mutate) in mixes {
+        let mut config = GeneratorConfig { views: 50, ..GeneratorConfig::seeded(21) };
+        mutate(&mut config);
+        let sql = generator::generate(&config).full_sql();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &sql, |b, sql| {
+            b.iter(|| lineagex(std::hint::black_box(sql)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

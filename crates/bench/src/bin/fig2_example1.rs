@@ -1,0 +1,100 @@
+//! FIG2 — regenerate Figure 2: the Example 1 lineage graph as extracted
+//! by LineageX vs a SQLLineage-like tool, annotated with the paper's
+//! red-box errors and scored against the ground truth.
+
+use lineagex_baseline::metrics::{graph_contribute_edges, score_edges};
+use lineagex_baseline::SqlLineageLike;
+use lineagex_bench::{join, pct, section, table2};
+use lineagex_core::lineagex;
+use lineagex_datasets::example1;
+
+fn main() {
+    let log = example1::full_log();
+    let truth = example1::ground_truth();
+    let expected_edges = truth.contribute_edges();
+
+    section("FIG 2 — Example 1: correct lineage (LineageX)");
+    let ours = lineagex(&log).expect("extraction succeeds");
+    for id in &ours.graph.order {
+        let q = &ours.graph.queries[id];
+        println!("\n  {} <- tables {{{}}}", id, join(q.tables.iter()));
+        for out in &q.outputs {
+            println!("    {}.{} <- {{{}}}", id, out.name, join(out.ccon.iter()));
+        }
+        println!("    C_ref = {{{}}}", join(q.cref.iter()));
+    }
+
+    section("FIG 2 — Example 1: SQLLineage-like baseline");
+    let baseline = SqlLineageLike::new().extract(&log).expect("baseline parses");
+    for (id, q) in &baseline.queries {
+        println!("\n  {} <- tables {{{}}}", id, join(q.tables.iter()));
+        for out in &q.outputs {
+            println!("    {}.{} <- {{{}}}", id, out.name, join(out.ccon.iter()));
+        }
+    }
+
+    section("Paper's red-box errors, observed in the baseline");
+    let webact = &baseline.queries["webact"];
+    let extra: Vec<&str> = webact
+        .output_names()
+        .into_iter()
+        .filter(|n| !["wcid", "wdate", "wpage", "wreg"].contains(n))
+        .collect();
+    println!("  1. webact gains {} erroneous extra columns: {:?}", extra.len(), extra);
+    let info = &baseline.queries["info"];
+    let has_star = info.outputs.iter().any(|o| o.name == "*");
+    println!("  2. info contains a literal `webact.* -> info.*` entry: {has_star}");
+    let info_cols = info.output_names().len();
+    println!(
+        "  3. info exposes only {info_cols} entries vs 7 real columns (misses w.* expansion)"
+    );
+    let edges_from_webinfo = baseline
+        .queries
+        .values()
+        .flat_map(|q| q.outputs.iter())
+        .flat_map(|o| o.ccon.iter())
+        .filter(|s| s.table == "webinfo")
+        .count();
+    println!("  4. column edges out of webinfo in the baseline graph: {edges_from_webinfo}");
+
+    section("Edge-level score vs ground truth (contribute edges)");
+    let our_score = score_edges(&graph_contribute_edges(&ours.graph), &expected_edges);
+    let base_score = score_edges(&graph_contribute_edges(&baseline), &expected_edges);
+    table2(
+        ("system", "precision / recall / F1"),
+        &[
+            (
+                "LineageX".into(),
+                format!(
+                    "{} / {} / {}",
+                    pct(our_score.precision()),
+                    pct(our_score.recall()),
+                    pct(our_score.f1())
+                ),
+            ),
+            (
+                "SQLLineage-like".into(),
+                format!(
+                    "{} / {} / {}",
+                    pct(base_score.precision()),
+                    pct(base_score.recall()),
+                    pct(base_score.f1())
+                ),
+            ),
+        ],
+    );
+
+    section("Table-level lineage (the easy granularity — all systems agree)");
+    let our_tables: std::collections::BTreeSet<(String, String)> =
+        ours.graph.table_edges().into_iter().collect();
+    let naive_tables = lineagex_baseline::table_level::table_edges(&log).expect("parses");
+    println!(
+        "  LineageX table edges = naive table edges: {}",
+        our_tables == naive_tables
+    );
+    assert_eq!(our_tables, naive_tables);
+
+    let failures = truth.diff(&ours.graph);
+    assert!(failures.is_empty(), "LineageX must match Fig. 2 exactly:\n{}", failures.join("\n"));
+    println!("\n✔ LineageX output matches the Fig. 2 ground truth exactly");
+}

@@ -1,0 +1,52 @@
+//! FIG4 — regenerate Figure 4: the post-order DFS traversal of Q3's AST
+//! with the temporary-variable states (`T`, `C_pos`, `C_ref`, `P`) after
+//! each step, matching the paper's circled walkthrough ①–⑤.
+
+use lineagex_bench::section;
+use lineagex_core::{LineageX, Rule};
+use lineagex_datasets::example1;
+
+fn main() {
+    section("FIG 4 — AST traversal of Q3 (CREATE VIEW webinfo ...)");
+    println!("\nQ3 = CREATE VIEW webinfo AS");
+    println!("     SELECT c.cid AS wcid, w.date AS wdate, w.page AS wpage, w.reg AS wreg");
+    println!("     FROM customers c JOIN web w ON c.cid = w.cid");
+    println!("     WHERE EXTRACT(YEAR FROM w.date) = 2022\n");
+
+    let result = LineageX::new()
+        .trace()
+        .run(&example1::full_log())
+        .expect("extraction succeeds");
+    let trace = &result.traces["webinfo"];
+    print!("{trace}");
+
+    // The paper's expected step sequence:
+    // ① scan customers (FROM rule)   ② scan web (FROM rule)
+    // ③ JOIN (Other keywords)        ④ WHERE σ (Other keywords)
+    // ⑤ SELECT π (SELECT rule)
+    let rules = trace.rules();
+    let expected = [
+        Rule::FromTable,
+        Rule::FromTable,
+        Rule::OtherKeywords, // JOIN
+        Rule::OtherKeywords, // WHERE
+        Rule::Select,
+    ];
+    assert_eq!(
+        rules, expected,
+        "traversal must follow the paper's ①–⑤ order, got {rules:?}"
+    );
+
+    // Step ③/④ must have added the join and filter columns to C_ref.
+    let cref = &trace.steps.last().unwrap().state.cref;
+    for col in ["customers.cid", "web.cid", "web.date"] {
+        assert!(cref.contains(&col.to_string()), "C_ref missing {col}: {cref:?}");
+    }
+    // Step ⑤'s projection P must be the four output columns.
+    assert_eq!(
+        trace.steps.last().unwrap().state.projection,
+        vec!["wcid", "wdate", "wpage", "wreg"]
+    );
+
+    println!("\n✔ traversal order and variable states match Fig. 4 (steps ①–⑤)");
+}

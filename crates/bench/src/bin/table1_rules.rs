@@ -1,0 +1,84 @@
+//! TAB1 — regenerate Table I: one focused scenario per keyword rule,
+//! showing the rule firing and the resulting lineage-state updates.
+
+use lineagex_bench::{join, section};
+use lineagex_core::{LineageX, Rule};
+
+struct Scenario {
+    rule: &'static str,
+    explanation: &'static str,
+    sql: &'static str,
+    /// The Table I rule expected to fire during extraction of the view.
+    expect_rule: Rule,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        rule: "SELECT",
+        explanation: "resolve C_con for each projection",
+        sql: "CREATE TABLE t (a int, b int);
+              CREATE VIEW v AS SELECT a + b AS s FROM t;",
+        expect_rule: Rule::Select,
+    },
+    Scenario {
+        rule: "FROM (Table/View)",
+        explanation: "add to T, columns to C_pos",
+        sql: "CREATE TABLE t (a int);
+              CREATE VIEW v AS SELECT a FROM t;",
+        expect_rule: Rule::FromTable,
+    },
+    Scenario {
+        rule: "FROM (CTE/Subquery)",
+        explanation: "find in M_CTE / recurse into the subquery",
+        sql: "CREATE TABLE t (a int);
+              CREATE VIEW v AS WITH c AS (SELECT a FROM t) SELECT a FROM c;",
+        expect_rule: Rule::FromCteOrSubquery,
+    },
+    Scenario {
+        rule: "WITH/Subquery",
+        explanation: "stash intermediate lineage into M_CTE",
+        sql: "CREATE TABLE t (a int);
+              CREATE VIEW v AS WITH c AS (SELECT a FROM t) SELECT a FROM c;",
+        expect_rule: Rule::WithSubquery,
+    },
+    Scenario {
+        rule: "Set Operation",
+        explanation: "branch projections into C_ref, repeated per leaf",
+        sql: "CREATE TABLE t (a int); CREATE TABLE u (b int);
+              CREATE VIEW v AS SELECT a FROM t UNION SELECT b FROM u;",
+        expect_rule: Rule::SetOperation,
+    },
+    Scenario {
+        rule: "Other Keywords",
+        explanation: "predicate/grouping columns into C_ref",
+        sql: "CREATE TABLE t (a int, b int);
+              CREATE VIEW v AS SELECT a FROM t WHERE b > 0;",
+        expect_rule: Rule::OtherKeywords,
+    },
+];
+
+fn main() {
+    section("TABLE I — keyword rules, one scenario each");
+    let mut all_ok = true;
+    for scenario in SCENARIOS {
+        println!("\n--- {} ---", scenario.rule);
+        println!("    ({})", scenario.explanation);
+        println!("    SQL: {}", scenario.sql.trim().replace('\n', "\n         "));
+        let result = LineageX::new().trace().run(scenario.sql).expect("extraction succeeds");
+        let trace = &result.traces["v"];
+        let fired = trace.rules().contains(&scenario.expect_rule);
+        all_ok &= fired;
+        println!(
+            "    rules fired: [{}]",
+            join(trace.rules().iter().map(|r| r.table1_name()))
+        );
+        println!("    expected rule fired: {}", if fired { "✔" } else { "✘" });
+        let v = &result.graph.queries["v"];
+        for out in &v.outputs {
+            println!("    C_con({}) = {{{}}}", out.name, join(out.ccon.iter()));
+        }
+        println!("    C_ref = {{{}}}", join(v.cref.iter()));
+    }
+    assert!(all_ok, "every Table I rule must fire in its scenario");
+    println!("\n✔ all six Table I rules reproduced");
+}

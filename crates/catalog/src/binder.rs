@@ -1,0 +1,963 @@
+//! Name resolution: from parsed queries to fully-bound plans.
+//!
+//! The binder enforces PostgreSQL's resolution rules — qualified references
+//! must name a visible binding, unqualified references must be unique in
+//! their scope, set-operation branches must agree on arity — and raises the
+//! corresponding [`DbError`]s. CTEs and derived tables are *composed
+//! through* (their outputs carry the source columns of the relations
+//! beneath them), while catalog views stay opaque, matching the lineage
+//! graph's view-level nodes.
+
+use crate::catalog::Catalog;
+use crate::error::DbError;
+use crate::plan::{BoundQuery, PlanColumn, PlanNode, SourceColumn};
+use lineagex_sqlparse::ast::visit::{output_name, ColumnRef, ExprRefs};
+use lineagex_sqlparse::ast::*;
+use std::collections::BTreeSet;
+
+/// Binds queries against a [`Catalog`].
+pub struct Binder<'a> {
+    catalog: &'a Catalog,
+}
+
+/// One relation visible in a scope: its binding name and output columns.
+#[derive(Debug, Clone)]
+struct BoundRelation {
+    binding: String,
+    columns: Vec<PlanColumn>,
+}
+
+/// A lexical scope chain for correlated-subquery resolution.
+struct ScopeChain<'a> {
+    relations: &'a [BoundRelation],
+    parent: Option<&'a ScopeChain<'a>>,
+}
+
+impl<'a> ScopeChain<'a> {
+    fn root(relations: &'a [BoundRelation]) -> Self {
+        ScopeChain { relations, parent: None }
+    }
+}
+
+/// A CTE registered while binding an enclosing query.
+#[derive(Debug, Clone)]
+struct CteBound {
+    name: String,
+    plan: PlanNode,
+    output: Vec<PlanColumn>,
+}
+
+/// Mutable binding state: the CTE stack.
+#[derive(Default)]
+struct BindContext {
+    ctes: Vec<CteBound>,
+}
+
+impl BindContext {
+    fn lookup(&self, name: &str) -> Option<&CteBound> {
+        self.ctes.iter().rev().find(|c| c.name == name)
+    }
+}
+
+impl<'a> Binder<'a> {
+    /// A binder over `catalog`.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Binder { catalog }
+    }
+
+    /// Bind a query and aggregate the result for the lineage layer.
+    pub fn bind(&self, query: &Query) -> Result<BoundQuery, DbError> {
+        let mut ctx = BindContext::default();
+        let plan = self.bind_query(query, &mut ctx, None)?;
+        Ok(BoundQuery::from_plan(plan))
+    }
+
+    fn bind_query(
+        &self,
+        query: &Query,
+        ctx: &mut BindContext,
+        outer: Option<&ScopeChain<'_>>,
+    ) -> Result<PlanNode, DbError> {
+        let cte_mark = ctx.ctes.len();
+        if let Some(with) = &query.with {
+            for cte in &with.ctes {
+                let bound = self.bind_cte(cte, with.recursive, ctx, outer)?;
+                ctx.ctes.push(bound);
+            }
+        }
+
+        let (mut plan, select_scope) = self.bind_set_expr(&query.body, ctx, outer)?;
+
+        if !query.order_by.is_empty() {
+            let refs = self.resolve_order_by(&query.order_by, plan.output(), &select_scope)?;
+            plan = PlanNode::Sort { refs, input: Box::new(plan) };
+        }
+        if query.limit.is_some() || query.offset.is_some() {
+            plan = PlanNode::Limit { input: Box::new(plan) };
+        }
+
+        ctx.ctes.truncate(cte_mark);
+        Ok(plan)
+    }
+
+    fn bind_cte(
+        &self,
+        cte: &Cte,
+        recursive: bool,
+        ctx: &mut BindContext,
+        outer: Option<&ScopeChain<'_>>,
+    ) -> Result<CteBound, DbError> {
+        let name = cte.alias.name.value.clone();
+        let plan = if recursive {
+            // A recursive CTE's schema is defined by its first (seed) branch;
+            // register that schema so the self-reference in the recursive
+            // branch resolves, then bind the full body.
+            if let SetExpr::SetOperation { left, .. } = &cte.query.body {
+                let (seed_plan, _) = self.bind_set_expr(left, ctx, outer)?;
+                let seed = CteBound {
+                    name: name.clone(),
+                    output: seed_plan.output().to_vec(),
+                    plan: seed_plan,
+                };
+                ctx.ctes.push(seed);
+                let result = self.bind_query(&cte.query, ctx, outer);
+                ctx.ctes.pop();
+                result?
+            } else {
+                self.bind_query(&cte.query, ctx, outer)?
+            }
+        } else {
+            self.bind_query(&cte.query, ctx, outer)?
+        };
+        let output = rename_columns(plan.output(), &cte.alias.columns, &name)?;
+        Ok(CteBound { name, plan, output })
+    }
+
+    /// Bind a set-expression. The second return value is the FROM-scope of
+    /// the body when it is a plain `SELECT`, used for `ORDER BY` resolution.
+    fn bind_set_expr(
+        &self,
+        body: &SetExpr,
+        ctx: &mut BindContext,
+        outer: Option<&ScopeChain<'_>>,
+    ) -> Result<(PlanNode, Vec<BoundRelation>), DbError> {
+        match body {
+            SetExpr::Select(select) => self.bind_select(select, ctx, outer),
+            SetExpr::Query(query) => Ok((self.bind_query(query, ctx, outer)?, Vec::new())),
+            SetExpr::SetOperation { op, all, left, right } => {
+                let (left_plan, _) = self.bind_set_expr(left, ctx, outer)?;
+                let (right_plan, _) = self.bind_set_expr(right, ctx, outer)?;
+                let ln = left_plan.output().len();
+                let rn = right_plan.output().len();
+                if ln != rn {
+                    return Err(DbError::SetOperationArityMismatch { left: ln, right: rn });
+                }
+                // Names come from the left branch; sources merge positionally.
+                let output: Vec<PlanColumn> = left_plan
+                    .output()
+                    .iter()
+                    .zip(right_plan.output())
+                    .map(|(l, r)| {
+                        let mut sources = l.sources.clone();
+                        sources.extend(r.sources.iter().cloned());
+                        PlanColumn { name: l.name.clone(), sources }
+                    })
+                    .collect();
+                let op_name = match op {
+                    SetOperator::Union => "Union",
+                    SetOperator::Intersect => "Intersect",
+                    SetOperator::Except => "Except",
+                };
+                Ok((
+                    PlanNode::SetOp {
+                        op: op_name,
+                        all: *all,
+                        left: Box::new(left_plan),
+                        right: Box::new(right_plan),
+                        output,
+                    },
+                    Vec::new(),
+                ))
+            }
+            SetExpr::Values(values) => {
+                let width = values.0.first().map(|r| r.len()).unwrap_or(0);
+                for row in &values.0 {
+                    if row.len() != width {
+                        return Err(DbError::SetOperationArityMismatch {
+                            left: width,
+                            right: row.len(),
+                        });
+                    }
+                }
+                let output = (0..width)
+                    .map(|i| PlanColumn::computed(format!("column{}", i + 1), BTreeSet::new()))
+                    .collect();
+                Ok((PlanNode::Values { output }, Vec::new()))
+            }
+        }
+    }
+
+    fn bind_select(
+        &self,
+        select: &Select,
+        ctx: &mut BindContext,
+        outer: Option<&ScopeChain<'_>>,
+    ) -> Result<(PlanNode, Vec<BoundRelation>), DbError> {
+        // 1. Bind every FROM factor, resolving each join's constraint against
+        //    its operands (standard SQL: ON sees only the joined relations
+        //    plus outer scopes).
+        let mut relations: Vec<BoundRelation> = Vec::new();
+        let mut subplans: Vec<PlanNode> = Vec::new();
+        let mut from_plan: Option<PlanNode> = None;
+
+        for twj in &select.from {
+            let (chain_plan, chain_rels) =
+                self.bind_table_with_joins(twj, ctx, outer, &relations, &mut subplans)?;
+            from_plan = Some(match from_plan {
+                None => chain_plan,
+                Some(existing) => {
+                    let output =
+                        existing.output().iter().chain(chain_plan.output()).cloned().collect();
+                    PlanNode::Join {
+                        kind: "Cross",
+                        condition_refs: BTreeSet::new(),
+                        left: Box::new(existing),
+                        right: Box::new(chain_plan),
+                        output,
+                    }
+                }
+            });
+            relations.extend(chain_rels);
+        }
+
+        // Duplicate binding names are an error, as in Postgres.
+        for (i, a) in relations.iter().enumerate() {
+            if relations[..i].iter().any(|b| b.binding == a.binding) {
+                return Err(DbError::DuplicateAlias(a.binding.clone()));
+            }
+        }
+
+        let full_scope = match outer {
+            Some(parent) => ScopeChain { relations: &relations, parent: Some(parent) },
+            None => ScopeChain { relations: &relations, parent: None },
+        };
+        let mut plan = from_plan;
+
+        // 3. WHERE.
+        if let Some(selection) = &select.selection {
+            let refs = self.resolve_expr(selection, &full_scope, ctx, &mut subplans)?;
+            let input = plan.ok_or_else(|| {
+                DbError::Unsupported("WHERE clause requires a FROM clause".into())
+            })?;
+            plan = Some(PlanNode::Filter { predicate_refs: refs, input: Box::new(input) });
+        }
+
+        // 4. GROUP BY / HAVING.
+        if !select.group_by.is_empty() || select.having.is_some() {
+            let mut refs = BTreeSet::new();
+            for e in &select.group_by {
+                refs.extend(self.resolve_expr(e, &full_scope, ctx, &mut subplans)?);
+            }
+            if let Some(having) = &select.having {
+                refs.extend(self.resolve_expr(having, &full_scope, ctx, &mut subplans)?);
+            }
+            let input = plan.ok_or_else(|| {
+                DbError::Unsupported("GROUP BY requires a FROM clause".into())
+            })?;
+            plan = Some(PlanNode::Aggregate { refs, input: Box::new(input) });
+        }
+
+        // 5. Projection.
+        let mut output = Vec::new();
+        let mut referenced = BTreeSet::new();
+        if let Some(Distinct::On(exprs)) = &select.distinct {
+            for e in exprs {
+                referenced.extend(self.resolve_expr(e, &full_scope, ctx, &mut subplans)?);
+            }
+        }
+        for item in &select.projection {
+            match item {
+                SelectItem::Wildcard => {
+                    if relations.is_empty() {
+                        return Err(DbError::Unsupported(
+                            "SELECT * requires a FROM clause".into(),
+                        ));
+                    }
+                    for rel in &relations {
+                        output.extend(rel.columns.iter().cloned());
+                    }
+                }
+                SelectItem::QualifiedWildcard(name) => {
+                    let rel = relations
+                        .iter()
+                        .find(|r| r.binding == name.base_name())
+                        .ok_or_else(|| DbError::UndefinedTable(name.base_name().to_string()))?;
+                    output.extend(rel.columns.iter().cloned());
+                }
+                SelectItem::UnnamedExpr(expr) => {
+                    let sources = self.resolve_expr(expr, &full_scope, ctx, &mut subplans)?;
+                    output.push(PlanColumn::computed(output_name(expr), sources));
+                }
+                SelectItem::ExprWithAlias { expr, alias } => {
+                    let sources = self.resolve_expr(expr, &full_scope, ctx, &mut subplans)?;
+                    output.push(PlanColumn::computed(alias.value.clone(), sources));
+                }
+            }
+        }
+
+        // Fold expression-level subquery plans into the tree so their scans
+        // and refs are visible, mirroring EXPLAIN's SubPlan entries.
+        for subplan in subplans {
+            referenced.extend(subplan.referenced_columns());
+            for table in subplan.scanned_relations() {
+                // A synthetic zero-column scan keeps the relation visible in
+                // `scanned_relations` without touching output arity.
+                let scan = PlanNode::Scan {
+                    relation: table.clone(),
+                    binding: format!("subplan:{table}"),
+                    output: Vec::new(),
+                };
+                let prev = plan.take();
+                plan = Some(match prev {
+                    None => scan,
+                    Some(existing) => {
+                        let output = existing.output().to_vec();
+                        PlanNode::Join {
+                            kind: "SubPlan",
+                            condition_refs: BTreeSet::new(),
+                            left: Box::new(existing),
+                            right: Box::new(scan),
+                            output,
+                        }
+                    }
+                });
+            }
+        }
+
+        let node = PlanNode::Project { output, referenced, input: plan.map(Box::new) };
+        Ok((node, relations))
+    }
+
+    /// Bind one FROM item: the leading factor plus its chained joins, each
+    /// join's constraint resolved against the relations joined so far.
+    /// `prior` holds relations from earlier FROM items, visible to
+    /// `LATERAL` subqueries in this one.
+    fn bind_table_with_joins(
+        &self,
+        twj: &TableWithJoins,
+        ctx: &mut BindContext,
+        outer: Option<&ScopeChain<'_>>,
+        prior: &[BoundRelation],
+        subplans: &mut Vec<PlanNode>,
+    ) -> Result<(PlanNode, Vec<BoundRelation>), DbError> {
+        let (mut plan, mut rels) =
+            self.bind_table_factor(&twj.relation, ctx, outer, prior)?;
+        for join in &twj.joins {
+            let mut visible = prior.to_vec();
+            visible.extend(rels.iter().cloned());
+            let (rplan, rrels) =
+                self.bind_table_factor(&join.relation, ctx, outer, &visible)?;
+            let split = rels.len();
+            let mut combined = rels;
+            combined.extend(rrels);
+            let scope = ScopeChain { relations: &combined, parent: outer };
+            let refs = match join.join_operator.constraint() {
+                Some(JoinConstraint::On(expr)) => {
+                    self.resolve_expr(expr, &scope, ctx, subplans)?
+                }
+                Some(JoinConstraint::Using(cols)) => {
+                    let mut refs = BTreeSet::new();
+                    for col in cols {
+                        refs.extend(self.resolve_using_column(&col.value, &combined, split)?);
+                    }
+                    refs
+                }
+                Some(JoinConstraint::Natural) => {
+                    let mut refs = BTreeSet::new();
+                    for col in natural_join_columns(&combined, split) {
+                        refs.extend(self.resolve_using_column(&col, &combined, split)?);
+                    }
+                    refs
+                }
+                Some(JoinConstraint::None) | None => BTreeSet::new(),
+            };
+            let output = plan.output().iter().chain(rplan.output()).cloned().collect();
+            plan = PlanNode::Join {
+                kind: join_kind(&join.join_operator),
+                condition_refs: refs,
+                left: Box::new(plan),
+                right: Box::new(rplan),
+                output,
+            };
+            rels = combined;
+        }
+        Ok((plan, rels))
+    }
+
+    fn bind_table_factor(
+        &self,
+        factor: &TableFactor,
+        ctx: &mut BindContext,
+        outer: Option<&ScopeChain<'_>>,
+        visible: &[BoundRelation],
+    ) -> Result<(PlanNode, Vec<BoundRelation>), DbError> {
+        match factor {
+            TableFactor::Table { name, alias } => {
+                let base = name.base_name().to_string();
+                let binding = alias
+                    .as_ref()
+                    .map(|a| a.name.value.clone())
+                    .unwrap_or_else(|| base.clone());
+                if let Some(cte) = ctx.lookup(&base) {
+                    let output = rename_columns(
+                        &cte.output,
+                        alias.as_ref().map(|a| a.columns.as_slice()).unwrap_or(&[]),
+                        &binding,
+                    )?;
+                    let node = PlanNode::SubqueryScan {
+                        binding: binding.clone(),
+                        input: Box::new(cte.plan.clone()),
+                        output: output.clone(),
+                    };
+                    return Ok((node, vec![BoundRelation { binding, columns: output }]));
+                }
+                let schema = self
+                    .catalog
+                    .get(&base)
+                    .ok_or_else(|| DbError::UndefinedTable(base.clone()))?;
+                let mut output: Vec<PlanColumn> = schema
+                    .columns
+                    .iter()
+                    .map(|c| PlanColumn::direct(&c.name, SourceColumn::new(&schema.name, &c.name)))
+                    .collect();
+                if let Some(alias) = alias {
+                    output = rename_columns(&output, &alias.columns, &binding)?;
+                }
+                let node = PlanNode::Scan {
+                    relation: schema.name.clone(),
+                    binding: binding.clone(),
+                    output: output.clone(),
+                };
+                Ok((node, vec![BoundRelation { binding, columns: output }]))
+            }
+            TableFactor::Derived { lateral, subquery, alias } => {
+                let alias = alias.as_ref().ok_or_else(|| {
+                    DbError::Unsupported("subquery in FROM must have an alias".into())
+                })?;
+                // Only LATERAL subqueries may see sibling/outer relations.
+                let lateral_scope;
+                let sub_outer = if *lateral {
+                    lateral_scope = ScopeChain { relations: visible, parent: outer };
+                    Some(&lateral_scope)
+                } else {
+                    None
+                };
+                let plan = self.bind_query(subquery, ctx, sub_outer)?;
+                let binding = alias.name.value.clone();
+                let output = rename_columns(plan.output(), &alias.columns, &binding)?;
+                let node = PlanNode::SubqueryScan {
+                    binding: binding.clone(),
+                    input: Box::new(plan),
+                    output: output.clone(),
+                };
+                Ok((node, vec![BoundRelation { binding, columns: output }]))
+            }
+            TableFactor::NestedJoin(twj) => {
+                // Bind the inner tree as a standalone FROM item.
+                let inner = Select {
+                    distinct: None,
+                    projection: vec![SelectItem::Wildcard],
+                    from: vec![(**twj).clone()],
+                    selection: None,
+                    group_by: Vec::new(),
+                    having: None,
+                };
+                let (plan, rels) = self.bind_select(&inner, ctx, outer)?;
+                // Unwrap the synthetic projection: expose the join beneath.
+                let plan = match plan {
+                    PlanNode::Project { input: Some(input), .. } => *input,
+                    other => other,
+                };
+                Ok((plan, rels))
+            }
+        }
+    }
+
+    /// Resolve every column reference in `expr`, binding nested subqueries
+    /// as correlated subplans.
+    fn resolve_expr(
+        &self,
+        expr: &Expr,
+        scope: &ScopeChain<'_>,
+        ctx: &mut BindContext,
+        subplans: &mut Vec<PlanNode>,
+    ) -> Result<BTreeSet<SourceColumn>, DbError> {
+        let refs = ExprRefs::from_expr(expr);
+        let mut out = BTreeSet::new();
+        for col in &refs.columns {
+            out.extend(self.resolve_column(col, scope)?);
+        }
+        for wildcard in &refs.qualified_wildcards {
+            let rel = find_relation(scope, wildcard.base_name())
+                .ok_or_else(|| DbError::UndefinedTable(wildcard.base_name().to_string()))?;
+            for c in &rel.columns {
+                out.extend(c.sources.iter().cloned());
+            }
+        }
+        for subquery in &refs.subqueries {
+            let plan = self.bind_query(subquery, ctx, Some(scope))?;
+            for col in plan.output() {
+                out.extend(col.sources.iter().cloned());
+            }
+            subplans.push(plan);
+        }
+        Ok(out)
+    }
+
+    /// Resolve one column reference through the scope chain.
+    fn resolve_column(
+        &self,
+        col: &ColumnRef<'_>,
+        scope: &ScopeChain<'_>,
+    ) -> Result<BTreeSet<SourceColumn>, DbError> {
+        let name = col.column.value.as_str();
+        match col.table() {
+            Some(table) => {
+                let mut current = Some(scope);
+                while let Some(s) = current {
+                    if let Some(rel) = s.relations.iter().find(|r| r.binding == table) {
+                        let found = rel.columns.iter().find(|c| c.name == name).ok_or_else(
+                            || DbError::UndefinedColumn {
+                                column: name.to_string(),
+                                relation: Some(table.to_string()),
+                            },
+                        )?;
+                        return Ok(found.sources.clone());
+                    }
+                    current = s.parent;
+                }
+                Err(DbError::UndefinedTable(table.to_string()))
+            }
+            None => {
+                let mut current = Some(scope);
+                while let Some(s) = current {
+                    let matches: Vec<&BoundRelation> = s
+                        .relations
+                        .iter()
+                        .filter(|r| r.columns.iter().any(|c| c.name == name))
+                        .collect();
+                    match matches.len() {
+                        0 => current = s.parent,
+                        1 => {
+                            let rel = matches[0];
+                            let found =
+                                rel.columns.iter().find(|c| c.name == name).expect("filtered");
+                            return Ok(found.sources.clone());
+                        }
+                        _ => {
+                            return Err(DbError::AmbiguousColumn {
+                                column: name.to_string(),
+                                candidates: matches.iter().map(|r| r.binding.clone()).collect(),
+                            })
+                        }
+                    }
+                }
+                Err(DbError::UndefinedColumn { column: name.to_string(), relation: None })
+            }
+        }
+    }
+
+    /// Resolve a `USING`/natural-join column against the relations on each
+    /// side of the join (left = everything bound before the join's right
+    /// operand, right = the last relation).
+    fn resolve_using_column(
+        &self,
+        name: &str,
+        relations: &[BoundRelation],
+        split: usize,
+    ) -> Result<BTreeSet<SourceColumn>, DbError> {
+        let mut out = BTreeSet::new();
+        let (left, right) = relations.split_at(split.min(relations.len()));
+        let mut found = false;
+        for rel in left.iter().chain(right.iter()) {
+            if let Some(c) = rel.columns.iter().find(|c| c.name == name) {
+                out.extend(c.sources.iter().cloned());
+                found = true;
+            }
+        }
+        if !found {
+            return Err(DbError::UndefinedColumn { column: name.to_string(), relation: None });
+        }
+        Ok(out)
+    }
+
+    fn resolve_order_by(
+        &self,
+        order_by: &[OrderByExpr],
+        output: &[PlanColumn],
+        select_scope: &[BoundRelation],
+    ) -> Result<BTreeSet<SourceColumn>, DbError> {
+        let mut refs = BTreeSet::new();
+        for item in order_by {
+            match &item.expr {
+                // Positional: ORDER BY 2.
+                Expr::Literal(Literal::Number(n)) => {
+                    if let Ok(idx) = n.parse::<usize>() {
+                        if idx >= 1 && idx <= output.len() {
+                            refs.extend(output[idx - 1].sources.iter().cloned());
+                        }
+                    }
+                }
+                // Output alias, else a column of the underlying scope.
+                Expr::Identifier(ident) => {
+                    if let Some(col) = output.iter().find(|c| c.name == ident.value) {
+                        refs.extend(col.sources.iter().cloned());
+                    } else {
+                        let scope = ScopeChain::root(select_scope);
+                        let col_ref = ColumnRef { qualifier: &[], column: ident };
+                        refs.extend(self.resolve_column(&col_ref, &scope)?);
+                    }
+                }
+                other => {
+                    let scope = ScopeChain::root(select_scope);
+                    let expr_refs = ExprRefs::from_expr(other);
+                    for col in &expr_refs.columns {
+                        refs.extend(self.resolve_column(col, &scope)?);
+                    }
+                }
+            }
+        }
+        Ok(refs)
+    }
+}
+
+/// Find a relation by binding name anywhere in the scope chain.
+fn find_relation<'a>(scope: &'a ScopeChain<'_>, binding: &str) -> Option<&'a BoundRelation> {
+    let mut current = Some(scope);
+    while let Some(s) = current {
+        if let Some(rel) = s.relations.iter().find(|r| r.binding == binding) {
+            return Some(rel);
+        }
+        current = s.parent;
+    }
+    None
+}
+
+/// The display kind of a join operator.
+fn join_kind(op: &JoinOperator) -> &'static str {
+    match op {
+        JoinOperator::Inner(_) => "Inner",
+        JoinOperator::LeftOuter(_) => "Left",
+        JoinOperator::RightOuter(_) => "Right",
+        JoinOperator::FullOuter(_) => "Full",
+        JoinOperator::CrossJoin => "Cross",
+    }
+}
+
+/// Column names shared by the relations before/after `split` — the natural
+/// join key set.
+fn natural_join_columns(relations: &[BoundRelation], split: usize) -> Vec<String> {
+    let (left, right) = relations.split_at(split.min(relations.len()));
+    let left_names: BTreeSet<&str> =
+        left.iter().flat_map(|r| r.columns.iter().map(|c| c.name.as_str())).collect();
+    let mut out = Vec::new();
+    for rel in right {
+        for c in &rel.columns {
+            if left_names.contains(c.name.as_str()) && !out.contains(&c.name) {
+                out.push(c.name.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Apply an alias column-rename list positionally; empty list keeps names.
+fn rename_columns(
+    columns: &[PlanColumn],
+    new_names: &[Ident],
+    owner: &str,
+) -> Result<Vec<PlanColumn>, DbError> {
+    if new_names.is_empty() {
+        return Ok(columns.to_vec());
+    }
+    if new_names.len() != columns.len() {
+        return Err(DbError::ViewColumnCountMismatch {
+            view: owner.to_string(),
+            declared: new_names.len(),
+            actual: columns.len(),
+        });
+    }
+    Ok(columns
+        .iter()
+        .zip(new_names)
+        .map(|(c, n)| PlanColumn { name: n.value.clone(), sources: c.sources.clone() })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use lineagex_sqlparse::parse_statement;
+
+    fn example_catalog() -> Catalog {
+        Catalog::from_ddl(
+            "CREATE TABLE customers (cid int, name text, age int);
+             CREATE TABLE orders (oid int, cid int, amount numeric);
+             CREATE TABLE web (cid int, date date, page text, reg boolean);",
+        )
+        .unwrap()
+    }
+
+    fn bind(sql: &str) -> Result<BoundQuery, DbError> {
+        let catalog = example_catalog();
+        let stmt = parse_statement(sql).unwrap();
+        let Statement::Query(q) = stmt else { panic!("expected query") };
+        Binder::new(&catalog).bind(&q)
+    }
+
+    fn sources_of(bound: &BoundQuery, col: &str) -> Vec<String> {
+        bound
+            .output
+            .iter()
+            .find(|c| c.name == col)
+            .unwrap_or_else(|| panic!("no output column {col}"))
+            .sources
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn binds_simple_projection() {
+        let b = bind("SELECT name, age FROM customers").unwrap();
+        assert_eq!(b.output.len(), 2);
+        assert_eq!(sources_of(&b, "name"), vec!["customers.name"]);
+        assert!(b.tables.contains("customers"));
+    }
+
+    #[test]
+    fn resolves_unqualified_across_join() {
+        let b = bind(
+            "SELECT name, amount FROM customers c JOIN orders o ON c.cid = o.cid",
+        )
+        .unwrap();
+        assert_eq!(sources_of(&b, "name"), vec!["customers.name"]);
+        assert_eq!(sources_of(&b, "amount"), vec!["orders.amount"]);
+        // Join condition columns are referenced.
+        assert!(b.referenced.contains(&SourceColumn::new("customers", "cid")));
+        assert!(b.referenced.contains(&SourceColumn::new("orders", "cid")));
+    }
+
+    #[test]
+    fn ambiguous_unqualified_errors() {
+        let err = bind("SELECT cid FROM customers, orders").unwrap_err();
+        assert!(matches!(err, DbError::AmbiguousColumn { .. }), "{err}");
+    }
+
+    #[test]
+    fn undefined_table_and_column_errors() {
+        assert!(matches!(
+            bind("SELECT x FROM nope").unwrap_err(),
+            DbError::UndefinedTable(t) if t == "nope"
+        ));
+        assert!(matches!(
+            bind("SELECT missing FROM customers").unwrap_err(),
+            DbError::UndefinedColumn { .. }
+        ));
+        assert!(matches!(
+            bind("SELECT customers.missing FROM customers").unwrap_err(),
+            DbError::UndefinedColumn { relation: Some(_), .. }
+        ));
+        assert!(matches!(
+            bind("SELECT z.name FROM customers").unwrap_err(),
+            DbError::UndefinedTable(t) if t == "z"
+        ));
+    }
+
+    #[test]
+    fn duplicate_alias_errors() {
+        let err = bind("SELECT 1 FROM customers, customers").unwrap_err();
+        assert!(matches!(err, DbError::DuplicateAlias(_)), "{err}");
+    }
+
+    #[test]
+    fn wildcard_expansion() {
+        let b = bind("SELECT * FROM customers c JOIN web w ON c.cid = w.cid").unwrap();
+        assert_eq!(b.output.len(), 3 + 4);
+        assert_eq!(sources_of(&b, "page"), vec!["web.page"]);
+    }
+
+    #[test]
+    fn qualified_wildcard_expansion() {
+        let b = bind("SELECT w.* FROM customers c JOIN web w ON c.cid = w.cid").unwrap();
+        assert_eq!(b.output.len(), 4);
+        assert_eq!(b.output[0].name, "cid");
+        assert_eq!(sources_of(&b, "reg"), vec!["web.reg"]);
+    }
+
+    #[test]
+    fn alias_column_rename() {
+        let b = bind("SELECT x FROM customers AS c(x, y, z)").unwrap();
+        assert_eq!(sources_of(&b, "x"), vec!["customers.cid"]);
+    }
+
+    #[test]
+    fn cte_composes_through() {
+        let b = bind(
+            "WITH youth AS (SELECT cid AS kid, name FROM customers WHERE age < 20)
+             SELECT kid FROM youth",
+        )
+        .unwrap();
+        assert_eq!(sources_of(&b, "kid"), vec!["customers.cid"]);
+        // The WHERE inside the CTE is referenced.
+        assert!(b.referenced.contains(&SourceColumn::new("customers", "age")));
+        assert!(b.tables.contains("customers"));
+    }
+
+    #[test]
+    fn cte_shadows_catalog_table() {
+        let b = bind(
+            "WITH web AS (SELECT cid AS c2 FROM customers) SELECT c2 FROM web",
+        )
+        .unwrap();
+        assert_eq!(sources_of(&b, "c2"), vec!["customers.cid"]);
+        assert!(!b.tables.contains("web"));
+    }
+
+    #[test]
+    fn derived_table_composes_through() {
+        let b = bind("SELECT a FROM (SELECT name AS a FROM customers) AS sub").unwrap();
+        assert_eq!(sources_of(&b, "a"), vec!["customers.name"]);
+    }
+
+    #[test]
+    fn derived_table_requires_alias() {
+        let err = bind("SELECT 1 FROM (SELECT name FROM customers)").unwrap_err();
+        assert!(matches!(err, DbError::Unsupported(_)));
+    }
+
+    #[test]
+    fn set_operation_merges_positionally() {
+        let b = bind(
+            "SELECT cid, name FROM customers UNION SELECT cid, page FROM web",
+        )
+        .unwrap();
+        assert_eq!(b.output.len(), 2);
+        assert_eq!(b.output[1].name, "name");
+        let mut srcs = sources_of(&b, "name");
+        srcs.sort();
+        assert_eq!(srcs, vec!["customers.name", "web.page"]);
+    }
+
+    #[test]
+    fn set_operation_arity_mismatch() {
+        let err = bind("SELECT cid FROM customers UNION SELECT cid, page FROM web").unwrap_err();
+        assert!(matches!(err, DbError::SetOperationArityMismatch { left: 1, right: 2 }));
+    }
+
+    #[test]
+    fn correlated_subquery_resolves_outer() {
+        let b = bind(
+            "SELECT name FROM customers c WHERE EXISTS (
+                SELECT 1 FROM orders o WHERE o.cid = c.cid)",
+        )
+        .unwrap();
+        assert!(b.referenced.contains(&SourceColumn::new("orders", "cid")));
+        assert!(b.referenced.contains(&SourceColumn::new("customers", "cid")));
+        assert!(b.tables.contains("orders"));
+    }
+
+    #[test]
+    fn scalar_subquery_contributes_to_projection() {
+        let b = bind(
+            "SELECT name, (SELECT max(amount) FROM orders o WHERE o.cid = c.cid) AS top
+             FROM customers c",
+        )
+        .unwrap();
+        assert!(sources_of(&b, "top").contains(&"orders.amount".to_string()));
+        assert!(b.tables.contains("orders"));
+    }
+
+    #[test]
+    fn group_by_and_order_by_are_referenced() {
+        let b = bind(
+            "SELECT age, count(*) AS n FROM customers GROUP BY age ORDER BY n, age DESC",
+        )
+        .unwrap();
+        assert!(b.referenced.contains(&SourceColumn::new("customers", "age")));
+    }
+
+    #[test]
+    fn order_by_position_and_alias() {
+        let b = bind("SELECT name AS nm FROM customers ORDER BY 1").unwrap();
+        assert!(b.referenced.contains(&SourceColumn::new("customers", "name")));
+        let b = bind("SELECT name AS nm FROM customers ORDER BY nm").unwrap();
+        assert!(b.referenced.contains(&SourceColumn::new("customers", "name")));
+    }
+
+    #[test]
+    fn using_join_references_both_sides() {
+        let b = bind("SELECT name FROM customers JOIN orders USING (cid)").unwrap();
+        assert!(b.referenced.contains(&SourceColumn::new("customers", "cid")));
+        assert!(b.referenced.contains(&SourceColumn::new("orders", "cid")));
+    }
+
+    #[test]
+    fn natural_join_references_common_columns() {
+        let b = bind("SELECT name FROM customers NATURAL JOIN orders").unwrap();
+        assert!(b.referenced.contains(&SourceColumn::new("customers", "cid")));
+        assert!(b.referenced.contains(&SourceColumn::new("orders", "cid")));
+    }
+
+    #[test]
+    fn lateral_sees_siblings_but_plain_derived_does_not() {
+        let b = bind(
+            "SELECT top FROM customers c, LATERAL (SELECT c.age AS top) AS l",
+        )
+        .unwrap();
+        assert_eq!(sources_of(&b, "top"), vec!["customers.age"]);
+        // Without LATERAL the sibling reference must fail.
+        let err =
+            bind("SELECT top FROM customers c, (SELECT c.age AS top) AS l").unwrap_err();
+        assert!(matches!(err, DbError::UndefinedTable(ref t) if t == "c"), "{err}");
+    }
+
+    #[test]
+    fn recursive_cte_binds() {
+        let b = bind(
+            "WITH RECURSIVE r AS (
+                SELECT cid AS n FROM customers
+                UNION ALL
+                SELECT n FROM r WHERE n < 10)
+             SELECT n FROM r",
+        )
+        .unwrap();
+        assert_eq!(sources_of(&b, "n"), vec!["customers.cid"]);
+    }
+
+    #[test]
+    fn values_bind_anonymous_columns() {
+        let b = bind("VALUES (1, 'a'), (2, 'b')").unwrap();
+        assert_eq!(b.output.len(), 2);
+        assert_eq!(b.output[0].name, "column1");
+    }
+
+    #[test]
+    fn expression_sources_union() {
+        let b = bind("SELECT name || '-' || cast(age AS text) AS tag FROM customers").unwrap();
+        let mut srcs = sources_of(&b, "tag");
+        srcs.sort();
+        assert_eq!(srcs, vec!["customers.age", "customers.name"]);
+    }
+
+    #[test]
+    fn plan_display_is_explain_like() {
+        let b = bind("SELECT name FROM customers WHERE age > 18 ORDER BY name").unwrap();
+        let text = b.plan.to_string();
+        assert!(text.contains("Sort"), "{text}");
+        assert!(text.contains("Project"), "{text}");
+        assert!(text.contains("Filter"), "{text}");
+        assert!(text.contains("Seq Scan on customers"), "{text}");
+    }
+}

@@ -1,0 +1,348 @@
+//! The simulated database connection.
+//!
+//! [`SimulatedDatabase`] stands in for the PostgreSQL connection of the
+//! paper's connected mode. It executes DDL against an in-memory catalog
+//! with the same observable semantics LineageX depends on:
+//!
+//! * `CREATE VIEW` **binds** its query first; if a referenced relation does
+//!   not exist the statement fails with
+//!   [`DbError::UndefinedTable`] — the exact error that triggers the
+//!   paper's create-the-views-first stack mechanism;
+//! * [`SimulatedDatabase::explain`] returns the bound plan for a query,
+//!   serving as the metadata oracle that `EXPLAIN` provides in the paper.
+
+use crate::binder::Binder;
+use crate::catalog::Catalog;
+use crate::error::DbError;
+use crate::plan::BoundQuery;
+use crate::schema::{Column, RelationKind, TableSchema};
+use lineagex_sqlparse::ast::{ObjectType, Statement};
+use lineagex_sqlparse::{parse_sql, parse_statement};
+
+/// An in-memory stand-in for a PostgreSQL connection.
+#[derive(Debug, Clone, Default)]
+pub struct SimulatedDatabase {
+    catalog: Catalog,
+}
+
+impl SimulatedDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        SimulatedDatabase::default()
+    }
+
+    /// A database pre-loaded from a DDL script (see [`Catalog::from_ddl`]).
+    pub fn from_ddl(sql: &str) -> Result<Self, DbError> {
+        Ok(SimulatedDatabase { catalog: Catalog::from_ddl(sql)? })
+    }
+
+    /// Wrap an existing catalog.
+    pub fn with_catalog(catalog: Catalog) -> Self {
+        SimulatedDatabase { catalog }
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Execute one statement: DDL mutates the catalog, queries are bound
+    /// and validated (like running them against the server).
+    pub fn execute(&mut self, sql: &str) -> Result<Option<BoundQuery>, DbError> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute_statement(&mut self, stmt: &Statement) -> Result<Option<BoundQuery>, DbError> {
+        match stmt {
+            Statement::Query(q) => Ok(Some(Binder::new(&self.catalog).bind(q)?)),
+            Statement::CreateView { name, columns, query, materialized, or_replace, .. } => {
+                let bound = Binder::new(&self.catalog).bind(query)?;
+                let view_name = name.base_name().to_string();
+                if !columns.is_empty() && columns.len() != bound.output.len() {
+                    return Err(DbError::ViewColumnCountMismatch {
+                        view: view_name,
+                        declared: columns.len(),
+                        actual: bound.output.len(),
+                    });
+                }
+                let cols: Vec<Column> = if columns.is_empty() {
+                    bound.output.iter().map(|c| Column::untyped(&c.name)).collect()
+                } else {
+                    columns.iter().map(|c| Column::untyped(&c.value)).collect()
+                };
+                let schema = TableSchema {
+                    name: view_name.clone(),
+                    columns: cols,
+                    kind: RelationKind::View {
+                        definition: query.to_string(),
+                        materialized: *materialized,
+                    },
+                };
+                if *or_replace {
+                    self.catalog.add_or_replace(schema);
+                } else {
+                    self.catalog.add(schema)?;
+                }
+                Ok(None)
+            }
+            Statement::CreateTable { name, columns, query, or_replace, .. } => {
+                let table_name = name.base_name().to_string();
+                let cols: Vec<Column> = if let Some(query) = query {
+                    // CTAS: column set comes from the bound query.
+                    let bound = Binder::new(&self.catalog).bind(query)?;
+                    bound.output.iter().map(|c| Column::untyped(&c.name)).collect()
+                } else {
+                    columns
+                        .iter()
+                        .map(|c| Column::new(c.name.value.clone(), c.data_type.to_string()))
+                        .collect()
+                };
+                let schema = TableSchema::base_table(table_name, cols);
+                if *or_replace {
+                    self.catalog.add_or_replace(schema);
+                } else {
+                    self.catalog.add(schema)?;
+                }
+                Ok(None)
+            }
+            Statement::Insert { table, source, .. } => {
+                // Validate the target exists and the source binds.
+                let name = table.base_name();
+                if !self.catalog.contains(name) {
+                    return Err(DbError::UndefinedTable(name.to_string()));
+                }
+                let bound = Binder::new(&self.catalog).bind(source)?;
+                Ok(Some(bound))
+            }
+            Statement::Update { table, assignments, .. } => {
+                let name = table.base_name();
+                let Some(schema) = self.catalog.get(name) else {
+                    return Err(DbError::UndefinedTable(name.to_string()));
+                };
+                // Every SET target must be a column of the table.
+                for assignment in assignments {
+                    if !schema.has_column(&assignment.column.value) {
+                        return Err(DbError::UndefinedColumn {
+                            column: assignment.column.value.clone(),
+                            relation: Some(name.to_string()),
+                        });
+                    }
+                }
+                let query = stmt.update_as_query().expect("update synthesises a query");
+                Ok(Some(Binder::new(&self.catalog).bind(&query)?))
+            }
+            Statement::Delete { table, alias, using, selection } => {
+                let name = table.base_name();
+                if !self.catalog.contains(name) {
+                    return Err(DbError::UndefinedTable(name.to_string()));
+                }
+                // Validate the predicate by binding a probe SELECT over the
+                // target and USING relations.
+                use lineagex_sqlparse::ast::{
+                    Expr, Literal, Select, SelectItem, TableFactor, TableWithJoins,
+                };
+                let mut from = vec![TableWithJoins {
+                    relation: TableFactor::Table { name: table.clone(), alias: alias.clone() },
+                    joins: Vec::new(),
+                }];
+                from.extend(using.iter().cloned());
+                let probe = lineagex_sqlparse::ast::Query::from_select(Select {
+                    distinct: None,
+                    projection: vec![SelectItem::UnnamedExpr(Expr::Literal(Literal::Number(
+                        "1".into(),
+                    )))],
+                    from,
+                    selection: selection.clone(),
+                    group_by: Vec::new(),
+                    having: None,
+                });
+                Binder::new(&self.catalog).bind(&probe)?;
+                Ok(None)
+            }
+            Statement::Drop { names, if_exists, object_type } => {
+                for name in names {
+                    let base = name.base_name();
+                    let existing = self.catalog.get(base);
+                    match (existing, if_exists) {
+                        (None, false) => {
+                            return Err(DbError::UndefinedTable(base.to_string()))
+                        }
+                        (None, true) => continue,
+                        (Some(schema), _) => {
+                            let is_view = schema.is_view();
+                            let want_view = !matches!(object_type, ObjectType::Table);
+                            if is_view != want_view {
+                                return Err(DbError::Unsupported(format!(
+                                    "\"{base}\" is not a {}",
+                                    if want_view { "view" } else { "table" }
+                                )));
+                            }
+                            self.catalog.remove(base);
+                        }
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Execute a whole `;`-separated script, stopping at the first error.
+    pub fn execute_script(&mut self, sql: &str) -> Result<(), DbError> {
+        for stmt in parse_sql(sql)? {
+            self.execute_statement(&stmt)?;
+        }
+        Ok(())
+    }
+
+    /// The simulated `EXPLAIN`: bind a query and return its plan without
+    /// touching the catalog.
+    pub fn explain(&self, sql: &str) -> Result<BoundQuery, DbError> {
+        let stmt = parse_statement(sql)?;
+        let query = stmt
+            .defining_query()
+            .ok_or_else(|| DbError::Unsupported("EXPLAIN requires a query".into()))?;
+        Binder::new(&self.catalog).bind(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SourceColumn;
+
+    const BASE_DDL: &str = "
+        CREATE TABLE customers (cid int, name text, age int);
+        CREATE TABLE orders (oid int, cid int, amount numeric);
+        CREATE TABLE web (cid int, date date, page text, reg boolean);
+    ";
+
+    #[test]
+    fn create_view_registers_schema() {
+        let mut db = SimulatedDatabase::from_ddl(BASE_DDL).unwrap();
+        db.execute("CREATE VIEW adults AS SELECT cid, name FROM customers WHERE age > 17")
+            .unwrap();
+        let v = db.catalog().get("adults").unwrap();
+        assert!(v.is_view());
+        assert_eq!(v.column_names().collect::<Vec<_>>(), vec!["cid", "name"]);
+    }
+
+    #[test]
+    fn create_view_with_missing_dependency_fails_like_postgres() {
+        let mut db = SimulatedDatabase::from_ddl(BASE_DDL).unwrap();
+        let err = db
+            .execute("CREATE VIEW info AS SELECT wcid FROM webinfo")
+            .unwrap_err();
+        assert_eq!(err, DbError::UndefinedTable("webinfo".into()));
+    }
+
+    #[test]
+    fn views_stack_on_views() {
+        let mut db = SimulatedDatabase::from_ddl(BASE_DDL).unwrap();
+        db.execute_script(
+            "CREATE VIEW v1 AS SELECT cid AS id FROM customers;
+             CREATE VIEW v2 AS SELECT id FROM v1;",
+        )
+        .unwrap();
+        let bound = db.explain("SELECT id FROM v2").unwrap();
+        // Views are opaque: the direct source is v2 itself.
+        assert_eq!(
+            bound.output[0].sources.iter().next().unwrap(),
+            &SourceColumn::new("v2", "id")
+        );
+    }
+
+    #[test]
+    fn explicit_view_columns_rename_output() {
+        let mut db = SimulatedDatabase::from_ddl(BASE_DDL).unwrap();
+        db.execute("CREATE VIEW v(a, b) AS SELECT cid, name FROM customers").unwrap();
+        let v = db.catalog().get("v").unwrap();
+        assert_eq!(v.column_names().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn view_column_mismatch_errors() {
+        let mut db = SimulatedDatabase::from_ddl(BASE_DDL).unwrap();
+        let err =
+            db.execute("CREATE VIEW v(a) AS SELECT cid, name FROM customers").unwrap_err();
+        assert!(matches!(err, DbError::ViewColumnCountMismatch { declared: 1, actual: 2, .. }));
+    }
+
+    #[test]
+    fn duplicate_view_errors_unless_or_replace() {
+        let mut db = SimulatedDatabase::from_ddl(BASE_DDL).unwrap();
+        db.execute("CREATE VIEW v AS SELECT cid FROM customers").unwrap();
+        assert!(matches!(
+            db.execute("CREATE VIEW v AS SELECT name FROM customers"),
+            Err(DbError::DuplicateTable(_))
+        ));
+        db.execute("CREATE OR REPLACE VIEW v AS SELECT name FROM customers").unwrap();
+        assert_eq!(db.catalog().get("v").unwrap().columns[0].name, "name");
+    }
+
+    #[test]
+    fn ctas_derives_columns() {
+        let mut db = SimulatedDatabase::from_ddl(BASE_DDL).unwrap();
+        db.execute("CREATE TABLE t2 AS SELECT cid, name AS nm FROM customers").unwrap();
+        let t = db.catalog().get("t2").unwrap();
+        assert!(!t.is_view());
+        assert_eq!(t.column_names().collect::<Vec<_>>(), vec!["cid", "nm"]);
+    }
+
+    #[test]
+    fn insert_validates_target_and_source() {
+        let mut db = SimulatedDatabase::from_ddl(BASE_DDL).unwrap();
+        assert!(matches!(
+            db.execute("INSERT INTO missing SELECT cid FROM customers"),
+            Err(DbError::UndefinedTable(_))
+        ));
+        assert!(db.execute("INSERT INTO orders (cid) SELECT cid FROM customers").is_ok());
+    }
+
+    #[test]
+    fn drop_semantics() {
+        let mut db = SimulatedDatabase::from_ddl(BASE_DDL).unwrap();
+        db.execute("CREATE VIEW v AS SELECT cid FROM customers").unwrap();
+        // Wrong object type.
+        assert!(db.execute("DROP TABLE v").is_err());
+        db.execute("DROP VIEW v").unwrap();
+        assert!(!db.catalog().contains("v"));
+        // IF EXISTS tolerates missing.
+        db.execute("DROP VIEW IF EXISTS v").unwrap();
+        assert!(matches!(db.execute("DROP VIEW v"), Err(DbError::UndefinedTable(_))));
+    }
+
+    #[test]
+    fn explain_returns_plan_without_mutation() {
+        let db = SimulatedDatabase::from_ddl(BASE_DDL).unwrap();
+        let bound = db
+            .explain("SELECT name FROM customers c JOIN orders o ON c.cid = o.cid")
+            .unwrap();
+        assert!(bound.plan.to_string().contains("Join"));
+        assert_eq!(bound.tables.len(), 2);
+    }
+
+    #[test]
+    fn explain_create_view_binds_defining_query() {
+        let db = SimulatedDatabase::from_ddl(BASE_DDL).unwrap();
+        let bound =
+            db.explain("CREATE VIEW v AS SELECT page FROM web").unwrap();
+        assert_eq!(bound.output[0].name, "page");
+    }
+
+    #[test]
+    fn script_stops_at_first_error() {
+        let mut db = SimulatedDatabase::from_ddl(BASE_DDL).unwrap();
+        let err = db
+            .execute_script(
+                "CREATE VIEW ok AS SELECT cid FROM customers;
+                 CREATE VIEW bad AS SELECT x FROM nope;
+                 CREATE VIEW never AS SELECT cid FROM customers;",
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::UndefinedTable(_)));
+        assert!(db.catalog().contains("ok"));
+        assert!(!db.catalog().contains("never"));
+    }
+}

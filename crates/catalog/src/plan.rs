@@ -1,0 +1,394 @@
+//! Bound logical plans — the output of the binder and the payload of the
+//! simulated `EXPLAIN`.
+
+use serde::Serialize;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A fully-resolved reference to a column of a catalog relation (or of
+/// another query's output, when binding against the Query Dictionary).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct SourceColumn {
+    /// The owning relation's name.
+    pub table: String,
+    /// The column name within that relation.
+    pub column: String,
+}
+
+impl SourceColumn {
+    /// Build a source column reference.
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        SourceColumn { table: table.into(), column: column.into() }
+    }
+}
+
+impl fmt::Display for SourceColumn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// One output column of a plan node: its name plus every source column that
+/// contributes to its value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PlanColumn {
+    /// Output column name.
+    pub name: String,
+    /// Contributing source columns (composed through intermediate results).
+    pub sources: BTreeSet<SourceColumn>,
+}
+
+impl PlanColumn {
+    /// A column fed by exactly one source.
+    pub fn direct(name: impl Into<String>, source: SourceColumn) -> Self {
+        PlanColumn { name: name.into(), sources: BTreeSet::from([source]) }
+    }
+
+    /// A column with an arbitrary source set (possibly empty, e.g. literal
+    /// projections).
+    pub fn computed(name: impl Into<String>, sources: BTreeSet<SourceColumn>) -> Self {
+        PlanColumn { name: name.into(), sources }
+    }
+}
+
+/// A node of the bound logical plan tree.
+///
+/// The shape intentionally mirrors what `EXPLAIN` prints for the covered
+/// SQL subset: scans at the leaves, joins above them, then filter,
+/// aggregate, projection, set operations, sort, and limit.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum PlanNode {
+    /// A scan of a catalog relation (base table or view).
+    Scan {
+        /// Catalog relation name.
+        relation: String,
+        /// The binding name in the query (alias or relation name).
+        binding: String,
+        /// Output columns (one per relation column).
+        output: Vec<PlanColumn>,
+    },
+    /// A derived input: CTE or subquery in `FROM`, kept for display.
+    SubqueryScan {
+        /// The binding name (alias / CTE name).
+        binding: String,
+        /// The bound subquery plan.
+        input: Box<PlanNode>,
+        /// Output columns (renamed through the alias, sources composed).
+        output: Vec<PlanColumn>,
+    },
+    /// A binary join.
+    Join {
+        /// Join kind, e.g. `"Inner"`, `"Left"`, `"Cross"`.
+        kind: &'static str,
+        /// Source columns referenced by the join condition.
+        condition_refs: BTreeSet<SourceColumn>,
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// Concatenated output columns.
+        output: Vec<PlanColumn>,
+    },
+    /// A `WHERE` filter; output equals the input's.
+    Filter {
+        /// Source columns referenced by the predicate.
+        predicate_refs: BTreeSet<SourceColumn>,
+        /// Input plan.
+        input: Box<PlanNode>,
+    },
+    /// Grouping/having; output equals the projection above it (the binder
+    /// attaches aggregate refs here and projects on top).
+    Aggregate {
+        /// Source columns referenced by `GROUP BY` and `HAVING`.
+        refs: BTreeSet<SourceColumn>,
+        /// Input plan.
+        input: Box<PlanNode>,
+    },
+    /// The projection computing the query's output columns.
+    Project {
+        /// Output columns with composed sources.
+        output: Vec<PlanColumn>,
+        /// Extra referenced source columns attributable to this block
+        /// (scalar-subquery references, etc.).
+        referenced: BTreeSet<SourceColumn>,
+        /// Input plan; `None` for `FROM`-less selects.
+        input: Option<Box<PlanNode>>,
+    },
+    /// A set operation.
+    SetOp {
+        /// `UNION` / `INTERSECT` / `EXCEPT`.
+        op: &'static str,
+        /// Bag semantics (`ALL`) if true.
+        all: bool,
+        /// Left branch.
+        left: Box<PlanNode>,
+        /// Right branch.
+        right: Box<PlanNode>,
+        /// Positionally-merged output columns.
+        output: Vec<PlanColumn>,
+    },
+    /// `ORDER BY`; output equals the input's.
+    Sort {
+        /// Source columns referenced by the sort keys.
+        refs: BTreeSet<SourceColumn>,
+        /// Input plan.
+        input: Box<PlanNode>,
+    },
+    /// `LIMIT`/`OFFSET`; output equals the input's.
+    Limit {
+        /// Input plan.
+        input: Box<PlanNode>,
+    },
+    /// `VALUES` rows; columns are anonymous with no sources.
+    Values {
+        /// Output columns (named `column1..columnN`).
+        output: Vec<PlanColumn>,
+    },
+}
+
+impl PlanNode {
+    /// The node's output columns.
+    pub fn output(&self) -> &[PlanColumn] {
+        match self {
+            PlanNode::Scan { output, .. }
+            | PlanNode::SubqueryScan { output, .. }
+            | PlanNode::Join { output, .. }
+            | PlanNode::Project { output, .. }
+            | PlanNode::SetOp { output, .. }
+            | PlanNode::Values { output } => output,
+            PlanNode::Filter { input, .. }
+            | PlanNode::Aggregate { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Limit { input } => input.output(),
+        }
+    }
+
+    /// All catalog relations scanned anywhere in the tree.
+    pub fn scanned_relations(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_scans(&mut out);
+        out
+    }
+
+    fn collect_scans(&self, out: &mut BTreeSet<String>) {
+        match self {
+            PlanNode::Scan { relation, .. } => {
+                out.insert(relation.clone());
+            }
+            PlanNode::SubqueryScan { input, .. }
+            | PlanNode::Filter { input, .. }
+            | PlanNode::Aggregate { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Limit { input } => input.collect_scans(out),
+            PlanNode::Join { left, right, .. } | PlanNode::SetOp { left, right, .. } => {
+                left.collect_scans(out);
+                right.collect_scans(out);
+            }
+            PlanNode::Project { input, .. } => {
+                if let Some(input) = input {
+                    input.collect_scans(out);
+                }
+            }
+            PlanNode::Values { .. } => {}
+        }
+    }
+
+    /// All source columns referenced by predicates/conditions in the tree
+    /// (joins, filters, aggregates, sorts, and projection-level refs).
+    pub fn referenced_columns(&self) -> BTreeSet<SourceColumn> {
+        let mut out = BTreeSet::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs(&self, out: &mut BTreeSet<SourceColumn>) {
+        match self {
+            PlanNode::Scan { .. } | PlanNode::Values { .. } => {}
+            PlanNode::SubqueryScan { input, .. } | PlanNode::Limit { input } => {
+                input.collect_refs(out)
+            }
+            PlanNode::Join { condition_refs, left, right, .. } => {
+                out.extend(condition_refs.iter().cloned());
+                left.collect_refs(out);
+                right.collect_refs(out);
+            }
+            PlanNode::Filter { predicate_refs, input } => {
+                out.extend(predicate_refs.iter().cloned());
+                input.collect_refs(out);
+            }
+            PlanNode::Aggregate { refs, input } | PlanNode::Sort { refs, input } => {
+                out.extend(refs.iter().cloned());
+                input.collect_refs(out);
+            }
+            PlanNode::Project { referenced, input, .. } => {
+                out.extend(referenced.iter().cloned());
+                if let Some(input) = input {
+                    input.collect_refs(out);
+                }
+            }
+            PlanNode::SetOp { left, right, .. } => {
+                left.collect_refs(out);
+                right.collect_refs(out);
+            }
+        }
+    }
+
+    fn fmt_tree(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        let arrow = if indent == 0 { "" } else { "->  " };
+        match self {
+            PlanNode::Scan { relation, binding, output } => {
+                writeln!(
+                    f,
+                    "{pad}{arrow}Seq Scan on {relation} {binding}  (columns={})",
+                    output.len()
+                )
+            }
+            PlanNode::SubqueryScan { binding, input, output } => {
+                writeln!(f, "{pad}{arrow}Subquery Scan on {binding}  (columns={})", output.len())?;
+                input.fmt_tree(f, indent + 1)
+            }
+            PlanNode::Join { kind, condition_refs, left, right, .. } => {
+                let cond: Vec<String> = condition_refs.iter().map(|c| c.to_string()).collect();
+                writeln!(f, "{pad}{arrow}{kind} Join  (cond: {})", cond.join(", "))?;
+                left.fmt_tree(f, indent + 1)?;
+                right.fmt_tree(f, indent + 1)
+            }
+            PlanNode::Filter { predicate_refs, input } => {
+                let refs: Vec<String> = predicate_refs.iter().map(|c| c.to_string()).collect();
+                writeln!(f, "{pad}{arrow}Filter  (refs: {})", refs.join(", "))?;
+                input.fmt_tree(f, indent + 1)
+            }
+            PlanNode::Aggregate { refs, input } => {
+                let refs: Vec<String> = refs.iter().map(|c| c.to_string()).collect();
+                writeln!(f, "{pad}{arrow}Aggregate  (keys: {})", refs.join(", "))?;
+                input.fmt_tree(f, indent + 1)
+            }
+            PlanNode::Project { output, input, .. } => {
+                let cols: Vec<&str> = output.iter().map(|c| c.name.as_str()).collect();
+                writeln!(f, "{pad}{arrow}Project  ({})", cols.join(", "))?;
+                if let Some(input) = input {
+                    input.fmt_tree(f, indent + 1)?;
+                }
+                Ok(())
+            }
+            PlanNode::SetOp { op, all, left, right, .. } => {
+                writeln!(f, "{pad}{arrow}{op}{}", if *all { " ALL" } else { "" })?;
+                left.fmt_tree(f, indent + 1)?;
+                right.fmt_tree(f, indent + 1)
+            }
+            PlanNode::Sort { refs, input } => {
+                let refs: Vec<String> = refs.iter().map(|c| c.to_string()).collect();
+                writeln!(f, "{pad}{arrow}Sort  (keys: {})", refs.join(", "))?;
+                input.fmt_tree(f, indent + 1)
+            }
+            PlanNode::Limit { input } => {
+                writeln!(f, "{pad}{arrow}Limit")?;
+                input.fmt_tree(f, indent + 1)
+            }
+            PlanNode::Values { output } => {
+                writeln!(f, "{pad}{arrow}Values Scan  (columns={})", output.len())
+            }
+        }
+    }
+}
+
+impl fmt::Display for PlanNode {
+    /// Renders an `EXPLAIN`-style indented tree.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_tree(f, 0)
+    }
+}
+
+/// The result of binding one query: the plan plus the aggregates the
+/// lineage layer consumes.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BoundQuery {
+    /// The bound plan tree (what `EXPLAIN` would show).
+    pub plan: PlanNode,
+    /// The query's output columns with composed sources.
+    pub output: Vec<PlanColumn>,
+    /// Every catalog relation scanned.
+    pub tables: BTreeSet<String>,
+    /// Every source column referenced by predicates and clauses.
+    pub referenced: BTreeSet<SourceColumn>,
+}
+
+impl BoundQuery {
+    /// Assemble the aggregate view over a finished plan.
+    pub fn from_plan(plan: PlanNode) -> Self {
+        let output = plan.output().to_vec();
+        let tables = plan.scanned_relations();
+        let referenced = plan.referenced_columns();
+        BoundQuery { plan, output, tables, referenced }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(rel: &str, cols: &[&str]) -> PlanNode {
+        PlanNode::Scan {
+            relation: rel.to_string(),
+            binding: rel.to_string(),
+            output: cols
+                .iter()
+                .map(|c| PlanColumn::direct(*c, SourceColumn::new(rel, *c)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn output_passes_through_filters() {
+        let plan = PlanNode::Limit {
+            input: Box::new(PlanNode::Filter {
+                predicate_refs: BTreeSet::from([SourceColumn::new("t", "a")]),
+                input: Box::new(scan("t", &["a", "b"])),
+            }),
+        };
+        assert_eq!(plan.output().len(), 2);
+        assert_eq!(plan.output()[1].name, "b");
+    }
+
+    #[test]
+    fn collects_scans_and_refs() {
+        let plan = PlanNode::Join {
+            kind: "Inner",
+            condition_refs: BTreeSet::from([
+                SourceColumn::new("t", "id"),
+                SourceColumn::new("u", "id"),
+            ]),
+            left: Box::new(scan("t", &["id"])),
+            right: Box::new(scan("u", &["id"])),
+            output: vec![],
+        };
+        assert_eq!(plan.scanned_relations(), BTreeSet::from(["t".into(), "u".into()]));
+        assert_eq!(plan.referenced_columns().len(), 2);
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let plan = PlanNode::Project {
+            output: vec![PlanColumn::direct("a", SourceColumn::new("t", "a"))],
+            referenced: BTreeSet::new(),
+            input: Some(Box::new(scan("t", &["a"]))),
+        };
+        let text = plan.to_string();
+        assert!(text.contains("Project"), "{text}");
+        assert!(text.contains("Seq Scan on t"), "{text}");
+    }
+
+    #[test]
+    fn bound_query_aggregates() {
+        let plan = PlanNode::Project {
+            output: vec![PlanColumn::direct("a", SourceColumn::new("t", "a"))],
+            referenced: BTreeSet::from([SourceColumn::new("t", "b")]),
+            input: Some(Box::new(scan("t", &["a", "b"]))),
+        };
+        let bound = BoundQuery::from_plan(plan);
+        assert_eq!(bound.output.len(), 1);
+        assert!(bound.tables.contains("t"));
+        assert!(bound.referenced.contains(&SourceColumn::new("t", "b")));
+    }
+}

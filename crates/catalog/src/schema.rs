@@ -1,0 +1,123 @@
+//! Relation schemas: columns, base tables, and views.
+
+use serde::Serialize;
+
+/// One column of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Column {
+    /// Column name (lower case, as normalised by the parser).
+    pub name: String,
+    /// Declared or inferred SQL type (informational only).
+    pub data_type: String,
+}
+
+impl Column {
+    /// A column with a name and type.
+    pub fn new(name: impl Into<String>, data_type: impl Into<String>) -> Self {
+        Column { name: name.into(), data_type: data_type.into() }
+    }
+
+    /// A column of unknown type (used for view outputs and inferred
+    /// external tables).
+    pub fn untyped(name: impl Into<String>) -> Self {
+        Column { name: name.into(), data_type: "unknown".into() }
+    }
+}
+
+/// Whether a catalog relation is a base table or a derived view.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum RelationKind {
+    /// A base table created with `CREATE TABLE`.
+    BaseTable,
+    /// A view; the defining SQL is kept for re-binding and display.
+    View {
+        /// The `CREATE VIEW` query text.
+        definition: String,
+        /// Materialised view flag.
+        materialized: bool,
+    },
+}
+
+/// The schema of one catalog relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TableSchema {
+    /// Relation name (lower case; schema qualifiers stripped to base name).
+    pub name: String,
+    /// Ordered columns.
+    pub columns: Vec<Column>,
+    /// Table or view.
+    pub kind: RelationKind,
+}
+
+impl TableSchema {
+    /// A base table schema.
+    pub fn base_table(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        TableSchema { name: name.into(), columns, kind: RelationKind::BaseTable }
+    }
+
+    /// A view schema with its definition text.
+    pub fn view(name: impl Into<String>, columns: Vec<Column>, definition: String) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns,
+            kind: RelationKind::View { definition, materialized: false },
+        }
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|c| c.name.as_str())
+    }
+
+    /// Position of `name` among the columns, if present.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Whether the relation has a column called `name`.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.column_index(name).is_some()
+    }
+
+    /// Whether this relation is a view.
+    pub fn is_view(&self) -> bool {
+        matches!(self.kind, RelationKind::View { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customers() -> TableSchema {
+        TableSchema::base_table(
+            "customers",
+            vec![
+                Column::new("cid", "integer"),
+                Column::new("name", "text"),
+                Column::new("age", "integer"),
+            ],
+        )
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = customers();
+        assert_eq!(t.column_index("name"), Some(1));
+        assert!(t.has_column("age"));
+        assert!(!t.has_column("salary"));
+        assert_eq!(t.column_names().collect::<Vec<_>>(), vec!["cid", "name", "age"]);
+    }
+
+    #[test]
+    fn view_kind() {
+        let v = TableSchema::view(
+            "info",
+            vec![Column::untyped("name")],
+            "SELECT name FROM customers".into(),
+        );
+        assert!(v.is_view());
+        assert!(!customers().is_view());
+        assert_eq!(v.columns[0].data_type, "unknown");
+    }
+}

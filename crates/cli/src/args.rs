@@ -1,0 +1,281 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use lineagex_core::AmbiguityPolicy;
+
+/// The usage banner.
+pub const USAGE: &str = "\
+usage:
+  lineagex extract  <queries.sql> [--ddl <schema.sql>] [--json <out>] [--dot <out>]
+                    [--html <out>] [--mermaid <out>] [--trace] [--ambiguity all|first|error]
+                    [--no-auto-inference]
+  lineagex impact   <table.column> <queries.sql> [--ddl <schema.sql>]
+  lineagex path     <from.column> <to.column> <queries.sql> [--ddl <schema.sql>]
+  lineagex explain  <queries.sql> --ddl <schema.sql>
+  lineagex compare  <queries.sql> [--ddl <schema.sql>]";
+
+/// Options shared by every subcommand.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommonOptions {
+    /// Path to a DDL file providing base-table schemas.
+    pub ddl: Option<String>,
+    /// Ambiguity policy (default: attribute-all).
+    pub ambiguity: AmbiguityPolicy,
+    /// Disable the auto-inference stack.
+    pub no_auto_inference: bool,
+    /// Record traversal traces.
+    pub trace: bool,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `extract` with optional artefact outputs.
+    Extract {
+        /// The SQL file to analyse.
+        file: String,
+        /// `--json` output path.
+        json: Option<String>,
+        /// `--dot` output path.
+        dot: Option<String>,
+        /// `--html` output path.
+        html: Option<String>,
+        /// `--mermaid` output path.
+        mermaid: Option<String>,
+        /// Shared options.
+        common: CommonOptions,
+    },
+    /// `impact <table.column>`.
+    Impact {
+        /// The origin column as `table.column`.
+        column: (String, String),
+        /// The SQL file.
+        file: String,
+        /// Shared options.
+        common: CommonOptions,
+    },
+    /// `path <from> <to>`.
+    Path {
+        /// Origin column.
+        from: (String, String),
+        /// Target column.
+        to: (String, String),
+        /// The SQL file.
+        file: String,
+        /// Shared options.
+        common: CommonOptions,
+    },
+    /// `explain` through the simulated database.
+    Explain {
+        /// The SQL file.
+        file: String,
+        /// Shared options (requires `--ddl`).
+        common: CommonOptions,
+    },
+    /// `compare` against the SQLLineage-like baseline.
+    Compare {
+        /// The SQL file.
+        file: String,
+        /// Shared options.
+        common: CommonOptions,
+    },
+}
+
+impl Command {
+    /// Parse an argument vector (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Command, String> {
+        let mut positional: Vec<String> = Vec::new();
+        let mut common = CommonOptions::default();
+        let mut json = None;
+        let mut dot = None;
+        let mut html = None;
+        let mut mermaid = None;
+
+        let mut iter = argv.iter().peekable();
+        let Some(sub) = iter.next() else {
+            return Err("a subcommand is required".into());
+        };
+
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--ddl" => common.ddl = Some(take_value(&mut iter, "--ddl")?),
+                "--json" => json = Some(take_value(&mut iter, "--json")?),
+                "--dot" => dot = Some(take_value(&mut iter, "--dot")?),
+                "--html" => html = Some(take_value(&mut iter, "--html")?),
+                "--mermaid" => mermaid = Some(take_value(&mut iter, "--mermaid")?),
+                "--trace" => common.trace = true,
+                "--no-auto-inference" => common.no_auto_inference = true,
+                "--ambiguity" => {
+                    common.ambiguity = match take_value(&mut iter, "--ambiguity")?.as_str() {
+                        "all" => AmbiguityPolicy::AttributeAll,
+                        "first" => AmbiguityPolicy::FirstMatch,
+                        "error" => AmbiguityPolicy::Error,
+                        other => {
+                            return Err(format!(
+                                "invalid --ambiguity value {other:?} (use all|first|error)"
+                            ))
+                        }
+                    };
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag {flag}"));
+                }
+                _ => positional.push(arg.clone()),
+            }
+        }
+
+        match sub.as_str() {
+            "extract" => {
+                let [file] = take_positional::<1>(positional, "extract <queries.sql>")?;
+                Ok(Command::Extract { file, json, dot, html, mermaid, common })
+            }
+            "impact" => {
+                let [column, file] =
+                    take_positional::<2>(positional, "impact <table.column> <queries.sql>")?;
+                Ok(Command::Impact { column: parse_column(&column)?, file, common })
+            }
+            "path" => {
+                let [from, to, file] = take_positional::<3>(
+                    positional,
+                    "path <from.column> <to.column> <queries.sql>",
+                )?;
+                Ok(Command::Path {
+                    from: parse_column(&from)?,
+                    to: parse_column(&to)?,
+                    file,
+                    common,
+                })
+            }
+            "explain" => {
+                let [file] = take_positional::<1>(positional, "explain <queries.sql>")?;
+                if common.ddl.is_none() {
+                    return Err("explain requires --ddl <schema.sql>".into());
+                }
+                Ok(Command::Explain { file, common })
+            }
+            "compare" => {
+                let [file] = take_positional::<1>(positional, "compare <queries.sql>")?;
+                Ok(Command::Compare { file, common })
+            }
+            other => Err(format!("unknown command {other:?}")),
+        }
+    }
+}
+
+fn take_value(
+    iter: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+    flag: &str,
+) -> Result<String, String> {
+    iter.next().cloned().ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn take_positional<const N: usize>(
+    positional: Vec<String>,
+    shape: &str,
+) -> Result<[String; N], String> {
+    positional
+        .try_into()
+        .map_err(|got: Vec<String>| format!("expected {shape}, got {} argument(s)", got.len()))
+}
+
+/// Split `table.column` (the column part may not contain further dots).
+pub fn parse_column(spec: &str) -> Result<(String, String), String> {
+    match spec.rsplit_once('.') {
+        Some((table, column)) if !table.is_empty() && !column.is_empty() => {
+            Ok((table.to_lowercase(), column.to_lowercase()))
+        }
+        _ => Err(format!("expected <table.column>, got {spec:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, String> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Command::parse(&argv)
+    }
+
+    #[test]
+    fn parses_extract_with_outputs() {
+        let cmd = parse(&[
+            "extract", "q.sql", "--ddl", "s.sql", "--json", "o.json", "--html", "o.html",
+            "--trace",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Extract { file, json, dot, html, mermaid, common } => {
+                assert_eq!(file, "q.sql");
+                assert!(mermaid.is_none());
+                assert_eq!(json.as_deref(), Some("o.json"));
+                assert!(dot.is_none());
+                assert_eq!(html.as_deref(), Some("o.html"));
+                assert_eq!(common.ddl.as_deref(), Some("s.sql"));
+                assert!(common.trace);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_impact() {
+        let cmd = parse(&["impact", "web.page", "q.sql"]).unwrap();
+        match cmd {
+            Command::Impact { column, file, .. } => {
+                assert_eq!(column, ("web".to_string(), "page".to_string()));
+                assert_eq!(file, "q.sql");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_path() {
+        let cmd = parse(&["path", "web.page", "info.wreg", "q.sql"]).unwrap();
+        assert!(matches!(cmd, Command::Path { .. }));
+    }
+
+    #[test]
+    fn ambiguity_values() {
+        for (value, expected) in [
+            ("all", AmbiguityPolicy::AttributeAll),
+            ("first", AmbiguityPolicy::FirstMatch),
+            ("error", AmbiguityPolicy::Error),
+        ] {
+            let cmd = parse(&["extract", "q.sql", "--ambiguity", value]).unwrap();
+            match cmd {
+                Command::Extract { common, .. } => assert_eq!(common.ambiguity, expected),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(parse(&["extract", "q.sql", "--ambiguity", "maybe"]).is_err());
+    }
+
+    #[test]
+    fn explain_requires_ddl() {
+        assert!(parse(&["explain", "q.sql"]).is_err());
+        assert!(parse(&["explain", "q.sql", "--ddl", "s.sql"]).is_ok());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["extract"]).is_err());
+        assert!(parse(&["extract", "a.sql", "b.sql"]).is_err());
+        assert!(parse(&["extract", "q.sql", "--bogus"]).is_err());
+        assert!(parse(&["extract", "q.sql", "--json"]).is_err());
+        assert!(parse(&["impact", "nodot", "q.sql"]).is_err());
+    }
+
+    #[test]
+    fn column_spec_parsing() {
+        assert_eq!(parse_column("Web.Page").unwrap(), ("web".into(), "page".into()));
+        assert_eq!(
+            parse_column("schema.table.col").unwrap(),
+            ("schema.table".into(), "col".into())
+        );
+        assert!(parse_column("nodot").is_err());
+        assert!(parse_column(".x").is_err());
+        assert!(parse_column("x.").is_err());
+    }
+}

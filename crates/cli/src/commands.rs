@@ -1,0 +1,302 @@
+//! Command execution.
+
+use crate::args::{Command, CommonOptions};
+use lineagex_baseline::metrics::{graph_contribute_edges, score_edges};
+use lineagex_baseline::SqlLineageLike;
+use lineagex_catalog::{Catalog, SimulatedDatabase};
+use lineagex_core::{
+    path_between, LineageResult, LineageX, SourceColumn,
+};
+use lineagex_viz::{to_dot, to_html, to_mermaid, to_output_json};
+use std::io::Write;
+
+type CmdResult = Result<(), String>;
+
+/// Execute a parsed command, writing human-readable output to `out`.
+pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
+    match command {
+        Command::Extract { file, json, dot, html, mermaid, common } => {
+            let result = run_extraction(file, common)?;
+            summarize(&result, out)?;
+            if let Some(path) = json {
+                write_file(path, &to_output_json(&result.graph))?;
+                wln(out, &format!("wrote {path}"))?;
+            }
+            if let Some(path) = dot {
+                write_file(path, &to_dot(&result.graph))?;
+                wln(out, &format!("wrote {path}"))?;
+            }
+            if let Some(path) = html {
+                write_file(path, &to_html(&result.graph))?;
+                wln(out, &format!("wrote {path}"))?;
+            }
+            if let Some(path) = mermaid {
+                write_file(path, &to_mermaid(&result.graph))?;
+                wln(out, &format!("wrote {path}"))?;
+            }
+            if common.trace {
+                for (id, trace) in &result.traces {
+                    wln(out, &format!("\ntrace of {id}:\n{trace}"))?;
+                }
+            }
+            Ok(())
+        }
+        Command::Impact { column, file, common } => {
+            let result = run_extraction(file, common)?;
+            let origin = SourceColumn::new(&column.0, &column.1);
+            if !result.graph.has_column(&origin) {
+                return Err(format!("column {origin} does not exist in the lineage graph"));
+            }
+            let report = lineagex_core::impact_of(&result.graph, &origin);
+            wln(out, &format!("impact of {origin}: {} column(s)", report.impacted.len()))?;
+            for (table, cols) in report.by_table() {
+                let rendered: Vec<String> = cols
+                    .iter()
+                    .map(|c| format!("{} ({:?}, {} hop(s))", c.column.column, c.kind, c.distance))
+                    .collect();
+                wln(out, &format!("  {table}: {}", rendered.join(", ")))?;
+            }
+            Ok(())
+        }
+        Command::Path { from, to, file, common } => {
+            let result = run_extraction(file, common)?;
+            let from = SourceColumn::new(&from.0, &from.1);
+            let to = SourceColumn::new(&to.0, &to.1);
+            match path_between(&result.graph, &from, &to) {
+                Some(path) => {
+                    wln(out, &format!("{from}"))?;
+                    for (col, kind) in path {
+                        wln(out, &format!("  -> {col} ({kind:?})"))?;
+                    }
+                    Ok(())
+                }
+                None => Err(format!("{to} is not downstream of {from}")),
+            }
+        }
+        Command::Explain { file, common } => {
+            let sql = read_file(file)?;
+            let ddl = read_file(common.ddl.as_ref().expect("validated by parser"))?;
+            let catalog = Catalog::from_ddl(&ddl).map_err(|e| e.to_string())?;
+            let db = SimulatedDatabase::with_catalog(catalog);
+            let statements =
+                lineagex_sqlparse::parse_sql(&sql).map_err(|e| e.to_string())?;
+            let mut db = db;
+            for stmt in &statements {
+                if stmt.defining_query().is_none() && stmt.update_as_query().is_none() {
+                    continue;
+                }
+                wln(out, &format!("-- {stmt}"))?;
+                let bound = db.explain(&stmt.to_string()).map_err(|e| e.to_string())?;
+                wln(out, &bound.plan.to_string())?;
+                // Create views so later statements can reference them.
+                db.execute_statement(stmt).map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
+        Command::Compare { file, common } => {
+            let sql = read_file(file)?;
+            let ours = run_extraction_sql(&sql, common)?;
+            let ours_edges = graph_contribute_edges(&ours.graph);
+            let baseline =
+                SqlLineageLike::new().extract(&sql).map_err(|e| e.to_string())?;
+            let base_edges = graph_contribute_edges(&baseline);
+            // Without independent ground truth, report mutual agreement:
+            // edges only we find, only the baseline finds, and shared.
+            let shared = ours_edges.intersection(&base_edges).count();
+            wln(out, "contribute-edge comparison (LineageX vs SQLLineage-like):")?;
+            wln(out, &format!("  LineageX edges : {}", ours_edges.len()))?;
+            wln(out, &format!("  baseline edges : {}", base_edges.len()))?;
+            wln(out, &format!("  shared         : {shared}"))?;
+            let agreement = score_edges(&base_edges, &ours_edges);
+            wln(
+                out,
+                &format!(
+                    "  baseline vs LineageX-as-reference: precision {:.1}% recall {:.1}%",
+                    100.0 * agreement.precision(),
+                    100.0 * agreement.recall()
+                ),
+            )?;
+            for edge in ours_edges.difference(&base_edges).take(10) {
+                wln(out, &format!("  only LineageX: {} -> {}", edge.0, edge.1))?;
+            }
+            for edge in base_edges.difference(&ours_edges).take(10) {
+                wln(out, &format!("  only baseline: {} -> {}", edge.0, edge.1))?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn run_extraction(file: &str, common: &CommonOptions) -> Result<LineageResult, String> {
+    let sql = read_file(file)?;
+    run_extraction_sql(&sql, common)
+}
+
+fn run_extraction_sql(sql: &str, common: &CommonOptions) -> Result<LineageResult, String> {
+    let mut builder = LineageX::new().ambiguity(common.ambiguity);
+    if let Some(ddl_path) = &common.ddl {
+        let ddl = read_file(ddl_path)?;
+        builder = builder.with_ddl(&ddl).map_err(|e| e.to_string())?;
+    }
+    if common.trace {
+        builder = builder.trace();
+    }
+    if common.no_auto_inference {
+        builder = builder.without_auto_inference();
+    }
+    builder.run(sql).map_err(|e| e.to_string())
+}
+
+fn summarize(result: &LineageResult, out: &mut dyn Write) -> CmdResult {
+    wln(out, &format!("queries processed : {}", result.graph.queries.len()))?;
+    wln(out, &format!("processing order  : {:?}", result.graph.order))?;
+    if !result.deferrals.is_empty() {
+        wln(out, &format!("stack deferrals   : {:?}", result.deferrals))?;
+    }
+    wln(out, &format!("relations in graph: {}", result.graph.nodes.len()))?;
+    wln(out, &format!("column nodes      : {}", result.graph.column_count()))?;
+    wln(out, &format!("column edges      : {}", result.graph.all_edges().len()))?;
+    let mut warning_count = result.warnings.len();
+    for q in result.graph.queries.values() {
+        warning_count += q.warnings.len();
+    }
+    wln(out, &format!("warnings          : {warning_count}"))?;
+    for q in result.graph.queries.values() {
+        for w in &q.warnings {
+            wln(out, &format!("  [{}] {w:?}", q.id))?;
+        }
+    }
+    Ok(())
+}
+
+fn wln(out: &mut dyn Write, line: &str) -> CmdResult {
+    writeln!(out, "{line}").map_err(|e| e.to_string())
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn write_file(path: &str, content: &str) -> CmdResult {
+    std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Command;
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("lineagex_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const LOG: &str = "
+        CREATE TABLE web (cid int, page text, reg boolean);
+        CREATE VIEW v AS SELECT page AS p FROM web WHERE reg;
+    ";
+
+    fn execute_to_string(command: &Command) -> (CmdResult, String) {
+        let mut out = Vec::new();
+        let result = execute(command, &mut out);
+        (result, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn extract_summarizes() {
+        let file = write_temp("extract.sql", LOG);
+        let cmd = Command::parse(&["extract".to_string(), file]).unwrap();
+        let (result, text) = execute_to_string(&cmd);
+        result.unwrap();
+        assert!(text.contains("queries processed : 1"), "{text}");
+        assert!(text.contains("column edges"), "{text}");
+    }
+
+    #[test]
+    fn extract_writes_artifacts() {
+        let file = write_temp("artifacts.sql", LOG);
+        let json = write_temp("artifacts.json", "");
+        let cmd = Command::parse(&[
+            "extract".to_string(),
+            file,
+            "--json".to_string(),
+            json.clone(),
+        ])
+        .unwrap();
+        execute_to_string(&cmd).0.unwrap();
+        let written = std::fs::read_to_string(&json).unwrap();
+        assert!(written.contains("\"queries\""));
+    }
+
+    #[test]
+    fn impact_reports_downstream() {
+        let file = write_temp("impact.sql", LOG);
+        let cmd =
+            Command::parse(&["impact".to_string(), "web.page".to_string(), file]).unwrap();
+        let (result, text) = execute_to_string(&cmd);
+        result.unwrap();
+        assert!(text.contains("v: p"), "{text}");
+    }
+
+    #[test]
+    fn impact_unknown_column_errors() {
+        let file = write_temp("impact_bad.sql", LOG);
+        let cmd =
+            Command::parse(&["impact".to_string(), "web.ghost".to_string(), file]).unwrap();
+        let (result, _) = execute_to_string(&cmd);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn path_prints_hops() {
+        let file = write_temp("path.sql", LOG);
+        let cmd = Command::parse(&[
+            "path".to_string(),
+            "web.page".to_string(),
+            "v.p".to_string(),
+            file,
+        ])
+        .unwrap();
+        let (result, text) = execute_to_string(&cmd);
+        result.unwrap();
+        assert!(text.contains("-> v.p"), "{text}");
+    }
+
+    #[test]
+    fn explain_prints_plans() {
+        let ddl = write_temp("schema.sql", "CREATE TABLE web (cid int, page text);");
+        let queries = write_temp("explain.sql", "CREATE VIEW v AS SELECT page FROM web;");
+        let cmd = Command::parse(&[
+            "explain".to_string(),
+            queries,
+            "--ddl".to_string(),
+            ddl,
+        ])
+        .unwrap();
+        let (result, text) = execute_to_string(&cmd);
+        result.unwrap();
+        assert!(text.contains("Seq Scan on web"), "{text}");
+    }
+
+    #[test]
+    fn compare_reports_edge_sets() {
+        let file = write_temp("compare.sql", LOG);
+        let cmd = Command::parse(&["compare".to_string(), file]).unwrap();
+        let (result, text) = execute_to_string(&cmd);
+        result.unwrap();
+        assert!(text.contains("LineageX edges"), "{text}");
+    }
+
+    #[test]
+    fn trace_flag_prints_rules() {
+        let file = write_temp("trace.sql", LOG);
+        let cmd =
+            Command::parse(&["extract".to_string(), file, "--trace".to_string()]).unwrap();
+        let (result, text) = execute_to_string(&cmd);
+        result.unwrap();
+        assert!(text.contains("FROM (Table/View)"), "{text}");
+    }
+}

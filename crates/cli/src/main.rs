@@ -1,0 +1,7 @@
+//! The `lineagex` binary — see [`lineagex_cli`] for the command surface.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    std::process::exit(lineagex_cli::run(&argv, &mut stdout));
+}

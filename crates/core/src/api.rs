@@ -1,0 +1,169 @@
+//! The public entry points, mirroring the Python library's one-call API
+//! (`lineagex(sql=...)` in the paper's Fig. 5, step 1).
+
+use crate::error::LineageError;
+use crate::impact::{impact_of, ImpactReport};
+use crate::infer::{InferenceEngine, LineageResult};
+use crate::model::{LineageGraph, SourceColumn};
+use crate::options::{AmbiguityPolicy, ExtractOptions};
+use crate::preprocess::QueryDict;
+use crate::report::JsonReport;
+use lineagex_catalog::Catalog;
+
+/// Builder-style façade over the extraction pipeline.
+///
+/// ```
+/// use lineagex_core::LineageX;
+///
+/// let result = LineageX::new()
+///     .run("CREATE TABLE web (cid int, page text);
+///           CREATE VIEW v AS SELECT page FROM web WHERE cid > 0;")
+///     .unwrap();
+/// assert_eq!(result.graph.queries["v"].output_names(), vec!["page"]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LineageX {
+    catalog: Catalog,
+    options: ExtractOptions,
+}
+
+impl LineageX {
+    /// A fresh pipeline with an empty catalog and default options.
+    pub fn new() -> Self {
+        LineageX::default()
+    }
+
+    /// Provide base-table schemas as a catalog.
+    pub fn with_catalog(mut self, catalog: Catalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// Provide base-table schemas as a `CREATE TABLE` DDL script.
+    pub fn with_ddl(mut self, ddl: &str) -> Result<Self, LineageError> {
+        self.catalog =
+            Catalog::from_ddl(ddl).map_err(|e| LineageError::Parse(e.to_string()))?;
+        Ok(self)
+    }
+
+    /// Set the ambiguity policy.
+    pub fn ambiguity(mut self, policy: AmbiguityPolicy) -> Self {
+        self.options.ambiguity = policy;
+        self
+    }
+
+    /// Record per-query traversal traces (Fig. 4).
+    pub fn trace(mut self) -> Self {
+        self.options.trace = true;
+        self
+    }
+
+    /// Disable the table/view auto-inference stack (ablation mode: later
+    /// definitions no longer resolve earlier queries' `SELECT *`).
+    pub fn without_auto_inference(mut self) -> Self {
+        self.options.auto_inference = false;
+        self
+    }
+
+    /// Run over a `;`-separated SQL script (query-log style).
+    pub fn run(&self, sql: &str) -> Result<LineageResult, LineageError> {
+        let qd = QueryDict::from_sql(sql)?;
+        InferenceEngine::new(qd, self.catalog.clone(), self.options.clone()).run()
+    }
+
+    /// Run over named sources (dbt-style, file name = query id).
+    pub fn run_named<'a, I>(&self, sources: I) -> Result<LineageResult, LineageError>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let qd = QueryDict::from_named_sources(sources)?;
+        InferenceEngine::new(qd, self.catalog.clone(), self.options.clone()).run()
+    }
+}
+
+/// One-call convenience: extract a lineage graph from a SQL script with
+/// default options (the paper's `lineagex(sql)`).
+pub fn lineagex(sql: &str) -> Result<LineageResult, LineageError> {
+    LineageX::new().run(sql)
+}
+
+impl LineageResult {
+    /// The JSON document (the paper's `output.json`).
+    pub fn to_json_report(&self) -> JsonReport {
+        JsonReport::from_graph(&self.graph)
+    }
+
+    /// Impact analysis from one column (paper §IV, step 4).
+    pub fn impact_of(&self, table: &str, column: &str) -> ImpactReport {
+        impact_of(&self.graph, &SourceColumn::new(table, column))
+    }
+
+    /// Borrow the graph.
+    pub fn graph(&self) -> &LineageGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_call_api() {
+        let result = lineagex(
+            "CREATE TABLE t (a int, b int);
+             CREATE VIEW v AS SELECT a FROM t WHERE b = 1;",
+        )
+        .unwrap();
+        assert!(result.graph.queries.contains_key("v"));
+        let report = result.to_json_report();
+        assert_eq!(report.queries["v"].referenced, vec!["t.b"]);
+    }
+
+    #[test]
+    fn builder_with_ddl() {
+        let result = LineageX::new()
+            .with_ddl("CREATE TABLE web (cid int, page text)")
+            .unwrap()
+            .run("CREATE VIEW v AS SELECT * FROM web")
+            .unwrap();
+        assert_eq!(result.graph.queries["v"].output_names(), vec!["cid", "page"]);
+    }
+
+    #[test]
+    fn named_sources_api() {
+        let result = LineageX::new()
+            .run_named([
+                ("base_model", "SELECT w.page AS p FROM web w"),
+                ("derived_model", "SELECT p FROM base_model"),
+            ])
+            .unwrap();
+        assert!(result.graph.queries.contains_key("base_model"));
+        assert_eq!(
+            result.graph.queries["derived_model"].tables,
+            std::collections::BTreeSet::from(["base_model".to_string()])
+        );
+    }
+
+    #[test]
+    fn impact_from_result() {
+        let result = lineagex(
+            "CREATE TABLE t (a int);
+             CREATE VIEW v AS SELECT a AS x FROM t;",
+        )
+        .unwrap();
+        let report = result.impact_of("t", "a");
+        assert!(report.contains(&SourceColumn::new("v", "x")));
+    }
+
+    #[test]
+    fn strict_policy_errors_on_ambiguity() {
+        let sql = "CREATE TABLE a (k int); CREATE TABLE b (k int);
+                   CREATE VIEW v AS SELECT k FROM a, b;";
+        let err = LineageX::new().ambiguity(AmbiguityPolicy::Error).run(sql).unwrap_err();
+        assert!(matches!(err, LineageError::AmbiguousColumn { .. }));
+        // Default policy attributes to all.
+        let result = LineageX::new().run(sql).unwrap();
+        assert_eq!(result.graph.queries["v"].outputs[0].ccon.len(), 2);
+    }
+}

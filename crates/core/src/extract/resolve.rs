@@ -1,0 +1,242 @@
+//! Column and expression resolution with ambiguity handling and
+//! usage-based schema inference (the paper's second challenge).
+
+use super::{Extractor, Scope};
+use crate::error::LineageError;
+use crate::model::{SourceColumn, Warning};
+use crate::options::AmbiguityPolicy;
+use lineagex_sqlparse::ast::visit::{ColumnRef, ExprRefs};
+use lineagex_sqlparse::ast::Expr;
+use std::collections::BTreeSet;
+
+impl Extractor<'_> {
+    /// Resolve every column reference in an expression to source columns.
+    ///
+    /// Nested subqueries are extracted recursively with the current scope
+    /// as their outer scope; their output sources count as this
+    /// expression's sources (a scalar subquery's value flows into the
+    /// expression) while their internal predicate references accumulate
+    /// into this query's `C_ref` through the shared state.
+    pub(crate) fn resolve_expr(
+        &mut self,
+        expr: &Expr,
+        scope: Option<&Scope<'_>>,
+    ) -> Result<BTreeSet<SourceColumn>, LineageError> {
+        let refs = ExprRefs::from_expr(expr);
+        let mut out = BTreeSet::new();
+        for col in &refs.columns {
+            out.extend(self.resolve_column(col, scope)?);
+        }
+        for wildcard in &refs.qualified_wildcards {
+            out.extend(self.resolve_relation_wildcard(wildcard.base_name(), scope)?);
+        }
+        for subquery in &refs.subqueries {
+            let outputs = self.extract_query(subquery, scope)?;
+            for o in outputs {
+                out.extend(o.ccon);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Expand `t.*` (in a function argument) into the relation's sources.
+    pub(crate) fn resolve_relation_wildcard(
+        &mut self,
+        binding: &str,
+        scope: Option<&Scope<'_>>,
+    ) -> Result<BTreeSet<SourceColumn>, LineageError> {
+        let Some(rel) = scope.and_then(|s| s.find_binding(binding)) else {
+            return Err(LineageError::UnknownQualifier {
+                query: self.query_id.clone(),
+                qualifier: binding.to_string(),
+            });
+        };
+        if rel.open {
+            let name = rel.name.clone();
+            self.warnings.push(Warning::UnresolvedWildcard {
+                query: self.query_id.clone(),
+                relation: name.clone(),
+            });
+            let cols = self.inferred.get(&name).cloned().unwrap_or_default();
+            return Ok(cols.iter().map(|c| SourceColumn::new(&name, c)).collect());
+        }
+        let mut out = BTreeSet::new();
+        for col in &rel.columns {
+            out.extend(col.ccon.iter().cloned());
+        }
+        Ok(out)
+    }
+
+    /// Resolve one column reference through the scope chain, applying the
+    /// ambiguity policy and inferring columns of open relations.
+    pub(crate) fn resolve_column(
+        &mut self,
+        col: &ColumnRef<'_>,
+        scope: Option<&Scope<'_>>,
+    ) -> Result<BTreeSet<SourceColumn>, LineageError> {
+        let column = col.column.value.as_str();
+        match col.table() {
+            Some(qualifier) => self.resolve_qualified(qualifier, column, scope),
+            None => self.resolve_unqualified(column, scope),
+        }
+    }
+
+    fn resolve_qualified(
+        &mut self,
+        qualifier: &str,
+        column: &str,
+        scope: Option<&Scope<'_>>,
+    ) -> Result<BTreeSet<SourceColumn>, LineageError> {
+        let Some(rel) = scope.and_then(|s| s.find_binding(qualifier)) else {
+            return Err(LineageError::UnknownQualifier {
+                query: self.query_id.clone(),
+                qualifier: qualifier.to_string(),
+            });
+        };
+        if rel.open {
+            let name = rel.name.clone();
+            return Ok(self.infer_column(&name, column));
+        }
+        match rel.sources_of(column) {
+            Some(sources) => Ok(sources.clone()),
+            None => Err(LineageError::ColumnNotFound {
+                query: self.query_id.clone(),
+                column: column.to_string(),
+                relation: Some(qualifier.to_string()),
+            }),
+        }
+    }
+
+    fn resolve_unqualified(
+        &mut self,
+        column: &str,
+        scope: Option<&Scope<'_>>,
+    ) -> Result<BTreeSet<SourceColumn>, LineageError> {
+        let mut current = scope;
+        while let Some(s) = current {
+            // Matches: closed relations exposing the column, plus open
+            // relations whose inferred schema already contains it.
+            let mut matches: Vec<(String, BTreeSet<SourceColumn>)> = Vec::new();
+            let mut open_candidates: Vec<String> = Vec::new();
+            for rel in s.relations.iter() {
+                if rel.open {
+                    let inferred_has = self
+                        .inferred
+                        .get(&rel.name)
+                        .map(|cols| cols.contains(column))
+                        .unwrap_or(false);
+                    if inferred_has {
+                        matches.push((
+                            rel.binding.clone(),
+                            BTreeSet::from([SourceColumn::new(&rel.name, column)]),
+                        ));
+                    } else {
+                        open_candidates.push(rel.name.clone());
+                    }
+                } else if rel.has_column(column) {
+                    let sources = rel.sources_of(column).expect("checked").clone();
+                    matches.push((rel.binding.clone(), sources));
+                }
+            }
+            match matches.len() {
+                0 => {
+                    // No known owner; attribute to open relations if any,
+                    // per the ambiguity policy.
+                    match open_candidates.len() {
+                        0 => current = s.parent,
+                        1 => return Ok(self.infer_column(&open_candidates[0], column)),
+                        _ => return self.attribute_ambiguous_open(column, open_candidates),
+                    }
+                }
+                1 => return Ok(matches.pop().expect("one match").1),
+                _ => return self.attribute_ambiguous(column, matches),
+            }
+        }
+        Err(LineageError::ColumnNotFound {
+            query: self.query_id.clone(),
+            column: column.to_string(),
+            relation: None,
+        })
+    }
+
+    fn attribute_ambiguous(
+        &mut self,
+        column: &str,
+        matches: Vec<(String, BTreeSet<SourceColumn>)>,
+    ) -> Result<BTreeSet<SourceColumn>, LineageError> {
+        let candidates: Vec<String> = matches.iter().map(|(b, _)| b.clone()).collect();
+        match self.options.ambiguity {
+            AmbiguityPolicy::Error => Err(LineageError::AmbiguousColumn {
+                query: self.query_id.clone(),
+                column: column.to_string(),
+                candidates,
+            }),
+            AmbiguityPolicy::FirstMatch => {
+                self.warnings.push(Warning::AmbiguityResolved {
+                    query: self.query_id.clone(),
+                    column: column.to_string(),
+                    attributed_to: vec![candidates[0].clone()],
+                });
+                Ok(matches.into_iter().next().expect("non-empty").1)
+            }
+            AmbiguityPolicy::AttributeAll => {
+                self.warnings.push(Warning::AmbiguityResolved {
+                    query: self.query_id.clone(),
+                    column: column.to_string(),
+                    attributed_to: candidates,
+                });
+                let mut out = BTreeSet::new();
+                for (_, sources) in matches {
+                    out.extend(sources);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn attribute_ambiguous_open(
+        &mut self,
+        column: &str,
+        open_names: Vec<String>,
+    ) -> Result<BTreeSet<SourceColumn>, LineageError> {
+        match self.options.ambiguity {
+            AmbiguityPolicy::Error => Err(LineageError::AmbiguousColumn {
+                query: self.query_id.clone(),
+                column: column.to_string(),
+                candidates: open_names,
+            }),
+            AmbiguityPolicy::FirstMatch => {
+                self.warnings.push(Warning::AmbiguityResolved {
+                    query: self.query_id.clone(),
+                    column: column.to_string(),
+                    attributed_to: vec![open_names[0].clone()],
+                });
+                Ok(self.infer_column(&open_names[0], column))
+            }
+            AmbiguityPolicy::AttributeAll => {
+                self.warnings.push(Warning::AmbiguityResolved {
+                    query: self.query_id.clone(),
+                    column: column.to_string(),
+                    attributed_to: open_names.clone(),
+                });
+                let mut out = BTreeSet::new();
+                for name in open_names {
+                    out.extend(self.infer_column(&name, column));
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Record a usage-inferred column on an external relation.
+    pub(crate) fn infer_column(&mut self, relation: &str, column: &str) -> BTreeSet<SourceColumn> {
+        let set = self.inferred.entry(relation.to_string()).or_default();
+        if set.insert(column.to_string()) {
+            self.warnings.push(Warning::InferredColumn {
+                relation: relation.to_string(),
+                column: column.to_string(),
+            });
+        }
+        BTreeSet::from([SourceColumn::new(relation, column)])
+    }
+}

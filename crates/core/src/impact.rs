@@ -1,0 +1,308 @@
+//! Impact analysis over a lineage graph — the paper's demonstration
+//! scenario (§IV, steps 2–4): starting from a column about to change, find
+//! every downstream column that may be affected, hop by hop or as a full
+//! transitive closure.
+
+use crate::model::{EdgeKind, LineageGraph, SourceColumn};
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The result of an impact analysis from one starting column.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ImpactReport {
+    /// The column whose change is being analysed.
+    pub origin: SourceColumn,
+    /// Every transitively-impacted column, with the merged kind of all
+    /// shortest paths into it and its distance (in queries) from the
+    /// origin.
+    pub impacted: Vec<ImpactedColumn>,
+}
+
+/// One impacted downstream column.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ImpactedColumn {
+    /// The impacted column.
+    pub column: SourceColumn,
+    /// How the impact propagates into it, merged over every shortest
+    /// path (contribution + reference ⇒ [`EdgeKind::Both`]).
+    pub kind: EdgeKind,
+    /// Number of query hops from the origin (1 = direct downstream).
+    pub distance: usize,
+}
+
+impl ImpactReport {
+    /// Impacted columns grouped by table, in name order.
+    pub fn by_table(&self) -> BTreeMap<&str, Vec<&ImpactedColumn>> {
+        let mut out: BTreeMap<&str, Vec<&ImpactedColumn>> = BTreeMap::new();
+        for col in &self.impacted {
+            out.entry(col.column.table.as_str()).or_default().push(col);
+        }
+        out
+    }
+
+    /// Names of all impacted tables.
+    pub fn impacted_tables(&self) -> Vec<&str> {
+        self.by_table().keys().copied().collect()
+    }
+
+    /// Whether `column` is impacted.
+    pub fn contains(&self, column: &SourceColumn) -> bool {
+        self.impacted.iter().any(|c| &c.column == column)
+    }
+}
+
+/// Compute the downstream transitive closure of `origin` — the paper's
+/// impact analysis. A column is impacted if the origin (or an impacted
+/// column) contributes to it (`C_con`) or is referenced by its defining
+/// query (`C_ref`).
+pub fn impact_of(graph: &LineageGraph, origin: &SourceColumn) -> ImpactReport {
+    // Pass 1: BFS distances.
+    let mut distance: BTreeMap<SourceColumn, usize> = BTreeMap::new();
+    distance.insert(origin.clone(), 0);
+    let mut queue: VecDeque<(SourceColumn, usize)> = VecDeque::from([(origin.clone(), 0)]);
+    while let Some((current, dist)) = queue.pop_front() {
+        for (next, _) in graph.direct_downstream(&current) {
+            if !distance.contains_key(&next) {
+                distance.insert(next.clone(), dist + 1);
+                queue.push_back((next, dist + 1));
+            }
+        }
+    }
+
+    // Pass 2: merge the edge kinds of every predecessor on a shortest
+    // path, so a column reached at the same distance through both a
+    // contribution and a reference reports `Both` (the paper's orange).
+    let mut list: Vec<ImpactedColumn> = Vec::new();
+    for (column, dist) in &distance {
+        if column == origin {
+            continue;
+        }
+        let Some(query) = graph.queries.get(&column.table) else { continue };
+        let ccon =
+            query.outputs.iter().find(|o| o.name == column.column).map(|o| &o.ccon);
+        let mut contributes = false;
+        let mut references = false;
+        for (pred, pred_dist) in &distance {
+            if pred_dist + 1 != *dist {
+                continue;
+            }
+            if ccon.map(|c| c.contains(pred)).unwrap_or(false) {
+                contributes = true;
+            }
+            if query.cref.contains(pred) {
+                references = true;
+            }
+        }
+        let kind = match (contributes, references) {
+            (true, true) => EdgeKind::Both,
+            (true, false) => EdgeKind::Contribute,
+            _ => EdgeKind::Reference,
+        };
+        list.push(ImpactedColumn { column: column.clone(), kind, distance: *dist });
+    }
+    list.sort_by(|a, b| (a.distance, &a.column).cmp(&(b.distance, &b.column)));
+    ImpactReport { origin: origin.clone(), impacted: list }
+}
+
+/// Compute the upstream transitive closure: every source column that the
+/// given column ultimately depends on (contribution or reference).
+pub fn upstream_of(graph: &LineageGraph, target: &SourceColumn) -> BTreeSet<SourceColumn> {
+    let mut out: BTreeSet<SourceColumn> = BTreeSet::new();
+    let mut queue: VecDeque<SourceColumn> = VecDeque::from([target.clone()]);
+    let mut visited: BTreeSet<SourceColumn> = BTreeSet::from([target.clone()]);
+    while let Some(current) = queue.pop_front() {
+        for up in graph.direct_upstream(&current) {
+            if visited.insert(up.clone()) {
+                out.insert(up.clone());
+                queue.push_back(up);
+            }
+        }
+    }
+    out
+}
+
+/// Explain *why* a column is impacted: the shortest lineage path from
+/// `origin` to `target`, as a sequence of `(column, kind-of-edge-into-it)`
+/// hops. Returns `None` when `target` is not downstream of `origin`.
+///
+/// This answers the engineer's follow-up question in the paper's scenario:
+/// "through which views does `web.page` reach `info.wreg`?"
+pub fn path_between(
+    graph: &LineageGraph,
+    origin: &SourceColumn,
+    target: &SourceColumn,
+) -> Option<Vec<(SourceColumn, EdgeKind)>> {
+    let mut predecessor: BTreeMap<SourceColumn, (SourceColumn, EdgeKind)> = BTreeMap::new();
+    let mut queue: VecDeque<SourceColumn> = VecDeque::from([origin.clone()]);
+    let mut visited: BTreeSet<SourceColumn> = BTreeSet::from([origin.clone()]);
+    while let Some(current) = queue.pop_front() {
+        if &current == target {
+            let mut path = Vec::new();
+            let mut cursor = current;
+            while let Some((prev, kind)) = predecessor.get(&cursor) {
+                path.push((cursor.clone(), *kind));
+                cursor = prev.clone();
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for (next, kind) in graph.direct_downstream(&current) {
+            if visited.insert(next.clone()) {
+                predecessor.insert(next.clone(), (current.clone(), kind));
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// One `explore` click in the paper's UI (Fig. 5, step 3): the tables one
+/// hop upstream and downstream of `table`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ExploreStep {
+    /// The explored table.
+    pub table: String,
+    /// Tables it reads from.
+    pub upstream: Vec<String>,
+    /// Tables that read from it.
+    pub downstream: Vec<String>,
+}
+
+/// Explore one hop around `table`.
+pub fn explore(graph: &LineageGraph, table: &str) -> ExploreStep {
+    ExploreStep {
+        table: table.to_string(),
+        upstream: graph.upstream_tables(table).into_iter().map(String::from).collect(),
+        downstream: graph.downstream_tables(table).into_iter().map(String::from).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::InferenceEngine;
+    use crate::options::ExtractOptions;
+    use crate::preprocess::QueryDict;
+    use lineagex_catalog::Catalog;
+
+    fn chain_graph() -> LineageGraph {
+        // base.a -> mid.b (contribute), base.k referenced by mid;
+        // mid.b -> top.c (contribute).
+        let sql = "
+            CREATE TABLE base (a int, k int);
+            CREATE VIEW mid AS SELECT a AS b FROM base WHERE k > 0;
+            CREATE VIEW top AS SELECT b AS c FROM mid;
+        ";
+        let qd = QueryDict::from_sql(sql).unwrap();
+        InferenceEngine::new(qd, Catalog::new(), ExtractOptions::default())
+            .run()
+            .unwrap()
+            .graph
+    }
+
+    #[test]
+    fn impact_follows_contribution_chain() {
+        let graph = chain_graph();
+        let report = impact_of(&graph, &SourceColumn::new("base", "a"));
+        assert!(report.contains(&SourceColumn::new("mid", "b")));
+        assert!(report.contains(&SourceColumn::new("top", "c")));
+        let mid = report.impacted.iter().find(|c| c.column.table == "mid").unwrap();
+        assert_eq!(mid.distance, 1);
+        let top = report.impacted.iter().find(|c| c.column.table == "top").unwrap();
+        assert_eq!(top.distance, 2);
+    }
+
+    #[test]
+    fn impact_follows_references() {
+        let graph = chain_graph();
+        // base.k only appears in mid's WHERE — still impacts all of mid's
+        // outputs, and transitively top's.
+        let report = impact_of(&graph, &SourceColumn::new("base", "k"));
+        assert!(report.contains(&SourceColumn::new("mid", "b")));
+        assert!(report.contains(&SourceColumn::new("top", "c")));
+        let mid = report.impacted.iter().find(|c| c.column.table == "mid").unwrap();
+        assert_eq!(mid.kind, EdgeKind::Reference);
+    }
+
+    #[test]
+    fn impact_of_leaf_is_empty() {
+        let graph = chain_graph();
+        let report = impact_of(&graph, &SourceColumn::new("top", "c"));
+        assert!(report.impacted.is_empty());
+    }
+
+    #[test]
+    fn upstream_closure() {
+        let graph = chain_graph();
+        let up = upstream_of(&graph, &SourceColumn::new("top", "c"));
+        assert!(up.contains(&SourceColumn::new("mid", "b")));
+        assert!(up.contains(&SourceColumn::new("base", "a")));
+        assert!(up.contains(&SourceColumn::new("base", "k")));
+    }
+
+    #[test]
+    fn explore_reports_both_directions() {
+        let graph = chain_graph();
+        let step = explore(&graph, "mid");
+        assert_eq!(step.upstream, vec!["base"]);
+        assert_eq!(step.downstream, vec!["top"]);
+    }
+
+    #[test]
+    fn report_grouping() {
+        let graph = chain_graph();
+        let report = impact_of(&graph, &SourceColumn::new("base", "a"));
+        assert_eq!(report.impacted_tables(), vec!["mid", "top"]);
+        assert_eq!(report.by_table()["mid"].len(), 1);
+    }
+
+    #[test]
+    fn path_between_explains_impact() {
+        let graph = chain_graph();
+        let path = path_between(
+            &graph,
+            &SourceColumn::new("base", "a"),
+            &SourceColumn::new("top", "c"),
+        )
+        .expect("top.c is downstream of base.a");
+        assert_eq!(
+            path,
+            vec![
+                (SourceColumn::new("mid", "b"), EdgeKind::Contribute),
+                (SourceColumn::new("top", "c"), EdgeKind::Contribute),
+            ]
+        );
+    }
+
+    #[test]
+    fn path_between_mixes_edge_kinds() {
+        let graph = chain_graph();
+        let path = path_between(
+            &graph,
+            &SourceColumn::new("base", "k"),
+            &SourceColumn::new("top", "c"),
+        )
+        .unwrap();
+        // First hop is a reference (k only appears in mid's WHERE).
+        assert_eq!(path[0], (SourceColumn::new("mid", "b"), EdgeKind::Reference));
+    }
+
+    #[test]
+    fn path_between_none_when_unreachable() {
+        let graph = chain_graph();
+        assert!(path_between(
+            &graph,
+            &SourceColumn::new("top", "c"),
+            &SourceColumn::new("base", "a"),
+        )
+        .is_none());
+        // Trivial path to self is empty.
+        let path = path_between(
+            &graph,
+            &SourceColumn::new("base", "a"),
+            &SourceColumn::new("base", "a"),
+        )
+        .unwrap();
+        assert!(path.is_empty());
+    }
+}

@@ -1,0 +1,365 @@
+//! Table/View Auto-Inference (paper §III).
+//!
+//! Queries are processed in log order, but a query that scans a relation
+//! defined by a *later* (or otherwise unprocessed) Query-Dictionary entry
+//! cannot be resolved yet: its `SELECT *` cannot be expanded and its
+//! prefix-less columns cannot be attributed. The paper's answer is a LIFO
+//! deferral stack: the current traversal is pushed, the missing dependency
+//! is processed first, then the deferred query is popped and resumed.
+//!
+//! [`InferenceEngine::run`] implements exactly that protocol (the deferral
+//! log is exposed for inspection) with cycle detection on top. The result
+//! is order-independent: shuffling the input statements never changes the
+//! extracted lineage, which the property tests assert.
+
+use crate::error::LineageError;
+use crate::extract::{rename_outputs, Extractor};
+use crate::model::{
+    LineageGraph, Node, NodeKind, OutputColumn, QueryKind, QueryLineage, Warning,
+};
+use crate::options::ExtractOptions;
+use crate::preprocess::{QueryDict, QueryEntry};
+use crate::trace::TraceLog;
+use lineagex_catalog::Catalog;
+use lineagex_sqlparse::ast::Ident;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The outcome of a full extraction run.
+#[derive(Debug, Clone, Default)]
+pub struct LineageResult {
+    /// The combined lineage graph.
+    pub graph: LineageGraph,
+    /// Per-query traversal traces (only when tracing was enabled).
+    pub traces: BTreeMap<String, TraceLog>,
+    /// The deferral log: `(deferred query, missing dependency)` pairs in
+    /// the order the stack mechanism fired.
+    pub deferrals: Vec<(String, String)>,
+    /// Usage-inferred schemas of external tables.
+    pub inferred: BTreeMap<String, BTreeSet<String>>,
+    /// Preprocessing warnings (skipped statements).
+    pub warnings: Vec<Warning>,
+}
+
+/// Drives extraction over a whole Query Dictionary.
+pub struct InferenceEngine {
+    qd: QueryDict,
+    qd_ids: BTreeSet<String>,
+    catalog: Catalog,
+    options: ExtractOptions,
+    processed: BTreeMap<String, QueryLineage>,
+    order: Vec<String>,
+    inferred: BTreeMap<String, BTreeSet<String>>,
+    deferrals: Vec<(String, String)>,
+    traces: BTreeMap<String, TraceLog>,
+}
+
+impl InferenceEngine {
+    /// Create an engine over a dictionary, a user catalog, and options.
+    /// Schemas found as DDL in the log are merged into the catalog.
+    pub fn new(qd: QueryDict, user_catalog: Catalog, options: ExtractOptions) -> Self {
+        let mut catalog = user_catalog;
+        for schema in qd.ddl_catalog.relations() {
+            catalog.add_or_replace(schema.clone());
+        }
+        let qd_ids = qd.ids().map(String::from).collect();
+        InferenceEngine {
+            qd,
+            qd_ids,
+            catalog,
+            options,
+            processed: BTreeMap::new(),
+            order: Vec::new(),
+            inferred: BTreeMap::new(),
+            deferrals: Vec::new(),
+            traces: BTreeMap::new(),
+        }
+    }
+
+    /// Process every entry (deferring as needed) and assemble the graph.
+    pub fn run(mut self) -> Result<LineageResult, LineageError> {
+        let ids: Vec<String> = self.qd.ids().map(String::from).collect();
+        for id in &ids {
+            self.process(id)?;
+        }
+        Ok(self.assemble())
+    }
+
+    /// Process one entry with the paper's explicit LIFO stack: a query
+    /// whose extraction hits an unprocessed dependency stays on the stack
+    /// (deferred) while the dependency is pushed on top; once extracted,
+    /// the deferred query is popped back and resumed. Iterative, so even
+    /// pathologically deep view chains cannot overflow the call stack.
+    fn process(&mut self, root: &str) -> Result<(), LineageError> {
+        let mut stack: Vec<String> = vec![root.to_string()];
+        while let Some(id) = stack.last().cloned() {
+            if self.processed.contains_key(&id) {
+                stack.pop();
+                continue;
+            }
+            let entry = self.qd.get(&id).expect("id comes from the dictionary").clone();
+            match self.try_extract(&entry) {
+                Ok(lineage) => {
+                    self.processed.insert(id.clone(), lineage);
+                    self.order.push(id.clone());
+                    stack.pop();
+                }
+                Err(LineageError::MissingDependency { dependency, .. }) => {
+                    if let Some(pos) = stack.iter().position(|x| x == &dependency) {
+                        let mut path: Vec<String> = stack[pos..].to_vec();
+                        path.push(dependency);
+                        return Err(LineageError::DependencyCycle(path));
+                    }
+                    self.deferrals.push((id, dependency.clone()));
+                    stack.push(dependency);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(())
+    }
+
+    fn try_extract(&mut self, entry: &QueryEntry) -> Result<QueryLineage, LineageError> {
+        let mut extractor = Extractor::new(
+            entry.id.clone(),
+            &self.qd_ids,
+            &self.processed,
+            &self.catalog,
+            &self.options,
+            &mut self.inferred,
+        );
+        let outputs = extractor.extract(entry.query())?;
+        let trace = extractor.trace.take();
+        let cref = std::mem::take(&mut extractor.cref);
+        let tables = std::mem::take(&mut extractor.tables);
+        let warnings = std::mem::take(&mut extractor.warnings);
+        drop(extractor); // release &mut self.inferred before using self again
+        let outputs = self.apply_output_names(entry, outputs)?;
+        if let Some(trace) = trace {
+            self.traces.insert(entry.id.clone(), trace);
+        }
+        Ok(QueryLineage {
+            id: entry.id.clone(),
+            kind: entry.kind.clone(),
+            outputs,
+            cref,
+            tables,
+            warnings,
+        })
+    }
+
+    /// Rename outputs by the declared column list (`CREATE VIEW v(a, b)`,
+    /// `INSERT INTO t (a, b)`); an INSERT without a list takes the target
+    /// table's column names when the catalog knows them.
+    fn apply_output_names(
+        &self,
+        entry: &QueryEntry,
+        outputs: Vec<OutputColumn>,
+    ) -> Result<Vec<OutputColumn>, LineageError> {
+        if !entry.declared_columns.is_empty() {
+            let idents: Vec<Ident> =
+                entry.declared_columns.iter().map(Ident::new).collect();
+            return rename_outputs(outputs, &idents, &entry.id);
+        }
+        if matches!(entry.kind, QueryKind::Insert) {
+            let target = entry.id.split('#').next().unwrap_or(&entry.id);
+            if let Some(schema) = self.catalog.get(target) {
+                if schema.columns.len() == outputs.len() {
+                    let idents: Vec<Ident> =
+                        schema.columns.iter().map(|c| Ident::new(&c.name)).collect();
+                    return rename_outputs(outputs, &idents, &entry.id);
+                }
+            }
+        }
+        Ok(outputs)
+    }
+
+    fn assemble(self) -> LineageResult {
+        let mut graph = LineageGraph::default();
+
+        // Catalog relations become base-table / view nodes.
+        for schema in self.catalog.relations() {
+            let kind = if schema.is_view() { NodeKind::View } else { NodeKind::BaseTable };
+            graph.nodes.insert(
+                schema.name.clone(),
+                Node {
+                    name: schema.name.clone(),
+                    kind,
+                    columns: schema.column_names().map(String::from).collect(),
+                },
+            );
+        }
+        // Query results become view/table/query nodes (shadowing catalog
+        // entries of the same name — the QD definition is fresher).
+        for (id, lineage) in &self.processed {
+            let kind = match lineage.kind {
+                QueryKind::View { .. } => NodeKind::View,
+                QueryKind::TableAs | QueryKind::Insert | QueryKind::Update => NodeKind::Table,
+                QueryKind::Select => NodeKind::QueryResult,
+            };
+            let mut columns: Vec<String> =
+                lineage.outputs.iter().map(|o| o.name.clone()).collect();
+            // INSERT/UPDATE touch a subset of the target's columns; keep
+            // the full schema on the node when the catalog knows it.
+            if matches!(lineage.kind, QueryKind::Insert | QueryKind::Update) {
+                if let Some(existing) = graph.nodes.get(id.split('#').next().unwrap_or(id)) {
+                    let mut merged = existing.columns.clone();
+                    for c in columns {
+                        if !merged.contains(&c) {
+                            merged.push(c);
+                        }
+                    }
+                    columns = merged;
+                }
+            }
+            graph.nodes.insert(id.clone(), Node { name: id.clone(), kind, columns });
+        }
+        // Usage-inferred externals.
+        for (name, columns) in &self.inferred {
+            graph.nodes.entry(name.clone()).or_insert_with(|| Node {
+                name: name.clone(),
+                kind: NodeKind::External,
+                columns: columns.iter().cloned().collect(),
+            });
+        }
+
+        graph.queries = self.processed;
+        graph.order = self.order;
+
+        LineageResult {
+            graph,
+            traces: self.traces,
+            deferrals: self.deferrals,
+            inferred: self.inferred,
+            warnings: self.qd.warnings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceColumn;
+
+    fn run_sql(sql: &str) -> LineageResult {
+        let qd = QueryDict::from_sql(sql).unwrap();
+        InferenceEngine::new(qd, Catalog::new(), ExtractOptions::default()).run().unwrap()
+    }
+
+    #[test]
+    fn processes_in_dependency_order_with_stack() {
+        // v2 comes first in the log but depends on v1: the stack defers v2.
+        let result = run_sql(
+            "CREATE TABLE base (a int, b int);
+             CREATE VIEW v2 AS SELECT * FROM v1;
+             CREATE VIEW v1 AS SELECT a, b FROM base;",
+        );
+        assert_eq!(result.graph.order, vec!["v1", "v2"]);
+        assert_eq!(result.deferrals, vec![("v2".to_string(), "v1".to_string())]);
+        // SELECT * through the deferred dependency expands fully.
+        let v2 = &result.graph.queries["v2"];
+        assert_eq!(v2.output_names(), vec!["a", "b"]);
+        assert_eq!(
+            v2.outputs[0].ccon,
+            BTreeSet::from([SourceColumn::new("v1", "a")])
+        );
+    }
+
+    #[test]
+    fn deep_dependency_chain_defers_transitively() {
+        let result = run_sql(
+            "CREATE TABLE t (x int);
+             CREATE VIEW d AS SELECT * FROM c;
+             CREATE VIEW c AS SELECT * FROM b;
+             CREATE VIEW b AS SELECT * FROM a;
+             CREATE VIEW a AS SELECT x FROM t;",
+        );
+        assert_eq!(result.graph.order, vec!["a", "b", "c", "d"]);
+        assert_eq!(result.deferrals.len(), 3);
+        // LIFO: d deferred on c, then c on b, then b on a.
+        assert_eq!(result.deferrals[0].0, "d");
+        assert_eq!(result.deferrals[1].0, "c");
+        assert_eq!(result.deferrals[2].0, "b");
+        let d = &result.graph.queries["d"];
+        assert_eq!(d.output_names(), vec!["x"]);
+    }
+
+    #[test]
+    fn cycle_is_reported_with_path() {
+        let qd = QueryDict::from_sql(
+            "CREATE VIEW a AS SELECT * FROM b;
+             CREATE VIEW b AS SELECT * FROM a;",
+        )
+        .unwrap();
+        let err = InferenceEngine::new(qd, Catalog::new(), ExtractOptions::default())
+            .run()
+            .unwrap_err();
+        match err {
+            LineageError::DependencyCycle(path) => {
+                assert_eq!(path, vec!["a", "b", "a"]);
+            }
+            other => panic!("expected cycle, got {other}"),
+        }
+    }
+
+    #[test]
+    fn external_tables_are_inferred() {
+        let result = run_sql("CREATE VIEW v AS SELECT w.page FROM web w");
+        assert!(result.inferred["web"].contains("page"));
+        let node = &result.graph.nodes["web"];
+        assert_eq!(node.kind, NodeKind::External);
+        assert_eq!(node.columns, vec!["page"]);
+    }
+
+    #[test]
+    fn declared_view_columns_rename_outputs() {
+        let result = run_sql(
+            "CREATE TABLE t (a int);
+             CREATE VIEW v(renamed) AS SELECT a FROM t;",
+        );
+        assert_eq!(result.graph.queries["v"].output_names(), vec!["renamed"]);
+    }
+
+    #[test]
+    fn insert_takes_target_column_names() {
+        let result = run_sql(
+            "CREATE TABLE src (x int, y int);
+             CREATE TABLE dst (a int, b int);
+             INSERT INTO dst SELECT x, y FROM src;",
+        );
+        let ins = &result.graph.queries["dst"];
+        assert_eq!(ins.output_names(), vec!["a", "b"]);
+        assert_eq!(ins.outputs[0].ccon, BTreeSet::from([SourceColumn::new("src", "x")]));
+    }
+
+    #[test]
+    fn order_independence_of_input() {
+        let forward = run_sql(
+            "CREATE TABLE t (a int, b int);
+             CREATE VIEW v1 AS SELECT a FROM t;
+             CREATE VIEW v2 AS SELECT * FROM v1;",
+        );
+        let shuffled = run_sql(
+            "CREATE VIEW v2 AS SELECT * FROM v1;
+             CREATE VIEW v1 AS SELECT a FROM t;
+             CREATE TABLE t (a int, b int);",
+        );
+        assert_eq!(forward.graph.queries, shuffled.graph.queries);
+        assert_eq!(forward.graph.nodes, shuffled.graph.nodes);
+    }
+
+    #[test]
+    fn traces_recorded_when_enabled() {
+        let qd = QueryDict::from_sql(
+            "CREATE TABLE t (a int); CREATE VIEW v AS SELECT a FROM t WHERE a > 0",
+        )
+        .unwrap();
+        let result =
+            InferenceEngine::new(qd, Catalog::new(), ExtractOptions::new().with_trace())
+                .run()
+                .unwrap();
+        let trace = &result.traces["v"];
+        assert!(!trace.steps.is_empty());
+        let rendered = trace.to_string();
+        assert!(rendered.contains("FROM (Table/View)"), "{rendered}");
+    }
+}

@@ -1,0 +1,497 @@
+//! The lineage data model: per-query lineage, graph nodes, and edges.
+//!
+//! Terminology follows the paper (§II–III):
+//!
+//! * `C_con(c_out)` — input columns that *contribute* to an output column's
+//!   value ([`OutputColumn::ccon`]);
+//! * `C_ref(Q)` — query-level *referenced* columns: join predicates,
+//!   `WHERE`, `GROUP BY`, `HAVING`, `ORDER BY`, and every projection column
+//!   of set-operation branches ([`QueryLineage::cref`]);
+//! * `C_both` — columns in both sets ([`QueryLineage::cboth`]);
+//! * table lineage `T` — the relations a query scans
+//!   ([`QueryLineage::tables`]).
+
+pub use lineagex_catalog::SourceColumn;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How an input column participates in an output column's lineage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum EdgeKind {
+    /// The input directly contributes to the output's value (`C_con`).
+    Contribute,
+    /// The input is referenced by the defining query (`C_ref`), so changes
+    /// may alter which rows/values appear.
+    Reference,
+    /// Both contribute and reference (`C_both`, orange in the paper's UI).
+    Both,
+}
+
+/// One output column of a query with its contributing sources.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct OutputColumn {
+    /// The output column name.
+    pub name: String,
+    /// `C_con`: contributing input columns.
+    pub ccon: BTreeSet<SourceColumn>,
+}
+
+impl OutputColumn {
+    /// Build an output column.
+    pub fn new(name: impl Into<String>, ccon: BTreeSet<SourceColumn>) -> Self {
+        OutputColumn { name: name.into(), ccon }
+    }
+}
+
+/// What kind of statement produced a query's lineage entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum QueryKind {
+    /// `CREATE [MATERIALIZED] VIEW`.
+    View {
+        /// Materialised flag.
+        materialized: bool,
+    },
+    /// `CREATE TABLE ... AS`.
+    TableAs,
+    /// `INSERT INTO target ...`.
+    Insert,
+    /// `UPDATE target SET ...` (lineage of the updated columns).
+    Update,
+    /// A bare `SELECT` (anonymous query log entry).
+    Select,
+}
+
+/// Non-fatal findings recorded during extraction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum Warning {
+    /// A scanned relation is neither in the catalog nor in the Query
+    /// Dictionary; its schema is being inferred from usage.
+    UnknownRelation {
+        /// The query that scanned it.
+        query: String,
+        /// The relation name.
+        relation: String,
+    },
+    /// `*`/`t.*` over a schema-less relation cannot be fully expanded.
+    UnresolvedWildcard {
+        /// The query containing the wildcard.
+        query: String,
+        /// The schema-less relation.
+        relation: String,
+    },
+    /// An ambiguous unqualified column was attributed under a lenient
+    /// policy.
+    AmbiguityResolved {
+        /// The query containing the reference.
+        query: String,
+        /// The column name.
+        column: String,
+        /// The relations it was attributed to.
+        attributed_to: Vec<String>,
+    },
+    /// A column of a schema-less relation was inferred from usage.
+    InferredColumn {
+        /// The relation whose schema grew.
+        relation: String,
+        /// The inferred column.
+        column: String,
+    },
+    /// A statement was skipped (e.g. `DROP`).
+    SkippedStatement {
+        /// Description of what was skipped.
+        what: String,
+    },
+}
+
+/// The lineage extracted from a single query.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QueryLineage {
+    /// The query identifier (created relation name or generated id).
+    pub id: String,
+    /// Statement kind.
+    pub kind: QueryKind,
+    /// Output columns in projection order, with `C_con` sources.
+    pub outputs: Vec<OutputColumn>,
+    /// `C_ref`: query-level referenced columns.
+    pub cref: BTreeSet<SourceColumn>,
+    /// Table lineage `T`: the relations this query scans directly.
+    pub tables: BTreeSet<String>,
+    /// Non-fatal findings.
+    pub warnings: Vec<Warning>,
+}
+
+impl QueryLineage {
+    /// `C_both`: sources that both contribute to some output and are
+    /// referenced.
+    pub fn cboth(&self) -> BTreeSet<SourceColumn> {
+        let mut all_con: BTreeSet<&SourceColumn> = BTreeSet::new();
+        for out in &self.outputs {
+            all_con.extend(out.ccon.iter());
+        }
+        self.cref.iter().filter(|c| all_con.contains(c)).cloned().collect()
+    }
+
+    /// The full lineage of one output column per the paper's semantics:
+    /// `C(c_out) = C_con(c_out) ∪ C_ref(Q)`.
+    pub fn lineage_of(&self, output: &str) -> Option<BTreeSet<SourceColumn>> {
+        let col = self.outputs.iter().find(|o| o.name == output)?;
+        let mut all = col.ccon.clone();
+        all.extend(self.cref.iter().cloned());
+        Some(all)
+    }
+
+    /// Output column names in order.
+    pub fn output_names(&self) -> Vec<&str> {
+        self.outputs.iter().map(|o| o.name.as_str()).collect()
+    }
+}
+
+/// What a graph node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum NodeKind {
+    /// A catalog base table.
+    BaseTable,
+    /// A view defined by a Query-Dictionary entry.
+    View,
+    /// A table created by CTAS or written by INSERT.
+    Table,
+    /// An anonymous query-log result.
+    QueryResult,
+    /// An external relation whose schema was inferred from usage.
+    External,
+}
+
+/// One node of the lineage graph: a relation and its columns.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Node {
+    /// The relation name (or query id).
+    pub name: String,
+    /// The node kind.
+    pub kind: NodeKind,
+    /// Column names in order.
+    pub columns: Vec<String>,
+}
+
+/// A column-to-column lineage edge.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub struct Edge {
+    /// The upstream (source) column.
+    pub from: SourceColumn,
+    /// The downstream (derived) column.
+    pub to: SourceColumn,
+    /// Contribute / Reference / Both.
+    pub kind: EdgeKind,
+}
+
+/// The combined table- and column-level lineage graph over a set of
+/// queries, as visualised by the paper's UI (Fig. 2/5).
+#[derive(Debug, Clone, PartialEq, Serialize, Default)]
+pub struct LineageGraph {
+    /// Every relation node (base tables, views, query results, externals).
+    pub nodes: BTreeMap<String, Node>,
+    /// Per-query lineage keyed by query id.
+    pub queries: BTreeMap<String, QueryLineage>,
+    /// The order queries were successfully processed in (the output of the
+    /// table/view auto-inference stack).
+    pub order: Vec<String>,
+}
+
+impl LineageGraph {
+    /// Contribute-only edges (`C_con`), one per (source, output) pair.
+    pub fn contribute_edges(&self) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        for q in self.queries.values() {
+            for out in &q.outputs {
+                let to = SourceColumn::new(&q.id, &out.name);
+                for src in &out.ccon {
+                    edges.push(Edge { from: src.clone(), to: to.clone(), kind: EdgeKind::Contribute });
+                }
+            }
+        }
+        edges.sort();
+        edges
+    }
+
+    /// All edges with paper semantics: every referenced source points at
+    /// every output column of the referencing query; sources that also
+    /// contribute are marked [`EdgeKind::Both`].
+    pub fn all_edges(&self) -> Vec<Edge> {
+        let mut edges: BTreeMap<(SourceColumn, SourceColumn), EdgeKind> = BTreeMap::new();
+        for q in self.queries.values() {
+            for out in &q.outputs {
+                let to = SourceColumn::new(&q.id, &out.name);
+                for src in &out.ccon {
+                    edges.insert((src.clone(), to.clone()), EdgeKind::Contribute);
+                }
+            }
+            for src in &q.cref {
+                for out in &q.outputs {
+                    let to = SourceColumn::new(&q.id, &out.name);
+                    let key = (src.clone(), to);
+                    edges
+                        .entry(key)
+                        .and_modify(|k| {
+                            if *k == EdgeKind::Contribute {
+                                *k = EdgeKind::Both;
+                            }
+                        })
+                        .or_insert(EdgeKind::Reference);
+                }
+            }
+        }
+        edges
+            .into_iter()
+            .map(|((from, to), kind)| Edge { from, to, kind })
+            .collect()
+    }
+
+    /// Table-level edges: `(source relation, derived relation)` pairs.
+    pub fn table_edges(&self) -> Vec<(String, String)> {
+        let mut out = BTreeSet::new();
+        for q in self.queries.values() {
+            for t in &q.tables {
+                out.insert((t.clone(), q.id.clone()));
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Direct downstream columns of `column`, with edge kinds — what the
+    /// paper's UI highlights on hover (Fig. 5, step 3).
+    pub fn direct_downstream(&self, column: &SourceColumn) -> Vec<(SourceColumn, EdgeKind)> {
+        let mut out = Vec::new();
+        for q in self.queries.values() {
+            let referenced = q.cref.contains(column);
+            for o in &q.outputs {
+                let contributes = o.ccon.contains(column);
+                let kind = match (contributes, referenced) {
+                    (true, true) => EdgeKind::Both,
+                    (true, false) => EdgeKind::Contribute,
+                    (false, true) => EdgeKind::Reference,
+                    (false, false) => continue,
+                };
+                out.push((SourceColumn::new(&q.id, &o.name), kind));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Direct upstream columns of `column` (its `C_con ∪ C_ref`).
+    pub fn direct_upstream(&self, column: &SourceColumn) -> Vec<SourceColumn> {
+        let Some(q) = self.queries.get(&column.table) else { return Vec::new() };
+        q.lineage_of(&column.column).map(|s| s.into_iter().collect()).unwrap_or_default()
+    }
+
+    /// Relations directly downstream of `table` (one `explore` click in the
+    /// paper's UI).
+    pub fn downstream_tables(&self, table: &str) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .queries
+            .values()
+            .filter(|q| q.tables.contains(table))
+            .map(|q| q.id.as_str())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Relations directly upstream of `table`.
+    pub fn upstream_tables(&self, table: &str) -> Vec<&str> {
+        match self.queries.get(table) {
+            Some(q) => q.tables.iter().map(|s| s.as_str()).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether `column` exists as a node column in the graph.
+    pub fn has_column(&self, column: &SourceColumn) -> bool {
+        self.nodes
+            .get(&column.table)
+            .map(|n| n.columns.iter().any(|c| c == &column.column))
+            .unwrap_or(false)
+    }
+
+    /// Total number of column-level nodes.
+    pub fn column_count(&self) -> usize {
+        self.nodes.values().map(|n| n.columns.len()).sum()
+    }
+
+    /// Summary statistics of the graph (for reports and the CLI).
+    pub fn stats(&self) -> GraphStats {
+        let mut by_kind = BTreeMap::new();
+        for node in self.nodes.values() {
+            *by_kind.entry(format!("{:?}", node.kind)).or_insert(0usize) += 1;
+        }
+        let mut contribute = 0usize;
+        let mut reference = 0usize;
+        let mut both = 0usize;
+        for edge in self.all_edges() {
+            match edge.kind {
+                EdgeKind::Contribute => contribute += 1,
+                EdgeKind::Reference => reference += 1,
+                EdgeKind::Both => both += 1,
+            }
+        }
+        // Pipeline depth: longest chain of table-level edges.
+        let table_edges = self.table_edges();
+        let mut depth: BTreeMap<&str, usize> = BTreeMap::new();
+        // Iterate in processing order so upstream depths exist first.
+        for id in &self.order {
+            let d = table_edges
+                .iter()
+                .filter(|(_, to)| to == id)
+                .map(|(from, _)| depth.get(from.as_str()).copied().unwrap_or(0) + 1)
+                .max()
+                .unwrap_or(1);
+            depth.insert(id, d);
+        }
+        GraphStats {
+            relations: self.nodes.len(),
+            nodes_by_kind: by_kind,
+            columns: self.column_count(),
+            queries: self.queries.len(),
+            contribute_edges: contribute,
+            reference_edges: reference,
+            both_edges: both,
+            max_pipeline_depth: depth.values().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+/// Summary statistics of a lineage graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct GraphStats {
+    /// Total relation nodes.
+    pub relations: usize,
+    /// Node counts per kind (`BaseTable`, `View`, ...).
+    pub nodes_by_kind: BTreeMap<String, usize>,
+    /// Total column nodes.
+    pub columns: usize,
+    /// Queries with lineage records.
+    pub queries: usize,
+    /// `C_con`-only edges.
+    pub contribute_edges: usize,
+    /// `C_ref`-only edges.
+    pub reference_edges: usize,
+    /// `C_both` edges.
+    pub both_edges: usize,
+    /// Longest derivation chain (base table → ... → final view).
+    pub max_pipeline_depth: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> LineageGraph {
+        // web(page, cid) -> v(out) with page contributing and cid referenced.
+        let mut graph = LineageGraph::default();
+        graph.nodes.insert(
+            "web".into(),
+            Node {
+                name: "web".into(),
+                kind: NodeKind::BaseTable,
+                columns: vec!["page".into(), "cid".into()],
+            },
+        );
+        graph.nodes.insert(
+            "v".into(),
+            Node { name: "v".into(), kind: NodeKind::View, columns: vec!["out".into()] },
+        );
+        graph.queries.insert(
+            "v".into(),
+            QueryLineage {
+                id: "v".into(),
+                kind: QueryKind::View { materialized: false },
+                outputs: vec![OutputColumn::new(
+                    "out",
+                    BTreeSet::from([SourceColumn::new("web", "page")]),
+                )],
+                cref: BTreeSet::from([SourceColumn::new("web", "cid")]),
+                tables: BTreeSet::from(["web".into()]),
+                warnings: vec![],
+            },
+        );
+        graph.order.push("v".into());
+        graph
+    }
+
+    #[test]
+    fn lineage_of_unions_ccon_and_cref() {
+        let g = sample_graph();
+        let q = &g.queries["v"];
+        let lin = q.lineage_of("out").unwrap();
+        assert!(lin.contains(&SourceColumn::new("web", "page")));
+        assert!(lin.contains(&SourceColumn::new("web", "cid")));
+        assert!(q.lineage_of("nope").is_none());
+    }
+
+    #[test]
+    fn cboth_intersects() {
+        let mut g = sample_graph();
+        // Make page both contributed and referenced.
+        g.queries.get_mut("v").unwrap().cref.insert(SourceColumn::new("web", "page"));
+        let q = &g.queries["v"];
+        assert_eq!(q.cboth(), BTreeSet::from([SourceColumn::new("web", "page")]));
+    }
+
+    #[test]
+    fn edges_have_expected_kinds() {
+        let g = sample_graph();
+        let edges = g.all_edges();
+        assert_eq!(edges.len(), 2);
+        let page_edge =
+            edges.iter().find(|e| e.from == SourceColumn::new("web", "page")).unwrap();
+        assert_eq!(page_edge.kind, EdgeKind::Contribute);
+        let cid_edge = edges.iter().find(|e| e.from == SourceColumn::new("web", "cid")).unwrap();
+        assert_eq!(cid_edge.kind, EdgeKind::Reference);
+    }
+
+    #[test]
+    fn both_kind_when_contributed_and_referenced() {
+        let mut g = sample_graph();
+        g.queries.get_mut("v").unwrap().cref.insert(SourceColumn::new("web", "page"));
+        let edges = g.all_edges();
+        let page_edge =
+            edges.iter().find(|e| e.from == SourceColumn::new("web", "page")).unwrap();
+        assert_eq!(page_edge.kind, EdgeKind::Both);
+    }
+
+    #[test]
+    fn downstream_and_upstream_navigation() {
+        let g = sample_graph();
+        let down = g.direct_downstream(&SourceColumn::new("web", "page"));
+        assert_eq!(down, vec![(SourceColumn::new("v", "out"), EdgeKind::Contribute)]);
+        let up = g.direct_upstream(&SourceColumn::new("v", "out"));
+        assert_eq!(up.len(), 2);
+        assert_eq!(g.downstream_tables("web"), vec!["v"]);
+        assert_eq!(g.upstream_tables("v"), vec!["web"]);
+        assert!(g.upstream_tables("web").is_empty());
+    }
+
+    #[test]
+    fn table_edges_and_counts() {
+        let g = sample_graph();
+        assert_eq!(g.table_edges(), vec![("web".into(), "v".into())]);
+        assert_eq!(g.column_count(), 3);
+        assert!(g.has_column(&SourceColumn::new("web", "page")));
+        assert!(!g.has_column(&SourceColumn::new("web", "nope")));
+    }
+
+    #[test]
+    fn stats_summarise_the_graph() {
+        let g = sample_graph();
+        let stats = g.stats();
+        assert_eq!(stats.relations, 2);
+        assert_eq!(stats.columns, 3);
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.contribute_edges, 1);
+        assert_eq!(stats.reference_edges, 1);
+        assert_eq!(stats.both_edges, 0);
+        assert_eq!(stats.max_pipeline_depth, 1);
+        assert_eq!(stats.nodes_by_kind["BaseTable"], 1);
+        assert_eq!(stats.nodes_by_kind["View"], 1);
+    }
+}

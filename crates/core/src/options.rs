@@ -1,0 +1,86 @@
+//! Extraction configuration.
+
+/// How to handle an unqualified column that matches several relations in
+/// the same scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AmbiguityPolicy {
+    /// Attribute the reference to *every* matching relation — the paper's
+    /// conservative semantics ("any change may affect the output"), and the
+    /// default.
+    #[default]
+    AttributeAll,
+    /// Attribute to the first matching relation in FROM order.
+    FirstMatch,
+    /// Raise [`crate::LineageError::AmbiguousColumn`], like PostgreSQL.
+    Error,
+}
+
+/// Options controlling lineage extraction.
+#[derive(Debug, Clone)]
+pub struct ExtractOptions {
+    /// Ambiguity handling for unqualified columns.
+    pub ambiguity: AmbiguityPolicy,
+    /// Record a traversal trace (Fig. 4) for every query. Off by default;
+    /// costs a little memory per AST node visited.
+    pub trace: bool,
+    /// Table/View Auto-Inference (the paper's deferral stack). On by
+    /// default; turning it off makes unprocessed dictionary relations
+    /// behave like unknown externals — the ablation showing what the
+    /// stack mechanism buys (see the `ablation_stack` harness).
+    pub auto_inference: bool,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions { ambiguity: AmbiguityPolicy::default(), trace: false, auto_inference: true }
+    }
+}
+
+impl ExtractOptions {
+    /// Default options.
+    pub fn new() -> Self {
+        ExtractOptions::default()
+    }
+
+    /// Set the ambiguity policy.
+    pub fn with_ambiguity(mut self, policy: AmbiguityPolicy) -> Self {
+        self.ambiguity = policy;
+        self
+    }
+
+    /// Enable traversal tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Disable the auto-inference stack (ablation).
+    pub fn without_auto_inference(mut self) -> Self {
+        self.auto_inference = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_semantics() {
+        let opts = ExtractOptions::new();
+        assert_eq!(opts.ambiguity, AmbiguityPolicy::AttributeAll);
+        assert!(!opts.trace);
+        assert!(opts.auto_inference);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let opts = ExtractOptions::new()
+            .with_ambiguity(AmbiguityPolicy::Error)
+            .with_trace()
+            .without_auto_inference();
+        assert_eq!(opts.ambiguity, AmbiguityPolicy::Error);
+        assert!(opts.trace);
+        assert!(!opts.auto_inference);
+    }
+}

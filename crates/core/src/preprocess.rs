@@ -1,0 +1,314 @@
+//! The SQL Preprocessing Module (paper §III).
+//!
+//! Scans a query log and records the mapping from each query's identifier
+//! to its defining `SELECT` body, producing the **Query Dictionary** (QD):
+//!
+//! * `CREATE VIEW v AS ...` / `CREATE TABLE t AS ...` → identifier `v`/`t`;
+//! * `INSERT INTO t ...` → identifier `t` (suffixed `t#2`, `t#3`, ... for
+//!   repeat writers);
+//! * bare `SELECT` → a generated identifier `query_N` (the paper uses a
+//!   random id; we number deterministically for reproducibility), or the
+//!   source name when the log comes from named files (the paper's
+//!   dbt-style wrapper, footnote 1);
+//! * plain `CREATE TABLE` DDL carries no lineage but contributes schema,
+//!   collected into [`QueryDict::ddl_catalog`];
+//! * `DROP` statements are skipped with a warning.
+
+use crate::error::LineageError;
+use crate::model::{QueryKind, Warning};
+use lineagex_catalog::{Catalog, Column, TableSchema};
+use lineagex_sqlparse::ast::{Query, Statement};
+use lineagex_sqlparse::parse_sql;
+
+/// One entry of the Query Dictionary.
+#[derive(Debug, Clone)]
+pub struct QueryEntry {
+    /// The query identifier (relation name or generated id).
+    pub id: String,
+    /// Statement kind for the lineage record.
+    pub kind: QueryKind,
+    /// The full parsed statement.
+    pub statement: Statement,
+    /// The defining query: the `SELECT` body, or the synthesised
+    /// equivalent for `UPDATE` (see [`Statement::update_as_query`]).
+    pub query: Query,
+    /// Explicit output column names (`CREATE VIEW v(a, b)` / INSERT column
+    /// list), empty when none were written.
+    pub declared_columns: Vec<String>,
+}
+
+impl QueryEntry {
+    /// The defining query (the `SELECT` body).
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+}
+
+/// The Query Dictionary: ordered entries plus the schema contributed by
+/// plain DDL statements in the same log.
+#[derive(Debug, Clone, Default)]
+pub struct QueryDict {
+    entries: Vec<QueryEntry>,
+    /// Base-table schemas found in the log (plain `CREATE TABLE`).
+    pub ddl_catalog: Catalog,
+    /// Warnings produced during preprocessing (skipped statements).
+    pub warnings: Vec<Warning>,
+}
+
+impl QueryDict {
+    /// Build the dictionary from a `;`-separated SQL script.
+    pub fn from_sql(sql: &str) -> Result<Self, LineageError> {
+        let statements = parse_sql(sql)?;
+        Self::from_statements(statements.into_iter().map(|s| (None, s)))
+    }
+
+    /// Build the dictionary from named sources (dbt-style: one query per
+    /// file, the file name is the identifier for bare `SELECT`s).
+    pub fn from_named_sources<'a, I>(sources: I) -> Result<Self, LineageError>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let mut pairs = Vec::new();
+        for (name, sql) in sources {
+            for stmt in parse_sql(sql)? {
+                pairs.push((Some(name.to_string()), stmt));
+            }
+        }
+        Self::from_statements(pairs)
+    }
+
+    fn from_statements<I>(statements: I) -> Result<Self, LineageError>
+    where
+        I: IntoIterator<Item = (Option<String>, Statement)>,
+    {
+        let mut dict = QueryDict::default();
+        let mut anon_counter = 0usize;
+        for (source_name, stmt) in statements {
+            match stmt {
+                Statement::CreateView { ref name, ref columns, materialized, .. } => {
+                    let id = name.base_name().to_string();
+                    let declared = columns.iter().map(|c| c.value.clone()).collect();
+                    let query = stmt.defining_query().expect("view has a query").clone();
+                    dict.push(QueryEntry {
+                        id,
+                        kind: QueryKind::View { materialized },
+                        statement: stmt,
+                        query,
+                        declared_columns: declared,
+                    })?;
+                }
+                Statement::CreateTable { ref name, ref columns, query: Some(_), .. } => {
+                    let id = name.base_name().to_string();
+                    let declared = columns.iter().map(|c| c.name.value.clone()).collect();
+                    let query = stmt.defining_query().expect("CTAS has a query").clone();
+                    dict.push(QueryEntry {
+                        id,
+                        kind: QueryKind::TableAs,
+                        statement: stmt,
+                        query,
+                        declared_columns: declared,
+                    })?;
+                }
+                Statement::CreateTable { ref name, ref columns, query: None, .. } => {
+                    // Pure DDL: contributes schema, not lineage.
+                    let schema = TableSchema::base_table(
+                        name.base_name().to_string(),
+                        columns
+                            .iter()
+                            .map(|c| Column::new(c.name.value.clone(), c.data_type.to_string()))
+                            .collect(),
+                    );
+                    dict.ddl_catalog.add_or_replace(schema);
+                }
+                Statement::Insert { ref table, ref columns, .. } => {
+                    let base = table.base_name().to_string();
+                    let id = dict.unique_target_id(&base);
+                    let declared = columns.iter().map(|c| c.value.clone()).collect();
+                    let query = stmt.defining_query().expect("insert has a source").clone();
+                    dict.push(QueryEntry {
+                        id,
+                        kind: QueryKind::Insert,
+                        statement: stmt,
+                        query,
+                        declared_columns: declared,
+                    })?;
+                }
+                Statement::Update { ref table, .. } => {
+                    let base = table.base_name().to_string();
+                    let id = dict.unique_target_id(&base);
+                    let query = stmt.update_as_query().expect("update synthesises");
+                    dict.push(QueryEntry {
+                        id,
+                        kind: QueryKind::Update,
+                        statement: stmt,
+                        query,
+                        declared_columns: Vec::new(),
+                    })?;
+                }
+                Statement::Query(_) => {
+                    let id = match &source_name {
+                        Some(name) => name.clone(),
+                        None => {
+                            anon_counter += 1;
+                            format!("query_{anon_counter}")
+                        }
+                    };
+                    let query = stmt.defining_query().expect("bare query").clone();
+                    dict.push(QueryEntry {
+                        id,
+                        kind: QueryKind::Select,
+                        statement: stmt,
+                        query,
+                        declared_columns: Vec::new(),
+                    })?;
+                }
+                Statement::Drop { ref names, .. } => {
+                    let what = names
+                        .iter()
+                        .map(|n| n.base_name().to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    dict.warnings.push(Warning::SkippedStatement {
+                        what: format!("DROP {what}"),
+                    });
+                }
+                Statement::Delete { ref table, .. } => {
+                    // A DELETE creates no columns; only its target matters
+                    // for lineage, so it is recorded as skipped.
+                    dict.warnings.push(Warning::SkippedStatement {
+                        what: format!("DELETE FROM {}", table.base_name()),
+                    });
+                }
+            }
+        }
+        Ok(dict)
+    }
+
+    fn push(&mut self, entry: QueryEntry) -> Result<(), LineageError> {
+        if self.contains(&entry.id) {
+            return Err(LineageError::DuplicateQueryId(entry.id));
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    fn unique_target_id(&self, base: &str) -> String {
+        if !self.contains(base) {
+            return base.to_string();
+        }
+        let mut n = 2;
+        loop {
+            let candidate = format!("{base}#{n}");
+            if !self.contains(&candidate) {
+                return candidate;
+            }
+            n += 1;
+        }
+    }
+
+    /// Whether `id` names a dictionary entry.
+    pub fn contains(&self, id: &str) -> bool {
+        self.entries.iter().any(|e| e.id == id)
+    }
+
+    /// Look an entry up by id.
+    pub fn get(&self, id: &str) -> Option<&QueryEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Entries in log order.
+    pub fn entries(&self) -> &[QueryEntry] {
+        &self.entries
+    }
+
+    /// All identifiers in log order.
+    pub fn ids(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.id.as_str())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_views_by_created_name() {
+        let qd = QueryDict::from_sql(
+            "CREATE VIEW webinfo AS SELECT cid FROM web;
+             CREATE TABLE snap AS SELECT * FROM webinfo;",
+        )
+        .unwrap();
+        assert_eq!(qd.ids().collect::<Vec<_>>(), vec!["webinfo", "snap"]);
+        assert!(matches!(qd.get("webinfo").unwrap().kind, QueryKind::View { .. }));
+        assert!(matches!(qd.get("snap").unwrap().kind, QueryKind::TableAs));
+    }
+
+    #[test]
+    fn generates_deterministic_ids_for_bare_selects() {
+        let qd = QueryDict::from_sql("SELECT 1; SELECT 2").unwrap();
+        assert_eq!(qd.ids().collect::<Vec<_>>(), vec!["query_1", "query_2"]);
+    }
+
+    #[test]
+    fn named_sources_use_file_name() {
+        let qd = QueryDict::from_named_sources([
+            ("model_users", "SELECT cid FROM customers"),
+            ("model_orders", "SELECT oid FROM orders"),
+        ])
+        .unwrap();
+        assert_eq!(qd.ids().collect::<Vec<_>>(), vec!["model_users", "model_orders"]);
+    }
+
+    #[test]
+    fn plain_ddl_feeds_catalog_not_entries() {
+        let qd = QueryDict::from_sql(
+            "CREATE TABLE web (cid int, page text);
+             CREATE VIEW v AS SELECT page FROM web;",
+        )
+        .unwrap();
+        assert_eq!(qd.len(), 1);
+        assert!(qd.ddl_catalog.contains("web"));
+        assert_eq!(qd.ddl_catalog.get("web").unwrap().columns.len(), 2);
+    }
+
+    #[test]
+    fn insert_ids_disambiguate() {
+        let qd = QueryDict::from_sql(
+            "INSERT INTO t SELECT 1; INSERT INTO t SELECT 2; INSERT INTO t SELECT 3",
+        )
+        .unwrap();
+        assert_eq!(qd.ids().collect::<Vec<_>>(), vec!["t", "t#2", "t#3"]);
+    }
+
+    #[test]
+    fn duplicate_view_name_errors() {
+        let err = QueryDict::from_sql(
+            "CREATE VIEW v AS SELECT 1; CREATE VIEW v AS SELECT 2",
+        )
+        .unwrap_err();
+        assert!(matches!(err, LineageError::DuplicateQueryId(id) if id == "v"));
+    }
+
+    #[test]
+    fn drop_is_skipped_with_warning() {
+        let qd = QueryDict::from_sql("DROP VIEW old_v; SELECT 1").unwrap();
+        assert_eq!(qd.len(), 1);
+        assert!(matches!(&qd.warnings[0], Warning::SkippedStatement { what } if what.contains("old_v")));
+    }
+
+    #[test]
+    fn declared_columns_recorded() {
+        let qd = QueryDict::from_sql("CREATE VIEW v(a, b) AS SELECT 1, 2").unwrap();
+        assert_eq!(qd.get("v").unwrap().declared_columns, vec!["a", "b"]);
+    }
+}

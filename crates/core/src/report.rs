@@ -1,0 +1,145 @@
+//! The JSON lineage document (the paper's `output.json`).
+//!
+//! The Python LineageX emits one JSON object per query with its table
+//! lineage and the `C_con`/`C_ref`/`C_both` column sets. [`JsonReport`]
+//! mirrors that shape and serialises with `serde_json`.
+
+use crate::model::{LineageGraph, SourceColumn};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// The serialisable lineage document for a whole run.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct JsonReport {
+    /// Per-query lineage records keyed by query id.
+    pub queries: BTreeMap<String, QueryRecord>,
+    /// All relation nodes with their columns.
+    pub tables: BTreeMap<String, TableRecord>,
+    /// The processing order chosen by the auto-inference stack.
+    pub processing_order: Vec<String>,
+}
+
+/// One query's lineage record.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct QueryRecord {
+    /// Source relations (table lineage `T`).
+    pub tables: Vec<String>,
+    /// Per-output-column contributing sources (`C_con`).
+    pub columns: BTreeMap<String, Vec<String>>,
+    /// Query-level referenced columns (`C_ref`).
+    pub referenced: Vec<String>,
+    /// Columns both contributed and referenced (`C_both`).
+    pub both: Vec<String>,
+}
+
+/// One relation node.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct TableRecord {
+    /// Node kind (`base_table`, `view`, ...).
+    pub kind: String,
+    /// Column names in order.
+    pub columns: Vec<String>,
+}
+
+impl JsonReport {
+    /// Build the document from a lineage graph.
+    pub fn from_graph(graph: &LineageGraph) -> Self {
+        let mut queries = BTreeMap::new();
+        for (id, q) in &graph.queries {
+            let mut columns = BTreeMap::new();
+            for out in &q.outputs {
+                columns.insert(
+                    out.name.clone(),
+                    out.ccon.iter().map(SourceColumn::to_string).collect(),
+                );
+            }
+            queries.insert(
+                id.clone(),
+                QueryRecord {
+                    tables: q.tables.iter().cloned().collect(),
+                    columns,
+                    referenced: q.cref.iter().map(SourceColumn::to_string).collect(),
+                    both: q.cboth().iter().map(SourceColumn::to_string).collect(),
+                },
+            );
+        }
+        let mut tables = BTreeMap::new();
+        for (name, node) in &graph.nodes {
+            let kind = match node.kind {
+                crate::model::NodeKind::BaseTable => "base_table",
+                crate::model::NodeKind::View => "view",
+                crate::model::NodeKind::Table => "table",
+                crate::model::NodeKind::QueryResult => "query",
+                crate::model::NodeKind::External => "external",
+            };
+            tables.insert(
+                name.clone(),
+                TableRecord { kind: kind.to_string(), columns: node.columns.clone() },
+            );
+        }
+        JsonReport { queries, tables, processing_order: graph.order.clone() }
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::InferenceEngine;
+    use crate::options::ExtractOptions;
+    use crate::preprocess::QueryDict;
+    use lineagex_catalog::Catalog;
+
+    fn graph() -> LineageGraph {
+        let qd = QueryDict::from_sql(
+            "CREATE TABLE t (a int, b int);
+             CREATE VIEW v AS SELECT a FROM t WHERE b > 0;",
+        )
+        .unwrap();
+        InferenceEngine::new(qd, Catalog::new(), ExtractOptions::default())
+            .run()
+            .unwrap()
+            .graph
+    }
+
+    #[test]
+    fn report_structure() {
+        let report = JsonReport::from_graph(&graph());
+        let v = &report.queries["v"];
+        assert_eq!(v.tables, vec!["t"]);
+        assert_eq!(v.columns["a"], vec!["t.a"]);
+        assert_eq!(v.referenced, vec!["t.b"]);
+        assert!(v.both.is_empty());
+        assert_eq!(report.tables["t"].kind, "base_table");
+        assert_eq!(report.tables["v"].kind, "view");
+        assert_eq!(report.processing_order, vec!["v"]);
+    }
+
+    #[test]
+    fn serialises_to_json() {
+        let report = JsonReport::from_graph(&graph());
+        let json = report.to_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["queries"]["v"]["tables"][0], "t");
+        assert_eq!(parsed["queries"]["v"]["columns"]["a"][0], "t.a");
+    }
+
+    #[test]
+    fn both_set_appears() {
+        let qd = QueryDict::from_sql(
+            "CREATE TABLE t (a int);
+             CREATE VIEW v AS SELECT a FROM t WHERE a > 0;",
+        )
+        .unwrap();
+        let graph = InferenceEngine::new(qd, Catalog::new(), ExtractOptions::default())
+            .run()
+            .unwrap()
+            .graph;
+        let report = JsonReport::from_graph(&graph);
+        assert_eq!(report.queries["v"].both, vec!["t.a"]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Traversal tracing — reproduces the paper's Fig. 4 walkthrough.
+//!
+//! When [`crate::options::ExtractOptions::trace`] is set, the extractor
+//! records one [`TraceStep`] per AST node it visits during its post-order
+//! DFS, together with the Table I rule it applied and a snapshot of the
+//! temporary variables (`T`, `C_pos`, `C_ref`, `P`).
+
+use crate::model::SourceColumn;
+use serde::Serialize;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which Table I rule fired at a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Rule {
+    /// `FROM` over a base table or view.
+    FromTable,
+    /// `FROM` over a CTE or derived subquery.
+    FromCteOrSubquery,
+    /// `WITH`/subquery registration into `M_CTE`.
+    WithSubquery,
+    /// The `SELECT` projection rule (resolve `C_con` per projection).
+    Select,
+    /// The set-operation rule (branch projections into `C_ref`).
+    SetOperation,
+    /// Any other keyword (`JOIN ON`, `WHERE`, `GROUP BY`, ...).
+    OtherKeywords,
+}
+
+impl Rule {
+    /// The rule's name as written in the paper's Table I.
+    pub fn table1_name(&self) -> &'static str {
+        match self {
+            Rule::FromTable => "FROM (Table/View)",
+            Rule::FromCteOrSubquery => "FROM (CTE/Subquery)",
+            Rule::WithSubquery => "WITH/Subquery",
+            Rule::Select => "SELECT",
+            Rule::SetOperation => "Set Operation",
+            Rule::OtherKeywords => "Other Keywords",
+        }
+    }
+}
+
+/// A snapshot of the extractor's temporary variables after a step.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
+pub struct StateSnapshot {
+    /// Table lineage `T` so far.
+    pub tables: Vec<String>,
+    /// Candidate columns `C_pos` (the in-scope relation columns).
+    pub cpos: Vec<String>,
+    /// Referenced columns `C_ref` so far.
+    pub cref: Vec<String>,
+    /// The most recent projection's output columns `P`.
+    pub projection: Vec<String>,
+}
+
+/// One step of the traversal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TraceStep {
+    /// 1-based step number (the circled numbers in Fig. 4).
+    pub step: usize,
+    /// The rule applied.
+    pub rule: Rule,
+    /// Human-readable description of the visited node.
+    pub node: String,
+    /// Variable state after the step.
+    pub state: StateSnapshot,
+}
+
+/// The ordered trace of one query's extraction.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct TraceLog {
+    /// Steps in visit order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl TraceLog {
+    /// Record a step, assigning the next number.
+    pub fn record(
+        &mut self,
+        rule: Rule,
+        node: impl Into<String>,
+        tables: &BTreeSet<String>,
+        cpos: Vec<String>,
+        cref: &BTreeSet<SourceColumn>,
+        projection: Vec<String>,
+    ) {
+        let state = StateSnapshot {
+            tables: tables.iter().cloned().collect(),
+            cpos,
+            cref: cref.iter().map(|c| c.to_string()).collect(),
+            projection,
+        };
+        self.steps.push(TraceStep {
+            step: self.steps.len() + 1,
+            rule,
+            node: node.into(),
+            state,
+        });
+    }
+
+    /// The rules fired, in order.
+    pub fn rules(&self) -> Vec<Rule> {
+        self.steps.iter().map(|s| s.rule).collect()
+    }
+}
+
+impl fmt::Display for TraceLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            writeln!(
+                f,
+                "({}) {:<20} {}",
+                step.step,
+                step.rule.table1_name(),
+                step.node
+            )?;
+            writeln!(f, "      T     = [{}]", step.state.tables.join(", "))?;
+            writeln!(f, "      C_pos = [{}]", step.state.cpos.join(", "))?;
+            writeln!(f, "      C_ref = [{}]", step.state.cref.join(", "))?;
+            if !step.state.projection.is_empty() {
+                writeln!(f, "      P     = [{}]", step.state.projection.join(", "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_numbered_steps() {
+        let mut log = TraceLog::default();
+        let tables = BTreeSet::from(["customers".to_string()]);
+        let cref = BTreeSet::new();
+        log.record(Rule::FromTable, "scan customers", &tables, vec!["cid".into()], &cref, vec![]);
+        log.record(Rule::OtherKeywords, "WHERE", &tables, vec![], &cref, vec![]);
+        assert_eq!(log.steps.len(), 2);
+        assert_eq!(log.steps[0].step, 1);
+        assert_eq!(log.steps[1].step, 2);
+        assert_eq!(log.rules(), vec![Rule::FromTable, Rule::OtherKeywords]);
+    }
+
+    #[test]
+    fn display_shows_rule_names() {
+        let mut log = TraceLog::default();
+        log.record(
+            Rule::Select,
+            "projection",
+            &BTreeSet::new(),
+            vec![],
+            &BTreeSet::new(),
+            vec!["wcid".into()],
+        );
+        let text = log.to_string();
+        assert!(text.contains("SELECT"), "{text}");
+        assert!(text.contains("P     = [wcid]"), "{text}");
+    }
+
+    #[test]
+    fn rule_names_match_table1() {
+        assert_eq!(Rule::FromTable.table1_name(), "FROM (Table/View)");
+        assert_eq!(Rule::SetOperation.table1_name(), "Set Operation");
+        assert_eq!(Rule::WithSubquery.table1_name(), "WITH/Subquery");
+    }
+}

@@ -1,0 +1,181 @@
+//! The paper's running example (Example 1): an online shop with a
+//! three-view pipeline over `customers`, `orders`, and `web`.
+//!
+//! The query log lists Q1 (`info`) *before* its dependencies Q2
+//! (`webact`) and Q3 (`webinfo`), exactly as printed in the paper, so
+//! extracting it exercises the table/view auto-inference stack; and Q1's
+//! `w.*` over a set-operation view is the case Fig. 2 shows prior tools
+//! getting wrong.
+
+use crate::groundtruth::GroundTruth;
+
+/// Base-table DDL for the online shop.
+pub const DDL: &str = "
+CREATE TABLE customers (cid int, name text, age int);
+CREATE TABLE orders (oid int, cid int, odate date, amount numeric(10, 2));
+CREATE TABLE web (cid int, date date, page text, reg boolean);
+";
+
+/// Q1–Q3 exactly as in the paper (Example 1).
+pub const QUERIES: &str = "
+CREATE VIEW info AS
+SELECT c.name, c.age, o.oid, w.*
+FROM customers c JOIN orders o ON c.cid = o.cid
+JOIN webact w ON c.cid = w.wcid;
+
+CREATE VIEW webact AS
+SELECT w.wcid, w.wdate, w.wpage, w.wreg
+FROM webinfo w
+INTERSECT
+SELECT w1.cid, w1.date, w1.page, w1.reg
+FROM web w1;
+
+CREATE VIEW webinfo AS
+SELECT c.cid AS wcid, w.date AS wdate,
+       w.page AS wpage, w.reg AS wreg
+FROM customers c JOIN web w ON c.cid = w.cid
+WHERE EXTRACT(YEAR FROM w.date) = 2022;
+";
+
+/// The full log: DDL then queries, as a data-warehouse query log would
+/// contain.
+pub fn full_log() -> String {
+    format!("{DDL}\n{QUERIES}")
+}
+
+/// The ground-truth lineage — the "yellow" correct edges of Fig. 2.
+pub fn ground_truth() -> GroundTruth {
+    let mut gt = GroundTruth::default();
+
+    // Q3: webinfo.
+    gt.expect_ccon("webinfo", "wcid", &[("customers", "cid")]);
+    gt.expect_ccon("webinfo", "wdate", &[("web", "date")]);
+    gt.expect_ccon("webinfo", "wpage", &[("web", "page")]);
+    gt.expect_ccon("webinfo", "wreg", &[("web", "reg")]);
+    gt.expect_cref(
+        "webinfo",
+        &[("customers", "cid"), ("web", "cid"), ("web", "date")],
+    );
+    gt.expect_tables("webinfo", &["customers", "web"]);
+
+    // Q2: webact = webinfo INTERSECT web (positional merge).
+    gt.expect_ccon("webact", "wcid", &[("webinfo", "wcid"), ("web", "cid")]);
+    gt.expect_ccon("webact", "wdate", &[("webinfo", "wdate"), ("web", "date")]);
+    gt.expect_ccon("webact", "wpage", &[("webinfo", "wpage"), ("web", "page")]);
+    gt.expect_ccon("webact", "wreg", &[("webinfo", "wreg"), ("web", "reg")]);
+    // Set-operation rule: every branch projection column is referenced.
+    gt.expect_cref(
+        "webact",
+        &[
+            ("webinfo", "wcid"),
+            ("webinfo", "wdate"),
+            ("webinfo", "wpage"),
+            ("webinfo", "wreg"),
+            ("web", "cid"),
+            ("web", "date"),
+            ("web", "page"),
+            ("web", "reg"),
+        ],
+    );
+    gt.expect_tables("webact", &["webinfo", "web"]);
+
+    // Q1: info — w.* must expand to webact's four columns (the case prior
+    // tools miss).
+    gt.expect_ccon("info", "name", &[("customers", "name")]);
+    gt.expect_ccon("info", "age", &[("customers", "age")]);
+    gt.expect_ccon("info", "oid", &[("orders", "oid")]);
+    gt.expect_ccon("info", "wcid", &[("webact", "wcid")]);
+    gt.expect_ccon("info", "wdate", &[("webact", "wdate")]);
+    gt.expect_ccon("info", "wpage", &[("webact", "wpage")]);
+    gt.expect_ccon("info", "wreg", &[("webact", "wreg")]);
+    gt.expect_cref(
+        "info",
+        &[("customers", "cid"), ("orders", "cid"), ("webact", "wcid")],
+    );
+    gt.expect_tables("info", &["customers", "orders", "webact"]);
+
+    gt
+}
+
+/// The expected impact of editing `web.page` (paper §IV, step 4):
+/// `webinfo.wpage` plus **all** columns of `webact` and `info`.
+pub fn expected_page_impact() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("webinfo", "wpage"),
+        ("webact", "wcid"),
+        ("webact", "wdate"),
+        ("webact", "wpage"),
+        ("webact", "wreg"),
+        ("info", "name"),
+        ("info", "age"),
+        ("info", "oid"),
+        ("info", "wcid"),
+        ("info", "wdate"),
+        ("info", "wpage"),
+        ("info", "wreg"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineagex_core::{lineagex, SourceColumn};
+
+    #[test]
+    fn example1_matches_ground_truth_exactly() {
+        let result = lineagex(&full_log()).unwrap();
+        let failures = ground_truth().diff(&result.graph);
+        assert!(failures.is_empty(), "ground-truth mismatches:\n{}", failures.join("\n"));
+    }
+
+    #[test]
+    fn auto_inference_stack_fires_in_paper_order() {
+        let result = lineagex(&full_log()).unwrap();
+        // Q1 deferred on webact, webact deferred on webinfo (LIFO).
+        assert_eq!(
+            result.deferrals,
+            vec![
+                ("info".to_string(), "webact".to_string()),
+                ("webact".to_string(), "webinfo".to_string()),
+            ]
+        );
+        assert_eq!(result.graph.order, vec!["webinfo", "webact", "info"]);
+    }
+
+    #[test]
+    fn page_impact_matches_paper_step4() {
+        let result = lineagex(&full_log()).unwrap();
+        let report = result.impact_of("web", "page");
+        let expected: std::collections::BTreeSet<SourceColumn> = expected_page_impact()
+            .into_iter()
+            .map(|(t, c)| SourceColumn::new(t, c))
+            .collect();
+        let actual: std::collections::BTreeSet<SourceColumn> =
+            report.impacted.iter().map(|c| c.column.clone()).collect();
+        assert_eq!(actual, expected, "impact set diverges from the paper's step 4");
+    }
+
+    #[test]
+    fn wpage_is_contributed_and_others_referenced_in_webact() {
+        use lineagex_core::EdgeKind;
+        let result = lineagex(&full_log()).unwrap();
+        let report = result.impact_of("web", "page");
+        let kind_of = |t: &str, c: &str| {
+            report
+                .impacted
+                .iter()
+                .find(|i| i.column == SourceColumn::new(t, c))
+                .map(|i| i.kind)
+        };
+        // web.page contributes to webact.wpage AND is referenced → Both.
+        assert_eq!(kind_of("webact", "wpage"), Some(EdgeKind::Both));
+        // Sibling columns are impacted only through the reference.
+        assert_eq!(kind_of("webact", "wcid"), Some(EdgeKind::Reference));
+        assert_eq!(kind_of("webinfo", "wpage"), Some(EdgeKind::Contribute));
+        // info.wpage is reached at distance 2 both by contribution
+        // (webact.wpage) and by reference (webact.wcid in the join) → the
+        // merged kind is Both, the paper's orange colouring.
+        assert_eq!(kind_of("info", "wpage"), Some(EdgeKind::Both));
+        assert_eq!(kind_of("info", "oid"), Some(EdgeKind::Reference));
+    }
+}

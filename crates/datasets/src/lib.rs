@@ -1,0 +1,23 @@
+//! # lineagex-datasets
+//!
+//! Workloads for exercising and evaluating LineageX:
+//!
+//! * [`example1`] — the paper's running example (Q1–Q3 over the online
+//!   shop schema) together with its ground-truth lineage (the "yellow"
+//!   correct edges of Fig. 2) and the expected impact-analysis answer of
+//!   §IV step 4;
+//! * [`mimic`] — a MIMIC-III-like healthcare workload matching the
+//!   statistics quoted in §IV (26 base tables with 300+ columns, 70 view
+//!   definitions with 700+ columns), with generated ground truth;
+//! * [`generator`] — a seeded random view-pipeline generator whose ground
+//!   truth is exact by construction, used for accuracy sweeps and
+//!   property tests.
+
+pub mod example1;
+pub mod generator;
+pub mod groundtruth;
+pub mod mimic;
+pub mod tpch;
+
+pub use generator::{GeneratorConfig, PipelineWorkload};
+pub use groundtruth::GroundTruth;

@@ -1,0 +1,448 @@
+//! A MIMIC-III-like healthcare workload.
+//!
+//! The paper demonstrates LineageX on the MIMIC dataset, quoting "more
+//! than 300 columns in 26 base tables and 700 columns in 70 view
+//! definitions" (§IV). MIMIC itself is credentialed data, so this module
+//! reproduces the *shape*: the 26 base tables carry the real MIMIC-III
+//! table and column names (324 columns in total), and 70 deterministic
+//! concept-style views (in the spirit of the `mimic-code` repository:
+//! cohort details, event subsets, dictionary joins, chart/lab
+//! harmonisation unions, first-day aggregates, and derived cohorts) with
+//! more than 700 output columns. Every view is built from a plan, so the
+//! workload ships exact ground-truth lineage.
+
+use crate::groundtruth::GroundTruth;
+
+/// The 26 base tables with their (real) MIMIC-III columns.
+pub const TABLES: &[(&str, &[&str])] = &[
+    ("patients", &["row_id", "subject_id", "gender", "dob", "dod", "dod_hosp", "dod_ssn", "expire_flag"]),
+    ("admissions", &["row_id", "subject_id", "hadm_id", "admittime", "dischtime", "deathtime", "admission_type", "admission_location", "discharge_location", "insurance", "language", "religion", "marital_status", "ethnicity", "edregtime", "edouttime", "diagnosis", "hospital_expire_flag", "has_chartevents_data"]),
+    ("icustays", &["row_id", "subject_id", "hadm_id", "icustay_id", "dbsource", "first_careunit", "last_careunit", "first_wardid", "last_wardid", "intime", "outtime", "los"]),
+    ("callout", &["row_id", "subject_id", "hadm_id", "submit_wardid", "submit_careunit", "curr_wardid", "curr_careunit", "callout_wardid", "callout_service", "request_tele", "request_resp", "request_cdiff", "request_mrsa", "request_vre", "callout_status", "callout_outcome", "discharge_wardid", "acknowledge_status", "createtime", "updatetime", "acknowledgetime", "outcometime", "firstreservationtime", "currentreservationtime"]),
+    ("caregivers", &["row_id", "cgid", "label", "description"]),
+    ("chartevents", &["row_id", "subject_id", "hadm_id", "icustay_id", "itemid", "charttime", "storetime", "cgid", "value", "valuenum", "valueuom", "warning", "error", "resultstatus", "stopped"]),
+    ("cptevents", &["row_id", "subject_id", "hadm_id", "costcenter", "chartdate", "cpt_cd", "cpt_number", "cpt_suffix", "ticket_id_seq", "sectionheader", "subsectionheader", "description"]),
+    ("datetimeevents", &["row_id", "subject_id", "hadm_id", "icustay_id", "itemid", "charttime", "storetime", "cgid", "value", "valueuom", "warning", "error", "resultstatus", "stopped"]),
+    ("diagnoses_icd", &["row_id", "subject_id", "hadm_id", "seq_num", "icd9_code"]),
+    ("drgcodes", &["row_id", "subject_id", "hadm_id", "drg_type", "drg_code", "description", "drg_severity", "drg_mortality"]),
+    ("d_cpt", &["row_id", "category", "sectionrange", "sectionheader", "subsectionrange", "subsectionheader", "codesuffix", "mincodeinsubsection", "maxcodeinsubsection"]),
+    ("d_icd_diagnoses", &["row_id", "icd9_code", "short_title", "long_title"]),
+    ("d_icd_procedures", &["row_id", "icd9_code", "short_title", "long_title"]),
+    ("d_items", &["row_id", "itemid", "label", "abbreviation", "dbsource", "linksto", "category", "unitname", "param_type", "conceptid"]),
+    ("d_labitems", &["row_id", "itemid", "label", "fluid", "category", "loinc_code"]),
+    ("inputevents_cv", &["row_id", "subject_id", "hadm_id", "icustay_id", "charttime", "itemid", "amount", "amountuom", "rate", "rateuom", "storetime", "cgid", "orderid", "linkorderid", "stopped", "newbottle", "originalamount", "originalamountuom", "originalroute", "originalrate", "originalrateuom", "originalsite"]),
+    ("inputevents_mv", &["row_id", "subject_id", "hadm_id", "icustay_id", "starttime", "endtime", "itemid", "amount", "amountuom", "rate", "rateuom", "storetime", "cgid", "orderid", "linkorderid", "ordercategoryname", "secondaryordercategoryname", "ordercomponenttypedescription", "ordercategorydescription", "patientweight", "totalamount", "totalamountuom", "isopenbag", "continueinnextdept", "cancelreason", "statusdescription", "comments_editedby", "comments_canceledby", "comments_date", "originalamount_mv", "originalrate_mv"]),
+    ("labevents", &["row_id", "subject_id", "hadm_id", "itemid", "charttime", "value", "valuenum", "valueuom", "flag"]),
+    ("microbiologyevents", &["row_id", "subject_id", "hadm_id", "chartdate", "charttime", "spec_itemid", "spec_type_desc", "org_itemid", "org_name", "isolate_num", "ab_itemid", "ab_name", "dilution_text", "dilution_comparison", "dilution_value", "interpretation"]),
+    ("noteevents", &["row_id", "subject_id", "hadm_id", "chartdate", "charttime", "storetime", "category", "description", "cgid", "iserror", "text"]),
+    ("outputevents", &["row_id", "subject_id", "hadm_id", "icustay_id", "charttime", "itemid", "value", "valueuom", "storetime", "cgid", "stopped", "newbottle", "iserror"]),
+    ("prescriptions", &["row_id", "subject_id", "hadm_id", "icustay_id", "startdate", "enddate", "drug_type", "drug", "drug_name_poe", "drug_name_generic", "formulary_drug_cd", "gsn", "ndc", "prod_strength", "dose_val_rx", "dose_unit_rx", "form_val_disp", "form_unit_disp", "route"]),
+    ("procedureevents_mv", &["row_id", "subject_id", "hadm_id", "icustay_id", "starttime", "endtime", "itemid", "value", "valueuom", "location", "locationcategory", "storetime", "cgid", "orderid", "linkorderid", "ordercategoryname", "secondaryordercategoryname", "ordercategorydescription", "isopenbag", "continueinnextdept", "cancelreason", "statusdescription", "comments_editedby", "comments_canceledby", "comments_date"]),
+    ("procedures_icd", &["row_id", "subject_id", "hadm_id", "seq_num", "icd9_code"]),
+    ("services", &["row_id", "subject_id", "hadm_id", "transfertime", "prev_service", "curr_service"]),
+    ("transfers", &["row_id", "subject_id", "hadm_id", "icustay_id", "dbsource", "eventtype", "prev_careunit", "curr_careunit", "prev_wardid", "curr_wardid", "intime", "outtime", "los"]),
+];
+
+/// Event tables used by the view templates.
+const EVENT_TABLES: &[&str] = &[
+    "chartevents", "labevents", "outputevents", "datetimeevents", "prescriptions",
+    "microbiologyevents", "inputevents_cv", "inputevents_mv", "procedureevents_mv",
+    "cptevents", "noteevents", "transfers",
+];
+
+/// The generated workload: DDL, 70 views, and ground truth.
+#[derive(Debug, Clone)]
+pub struct MimicWorkload {
+    /// Base-table DDL (26 tables).
+    pub ddl: String,
+    /// The 70 `CREATE VIEW` statements, in dependency order.
+    pub view_statements: Vec<String>,
+    /// Exact expected lineage of every view.
+    pub ground_truth: GroundTruth,
+    /// View names in creation order.
+    pub view_names: Vec<String>,
+}
+
+impl MimicWorkload {
+    /// The full log as one script.
+    pub fn full_sql(&self) -> String {
+        let mut out = self.ddl.clone();
+        for stmt in &self.view_statements {
+            out.push('\n');
+            out.push_str(stmt);
+            out.push(';');
+        }
+        out
+    }
+
+    /// Total output columns across all views.
+    pub fn view_column_count(&self) -> usize {
+        self.ground_truth.ccon.values().map(|cols| cols.len()).sum()
+    }
+}
+
+/// The base-table DDL.
+pub fn schema_ddl() -> String {
+    let mut out = String::new();
+    for (name, cols) in TABLES {
+        let cols_sql: Vec<String> = cols
+            .iter()
+            .map(|c| {
+                let ty = if c.ends_with("_id") || c.ends_with("id") {
+                    "int"
+                } else if c.ends_with("time") || c.ends_with("date") || *c == "dob" || *c == "dod" {
+                    "timestamp"
+                } else if *c == "valuenum" || *c == "amount" || *c == "rate" || *c == "los" {
+                    "double precision"
+                } else {
+                    "text"
+                };
+                format!("{c} {ty}")
+            })
+            .collect();
+        out.push_str(&format!("CREATE TABLE {name} ({});\n", cols_sql.join(", ")));
+    }
+    out
+}
+
+fn columns_of(table: &str) -> &'static [&'static str] {
+    TABLES
+        .iter()
+        .find(|(name, _)| *name == table)
+        .map(|(_, cols)| *cols)
+        .unwrap_or_else(|| panic!("unknown mimic table {table}"))
+}
+
+/// A small builder collecting views and their ground truth.
+struct Builder {
+    statements: Vec<String>,
+    names: Vec<String>,
+    gt: GroundTruth,
+    /// Output columns of created views (for star/cohort templates).
+    view_columns: Vec<(String, Vec<String>)>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder {
+            statements: Vec::new(),
+            names: Vec::new(),
+            gt: GroundTruth::default(),
+            view_columns: Vec::new(),
+        }
+    }
+
+    fn push_view(&mut self, name: &str, sql: String, outputs: Vec<String>) {
+        self.statements.push(sql);
+        self.names.push(name.to_string());
+        self.view_columns.push((name.to_string(), outputs));
+    }
+
+    /// Template 1 — cohort detail: patients ⋈ admissions ⋈ icustays.
+    fn detail_view(&mut self, idx: usize) {
+        let name = format!("icustay_detail_{idx}");
+        // Rotate over admissions columns to diversify the projection.
+        let adm = columns_of("admissions");
+        let icu = columns_of("icustays");
+        let picks_adm: Vec<&str> = (0..6).map(|k| adm[(idx + k * 3) % adm.len()]).collect();
+        let picks_icu: Vec<&str> = (0..4).map(|k| icu[(idx + k * 2) % icu.len()]).collect();
+        let mut proj = vec![
+            "p.subject_id AS subject_id".to_string(),
+            "p.gender AS gender".to_string(),
+            "p.dob AS dob".to_string(),
+            "a.hadm_id AS hadm_id".to_string(),
+            "i.icustay_id AS icustay_id".to_string(),
+        ];
+        let mut outputs = vec![
+            "subject_id".to_string(),
+            "gender".to_string(),
+            "dob".to_string(),
+            "hadm_id".to_string(),
+            "icustay_id".to_string(),
+        ];
+        self.gt.expect_ccon(&name, "subject_id", &[("patients", "subject_id")]);
+        self.gt.expect_ccon(&name, "gender", &[("patients", "gender")]);
+        self.gt.expect_ccon(&name, "dob", &[("patients", "dob")]);
+        self.gt.expect_ccon(&name, "hadm_id", &[("admissions", "hadm_id")]);
+        self.gt.expect_ccon(&name, "icustay_id", &[("icustays", "icustay_id")]);
+        for (k, col) in picks_adm.iter().enumerate() {
+            let out = format!("adm_{k}_{col}");
+            proj.push(format!("a.{col} AS {out}"));
+            self.gt.expect_ccon(&name, &out, &[("admissions", col)]);
+            outputs.push(out);
+        }
+        for (k, col) in picks_icu.iter().enumerate() {
+            let out = format!("icu_{k}_{col}");
+            proj.push(format!("i.{col} AS {out}"));
+            self.gt.expect_ccon(&name, &out, &[("icustays", col)]);
+            outputs.push(out);
+        }
+        let sql = format!(
+            "CREATE VIEW {name} AS SELECT {} FROM patients p \
+             JOIN admissions a ON p.subject_id = a.subject_id \
+             JOIN icustays i ON a.hadm_id = i.hadm_id \
+             WHERE a.hospital_expire_flag = '0'",
+            proj.join(", ")
+        );
+        self.gt.expect_cref(
+            &name,
+            &[
+                ("patients", "subject_id"),
+                ("admissions", "subject_id"),
+                ("admissions", "hadm_id"),
+                ("icustays", "hadm_id"),
+                ("admissions", "hospital_expire_flag"),
+            ],
+        );
+        self.gt.expect_tables(&name, &["patients", "admissions", "icustays"]);
+        self.push_view(&name, sql, outputs);
+    }
+
+    /// Template 2 — event subset: one event table filtered by itemid-ish
+    /// predicate, projecting most of its columns.
+    fn event_subset_view(&mut self, idx: usize) {
+        let table = EVENT_TABLES[idx % EVENT_TABLES.len()];
+        let name = format!("{table}_subset_{idx}");
+        let cols = columns_of(table);
+        let take = cols.len().min(12);
+        let mut proj = Vec::new();
+        let mut outputs = Vec::new();
+        for col in cols.iter().take(take) {
+            proj.push(format!("e.{col} AS {col}"));
+            self.gt.expect_ccon(&name, col, &[(table, col)]);
+            outputs.push(col.to_string());
+        }
+        let filter_col = cols[cols.len().saturating_sub(1).min(4)];
+        let sql = format!(
+            "CREATE VIEW {name} AS SELECT {} FROM {table} e WHERE e.{filter_col} IS NOT NULL",
+            proj.join(", ")
+        );
+        self.gt.expect_cref(&name, &[(table, filter_col)]);
+        self.gt.expect_tables(&name, &[table]);
+        self.push_view(&name, sql, outputs);
+    }
+
+    /// Template 3 — dictionary join: labevents/chartevents + d_* labels.
+    fn dictionary_view(&mut self, idx: usize) {
+        let (event, dict) = match idx % 3 {
+            0 => ("labevents", "d_labitems"),
+            1 => ("chartevents", "d_items"),
+            _ => ("datetimeevents", "d_items"),
+        };
+        let name = format!("{event}_labeled_{idx}");
+        let ecols = columns_of(event);
+        let take = ecols.len().min(7);
+        let mut proj = Vec::new();
+        let mut outputs = Vec::new();
+        for col in ecols.iter().take(take) {
+            proj.push(format!("e.{col} AS {col}"));
+            self.gt.expect_ccon(&name, col, &[(event, col)]);
+            outputs.push(col.to_string());
+        }
+        proj.push("d.label AS item_label".to_string());
+        self.gt.expect_ccon(&name, "item_label", &[(dict, "label")]);
+        outputs.push("item_label".to_string());
+        proj.push("d.category AS item_category".to_string());
+        self.gt.expect_ccon(&name, "item_category", &[(dict, "category")]);
+        outputs.push("item_category".to_string());
+        let sql = format!(
+            "CREATE VIEW {name} AS SELECT {} FROM {event} e JOIN {dict} d ON e.itemid = d.itemid",
+            proj.join(", ")
+        );
+        self.gt.expect_cref(&name, &[(event, "itemid"), (dict, "itemid")]);
+        self.gt.expect_tables(&name, &[event, dict]);
+        self.push_view(&name, sql, outputs);
+    }
+
+    /// Template 4 — harmonisation union: inputevents_cv ∪ inputevents_mv.
+    fn union_view(&mut self, idx: usize) {
+        let name = format!("inputevents_unified_{idx}");
+        // Shared semantic columns across the CV/MV era tables.
+        let pairs: &[(&str, &str, &str)] = &[
+            ("subject_id", "subject_id", "subject_id"),
+            ("hadm_id", "hadm_id", "hadm_id"),
+            ("icustay_id", "icustay_id", "icustay_id"),
+            ("itemid", "itemid", "itemid"),
+            ("amount", "amount", "amount"),
+            ("rate", "rate", "rate"),
+            ("charttime", "starttime", "event_time"),
+        ];
+        let take = 4 + (idx % 4); // 4..=7 columns
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        let mut outputs = Vec::new();
+        for (cv, mv, out) in pairs.iter().take(take) {
+            left.push(format!("cv.{cv} AS {out}"));
+            right.push(format!("mv.{mv}"));
+            self.gt.expect_ccon(&name, out, &[("inputevents_cv", cv), ("inputevents_mv", mv)]);
+            self.gt.expect_cref(&name, &[("inputevents_cv", cv), ("inputevents_mv", mv)]);
+            outputs.push(out.to_string());
+        }
+        let sql = format!(
+            "CREATE VIEW {name} AS SELECT {} FROM inputevents_cv cv UNION ALL SELECT {} FROM inputevents_mv mv",
+            left.join(", "),
+            right.join(", ")
+        );
+        self.gt.expect_tables(&name, &["inputevents_cv", "inputevents_mv"]);
+        self.push_view(&name, sql, outputs);
+    }
+
+    /// Template 5 — first-day aggregate over an event table.
+    fn firstday_view(&mut self, idx: usize) {
+        let table = ["labevents", "chartevents", "outputevents"][idx % 3];
+        let name = format!("first_day_{table}_{idx}");
+        let value_col = if table == "outputevents" { "value" } else { "valuenum" };
+        let sql = format!(
+            "CREATE VIEW {name} AS SELECT e.subject_id AS subject_id, e.hadm_id AS hadm_id, \
+             count(*) AS n_events, max(e.{value_col}) AS max_value, min(e.{value_col}) AS min_value \
+             FROM {table} e GROUP BY e.subject_id, e.hadm_id"
+        );
+        self.gt.expect_ccon(&name, "subject_id", &[(table, "subject_id")]);
+        self.gt.expect_ccon(&name, "hadm_id", &[(table, "hadm_id")]);
+        self.gt.expect_ccon(&name, "n_events", &[]);
+        self.gt.expect_ccon(&name, "max_value", &[(table, value_col)]);
+        self.gt.expect_ccon(&name, "min_value", &[(table, value_col)]);
+        self.gt.expect_cref(&name, &[(table, "subject_id"), (table, "hadm_id")]);
+        self.gt.expect_tables(&name, &[table]);
+        self.push_view(
+            &name,
+            sql,
+            vec![
+                "subject_id".into(),
+                "hadm_id".into(),
+                "n_events".into(),
+                "max_value".into(),
+                "min_value".into(),
+            ],
+        );
+    }
+
+    /// Template 6 — star view over an earlier concept view (`SELECT *`).
+    fn star_view(&mut self, idx: usize) {
+        let (src_name, src_cols) = self.view_columns[idx % self.view_columns.len()].clone();
+        let name = format!("{src_name}_snapshot");
+        let sql = format!("CREATE VIEW {name} AS SELECT * FROM {src_name}");
+        for col in &src_cols {
+            self.gt.expect_ccon(&name, col, &[(&src_name, col)]);
+        }
+        self.gt.expect_tables(&name, &[src_name.as_str()]);
+        self.push_view(&name, sql, src_cols);
+    }
+
+    /// Template 7 — derived cohort joining two earlier views on
+    /// subject_id-like first columns.
+    fn cohort_view(&mut self, idx: usize) {
+        let n = self.view_columns.len();
+        let (a_name, a_cols) = self.view_columns[idx % n].clone();
+        let (b_name, b_cols) = self.view_columns[(idx * 7 + 3) % n].clone();
+        if a_name == b_name {
+            // Degenerate pick; fall back to a star view to keep the count.
+            self.star_view(idx + 1);
+            return;
+        }
+        let name = format!("cohort_{idx}");
+        let a_take = a_cols.len().min(5);
+        let b_take = b_cols.len().min(5);
+        let mut proj = Vec::new();
+        let mut outputs = Vec::new();
+        for (k, col) in a_cols.iter().take(a_take).enumerate() {
+            let out = format!("a{k}_{col}");
+            proj.push(format!("a.{col} AS {out}"));
+            self.gt.expect_ccon(&name, &out, &[(&a_name, col)]);
+            outputs.push(out);
+        }
+        for (k, col) in b_cols.iter().take(b_take).enumerate() {
+            let out = format!("b{k}_{col}");
+            proj.push(format!("b.{col} AS {out}"));
+            self.gt.expect_ccon(&name, &out, &[(&b_name, col)]);
+            outputs.push(out);
+        }
+        let a_key = &a_cols[0];
+        let b_key = &b_cols[0];
+        let sql = format!(
+            "CREATE VIEW {name} AS SELECT {} FROM {a_name} a JOIN {b_name} b ON a.{a_key} = b.{b_key}",
+            proj.join(", ")
+        );
+        self.gt.expect_cref(&name, &[(&a_name, a_key), (&b_name, b_key)]);
+        self.gt.expect_tables(&name, &[a_name.as_str(), b_name.as_str()]);
+        self.push_view(&name, sql, outputs);
+    }
+}
+
+/// Build the full 70-view workload.
+pub fn workload() -> MimicWorkload {
+    let mut b = Builder::new();
+    for i in 0..10 {
+        b.detail_view(i);
+    }
+    for i in 0..14 {
+        b.event_subset_view(i);
+    }
+    for i in 0..10 {
+        b.dictionary_view(i);
+    }
+    for i in 0..6 {
+        b.union_view(i);
+    }
+    for i in 0..9 {
+        b.firstday_view(i);
+    }
+    for i in 0..11 {
+        b.star_view(i * 3);
+    }
+    for i in 0..10 {
+        b.cohort_view(i);
+    }
+    debug_assert_eq!(b.names.len(), 70);
+    MimicWorkload {
+        ddl: schema_ddl(),
+        view_statements: b.statements,
+        ground_truth: b.gt,
+        view_names: b.names,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineagex_catalog::Catalog;
+    use lineagex_core::lineagex;
+
+    #[test]
+    fn schema_matches_paper_statistics() {
+        // "more than 300 columns in 26 base tables"
+        assert_eq!(TABLES.len(), 26);
+        let total: usize = TABLES.iter().map(|(_, cols)| cols.len()).sum();
+        assert!(total > 300, "only {total} base columns");
+        let catalog = Catalog::from_ddl(&schema_ddl()).unwrap();
+        assert_eq!(catalog.base_table_count(), 26);
+        assert_eq!(catalog.base_table_column_count(), total);
+    }
+
+    #[test]
+    fn workload_matches_paper_view_statistics() {
+        // "700 columns in 70 view definitions"
+        let w = workload();
+        assert_eq!(w.view_names.len(), 70);
+        let cols = w.view_column_count();
+        assert!(cols >= 700, "only {cols} view columns");
+    }
+
+    #[test]
+    fn lineage_extraction_matches_ground_truth() {
+        let w = workload();
+        let result = lineagex(&w.full_sql()).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(result.graph.queries.len(), 70);
+        let failures = w.ground_truth.diff(&result.graph);
+        assert!(failures.is_empty(), "mismatches:\n{}", failures.join("\n"));
+    }
+
+    #[test]
+    fn view_names_are_unique() {
+        let w = workload();
+        let mut names = w.view_names.clone();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 70, "duplicate view names generated");
+    }
+}

@@ -1,0 +1,258 @@
+//! A TPC-H-like analytical workload.
+//!
+//! The paper's introduction motivates LineageX with enterprise warehouse
+//! pipelines; TPC-H is the canonical stand-in. This module carries the
+//! eight TPC-H base tables (real column names, 61 columns) and a pipeline
+//! of analytic views patterned on the benchmark's queries (pricing
+//! summary, top suppliers, market-share style joins, revenue CTEs), each
+//! with exact ground-truth lineage.
+
+use crate::groundtruth::GroundTruth;
+
+/// The eight TPC-H tables with their standard columns.
+pub const TABLES: &[(&str, &[&str])] = &[
+    ("region", &["r_regionkey", "r_name", "r_comment"]),
+    ("nation", &["n_nationkey", "n_name", "n_regionkey", "n_comment"]),
+    ("supplier", &["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"]),
+    ("customer", &["c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_mktsegment", "c_comment"]),
+    ("part", &["p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container", "p_retailprice", "p_comment"]),
+    ("partsupp", &["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"]),
+    ("orders", &["o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority", "o_comment"]),
+    ("lineitem", &["l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment"]),
+];
+
+/// Base-table DDL.
+pub fn schema_ddl() -> String {
+    let mut out = String::new();
+    for (name, cols) in TABLES {
+        let cols_sql: Vec<String> = cols
+            .iter()
+            .map(|c| {
+                let ty = if c.ends_with("key") || c.ends_with("number") {
+                    "int"
+                } else if c.ends_with("date") {
+                    "date"
+                } else if c.ends_with("price")
+                    || c.ends_with("cost")
+                    || c.ends_with("bal")
+                    || *c == "l_quantity"
+                    || *c == "l_discount"
+                    || *c == "l_tax"
+                {
+                    "numeric(12, 2)"
+                } else {
+                    "text"
+                };
+                format!("{c} {ty}")
+            })
+            .collect();
+        out.push_str(&format!("CREATE TABLE {name} ({});\n", cols_sql.join(", ")));
+    }
+    out
+}
+
+/// The analytic view pipeline (Q1/Q5/Q10-flavoured) with ground truth.
+pub fn workload() -> (String, GroundTruth) {
+    let mut gt = GroundTruth::default();
+
+    let views = "
+CREATE VIEW pricing_summary AS
+SELECT l.l_returnflag AS returnflag, l.l_linestatus AS linestatus,
+       sum(l.l_quantity) AS sum_qty,
+       sum(l.l_extendedprice) AS sum_base_price,
+       sum(l.l_extendedprice * (1 - l.l_discount)) AS sum_disc_price,
+       count(*) AS count_order
+FROM lineitem l
+WHERE l.l_shipdate <= '1998-09-02'
+GROUP BY l.l_returnflag, l.l_linestatus;
+
+CREATE VIEW order_revenue AS
+WITH item_revenue AS (
+  SELECT li.l_orderkey AS orderkey,
+         li.l_extendedprice * (1 - li.l_discount) AS revenue
+  FROM lineitem li
+)
+SELECT o.o_orderkey AS orderkey, o.o_custkey AS custkey,
+       o.o_orderdate AS orderdate, ir.revenue AS revenue
+FROM orders o JOIN item_revenue ir ON o.o_orderkey = ir.orderkey;
+
+CREATE VIEW customer_nation AS
+SELECT c.c_custkey AS custkey, c.c_name AS custname,
+       n.n_name AS nation, r.r_name AS region
+FROM customer c
+JOIN nation n ON c.c_nationkey = n.n_nationkey
+JOIN region r ON n.n_regionkey = r.r_regionkey;
+
+CREATE VIEW local_revenue AS
+SELECT cn.nation AS nation, orv.revenue AS revenue
+FROM order_revenue orv
+JOIN customer_nation cn ON orv.custkey = cn.custkey
+WHERE cn.region = 'ASIA';
+
+CREATE VIEW top_customers AS
+SELECT cn.custname AS custname, cn.nation AS nation,
+       sum(orv.revenue) AS total_revenue
+FROM order_revenue orv
+JOIN customer_nation cn ON orv.custkey = cn.custkey
+GROUP BY cn.custname, cn.nation
+ORDER BY total_revenue DESC
+LIMIT 20;
+
+CREATE VIEW supplier_parts AS
+SELECT s.s_name AS supplier, p.p_name AS part,
+       ps.ps_availqty AS availqty, ps.ps_supplycost AS supplycost
+FROM partsupp ps
+JOIN supplier s ON ps.ps_suppkey = s.s_suppkey
+JOIN part p ON ps.ps_partkey = p.p_partkey;
+";
+
+    // pricing_summary (Q1-style).
+    gt.expect_ccon("pricing_summary", "returnflag", &[("lineitem", "l_returnflag")]);
+    gt.expect_ccon("pricing_summary", "linestatus", &[("lineitem", "l_linestatus")]);
+    gt.expect_ccon("pricing_summary", "sum_qty", &[("lineitem", "l_quantity")]);
+    gt.expect_ccon("pricing_summary", "sum_base_price", &[("lineitem", "l_extendedprice")]);
+    gt.expect_ccon(
+        "pricing_summary",
+        "sum_disc_price",
+        &[("lineitem", "l_extendedprice"), ("lineitem", "l_discount")],
+    );
+    gt.expect_ccon("pricing_summary", "count_order", &[]);
+    gt.expect_cref(
+        "pricing_summary",
+        &[
+            ("lineitem", "l_shipdate"),
+            ("lineitem", "l_returnflag"),
+            ("lineitem", "l_linestatus"),
+        ],
+    );
+    gt.expect_tables("pricing_summary", &["lineitem"]);
+
+    // order_revenue (CTE composes away).
+    gt.expect_ccon("order_revenue", "orderkey", &[("orders", "o_orderkey")]);
+    gt.expect_ccon("order_revenue", "custkey", &[("orders", "o_custkey")]);
+    gt.expect_ccon("order_revenue", "orderdate", &[("orders", "o_orderdate")]);
+    gt.expect_ccon(
+        "order_revenue",
+        "revenue",
+        &[("lineitem", "l_extendedprice"), ("lineitem", "l_discount")],
+    );
+    gt.expect_cref(
+        "order_revenue",
+        &[("orders", "o_orderkey"), ("lineitem", "l_orderkey")],
+    );
+    gt.expect_tables("order_revenue", &["orders", "lineitem"]);
+
+    // customer_nation.
+    gt.expect_ccon("customer_nation", "custkey", &[("customer", "c_custkey")]);
+    gt.expect_ccon("customer_nation", "custname", &[("customer", "c_name")]);
+    gt.expect_ccon("customer_nation", "nation", &[("nation", "n_name")]);
+    gt.expect_ccon("customer_nation", "region", &[("region", "r_name")]);
+    gt.expect_cref(
+        "customer_nation",
+        &[
+            ("customer", "c_nationkey"),
+            ("nation", "n_nationkey"),
+            ("nation", "n_regionkey"),
+            ("region", "r_regionkey"),
+        ],
+    );
+    gt.expect_tables("customer_nation", &["customer", "nation", "region"]);
+
+    // local_revenue: view-on-views.
+    gt.expect_ccon("local_revenue", "nation", &[("customer_nation", "nation")]);
+    gt.expect_ccon("local_revenue", "revenue", &[("order_revenue", "revenue")]);
+    gt.expect_cref(
+        "local_revenue",
+        &[
+            ("order_revenue", "custkey"),
+            ("customer_nation", "custkey"),
+            ("customer_nation", "region"),
+        ],
+    );
+    gt.expect_tables("local_revenue", &["order_revenue", "customer_nation"]);
+
+    // top_customers: aggregate + ORDER BY alias + LIMIT.
+    gt.expect_ccon("top_customers", "custname", &[("customer_nation", "custname")]);
+    gt.expect_ccon("top_customers", "nation", &[("customer_nation", "nation")]);
+    gt.expect_ccon("top_customers", "total_revenue", &[("order_revenue", "revenue")]);
+    gt.expect_cref(
+        "top_customers",
+        &[
+            ("order_revenue", "custkey"),
+            ("customer_nation", "custkey"),
+            ("customer_nation", "custname"),
+            ("customer_nation", "nation"),
+            ("order_revenue", "revenue"),
+        ],
+    );
+    gt.expect_tables("top_customers", &["order_revenue", "customer_nation"]);
+
+    // supplier_parts.
+    gt.expect_ccon("supplier_parts", "supplier", &[("supplier", "s_name")]);
+    gt.expect_ccon("supplier_parts", "part", &[("part", "p_name")]);
+    gt.expect_ccon("supplier_parts", "availqty", &[("partsupp", "ps_availqty")]);
+    gt.expect_ccon("supplier_parts", "supplycost", &[("partsupp", "ps_supplycost")]);
+    gt.expect_cref(
+        "supplier_parts",
+        &[
+            ("partsupp", "ps_suppkey"),
+            ("supplier", "s_suppkey"),
+            ("partsupp", "ps_partkey"),
+            ("part", "p_partkey"),
+        ],
+    );
+    gt.expect_tables("supplier_parts", &["partsupp", "supplier", "part"]);
+
+    (format!("{}\n{views}", schema_ddl()), gt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineagex_core::{lineagex, SourceColumn};
+
+    #[test]
+    fn schema_has_61_columns() {
+        assert_eq!(TABLES.len(), 8);
+        let total: usize = TABLES.iter().map(|(_, c)| c.len()).sum();
+        assert_eq!(total, 61);
+    }
+
+    #[test]
+    fn pipeline_matches_ground_truth() {
+        let (sql, gt) = workload();
+        let result = lineagex(&sql).unwrap_or_else(|e| panic!("{e}"));
+        let failures = gt.diff(&result.graph);
+        assert!(failures.is_empty(), "{}", failures.join("\n"));
+    }
+
+    #[test]
+    fn discount_impact_reaches_top_customers() {
+        // The classic governance question: changing l_discount semantics
+        // ripples through revenue into every revenue-derived view.
+        let (sql, _) = workload();
+        let result = lineagex(&sql).unwrap();
+        let impact = result.impact_of("lineitem", "l_discount");
+        for (table, column) in [
+            ("pricing_summary", "sum_disc_price"),
+            ("order_revenue", "revenue"),
+            ("local_revenue", "revenue"),
+            ("top_customers", "total_revenue"),
+        ] {
+            assert!(
+                impact.contains(&SourceColumn::new(table, column)),
+                "missing {table}.{column}"
+            );
+        }
+        // But it does not touch the supplier-side pipeline.
+        assert!(!impact.impacted_tables().contains(&"supplier_parts"));
+    }
+
+    #[test]
+    fn pipeline_depth_is_three() {
+        let (sql, _) = workload();
+        let result = lineagex(&sql).unwrap();
+        // lineitem -> order_revenue -> local_revenue/top_customers.
+        assert_eq!(result.graph.stats().max_pipeline_depth, 2);
+    }
+}

@@ -1,0 +1,745 @@
+//! `Display` implementations rendering the AST back to SQL text.
+//!
+//! The printer produces canonical SQL that re-parses to an identical tree;
+//! this round-trip property is exercised by the proptest suite in
+//! `tests/roundtrip.rs`.
+
+use super::expr::*;
+use super::query::*;
+use super::stmt::*;
+use std::fmt;
+
+fn comma_sep<T: fmt::Display>(f: &mut fmt::Formatter<'_>, items: &[T]) -> fmt::Result {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{item}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Number(n) => f.write_str(n),
+            Literal::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Boolean(true) => f.write_str("TRUE"),
+            Literal::Boolean(false) => f.write_str("FALSE"),
+            Literal::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)?;
+        if !self.params.is_empty() {
+            f.write_str("(")?;
+            for (i, p) in self.params.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{p}")?;
+            }
+            f.write_str(")")?;
+        }
+        if let Some(suffix) = &self.suffix {
+            write!(f, " {suffix}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FunctionArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FunctionArg::Expr(e) => write!(f, "{e}"),
+            FunctionArg::Wildcard => f.write_str("*"),
+            FunctionArg::QualifiedWildcard(name) => write!(f, "{name}.*"),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        comma_sep(f, &self.args)?;
+        f.write_str(")")?;
+        if let Some(filter) = &self.filter {
+            write!(f, " FILTER (WHERE {filter})")?;
+        }
+        if let Some(over) = &self.over {
+            write!(f, " OVER ({over})")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut need_space = false;
+        if !self.partition_by.is_empty() {
+            f.write_str("PARTITION BY ")?;
+            comma_sep(f, &self.partition_by)?;
+            need_space = true;
+        }
+        if !self.order_by.is_empty() {
+            if need_space {
+                f.write_str(" ")?;
+            }
+            f.write_str("ORDER BY ")?;
+            comma_sep(f, &self.order_by)?;
+            need_space = true;
+        }
+        if let Some(frame) = &self.frame {
+            if need_space {
+                f.write_str(" ")?;
+            }
+            write!(f, "{frame}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for WindowFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let units = match self.units {
+            FrameUnits::Rows => "ROWS",
+            FrameUnits::Range => "RANGE",
+        };
+        match &self.end {
+            Some(end) => write!(f, "{units} BETWEEN {} AND {end}", self.start),
+            None => write!(f, "{units} {}", self.start),
+        }
+    }
+}
+
+impl fmt::Display for FrameBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameBound::CurrentRow => f.write_str("CURRENT ROW"),
+            FrameBound::Preceding(None) => f.write_str("UNBOUNDED PRECEDING"),
+            FrameBound::Preceding(Some(n)) => write!(f, "{n} PRECEDING"),
+            FrameBound::Following(None) => f.write_str("UNBOUNDED FOLLOWING"),
+            FrameBound::Following(Some(n)) => write!(f, "{n} FOLLOWING"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Identifier(i) => write!(f, "{i}"),
+            Expr::CompoundIdentifier(parts) => {
+                for (i, part) in parts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(".")?;
+                    }
+                    write!(f, "{part}")?;
+                }
+                Ok(())
+            }
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Placeholder(p) => f.write_str(p),
+            Expr::BinaryOp { left, op, right } => write!(f, "{left} {} {right}", op.as_str()),
+            Expr::UnaryOp { op, expr } => match op {
+                UnaryOperator::Not => write!(f, "NOT {expr}"),
+                UnaryOperator::Plus => write!(f, "+{expr}"),
+                UnaryOperator::Minus => write!(f, "-{expr}"),
+            },
+            Expr::Nested(e) => write!(f, "({e})"),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::IsDistinctFrom { left, right, negated } => write!(
+                f,
+                "{left} IS {}DISTINCT FROM {right}",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::InList { expr, list, negated } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                comma_sep(f, list)?;
+                f.write_str(")")
+            }
+            Expr::InSubquery { expr, subquery, negated } => {
+                write!(f, "{expr} {}IN ({subquery})", if *negated { "NOT " } else { "" })
+            }
+            Expr::Between { expr, negated, low, high } => write!(
+                f,
+                "{expr} {}BETWEEN {low} AND {high}",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Like { expr, negated, pattern, case_insensitive } => write!(
+                f,
+                "{expr} {}{} {pattern}",
+                if *negated { "NOT " } else { "" },
+                if *case_insensitive { "ILIKE" } else { "LIKE" }
+            ),
+            Expr::Case { operand, conditions, results, else_result } => {
+                f.write_str("CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (c, r) in conditions.iter().zip(results.iter()) {
+                    write!(f, " WHEN {c} THEN {r}")?;
+                }
+                if let Some(e) = else_result {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END")
+            }
+            Expr::Cast { expr, data_type, postgres_style } => {
+                if *postgres_style {
+                    write!(f, "{expr}::{data_type}")
+                } else {
+                    write!(f, "CAST({expr} AS {data_type})")
+                }
+            }
+            Expr::Extract { field, expr } => write!(f, "EXTRACT({field} FROM {expr})"),
+            Expr::Substring { expr, from, for_len } => {
+                write!(f, "SUBSTRING({expr}")?;
+                if let Some(from) = from {
+                    write!(f, " FROM {from}")?;
+                }
+                if let Some(len) = for_len {
+                    write!(f, " FOR {len}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::Trim { expr, side, what } => {
+                f.write_str("TRIM(")?;
+                let side_str = match side {
+                    TrimSide::Both => "BOTH",
+                    TrimSide::Leading => "LEADING",
+                    TrimSide::Trailing => "TRAILING",
+                };
+                match what {
+                    Some(what) => write!(f, "{side_str} {what} FROM {expr})"),
+                    None if *side != TrimSide::Both => write!(f, "{side_str} FROM {expr})"),
+                    None => write!(f, "{expr})"),
+                }
+            }
+            Expr::Position { expr, in_expr } => write!(f, "POSITION({expr} IN {in_expr})"),
+            Expr::Interval { value, unit } => {
+                write!(f, "INTERVAL {value}")?;
+                if let Some(unit) = unit {
+                    write!(f, " {unit}")?;
+                }
+                Ok(())
+            }
+            Expr::Function(func) => write!(f, "{func}"),
+            Expr::Exists { subquery, negated } => {
+                write!(f, "{}EXISTS ({subquery})", if *negated { "NOT " } else { "" })
+            }
+            Expr::Subquery(q) => write!(f, "({q})"),
+            Expr::QuantifiedComparison { expr, op, all, subquery } => write!(
+                f,
+                "{expr} {} {}({subquery})",
+                op.as_str(),
+                if *all { "ALL " } else { "ANY " }
+            ),
+            Expr::Tuple(items) => {
+                f.write_str("(")?;
+                comma_sep(f, items)?;
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(with) = &self.with {
+            write!(f, "{with} ")?;
+        }
+        write!(f, "{}", self.body)?;
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            comma_sep(f, &self.order_by)?;
+        }
+        if let Some(limit) = &self.limit {
+            write!(f, " LIMIT {limit}")?;
+        }
+        if let Some(offset) = &self.offset {
+            write!(f, " OFFSET {offset}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for With {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WITH {}", if self.recursive { "RECURSIVE " } else { "" })?;
+        comma_sep(f, &self.ctes)
+    }
+}
+
+impl fmt::Display for Cte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.alias.name)?;
+        if !self.alias.columns.is_empty() {
+            f.write_str("(")?;
+            comma_sep(f, &self.alias.columns)?;
+            f.write_str(")")?;
+        }
+        write!(f, " AS ({})", self.query)
+    }
+}
+
+impl fmt::Display for SetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetExpr::Select(s) => write!(f, "{s}"),
+            SetExpr::Query(q) => write!(f, "({q})"),
+            SetExpr::SetOperation { op, all, left, right } => {
+                write!(f, "{left} {}{} {right}", op.as_str(), if *all { " ALL" } else { "" })
+            }
+            SetExpr::Values(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for Values {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("VALUES ")?;
+        for (i, row) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str("(")?;
+            comma_sep(f, row)?;
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        match &self.distinct {
+            Some(Distinct::Distinct) => f.write_str("DISTINCT ")?,
+            Some(Distinct::On(exprs)) => {
+                f.write_str("DISTINCT ON (")?;
+                comma_sep(f, exprs)?;
+                f.write_str(") ")?;
+            }
+            None => {}
+        }
+        comma_sep(f, &self.projection)?;
+        if !self.from.is_empty() {
+            f.write_str(" FROM ")?;
+            comma_sep(f, &self.from)?;
+        }
+        if let Some(selection) = &self.selection {
+            write!(f, " WHERE {selection}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            comma_sep(f, &self.group_by)?;
+        }
+        if let Some(having) = &self.having {
+            write!(f, " HAVING {having}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::UnnamedExpr(e) => write!(f, "{e}"),
+            SelectItem::ExprWithAlias { expr, alias } => write!(f, "{expr} AS {alias}"),
+            SelectItem::QualifiedWildcard(name) => write!(f, "{name}.*"),
+            SelectItem::Wildcard => f.write_str("*"),
+        }
+    }
+}
+
+impl fmt::Display for TableAlias {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.columns.is_empty() {
+            f.write_str("(")?;
+            comma_sep(f, &self.columns)?;
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableWithJoins {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.relation)?;
+        for join in &self.joins {
+            write!(f, "{join}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableFactor::Table { name, alias } => {
+                write!(f, "{name}")?;
+                if let Some(alias) = alias {
+                    write!(f, " AS {alias}")?;
+                }
+                Ok(())
+            }
+            TableFactor::Derived { lateral, subquery, alias } => {
+                if *lateral {
+                    f.write_str("LATERAL ")?;
+                }
+                write!(f, "({subquery})")?;
+                if let Some(alias) = alias {
+                    write!(f, " AS {alias}")?;
+                }
+                Ok(())
+            }
+            TableFactor::NestedJoin(twj) => write!(f, "({twj})"),
+        }
+    }
+}
+
+impl fmt::Display for Join {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn suffix(c: &JoinConstraint) -> String {
+            match c {
+                JoinConstraint::On(e) => format!(" ON {e}"),
+                JoinConstraint::Using(cols) => {
+                    let names: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+                    format!(" USING ({})", names.join(", "))
+                }
+                JoinConstraint::Natural | JoinConstraint::None => String::new(),
+            }
+        }
+        fn prefix(c: &JoinConstraint) -> &'static str {
+            match c {
+                JoinConstraint::Natural => "NATURAL ",
+                _ => "",
+            }
+        }
+        match &self.join_operator {
+            JoinOperator::Inner(c) => {
+                write!(f, " {}JOIN {}{}", prefix(c), self.relation, suffix(c))
+            }
+            JoinOperator::LeftOuter(c) => {
+                write!(f, " {}LEFT JOIN {}{}", prefix(c), self.relation, suffix(c))
+            }
+            JoinOperator::RightOuter(c) => {
+                write!(f, " {}RIGHT JOIN {}{}", prefix(c), self.relation, suffix(c))
+            }
+            JoinOperator::FullOuter(c) => {
+                write!(f, " {}FULL JOIN {}{}", prefix(c), self.relation, suffix(c))
+            }
+            JoinOperator::CrossJoin => write!(f, " CROSS JOIN {}", self.relation),
+        }
+    }
+}
+
+impl fmt::Display for OrderByExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)?;
+        match self.asc {
+            Some(true) => f.write_str(" ASC")?,
+            Some(false) => f.write_str(" DESC")?,
+            None => {}
+        }
+        match self.nulls_first {
+            Some(true) => f.write_str(" NULLS FIRST")?,
+            Some(false) => f.write_str(" NULLS LAST")?,
+            None => {}
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Query(q) => write!(f, "{q}"),
+            Statement::CreateView {
+                or_replace,
+                materialized,
+                temporary,
+                if_not_exists,
+                name,
+                columns,
+                query,
+            } => {
+                f.write_str("CREATE ")?;
+                if *or_replace {
+                    f.write_str("OR REPLACE ")?;
+                }
+                if *temporary {
+                    f.write_str("TEMPORARY ")?;
+                }
+                if *materialized {
+                    f.write_str("MATERIALIZED ")?;
+                }
+                f.write_str("VIEW ")?;
+                if *if_not_exists {
+                    f.write_str("IF NOT EXISTS ")?;
+                }
+                write!(f, "{name}")?;
+                if !columns.is_empty() {
+                    f.write_str("(")?;
+                    comma_sep(f, columns)?;
+                    f.write_str(")")?;
+                }
+                write!(f, " AS {query}")
+            }
+            Statement::CreateTable {
+                or_replace,
+                temporary,
+                if_not_exists,
+                name,
+                columns,
+                constraints,
+                query,
+            } => {
+                f.write_str("CREATE ")?;
+                if *or_replace {
+                    f.write_str("OR REPLACE ")?;
+                }
+                if *temporary {
+                    f.write_str("TEMPORARY ")?;
+                }
+                f.write_str("TABLE ")?;
+                if *if_not_exists {
+                    f.write_str("IF NOT EXISTS ")?;
+                }
+                write!(f, "{name}")?;
+                if !columns.is_empty() || !constraints.is_empty() {
+                    f.write_str(" (")?;
+                    let mut first = true;
+                    for col in columns {
+                        if !first {
+                            f.write_str(", ")?;
+                        }
+                        first = false;
+                        write!(f, "{col}")?;
+                    }
+                    for c in constraints {
+                        if !first {
+                            f.write_str(", ")?;
+                        }
+                        first = false;
+                        write!(f, "{c}")?;
+                    }
+                    f.write_str(")")?;
+                }
+                if let Some(query) = query {
+                    write!(f, " AS {query}")?;
+                }
+                Ok(())
+            }
+            Statement::Insert { table, columns, source } => {
+                write!(f, "INSERT INTO {table}")?;
+                if !columns.is_empty() {
+                    f.write_str(" (")?;
+                    comma_sep(f, columns)?;
+                    f.write_str(")")?;
+                }
+                write!(f, " {source}")
+            }
+            Statement::Drop { object_type, if_exists, names } => {
+                let kind = match object_type {
+                    ObjectType::Table => "TABLE",
+                    ObjectType::View => "VIEW",
+                    ObjectType::MaterializedView => "MATERIALIZED VIEW",
+                };
+                write!(f, "DROP {kind} ")?;
+                if *if_exists {
+                    f.write_str("IF EXISTS ")?;
+                }
+                comma_sep(f, names)
+            }
+            Statement::Update { table, alias, assignments, from, selection } => {
+                write!(f, "UPDATE {table}")?;
+                if let Some(alias) = alias {
+                    write!(f, " AS {alias}")?;
+                }
+                f.write_str(" SET ")?;
+                comma_sep(f, assignments)?;
+                if !from.is_empty() {
+                    f.write_str(" FROM ")?;
+                    comma_sep(f, from)?;
+                }
+                if let Some(selection) = selection {
+                    write!(f, " WHERE {selection}")?;
+                }
+                Ok(())
+            }
+            Statement::Delete { table, alias, using, selection } => {
+                write!(f, "DELETE FROM {table}")?;
+                if let Some(alias) = alias {
+                    write!(f, " AS {alias}")?;
+                }
+                if !using.is_empty() {
+                    f.write_str(" USING ")?;
+                    comma_sep(f, using)?;
+                }
+                if let Some(selection) = selection {
+                    write!(f, " WHERE {selection}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.column, self.value)
+    }
+}
+
+impl fmt::Display for ColumnDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.data_type)?;
+        for opt in &self.options {
+            write!(f, " {opt}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ColumnOption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnOption::NotNull => f.write_str("NOT NULL"),
+            ColumnOption::Null => f.write_str("NULL"),
+            ColumnOption::PrimaryKey => f.write_str("PRIMARY KEY"),
+            ColumnOption::Unique => f.write_str("UNIQUE"),
+            ColumnOption::Default(e) => write!(f, "DEFAULT {e}"),
+            ColumnOption::References { table, column } => {
+                write!(f, "REFERENCES {table}")?;
+                if let Some(column) = column {
+                    write!(f, "({column})")?;
+                }
+                Ok(())
+            }
+            ColumnOption::Check(e) => write!(f, "CHECK ({e})"),
+        }
+    }
+}
+
+impl fmt::Display for TableConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableConstraint::PrimaryKey(cols) => {
+                f.write_str("PRIMARY KEY (")?;
+                comma_sep(f, cols)?;
+                f.write_str(")")
+            }
+            TableConstraint::Unique(cols) => {
+                f.write_str("UNIQUE (")?;
+                comma_sep(f, cols)?;
+                f.write_str(")")
+            }
+            TableConstraint::ForeignKey { columns, foreign_table, referred_columns } => {
+                f.write_str("FOREIGN KEY (")?;
+                comma_sep(f, columns)?;
+                write!(f, ") REFERENCES {foreign_table}")?;
+                if !referred_columns.is_empty() {
+                    f.write_str(" (")?;
+                    comma_sep(f, referred_columns)?;
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            TableConstraint::Check(e) => write!(f, "CHECK ({e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ident::Ident;
+    use super::*;
+
+    #[test]
+    fn literal_display() {
+        assert_eq!(Literal::Number("3.14".into()).to_string(), "3.14");
+        assert_eq!(Literal::String("it's".into()).to_string(), "'it''s'");
+        assert_eq!(Literal::Boolean(true).to_string(), "TRUE");
+        assert_eq!(Literal::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn case_display() {
+        let e = Expr::Case {
+            operand: None,
+            conditions: vec![Expr::col("a").eq(Expr::Literal(Literal::Number("1".into())))],
+            results: vec![Expr::Literal(Literal::String("one".into()))],
+            else_result: Some(Box::new(Expr::Literal(Literal::Null))),
+        };
+        assert_eq!(e.to_string(), "CASE WHEN a = 1 THEN 'one' ELSE NULL END");
+    }
+
+    #[test]
+    fn extract_display() {
+        let e = Expr::Extract { field: "year".into(), expr: Box::new(Expr::qcol("w", "date")) };
+        assert_eq!(e.to_string(), "EXTRACT(year FROM w.date)");
+    }
+
+    #[test]
+    fn data_type_display() {
+        let t = DataType { name: "numeric".into(), params: vec![10, 2], suffix: None };
+        assert_eq!(t.to_string(), "numeric(10, 2)");
+        let t = DataType {
+            name: "timestamp".into(),
+            params: vec![],
+            suffix: Some("with time zone".into()),
+        };
+        assert_eq!(t.to_string(), "timestamp with time zone");
+    }
+
+    #[test]
+    fn select_item_display() {
+        assert_eq!(SelectItem::Wildcard.to_string(), "*");
+        assert_eq!(
+            SelectItem::QualifiedWildcard("w".into()).to_string(),
+            "w.*"
+        );
+        assert_eq!(
+            SelectItem::ExprWithAlias { expr: Expr::qcol("c", "cid"), alias: Ident::new("wcid") }
+                .to_string(),
+            "c.cid AS wcid"
+        );
+    }
+
+    #[test]
+    fn window_display() {
+        let func = Function {
+            name: "row_number".into(),
+            args: vec![],
+            distinct: false,
+            filter: None,
+            over: Some(WindowSpec {
+                partition_by: vec![Expr::col("dept")],
+                order_by: vec![OrderByExpr {
+                    expr: Expr::col("salary"),
+                    asc: Some(false),
+                    nulls_first: None,
+                }],
+                frame: Some(WindowFrame {
+                    units: FrameUnits::Rows,
+                    start: FrameBound::Preceding(None),
+                    end: Some(FrameBound::CurrentRow),
+                }),
+            }),
+        };
+        assert_eq!(
+            func.to_string(),
+            "row_number() OVER (PARTITION BY dept ORDER BY salary DESC ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW)"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Identifiers and dotted object names.
+
+use std::fmt;
+
+/// A single SQL identifier.
+///
+/// Unquoted identifiers are case-normalised to lower case at parse time
+/// (Postgres semantics), so `Name`, `NAME`, and `name` compare equal.
+/// Quoted identifiers preserve their exact spelling.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ident {
+    /// The identifier text (already lower-cased when unquoted).
+    pub value: String,
+    /// Whether the identifier was written with quotes.
+    pub quoted: bool,
+}
+
+impl Ident {
+    /// An unquoted identifier; the value is lower-cased.
+    pub fn new(value: impl AsRef<str>) -> Self {
+        Ident { value: value.as_ref().to_lowercase(), quoted: false }
+    }
+
+    /// A quoted identifier; the value is preserved verbatim.
+    pub fn quoted(value: impl Into<String>) -> Self {
+        Ident { value: value.into(), quoted: true }
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.quoted {
+            write!(f, "\"{}\"", self.value.replace('"', "\"\""))
+        } else {
+            f.write_str(&self.value)
+        }
+    }
+}
+
+impl From<&str> for Ident {
+    fn from(s: &str) -> Self {
+        Ident::new(s)
+    }
+}
+
+/// A possibly-qualified object name such as `schema.table` or `table`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectName(pub Vec<Ident>);
+
+impl ObjectName {
+    /// A single-part name.
+    pub fn single(name: impl AsRef<str>) -> Self {
+        ObjectName(vec![Ident::new(name)])
+    }
+
+    /// The last (unqualified) part of the name.
+    pub fn base_name(&self) -> &str {
+        self.0.last().map(|i| i.value.as_str()).unwrap_or("")
+    }
+
+    /// The full dotted name as a lowercase string, e.g. `public.orders`.
+    pub fn full_name(&self) -> String {
+        self.0.iter().map(|i| i.value.as_str()).collect::<Vec<_>>().join(".")
+    }
+}
+
+impl fmt::Display for ObjectName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, part) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{part}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<&str> for ObjectName {
+    fn from(s: &str) -> Self {
+        ObjectName(s.split('.').map(Ident::new).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unquoted_ident_lowercases() {
+        assert_eq!(Ident::new("CuStOmErS").value, "customers");
+        assert!(!Ident::new("x").quoted);
+    }
+
+    #[test]
+    fn quoted_ident_preserves_case() {
+        let i = Ident::quoted("MixedCase");
+        assert_eq!(i.value, "MixedCase");
+        assert!(i.quoted);
+    }
+
+    #[test]
+    fn display_escapes_embedded_quotes() {
+        let i = Ident::quoted(r#"say "hi""#);
+        assert_eq!(i.to_string(), r#""say ""hi""""#);
+    }
+
+    #[test]
+    fn object_name_parts() {
+        let n: ObjectName = "public.Orders".into();
+        assert_eq!(n.base_name(), "orders");
+        assert_eq!(n.full_name(), "public.orders");
+        assert_eq!(n.to_string(), "public.orders");
+    }
+
+    #[test]
+    fn idents_compare_case_insensitively_when_unquoted() {
+        assert_eq!(Ident::new("ABC"), Ident::new("abc"));
+        assert_ne!(Ident::quoted("ABC"), Ident::new("abc"));
+    }
+}

@@ -1,0 +1,25 @@
+//! The SQL abstract syntax tree.
+//!
+//! The tree mirrors the analytical SQL grammar the LineageX extractor
+//! traverses. All nodes implement `Display`, producing SQL that parses back
+//! to an identical tree (verified by the round-trip property tests).
+
+mod display;
+mod expr;
+mod ident;
+mod query;
+mod stmt;
+pub mod visit;
+
+pub use expr::{
+    BinaryOperator, DataType, FrameBound, FrameUnits, Function, FunctionArg, Literal, TrimSide,
+    UnaryOperator, WindowFrame, WindowSpec,
+};
+pub use ident::{Ident, ObjectName};
+pub use query::{
+    Cte, Distinct, Join, JoinConstraint, JoinOperator, OrderByExpr, Query, Select, SelectItem,
+    SetExpr, SetOperator, TableAlias, TableFactor, TableWithJoins, Values, With,
+};
+pub use stmt::{Assignment, ColumnDef, ColumnOption, ObjectType, Statement, TableConstraint};
+
+pub use expr::Expr;

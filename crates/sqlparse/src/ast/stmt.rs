@@ -1,0 +1,282 @@
+//! Top-level statements: queries, DDL, and `INSERT ... SELECT`.
+
+use super::expr::{DataType, Expr};
+use super::ident::{Ident, ObjectName};
+use super::query::Query;
+
+/// A top-level SQL statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Statement {
+    /// A bare query.
+    Query(Box<Query>),
+    /// `CREATE [OR REPLACE] [MATERIALIZED|TEMPORARY] VIEW name [(cols)] AS query`.
+    CreateView {
+        /// `OR REPLACE` present.
+        or_replace: bool,
+        /// `MATERIALIZED` present.
+        materialized: bool,
+        /// `TEMPORARY`/`TEMP` present.
+        temporary: bool,
+        /// `IF NOT EXISTS` present.
+        if_not_exists: bool,
+        /// The view name.
+        name: ObjectName,
+        /// Optional explicit output column names.
+        columns: Vec<Ident>,
+        /// The defining query.
+        query: Box<Query>,
+    },
+    /// `CREATE TABLE name (cols...)` or `CREATE TABLE name AS query`.
+    CreateTable {
+        /// `OR REPLACE` present.
+        or_replace: bool,
+        /// `TEMPORARY`/`TEMP` present.
+        temporary: bool,
+        /// `IF NOT EXISTS` present.
+        if_not_exists: bool,
+        /// The table name.
+        name: ObjectName,
+        /// Column definitions (empty for bare CTAS).
+        columns: Vec<ColumnDef>,
+        /// Table-level constraints.
+        constraints: Vec<TableConstraint>,
+        /// The `AS query` part for CTAS.
+        query: Option<Box<Query>>,
+    },
+    /// `INSERT INTO table [(cols)] query`.
+    Insert {
+        /// Target table.
+        table: ObjectName,
+        /// Optional explicit target columns.
+        columns: Vec<Ident>,
+        /// The source query (`SELECT ...` or `VALUES ...`).
+        source: Box<Query>,
+    },
+    /// `DROP TABLE/VIEW [IF EXISTS] names`.
+    Drop {
+        /// What kind of object is dropped.
+        object_type: ObjectType,
+        /// `IF EXISTS` present.
+        if_exists: bool,
+        /// The dropped names.
+        names: Vec<ObjectName>,
+    },
+    /// `UPDATE table [AS alias] SET col = expr, ... [FROM rels] [WHERE ...]`.
+    Update {
+        /// The target table.
+        table: ObjectName,
+        /// Optional target alias.
+        alias: Option<crate::ast::TableAlias>,
+        /// The `SET` assignments in written order.
+        assignments: Vec<Assignment>,
+        /// Postgres-style `FROM` relations joined into the update.
+        from: Vec<crate::ast::TableWithJoins>,
+        /// The `WHERE` predicate.
+        selection: Option<Expr>,
+    },
+    /// `DELETE FROM table [AS alias] [USING rels] [WHERE ...]`.
+    Delete {
+        /// The target table.
+        table: ObjectName,
+        /// Optional target alias.
+        alias: Option<crate::ast::TableAlias>,
+        /// Postgres-style `USING` relations.
+        using: Vec<crate::ast::TableWithJoins>,
+        /// The `WHERE` predicate.
+        selection: Option<Expr>,
+    },
+}
+
+/// One `SET` assignment of an `UPDATE`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Assignment {
+    /// The assigned column.
+    pub column: Ident,
+    /// The value expression.
+    pub value: Expr,
+}
+
+/// Object kinds for `DROP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ObjectType {
+    Table,
+    View,
+    MaterializedView,
+}
+
+impl Statement {
+    /// The name this statement creates, if it is a `CREATE` statement.
+    pub fn created_name(&self) -> Option<&ObjectName> {
+        match self {
+            Statement::CreateView { name, .. } | Statement::CreateTable { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// The defining query of this statement, if any (`SELECT` body of a
+    /// view/CTAS/insert, or the statement itself for bare queries).
+    /// `UPDATE`/`DELETE` carry no query body; see
+    /// [`Statement::update_as_query`].
+    pub fn defining_query(&self) -> Option<&Query> {
+        match self {
+            Statement::Query(q) => Some(q),
+            Statement::CreateView { query, .. } => Some(query),
+            Statement::CreateTable { query, .. } => query.as_deref(),
+            Statement::Insert { source, .. } => Some(source),
+            Statement::Drop { .. } | Statement::Update { .. } | Statement::Delete { .. } => None,
+        }
+    }
+
+    /// Rewrite an `UPDATE` into the semantically-equivalent `SELECT` for
+    /// lineage purposes:
+    ///
+    /// ```sql
+    /// UPDATE t AS a SET c = e, ... FROM r WHERE p
+    /// -- becomes
+    /// SELECT e AS c, ... FROM t AS a, r WHERE p
+    /// ```
+    ///
+    /// The target table scans first so `SET` expressions and predicates
+    /// can reference its columns; each assignment becomes an aliased
+    /// projection, giving the updated column's `C_con` directly.
+    pub fn update_as_query(&self) -> Option<Query> {
+        let Statement::Update { table, alias, assignments, from, selection } = self else {
+            return None;
+        };
+        use crate::ast::{Select, SelectItem, TableFactor, TableWithJoins};
+        let mut from_items = vec![TableWithJoins {
+            relation: TableFactor::Table { name: table.clone(), alias: alias.clone() },
+            joins: Vec::new(),
+        }];
+        from_items.extend(from.iter().cloned());
+        let select = Select {
+            distinct: None,
+            projection: assignments
+                .iter()
+                .map(|a| SelectItem::ExprWithAlias {
+                    expr: a.value.clone(),
+                    alias: a.column.clone(),
+                })
+                .collect(),
+            from: from_items,
+            selection: selection.clone(),
+            group_by: Vec::new(),
+            having: None,
+        };
+        Some(Query::from_select(select))
+    }
+}
+
+/// One column definition inside `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnDef {
+    /// The column name.
+    pub name: Ident,
+    /// Its declared type.
+    pub data_type: DataType,
+    /// Column options in written order.
+    pub options: Vec<ColumnOption>,
+}
+
+/// Column-level options/constraints.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ColumnOption {
+    /// `NOT NULL`.
+    NotNull,
+    /// Explicit `NULL`.
+    Null,
+    /// `PRIMARY KEY`.
+    PrimaryKey,
+    /// `UNIQUE`.
+    Unique,
+    /// `DEFAULT expr`.
+    Default(Expr),
+    /// `REFERENCES table [(col)]`.
+    References {
+        /// Referenced table.
+        table: ObjectName,
+        /// Referenced column, if written.
+        column: Option<Ident>,
+    },
+    /// `CHECK (expr)`.
+    Check(Expr),
+}
+
+/// Table-level constraints inside `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TableConstraint {
+    /// `PRIMARY KEY (cols)`.
+    PrimaryKey(Vec<Ident>),
+    /// `UNIQUE (cols)`.
+    Unique(Vec<Ident>),
+    /// `FOREIGN KEY (cols) REFERENCES table [(cols)]`.
+    ForeignKey {
+        /// Referencing columns.
+        columns: Vec<Ident>,
+        /// Referenced table.
+        foreign_table: ObjectName,
+        /// Referenced columns.
+        referred_columns: Vec<Ident>,
+    },
+    /// `CHECK (expr)`.
+    Check(Expr),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Select, SelectItem};
+
+    fn dummy_query() -> Box<Query> {
+        Box::new(Query::from_select(Select::projecting(vec![SelectItem::Wildcard])))
+    }
+
+    #[test]
+    fn created_name_for_view() {
+        let s = Statement::CreateView {
+            or_replace: false,
+            materialized: false,
+            temporary: false,
+            if_not_exists: false,
+            name: ObjectName::single("info"),
+            columns: vec![],
+            query: dummy_query(),
+        };
+        assert_eq!(s.created_name().unwrap().base_name(), "info");
+        assert!(s.defining_query().is_some());
+    }
+
+    #[test]
+    fn bare_query_has_no_created_name() {
+        let s = Statement::Query(dummy_query());
+        assert!(s.created_name().is_none());
+        assert!(s.defining_query().is_some());
+    }
+
+    #[test]
+    fn plain_create_table_has_no_defining_query() {
+        let s = Statement::CreateTable {
+            or_replace: false,
+            temporary: false,
+            if_not_exists: false,
+            name: ObjectName::single("t"),
+            columns: vec![],
+            constraints: vec![],
+            query: None,
+        };
+        assert!(s.defining_query().is_none());
+        assert_eq!(s.created_name().unwrap().base_name(), "t");
+    }
+
+    #[test]
+    fn drop_has_neither() {
+        let s = Statement::Drop {
+            object_type: ObjectType::View,
+            if_exists: true,
+            names: vec![ObjectName::single("v")],
+        };
+        assert!(s.created_name().is_none());
+        assert!(s.defining_query().is_none());
+    }
+}

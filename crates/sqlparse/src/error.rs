@@ -1,0 +1,76 @@
+//! Parse and lex error types.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An error produced while lexing or parsing SQL text.
+///
+/// Carries the source [`Span`] where the problem was detected so callers can
+/// point at the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Where in the source the error was detected.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Create a new error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError { message: message.into(), span }
+    }
+
+    /// Render the error with a caret line pointing into `source`.
+    ///
+    /// ```text
+    /// parse error at line 1, column 8: expected expression
+    ///   SELECT FROM t
+    ///          ^
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let line_idx = self.span.location.line.saturating_sub(1) as usize;
+        let col_idx = self.span.location.column.saturating_sub(1) as usize;
+        let line = source.lines().nth(line_idx).unwrap_or("");
+        let caret = " ".repeat(col_idx);
+        format!("parse error at {}: {}\n  {}\n  {}^", self.span, self.message, line, caret)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Location;
+
+    #[test]
+    fn display_includes_location_and_message() {
+        let e = ParseError::new("unexpected token", Span::new(7, 11, Location::new(2, 3)));
+        assert_eq!(e.to_string(), "parse error at line 2, column 3: unexpected token");
+    }
+
+    #[test]
+    fn render_points_caret_at_column() {
+        let src = "SELECT FROM t";
+        let e = ParseError::new("expected expression", Span::new(7, 11, Location::new(1, 8)));
+        let rendered = e.render(src);
+        assert!(rendered.contains("SELECT FROM t"));
+        let caret_line = rendered.lines().last().unwrap();
+        assert_eq!(caret_line.find('^').unwrap(), 2 + 7); // two indent spaces + column offset
+    }
+
+    #[test]
+    fn render_handles_out_of_range_line() {
+        let e = ParseError::new("eof", Span::new(0, 0, Location::new(99, 1)));
+        // Must not panic even when the line does not exist.
+        let rendered = e.render("one line only");
+        assert!(rendered.contains("eof"));
+    }
+}

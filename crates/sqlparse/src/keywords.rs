@@ -1,0 +1,163 @@
+//! Reserved and semi-reserved SQL keywords.
+//!
+//! The lexer classifies every bare word against this table; words not listed
+//! here are plain identifiers. Keyword matching is ASCII case-insensitive,
+//! as in standard SQL.
+
+macro_rules! define_keywords {
+    ($($ident:ident),* $(,)?) => {
+        /// A recognised SQL keyword.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[allow(missing_docs)]
+        pub enum Keyword {
+            $($ident,)*
+        }
+
+        impl Keyword {
+            /// The canonical upper-case spelling of the keyword.
+            pub fn as_str(&self) -> &'static str {
+                match self {
+                    $(Keyword::$ident => stringify!($ident),)*
+                }
+            }
+
+            /// Look a word up in the keyword table (case-insensitive).
+            pub fn lookup(word: &str) -> Option<Keyword> {
+                let upper = word.to_ascii_uppercase();
+                match upper.as_str() {
+                    $(stringify!($ident) => Some(Keyword::$ident),)*
+                    _ => None,
+                }
+            }
+        }
+
+        /// Every keyword the lexer recognises, in declaration order.
+        pub const ALL_KEYWORDS: &[Keyword] = &[$(Keyword::$ident,)*];
+    };
+}
+
+define_keywords!(
+    ALL, AND, ANY, AS, ASC, BETWEEN, BOTH, BY, CASE, CAST, CHECK, CONSTRAINT,
+    CREATE, CROSS, CURRENT, DEFAULT, DELETE, DESC, DISTINCT, DROP, ELSE, END,
+    EXCEPT, EXISTS, EXTRACT, FALSE, FETCH, FILTER, FIRST, FOLLOWING, FOR,
+    FOREIGN, FROM, FULL, GROUP, HAVING, IF, ILIKE, IN, INNER, INSERT,
+    INTERSECT, INTERVAL, INTO, IS, JOIN, KEY, LAST, LATERAL, LEADING, LEFT,
+    LIKE, LIMIT, MATERIALIZED, NATURAL, NEXT, NOT, NULL, NULLS, OFFSET, ON,
+    ONLY, OR, ORDER, OUTER, OVER, PARTITION, POSITION, PRECEDING, PRIMARY,
+    RANGE, RECURSIVE, REFERENCES, REPLACE, RIGHT, ROW, ROWS, SELECT, SET,
+    SIMILAR, SOME, SUBSTRING, TABLE, TEMP, TEMPORARY, THEN, TRAILING, TRIM,
+    TRUE, UNBOUNDED, UNION, UNIQUE, UPDATE, USING, VALUES, VIEW, WHEN, WHERE,
+    WINDOW, WITH,
+);
+
+impl Keyword {
+    /// Keywords that may never be used as a bare column/table alias.
+    ///
+    /// SQL allows most keywords as aliases when prefixed by `AS`; without
+    /// `AS`, an alias must not collide with clause-introducing keywords or
+    /// the parser would mis-associate the following clause.
+    pub fn is_reserved_for_alias(&self) -> bool {
+        use Keyword::*;
+        matches!(
+            self,
+            ALL | AND
+                | AS
+                | BETWEEN
+                | BY
+                | CASE
+                | CREATE
+                | CROSS
+                | DISTINCT
+                | ELSE
+                | END
+                | EXCEPT
+                | FETCH
+                | FILTER
+                | FOR
+                | FROM
+                | FULL
+                | GROUP
+                | HAVING
+                | ILIKE
+                | IN
+                | INNER
+                | INSERT
+                | INTERSECT
+                | INTO
+                | IS
+                | JOIN
+                | LATERAL
+                | LEFT
+                | LIKE
+                | LIMIT
+                | NATURAL
+                | NOT
+                | NULL
+                | OFFSET
+                | ON
+                | OR
+                | ORDER
+                | OUTER
+                | OVER
+                | PARTITION
+                | RIGHT
+                | SELECT
+                | SET
+                | SIMILAR
+                | THEN
+                | UNION
+                | USING
+                | VALUES
+                | WHEN
+                | WHERE
+                | WINDOW
+                | WITH
+        )
+    }
+
+    /// Keywords that introduce a column-constraint or table-option region in
+    /// `CREATE TABLE`, ending a column's data type.
+    pub fn ends_column_def(&self) -> bool {
+        use Keyword::*;
+        matches!(
+            self,
+            CONSTRAINT | PRIMARY | FOREIGN | UNIQUE | CHECK | DEFAULT | NOT | NULL | REFERENCES | KEY
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert_eq!(Keyword::lookup("select"), Some(Keyword::SELECT));
+        assert_eq!(Keyword::lookup("SeLeCt"), Some(Keyword::SELECT));
+        assert_eq!(Keyword::lookup("SELECT"), Some(Keyword::SELECT));
+    }
+
+    #[test]
+    fn lookup_rejects_plain_identifiers() {
+        assert_eq!(Keyword::lookup("customers"), None);
+        assert_eq!(Keyword::lookup("wpage"), None);
+        assert_eq!(Keyword::lookup(""), None);
+    }
+
+    #[test]
+    fn as_str_round_trips_through_lookup() {
+        for kw in ALL_KEYWORDS {
+            assert_eq!(Keyword::lookup(kw.as_str()), Some(*kw), "keyword {kw:?}");
+        }
+    }
+
+    #[test]
+    fn clause_keywords_are_reserved_for_alias() {
+        assert!(Keyword::FROM.is_reserved_for_alias());
+        assert!(Keyword::WHERE.is_reserved_for_alias());
+        assert!(Keyword::UNION.is_reserved_for_alias());
+        // Type-ish words can serve as aliases.
+        assert!(!Keyword::KEY.is_reserved_for_alias());
+        assert!(!Keyword::FIRST.is_reserved_for_alias());
+    }
+}

@@ -1,0 +1,809 @@
+//! Recursive-descent SQL parser.
+//!
+//! Split across three files: this module holds the token cursor, statement
+//! dispatch, DDL, and shared helpers; `query.rs` parses queries, selects,
+//! and joins; `expr.rs` is the Pratt expression parser.
+
+mod expr;
+mod query;
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::keywords::Keyword;
+use crate::lexer::Lexer;
+use crate::span::Span;
+use crate::token::{SpannedToken, Token, Word};
+
+/// Maximum expression/query nesting depth before the parser gives up with a
+/// clean error instead of overflowing the stack on adversarial input.
+pub const MAX_PARSE_DEPTH: usize = 100;
+
+/// The parser: a cursor over the token stream.
+pub struct Parser {
+    tokens: Vec<SpannedToken>,
+    index: usize,
+    depth: usize,
+}
+
+impl Parser {
+    /// Parse a semicolon-separated script into statements.
+    pub fn parse_sql(sql: &str) -> Result<Vec<Statement>, ParseError> {
+        let tokens = Lexer::tokenize(sql)?;
+        let mut parser = Parser { tokens, index: 0, depth: 0 };
+        let mut statements = Vec::new();
+        loop {
+            while parser.consume_token(&Token::Semicolon) {}
+            if parser.peek_token() == &Token::Eof {
+                break;
+            }
+            statements.push(parser.parse_statement()?);
+            match parser.peek_token() {
+                Token::Semicolon | Token::Eof => {}
+                other => {
+                    let msg = format!("expected end of statement, found {other}");
+                    return Err(parser.error_here(msg));
+                }
+            }
+        }
+        Ok(statements)
+    }
+
+    // ---- token cursor -------------------------------------------------
+
+    pub(crate) fn peek_token(&self) -> &Token {
+        self.peek_nth(0)
+    }
+
+    pub(crate) fn peek_nth(&self, n: usize) -> &Token {
+        self.tokens.get(self.index + n).map(|t| &t.token).unwrap_or(&Token::Eof)
+    }
+
+    pub(crate) fn peek_span(&self) -> Span {
+        self.tokens
+            .get(self.index)
+            .map(|t| t.span)
+            .or_else(|| self.tokens.last().map(|t| t.span))
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn next_token(&mut self) -> Token {
+        let tok = self.tokens.get(self.index).map(|t| t.token.clone()).unwrap_or(Token::Eof);
+        if self.index < self.tokens.len() {
+            self.index += 1;
+        }
+        tok
+    }
+
+    pub(crate) fn snapshot(&self) -> usize {
+        self.index
+    }
+
+    pub(crate) fn rollback(&mut self, snapshot: usize) {
+        self.index = snapshot;
+    }
+
+    pub(crate) fn error_here(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(message, self.peek_span())
+    }
+
+    /// Run `f` one nesting level deeper, failing cleanly past
+    /// [`MAX_PARSE_DEPTH`]. The depth is restored on both success and error
+    /// so speculative parses (snapshot/rollback) stay balanced.
+    pub(crate) fn with_depth<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, ParseError>,
+    ) -> Result<T, ParseError> {
+        if self.depth >= MAX_PARSE_DEPTH {
+            return Err(self.error_here("expression or query nesting is too deep"));
+        }
+        self.depth += 1;
+        let result = f(self);
+        self.depth -= 1;
+        result
+    }
+
+    /// Consume the next token if it equals `expected`.
+    pub(crate) fn consume_token(&mut self, expected: &Token) -> bool {
+        if self.peek_token() == expected {
+            self.next_token();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect_token(&mut self, expected: &Token) -> Result<(), ParseError> {
+        if self.consume_token(expected) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected {expected}, found {}", self.peek_token())))
+        }
+    }
+
+    /// Consume the next token if it is the keyword `kw`.
+    pub(crate) fn parse_keyword(&mut self, kw: Keyword) -> bool {
+        if self.peek_token().is_keyword(kw) {
+            self.next_token();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume a sequence of keywords atomically (all or none).
+    pub(crate) fn parse_keywords(&mut self, kws: &[Keyword]) -> bool {
+        let snapshot = self.snapshot();
+        for kw in kws {
+            if !self.parse_keyword(*kw) {
+                self.rollback(snapshot);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Consume and return whichever of `kws` comes next, if any.
+    pub(crate) fn parse_one_of_keywords(&mut self, kws: &[Keyword]) -> Option<Keyword> {
+        for kw in kws {
+            if self.parse_keyword(*kw) {
+                return Some(*kw);
+            }
+        }
+        None
+    }
+
+    pub(crate) fn expect_keyword(&mut self, kw: Keyword) -> Result<(), ParseError> {
+        if self.parse_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected {}, found {}", kw.as_str(), self.peek_token())))
+        }
+    }
+
+    // ---- identifiers ---------------------------------------------------
+
+    fn word_to_ident(word: &Word) -> Ident {
+        if let Some(q) = word.quote {
+            let _ = q;
+            Ident::quoted(word.value.clone())
+        } else {
+            Ident::new(&word.value)
+        }
+    }
+
+    /// Parse one identifier. Non-reserved keywords are accepted as names.
+    pub(crate) fn parse_identifier(&mut self) -> Result<Ident, ParseError> {
+        match self.peek_token() {
+            Token::Word(w) => {
+                let acceptable = match w.keyword {
+                    None => true,
+                    Some(kw) => !kw.is_reserved_for_alias(),
+                };
+                if acceptable {
+                    let w = w.clone();
+                    self.next_token();
+                    Ok(Self::word_to_ident(&w))
+                } else {
+                    Err(self.error_here(format!(
+                        "expected identifier, found reserved keyword {}",
+                        w.value
+                    )))
+                }
+            }
+            other => Err(self.error_here(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    /// Parse a dotted object name (`a`, `a.b`, `a.b.c`).
+    ///
+    /// A trailing `.` is left unconsumed unless a word follows, so callers
+    /// can detect the `name.*` wildcard form.
+    pub(crate) fn parse_object_name(&mut self) -> Result<ObjectName, ParseError> {
+        let mut parts = vec![self.parse_identifier()?];
+        while self.peek_token() == &Token::Period && matches!(self.peek_nth(1), Token::Word(_)) {
+            self.next_token();
+            parts.push(self.parse_identifier()?);
+        }
+        Ok(ObjectName(parts))
+    }
+
+    /// Parse an optional `[AS] alias`, rejecting reserved words for the
+    /// bare (no `AS`) form.
+    pub(crate) fn parse_optional_alias(&mut self) -> Result<Option<Ident>, ParseError> {
+        if self.parse_keyword(Keyword::AS) {
+            return Ok(Some(self.parse_identifier()?));
+        }
+        match self.peek_token() {
+            Token::Word(w) => {
+                let ok = match w.keyword {
+                    None => true,
+                    Some(kw) => !kw.is_reserved_for_alias(),
+                };
+                if ok {
+                    let w = w.clone();
+                    self.next_token();
+                    Ok(Some(Self::word_to_ident(&w)))
+                } else {
+                    Ok(None)
+                }
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Parse an optional table alias with an optional column list.
+    pub(crate) fn parse_optional_table_alias(&mut self) -> Result<Option<TableAlias>, ParseError> {
+        let Some(name) = self.parse_optional_alias()? else {
+            return Ok(None);
+        };
+        let mut columns = Vec::new();
+        if self.peek_token() == &Token::LParen {
+            self.next_token();
+            loop {
+                columns.push(self.parse_identifier()?);
+                if !self.consume_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(&Token::RParen)?;
+        }
+        Ok(Some(TableAlias { name, columns }))
+    }
+
+    /// Parse a parenthesised comma-separated identifier list.
+    pub(crate) fn parse_paren_ident_list(&mut self) -> Result<Vec<Ident>, ParseError> {
+        self.expect_token(&Token::LParen)?;
+        let mut out = Vec::new();
+        loop {
+            out.push(self.parse_identifier()?);
+            if !self.consume_token(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_token(&Token::RParen)?;
+        Ok(out)
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    /// Parse a single statement at the cursor.
+    pub fn parse_statement(&mut self) -> Result<Statement, ParseError> {
+        match self.peek_token() {
+            Token::Word(w) => match w.keyword {
+                Some(Keyword::SELECT) | Some(Keyword::WITH) | Some(Keyword::VALUES) => {
+                    Ok(Statement::Query(Box::new(self.parse_query()?)))
+                }
+                Some(Keyword::CREATE) => self.parse_create(),
+                Some(Keyword::INSERT) => self.parse_insert(),
+                Some(Keyword::DROP) => self.parse_drop(),
+                Some(Keyword::UPDATE) => self.parse_update(),
+                Some(Keyword::DELETE) => self.parse_delete(),
+                _ => Err(self.error_here(format!("unexpected start of statement: {}", w.value))),
+            },
+            Token::LParen => Ok(Statement::Query(Box::new(self.parse_query()?))),
+            other => Err(self.error_here(format!("unexpected start of statement: {other}"))),
+        }
+    }
+
+    fn parse_create(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword(Keyword::CREATE)?;
+        let or_replace = self.parse_keywords(&[Keyword::OR, Keyword::REPLACE]);
+        let temporary =
+            self.parse_keyword(Keyword::TEMPORARY) || self.parse_keyword(Keyword::TEMP);
+        let materialized = self.parse_keyword(Keyword::MATERIALIZED);
+        if self.parse_keyword(Keyword::VIEW) {
+            self.parse_create_view(or_replace, materialized, temporary)
+        } else if self.parse_keyword(Keyword::TABLE) {
+            if materialized {
+                return Err(self.error_here("MATERIALIZED applies to views, not tables"));
+            }
+            self.parse_create_table(or_replace, temporary)
+        } else {
+            Err(self.error_here(format!("expected VIEW or TABLE, found {}", self.peek_token())))
+        }
+    }
+
+    fn parse_create_view(
+        &mut self,
+        or_replace: bool,
+        materialized: bool,
+        temporary: bool,
+    ) -> Result<Statement, ParseError> {
+        let if_not_exists = self.parse_keywords(&[Keyword::IF, Keyword::NOT, Keyword::EXISTS]);
+        let name = self.parse_object_name()?;
+        let columns = if self.peek_token() == &Token::LParen {
+            self.parse_paren_ident_list()?
+        } else {
+            Vec::new()
+        };
+        self.expect_keyword(Keyword::AS)?;
+        let query = Box::new(self.parse_query()?);
+        Ok(Statement::CreateView {
+            or_replace,
+            materialized,
+            temporary,
+            if_not_exists,
+            name,
+            columns,
+            query,
+        })
+    }
+
+    fn parse_create_table(
+        &mut self,
+        or_replace: bool,
+        temporary: bool,
+    ) -> Result<Statement, ParseError> {
+        let if_not_exists = self.parse_keywords(&[Keyword::IF, Keyword::NOT, Keyword::EXISTS]);
+        let name = self.parse_object_name()?;
+        let mut columns = Vec::new();
+        let mut constraints = Vec::new();
+        let mut query = None;
+        if self.peek_token() == &Token::LParen {
+            self.next_token();
+            loop {
+                if let Some(constraint) = self.parse_optional_table_constraint()? {
+                    constraints.push(constraint);
+                } else {
+                    columns.push(self.parse_column_def()?);
+                }
+                if !self.consume_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(&Token::RParen)?;
+        } else if self.parse_keyword(Keyword::AS) {
+            query = Some(Box::new(self.parse_query()?));
+        } else {
+            return Err(self.error_here("expected ( column list ) or AS query"));
+        }
+        // `CREATE TABLE t (...) AS query` is not standard; only the bare
+        // CTAS form sets `query`.
+        Ok(Statement::CreateTable {
+            or_replace,
+            temporary,
+            if_not_exists,
+            name,
+            columns,
+            constraints,
+            query,
+        })
+    }
+
+    fn parse_optional_table_constraint(
+        &mut self,
+    ) -> Result<Option<TableConstraint>, ParseError> {
+        // An optional `CONSTRAINT name` prefix applies to both column and
+        // table constraints; we only support it on table constraints, where
+        // it is most common, and discard the name (lineage does not use it).
+        let snapshot = self.snapshot();
+        if self.parse_keyword(Keyword::CONSTRAINT) {
+            let _name = self.parse_identifier()?;
+        }
+        let constraint = if self.parse_keywords(&[Keyword::PRIMARY, Keyword::KEY]) {
+            Some(TableConstraint::PrimaryKey(self.parse_paren_ident_list()?))
+        } else if self.peek_token().is_keyword(Keyword::UNIQUE)
+            && self.peek_nth(1) == &Token::LParen
+        {
+            self.next_token();
+            Some(TableConstraint::Unique(self.parse_paren_ident_list()?))
+        } else if self.parse_keywords(&[Keyword::FOREIGN, Keyword::KEY]) {
+            let columns = self.parse_paren_ident_list()?;
+            self.expect_keyword(Keyword::REFERENCES)?;
+            let foreign_table = self.parse_object_name()?;
+            let referred_columns = if self.peek_token() == &Token::LParen {
+                self.parse_paren_ident_list()?
+            } else {
+                Vec::new()
+            };
+            Some(TableConstraint::ForeignKey { columns, foreign_table, referred_columns })
+        } else if self.peek_token().is_keyword(Keyword::CHECK) && self.peek_nth(1) == &Token::LParen
+        {
+            self.next_token();
+            self.expect_token(&Token::LParen)?;
+            let expr = self.parse_expr()?;
+            self.expect_token(&Token::RParen)?;
+            Some(TableConstraint::Check(expr))
+        } else {
+            None
+        };
+        if constraint.is_none() {
+            self.rollback(snapshot);
+        }
+        Ok(constraint)
+    }
+
+    fn parse_column_def(&mut self) -> Result<ColumnDef, ParseError> {
+        let name = self.parse_identifier()?;
+        let data_type = self.parse_data_type()?;
+        let mut options = Vec::new();
+        loop {
+            if self.parse_keywords(&[Keyword::NOT, Keyword::NULL]) {
+                options.push(ColumnOption::NotNull);
+            } else if self.parse_keyword(Keyword::NULL) {
+                options.push(ColumnOption::Null);
+            } else if self.parse_keywords(&[Keyword::PRIMARY, Keyword::KEY]) {
+                options.push(ColumnOption::PrimaryKey);
+            } else if self.parse_keyword(Keyword::UNIQUE) {
+                options.push(ColumnOption::Unique);
+            } else if self.parse_keyword(Keyword::DEFAULT) {
+                options.push(ColumnOption::Default(self.parse_expr()?));
+            } else if self.parse_keyword(Keyword::REFERENCES) {
+                let table = self.parse_object_name()?;
+                let column = if self.peek_token() == &Token::LParen {
+                    self.next_token();
+                    let c = self.parse_identifier()?;
+                    self.expect_token(&Token::RParen)?;
+                    Some(c)
+                } else {
+                    None
+                };
+                options.push(ColumnOption::References { table, column });
+            } else if self.parse_keyword(Keyword::CHECK) {
+                self.expect_token(&Token::LParen)?;
+                let expr = self.parse_expr()?;
+                self.expect_token(&Token::RParen)?;
+                options.push(ColumnOption::Check(expr));
+            } else {
+                break;
+            }
+        }
+        Ok(ColumnDef { name, data_type, options })
+    }
+
+    /// Parse a data type: a one-or-two-word type phrase, optional numeric
+    /// parameters, and an optional `with/without time zone` suffix.
+    pub(crate) fn parse_data_type(&mut self) -> Result<DataType, ParseError> {
+        let first = match self.peek_token() {
+            Token::Word(w) if w.keyword.is_none() || !w.keyword.unwrap().is_reserved_for_alias() => {
+                let v = w.value.to_lowercase();
+                self.next_token();
+                v
+            }
+            other => return Err(self.error_here(format!("expected data type, found {other}"))),
+        };
+        let mut name = first;
+        // Known two-word type phrases.
+        let continuation: Option<&str> = match (name.as_str(), self.peek_token()) {
+            ("double", Token::Word(w)) if w.value.eq_ignore_ascii_case("precision") => {
+                Some("precision")
+            }
+            ("character", Token::Word(w)) if w.value.eq_ignore_ascii_case("varying") => {
+                Some("varying")
+            }
+            ("bit", Token::Word(w)) if w.value.eq_ignore_ascii_case("varying") => Some("varying"),
+            _ => None,
+        };
+        if let Some(cont) = continuation {
+            self.next_token();
+            name.push(' ');
+            name.push_str(cont);
+        }
+        let mut params = Vec::new();
+        if self.peek_token() == &Token::LParen {
+            self.next_token();
+            loop {
+                match self.next_token() {
+                    Token::Number(n) => {
+                        let v = n.parse::<u64>().map_err(|_| {
+                            self.error_here(format!("invalid type parameter {n}"))
+                        })?;
+                        params.push(v);
+                    }
+                    other => {
+                        return Err(
+                            self.error_here(format!("expected numeric parameter, found {other}"))
+                        )
+                    }
+                }
+                if !self.consume_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(&Token::RParen)?;
+        }
+        let mut suffix = None;
+        if matches!(name.as_str(), "time" | "timestamp") {
+            let snapshot = self.snapshot();
+            let with = if self.parse_keyword(Keyword::WITH) {
+                Some(true)
+            } else if matches!(self.peek_token(), Token::Word(w) if w.value.eq_ignore_ascii_case("without"))
+            {
+                self.next_token();
+                Some(false)
+            } else {
+                None
+            };
+            if let Some(with) = with {
+                let time_ok =
+                    matches!(self.peek_token(), Token::Word(w) if w.value.eq_ignore_ascii_case("time"));
+                if time_ok {
+                    self.next_token();
+                    let zone_ok = matches!(self.peek_token(), Token::Word(w) if w.value.eq_ignore_ascii_case("zone"));
+                    if zone_ok {
+                        self.next_token();
+                        suffix = Some(if with {
+                            "with time zone".to_string()
+                        } else {
+                            "without time zone".to_string()
+                        });
+                    } else {
+                        self.rollback(snapshot);
+                    }
+                } else {
+                    self.rollback(snapshot);
+                }
+            }
+        }
+        Ok(DataType { name, params, suffix })
+    }
+
+    fn parse_insert(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword(Keyword::INSERT)?;
+        self.expect_keyword(Keyword::INTO)?;
+        let table = self.parse_object_name()?;
+        let columns = if self.peek_token() == &Token::LParen
+            && !matches!(self.peek_nth(1), Token::Word(w) if w.keyword == Some(Keyword::SELECT) || w.keyword == Some(Keyword::WITH))
+        {
+            self.parse_paren_ident_list()?
+        } else {
+            Vec::new()
+        };
+        let source = Box::new(self.parse_query()?);
+        Ok(Statement::Insert { table, columns, source })
+    }
+
+    fn parse_update(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword(Keyword::UPDATE)?;
+        let table = self.parse_object_name()?;
+        let alias = self.parse_optional_table_alias()?;
+        self.expect_keyword(Keyword::SET)?;
+        let mut assignments = Vec::new();
+        loop {
+            let column = self.parse_identifier()?;
+            self.expect_token(&Token::Eq)?;
+            let value = self.parse_expr()?;
+            assignments.push(Assignment { column, value });
+            if !self.consume_token(&Token::Comma) {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.parse_keyword(Keyword::FROM) {
+            loop {
+                from.push(self.parse_table_with_joins()?);
+                if !self.consume_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let selection =
+            if self.parse_keyword(Keyword::WHERE) { Some(self.parse_expr()?) } else { None };
+        Ok(Statement::Update { table, alias, assignments, from, selection })
+    }
+
+    fn parse_delete(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword(Keyword::DELETE)?;
+        self.expect_keyword(Keyword::FROM)?;
+        let table = self.parse_object_name()?;
+        let alias = self.parse_optional_table_alias()?;
+        let mut using = Vec::new();
+        if self.parse_keyword(Keyword::USING) {
+            loop {
+                using.push(self.parse_table_with_joins()?);
+                if !self.consume_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let selection =
+            if self.parse_keyword(Keyword::WHERE) { Some(self.parse_expr()?) } else { None };
+        Ok(Statement::Delete { table, alias, using, selection })
+    }
+
+    fn parse_drop(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword(Keyword::DROP)?;
+        let object_type = if self.parse_keyword(Keyword::TABLE) {
+            ObjectType::Table
+        } else if self.parse_keywords(&[Keyword::MATERIALIZED, Keyword::VIEW]) {
+            ObjectType::MaterializedView
+        } else if self.parse_keyword(Keyword::VIEW) {
+            ObjectType::View
+        } else {
+            return Err(self.error_here("expected TABLE or VIEW after DROP"));
+        };
+        let if_exists = self.parse_keywords(&[Keyword::IF, Keyword::EXISTS]);
+        let mut names = vec![self.parse_object_name()?];
+        while self.consume_token(&Token::Comma) {
+            names.push(self.parse_object_name()?);
+        }
+        Ok(Statement::Drop { object_type, if_exists, names })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multiple_statements() {
+        let stmts = Parser::parse_sql("SELECT 1; SELECT 2;; SELECT 3").unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_yields_no_statements() {
+        assert!(Parser::parse_sql("").unwrap().is_empty());
+        assert!(Parser::parse_sql(" ;; ; ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn garbage_between_statements_errors() {
+        let err = Parser::parse_sql("SELECT 1 SELECT 2").unwrap_err();
+        assert!(err.message.contains("end of statement"), "{err}");
+    }
+
+    #[test]
+    fn parses_create_view() {
+        let stmt = crate::parse_statement(
+            "CREATE OR REPLACE MATERIALIZED VIEW v(a, b) AS SELECT x, y FROM t",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateView { or_replace, materialized, name, columns, .. } => {
+                assert!(or_replace);
+                assert!(materialized);
+                assert_eq!(name.base_name(), "v");
+                assert_eq!(columns.len(), 2);
+            }
+            other => panic!("expected CreateView, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_table_with_constraints() {
+        let sql = "CREATE TABLE orders (
+            oid int PRIMARY KEY,
+            cid int NOT NULL REFERENCES customers(cid),
+            amount numeric(10, 2) DEFAULT 0,
+            note character varying(100),
+            CONSTRAINT uq UNIQUE (oid, cid),
+            FOREIGN KEY (cid) REFERENCES customers (cid),
+            CHECK (amount >= 0)
+        )";
+        let stmt = crate::parse_statement(sql).unwrap();
+        match stmt {
+            Statement::CreateTable { name, columns, constraints, query, .. } => {
+                assert_eq!(name.base_name(), "orders");
+                assert_eq!(columns.len(), 4);
+                assert_eq!(constraints.len(), 3);
+                assert!(query.is_none());
+                assert_eq!(columns[2].data_type.params, vec![10, 2]);
+                assert_eq!(columns[3].data_type.name, "character varying");
+            }
+            other => panic!("expected CreateTable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_ctas() {
+        let stmt = crate::parse_statement("CREATE TABLE t2 AS SELECT * FROM t1").unwrap();
+        match stmt {
+            Statement::CreateTable { query, columns, .. } => {
+                assert!(query.is_some());
+                assert!(columns.is_empty());
+            }
+            other => panic!("expected CreateTable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_select() {
+        let stmt =
+            crate::parse_statement("INSERT INTO t (a, b) SELECT x, y FROM u").unwrap();
+        match stmt {
+            Statement::Insert { table, columns, .. } => {
+                assert_eq!(table.base_name(), "t");
+                assert_eq!(columns.len(), 2);
+            }
+            other => panic!("expected Insert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_values() {
+        let stmt = crate::parse_statement("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+        match stmt {
+            Statement::Insert { source, .. } => {
+                assert!(matches!(source.body, SetExpr::Values(_)));
+            }
+            other => panic!("expected Insert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_drop() {
+        let stmt = crate::parse_statement("DROP VIEW IF EXISTS a, b.c").unwrap();
+        match stmt {
+            Statement::Drop { object_type, if_exists, names } => {
+                assert_eq!(object_type, ObjectType::View);
+                assert!(if_exists);
+                assert_eq!(names.len(), 2);
+            }
+            other => panic!("expected Drop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timestamp_with_time_zone() {
+        let stmt =
+            crate::parse_statement("CREATE TABLE t (ts timestamp with time zone)").unwrap();
+        match stmt {
+            Statement::CreateTable { columns, .. } => {
+                assert_eq!(columns[0].data_type.suffix.as_deref(), Some("with time zone"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_update() {
+        let stmt = crate::parse_statement(
+            "UPDATE web AS w SET page = u.page, reg = TRUE FROM updates u WHERE w.cid = u.cid",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Update { table, alias, assignments, from, selection } => {
+                assert_eq!(table.base_name(), "web");
+                assert_eq!(alias.unwrap().name.value, "w");
+                assert_eq!(assignments.len(), 2);
+                assert_eq!(assignments[0].column.value, "page");
+                assert_eq!(from.len(), 1);
+                assert!(selection.is_some());
+            }
+            other => panic!("expected Update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_minimal_update() {
+        let stmt = crate::parse_statement("UPDATE t SET a = 1").unwrap();
+        match stmt {
+            Statement::Update { assignments, from, selection, alias, .. } => {
+                assert_eq!(assignments.len(), 1);
+                assert!(from.is_empty());
+                assert!(selection.is_none());
+                assert!(alias.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_delete() {
+        let stmt = crate::parse_statement(
+            "DELETE FROM web w USING retired r WHERE w.cid = r.cid",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Delete { table, alias, using, selection } => {
+                assert_eq!(table.base_name(), "web");
+                assert_eq!(alias.unwrap().name.value, "w");
+                assert_eq!(using.len(), 1);
+                assert!(selection.is_some());
+            }
+            other => panic!("expected Delete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reserved_word_as_identifier_fails() {
+        assert!(crate::parse_statement("SELECT * FROM select").is_err());
+    }
+
+    #[test]
+    fn quoted_reserved_word_as_identifier_ok() {
+        let stmt = crate::parse_statement(r#"SELECT * FROM "select""#).unwrap();
+        assert!(matches!(stmt, Statement::Query(_)));
+    }
+}

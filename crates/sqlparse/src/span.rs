@@ -1,0 +1,109 @@
+//! Source locations and spans attached to tokens and errors.
+
+use std::fmt;
+
+/// A line/column position inside the SQL source text (both 1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Location {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (counted in characters).
+    pub column: u32,
+}
+
+impl Location {
+    /// Create a location from 1-based line and column numbers.
+    pub fn new(line: u32, column: u32) -> Self {
+        Location { line, column }
+    }
+}
+
+impl Default for Location {
+    fn default() -> Self {
+        Location { line: 1, column: 1 }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// A half-open byte range `[start, end)` in the source, with the line/column
+/// of its start for human-readable error messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Span {
+    /// Byte offset of the first byte of the spanned text.
+    pub start: usize,
+    /// Byte offset one past the last byte of the spanned text.
+    pub end: usize,
+    /// Line/column of `start`.
+    pub location: Location,
+}
+
+impl Span {
+    /// Create a span covering `[start, end)` beginning at `location`.
+    pub fn new(start: usize, end: usize, location: Location) -> Self {
+        Span { start, end, location }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn union(&self, other: &Span) -> Span {
+        let (start, location) = if self.start <= other.start {
+            (self.start, self.location)
+        } else {
+            (other.start, other.location)
+        };
+        Span { start, end: self.end.max(other.end), location }
+    }
+
+    /// Extract the spanned slice from the original source text.
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        source.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.location)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_picks_outer_bounds() {
+        let a = Span::new(3, 7, Location::new(1, 4));
+        let b = Span::new(5, 12, Location::new(1, 6));
+        let u = a.union(&b);
+        assert_eq!(u.start, 3);
+        assert_eq!(u.end, 12);
+        assert_eq!(u.location, Location::new(1, 4));
+        // Union is symmetric on bounds.
+        let v = b.union(&a);
+        assert_eq!(v.start, 3);
+        assert_eq!(v.end, 12);
+    }
+
+    #[test]
+    fn slice_returns_spanned_text() {
+        let src = "SELECT a FROM t";
+        let s = Span::new(7, 8, Location::new(1, 8));
+        assert_eq!(s.slice(src), "a");
+    }
+
+    #[test]
+    fn slice_out_of_bounds_is_empty() {
+        let s = Span::new(10, 99, Location::default());
+        assert_eq!(s.slice("short"), "");
+    }
+
+    #[test]
+    fn display_shows_line_and_column() {
+        let s = Span::new(0, 1, Location::new(3, 14));
+        assert_eq!(s.to_string(), "line 3, column 14");
+    }
+}

@@ -1,0 +1,185 @@
+//! Lexical tokens produced by the [`crate::lexer::Lexer`].
+
+use crate::keywords::Keyword;
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A bare or quoted identifier, possibly classified as a keyword.
+    Word(Word),
+    /// A numeric literal, kept verbatim (`42`, `3.14`, `1e-5`).
+    Number(String),
+    /// A single-quoted string literal with escapes already folded.
+    SingleQuotedString(String),
+    /// A national string literal `N'...'` (treated like a normal string).
+    NationalString(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Period,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    LtEq,
+    /// `>=`
+    GtEq,
+    /// `||` string concatenation
+    Concat,
+    /// `::` Postgres-style cast
+    DoubleColon,
+    /// `?` or `$n` placeholder
+    Placeholder(String),
+    /// `^`
+    Caret,
+    /// End of input.
+    Eof,
+}
+
+/// An identifier-like token: either a keyword or a (possibly quoted) name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Word {
+    /// The identifier text. For quoted identifiers this is the exact quoted
+    /// content; for bare words it is the text as written.
+    pub value: String,
+    /// The quoting character (`"`, `` ` `` or `[`), if the word was quoted.
+    pub quote: Option<char>,
+    /// The keyword classification of a bare word, if any. Quoted words are
+    /// never keywords.
+    pub keyword: Option<Keyword>,
+}
+
+impl Word {
+    /// Build a bare word, classifying it against the keyword table.
+    pub fn bare(value: impl Into<String>) -> Self {
+        let value = value.into();
+        let keyword = Keyword::lookup(&value);
+        Word { value, quote: None, keyword }
+    }
+
+    /// Build a quoted word (never a keyword).
+    pub fn quoted(value: impl Into<String>, quote: char) -> Self {
+        Word { value: value.into(), quote: Some(quote), keyword: None }
+    }
+}
+
+impl Token {
+    /// Whether this token is the given keyword.
+    pub fn is_keyword(&self, kw: Keyword) -> bool {
+        matches!(self, Token::Word(w) if w.keyword == Some(kw))
+    }
+
+    /// Whether this token can begin an identifier chain (bare word, quoted
+    /// word, or non-reserved keyword used as a name).
+    pub fn is_word(&self) -> bool {
+        matches!(self, Token::Word(_))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => match w.quote {
+                Some('[') => write!(f, "[{}]", w.value),
+                Some(q) => write!(f, "{q}{}{q}", w.value),
+                None => write!(f, "{}", w.value),
+            },
+            Token::Number(n) => write!(f, "{n}"),
+            Token::SingleQuotedString(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Token::NationalString(s) => write!(f, "N'{}'", s.replace('\'', "''")),
+            Token::Comma => f.write_str(","),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Semicolon => f.write_str(";"),
+            Token::Period => f.write_str("."),
+            Token::Star => f.write_str("*"),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Slash => f.write_str("/"),
+            Token::Percent => f.write_str("%"),
+            Token::Eq => f.write_str("="),
+            Token::Neq => f.write_str("<>"),
+            Token::Lt => f.write_str("<"),
+            Token::Gt => f.write_str(">"),
+            Token::LtEq => f.write_str("<="),
+            Token::GtEq => f.write_str(">="),
+            Token::Concat => f.write_str("||"),
+            Token::DoubleColon => f.write_str("::"),
+            Token::Placeholder(p) => write!(f, "{p}"),
+            Token::Caret => f.write_str("^"),
+            Token::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token itself.
+    pub token: Token,
+    /// Where it came from in the source.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_word_classifies_keywords() {
+        let w = Word::bare("select");
+        assert_eq!(w.keyword, Some(Keyword::SELECT));
+        let w = Word::bare("customers");
+        assert_eq!(w.keyword, None);
+    }
+
+    #[test]
+    fn quoted_word_is_never_keyword() {
+        let w = Word::quoted("select", '"');
+        assert_eq!(w.keyword, None);
+        assert_eq!(w.quote, Some('"'));
+    }
+
+    #[test]
+    fn display_escapes_string_quotes() {
+        let t = Token::SingleQuotedString("it's".into());
+        assert_eq!(t.to_string(), "'it''s'");
+    }
+
+    #[test]
+    fn display_renders_bracket_quotes() {
+        let t = Token::Word(Word::quoted("weird name", '['));
+        assert_eq!(t.to_string(), "[weird name]");
+    }
+
+    #[test]
+    fn is_keyword_matches_only_that_keyword() {
+        let t = Token::Word(Word::bare("FROM"));
+        assert!(t.is_keyword(Keyword::FROM));
+        assert!(!t.is_keyword(Keyword::SELECT));
+        assert!(!Token::Comma.is_keyword(Keyword::FROM));
+    }
+}

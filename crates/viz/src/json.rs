@@ -1,0 +1,102 @@
+//! JSON artefacts: the lineage document and the graph JSON for the viewer.
+
+use lineagex_core::{EdgeKind, JsonReport, LineageGraph};
+use serde::Serialize;
+
+/// A node in the graph JSON.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct GraphNode {
+    /// Relation name.
+    pub id: String,
+    /// Node kind label.
+    pub kind: String,
+    /// Column names.
+    pub columns: Vec<String>,
+}
+
+/// An edge in the graph JSON (column granularity).
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct GraphEdge {
+    /// `table.column` source.
+    pub from: String,
+    /// `table.column` target.
+    pub to: String,
+    /// `contribute` / `reference` / `both`.
+    pub kind: String,
+}
+
+/// The nodes-and-edges document consumed by the HTML viewer.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct GraphJson {
+    /// All relation nodes.
+    pub nodes: Vec<GraphNode>,
+    /// All column-level edges (paper semantics: referenced sources point
+    /// at every output of the referencing query).
+    pub edges: Vec<GraphEdge>,
+}
+
+/// Serialise the per-query lineage document (the paper's `output.json`).
+pub fn to_output_json(graph: &LineageGraph) -> String {
+    JsonReport::from_graph(graph).to_json()
+}
+
+/// Build the graph JSON for the viewer.
+pub fn graph_json(graph: &LineageGraph) -> GraphJson {
+    let nodes = graph
+        .nodes
+        .values()
+        .map(|n| GraphNode {
+            id: n.name.clone(),
+            kind: format!("{:?}", n.kind),
+            columns: n.columns.clone(),
+        })
+        .collect();
+    let edges = graph
+        .all_edges()
+        .into_iter()
+        .map(|e| GraphEdge {
+            from: e.from.to_string(),
+            to: e.to.to_string(),
+            kind: match e.kind {
+                EdgeKind::Contribute => "contribute".to_string(),
+                EdgeKind::Reference => "reference".to_string(),
+                EdgeKind::Both => "both".to_string(),
+            },
+        })
+        .collect();
+    GraphJson { nodes, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineagex_core::lineagex;
+
+    fn graph() -> LineageGraph {
+        lineagex(
+            "CREATE TABLE t (a int, b int);
+             CREATE VIEW v AS SELECT a FROM t WHERE b > 0;",
+        )
+        .unwrap()
+        .graph
+    }
+
+    #[test]
+    fn output_json_is_valid() {
+        let json = to_output_json(&graph());
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(value["queries"]["v"].is_object());
+    }
+
+    #[test]
+    fn graph_json_has_nodes_and_typed_edges() {
+        let gj = graph_json(&graph());
+        assert_eq!(gj.nodes.len(), 2);
+        let kinds: Vec<&str> = gj.edges.iter().map(|e| e.kind.as_str()).collect();
+        assert!(kinds.contains(&"contribute"));
+        assert!(kinds.contains(&"reference"));
+        let contribute = gj.edges.iter().find(|e| e.kind == "contribute").unwrap();
+        assert_eq!(contribute.from, "t.a");
+        assert_eq!(contribute.to, "v.a");
+    }
+}

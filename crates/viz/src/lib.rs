@@ -1,0 +1,26 @@
+//! # lineagex-viz
+//!
+//! Rendering backends for LineageX lineage graphs, standing in for the
+//! paper's web UI (Fig. 5). Three artefacts are produced:
+//!
+//! * [`json`] — the machine-readable lineage document plus a
+//!   nodes-and-edges graph JSON (the paper's `output.json`);
+//! * [`dot`] — Graphviz DOT with one record node per relation and edges
+//!   coloured by kind (contribute = black, reference = blue, both =
+//!   orange, matching the paper's palette);
+//! * [`html`] — a single self-contained HTML file with an embedded
+//!   JavaScript viewer: a table dropdown, per-table explore
+//!   upstream/downstream expansion, and hover highlighting of downstream
+//!   columns — the interactions demonstrated in §IV steps 2–3.
+
+pub mod dot;
+pub mod html;
+pub mod json;
+pub mod markdown;
+pub mod mermaid;
+
+pub use dot::to_dot;
+pub use html::to_html;
+pub use json::{graph_json, to_output_json};
+pub use markdown::to_markdown;
+pub use mermaid::to_mermaid;

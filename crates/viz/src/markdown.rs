@@ -1,0 +1,113 @@
+//! Markdown report export — a human-readable lineage summary suitable for
+//! pull requests, data-governance reviews, and docs.
+
+use lineagex_core::{LineageGraph, SourceColumn};
+use std::fmt::Write;
+
+/// Render a lineage graph as a Markdown report: summary statistics, a
+/// Mermaid overview, and one section per query with its `C_con`/`C_ref`
+/// tables.
+pub fn to_markdown(graph: &LineageGraph) -> String {
+    let mut out = String::new();
+    let stats = graph.stats();
+
+    out.push_str("# Column lineage report\n\n");
+    writeln!(
+        out,
+        "{} relations · {} columns · {} queries · {} contribute / {} reference / {} both edges · pipeline depth {}\n",
+        stats.relations,
+        stats.columns,
+        stats.queries,
+        stats.contribute_edges,
+        stats.reference_edges,
+        stats.both_edges,
+        stats.max_pipeline_depth
+    )
+    .expect("write to string");
+
+    out.push_str("```mermaid\n");
+    out.push_str(&crate::mermaid::to_mermaid(graph));
+    out.push_str("```\n\n");
+
+    for id in &graph.order {
+        let q = &graph.queries[id];
+        writeln!(out, "## `{id}`\n").expect("write to string");
+        let tables: Vec<&str> = q.tables.iter().map(|s| s.as_str()).collect();
+        writeln!(out, "reads: {}\n", code_list(&tables)).expect("write to string");
+        out.push_str("| output column | contributes from (C_con) |\n");
+        out.push_str("|---|---|\n");
+        for col in &q.outputs {
+            let sources: Vec<String> =
+                col.ccon.iter().map(SourceColumn::to_string).collect();
+            writeln!(
+                out,
+                "| `{}` | {} |",
+                col.name,
+                code_list(&sources.iter().map(String::as_str).collect::<Vec<_>>())
+            )
+            .expect("write to string");
+        }
+        let refs: Vec<String> = q.cref.iter().map(SourceColumn::to_string).collect();
+        writeln!(
+            out,
+            "\nreferenced (C_ref): {}\n",
+            code_list(&refs.iter().map(String::as_str).collect::<Vec<_>>())
+        )
+        .expect("write to string");
+        if !q.warnings.is_empty() {
+            writeln!(out, "> ⚠ {} warning(s): {:?}\n", q.warnings.len(), q.warnings)
+                .expect("write to string");
+        }
+    }
+    out
+}
+
+fn code_list(items: &[&str]) -> String {
+    if items.is_empty() {
+        return "—".to_string();
+    }
+    items.iter().map(|i| format!("`{i}`")).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineagex_core::lineagex;
+
+    #[test]
+    fn renders_full_report() {
+        let graph = lineagex(
+            "CREATE TABLE t (a int, b int);
+             CREATE VIEW v AS SELECT a FROM t WHERE b > 0;",
+        )
+        .unwrap()
+        .graph;
+        let md = to_markdown(&graph);
+        assert!(md.starts_with("# Column lineage report"));
+        assert!(md.contains("```mermaid"), "{md}");
+        assert!(md.contains("## `v`"), "{md}");
+        assert!(md.contains("| `a` | `t.a` |"), "{md}");
+        assert!(md.contains("referenced (C_ref): `t.b`"), "{md}");
+    }
+
+    #[test]
+    fn empty_sources_render_as_dash() {
+        let graph = lineagex(
+            "CREATE TABLE t (a int);
+             CREATE VIEW v AS SELECT count(*) AS n FROM t;",
+        )
+        .unwrap()
+        .graph;
+        let md = to_markdown(&graph);
+        assert!(md.contains("| `n` | — |"), "{md}");
+    }
+
+    #[test]
+    fn warnings_surface() {
+        let graph = lineagex("CREATE VIEW v AS SELECT m.x FROM mystery m")
+            .unwrap()
+            .graph;
+        let md = to_markdown(&graph);
+        assert!(md.contains("⚠"), "{md}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Mermaid flowchart export — renders table-level lineage as a
+//! `flowchart LR` block that GitHub/GitLab render inline, with column
+//! counts in the node labels. Column-level detail belongs to the DOT and
+//! HTML backends; Mermaid graphs stay readable only at table granularity.
+
+use lineagex_core::{LineageGraph, NodeKind};
+use std::fmt::Write;
+
+/// Render table-level lineage as a Mermaid flowchart.
+pub fn to_mermaid(graph: &LineageGraph) -> String {
+    let mut out = String::from("flowchart LR\n");
+    for node in graph.nodes.values() {
+        let shape = match node.kind {
+            // Base tables as cylinders, views as rounded boxes, externals
+            // as hexagons.
+            NodeKind::BaseTable => ("[(", ")]"),
+            NodeKind::External => ("{{", "}}"),
+            _ => ("(", ")"),
+        };
+        writeln!(
+            out,
+            "  {}{}\"{} ({} cols)\"{}",
+            mermaid_id(&node.name),
+            shape.0,
+            node.name.replace('"', "'"),
+            node.columns.len(),
+            shape.1
+        )
+        .expect("write to string");
+    }
+    for (from, to) in graph.table_edges() {
+        writeln!(out, "  {} --> {}", mermaid_id(&from), mermaid_id(&to))
+            .expect("write to string");
+    }
+    out
+}
+
+/// Mermaid node ids must be bare words.
+fn mermaid_id(name: &str) -> String {
+    let cleaned: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+    format!("n_{cleaned}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineagex_core::lineagex;
+
+    #[test]
+    fn renders_flowchart() {
+        let graph = lineagex(
+            "CREATE TABLE t (a int);
+             CREATE VIEW v AS SELECT a FROM t;",
+        )
+        .unwrap()
+        .graph;
+        let mmd = to_mermaid(&graph);
+        assert!(mmd.starts_with("flowchart LR"));
+        assert!(mmd.contains("n_t[(\"t (1 cols)\")]"), "{mmd}");
+        assert!(mmd.contains("n_v(\"v (1 cols)\")"), "{mmd}");
+        assert!(mmd.contains("n_t --> n_v"), "{mmd}");
+    }
+
+    #[test]
+    fn sanitises_weird_names() {
+        assert_eq!(mermaid_id("a b.c"), "n_a_b_c");
+        let graph = lineagex(r#"CREATE VIEW v AS SELECT x.k FROM "odd name" x"#)
+            .unwrap()
+            .graph;
+        let mmd = to_mermaid(&graph);
+        assert!(mmd.contains("n_odd_name"), "{mmd}");
+        // Externals render as hexagons.
+        assert!(mmd.contains("{{"), "{mmd}");
+    }
+}

@@ -1,0 +1,53 @@
+//! # LineageX (Rust)
+//!
+//! A from-scratch Rust reproduction of **"LineageX: A Column Lineage
+//! Extraction System for SQL"** (ICDE 2025): static column-level lineage
+//! extraction from SQL query logs, with table/view auto-inference,
+//! `SELECT *` and ambiguity handling, an optional simulated-database
+//! `EXPLAIN` path, impact analysis, and JSON/DOT/HTML visualisation.
+//!
+//! This crate is a façade re-exporting the workspace members:
+//!
+//! | module | crate | role |
+//! |--------|-------|------|
+//! | [`sqlparse`] | `lineagex-sqlparse` | SQL lexer, parser, AST |
+//! | [`catalog`] | `lineagex-catalog` | schemas, binder, simulated database |
+//! | [`core`] | `lineagex-core` | the lineage extraction engine |
+//! | [`baseline`] | `lineagex-baseline` | SQLLineage-like & LLM-style baselines |
+//! | [`viz`] | `lineagex-viz` | JSON / DOT / interactive HTML output |
+//! | [`datasets`] | `lineagex-datasets` | Example 1, MIMIC-like, generators |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lineagex::prelude::*;
+//!
+//! let result = lineagex(
+//!     "CREATE TABLE web (cid int, date date, page text, reg boolean);
+//!      CREATE VIEW webinfo AS
+//!        SELECT cid AS wcid, page AS wpage FROM web
+//!        WHERE EXTRACT(YEAR FROM date) = 2022;",
+//! ).unwrap();
+//!
+//! // Who is affected if web.page changes?
+//! let impact = result.impact_of("web", "page");
+//! assert!(impact.contains(&SourceColumn::new("webinfo", "wpage")));
+//! ```
+
+pub use lineagex_baseline as baseline;
+pub use lineagex_catalog as catalog;
+pub use lineagex_core as core;
+pub use lineagex_datasets as datasets;
+pub use lineagex_sqlparse as sqlparse;
+pub use lineagex_viz as viz;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use lineagex_catalog::{Catalog, SimulatedDatabase};
+    pub use lineagex_core::{
+        explore, impact_of, lineagex, path_between, upstream_of, AmbiguityPolicy, EdgeKind,
+        GraphStats, LineageError, LineageGraph, LineageResult, LineageX, QueryLineage,
+        SourceColumn,
+    };
+    pub use lineagex_viz::{to_dot, to_html, to_mermaid, to_output_json};
+}

@@ -1,0 +1,46 @@
+//! Golden-file test: the Example 1 `output.json` must stay byte-stable.
+//! Regenerate with:
+//!
+//! ```sh
+//! cargo run -q -p lineagex-bench --bin fig5_impact   # writes target/fig5/output.json
+//! ```
+//!
+//! and copy to `tests/golden/example1_output.json` if the change is
+//! intentional.
+
+use lineagex::datasets::example1;
+use lineagex::prelude::*;
+
+#[test]
+fn example1_output_json_is_stable() {
+    let result = lineagex(&example1::full_log()).unwrap();
+    let actual = to_output_json(&result.graph);
+    let expected = include_str!("golden/example1_output.json");
+    assert_eq!(
+        actual.trim(),
+        expected.trim(),
+        "output.json drifted from the golden file — if intentional, regenerate it"
+    );
+}
+
+#[test]
+fn json_is_deterministic_across_runs() {
+    let a = to_output_json(&lineagex(&example1::full_log()).unwrap().graph);
+    let b = to_output_json(&lineagex(&example1::full_log()).unwrap().graph);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn golden_file_sanity() {
+    // Spot-check the golden content itself so a bad regeneration cannot
+    // silently lock in wrong lineage.
+    let value: serde_json::Value =
+        serde_json::from_str(include_str!("golden/example1_output.json")).unwrap();
+    assert_eq!(value["queries"]["info"]["columns"]["wpage"][0], "webact.wpage");
+    assert_eq!(value["queries"]["webinfo"]["columns"]["wcid"][0], "customers.cid");
+    assert_eq!(value["processing_order"][0], "webinfo");
+    assert_eq!(value["tables"]["web"]["kind"], "base_table");
+    assert_eq!(value["tables"]["webact"]["kind"], "view");
+    // The set-operation rule: webact references all 8 branch columns.
+    assert_eq!(value["queries"]["webact"]["referenced"].as_array().unwrap().len(), 8);
+}
