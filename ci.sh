@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI gate for the LineageX workspace. Mirrors what a hosted pipeline
+# would run; keep it in sync with docs/ARCHITECTURE.md's conventions.
+#
+#   ./ci.sh          # run everything
+#   ./ci.sh fast     # skip the release build (dev-profile tests only)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fast=${1:-}
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "$fast" != "fast" ]; then
+    step "cargo build --release (tier-1, part 1)"
+    cargo build --release
+fi
+
+# Subsumes tier-1's `cargo test -q`: the workspace run includes the root
+# façade package (its integration tests and doc-tests).
+step "cargo test -q --workspace (tier-1, part 2 + all member crates)"
+cargo test -q --workspace
+
+step "cargo doc --no-deps --workspace (docs must keep compiling)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+step "all green"

@@ -18,6 +18,8 @@
 //! * [`metrics`] — precision/recall/F1 scoring of predicted edges against
 //!   ground truth, shared by the accuracy harnesses.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod llm_sim;
 pub mod metrics;
 pub mod sqllineage_like;

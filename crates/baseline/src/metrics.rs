@@ -63,11 +63,7 @@ pub fn score_edges(
 
 /// The contribute-edge set of an extracted graph, for scoring.
 pub fn graph_contribute_edges(graph: &LineageGraph) -> BTreeSet<(SourceColumn, SourceColumn)> {
-    graph
-        .contribute_edges()
-        .into_iter()
-        .map(|e| (e.from, e.to))
-        .collect()
+    graph.contribute_edges().into_iter().map(|e| (e.from, e.to)).collect()
 }
 
 #[cfg(test)]

@@ -184,18 +184,10 @@ fn collect_factor(
     }
 }
 
-fn process_select(
-    select: &Select,
-    outputs: &mut Vec<OutputColumn>,
-    tables: &mut BTreeSet<String>,
-) {
+fn process_select(select: &Select, outputs: &mut Vec<OutputColumn>, tables: &mut BTreeSet<String>) {
     let mut aliases = AliasMap::new();
     collect_from(&select.from, &mut aliases, tables, outputs);
-    let single_table = if aliases.len() == 1 {
-        aliases.values().next().cloned()
-    } else {
-        None
-    };
+    let single_table = if aliases.len() == 1 { aliases.values().next().cloned() } else { None };
 
     for item in &select.projection {
         match item {
@@ -210,12 +202,9 @@ fn process_select(
             }
             SelectItem::QualifiedWildcard(name) => {
                 let binding = name.base_name();
-                let table =
-                    aliases.get(binding).cloned().unwrap_or_else(|| binding.to_string());
-                outputs.push(OutputColumn::new(
-                    "*",
-                    BTreeSet::from([SourceColumn::new(table, "*")]),
-                ));
+                let table = aliases.get(binding).cloned().unwrap_or_else(|| binding.to_string());
+                outputs
+                    .push(OutputColumn::new("*", BTreeSet::from([SourceColumn::new(table, "*")])));
             }
             SelectItem::UnnamedExpr(expr) => {
                 let sources = resolve_sources(expr, &aliases, &single_table);
@@ -274,24 +263,17 @@ mod tests {
             .unwrap();
         let v = &graph.queries["v"];
         assert_eq!(v.output_names(), vec!["n"]);
-        assert_eq!(
-            v.outputs[0].ccon,
-            BTreeSet::from([SourceColumn::new("customers", "name")])
-        );
+        assert_eq!(v.outputs[0].ccon, BTreeSet::from([SourceColumn::new("customers", "name")]));
         assert!(v.tables.contains("customers"));
     }
 
     #[test]
     fn wildcard_becomes_star_entry() {
-        let graph = SqlLineageLike::new()
-            .extract("CREATE VIEW v AS SELECT w.* FROM webact w")
-            .unwrap();
+        let graph =
+            SqlLineageLike::new().extract("CREATE VIEW v AS SELECT w.* FROM webact w").unwrap();
         let v = &graph.queries["v"];
         assert_eq!(v.output_names(), vec!["*"]);
-        assert_eq!(
-            v.outputs[0].ccon,
-            BTreeSet::from([SourceColumn::new("webact", "*")])
-        );
+        assert_eq!(v.outputs[0].ccon, BTreeSet::from([SourceColumn::new("webact", "*")]));
     }
 
     #[test]

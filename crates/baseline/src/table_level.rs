@@ -7,9 +7,7 @@
 //! sanity point where every system agrees.
 
 use lineagex_sqlparse::ast::visit::ExprRefs;
-use lineagex_sqlparse::ast::{
-    Query, SetExpr, Statement, TableFactor, TableWithJoins,
-};
+use lineagex_sqlparse::ast::{Query, SetExpr, Statement, TableFactor, TableWithJoins};
 use lineagex_sqlparse::parse_sql;
 use std::collections::BTreeSet;
 
@@ -21,9 +19,7 @@ pub fn table_edges(sql: &str) -> Result<BTreeSet<(String, String)>, String> {
     for stmt in &statements {
         let target = match stmt {
             Statement::CreateView { name, .. }
-            | Statement::CreateTable { name, query: Some(_), .. } => {
-                name.base_name().to_string()
-            }
+            | Statement::CreateTable { name, query: Some(_), .. } => name.base_name().to_string(),
             Statement::Insert { table, .. } | Statement::Update { table, .. } => {
                 table.base_name().to_string()
             }
@@ -138,22 +134,14 @@ mod tests {
 
     #[test]
     fn simple_view_edges() {
-        let edges = table_edges(
-            "CREATE VIEW v AS SELECT a FROM t JOIN u ON t.x = u.x",
-        )
-        .unwrap();
-        assert_eq!(
-            edges,
-            BTreeSet::from([("t".into(), "v".into()), ("u".into(), "v".into())])
-        );
+        let edges = table_edges("CREATE VIEW v AS SELECT a FROM t JOIN u ON t.x = u.x").unwrap();
+        assert_eq!(edges, BTreeSet::from([("t".into(), "v".into()), ("u".into(), "v".into())]));
     }
 
     #[test]
     fn cte_names_are_not_sources() {
-        let edges = table_edges(
-            "CREATE VIEW v AS WITH c AS (SELECT a FROM base) SELECT a FROM c",
-        )
-        .unwrap();
+        let edges =
+            table_edges("CREATE VIEW v AS WITH c AS (SELECT a FROM base) SELECT a FROM c").unwrap();
         assert_eq!(edges, BTreeSet::from([("base".into(), "v".into())]));
     }
 
@@ -171,8 +159,7 @@ mod tests {
 
     #[test]
     fn update_edges_include_target_scan() {
-        let edges =
-            table_edges("UPDATE t SET a = u.b FROM u WHERE t.id = u.id").unwrap();
+        let edges = table_edges("UPDATE t SET a = u.b FROM u WHERE t.id = u.id").unwrap();
         assert!(edges.contains(&("u".into(), "t".into())));
         assert!(edges.contains(&("t".into(), "t".into())));
     }

@@ -31,13 +31,11 @@ fn bench_extract(c: &mut Criterion) {
 
     // Connected mode: bind + create views through the simulated database.
     let workload = mimic::workload();
-    let views_sql: String =
-        workload.view_statements.iter().map(|s| format!("{s};")).collect();
+    let views_sql: String = workload.view_statements.iter().map(|s| format!("{s};")).collect();
     group.bench_function("explain_path/mimic_70_views", |b| {
         b.iter(|| {
             let qd = QueryDict::from_sql(std::hint::black_box(&views_sql)).unwrap();
-            let db =
-                SimulatedDatabase::with_catalog(Catalog::from_ddl(&workload.ddl).unwrap());
+            let db = SimulatedDatabase::with_catalog(Catalog::from_ddl(&workload.ddl).unwrap());
             ExplainPathExtractor::new(qd, db).run().unwrap()
         })
     });
@@ -46,7 +44,8 @@ fn bench_extract(c: &mut Criterion) {
     // Rendering costs for the UI artefacts.
     let graph = lineagex(&mimic_sql).unwrap().graph;
     let mut render = c.benchmark_group("render");
-    render.bench_function("json/mimic", |b| b.iter(|| to_output_json(std::hint::black_box(&graph))));
+    render
+        .bench_function("json/mimic", |b| b.iter(|| to_output_json(std::hint::black_box(&graph))));
     render.bench_function("dot/mimic", |b| b.iter(|| to_dot(std::hint::black_box(&graph))));
     render.bench_function("html/mimic", |b| b.iter(|| to_html(std::hint::black_box(&graph))));
     render.finish();

@@ -19,10 +19,8 @@ fn bench_parse(c: &mut Criterion) {
     });
 
     for views in [10usize, 50, 100] {
-        let workload = generator::generate(&GeneratorConfig {
-            views,
-            ..GeneratorConfig::seeded(5)
-        });
+        let workload =
+            generator::generate(&GeneratorConfig { views, ..GeneratorConfig::seeded(5) });
         let sql = workload.full_sql();
         group.throughput(Throughput::Bytes(sql.len() as u64));
         group.bench_with_input(BenchmarkId::new("generated_views", views), &sql, |b, sql| {

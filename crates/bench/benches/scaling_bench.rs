@@ -45,7 +45,8 @@ fn bench_scaling(c: &mut Criterion) {
     // Feature-mix cost: stars force full expansions, set ops double the
     // branch work.
     let mut group = c.benchmark_group("scaling/feature_mix");
-    let mixes: [(&str, fn(&mut GeneratorConfig)); 3] = [
+    type Mutator = fn(&mut GeneratorConfig);
+    let mixes: [(&str, Mutator); 3] = [
         ("plain", |c| {
             c.star_probability = 0.0;
             c.setop_probability = 0.0;

@@ -35,11 +35,7 @@ fn run_mix(label: &str, mutate: impl Fn(&mut GeneratorConfig)) -> (EdgeScore, Ed
         base.false_positives += s.false_positives;
         base.false_negatives += s.false_negatives;
     }
-    println!(
-        "  {label:<34} LineageX F1 {:>6}   baseline F1 {:>6}",
-        pct(ours.f1()),
-        pct(base.f1())
-    );
+    println!("  {label:<34} LineageX F1 {:>6}   baseline F1 {:>6}", pct(ours.f1()), pct(base.f1()));
     (ours, base)
 }
 

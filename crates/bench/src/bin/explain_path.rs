@@ -10,9 +10,7 @@ use lineagex_datasets::{example1, mimic};
 
 fn main() {
     section("EXPLAIN path on Example 1");
-    let db = SimulatedDatabase::with_catalog(
-        Catalog::from_ddl(example1::DDL).expect("DDL parses"),
-    );
+    let db = SimulatedDatabase::with_catalog(Catalog::from_ddl(example1::DDL).expect("DDL parses"));
     // Show what the oracle produces for Q3.
     let bound = db
         .explain(
@@ -37,11 +35,7 @@ fn main() {
     let workload = mimic::workload();
     let static_mimic = lineagex(&workload.full_sql()).expect("static path succeeds");
     let qd = QueryDict::from_sql(
-        &workload
-            .view_statements
-            .iter()
-            .map(|s| format!("{s};"))
-            .collect::<String>(),
+        &workload.view_statements.iter().map(|s| format!("{s};")).collect::<String>(),
     )
     .expect("views parse");
     let db = SimulatedDatabase::with_catalog(Catalog::from_ddl(&workload.ddl).unwrap());

@@ -45,9 +45,7 @@ fn main() {
     let has_star = info.outputs.iter().any(|o| o.name == "*");
     println!("  2. info contains a literal `webact.* -> info.*` entry: {has_star}");
     let info_cols = info.output_names().len();
-    println!(
-        "  3. info exposes only {info_cols} entries vs 7 real columns (misses w.* expansion)"
-    );
+    println!("  3. info exposes only {info_cols} entries vs 7 real columns (misses w.* expansion)");
     let edges_from_webinfo = baseline
         .queries
         .values()
@@ -88,10 +86,7 @@ fn main() {
     let our_tables: std::collections::BTreeSet<(String, String)> =
         ours.graph.table_edges().into_iter().collect();
     let naive_tables = lineagex_baseline::table_level::table_edges(&log).expect("parses");
-    println!(
-        "  LineageX table edges = naive table edges: {}",
-        our_tables == naive_tables
-    );
+    println!("  LineageX table edges = naive table edges: {}", our_tables == naive_tables);
     assert_eq!(our_tables, naive_tables);
 
     let failures = truth.diff(&ours.graph);

@@ -13,10 +13,7 @@ fn main() {
     println!("     FROM customers c JOIN web w ON c.cid = w.cid");
     println!("     WHERE EXTRACT(YEAR FROM w.date) = 2022\n");
 
-    let result = LineageX::new()
-        .trace()
-        .run(&example1::full_log())
-        .expect("extraction succeeds");
+    let result = LineageX::new().trace().run(&example1::full_log()).expect("extraction succeeds");
     let trace = &result.traces["webinfo"];
     print!("{trace}");
 
@@ -32,10 +29,7 @@ fn main() {
         Rule::OtherKeywords, // WHERE
         Rule::Select,
     ];
-    assert_eq!(
-        rules, expected,
-        "traversal must follow the paper's ①–⑤ order, got {rules:?}"
-    );
+    assert_eq!(rules, expected, "traversal must follow the paper's ①–⑤ order, got {rules:?}");
 
     // Step ③/④ must have added the join and filter columns to C_ref.
     let cref = &trace.steps.last().unwrap().state.cref;

@@ -22,12 +22,8 @@ fn main() {
     }
 
     section("What the LLM-style analysis misses");
-    let missed: Vec<&SourceColumn> = full
-        .impacted
-        .iter()
-        .filter(|c| !llm.contains(&c.column))
-        .map(|c| &c.column)
-        .collect();
+    let missed: Vec<&SourceColumn> =
+        full.impacted.iter().filter(|c| !llm.contains(&c.column)).map(|c| &c.column).collect();
     println!("  {}", join(missed.iter()));
 
     // Paper: GPT-4o finds the wpage chain (webinfo/webact/info) but not
@@ -45,7 +41,6 @@ fn main() {
     assert!(full
         .impacted
         .iter()
-        .any(|c| c.column == SourceColumn::new("webact", "wcid")
-            && c.kind == EdgeKind::Reference));
+        .any(|c| c.column == SourceColumn::new("webact", "wcid") && c.kind == EdgeKind::Reference));
     println!("\n✔ reproduces the paper's GPT-4o observation");
 }

@@ -68,10 +68,7 @@ fn main() {
         let trace = &result.traces["v"];
         let fired = trace.rules().contains(&scenario.expect_rule);
         all_ok &= fired;
-        println!(
-            "    rules fired: [{}]",
-            join(trace.rules().iter().map(|r| r.table1_name()))
-        );
+        println!("    rules fired: [{}]", join(trace.rules().iter().map(|r| r.table1_name())));
         println!("    expected rule fired: {}", if fired { "✔" } else { "✘" });
         let v = &result.graph.queries["v"];
         for out in &v.outputs {

@@ -15,6 +15,8 @@
 //! | `explain_path` | §III connected mode — static vs EXPLAIN agreement |
 //! | `accuracy_sweep` | extension — F1 vs SQL-feature mix, ours vs baseline |
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use std::fmt::Display;
 
 /// Print a boxed section header.
@@ -25,12 +27,7 @@ pub fn section(title: &str) {
 
 /// Print an aligned two-column table.
 pub fn table2(header: (&str, &str), rows: &[(String, String)]) {
-    let w = rows
-        .iter()
-        .map(|(a, _)| a.len())
-        .chain([header.0.len()])
-        .max()
-        .unwrap_or(10);
+    let w = rows.iter().map(|(a, _)| a.len()).chain([header.0.len()]).max().unwrap_or(10);
     println!("  {:<w$}  {}", header.0, header.1);
     println!("  {:-<w$}  {:-<30}", "", "");
     for (a, b) in rows {

@@ -261,9 +261,8 @@ impl<'a> Binder<'a> {
             if let Some(having) = &select.having {
                 refs.extend(self.resolve_expr(having, &full_scope, ctx, &mut subplans)?);
             }
-            let input = plan.ok_or_else(|| {
-                DbError::Unsupported("GROUP BY requires a FROM clause".into())
-            })?;
+            let input =
+                plan.ok_or_else(|| DbError::Unsupported("GROUP BY requires a FROM clause".into()))?;
             plan = Some(PlanNode::Aggregate { refs, input: Box::new(input) });
         }
 
@@ -279,9 +278,7 @@ impl<'a> Binder<'a> {
             match item {
                 SelectItem::Wildcard => {
                     if relations.is_empty() {
-                        return Err(DbError::Unsupported(
-                            "SELECT * requires a FROM clause".into(),
-                        ));
+                        return Err(DbError::Unsupported("SELECT * requires a FROM clause".into()));
                     }
                     for rel in &relations {
                         output.extend(rel.columns.iter().cloned());
@@ -350,21 +347,17 @@ impl<'a> Binder<'a> {
         prior: &[BoundRelation],
         subplans: &mut Vec<PlanNode>,
     ) -> Result<(PlanNode, Vec<BoundRelation>), DbError> {
-        let (mut plan, mut rels) =
-            self.bind_table_factor(&twj.relation, ctx, outer, prior)?;
+        let (mut plan, mut rels) = self.bind_table_factor(&twj.relation, ctx, outer, prior)?;
         for join in &twj.joins {
             let mut visible = prior.to_vec();
             visible.extend(rels.iter().cloned());
-            let (rplan, rrels) =
-                self.bind_table_factor(&join.relation, ctx, outer, &visible)?;
+            let (rplan, rrels) = self.bind_table_factor(&join.relation, ctx, outer, &visible)?;
             let split = rels.len();
             let mut combined = rels;
             combined.extend(rrels);
             let scope = ScopeChain { relations: &combined, parent: outer };
             let refs = match join.join_operator.constraint() {
-                Some(JoinConstraint::On(expr)) => {
-                    self.resolve_expr(expr, &scope, ctx, subplans)?
-                }
+                Some(JoinConstraint::On(expr)) => self.resolve_expr(expr, &scope, ctx, subplans)?,
                 Some(JoinConstraint::Using(cols)) => {
                     let mut refs = BTreeSet::new();
                     for col in cols {
@@ -404,10 +397,8 @@ impl<'a> Binder<'a> {
         match factor {
             TableFactor::Table { name, alias } => {
                 let base = name.base_name().to_string();
-                let binding = alias
-                    .as_ref()
-                    .map(|a| a.name.value.clone())
-                    .unwrap_or_else(|| base.clone());
+                let binding =
+                    alias.as_ref().map(|a| a.name.value.clone()).unwrap_or_else(|| base.clone());
                 if let Some(cte) = ctx.lookup(&base) {
                     let output = rename_columns(
                         &cte.output,
@@ -421,10 +412,8 @@ impl<'a> Binder<'a> {
                     };
                     return Ok((node, vec![BoundRelation { binding, columns: output }]));
                 }
-                let schema = self
-                    .catalog
-                    .get(&base)
-                    .ok_or_else(|| DbError::UndefinedTable(base.clone()))?;
+                let schema =
+                    self.catalog.get(&base).ok_or_else(|| DbError::UndefinedTable(base.clone()))?;
                 let mut output: Vec<PlanColumn> = schema
                     .columns
                     .iter()
@@ -526,12 +515,13 @@ impl<'a> Binder<'a> {
                 let mut current = Some(scope);
                 while let Some(s) = current {
                     if let Some(rel) = s.relations.iter().find(|r| r.binding == table) {
-                        let found = rel.columns.iter().find(|c| c.name == name).ok_or_else(
-                            || DbError::UndefinedColumn {
-                                column: name.to_string(),
-                                relation: Some(table.to_string()),
-                            },
-                        )?;
+                        let found =
+                            rel.columns.iter().find(|c| c.name == name).ok_or_else(|| {
+                                DbError::UndefinedColumn {
+                                    column: name.to_string(),
+                                    relation: Some(table.to_string()),
+                                }
+                            })?;
                         return Ok(found.sources.clone());
                     }
                     current = s.parent;
@@ -738,10 +728,8 @@ mod tests {
 
     #[test]
     fn resolves_unqualified_across_join() {
-        let b = bind(
-            "SELECT name, amount FROM customers c JOIN orders o ON c.cid = o.cid",
-        )
-        .unwrap();
+        let b =
+            bind("SELECT name, amount FROM customers c JOIN orders o ON c.cid = o.cid").unwrap();
         assert_eq!(sources_of(&b, "name"), vec!["customers.name"]);
         assert_eq!(sources_of(&b, "amount"), vec!["orders.amount"]);
         // Join condition columns are referenced.
@@ -817,10 +805,7 @@ mod tests {
 
     #[test]
     fn cte_shadows_catalog_table() {
-        let b = bind(
-            "WITH web AS (SELECT cid AS c2 FROM customers) SELECT c2 FROM web",
-        )
-        .unwrap();
+        let b = bind("WITH web AS (SELECT cid AS c2 FROM customers) SELECT c2 FROM web").unwrap();
         assert_eq!(sources_of(&b, "c2"), vec!["customers.cid"]);
         assert!(!b.tables.contains("web"));
     }
@@ -839,10 +824,7 @@ mod tests {
 
     #[test]
     fn set_operation_merges_positionally() {
-        let b = bind(
-            "SELECT cid, name FROM customers UNION SELECT cid, page FROM web",
-        )
-        .unwrap();
+        let b = bind("SELECT cid, name FROM customers UNION SELECT cid, page FROM web").unwrap();
         assert_eq!(b.output.len(), 2);
         assert_eq!(b.output[1].name, "name");
         let mut srcs = sources_of(&b, "name");
@@ -881,10 +863,8 @@ mod tests {
 
     #[test]
     fn group_by_and_order_by_are_referenced() {
-        let b = bind(
-            "SELECT age, count(*) AS n FROM customers GROUP BY age ORDER BY n, age DESC",
-        )
-        .unwrap();
+        let b = bind("SELECT age, count(*) AS n FROM customers GROUP BY age ORDER BY n, age DESC")
+            .unwrap();
         assert!(b.referenced.contains(&SourceColumn::new("customers", "age")));
     }
 
@@ -912,14 +892,10 @@ mod tests {
 
     #[test]
     fn lateral_sees_siblings_but_plain_derived_does_not() {
-        let b = bind(
-            "SELECT top FROM customers c, LATERAL (SELECT c.age AS top) AS l",
-        )
-        .unwrap();
+        let b = bind("SELECT top FROM customers c, LATERAL (SELECT c.age AS top) AS l").unwrap();
         assert_eq!(sources_of(&b, "top"), vec!["customers.age"]);
         // Without LATERAL the sibling reference must fail.
-        let err =
-            bind("SELECT top FROM customers c, (SELECT c.age AS top) AS l").unwrap_err();
+        let err = bind("SELECT top FROM customers c, (SELECT c.age AS top) AS l").unwrap_err();
         assert!(matches!(err, DbError::UndefinedTable(ref t) if t == "c"), "{err}");
     }
 

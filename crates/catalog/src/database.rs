@@ -166,9 +166,7 @@ impl SimulatedDatabase {
                     let base = name.base_name();
                     let existing = self.catalog.get(base);
                     match (existing, if_exists) {
-                        (None, false) => {
-                            return Err(DbError::UndefinedTable(base.to_string()))
-                        }
+                        (None, false) => return Err(DbError::UndefinedTable(base.to_string())),
                         (None, true) => continue,
                         (Some(schema), _) => {
                             let is_view = schema.is_view();
@@ -221,8 +219,7 @@ mod tests {
     #[test]
     fn create_view_registers_schema() {
         let mut db = SimulatedDatabase::from_ddl(BASE_DDL).unwrap();
-        db.execute("CREATE VIEW adults AS SELECT cid, name FROM customers WHERE age > 17")
-            .unwrap();
+        db.execute("CREATE VIEW adults AS SELECT cid, name FROM customers WHERE age > 17").unwrap();
         let v = db.catalog().get("adults").unwrap();
         assert!(v.is_view());
         assert_eq!(v.column_names().collect::<Vec<_>>(), vec!["cid", "name"]);
@@ -231,9 +228,7 @@ mod tests {
     #[test]
     fn create_view_with_missing_dependency_fails_like_postgres() {
         let mut db = SimulatedDatabase::from_ddl(BASE_DDL).unwrap();
-        let err = db
-            .execute("CREATE VIEW info AS SELECT wcid FROM webinfo")
-            .unwrap_err();
+        let err = db.execute("CREATE VIEW info AS SELECT wcid FROM webinfo").unwrap_err();
         assert_eq!(err, DbError::UndefinedTable("webinfo".into()));
     }
 
@@ -247,10 +242,7 @@ mod tests {
         .unwrap();
         let bound = db.explain("SELECT id FROM v2").unwrap();
         // Views are opaque: the direct source is v2 itself.
-        assert_eq!(
-            bound.output[0].sources.iter().next().unwrap(),
-            &SourceColumn::new("v2", "id")
-        );
+        assert_eq!(bound.output[0].sources.iter().next().unwrap(), &SourceColumn::new("v2", "id"));
     }
 
     #[test]
@@ -264,8 +256,7 @@ mod tests {
     #[test]
     fn view_column_mismatch_errors() {
         let mut db = SimulatedDatabase::from_ddl(BASE_DDL).unwrap();
-        let err =
-            db.execute("CREATE VIEW v(a) AS SELECT cid, name FROM customers").unwrap_err();
+        let err = db.execute("CREATE VIEW v(a) AS SELECT cid, name FROM customers").unwrap_err();
         assert!(matches!(err, DbError::ViewColumnCountMismatch { declared: 1, actual: 2, .. }));
     }
 
@@ -316,9 +307,8 @@ mod tests {
     #[test]
     fn explain_returns_plan_without_mutation() {
         let db = SimulatedDatabase::from_ddl(BASE_DDL).unwrap();
-        let bound = db
-            .explain("SELECT name FROM customers c JOIN orders o ON c.cid = o.cid")
-            .unwrap();
+        let bound =
+            db.explain("SELECT name FROM customers c JOIN orders o ON c.cid = o.cid").unwrap();
         assert!(bound.plan.to_string().contains("Join"));
         assert_eq!(bound.tables.len(), 2);
     }
@@ -326,8 +316,7 @@ mod tests {
     #[test]
     fn explain_create_view_binds_defining_query() {
         let db = SimulatedDatabase::from_ddl(BASE_DDL).unwrap();
-        let bound =
-            db.explain("CREATE VIEW v AS SELECT page FROM web").unwrap();
+        let bound = db.explain("CREATE VIEW v AS SELECT page FROM web").unwrap();
         assert_eq!(bound.output[0].name, "page");
     }
 

@@ -28,6 +28,8 @@
 //! views opaque preserves exactly the behaviour the paper relies on while
 //! matching the lineage graph's view-level nodes.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod binder;
 pub mod catalog;
 pub mod database;

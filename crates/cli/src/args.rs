@@ -199,8 +199,7 @@ mod tests {
     #[test]
     fn parses_extract_with_outputs() {
         let cmd = parse(&[
-            "extract", "q.sql", "--ddl", "s.sql", "--json", "o.json", "--html", "o.html",
-            "--trace",
+            "extract", "q.sql", "--ddl", "s.sql", "--json", "o.json", "--html", "o.html", "--trace",
         ])
         .unwrap();
         match cmd {

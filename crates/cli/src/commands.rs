@@ -4,9 +4,7 @@ use crate::args::{Command, CommonOptions};
 use lineagex_baseline::metrics::{graph_contribute_edges, score_edges};
 use lineagex_baseline::SqlLineageLike;
 use lineagex_catalog::{Catalog, SimulatedDatabase};
-use lineagex_core::{
-    path_between, LineageResult, LineageX, SourceColumn,
-};
+use lineagex_core::{path_between, LineageResult, LineageX, SourceColumn};
 use lineagex_viz::{to_dot, to_html, to_mermaid, to_output_json};
 use std::io::Write;
 
@@ -78,8 +76,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
             let ddl = read_file(common.ddl.as_ref().expect("validated by parser"))?;
             let catalog = Catalog::from_ddl(&ddl).map_err(|e| e.to_string())?;
             let db = SimulatedDatabase::with_catalog(catalog);
-            let statements =
-                lineagex_sqlparse::parse_sql(&sql).map_err(|e| e.to_string())?;
+            let statements = lineagex_sqlparse::parse_sql(&sql).map_err(|e| e.to_string())?;
             let mut db = db;
             for stmt in &statements {
                 if stmt.defining_query().is_none() && stmt.update_as_query().is_none() {
@@ -97,8 +94,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
             let sql = read_file(file)?;
             let ours = run_extraction_sql(&sql, common)?;
             let ours_edges = graph_contribute_edges(&ours.graph);
-            let baseline =
-                SqlLineageLike::new().extract(&sql).map_err(|e| e.to_string())?;
+            let baseline = SqlLineageLike::new().extract(&sql).map_err(|e| e.to_string())?;
             let base_edges = graph_contribute_edges(&baseline);
             // Without independent ground truth, report mutual agreement:
             // edges only we find, only the baseline finds, and shared.
@@ -219,13 +215,9 @@ mod tests {
     fn extract_writes_artifacts() {
         let file = write_temp("artifacts.sql", LOG);
         let json = write_temp("artifacts.json", "");
-        let cmd = Command::parse(&[
-            "extract".to_string(),
-            file,
-            "--json".to_string(),
-            json.clone(),
-        ])
-        .unwrap();
+        let cmd =
+            Command::parse(&["extract".to_string(), file, "--json".to_string(), json.clone()])
+                .unwrap();
         execute_to_string(&cmd).0.unwrap();
         let written = std::fs::read_to_string(&json).unwrap();
         assert!(written.contains("\"queries\""));
@@ -234,8 +226,7 @@ mod tests {
     #[test]
     fn impact_reports_downstream() {
         let file = write_temp("impact.sql", LOG);
-        let cmd =
-            Command::parse(&["impact".to_string(), "web.page".to_string(), file]).unwrap();
+        let cmd = Command::parse(&["impact".to_string(), "web.page".to_string(), file]).unwrap();
         let (result, text) = execute_to_string(&cmd);
         result.unwrap();
         assert!(text.contains("v: p"), "{text}");
@@ -244,8 +235,7 @@ mod tests {
     #[test]
     fn impact_unknown_column_errors() {
         let file = write_temp("impact_bad.sql", LOG);
-        let cmd =
-            Command::parse(&["impact".to_string(), "web.ghost".to_string(), file]).unwrap();
+        let cmd = Command::parse(&["impact".to_string(), "web.ghost".to_string(), file]).unwrap();
         let (result, _) = execute_to_string(&cmd);
         assert!(result.is_err());
     }
@@ -253,13 +243,9 @@ mod tests {
     #[test]
     fn path_prints_hops() {
         let file = write_temp("path.sql", LOG);
-        let cmd = Command::parse(&[
-            "path".to_string(),
-            "web.page".to_string(),
-            "v.p".to_string(),
-            file,
-        ])
-        .unwrap();
+        let cmd =
+            Command::parse(&["path".to_string(), "web.page".to_string(), "v.p".to_string(), file])
+                .unwrap();
         let (result, text) = execute_to_string(&cmd);
         result.unwrap();
         assert!(text.contains("-> v.p"), "{text}");
@@ -269,13 +255,8 @@ mod tests {
     fn explain_prints_plans() {
         let ddl = write_temp("schema.sql", "CREATE TABLE web (cid int, page text);");
         let queries = write_temp("explain.sql", "CREATE VIEW v AS SELECT page FROM web;");
-        let cmd = Command::parse(&[
-            "explain".to_string(),
-            queries,
-            "--ddl".to_string(),
-            ddl,
-        ])
-        .unwrap();
+        let cmd =
+            Command::parse(&["explain".to_string(), queries, "--ddl".to_string(), ddl]).unwrap();
         let (result, text) = execute_to_string(&cmd);
         result.unwrap();
         assert!(text.contains("Seq Scan on web"), "{text}");
@@ -293,8 +274,7 @@ mod tests {
     #[test]
     fn trace_flag_prints_rules() {
         let file = write_temp("trace.sql", LOG);
-        let cmd =
-            Command::parse(&["extract".to_string(), file, "--trace".to_string()]).unwrap();
+        let cmd = Command::parse(&["extract".to_string(), file, "--trace".to_string()]).unwrap();
         let (result, text) = execute_to_string(&cmd);
         result.unwrap();
         assert!(text.contains("FROM (Table/View)"), "{text}");

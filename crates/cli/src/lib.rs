@@ -18,6 +18,8 @@
 //! and an output writer) so it is fully unit-testable; `main.rs` is a
 //! thin wrapper.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod args;
 pub mod commands;
 

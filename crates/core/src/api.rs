@@ -41,8 +41,7 @@ impl LineageX {
 
     /// Provide base-table schemas as a `CREATE TABLE` DDL script.
     pub fn with_ddl(mut self, ddl: &str) -> Result<Self, LineageError> {
-        self.catalog =
-            Catalog::from_ddl(ddl).map_err(|e| LineageError::Parse(e.to_string()))?;
+        self.catalog = Catalog::from_ddl(ddl).map_err(|e| LineageError::Parse(e.to_string()))?;
         Ok(self)
     }
 

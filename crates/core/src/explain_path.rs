@@ -13,9 +13,7 @@
 
 use crate::error::LineageError;
 use crate::infer::LineageResult;
-use crate::model::{
-    LineageGraph, Node, NodeKind, OutputColumn, QueryKind, QueryLineage,
-};
+use crate::model::{LineageGraph, Node, NodeKind, OutputColumn, QueryKind, QueryLineage};
 use crate::preprocess::{QueryDict, QueryEntry};
 use lineagex_catalog::{DbError, PlanNode, SimulatedDatabase, SourceColumn};
 use lineagex_sqlparse::ast::{Ident, Statement};
@@ -139,14 +137,10 @@ impl ExplainPathExtractor {
         // UPDATE) — equivalent to EXPLAINing it on the connection.
         let bound = lineagex_catalog::Binder::new(self.db.catalog()).bind(entry.query())?;
 
-        let mut outputs: Vec<OutputColumn> = bound
-            .output
-            .iter()
-            .map(|c| OutputColumn::new(&c.name, c.sources.clone()))
-            .collect();
+        let mut outputs: Vec<OutputColumn> =
+            bound.output.iter().map(|c| OutputColumn::new(&c.name, c.sources.clone())).collect();
         if !entry.declared_columns.is_empty() {
-            let idents: Vec<Ident> =
-                entry.declared_columns.iter().map(Ident::new).collect();
+            let idents: Vec<Ident> = entry.declared_columns.iter().map(Ident::new).collect();
             outputs = crate::extract::rename_outputs(outputs, &idents, &entry.id)
                 .map_err(|e| DbError::Unsupported(e.to_string()))?;
         } else if matches!(entry.kind, QueryKind::Insert) {
@@ -237,18 +231,13 @@ mod tests {
 
     #[test]
     fn binds_and_creates_views_in_dependency_order() {
-        let result = run(
-            "CREATE VIEW second AS SELECT wcid FROM first;
-             CREATE VIEW first AS SELECT cid AS wcid FROM web;",
-        )
+        let result = run("CREATE VIEW second AS SELECT wcid FROM first;
+             CREATE VIEW first AS SELECT cid AS wcid FROM web;")
         .unwrap();
         assert_eq!(result.graph.order, vec!["first", "second"]);
         assert_eq!(result.deferrals, vec![("second".into(), "first".into())]);
         let second = &result.graph.queries["second"];
-        assert_eq!(
-            second.outputs[0].ccon,
-            BTreeSet::from([SourceColumn::new("first", "wcid")])
-        );
+        assert_eq!(second.outputs[0].ccon, BTreeSet::from([SourceColumn::new("first", "wcid")]));
     }
 
     #[test]
@@ -261,10 +250,9 @@ mod tests {
 
     #[test]
     fn setop_branches_are_referenced() {
-        let result = run(
-            "CREATE VIEW u AS SELECT cid FROM customers INTERSECT SELECT cid FROM web",
-        )
-        .unwrap();
+        let result =
+            run("CREATE VIEW u AS SELECT cid FROM customers INTERSECT SELECT cid FROM web")
+                .unwrap();
         let u = &result.graph.queries["u"];
         assert!(u.cref.contains(&SourceColumn::new("customers", "cid")));
         assert!(u.cref.contains(&SourceColumn::new("web", "cid")));
@@ -272,10 +260,8 @@ mod tests {
 
     #[test]
     fn cycle_detected() {
-        let err = run(
-            "CREATE VIEW a AS SELECT * FROM b; CREATE VIEW b AS SELECT * FROM a;",
-        )
-        .unwrap_err();
+        let err =
+            run("CREATE VIEW a AS SELECT * FROM b; CREATE VIEW b AS SELECT * FROM a;").unwrap_err();
         assert!(matches!(err, LineageError::DependencyCycle(_)));
     }
 }

@@ -100,10 +100,8 @@ impl Extractor<'_> {
         match factor {
             TableFactor::Table { name, alias } => {
                 let base = name.base_name().to_string();
-                let binding = alias
-                    .as_ref()
-                    .map(|a| a.name.value.clone())
-                    .unwrap_or_else(|| base.clone());
+                let binding =
+                    alias.as_ref().map(|a| a.name.value.clone()).unwrap_or_else(|| base.clone());
                 let alias_cols = alias.as_ref().map(|a| a.columns.as_slice()).unwrap_or(&[]);
 
                 // FROM (CTE/Subquery) rule: find it in M_CTE first.
@@ -111,7 +109,12 @@ impl Extractor<'_> {
                     let columns = rename_outputs(cte.columns.clone(), alias_cols, &binding)?;
                     let rel = Relation::closed(binding, base, columns);
                     let cpos = Self::cpos_snapshot(std::slice::from_ref(&rel));
-                    self.trace_step(Rule::FromCteOrSubquery, format!("scan CTE {}", rel.name), cpos, Vec::new());
+                    self.trace_step(
+                        Rule::FromCteOrSubquery,
+                        format!("scan CTE {}", rel.name),
+                        cpos,
+                        Vec::new(),
+                    );
                     return Ok(vec![rel]);
                 }
 
@@ -132,7 +135,12 @@ impl Extractor<'_> {
                     self.tables.insert(base.clone());
                     let rel = Relation::closed(binding, base, columns);
                     let cpos = Self::cpos_snapshot(std::slice::from_ref(&rel));
-                    self.trace_step(Rule::FromTable, format!("scan view {}", rel.name), cpos, Vec::new());
+                    self.trace_step(
+                        Rule::FromTable,
+                        format!("scan view {}", rel.name),
+                        cpos,
+                        Vec::new(),
+                    );
                     return Ok(vec![rel]);
                 }
 
@@ -152,7 +160,12 @@ impl Extractor<'_> {
                     self.tables.insert(schema.name.clone());
                     let rel = Relation::closed(binding, schema.name.clone(), columns);
                     let cpos = Self::cpos_snapshot(std::slice::from_ref(&rel));
-                    self.trace_step(Rule::FromTable, format!("scan table {}", rel.name), cpos, Vec::new());
+                    self.trace_step(
+                        Rule::FromTable,
+                        format!("scan table {}", rel.name),
+                        cpos,
+                        Vec::new(),
+                    );
                     return Ok(vec![rel]);
                 }
 
@@ -290,9 +303,7 @@ mod tests {
             binding,
             binding,
             cols.iter()
-                .map(|c| {
-                    OutputColumn::new(*c, BTreeSet::from([SourceColumn::new(binding, *c)]))
-                })
+                .map(|c| OutputColumn::new(*c, BTreeSet::from([SourceColumn::new(binding, *c)])))
                 .collect(),
         )
     }

@@ -114,7 +114,12 @@ impl<'e> Extractor<'e> {
                 let outputs = rename_outputs(outputs, &cte.alias.columns, &name)?;
                 // WITH/Subquery rule: stash the intermediate lineage into
                 // M_CTE for later FROM references.
-                self.trace_step(Rule::WithSubquery, format!("register CTE {name}"), Vec::new(), Vec::new());
+                self.trace_step(
+                    Rule::WithSubquery,
+                    format!("register CTE {name}"),
+                    Vec::new(),
+                    Vec::new(),
+                );
                 self.ctes.push(CteInfo { name, columns: outputs });
             }
         }
@@ -286,12 +291,9 @@ mod tests {
 
     #[test]
     fn rename_outputs_positional() {
-        let outs = vec![
-            OutputColumn::new("a", BTreeSet::new()),
-            OutputColumn::new("b", BTreeSet::new()),
-        ];
-        let renamed =
-            rename_outputs(outs, &[Ident::new("x"), Ident::new("y")], "v").unwrap();
+        let outs =
+            vec![OutputColumn::new("a", BTreeSet::new()), OutputColumn::new("b", BTreeSet::new())];
+        let renamed = rename_outputs(outs, &[Ident::new("x"), Ident::new("y")], "v").unwrap();
         assert_eq!(renamed[0].name, "x");
         assert_eq!(renamed[1].name, "y");
     }

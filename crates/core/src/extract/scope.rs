@@ -23,7 +23,11 @@ pub(crate) struct Relation {
 
 impl Relation {
     /// A closed relation with known columns.
-    pub fn closed(binding: impl Into<String>, name: impl Into<String>, columns: Vec<OutputColumn>) -> Self {
+    pub fn closed(
+        binding: impl Into<String>,
+        name: impl Into<String>,
+        columns: Vec<OutputColumn>,
+    ) -> Self {
         Relation { binding: binding.into(), name: name.into(), columns, open: false }
     }
 

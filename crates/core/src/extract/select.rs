@@ -95,9 +95,7 @@ impl Extractor<'_> {
             let cols = self.inferred.get(&rel.name).cloned().unwrap_or_default();
             return cols
                 .iter()
-                .map(|c| {
-                    OutputColumn::new(c, BTreeSet::from([SourceColumn::new(&rel.name, c)]))
-                })
+                .map(|c| OutputColumn::new(c, BTreeSet::from([SourceColumn::new(&rel.name, c)])))
                 .collect();
         }
         rel.columns.clone()

@@ -78,8 +78,7 @@ pub fn impact_of(graph: &LineageGraph, origin: &SourceColumn) -> ImpactReport {
             continue;
         }
         let Some(query) = graph.queries.get(&column.table) else { continue };
-        let ccon =
-            query.outputs.iter().find(|o| o.name == column.column).map(|o| &o.ccon);
+        let ccon = query.outputs.iter().find(|o| o.name == column.column).map(|o| &o.ccon);
         let mut contributes = false;
         let mut references = false;
         for (pred, pred_dist) in &distance {
@@ -194,10 +193,7 @@ mod tests {
             CREATE VIEW top AS SELECT b AS c FROM mid;
         ";
         let qd = QueryDict::from_sql(sql).unwrap();
-        InferenceEngine::new(qd, Catalog::new(), ExtractOptions::default())
-            .run()
-            .unwrap()
-            .graph
+        InferenceEngine::new(qd, Catalog::new(), ExtractOptions::default()).run().unwrap().graph
     }
 
     #[test]
@@ -259,12 +255,9 @@ mod tests {
     #[test]
     fn path_between_explains_impact() {
         let graph = chain_graph();
-        let path = path_between(
-            &graph,
-            &SourceColumn::new("base", "a"),
-            &SourceColumn::new("top", "c"),
-        )
-        .expect("top.c is downstream of base.a");
+        let path =
+            path_between(&graph, &SourceColumn::new("base", "a"), &SourceColumn::new("top", "c"))
+                .expect("top.c is downstream of base.a");
         assert_eq!(
             path,
             vec![
@@ -277,12 +270,9 @@ mod tests {
     #[test]
     fn path_between_mixes_edge_kinds() {
         let graph = chain_graph();
-        let path = path_between(
-            &graph,
-            &SourceColumn::new("base", "k"),
-            &SourceColumn::new("top", "c"),
-        )
-        .unwrap();
+        let path =
+            path_between(&graph, &SourceColumn::new("base", "k"), &SourceColumn::new("top", "c"))
+                .unwrap();
         // First hop is a reference (k only appears in mid's WHERE).
         assert_eq!(path[0], (SourceColumn::new("mid", "b"), EdgeKind::Reference));
     }
@@ -297,12 +287,9 @@ mod tests {
         )
         .is_none());
         // Trivial path to self is empty.
-        let path = path_between(
-            &graph,
-            &SourceColumn::new("base", "a"),
-            &SourceColumn::new("base", "a"),
-        )
-        .unwrap();
+        let path =
+            path_between(&graph, &SourceColumn::new("base", "a"), &SourceColumn::new("base", "a"))
+                .unwrap();
         assert!(path.is_empty());
     }
 }

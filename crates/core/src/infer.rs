@@ -14,9 +14,7 @@
 
 use crate::error::LineageError;
 use crate::extract::{rename_outputs, Extractor};
-use crate::model::{
-    LineageGraph, Node, NodeKind, OutputColumn, QueryKind, QueryLineage, Warning,
-};
+use crate::model::{LineageGraph, Node, NodeKind, OutputColumn, QueryKind, QueryLineage, Warning};
 use crate::options::ExtractOptions;
 use crate::preprocess::{QueryDict, QueryEntry};
 use crate::trace::TraceLog;
@@ -156,8 +154,7 @@ impl InferenceEngine {
         outputs: Vec<OutputColumn>,
     ) -> Result<Vec<OutputColumn>, LineageError> {
         if !entry.declared_columns.is_empty() {
-            let idents: Vec<Ident> =
-                entry.declared_columns.iter().map(Ident::new).collect();
+            let idents: Vec<Ident> = entry.declared_columns.iter().map(Ident::new).collect();
             return rename_outputs(outputs, &idents, &entry.id);
         }
         if matches!(entry.kind, QueryKind::Insert) {
@@ -196,8 +193,7 @@ impl InferenceEngine {
                 QueryKind::TableAs | QueryKind::Insert | QueryKind::Update => NodeKind::Table,
                 QueryKind::Select => NodeKind::QueryResult,
             };
-            let mut columns: Vec<String> =
-                lineage.outputs.iter().map(|o| o.name.clone()).collect();
+            let mut columns: Vec<String> = lineage.outputs.iter().map(|o| o.name.clone()).collect();
             // INSERT/UPDATE touch a subset of the target's columns; keep
             // the full schema on the node when the catalog knows it.
             if matches!(lineage.kind, QueryKind::Insert | QueryKind::Update) {
@@ -258,10 +254,7 @@ mod tests {
         // SELECT * through the deferred dependency expands fully.
         let v2 = &result.graph.queries["v2"];
         assert_eq!(v2.output_names(), vec!["a", "b"]);
-        assert_eq!(
-            v2.outputs[0].ccon,
-            BTreeSet::from([SourceColumn::new("v1", "a")])
-        );
+        assert_eq!(v2.outputs[0].ccon, BTreeSet::from([SourceColumn::new("v1", "a")]));
     }
 
     #[test]
@@ -290,9 +283,8 @@ mod tests {
              CREATE VIEW b AS SELECT * FROM a;",
         )
         .unwrap();
-        let err = InferenceEngine::new(qd, Catalog::new(), ExtractOptions::default())
-            .run()
-            .unwrap_err();
+        let err =
+            InferenceEngine::new(qd, Catalog::new(), ExtractOptions::default()).run().unwrap_err();
         match err {
             LineageError::DependencyCycle(path) => {
                 assert_eq!(path, vec!["a", "b", "a"]);
@@ -353,10 +345,9 @@ mod tests {
             "CREATE TABLE t (a int); CREATE VIEW v AS SELECT a FROM t WHERE a > 0",
         )
         .unwrap();
-        let result =
-            InferenceEngine::new(qd, Catalog::new(), ExtractOptions::new().with_trace())
-                .run()
-                .unwrap();
+        let result = InferenceEngine::new(qd, Catalog::new(), ExtractOptions::new().with_trace())
+            .run()
+            .unwrap();
         let trace = &result.traces["v"];
         assert!(!trace.steps.is_empty());
         let rendered = trace.to_string();

@@ -21,7 +21,7 @@
 //! 1. [`preprocess`] — the SQL Preprocessing Module builds the **Query
 //!    Dictionary** mapping identifiers to query bodies;
 //! 2. `lineagex-sqlparse` — the Transformation Module produces ASTs;
-//! 3. [`extract`] — the Lineage Information Extraction Module traverses
+//! 3. `extract` (internal) — the Lineage Information Extraction Module traverses
 //!    each AST post-order, applying the keyword rules of Table I;
 //! 4. [`infer`] — **Table/View Auto-Inference** reorders processing with a
 //!    LIFO deferral stack so `SELECT *` and prefix-less columns resolve
@@ -43,6 +43,8 @@
 //! // web.reg is referenced (C_ref) but contributes to no output.
 //! assert!(webinfo.cref.iter().any(|c| c.column == "reg"));
 //! ```
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod api;
 pub mod error;

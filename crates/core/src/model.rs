@@ -204,7 +204,11 @@ impl LineageGraph {
             for out in &q.outputs {
                 let to = SourceColumn::new(&q.id, &out.name);
                 for src in &out.ccon {
-                    edges.push(Edge { from: src.clone(), to: to.clone(), kind: EdgeKind::Contribute });
+                    edges.push(Edge {
+                        from: src.clone(),
+                        to: to.clone(),
+                        kind: EdgeKind::Contribute,
+                    });
                 }
             }
         }
@@ -239,10 +243,7 @@ impl LineageGraph {
                 }
             }
         }
-        edges
-            .into_iter()
-            .map(|((from, to), kind)| Edge { from, to, kind })
-            .collect()
+        edges.into_iter().map(|((from, to), kind)| Edge { from, to, kind }).collect()
     }
 
     /// Table-level edges: `(source relation, derived relation)` pairs.
@@ -442,8 +443,7 @@ mod tests {
         let g = sample_graph();
         let edges = g.all_edges();
         assert_eq!(edges.len(), 2);
-        let page_edge =
-            edges.iter().find(|e| e.from == SourceColumn::new("web", "page")).unwrap();
+        let page_edge = edges.iter().find(|e| e.from == SourceColumn::new("web", "page")).unwrap();
         assert_eq!(page_edge.kind, EdgeKind::Contribute);
         let cid_edge = edges.iter().find(|e| e.from == SourceColumn::new("web", "cid")).unwrap();
         assert_eq!(cid_edge.kind, EdgeKind::Reference);
@@ -454,8 +454,7 @@ mod tests {
         let mut g = sample_graph();
         g.queries.get_mut("v").unwrap().cref.insert(SourceColumn::new("web", "page"));
         let edges = g.all_edges();
-        let page_edge =
-            edges.iter().find(|e| e.from == SourceColumn::new("web", "page")).unwrap();
+        let page_edge = edges.iter().find(|e| e.from == SourceColumn::new("web", "page")).unwrap();
         assert_eq!(page_edge.kind, EdgeKind::Both);
     }
 

@@ -168,9 +168,7 @@ impl QueryDict {
                         .map(|n| n.base_name().to_string())
                         .collect::<Vec<_>>()
                         .join(", ");
-                    dict.warnings.push(Warning::SkippedStatement {
-                        what: format!("DROP {what}"),
-                    });
+                    dict.warnings.push(Warning::SkippedStatement { what: format!("DROP {what}") });
                 }
                 Statement::Delete { ref table, .. } => {
                     // A DELETE creates no columns; only its target matters
@@ -292,10 +290,8 @@ mod tests {
 
     #[test]
     fn duplicate_view_name_errors() {
-        let err = QueryDict::from_sql(
-            "CREATE VIEW v AS SELECT 1; CREATE VIEW v AS SELECT 2",
-        )
-        .unwrap_err();
+        let err = QueryDict::from_sql("CREATE VIEW v AS SELECT 1; CREATE VIEW v AS SELECT 2")
+            .unwrap_err();
         assert!(matches!(err, LineageError::DuplicateQueryId(id) if id == "v"));
     }
 
@@ -303,7 +299,9 @@ mod tests {
     fn drop_is_skipped_with_warning() {
         let qd = QueryDict::from_sql("DROP VIEW old_v; SELECT 1").unwrap();
         assert_eq!(qd.len(), 1);
-        assert!(matches!(&qd.warnings[0], Warning::SkippedStatement { what } if what.contains("old_v")));
+        assert!(
+            matches!(&qd.warnings[0], Warning::SkippedStatement { what } if what.contains("old_v"))
+        );
     }
 
     #[test]

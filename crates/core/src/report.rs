@@ -100,10 +100,7 @@ mod tests {
              CREATE VIEW v AS SELECT a FROM t WHERE b > 0;",
         )
         .unwrap();
-        InferenceEngine::new(qd, Catalog::new(), ExtractOptions::default())
-            .run()
-            .unwrap()
-            .graph
+        InferenceEngine::new(qd, Catalog::new(), ExtractOptions::default()).run().unwrap().graph
     }
 
     #[test]

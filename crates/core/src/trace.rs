@@ -91,12 +91,7 @@ impl TraceLog {
             cref: cref.iter().map(|c| c.to_string()).collect(),
             projection,
         };
-        self.steps.push(TraceStep {
-            step: self.steps.len() + 1,
-            rule,
-            node: node.into(),
-            state,
-        });
+        self.steps.push(TraceStep { step: self.steps.len() + 1, rule, node: node.into(), state });
     }
 
     /// The rules fired, in order.
@@ -108,13 +103,7 @@ impl TraceLog {
 impl fmt::Display for TraceLog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for step in &self.steps {
-            writeln!(
-                f,
-                "({}) {:<20} {}",
-                step.step,
-                step.rule.table1_name(),
-                step.node
-            )?;
+            writeln!(f, "({}) {:<20} {}", step.step, step.rule.table1_name(), step.node)?;
             writeln!(f, "      T     = [{}]", step.state.tables.join(", "))?;
             writeln!(f, "      C_pos = [{}]", step.state.cpos.join(", "))?;
             writeln!(f, "      C_ref = [{}]", step.state.cref.join(", "))?;

@@ -52,10 +52,7 @@ pub fn ground_truth() -> GroundTruth {
     gt.expect_ccon("webinfo", "wdate", &[("web", "date")]);
     gt.expect_ccon("webinfo", "wpage", &[("web", "page")]);
     gt.expect_ccon("webinfo", "wreg", &[("web", "reg")]);
-    gt.expect_cref(
-        "webinfo",
-        &[("customers", "cid"), ("web", "cid"), ("web", "date")],
-    );
+    gt.expect_cref("webinfo", &[("customers", "cid"), ("web", "cid"), ("web", "date")]);
     gt.expect_tables("webinfo", &["customers", "web"]);
 
     // Q2: webact = webinfo INTERSECT web (positional merge).
@@ -88,10 +85,7 @@ pub fn ground_truth() -> GroundTruth {
     gt.expect_ccon("info", "wdate", &[("webact", "wdate")]);
     gt.expect_ccon("info", "wpage", &[("webact", "wpage")]);
     gt.expect_ccon("info", "wreg", &[("webact", "wreg")]);
-    gt.expect_cref(
-        "info",
-        &[("customers", "cid"), ("orders", "cid"), ("webact", "wcid")],
-    );
+    gt.expect_cref("info", &[("customers", "cid"), ("orders", "cid"), ("webact", "wcid")]);
     gt.expect_tables("info", &["customers", "orders", "webact"]);
 
     gt
@@ -146,10 +140,8 @@ mod tests {
     fn page_impact_matches_paper_step4() {
         let result = lineagex(&full_log()).unwrap();
         let report = result.impact_of("web", "page");
-        let expected: std::collections::BTreeSet<SourceColumn> = expected_page_impact()
-            .into_iter()
-            .map(|(t, c)| SourceColumn::new(t, c))
-            .collect();
+        let expected: std::collections::BTreeSet<SourceColumn> =
+            expected_page_impact().into_iter().map(|(t, c)| SourceColumn::new(t, c)).collect();
         let actual: std::collections::BTreeSet<SourceColumn> =
             report.impacted.iter().map(|c| c.column.clone()).collect();
         assert_eq!(actual, expected, "impact set diverges from the paper's step 4");
@@ -161,11 +153,7 @@ mod tests {
         let result = lineagex(&full_log()).unwrap();
         let report = result.impact_of("web", "page");
         let kind_of = |t: &str, c: &str| {
-            report
-                .impacted
-                .iter()
-                .find(|i| i.column == SourceColumn::new(t, c))
-                .map(|i| i.kind)
+            report.impacted.iter().find(|i| i.column == SourceColumn::new(t, c)).map(|i| i.kind)
         };
         // web.page contributes to webact.wpage AND is referenced → Both.
         assert_eq!(kind_of("webact", "wpage"), Some(EdgeKind::Both));

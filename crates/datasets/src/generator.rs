@@ -110,9 +110,22 @@ struct RelInfo {
 }
 
 const TABLE_POOL: &[&str] = &[
-    "customers", "orders", "events", "sessions", "payments", "products", "clicks",
-    "shipments", "reviews", "inventory", "stores", "devices", "visits", "carts",
-    "refunds", "coupons",
+    "customers",
+    "orders",
+    "events",
+    "sessions",
+    "payments",
+    "products",
+    "clicks",
+    "shipments",
+    "reviews",
+    "inventory",
+    "stores",
+    "devices",
+    "visits",
+    "carts",
+    "refunds",
+    "coupons",
 ];
 
 /// Generate a workload from a config.

@@ -19,13 +19,10 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// Add one expected output column.
     pub fn expect_ccon(&mut self, query: &str, output: &str, sources: &[(&str, &str)]) {
-        self.ccon
-            .entry(query.to_string())
-            .or_default()
-            .insert(
-                output.to_string(),
-                sources.iter().map(|(t, c)| SourceColumn::new(*t, *c)).collect(),
-            );
+        self.ccon.entry(query.to_string()).or_default().insert(
+            output.to_string(),
+            sources.iter().map(|(t, c)| SourceColumn::new(*t, *c)).collect(),
+        );
     }
 
     /// Add expected referenced columns for a query.

@@ -13,6 +13,8 @@
 //!   truth is exact by construction, used for accuracy sweeps and
 //!   property tests.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod example1;
 pub mod generator;
 pub mod groundtruth;

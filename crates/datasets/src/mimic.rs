@@ -15,39 +15,408 @@ use crate::groundtruth::GroundTruth;
 
 /// The 26 base tables with their (real) MIMIC-III columns.
 pub const TABLES: &[(&str, &[&str])] = &[
-    ("patients", &["row_id", "subject_id", "gender", "dob", "dod", "dod_hosp", "dod_ssn", "expire_flag"]),
-    ("admissions", &["row_id", "subject_id", "hadm_id", "admittime", "dischtime", "deathtime", "admission_type", "admission_location", "discharge_location", "insurance", "language", "religion", "marital_status", "ethnicity", "edregtime", "edouttime", "diagnosis", "hospital_expire_flag", "has_chartevents_data"]),
-    ("icustays", &["row_id", "subject_id", "hadm_id", "icustay_id", "dbsource", "first_careunit", "last_careunit", "first_wardid", "last_wardid", "intime", "outtime", "los"]),
-    ("callout", &["row_id", "subject_id", "hadm_id", "submit_wardid", "submit_careunit", "curr_wardid", "curr_careunit", "callout_wardid", "callout_service", "request_tele", "request_resp", "request_cdiff", "request_mrsa", "request_vre", "callout_status", "callout_outcome", "discharge_wardid", "acknowledge_status", "createtime", "updatetime", "acknowledgetime", "outcometime", "firstreservationtime", "currentreservationtime"]),
+    (
+        "patients",
+        &["row_id", "subject_id", "gender", "dob", "dod", "dod_hosp", "dod_ssn", "expire_flag"],
+    ),
+    (
+        "admissions",
+        &[
+            "row_id",
+            "subject_id",
+            "hadm_id",
+            "admittime",
+            "dischtime",
+            "deathtime",
+            "admission_type",
+            "admission_location",
+            "discharge_location",
+            "insurance",
+            "language",
+            "religion",
+            "marital_status",
+            "ethnicity",
+            "edregtime",
+            "edouttime",
+            "diagnosis",
+            "hospital_expire_flag",
+            "has_chartevents_data",
+        ],
+    ),
+    (
+        "icustays",
+        &[
+            "row_id",
+            "subject_id",
+            "hadm_id",
+            "icustay_id",
+            "dbsource",
+            "first_careunit",
+            "last_careunit",
+            "first_wardid",
+            "last_wardid",
+            "intime",
+            "outtime",
+            "los",
+        ],
+    ),
+    (
+        "callout",
+        &[
+            "row_id",
+            "subject_id",
+            "hadm_id",
+            "submit_wardid",
+            "submit_careunit",
+            "curr_wardid",
+            "curr_careunit",
+            "callout_wardid",
+            "callout_service",
+            "request_tele",
+            "request_resp",
+            "request_cdiff",
+            "request_mrsa",
+            "request_vre",
+            "callout_status",
+            "callout_outcome",
+            "discharge_wardid",
+            "acknowledge_status",
+            "createtime",
+            "updatetime",
+            "acknowledgetime",
+            "outcometime",
+            "firstreservationtime",
+            "currentreservationtime",
+        ],
+    ),
     ("caregivers", &["row_id", "cgid", "label", "description"]),
-    ("chartevents", &["row_id", "subject_id", "hadm_id", "icustay_id", "itemid", "charttime", "storetime", "cgid", "value", "valuenum", "valueuom", "warning", "error", "resultstatus", "stopped"]),
-    ("cptevents", &["row_id", "subject_id", "hadm_id", "costcenter", "chartdate", "cpt_cd", "cpt_number", "cpt_suffix", "ticket_id_seq", "sectionheader", "subsectionheader", "description"]),
-    ("datetimeevents", &["row_id", "subject_id", "hadm_id", "icustay_id", "itemid", "charttime", "storetime", "cgid", "value", "valueuom", "warning", "error", "resultstatus", "stopped"]),
+    (
+        "chartevents",
+        &[
+            "row_id",
+            "subject_id",
+            "hadm_id",
+            "icustay_id",
+            "itemid",
+            "charttime",
+            "storetime",
+            "cgid",
+            "value",
+            "valuenum",
+            "valueuom",
+            "warning",
+            "error",
+            "resultstatus",
+            "stopped",
+        ],
+    ),
+    (
+        "cptevents",
+        &[
+            "row_id",
+            "subject_id",
+            "hadm_id",
+            "costcenter",
+            "chartdate",
+            "cpt_cd",
+            "cpt_number",
+            "cpt_suffix",
+            "ticket_id_seq",
+            "sectionheader",
+            "subsectionheader",
+            "description",
+        ],
+    ),
+    (
+        "datetimeevents",
+        &[
+            "row_id",
+            "subject_id",
+            "hadm_id",
+            "icustay_id",
+            "itemid",
+            "charttime",
+            "storetime",
+            "cgid",
+            "value",
+            "valueuom",
+            "warning",
+            "error",
+            "resultstatus",
+            "stopped",
+        ],
+    ),
     ("diagnoses_icd", &["row_id", "subject_id", "hadm_id", "seq_num", "icd9_code"]),
-    ("drgcodes", &["row_id", "subject_id", "hadm_id", "drg_type", "drg_code", "description", "drg_severity", "drg_mortality"]),
-    ("d_cpt", &["row_id", "category", "sectionrange", "sectionheader", "subsectionrange", "subsectionheader", "codesuffix", "mincodeinsubsection", "maxcodeinsubsection"]),
+    (
+        "drgcodes",
+        &[
+            "row_id",
+            "subject_id",
+            "hadm_id",
+            "drg_type",
+            "drg_code",
+            "description",
+            "drg_severity",
+            "drg_mortality",
+        ],
+    ),
+    (
+        "d_cpt",
+        &[
+            "row_id",
+            "category",
+            "sectionrange",
+            "sectionheader",
+            "subsectionrange",
+            "subsectionheader",
+            "codesuffix",
+            "mincodeinsubsection",
+            "maxcodeinsubsection",
+        ],
+    ),
     ("d_icd_diagnoses", &["row_id", "icd9_code", "short_title", "long_title"]),
     ("d_icd_procedures", &["row_id", "icd9_code", "short_title", "long_title"]),
-    ("d_items", &["row_id", "itemid", "label", "abbreviation", "dbsource", "linksto", "category", "unitname", "param_type", "conceptid"]),
+    (
+        "d_items",
+        &[
+            "row_id",
+            "itemid",
+            "label",
+            "abbreviation",
+            "dbsource",
+            "linksto",
+            "category",
+            "unitname",
+            "param_type",
+            "conceptid",
+        ],
+    ),
     ("d_labitems", &["row_id", "itemid", "label", "fluid", "category", "loinc_code"]),
-    ("inputevents_cv", &["row_id", "subject_id", "hadm_id", "icustay_id", "charttime", "itemid", "amount", "amountuom", "rate", "rateuom", "storetime", "cgid", "orderid", "linkorderid", "stopped", "newbottle", "originalamount", "originalamountuom", "originalroute", "originalrate", "originalrateuom", "originalsite"]),
-    ("inputevents_mv", &["row_id", "subject_id", "hadm_id", "icustay_id", "starttime", "endtime", "itemid", "amount", "amountuom", "rate", "rateuom", "storetime", "cgid", "orderid", "linkorderid", "ordercategoryname", "secondaryordercategoryname", "ordercomponenttypedescription", "ordercategorydescription", "patientweight", "totalamount", "totalamountuom", "isopenbag", "continueinnextdept", "cancelreason", "statusdescription", "comments_editedby", "comments_canceledby", "comments_date", "originalamount_mv", "originalrate_mv"]),
-    ("labevents", &["row_id", "subject_id", "hadm_id", "itemid", "charttime", "value", "valuenum", "valueuom", "flag"]),
-    ("microbiologyevents", &["row_id", "subject_id", "hadm_id", "chartdate", "charttime", "spec_itemid", "spec_type_desc", "org_itemid", "org_name", "isolate_num", "ab_itemid", "ab_name", "dilution_text", "dilution_comparison", "dilution_value", "interpretation"]),
-    ("noteevents", &["row_id", "subject_id", "hadm_id", "chartdate", "charttime", "storetime", "category", "description", "cgid", "iserror", "text"]),
-    ("outputevents", &["row_id", "subject_id", "hadm_id", "icustay_id", "charttime", "itemid", "value", "valueuom", "storetime", "cgid", "stopped", "newbottle", "iserror"]),
-    ("prescriptions", &["row_id", "subject_id", "hadm_id", "icustay_id", "startdate", "enddate", "drug_type", "drug", "drug_name_poe", "drug_name_generic", "formulary_drug_cd", "gsn", "ndc", "prod_strength", "dose_val_rx", "dose_unit_rx", "form_val_disp", "form_unit_disp", "route"]),
-    ("procedureevents_mv", &["row_id", "subject_id", "hadm_id", "icustay_id", "starttime", "endtime", "itemid", "value", "valueuom", "location", "locationcategory", "storetime", "cgid", "orderid", "linkorderid", "ordercategoryname", "secondaryordercategoryname", "ordercategorydescription", "isopenbag", "continueinnextdept", "cancelreason", "statusdescription", "comments_editedby", "comments_canceledby", "comments_date"]),
+    (
+        "inputevents_cv",
+        &[
+            "row_id",
+            "subject_id",
+            "hadm_id",
+            "icustay_id",
+            "charttime",
+            "itemid",
+            "amount",
+            "amountuom",
+            "rate",
+            "rateuom",
+            "storetime",
+            "cgid",
+            "orderid",
+            "linkorderid",
+            "stopped",
+            "newbottle",
+            "originalamount",
+            "originalamountuom",
+            "originalroute",
+            "originalrate",
+            "originalrateuom",
+            "originalsite",
+        ],
+    ),
+    (
+        "inputevents_mv",
+        &[
+            "row_id",
+            "subject_id",
+            "hadm_id",
+            "icustay_id",
+            "starttime",
+            "endtime",
+            "itemid",
+            "amount",
+            "amountuom",
+            "rate",
+            "rateuom",
+            "storetime",
+            "cgid",
+            "orderid",
+            "linkorderid",
+            "ordercategoryname",
+            "secondaryordercategoryname",
+            "ordercomponenttypedescription",
+            "ordercategorydescription",
+            "patientweight",
+            "totalamount",
+            "totalamountuom",
+            "isopenbag",
+            "continueinnextdept",
+            "cancelreason",
+            "statusdescription",
+            "comments_editedby",
+            "comments_canceledby",
+            "comments_date",
+            "originalamount_mv",
+            "originalrate_mv",
+        ],
+    ),
+    (
+        "labevents",
+        &[
+            "row_id",
+            "subject_id",
+            "hadm_id",
+            "itemid",
+            "charttime",
+            "value",
+            "valuenum",
+            "valueuom",
+            "flag",
+        ],
+    ),
+    (
+        "microbiologyevents",
+        &[
+            "row_id",
+            "subject_id",
+            "hadm_id",
+            "chartdate",
+            "charttime",
+            "spec_itemid",
+            "spec_type_desc",
+            "org_itemid",
+            "org_name",
+            "isolate_num",
+            "ab_itemid",
+            "ab_name",
+            "dilution_text",
+            "dilution_comparison",
+            "dilution_value",
+            "interpretation",
+        ],
+    ),
+    (
+        "noteevents",
+        &[
+            "row_id",
+            "subject_id",
+            "hadm_id",
+            "chartdate",
+            "charttime",
+            "storetime",
+            "category",
+            "description",
+            "cgid",
+            "iserror",
+            "text",
+        ],
+    ),
+    (
+        "outputevents",
+        &[
+            "row_id",
+            "subject_id",
+            "hadm_id",
+            "icustay_id",
+            "charttime",
+            "itemid",
+            "value",
+            "valueuom",
+            "storetime",
+            "cgid",
+            "stopped",
+            "newbottle",
+            "iserror",
+        ],
+    ),
+    (
+        "prescriptions",
+        &[
+            "row_id",
+            "subject_id",
+            "hadm_id",
+            "icustay_id",
+            "startdate",
+            "enddate",
+            "drug_type",
+            "drug",
+            "drug_name_poe",
+            "drug_name_generic",
+            "formulary_drug_cd",
+            "gsn",
+            "ndc",
+            "prod_strength",
+            "dose_val_rx",
+            "dose_unit_rx",
+            "form_val_disp",
+            "form_unit_disp",
+            "route",
+        ],
+    ),
+    (
+        "procedureevents_mv",
+        &[
+            "row_id",
+            "subject_id",
+            "hadm_id",
+            "icustay_id",
+            "starttime",
+            "endtime",
+            "itemid",
+            "value",
+            "valueuom",
+            "location",
+            "locationcategory",
+            "storetime",
+            "cgid",
+            "orderid",
+            "linkorderid",
+            "ordercategoryname",
+            "secondaryordercategoryname",
+            "ordercategorydescription",
+            "isopenbag",
+            "continueinnextdept",
+            "cancelreason",
+            "statusdescription",
+            "comments_editedby",
+            "comments_canceledby",
+            "comments_date",
+        ],
+    ),
     ("procedures_icd", &["row_id", "subject_id", "hadm_id", "seq_num", "icd9_code"]),
-    ("services", &["row_id", "subject_id", "hadm_id", "transfertime", "prev_service", "curr_service"]),
-    ("transfers", &["row_id", "subject_id", "hadm_id", "icustay_id", "dbsource", "eventtype", "prev_careunit", "curr_careunit", "prev_wardid", "curr_wardid", "intime", "outtime", "los"]),
+    (
+        "services",
+        &["row_id", "subject_id", "hadm_id", "transfertime", "prev_service", "curr_service"],
+    ),
+    (
+        "transfers",
+        &[
+            "row_id",
+            "subject_id",
+            "hadm_id",
+            "icustay_id",
+            "dbsource",
+            "eventtype",
+            "prev_careunit",
+            "curr_careunit",
+            "prev_wardid",
+            "curr_wardid",
+            "intime",
+            "outtime",
+            "los",
+        ],
+    ),
 ];
 
 /// Event tables used by the view templates.
 const EVENT_TABLES: &[&str] = &[
-    "chartevents", "labevents", "outputevents", "datetimeevents", "prescriptions",
-    "microbiologyevents", "inputevents_cv", "inputevents_mv", "procedureevents_mv",
-    "cptevents", "noteevents", "transfers",
+    "chartevents",
+    "labevents",
+    "outputevents",
+    "datetimeevents",
+    "prescriptions",
+    "microbiologyevents",
+    "inputevents_cv",
+    "inputevents_mv",
+    "procedureevents_mv",
+    "cptevents",
+    "noteevents",
+    "transfers",
 ];
 
 /// The generated workload: DDL, 70 views, and ground truth.

@@ -13,12 +13,73 @@ use crate::groundtruth::GroundTruth;
 pub const TABLES: &[(&str, &[&str])] = &[
     ("region", &["r_regionkey", "r_name", "r_comment"]),
     ("nation", &["n_nationkey", "n_name", "n_regionkey", "n_comment"]),
-    ("supplier", &["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"]),
-    ("customer", &["c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_mktsegment", "c_comment"]),
-    ("part", &["p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container", "p_retailprice", "p_comment"]),
+    (
+        "supplier",
+        &["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"],
+    ),
+    (
+        "customer",
+        &[
+            "c_custkey",
+            "c_name",
+            "c_address",
+            "c_nationkey",
+            "c_phone",
+            "c_acctbal",
+            "c_mktsegment",
+            "c_comment",
+        ],
+    ),
+    (
+        "part",
+        &[
+            "p_partkey",
+            "p_name",
+            "p_mfgr",
+            "p_brand",
+            "p_type",
+            "p_size",
+            "p_container",
+            "p_retailprice",
+            "p_comment",
+        ],
+    ),
     ("partsupp", &["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"]),
-    ("orders", &["o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority", "o_comment"]),
-    ("lineitem", &["l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment"]),
+    (
+        "orders",
+        &[
+            "o_orderkey",
+            "o_custkey",
+            "o_orderstatus",
+            "o_totalprice",
+            "o_orderdate",
+            "o_orderpriority",
+            "o_clerk",
+            "o_shippriority",
+            "o_comment",
+        ],
+    ),
+    (
+        "lineitem",
+        &[
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_linenumber",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_tax",
+            "l_returnflag",
+            "l_linestatus",
+            "l_shipdate",
+            "l_commitdate",
+            "l_receiptdate",
+            "l_shipinstruct",
+            "l_shipmode",
+            "l_comment",
+        ],
+    ),
 ];
 
 /// Base-table DDL.
@@ -119,11 +180,7 @@ JOIN part p ON ps.ps_partkey = p.p_partkey;
     gt.expect_ccon("pricing_summary", "count_order", &[]);
     gt.expect_cref(
         "pricing_summary",
-        &[
-            ("lineitem", "l_shipdate"),
-            ("lineitem", "l_returnflag"),
-            ("lineitem", "l_linestatus"),
-        ],
+        &[("lineitem", "l_shipdate"), ("lineitem", "l_returnflag"), ("lineitem", "l_linestatus")],
     );
     gt.expect_tables("pricing_summary", &["lineitem"]);
 
@@ -136,10 +193,7 @@ JOIN part p ON ps.ps_partkey = p.p_partkey;
         "revenue",
         &[("lineitem", "l_extendedprice"), ("lineitem", "l_discount")],
     );
-    gt.expect_cref(
-        "order_revenue",
-        &[("orders", "o_orderkey"), ("lineitem", "l_orderkey")],
-    );
+    gt.expect_cref("order_revenue", &[("orders", "o_orderkey"), ("lineitem", "l_orderkey")]);
     gt.expect_tables("order_revenue", &["orders", "lineitem"]);
 
     // customer_nation.
@@ -239,10 +293,7 @@ mod tests {
             ("local_revenue", "revenue"),
             ("top_customers", "total_revenue"),
         ] {
-            assert!(
-                impact.contains(&SourceColumn::new(table, column)),
-                "missing {table}.{column}"
-            );
+            assert!(impact.contains(&SourceColumn::new(table, column)), "missing {table}.{column}");
         }
         // But it does not touch the supplier-side pipeline.
         assert!(!impact.impacted_tables().contains(&"supplier_parts"));

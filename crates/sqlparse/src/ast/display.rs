@@ -155,11 +155,9 @@ impl fmt::Display for Expr {
             Expr::IsNull { expr, negated } => {
                 write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
             }
-            Expr::IsDistinctFrom { left, right, negated } => write!(
-                f,
-                "{left} IS {}DISTINCT FROM {right}",
-                if *negated { "NOT " } else { "" }
-            ),
+            Expr::IsDistinctFrom { left, right, negated } => {
+                write!(f, "{left} IS {}DISTINCT FROM {right}", if *negated { "NOT " } else { "" })
+            }
             Expr::InList { expr, list, negated } => {
                 write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 comma_sep(f, list)?;
@@ -168,11 +166,9 @@ impl fmt::Display for Expr {
             Expr::InSubquery { expr, subquery, negated } => {
                 write!(f, "{expr} {}IN ({subquery})", if *negated { "NOT " } else { "" })
             }
-            Expr::Between { expr, negated, low, high } => write!(
-                f,
-                "{expr} {}BETWEEN {low} AND {high}",
-                if *negated { "NOT " } else { "" }
-            ),
+            Expr::Between { expr, negated, low, high } => {
+                write!(f, "{expr} {}BETWEEN {low} AND {high}", if *negated { "NOT " } else { "" })
+            }
             Expr::Like { expr, negated, pattern, case_insensitive } => write!(
                 f,
                 "{expr} {}{} {pattern}",
@@ -705,10 +701,7 @@ mod tests {
     #[test]
     fn select_item_display() {
         assert_eq!(SelectItem::Wildcard.to_string(), "*");
-        assert_eq!(
-            SelectItem::QualifiedWildcard("w".into()).to_string(),
-            "w.*"
-        );
+        assert_eq!(SelectItem::QualifiedWildcard("w".into()).to_string(), "w.*");
         assert_eq!(
             SelectItem::ExprWithAlias { expr: Expr::qcol("c", "cid"), alias: Ident::new("wcid") }
                 .to_string(),

@@ -215,8 +215,8 @@ fn subquery_output_name(query: &Query) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parse_statement;
     use crate::ast::Statement;
+    use crate::parse_statement;
 
     fn refs_of(sql: &str) -> (Vec<String>, usize) {
         let stmt = parse_statement(sql).unwrap();
@@ -243,17 +243,15 @@ mod tests {
 
     #[test]
     fn does_not_descend_into_subqueries() {
-        let (cols, subs) =
-            refs_of("SELECT 1 FROM t WHERE a IN (SELECT x FROM u WHERE u.y = 1)");
+        let (cols, subs) = refs_of("SELECT 1 FROM t WHERE a IN (SELECT x FROM u WHERE u.y = 1)");
         assert_eq!(cols, vec!["a"]);
         assert_eq!(subs, 1);
     }
 
     #[test]
     fn collects_from_case_and_functions() {
-        let (cols, _) = refs_of(
-            "SELECT 1 FROM t WHERE CASE WHEN a > 0 THEN b ELSE c END = coalesce(d, e)",
-        );
+        let (cols, _) =
+            refs_of("SELECT 1 FROM t WHERE CASE WHEN a > 0 THEN b ELSE c END = coalesce(d, e)");
         assert_eq!(cols, vec!["a", "b", "c", "d", "e"]);
     }
 
@@ -266,10 +264,9 @@ mod tests {
 
     #[test]
     fn collects_window_spec_columns() {
-        let stmt = parse_statement(
-            "SELECT sum(x) OVER (PARTITION BY dept ORDER BY hired) FROM emp",
-        )
-        .unwrap();
+        let stmt =
+            parse_statement("SELECT sum(x) OVER (PARTITION BY dept ORDER BY hired) FROM emp")
+                .unwrap();
         let Statement::Query(q) = stmt else { panic!() };
         let crate::ast::SetExpr::Select(sel) = &q.body else { panic!() };
         let crate::ast::SelectItem::UnnamedExpr(e) = &sel.projection[0] else { panic!() };

@@ -37,17 +37,106 @@ macro_rules! define_keywords {
 }
 
 define_keywords!(
-    ALL, AND, ANY, AS, ASC, BETWEEN, BOTH, BY, CASE, CAST, CHECK, CONSTRAINT,
-    CREATE, CROSS, CURRENT, DEFAULT, DELETE, DESC, DISTINCT, DROP, ELSE, END,
-    EXCEPT, EXISTS, EXTRACT, FALSE, FETCH, FILTER, FIRST, FOLLOWING, FOR,
-    FOREIGN, FROM, FULL, GROUP, HAVING, IF, ILIKE, IN, INNER, INSERT,
-    INTERSECT, INTERVAL, INTO, IS, JOIN, KEY, LAST, LATERAL, LEADING, LEFT,
-    LIKE, LIMIT, MATERIALIZED, NATURAL, NEXT, NOT, NULL, NULLS, OFFSET, ON,
-    ONLY, OR, ORDER, OUTER, OVER, PARTITION, POSITION, PRECEDING, PRIMARY,
-    RANGE, RECURSIVE, REFERENCES, REPLACE, RIGHT, ROW, ROWS, SELECT, SET,
-    SIMILAR, SOME, SUBSTRING, TABLE, TEMP, TEMPORARY, THEN, TRAILING, TRIM,
-    TRUE, UNBOUNDED, UNION, UNIQUE, UPDATE, USING, VALUES, VIEW, WHEN, WHERE,
-    WINDOW, WITH,
+    ALL,
+    AND,
+    ANY,
+    AS,
+    ASC,
+    BETWEEN,
+    BOTH,
+    BY,
+    CASE,
+    CAST,
+    CHECK,
+    CONSTRAINT,
+    CREATE,
+    CROSS,
+    CURRENT,
+    DEFAULT,
+    DELETE,
+    DESC,
+    DISTINCT,
+    DROP,
+    ELSE,
+    END,
+    EXCEPT,
+    EXISTS,
+    EXTRACT,
+    FALSE,
+    FETCH,
+    FILTER,
+    FIRST,
+    FOLLOWING,
+    FOR,
+    FOREIGN,
+    FROM,
+    FULL,
+    GROUP,
+    HAVING,
+    IF,
+    ILIKE,
+    IN,
+    INNER,
+    INSERT,
+    INTERSECT,
+    INTERVAL,
+    INTO,
+    IS,
+    JOIN,
+    KEY,
+    LAST,
+    LATERAL,
+    LEADING,
+    LEFT,
+    LIKE,
+    LIMIT,
+    MATERIALIZED,
+    NATURAL,
+    NEXT,
+    NOT,
+    NULL,
+    NULLS,
+    OFFSET,
+    ON,
+    ONLY,
+    OR,
+    ORDER,
+    OUTER,
+    OVER,
+    PARTITION,
+    POSITION,
+    PRECEDING,
+    PRIMARY,
+    RANGE,
+    RECURSIVE,
+    REFERENCES,
+    REPLACE,
+    RIGHT,
+    ROW,
+    ROWS,
+    SELECT,
+    SET,
+    SIMILAR,
+    SOME,
+    SUBSTRING,
+    TABLE,
+    TEMP,
+    TEMPORARY,
+    THEN,
+    TRAILING,
+    TRIM,
+    TRUE,
+    UNBOUNDED,
+    UNION,
+    UNIQUE,
+    UPDATE,
+    USING,
+    VALUES,
+    VIEW,
+    WHEN,
+    WHERE,
+    WINDOW,
+    WITH,
 );
 
 impl Keyword {
@@ -121,7 +210,16 @@ impl Keyword {
         use Keyword::*;
         matches!(
             self,
-            CONSTRAINT | PRIMARY | FOREIGN | UNIQUE | CHECK | DEFAULT | NOT | NULL | REFERENCES | KEY
+            CONSTRAINT
+                | PRIMARY
+                | FOREIGN
+                | UNIQUE
+                | CHECK
+                | DEFAULT
+                | NOT
+                | NULL
+                | REFERENCES
+                | KEY
         )
     }
 }

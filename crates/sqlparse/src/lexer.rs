@@ -271,17 +271,13 @@ impl<'a> Lexer<'a> {
                 }
                 Token::Placeholder(p)
             }
-            b'E' | b'e'
-                if self.peek_at(1) == Some(b'\'') =>
-            {
+            b'E' | b'e' if self.peek_at(1) == Some(b'\'') => {
                 // Postgres escape string E'...'; fold common escapes.
                 self.bump(); // E
                 let s = self.lex_escape_string(start_pos, start_loc)?;
                 Token::SingleQuotedString(s)
             }
-            b'N' | b'n'
-                if self.peek_at(1) == Some(b'\'') =>
-            {
+            b'N' | b'n' if self.peek_at(1) == Some(b'\'') => {
                 self.bump(); // N
                 let s = self.lex_single_quoted(start_pos, start_loc)?;
                 Token::NationalString(s)
@@ -344,7 +340,11 @@ impl<'a> Lexer<'a> {
         Token::Number(self.src[start..self.pos].to_string())
     }
 
-    fn lex_single_quoted(&mut self, start_pos: usize, start_loc: Location) -> Result<String, ParseError> {
+    fn lex_single_quoted(
+        &mut self,
+        start_pos: usize,
+        start_loc: Location,
+    ) -> Result<String, ParseError> {
         debug_assert_eq!(self.peek(), Some(b'\''));
         self.bump();
         let mut out = String::new();
@@ -374,7 +374,11 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn lex_escape_string(&mut self, start_pos: usize, start_loc: Location) -> Result<String, ParseError> {
+    fn lex_escape_string(
+        &mut self,
+        start_pos: usize,
+        start_loc: Location,
+    ) -> Result<String, ParseError> {
         debug_assert_eq!(self.peek(), Some(b'\''));
         self.bump();
         let mut out = String::new();
@@ -526,7 +530,9 @@ mod tests {
         let t = toks(r#""Weird Name" `tick` [bracket name]"#);
         assert!(matches!(&t[0], Token::Word(w) if w.value == "Weird Name" && w.quote == Some('"')));
         assert!(matches!(&t[1], Token::Word(w) if w.value == "tick" && w.quote == Some('`')));
-        assert!(matches!(&t[2], Token::Word(w) if w.value == "bracket name" && w.quote == Some('[')));
+        assert!(
+            matches!(&t[2], Token::Word(w) if w.value == "bracket name" && w.quote == Some('['))
+        );
     }
 
     #[test]

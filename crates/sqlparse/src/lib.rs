@@ -31,6 +31,8 @@
 //! text that parses back to the same tree — a property exercised by the
 //! round-trip proptest suite.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod ast;
 pub mod error;
 pub mod keywords;

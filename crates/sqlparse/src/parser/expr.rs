@@ -22,8 +22,10 @@ const BP_CARET: u8 = 50;
 const BP_CAST: u8 = 60;
 
 /// Interval unit words accepted after an `INTERVAL` literal.
-const INTERVAL_UNITS: &[&str] =
-    &["year", "years", "month", "months", "week", "weeks", "day", "days", "hour", "hours", "minute", "minutes", "second", "seconds"];
+const INTERVAL_UNITS: &[&str] = &[
+    "year", "years", "month", "months", "week", "weeks", "day", "days", "hour", "hours", "minute",
+    "minutes", "second", "seconds",
+];
 
 impl Parser {
     /// Parse a full expression.
@@ -710,10 +712,7 @@ mod tests {
 
     #[test]
     fn in_list_and_subquery() {
-        assert!(matches!(
-            expr_of("a IN (1, 2, 3)"),
-            Expr::InList { negated: false, .. }
-        ));
+        assert!(matches!(expr_of("a IN (1, 2, 3)"), Expr::InList { negated: false, .. }));
         assert!(matches!(
             expr_of("a NOT IN (SELECT x FROM t)"),
             Expr::InSubquery { negated: true, .. }
@@ -740,14 +739,8 @@ mod tests {
 
     #[test]
     fn exists_forms() {
-        assert!(matches!(
-            expr_of("EXISTS (SELECT 1)"),
-            Expr::Exists { negated: false, .. }
-        ));
-        assert!(matches!(
-            expr_of("NOT EXISTS (SELECT 1)"),
-            Expr::Exists { negated: true, .. }
-        ));
+        assert!(matches!(expr_of("EXISTS (SELECT 1)"), Expr::Exists { negated: false, .. }));
+        assert!(matches!(expr_of("NOT EXISTS (SELECT 1)"), Expr::Exists { negated: true, .. }));
     }
 
     #[test]
@@ -808,10 +801,7 @@ mod tests {
 
     #[test]
     fn trim_forms() {
-        assert!(matches!(
-            expr_of("TRIM(a)"),
-            Expr::Trim { side: TrimSide::Both, what: None, .. }
-        ));
+        assert!(matches!(expr_of("TRIM(a)"), Expr::Trim { side: TrimSide::Both, what: None, .. }));
         assert!(matches!(
             expr_of("TRIM(LEADING ' ' FROM a)"),
             Expr::Trim { side: TrimSide::Leading, what: Some(_), .. }

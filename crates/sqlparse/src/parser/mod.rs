@@ -288,8 +288,7 @@ impl Parser {
     fn parse_create(&mut self) -> Result<Statement, ParseError> {
         self.expect_keyword(Keyword::CREATE)?;
         let or_replace = self.parse_keywords(&[Keyword::OR, Keyword::REPLACE]);
-        let temporary =
-            self.parse_keyword(Keyword::TEMPORARY) || self.parse_keyword(Keyword::TEMP);
+        let temporary = self.parse_keyword(Keyword::TEMPORARY) || self.parse_keyword(Keyword::TEMP);
         let materialized = self.parse_keyword(Keyword::MATERIALIZED);
         if self.parse_keyword(Keyword::VIEW) {
             self.parse_create_view(or_replace, materialized, temporary)
@@ -370,9 +369,7 @@ impl Parser {
         })
     }
 
-    fn parse_optional_table_constraint(
-        &mut self,
-    ) -> Result<Option<TableConstraint>, ParseError> {
+    fn parse_optional_table_constraint(&mut self) -> Result<Option<TableConstraint>, ParseError> {
         // An optional `CONSTRAINT name` prefix applies to both column and
         // table constraints; we only support it on table constraints, where
         // it is most common, and discard the name (lineage does not use it).
@@ -455,7 +452,9 @@ impl Parser {
     /// parameters, and an optional `with/without time zone` suffix.
     pub(crate) fn parse_data_type(&mut self) -> Result<DataType, ParseError> {
         let first = match self.peek_token() {
-            Token::Word(w) if w.keyword.is_none() || !w.keyword.unwrap().is_reserved_for_alias() => {
+            Token::Word(w)
+                if w.keyword.is_none() || !w.keyword.unwrap().is_reserved_for_alias() =>
+            {
                 let v = w.value.to_lowercase();
                 self.next_token();
                 v
@@ -485,9 +484,9 @@ impl Parser {
             loop {
                 match self.next_token() {
                     Token::Number(n) => {
-                        let v = n.parse::<u64>().map_err(|_| {
-                            self.error_here(format!("invalid type parameter {n}"))
-                        })?;
+                        let v = n
+                            .parse::<u64>()
+                            .map_err(|_| self.error_here(format!("invalid type parameter {n}")))?;
                         params.push(v);
                     }
                     other => {
@@ -515,8 +514,7 @@ impl Parser {
                 None
             };
             if let Some(with) = with {
-                let time_ok =
-                    matches!(self.peek_token(), Token::Word(w) if w.value.eq_ignore_ascii_case("time"));
+                let time_ok = matches!(self.peek_token(), Token::Word(w) if w.value.eq_ignore_ascii_case("time"));
                 if time_ok {
                     self.next_token();
                     let zone_ok = matches!(self.peek_token(), Token::Word(w) if w.value.eq_ignore_ascii_case("zone"));
@@ -699,8 +697,7 @@ mod tests {
 
     #[test]
     fn parses_insert_select() {
-        let stmt =
-            crate::parse_statement("INSERT INTO t (a, b) SELECT x, y FROM u").unwrap();
+        let stmt = crate::parse_statement("INSERT INTO t (a, b) SELECT x, y FROM u").unwrap();
         match stmt {
             Statement::Insert { table, columns, .. } => {
                 assert_eq!(table.base_name(), "t");
@@ -736,8 +733,7 @@ mod tests {
 
     #[test]
     fn timestamp_with_time_zone() {
-        let stmt =
-            crate::parse_statement("CREATE TABLE t (ts timestamp with time zone)").unwrap();
+        let stmt = crate::parse_statement("CREATE TABLE t (ts timestamp with time zone)").unwrap();
         match stmt {
             Statement::CreateTable { columns, .. } => {
                 assert_eq!(columns[0].data_type.suffix.as_deref(), Some("with time zone"));
@@ -781,10 +777,8 @@ mod tests {
 
     #[test]
     fn parses_delete() {
-        let stmt = crate::parse_statement(
-            "DELETE FROM web w USING retired r WHERE w.cid = r.cid",
-        )
-        .unwrap();
+        let stmt = crate::parse_statement("DELETE FROM web w USING retired r WHERE w.cid = r.cid")
+            .unwrap();
         match stmt {
             Statement::Delete { table, alias, using, selection } => {
                 assert_eq!(table.base_name(), "web");

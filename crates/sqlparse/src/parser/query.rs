@@ -123,12 +123,7 @@ impl Parser {
                 let _ = self.parse_keyword(Keyword::DISTINCT);
             }
             let right = self.parse_set_expr(precedence)?;
-            left = SetExpr::SetOperation {
-                op,
-                all,
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            left = SetExpr::SetOperation { op, all, left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -278,8 +273,12 @@ impl Parser {
         let mut joins = Vec::new();
         loop {
             let join_operator = if self.parse_keyword(Keyword::NATURAL) {
-                let kind = self
-                    .parse_one_of_keywords(&[Keyword::INNER, Keyword::LEFT, Keyword::RIGHT, Keyword::FULL]);
+                let kind = self.parse_one_of_keywords(&[
+                    Keyword::INNER,
+                    Keyword::LEFT,
+                    Keyword::RIGHT,
+                    Keyword::FULL,
+                ]);
                 if matches!(kind, Some(Keyword::LEFT) | Some(Keyword::RIGHT) | Some(Keyword::FULL))
                 {
                     let _ = self.parse_keyword(Keyword::OUTER);
@@ -430,9 +429,15 @@ mod tests {
         let s = select_of("SELECT *, w.*, a, b AS bb, c cc FROM t AS w");
         assert_eq!(s.projection.len(), 5);
         assert!(matches!(s.projection[0], SelectItem::Wildcard));
-        assert!(matches!(&s.projection[1], SelectItem::QualifiedWildcard(n) if n.base_name() == "w"));
-        assert!(matches!(&s.projection[3], SelectItem::ExprWithAlias { alias, .. } if alias.value == "bb"));
-        assert!(matches!(&s.projection[4], SelectItem::ExprWithAlias { alias, .. } if alias.value == "cc"));
+        assert!(
+            matches!(&s.projection[1], SelectItem::QualifiedWildcard(n) if n.base_name() == "w")
+        );
+        assert!(
+            matches!(&s.projection[3], SelectItem::ExprWithAlias { alias, .. } if alias.value == "bb")
+        );
+        assert!(
+            matches!(&s.projection[4], SelectItem::ExprWithAlias { alias, .. } if alias.value == "cc")
+        );
     }
 
     #[test]
@@ -449,7 +454,10 @@ mod tests {
             JoinOperator::LeftOuter(JoinConstraint::Using(u)) if u.len() == 1
         ));
         assert!(matches!(&twj.joins[2].join_operator, JoinOperator::CrossJoin));
-        assert!(matches!(&twj.joins[3].join_operator, JoinOperator::Inner(JoinConstraint::Natural)));
+        assert!(matches!(
+            &twj.joins[3].join_operator,
+            JoinOperator::Inner(JoinConstraint::Natural)
+        ));
     }
 
     #[test]
@@ -513,10 +521,7 @@ mod tests {
         let q = parse_query_of("SELECT 1 UNION SELECT 2 INTERSECT SELECT 3");
         match q.body {
             SetExpr::SetOperation { op: SetOperator::Union, right, .. } => {
-                assert!(matches!(
-                    *right,
-                    SetExpr::SetOperation { op: SetOperator::Intersect, .. }
-                ));
+                assert!(matches!(*right, SetExpr::SetOperation { op: SetOperator::Intersect, .. }));
             }
             other => panic!("expected UNION at top, got {other:?}"),
         }
@@ -555,9 +560,8 @@ mod tests {
 
     #[test]
     fn parses_order_limit_offset() {
-        let q = parse_query_of(
-            "SELECT a FROM t ORDER BY a DESC NULLS LAST, b LIMIT 10 OFFSET 5 ROWS",
-        );
+        let q =
+            parse_query_of("SELECT a FROM t ORDER BY a DESC NULLS LAST, b LIMIT 10 OFFSET 5 ROWS");
         assert_eq!(q.order_by.len(), 2);
         assert_eq!(q.order_by[0].asc, Some(false));
         assert_eq!(q.order_by[0].nulls_first, Some(false));
@@ -582,15 +586,9 @@ mod tests {
     #[test]
     fn is_distinct_from_parses() {
         let s = select_of("SELECT 1 FROM t WHERE a IS DISTINCT FROM b");
-        assert!(matches!(
-            s.selection,
-            Some(Expr::IsDistinctFrom { negated: false, .. })
-        ));
+        assert!(matches!(s.selection, Some(Expr::IsDistinctFrom { negated: false, .. })));
         let s = select_of("SELECT 1 FROM t WHERE a IS NOT DISTINCT FROM b");
-        assert!(matches!(
-            s.selection,
-            Some(Expr::IsDistinctFrom { negated: true, .. })
-        ));
+        assert!(matches!(s.selection, Some(Expr::IsDistinctFrom { negated: true, .. })));
     }
 
     #[test]

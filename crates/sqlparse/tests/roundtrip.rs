@@ -136,10 +136,8 @@ fn multi_statement_script_round_trips() {
 
 fn ident_strategy() -> impl Strategy<Value = Ident> {
     "[a-z][a-z0-9_]{0,8}"
-        .prop_filter("not a keyword", |s| {
-            lineagex_sqlparse::keywords::Keyword::lookup(s).is_none()
-        })
-        .prop_map(|s| Ident::new(s))
+        .prop_filter("not a keyword", |s| lineagex_sqlparse::keywords::Keyword::lookup(s).is_none())
+        .prop_map(Ident::new)
 }
 
 fn literal_strategy() -> impl Strategy<Value = Literal> {

@@ -21,11 +21,8 @@ pub fn to_dot(graph: &LineageGraph) -> String {
             NodeKind::QueryResult => "#f3e8fd",
             NodeKind::External => "#fce8e6",
         };
-        let ports: Vec<String> = node
-            .columns
-            .iter()
-            .map(|c| format!("<{}> {}", sanitize_port(c), escape(c)))
-            .collect();
+        let ports: Vec<String> =
+            node.columns.iter().map(|c| format!("<{}> {}", sanitize_port(c), escape(c))).collect();
         let label = if ports.is_empty() {
             escape(&node.name)
         } else {

@@ -21,11 +21,8 @@ use lineagex_core::LineageGraph;
 pub fn to_html(graph: &LineageGraph) -> String {
     let data = serde_json::to_string(&graph_json(graph)).expect("graph serialises");
     // Table-level edges drive the layered layout and the explore feature.
-    let table_edges: Vec<[String; 2]> = graph
-        .table_edges()
-        .into_iter()
-        .map(|(from, to)| [from, to])
-        .collect();
+    let table_edges: Vec<[String; 2]> =
+        graph.table_edges().into_iter().map(|(from, to)| [from, to]).collect();
     let table_edges = serde_json::to_string(&table_edges).expect("edges serialise");
 
     HTML_TEMPLATE
@@ -244,9 +241,8 @@ mod tests {
 
     #[test]
     fn html_is_self_contained() {
-        let graph = lineagex("CREATE TABLE t (a int); CREATE VIEW v AS SELECT a FROM t;")
-            .unwrap()
-            .graph;
+        let graph =
+            lineagex("CREATE TABLE t (a int); CREATE VIEW v AS SELECT a FROM t;").unwrap().graph;
         let html = to_html(&graph);
         assert!(!html.contains("src=\"http"), "must not load external scripts");
         assert!(!html.contains("href=\"http"), "must not load external styles");

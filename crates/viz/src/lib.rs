@@ -13,6 +13,8 @@
 //!   upstream/downstream expansion, and hover highlighting of downstream
 //!   columns — the interactions demonstrated in §IV steps 2–3.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod dot;
 pub mod html;
 pub mod json;

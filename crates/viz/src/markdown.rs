@@ -37,8 +37,7 @@ pub fn to_markdown(graph: &LineageGraph) -> String {
         out.push_str("| output column | contributes from (C_con) |\n");
         out.push_str("|---|---|\n");
         for col in &q.outputs {
-            let sources: Vec<String> =
-                col.ccon.iter().map(SourceColumn::to_string).collect();
+            let sources: Vec<String> = col.ccon.iter().map(SourceColumn::to_string).collect();
             writeln!(
                 out,
                 "| `{}` | {} |",
@@ -104,9 +103,7 @@ mod tests {
 
     #[test]
     fn warnings_surface() {
-        let graph = lineagex("CREATE VIEW v AS SELECT m.x FROM mystery m")
-            .unwrap()
-            .graph;
+        let graph = lineagex("CREATE VIEW v AS SELECT m.x FROM mystery m").unwrap().graph;
         let md = to_markdown(&graph);
         assert!(md.contains("⚠"), "{md}");
     }

@@ -29,8 +29,7 @@ pub fn to_mermaid(graph: &LineageGraph) -> String {
         .expect("write to string");
     }
     for (from, to) in graph.table_edges() {
-        writeln!(out, "  {} --> {}", mermaid_id(&from), mermaid_id(&to))
-            .expect("write to string");
+        writeln!(out, "  {} --> {}", mermaid_id(&from), mermaid_id(&to)).expect("write to string");
     }
     out
 }
@@ -65,9 +64,7 @@ mod tests {
     #[test]
     fn sanitises_weird_names() {
         assert_eq!(mermaid_id("a b.c"), "n_a_b_c");
-        let graph = lineagex(r#"CREATE VIEW v AS SELECT x.k FROM "odd name" x"#)
-            .unwrap()
-            .graph;
+        let graph = lineagex(r#"CREATE VIEW v AS SELECT x.k FROM "odd name" x"#).unwrap().graph;
         let mmd = to_mermaid(&graph);
         assert!(mmd.contains("n_odd_name"), "{mmd}");
         // Externals render as hexagons.

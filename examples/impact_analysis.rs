@@ -30,18 +30,14 @@ fn main() -> Result<(), LineageError> {
     let impact = result.impact_of("web", "page");
     println!("\nStep 4: impact of editing web.page ({} columns):", impact.impacted.len());
     for (table, cols) in impact.by_table() {
-        let rendered: Vec<String> = cols
-            .iter()
-            .map(|c| format!("{} ({:?})", c.column.column, c.kind))
-            .collect();
+        let rendered: Vec<String> =
+            cols.iter().map(|c| format!("{} ({:?})", c.column.column, c.kind)).collect();
         println!("  {table}: {}", rendered.join(", "));
     }
 
     // Cross-check against the paper's stated answer.
     let expected = example1::expected_page_impact();
-    let all_found = expected
-        .iter()
-        .all(|(t, c)| impact.contains(&SourceColumn::new(*t, *c)));
+    let all_found = expected.iter().all(|(t, c)| impact.contains(&SourceColumn::new(*t, *c)));
     assert!(all_found && impact.impacted.len() == expected.len());
     println!("\n✔ matches the paper's §IV step 4 answer exactly");
 

@@ -21,8 +21,7 @@ fn main() -> Result<(), LineageError> {
     let graph = &result.graph;
     let base_tables =
         graph.nodes.values().filter(|n| matches!(n.kind, lineagex::core::NodeKind::BaseTable));
-    let views =
-        graph.nodes.values().filter(|n| matches!(n.kind, lineagex::core::NodeKind::View));
+    let views = graph.nodes.values().filter(|n| matches!(n.kind, lineagex::core::NodeKind::View));
 
     println!("MIMIC-like workload extracted in {elapsed:?}");
     println!("  base tables : {}", base_tables.count());
@@ -38,8 +37,11 @@ fn main() -> Result<(), LineageError> {
     // A realistic governance question: which views are touched if
     // labevents.valuenum changes (e.g. a unit migration)?
     let impact = result.impact_of("labevents", "valuenum");
-    println!("\nimpact of labevents.valuenum: {} columns in {} views",
-        impact.impacted.len(), impact.impacted_tables().len());
+    println!(
+        "\nimpact of labevents.valuenum: {} columns in {} views",
+        impact.impacted.len(),
+        impact.impacted_tables().len()
+    );
     for table in impact.impacted_tables().iter().take(10) {
         println!("  {table}");
     }

@@ -34,11 +34,16 @@
 //! assert!(impact.contains(&SourceColumn::new("webinfo", "wpage")));
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
+#[cfg(feature = "baseline")]
 pub use lineagex_baseline as baseline;
 pub use lineagex_catalog as catalog;
 pub use lineagex_core as core;
+#[cfg(feature = "datasets")]
 pub use lineagex_datasets as datasets;
 pub use lineagex_sqlparse as sqlparse;
+#[cfg(feature = "viz")]
 pub use lineagex_viz as viz;
 
 /// The most commonly used items in one import.
@@ -49,5 +54,6 @@ pub mod prelude {
         GraphStats, LineageError, LineageGraph, LineageResult, LineageX, QueryLineage,
         SourceColumn,
     };
+    #[cfg(feature = "viz")]
     pub use lineagex_viz::{to_dot, to_html, to_mermaid, to_output_json};
 }

@@ -43,10 +43,9 @@ fn paths_agree_on_mimic() {
 fn paths_agree_on_generated_workloads() {
     for seed in 0..10u64 {
         let workload = generator::generate(&GeneratorConfig::seeded(seed));
-        let static_result = lineagex(&workload.full_sql())
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        let views: String =
-            workload.view_statements.iter().map(|s| format!("{s};")).collect();
+        let static_result =
+            lineagex(&workload.full_sql()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let views: String = workload.view_statements.iter().map(|s| format!("{s};")).collect();
         let connected = explain_extract(&workload.ddl, &views);
         assert_paths_agree(&static_result, &connected);
     }
@@ -60,8 +59,7 @@ fn both_paths_match_generated_ground_truth() {
         let failures = workload.ground_truth.diff(&static_result.graph);
         assert!(failures.is_empty(), "static seed {seed}:\n{}", failures.join("\n"));
 
-        let views: String =
-            workload.view_statements.iter().map(|s| format!("{s};")).collect();
+        let views: String = workload.view_statements.iter().map(|s| format!("{s};")).collect();
         let connected = explain_extract(&workload.ddl, &views);
         let failures = workload.ground_truth.diff(&connected.graph);
         assert!(failures.is_empty(), "connected seed {seed}:\n{}", failures.join("\n"));

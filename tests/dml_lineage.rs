@@ -23,10 +23,7 @@ fn update_lineage_tracks_set_expressions() {
     assert!(matches!(q.kind, QueryKind::Update));
     // The SET expression's source contributes to the updated column.
     assert_eq!(q.output_names(), vec!["page"]);
-    assert_eq!(
-        q.outputs[0].ccon,
-        BTreeSet::from([SourceColumn::new("updates", "new_page")])
-    );
+    assert_eq!(q.outputs[0].ccon, BTreeSet::from([SourceColumn::new("updates", "new_page")]));
     // Join predicate columns are referenced; target + source are scanned.
     assert!(q.cref.contains(&SourceColumn::new("web", "cid")));
     assert!(q.cref.contains(&SourceColumn::new("updates", "cid")));
@@ -35,13 +32,9 @@ fn update_lineage_tracks_set_expressions() {
 
 #[test]
 fn update_can_reference_its_own_columns() {
-    let result = lineagex(&format!("{DDL} UPDATE web SET page = page || '!' WHERE reg;"))
-        .unwrap();
+    let result = lineagex(&format!("{DDL} UPDATE web SET page = page || '!' WHERE reg;")).unwrap();
     let q = &result.graph.queries["web"];
-    assert_eq!(
-        q.outputs[0].ccon,
-        BTreeSet::from([SourceColumn::new("web", "page")])
-    );
+    assert_eq!(q.outputs[0].ccon, BTreeSet::from([SourceColumn::new("web", "page")]));
     assert!(q.cref.contains(&SourceColumn::new("web", "reg")));
 }
 

@@ -10,6 +10,24 @@ use lineagex::prelude::*;
 use std::collections::BTreeSet;
 
 #[test]
+fn example1_smoke_webinfo_wcid_edges() {
+    // Smoke test for the paper's Example 1 flow: the full log (DDL + Q1–Q3
+    // in paper order) must extract end-to-end, and `webinfo.wcid` must be
+    // wired to `web.cid`. In this reproduction's Example 1, `webinfo`
+    // computes `wcid` from `customers.cid` and joins on `web.cid`, so the
+    // `webinfo.wcid ← web.cid` edge surfaces as a Reference edge alongside
+    // the `customers.cid` edge (Both: it is projected *and* a join key).
+    let result = lineagex(&example1::full_log()).unwrap();
+    let wcid = SourceColumn::new("webinfo", "wcid");
+    let edges = result.graph.all_edges();
+    let kind_of = |from: &SourceColumn| {
+        edges.iter().find(|e| e.from == *from && e.to == wcid).map(|e| e.kind)
+    };
+    assert_eq!(kind_of(&SourceColumn::new("web", "cid")), Some(EdgeKind::Reference));
+    assert_eq!(kind_of(&SourceColumn::new("customers", "cid")), Some(EdgeKind::Both));
+}
+
+#[test]
 fn lineagex_matches_fig2_ground_truth() {
     let result = lineagex(&example1::full_log()).unwrap();
     let failures = example1::ground_truth().diff(&result.graph);
@@ -40,11 +58,8 @@ fn baseline_reproduces_the_papers_red_boxes() {
     // Red box 2: info returns a webact.* -> info.* entry instead of the
     // four expanded columns.
     let info = &baseline.queries["info"];
-    let star = info
-        .outputs
-        .iter()
-        .find(|o| o.name == "*")
-        .expect("baseline must emit a star entry");
+    let star =
+        info.outputs.iter().find(|o| o.name == "*").expect("baseline must emit a star entry");
     assert_eq!(star.ccon, BTreeSet::from([SourceColumn::new("webact", "*")]));
     // And it reports fewer real columns for info than exist (3 + star).
     assert!(info.outputs.len() < 7);
@@ -58,8 +73,7 @@ fn impact_analysis_matches_section4() {
         .into_iter()
         .map(|(t, c)| SourceColumn::new(t, c))
         .collect();
-    let actual: BTreeSet<SourceColumn> =
-        impact.impacted.iter().map(|i| i.column.clone()).collect();
+    let actual: BTreeSet<SourceColumn> = impact.impacted.iter().map(|i| i.column.clone()).collect();
     assert_eq!(actual, expected);
 }
 
@@ -116,7 +130,8 @@ fn statement_order_does_not_matter() {
     let paper_order = lineagex(&example1::full_log()).unwrap();
     let reversed: String = {
         let stmts: Vec<&str> = example1::QUERIES.split(';').map(str::trim).collect();
-        let mut forward: Vec<&str> = stmts.iter().rev().filter(|s| !s.is_empty()).copied().collect();
+        let mut forward: Vec<&str> =
+            stmts.iter().rev().filter(|s| !s.is_empty()).copied().collect();
         let mut log = example1::DDL.to_string();
         for stmt in forward.drain(..) {
             log.push_str(stmt);

@@ -57,10 +57,9 @@ fn messy_log_extracts_with_the_right_warnings() {
     assert!(enriched.warnings.iter().any(|w| matches!(w, Warning::UnknownRelation { .. })));
 
     // The DROP produced a skip warning.
-    assert!(result
-        .warnings
-        .iter()
-        .any(|w| matches!(w, Warning::SkippedStatement { what } if what.contains("obsolete_view"))));
+    assert!(result.warnings.iter().any(
+        |w| matches!(w, Warning::SkippedStatement { what } if what.contains("obsolete_view"))
+    ));
 }
 
 #[test]

@@ -25,9 +25,7 @@ fn view(sql_body: &str) -> QueryLineage {
 
 #[test]
 fn window_function_lineage() {
-    let v = view(
-        "SELECT name, rank() OVER (PARTITION BY dept ORDER BY salary DESC) AS r FROM emp",
-    );
+    let v = view("SELECT name, rank() OVER (PARTITION BY dept ORDER BY salary DESC) AS r FROM emp");
     // Window partition/order columns contribute to the windowed output.
     assert_eq!(v.outputs[1].ccon, set(&[("emp", "dept"), ("emp", "salary")]));
     assert_eq!(v.outputs[0].ccon, set(&[("emp", "name")]));
@@ -45,19 +43,15 @@ fn correlated_exists_subquery() {
         "SELECT name FROM emp e WHERE EXISTS (
             SELECT 1 FROM dept d WHERE d.id = e.id AND d.budget > 0)",
     );
-    assert_eq!(
-        v.cref,
-        set(&[("dept", "id"), ("emp", "id"), ("dept", "budget")])
-    );
+    assert_eq!(v.cref, set(&[("dept", "id"), ("emp", "id"), ("dept", "budget")]));
     // The subquery's scan counts into table lineage.
     assert_eq!(v.tables, BTreeSet::from(["emp".to_string(), "dept".to_string()]));
 }
 
 #[test]
 fn scalar_subquery_contributes() {
-    let v = view(
-        "SELECT name, (SELECT dname FROM dept d WHERE d.id = e.dept::int) AS dn FROM emp e",
-    );
+    let v =
+        view("SELECT name, (SELECT dname FROM dept d WHERE d.id = e.dept::int) AS dn FROM emp e");
     assert!(v.outputs[1].ccon.contains(&src("dept", "dname")));
     assert!(v.cref.contains(&src("dept", "id")));
     assert!(v.cref.contains(&src("emp", "dept")));
@@ -72,20 +66,12 @@ fn in_subquery_is_referenced() {
 
 #[test]
 fn three_way_set_operation() {
-    let v = view(
-        "SELECT name FROM emp UNION SELECT dname FROM dept EXCEPT SELECT dept FROM emp",
-    );
+    let v = view("SELECT name FROM emp UNION SELECT dname FROM dept EXCEPT SELECT dept FROM emp");
     assert_eq!(v.outputs.len(), 1);
     assert_eq!(v.outputs[0].name, "name");
-    assert_eq!(
-        v.outputs[0].ccon,
-        set(&[("emp", "name"), ("dept", "dname"), ("emp", "dept")])
-    );
+    assert_eq!(v.outputs[0].ccon, set(&[("emp", "name"), ("dept", "dname"), ("emp", "dept")]));
     // Every branch projection is referenced.
-    assert_eq!(
-        v.cref,
-        set(&[("emp", "name"), ("dept", "dname"), ("emp", "dept")])
-    );
+    assert_eq!(v.cref, set(&[("emp", "name"), ("dept", "dname"), ("emp", "dept")]));
 }
 
 #[test]
@@ -106,10 +92,7 @@ fn distinct_on_references() {
 fn order_by_forms() {
     // Positional, alias, and raw-column order keys all land in C_ref.
     let v = view("SELECT name AS n, salary FROM emp ORDER BY 2, n, hired");
-    assert_eq!(
-        v.cref,
-        set(&[("emp", "salary"), ("emp", "name"), ("emp", "hired")])
-    );
+    assert_eq!(v.cref, set(&[("emp", "salary"), ("emp", "name"), ("emp", "hired")]));
 }
 
 #[test]
@@ -158,10 +141,7 @@ fn case_and_cast_and_extract() {
                 EXTRACT(year FROM hired) AS y
          FROM emp",
     );
-    assert_eq!(
-        v.outputs[0].ccon,
-        set(&[("emp", "salary"), ("emp", "name"), ("emp", "dept")])
-    );
+    assert_eq!(v.outputs[0].ccon, set(&[("emp", "salary"), ("emp", "name"), ("emp", "dept")]));
     assert_eq!(v.outputs[1].ccon, set(&[("emp", "hired")]));
     assert_eq!(v.outputs[2].ccon, set(&[("emp", "hired")]));
 }
@@ -185,14 +165,15 @@ fn quoted_identifiers_end_to_end() {
 
 #[test]
 fn unknown_table_inference_warns_and_infers() {
-    let result = lineagex("CREATE VIEW v AS SELECT w.page, w.cid FROM mystery w WHERE w.reg")
-        .unwrap();
+    let result =
+        lineagex("CREATE VIEW v AS SELECT w.page, w.cid FROM mystery w WHERE w.reg").unwrap();
     let v = &result.graph.queries["v"];
     assert!(v.warnings.iter().any(|w| matches!(w, Warning::UnknownRelation { .. })));
     assert!(v.warnings.iter().any(|w| matches!(w, Warning::InferredColumn { .. })));
-    assert_eq!(result.inferred["mystery"], BTreeSet::from([
-        "page".to_string(), "cid".to_string(), "reg".to_string()
-    ]));
+    assert_eq!(
+        result.inferred["mystery"],
+        BTreeSet::from(["page".to_string(), "cid".to_string(), "reg".to_string()])
+    );
 }
 
 #[test]
@@ -215,12 +196,8 @@ fn ambiguity_policies_differ() {
     assert_eq!(v.outputs[0].ccon, set(&[("a", "k"), ("b", "k")]));
     assert!(v.warnings.iter().any(|w| matches!(w, Warning::AmbiguityResolved { .. })));
     // FirstMatch: the first relation in FROM order.
-    let v = LineageX::new()
-        .ambiguity(AmbiguityPolicy::FirstMatch)
-        .run(log)
-        .unwrap()
-        .graph
-        .queries["v"]
+    let v = LineageX::new().ambiguity(AmbiguityPolicy::FirstMatch).run(log).unwrap().graph.queries
+        ["v"]
         .clone();
     assert_eq!(v.outputs[0].ccon, set(&[("a", "k")]));
     // Error: refuses.
@@ -232,18 +209,15 @@ fn ambiguity_policies_differ() {
 
 #[test]
 fn missing_column_is_an_error() {
-    let err = lineagex(&format!("{DDL} CREATE VIEW v AS SELECT ghost FROM emp;"))
-        .unwrap_err();
+    let err = lineagex(&format!("{DDL} CREATE VIEW v AS SELECT ghost FROM emp;")).unwrap_err();
     assert!(matches!(err, LineageError::ColumnNotFound { .. }));
-    let err = lineagex(&format!("{DDL} CREATE VIEW v AS SELECT emp.ghost FROM emp;"))
-        .unwrap_err();
+    let err = lineagex(&format!("{DDL} CREATE VIEW v AS SELECT emp.ghost FROM emp;")).unwrap_err();
     assert!(matches!(err, LineageError::ColumnNotFound { relation: Some(_), .. }));
 }
 
 #[test]
 fn duplicate_binding_is_an_error() {
-    let err = lineagex(&format!("{DDL} CREATE VIEW v AS SELECT 1 FROM emp, emp;"))
-        .unwrap_err();
+    let err = lineagex(&format!("{DDL} CREATE VIEW v AS SELECT 1 FROM emp, emp;")).unwrap_err();
     assert!(matches!(err, LineageError::DuplicateBinding { .. }));
 }
 
@@ -269,9 +243,7 @@ fn is_distinct_from_references() {
 
 #[test]
 fn lateral_subquery_sees_siblings() {
-    let v = view(
-        "SELECT l.top FROM emp e, LATERAL (SELECT e.salary AS top) AS l",
-    );
+    let v = view("SELECT l.top FROM emp e, LATERAL (SELECT e.salary AS top) AS l");
     assert_eq!(v.outputs[0].ccon, set(&[("emp", "salary")]));
 }
 

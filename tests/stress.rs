@@ -71,10 +71,7 @@ fn long_cycle_is_detected_not_overflowed() {
     let n = 200;
     let mut stmts = Vec::new();
     for i in 0..n {
-        stmts.push(format!(
-            "CREATE VIEW a_{i} AS SELECT * FROM a_{};",
-            (i + 1) % n
-        ));
+        stmts.push(format!("CREATE VIEW a_{i} AS SELECT * FROM a_{};", (i + 1) % n));
     }
     let err = lineagex(&stmts.join("\n")).unwrap_err();
     match err {

@@ -1,0 +1,231 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the LineageX benches use — benchmark groups,
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — over a simple
+//! wall-clock harness: each benchmark is warmed up briefly, then timed for
+//! a fixed number of batches, and the median batch time is reported to
+//! stdout. No statistics, plots, or saved baselines; use with
+//! `[[bench]] harness = false` targets.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// How work per iteration is scaled when reporting throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    /// Median time per iteration, filled in by [`Bencher::iter`].
+    result: &'a mut Duration,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, storing the median per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: aim for batches of ≥ ~5ms.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u32 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(50) {
+            std_black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed() / warmup_iters.max(1);
+        let batch = (Duration::from_millis(5).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 10_000) as u32;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            samples.push(start.elapsed() / batch);
+        }
+        samples.sort_unstable();
+        *self.result = samples[samples.len() / 2];
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Report throughput alongside the timing of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut median = Duration::ZERO;
+        f(&mut Bencher { result: &mut median, sample_size: self.sample_size });
+        report(&full, median, self.throughput);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut median = Duration::ZERO;
+        f(&mut Bencher { result: &mut median, sample_size: self.sample_size }, input);
+        report(&full, median, self.throughput);
+        self
+    }
+
+    /// Finish the group (prints a trailing newline for readability).
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+        println!();
+    }
+}
+
+fn report(name: &str, median: Duration, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if !median.is_zero() => {
+            let mbps = bytes as f64 / median.as_secs_f64() / 1.0e6;
+            format!("  ({mbps:.1} MB/s)")
+        }
+        Some(Throughput::Elements(n)) if !median.is_zero() => {
+            let eps = n as f64 / median.as_secs_f64();
+            format!("  ({eps:.0} elem/s)")
+        }
+        _ => String::new(),
+    };
+    println!("{name:<50} {median:>12.2?}{rate}");
+}
+
+/// The benchmark harness entry object.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size }
+    }
+
+    /// Run a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut median = Duration::ZERO;
+        f(&mut Bencher { result: &mut median, sample_size: self.default_sample_size });
+        report(&id.into_id(), median, None);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given benchmark groups, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

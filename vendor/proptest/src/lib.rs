@@ -1,0 +1,135 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the LineageX test suites use: the [`proptest!`]
+//! macro, `prop_assert!`/`prop_assert_eq!`, [`strategy::Strategy`] with
+//! `prop_map`/`prop_filter`/`prop_recursive`, [`prop_oneof!`], range and
+//! tuple strategies, `any::<bool>()`, regex-subset string strategies
+//! (`"[a-z][a-z0-9_]{0,8}"`), and [`collection::vec`].
+//!
+//! Unlike real proptest there is **no shrinking** and no persisted failure
+//! seeds: generation is deterministic per test function (a fixed-seed
+//! xoshiro stream), so a failing case reproduces on re-run. That trades
+//! minimal counterexamples for zero dependencies, which is the right trade
+//! for an offline build environment.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The commonly used items in one import.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Build a test block of property tests, as in proptest.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a
+/// `#[test]` that runs `body` over `config.cases` generated inputs. The
+/// body may use `?` with [`test_runner::TestCaseError`] and the
+/// `prop_assert*` macros.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            for case in 0..config.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(error) = outcome {
+                    panic!("proptest case {}/{} failed: {}", case + 1, config.cases, error);
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($config) $($rest)* }
+    };
+}
+
+/// Fail the enclosing property test unless `condition` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($condition:expr) => {
+        $crate::prop_assert!($condition, concat!("assertion failed: ", stringify!($condition)))
+    };
+    ($condition:expr, $($fmt:tt)+) => {
+        if !$condition {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the enclosing property test unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fail the enclosing property test unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: {:?}",
+            left
+        );
+    }};
+}
+
+/// Choose uniformly between several strategies for the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::rc($arm)),+])
+    };
+}

@@ -1,0 +1,175 @@
+//! String generation from a small regex subset.
+//!
+//! Supports the patterns the workspace's tests use as strategies:
+//! literal characters, character classes with ranges (`[a-z0-9_]`,
+//! `[ -~]`, a literal `-` first or last), and the quantifiers `{n}`,
+//! `{m,n}`, `?`, `*`, and `+` (the unbounded ones capped at 8 repeats).
+//! Anchors, alternation, groups, and escapes are not supported — the
+//! parser panics on them so a new test pattern fails loudly rather than
+//! generating the wrong language.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// One character drawn uniformly from the expanded class.
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(chars) => {
+                    out.push(chars[rng.below(chars.len() as u64) as usize]);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                Atom::Class(class)
+            }
+            '(' | ')' | '|' | '^' | '$' | '\\' | '.' => {
+                panic!("regex strategy shim does not support `{}` in {pattern:?}", chars[i]);
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Parse a `[...]` class body starting at `start` (after the `[`).
+/// Returns the expanded characters and the index after the closing `]`.
+fn parse_class(chars: &[char], start: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut class = Vec::new();
+    let mut i = start;
+    if chars.get(i) == Some(&'^') {
+        panic!("regex strategy shim does not support negated classes in {pattern:?}");
+    }
+    while let Some(&c) = chars.get(i) {
+        if c == ']' {
+            assert!(!class.is_empty(), "empty character class in {pattern:?}");
+            return (class, i + 1);
+        }
+        // `a-z` range, unless `-` is the class's first or last character.
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&n| n != ']') {
+            let hi = chars[i + 2];
+            assert!(c <= hi, "inverted range {c}-{hi} in {pattern:?}");
+            for code in (c as u32)..=(hi as u32) {
+                class.push(char::from_u32(code).expect("valid class range"));
+            }
+            i += 3;
+        } else {
+            class.push(c);
+            i += 1;
+        }
+    }
+    panic!("unterminated character class in {pattern:?}");
+}
+
+/// Parse an optional quantifier at `*i`, advancing past it.
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"))
+                + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            match body.split_once(',') {
+                Some((min, max)) => (
+                    min.trim().parse().expect("quantifier min"),
+                    max.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_match(pattern: &str, check: impl Fn(&str) -> bool) {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..300 {
+            let s = generate_from_regex(pattern, &mut rng);
+            assert!(check(&s), "{pattern:?} generated {s:?}");
+        }
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        all_match("[a-z][a-z0-9_]{0,8}", |s| {
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            s.len() <= 9
+                && first.is_ascii_lowercase()
+                && cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        });
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        all_match("[ -~]{0,80}", |s| s.len() <= 80 && s.chars().all(|c| (' '..='~').contains(&c)));
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        all_match("[a'%_-]{1,12}", |s| !s.is_empty() && s.chars().all(|c| "a'%_-".contains(c)));
+    }
+
+    #[test]
+    fn exact_count_and_literals() {
+        all_match("ab[0-9]{3}", |s| {
+            s.len() == 5 && s.starts_with("ab") && s[2..].chars().all(|c| c.is_ascii_digit())
+        });
+    }
+}

@@ -1,0 +1,265 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate rides on `syn`/`quote`; neither is available offline, so
+//! this derive walks the raw [`proc_macro::TokenStream`] directly. It
+//! supports what the LineageX workspace actually derives: non-generic
+//! structs (named, tuple, unit) and enums whose variants are unit, tuple,
+//! or struct shaped. The generated impl lowers values into
+//! `serde::Content` following serde's externally-tagged conventions.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    /// `struct S;` or a unit enum variant.
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields; the count.
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// Derive `serde::Serialize` (the offline shim's trait) for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive(Serialize): expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive(Serialize): expected type name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize) shim does not support generic types (on `{name}`)");
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => derive_struct(&name, &tokens[i..]),
+        "enum" => derive_enum(&name, &tokens[i..]),
+        other => panic!("derive(Serialize): cannot derive for `{other}` items"),
+    };
+
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("derive(Serialize): generated impl parses")
+}
+
+/// Skip leading `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse the fields that follow a struct/variant name.
+fn parse_fields(tokens: &[TokenTree], i: &mut usize) -> Fields {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            *i += 1;
+            Fields::Named(named_field_names(&inner))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            *i += 1;
+            Fields::Tuple(count_tuple_fields(&inner))
+        }
+        _ => Fields::Unit,
+    }
+}
+
+/// Field names of a named-field group, in declaration order.
+///
+/// Commas inside generic arguments (`BTreeMap<String, Vec<String>>`) are
+/// skipped by tracking angle-bracket depth; parenthesized/bracketed types
+/// arrive as single groups and need no tracking.
+fn named_field_names(tokens: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => names.push(id.to_string()),
+            other => panic!("derive(Serialize): expected field name, found {other}"),
+        }
+        i += 1;
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Number of top-level comma-separated fields in a tuple group.
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_token_since_comma = false;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_token_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+/// Map expression serializing named fields reachable via `prefix`.
+fn named_fields_expr(fields: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_content(&{prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+}
+
+fn derive_struct(name: &str, rest: &[TokenTree]) -> String {
+    let mut i = 0;
+    match parse_fields(rest, &mut i) {
+        Fields::Unit => format!("::serde::Content::Str(::std::string::String::from(\"{name}\"))"),
+        Fields::Named(fields) => named_fields_expr(&fields, "self."),
+        Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> =
+                (0..n).map(|k| format!("::serde::Serialize::to_content(&self.{k})")).collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn derive_enum(name: &str, rest: &[TokenTree]) -> String {
+    let body = match rest.first() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("derive(Serialize): expected enum body, found {other:?}"),
+    };
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive(Serialize): expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = parse_fields(&tokens, &mut i);
+        variants.push(Variant { name: vname, fields });
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vname} => \
+                     ::serde::Content::Str(::std::string::String::from(\"{vname}\")),"
+                ),
+                Fields::Named(fields) => {
+                    let pat = fields.join(", ");
+                    let map = named_fields_expr(fields, "");
+                    format!(
+                        "{name}::{vname} {{ {pat} }} => ::serde::Content::Map(vec![\
+                         (::std::string::String::from(\"{vname}\"), {map})]),"
+                    )
+                }
+                Fields::Tuple(n) => {
+                    let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                    let pat = binders.join(", ");
+                    let inner = if *n == 1 {
+                        "::serde::Serialize::to_content(__f0)".to_string()
+                    } else {
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                    };
+                    format!(
+                        "{name}::{vname}({pat}) => ::serde::Content::Map(vec![\
+                         (::std::string::String::from(\"{vname}\"), {inner})]),"
+                    )
+                }
+            }
+        })
+        .collect();
+
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
