@@ -27,6 +27,12 @@ fi
 step "cargo test -q --workspace (tier-1, part 2 + all member crates)"
 cargo test -q --workspace
 
+# The workspace run above already builds and tests lineagex-engine; the
+# runnable session walkthrough (which asserts cone-sized re-extraction)
+# is the one engine surface it doesn't exercise.
+step "cargo run --example incremental_session"
+cargo run --quiet --example incremental_session
+
 step "cargo doc --no-deps --workspace (docs must keep compiling)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

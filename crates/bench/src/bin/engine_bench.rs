@@ -1,0 +1,199 @@
+//! ENGINE — the session engine's perf story on the scaling workload:
+//! one-shot batch vs engine cold batch vs parallel re-extraction vs
+//! incremental re-ingest of a single redefined view.
+//!
+//! Writes `BENCH_engine.json` into the working directory so the numbers
+//! land in the repo's perf trajectory.
+
+use lineagex_bench::{section, table2};
+use lineagex_core::LineageX;
+use lineagex_datasets::{generator, GeneratorConfig};
+use lineagex_engine::{Engine, EngineOptions};
+use lineagex_sqlparse::ast::{Expr, Literal, Statement};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+const VIEWS: usize = 200;
+const BATCH_REPS: usize = 5;
+const INCREMENTAL_REPS: usize = 30;
+
+#[derive(Serialize)]
+struct Report {
+    views: usize,
+    statements: usize,
+    jobs: usize,
+    one_shot_qps: f64,
+    engine_cold_sequential_qps: f64,
+    reextract_sequential_qps: f64,
+    reextract_parallel_qps: f64,
+    parallel_speedup: f64,
+    incremental: IncrementalReport,
+}
+
+#[derive(Serialize)]
+struct IncrementalReport {
+    redefined_view: String,
+    cone_size: usize,
+    full_refresh_ms: f64,
+    incremental_refresh_ms: f64,
+    speedup: f64,
+}
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn qps(views: usize, elapsed: Duration) -> f64 {
+    views as f64 / elapsed.as_secs_f64()
+}
+
+fn ms(elapsed: Duration) -> f64 {
+    1e3 * elapsed.as_secs_f64()
+}
+
+/// The redefinition text for a view: the same statement with a different
+/// `LIMIT`, so the engine sees changed content but identical lineage.
+fn redefinition(original: &str, limit: u64) -> String {
+    let mut stmt = lineagex_sqlparse::parse_statement(original).expect("workload SQL parses");
+    if let Statement::CreateView { ref mut query, .. } = stmt {
+        query.limit = Some(Expr::Literal(Literal::Number(limit.to_string())));
+    }
+    stmt.to_string()
+}
+
+fn main() {
+    let workload =
+        generator::generate(&GeneratorConfig { views: VIEWS, ..GeneratorConfig::seeded(29) });
+    let sql = workload.full_sql();
+    let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    section("ENGINE — workload");
+    println!(
+        "  {} statements ({} views), scheduler jobs = {jobs}",
+        workload.statement_count(),
+        VIEWS
+    );
+
+    // 1. One-shot batch: the paper's pipeline over the whole log.
+    let one_shot = best_of(BATCH_REPS, || LineageX::new().run(&sql).unwrap());
+
+    // 2. Engine cold batch, sequential: ingest (parse) + refresh (extract).
+    let cold_seq = best_of(BATCH_REPS, || {
+        let mut engine = Engine::new();
+        engine.ingest(&sql).unwrap();
+        engine.refresh().unwrap()
+    });
+
+    // 3/4. Pure re-extraction (no parsing), sequential vs parallel: the
+    // scheduler's own cost on an already-loaded session.
+    let mut seq_engine = Engine::new();
+    seq_engine.ingest(&sql).unwrap();
+    seq_engine.refresh().unwrap();
+    let reextract_seq = best_of(BATCH_REPS, || {
+        seq_engine.invalidate_all();
+        seq_engine.refresh().unwrap()
+    });
+    let mut par_engine = Engine::with_options(EngineOptions { jobs, ..EngineOptions::default() });
+    par_engine.ingest(&sql).unwrap();
+    par_engine.refresh().unwrap();
+    let reextract_par = best_of(BATCH_REPS, || {
+        par_engine.invalidate_all();
+        par_engine.refresh().unwrap()
+    });
+
+    // 5. Incremental re-ingest: redefine a view with a representative
+    // downstream cone (the largest at most a fifth of the log — a hub,
+    // but not one that drags in everything), alternating two texts so
+    // every ingest is a real redefinition, and refresh after each.
+    let (target, cone_size) = workload
+        .view_names
+        .iter()
+        .map(|name| (name.clone(), seq_engine.downstream_cone(name).len()))
+        .filter(|(_, cone)| *cone <= VIEWS / 5)
+        .max_by_key(|(_, cone)| *cone)
+        .expect("some view has a small cone");
+    let original = workload
+        .view_statements
+        .iter()
+        .find(|s| s.contains(&format!("CREATE VIEW {target} ")))
+        .expect("target is a workload view");
+    let texts = [redefinition(original, 1_000_001), redefinition(original, 1_000_002)];
+    let incremental_start = Instant::now();
+    for i in 0..INCREMENTAL_REPS {
+        seq_engine.ingest(&texts[i % 2]).unwrap();
+        let extracted = seq_engine.refresh().unwrap();
+        assert_eq!(extracted, cone_size, "cone invalidation must be exact");
+    }
+    let incremental = incremental_start.elapsed() / INCREMENTAL_REPS as u32;
+
+    let report = Report {
+        views: VIEWS,
+        statements: workload.statement_count(),
+        jobs,
+        one_shot_qps: qps(VIEWS, one_shot),
+        engine_cold_sequential_qps: qps(VIEWS, cold_seq),
+        reextract_sequential_qps: qps(VIEWS, reextract_seq),
+        reextract_parallel_qps: qps(VIEWS, reextract_par),
+        parallel_speedup: reextract_seq.as_secs_f64() / reextract_par.as_secs_f64(),
+        incremental: IncrementalReport {
+            redefined_view: target.clone(),
+            cone_size,
+            full_refresh_ms: ms(reextract_seq),
+            incremental_refresh_ms: ms(incremental),
+            speedup: reextract_seq.as_secs_f64() / incremental.as_secs_f64(),
+        },
+    };
+
+    section("ENGINE — results (best-of runs)");
+    table2(
+        ("mode", "throughput"),
+        &[
+            (
+                "one-shot batch (LineageX::run)".into(),
+                format!("{:.0} views/s", report.one_shot_qps),
+            ),
+            (
+                "engine cold batch, jobs=1".into(),
+                format!("{:.0} views/s", report.engine_cold_sequential_qps),
+            ),
+            (
+                "re-extract all, jobs=1".into(),
+                format!("{:.0} views/s", report.reextract_sequential_qps),
+            ),
+            (
+                format!("re-extract all, jobs={jobs}"),
+                format!(
+                    "{:.0} views/s ({:.2}x vs sequential)",
+                    report.reextract_parallel_qps, report.parallel_speedup
+                ),
+            ),
+            (
+                format!("re-ingest {target} (cone {cone_size})"),
+                format!(
+                    "{:.2} ms/refresh vs {:.2} ms full ({:.1}x)",
+                    report.incremental.incremental_refresh_ms,
+                    report.incremental.full_refresh_ms,
+                    report.incremental.speedup
+                ),
+            ),
+        ],
+    );
+    if jobs == 1 {
+        println!("\n  note: this machine exposes 1 CPU; the parallel scheduler can only");
+        println!("  win wall-clock with jobs > 1 on a multi-core host.");
+    }
+    assert!(
+        report.incremental.speedup > 1.0,
+        "incremental re-ingest must beat re-extracting the whole log"
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write("BENCH_engine.json", json + "\n").expect("can write BENCH_engine.json");
+    println!("\n  wrote BENCH_engine.json");
+}

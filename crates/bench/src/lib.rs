@@ -14,6 +14,7 @@
 //! | `llm_compare` | §IV — LLM-style vs full impact analysis |
 //! | `explain_path` | §III connected mode — static vs EXPLAIN agreement |
 //! | `accuracy_sweep` | extension — F1 vs SQL-feature mix, ours vs baseline |
+//! | `engine_bench` | extension — session engine: batch vs incremental vs parallel (`BENCH_engine.json`) |
 
 #![deny(rustdoc::broken_intra_doc_links)]
 

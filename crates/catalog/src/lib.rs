@@ -38,7 +38,7 @@ pub mod plan;
 pub mod schema;
 
 pub use binder::Binder;
-pub use catalog::Catalog;
+pub use catalog::{Catalog, CatalogChange};
 pub use database::SimulatedDatabase;
 pub use error::DbError;
 pub use plan::{BoundQuery, PlanColumn, PlanNode, SourceColumn};

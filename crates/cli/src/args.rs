@@ -7,7 +7,9 @@ pub const USAGE: &str = "\
 usage:
   lineagex extract  <queries.sql> [--ddl <schema.sql>] [--json <out>] [--dot <out>]
                     [--html <out>] [--mermaid <out>] [--trace] [--ambiguity all|first|error]
-                    [--no-auto-inference]
+                    [--no-auto-inference] [--jobs <N>]
+  lineagex session  [--ddl <schema.sql>] [--jobs <N>] [--ambiguity all|first|error]
+                    (incremental REPL: statements from stdin, \\commands for queries)
   lineagex impact   <table.column> <queries.sql> [--ddl <schema.sql>]
   lineagex path     <from.column> <to.column> <queries.sql> [--ddl <schema.sql>]
   lineagex explain  <queries.sql> --ddl <schema.sql>
@@ -24,6 +26,9 @@ pub struct CommonOptions {
     pub no_auto_inference: bool,
     /// Record traversal traces.
     pub trace: bool,
+    /// Worker threads for batch extraction (0/1 = sequential; > 1 routes
+    /// through the incremental engine's parallel scheduler).
+    pub jobs: usize,
 }
 
 /// A parsed command line.
@@ -78,6 +83,11 @@ pub enum Command {
         /// Shared options.
         common: CommonOptions,
     },
+    /// `session`: incremental REPL over stdin.
+    Session {
+        /// Shared options.
+        common: CommonOptions,
+    },
 }
 
 impl Command {
@@ -104,6 +114,12 @@ impl Command {
                 "--mermaid" => mermaid = Some(take_value(&mut iter, "--mermaid")?),
                 "--trace" => common.trace = true,
                 "--no-auto-inference" => common.no_auto_inference = true,
+                "--jobs" => {
+                    let value = take_value(&mut iter, "--jobs")?;
+                    common.jobs = value
+                        .parse()
+                        .map_err(|_| format!("invalid --jobs value {value:?} (use a number)"))?;
+                }
                 "--ambiguity" => {
                     common.ambiguity = match take_value(&mut iter, "--ambiguity")?.as_str() {
                         "all" => AmbiguityPolicy::AttributeAll,
@@ -155,6 +171,10 @@ impl Command {
             "compare" => {
                 let [file] = take_positional::<1>(positional, "compare <queries.sql>")?;
                 Ok(Command::Compare { file, common })
+            }
+            "session" => {
+                let [] = take_positional::<0>(positional, "session (no positional arguments)")?;
+                Ok(Command::Session { common })
             }
             other => Err(format!("unknown command {other:?}")),
         }
@@ -248,6 +268,25 @@ mod tests {
             }
         }
         assert!(parse(&["extract", "q.sql", "--ambiguity", "maybe"]).is_err());
+    }
+
+    #[test]
+    fn parses_session_and_jobs() {
+        let cmd = parse(&["session", "--ddl", "s.sql", "--jobs", "4"]).unwrap();
+        match cmd {
+            Command::Session { common } => {
+                assert_eq!(common.ddl.as_deref(), Some("s.sql"));
+                assert_eq!(common.jobs, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&["extract", "q.sql", "--jobs", "8"]).unwrap();
+        match cmd {
+            Command::Extract { common, .. } => assert_eq!(common.jobs, 8),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["extract", "q.sql", "--jobs", "lots"]).is_err());
+        assert!(parse(&["session", "stray.sql"]).is_err());
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! Command execution.
 
-use crate::args::{Command, CommonOptions};
+use crate::args::{parse_column, Command, CommonOptions};
 use lineagex_baseline::metrics::{graph_contribute_edges, score_edges};
 use lineagex_baseline::SqlLineageLike;
 use lineagex_catalog::{Catalog, SimulatedDatabase};
-use lineagex_core::{path_between, LineageResult, LineageX, SourceColumn};
+use lineagex_core::{path_between, ExtractOptions, LineageResult, LineageX, SourceColumn};
+use lineagex_engine::{Engine, EngineOptions};
 use lineagex_viz::{to_dot, to_html, to_mermaid, to_output_json};
-use std::io::Write;
+use std::io::{BufRead, Write};
 
 type CmdResult = Result<(), String>;
 
@@ -90,6 +91,10 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
             }
             Ok(())
         }
+        Command::Session { common } => {
+            let stdin = std::io::stdin();
+            run_session(&mut stdin.lock(), out, common)
+        }
         Command::Compare { file, common } => {
             let sql = read_file(file)?;
             let ours = run_extraction_sql(&sql, common)?;
@@ -129,6 +134,37 @@ fn run_extraction(file: &str, common: &CommonOptions) -> Result<LineageResult, S
 }
 
 fn run_extraction_sql(sql: &str, common: &CommonOptions) -> Result<LineageResult, String> {
+    // --jobs N (N > 1) routes through the incremental engine's parallel
+    // batch scheduler, shimmed to keep one-shot log semantics so the flag
+    // never changes results: a DROP in the file is skipped with a warning
+    // (a session would retract) and a duplicate id is an error (a session
+    // would redefine).
+    if common.jobs > 1 {
+        let mut engine = build_engine(common)?;
+        let statements = lineagex_sqlparse::parse_sql(sql).map_err(|e| e.to_string())?;
+        let mut skipped = Vec::new();
+        for stmt in statements {
+            if let lineagex_sqlparse::ast::Statement::Drop { ref names, .. } = stmt {
+                let what: Vec<String> = names.iter().map(|n| n.base_name().to_string()).collect();
+                skipped.push(lineagex_core::Warning::SkippedStatement {
+                    what: format!("DROP {}", what.join(", ")),
+                });
+                continue;
+            }
+            for receipt in engine.ingest(&stmt.to_string()).map_err(|e| e.to_string())? {
+                if matches!(
+                    receipt.action,
+                    lineagex_engine::IngestAction::Redefined
+                        | lineagex_engine::IngestAction::Unchanged
+                ) {
+                    return Err(format!("duplicate query id {:?}", receipt.target));
+                }
+            }
+        }
+        let mut result = engine.result().map_err(|e| e.to_string())?;
+        result.warnings.extend(skipped);
+        return Ok(result);
+    }
     let mut builder = LineageX::new().ambiguity(common.ambiguity);
     if let Some(ddl_path) = &common.ddl {
         let ddl = read_file(ddl_path)?;
@@ -141,6 +177,182 @@ fn run_extraction_sql(sql: &str, common: &CommonOptions) -> Result<LineageResult
         builder = builder.without_auto_inference();
     }
     builder.run(sql).map_err(|e| e.to_string())
+}
+
+fn build_engine(common: &CommonOptions) -> Result<Engine, String> {
+    let mut extract = ExtractOptions::new().with_ambiguity(common.ambiguity);
+    if common.trace {
+        extract = extract.with_trace();
+    }
+    if common.no_auto_inference {
+        extract = extract.without_auto_inference();
+    }
+    let options = EngineOptions { jobs: common.jobs.max(1), extract, ..EngineOptions::default() };
+    let mut engine = Engine::with_options(options);
+    if let Some(ddl_path) = &common.ddl {
+        let ddl = read_file(ddl_path)?;
+        let catalog = Catalog::from_ddl(&ddl).map_err(|e| e.to_string())?;
+        engine = engine.with_catalog(catalog);
+    }
+    Ok(engine)
+}
+
+/// The interactive session loop: SQL statements (terminated by `;`) are
+/// ingested into a long-lived [`Engine`]; lines starting with `\` are
+/// meta commands answered from the current graph. Ingest and extraction
+/// errors are reported but never end the session.
+pub fn run_session(
+    input: &mut dyn BufRead,
+    out: &mut dyn Write,
+    common: &CommonOptions,
+) -> CmdResult {
+    let mut engine = build_engine(common)?;
+    wln(out, "lineagex session — statements end with ';', meta commands with \\ (try \\help)")?;
+    let mut buffer = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            break;
+        }
+        let trimmed = line.trim();
+        if buffer.trim().is_empty() && trimmed.starts_with('\\') {
+            if !session_meta(&mut engine, trimmed, out)? {
+                return Ok(());
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        if trimmed.ends_with(';') {
+            session_ingest(&mut engine, &buffer, out)?;
+            buffer.clear();
+        }
+    }
+    if !buffer.trim().is_empty() {
+        session_ingest(&mut engine, &buffer, out)?;
+    }
+    Ok(())
+}
+
+/// Ingest one buffered script, reporting receipts and re-extraction work.
+fn session_ingest(engine: &mut Engine, sql: &str, out: &mut dyn Write) -> CmdResult {
+    match engine.ingest(sql) {
+        Err(error) => wln(out, &format!("error: {error}")),
+        Ok(receipts) => {
+            for receipt in &receipts {
+                wln(out, &format!("  {receipt}"))?;
+            }
+            match engine.refresh() {
+                Ok(0) => Ok(()),
+                Ok(n) => wln(out, &format!("  re-extracted {n} quer{}", plural_y(n))),
+                Err(error) => wln(out, &format!("error: {error} (entry stays pending)")),
+            }
+        }
+    }
+}
+
+/// Execute one `\` meta command; returns `false` on `\q`.
+fn session_meta(engine: &mut Engine, command: &str, out: &mut dyn Write) -> Result<bool, String> {
+    let mut parts = command.split_whitespace();
+    let head = parts.next().unwrap_or(command);
+    let arg = parts.next();
+    match (head, arg) {
+        ("\\q", _) | ("\\quit", _) => return Ok(false),
+        ("\\help", _) => {
+            wln(out, "  \\graph            summary of the settled lineage graph")?;
+            wln(out, "  \\tables           relations with their columns")?;
+            wln(out, "  \\lineage t.c      full lineage of one output column")?;
+            wln(out, "  \\impact t.c       transitive downstream impact of one column")?;
+            wln(out, "  \\stats            session counters")?;
+            wln(out, "  \\q                quit")?;
+        }
+        ("\\stats", _) => {
+            let stats = engine.stats().clone();
+            wln(out, &format!("  statements ingested : {}", stats.statements))?;
+            wln(
+                out,
+                &format!(
+                    "  entries             : {} defined, {} redefined, {} unchanged, {} dropped",
+                    stats.defined, stats.redefinitions, stats.unchanged, stats.drops
+                ),
+            )?;
+            wln(
+                out,
+                &format!(
+                    "  extractions         : {} total, {} in last refresh",
+                    stats.extractions, stats.last_refresh_extractions
+                ),
+            )?;
+            wln(
+                out,
+                &format!(
+                    "  ast cache           : {} hits, {} misses",
+                    stats.parse_cache_hits, stats.parse_cache_misses
+                ),
+            )?;
+        }
+        ("\\graph", _) => match engine.graph() {
+            Ok(graph) => {
+                wln(out, &format!("  relations : {}", graph.nodes.len()))?;
+                wln(out, &format!("  queries   : {}", graph.queries.len()))?;
+                wln(out, &format!("  columns   : {}", graph.column_count()))?;
+                wln(out, &format!("  edges     : {}", graph.all_edges().len()))?;
+            }
+            Err(error) => wln(out, &format!("error: {error}"))?,
+        },
+        ("\\tables", _) => match engine.graph() {
+            Ok(graph) => {
+                for node in graph.nodes.values() {
+                    wln(
+                        out,
+                        &format!("  {} ({:?}): {}", node.name, node.kind, node.columns.join(", ")),
+                    )?;
+                }
+            }
+            Err(error) => wln(out, &format!("error: {error}"))?,
+        },
+        ("\\lineage", Some(spec)) => {
+            let (table, column) = parse_column(spec)?;
+            match engine.lineage_of(&table, &column) {
+                Ok(Some(sources)) => {
+                    let rendered: Vec<String> = sources.iter().map(|s| s.to_string()).collect();
+                    wln(out, &format!("  {table}.{column} <- {}", rendered.join(", ")))?;
+                }
+                Ok(None) => wln(out, &format!("  no lineage recorded for {table}.{column}"))?,
+                Err(error) => wln(out, &format!("error: {error}"))?,
+            }
+        }
+        ("\\impact", Some(spec)) => {
+            let (table, column) = parse_column(spec)?;
+            match engine.impact_of(&table, &column) {
+                Ok(report) => {
+                    wln(
+                        out,
+                        &format!(
+                            "  impact of {table}.{column}: {} column(s)",
+                            report.impacted.len()
+                        ),
+                    )?;
+                    for (table, cols) in report.by_table() {
+                        let rendered: Vec<String> =
+                            cols.iter().map(|c| c.column.column.clone()).collect();
+                        wln(out, &format!("    {table}: {}", rendered.join(", ")))?;
+                    }
+                }
+                Err(error) => wln(out, &format!("error: {error}"))?,
+            }
+        }
+        _ => wln(out, &format!("  unknown command {command:?} (try \\help)"))?,
+    }
+    Ok(true)
+}
+
+fn plural_y(n: usize) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
+    }
 }
 
 fn summarize(result: &LineageResult, out: &mut dyn Write) -> CmdResult {
@@ -269,6 +481,109 @@ mod tests {
         let (result, text) = execute_to_string(&cmd);
         result.unwrap();
         assert!(text.contains("LineageX edges"), "{text}");
+    }
+
+    #[test]
+    fn extract_with_jobs_matches_sequential() {
+        let file = write_temp("jobs.sql", LOG);
+        let sequential = Command::parse(&["extract".to_string(), file.clone()]).unwrap();
+        let parallel =
+            Command::parse(&["extract".to_string(), file, "--jobs".to_string(), "4".to_string()])
+                .unwrap();
+        let (seq_result, seq_text) = execute_to_string(&sequential);
+        let (par_result, par_text) = execute_to_string(&parallel);
+        seq_result.unwrap();
+        par_result.unwrap();
+        // Identical summary apart from the processing-order line (the
+        // scheduler's topological order vs the one-shot deferral order).
+        let strip = |text: &str| -> Vec<String> {
+            text.lines().filter(|l| !l.contains("processing order")).map(String::from).collect()
+        };
+        assert_eq!(strip(&seq_text), strip(&par_text));
+    }
+
+    #[test]
+    fn extract_with_jobs_keeps_one_shot_log_semantics() {
+        // A DROP in the file is skipped with a warning in both modes.
+        let file = write_temp("jobs_drop.sql", &format!("{LOG}\nDROP VIEW v;"));
+        let sequential = Command::parse(&["extract".to_string(), file.clone()]).unwrap();
+        let parallel =
+            Command::parse(&["extract".to_string(), file, "--jobs".to_string(), "2".to_string()])
+                .unwrap();
+        let (seq_result, seq_text) = execute_to_string(&sequential);
+        let (par_result, par_text) = execute_to_string(&parallel);
+        seq_result.unwrap();
+        par_result.unwrap();
+        assert!(seq_text.contains("queries processed : 1"), "{seq_text}");
+        assert!(par_text.contains("queries processed : 1"), "{par_text}");
+        assert!(seq_text.contains("warnings          : 1"), "{seq_text}");
+        assert!(par_text.contains("warnings          : 1"), "{par_text}");
+        // A duplicate query id errors in both modes.
+        let dup =
+            write_temp("jobs_dup.sql", "CREATE VIEW v AS SELECT 1; CREATE VIEW v AS SELECT 2;");
+        for args in [
+            vec!["extract".to_string(), dup.clone()],
+            vec!["extract".to_string(), dup.clone(), "--jobs".to_string(), "2".to_string()],
+        ] {
+            let (result, _) = execute_to_string(&Command::parse(&args).unwrap());
+            let message = result.unwrap_err();
+            assert!(message.contains("duplicate query id"), "{message}");
+        }
+    }
+
+    fn run_session_script(script: &str, common: &CommonOptions) -> String {
+        let mut input = std::io::Cursor::new(script.as_bytes().to_vec());
+        let mut out = Vec::new();
+        run_session(&mut input, &mut out, common).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn session_ingests_and_answers_queries() {
+        let text = run_session_script(
+            "CREATE TABLE web (cid int, page text, reg boolean);\n\
+             CREATE VIEW v AS\n  SELECT page AS p FROM web WHERE reg;\n\
+             \\lineage v.p\n\
+             \\impact web.page\n\
+             \\stats\n\
+             \\graph\n\
+             \\q\n",
+            &CommonOptions::default(),
+        );
+        assert!(text.contains("#1 schema web"), "{text}");
+        assert!(text.contains("#2 defined v"), "{text}");
+        assert!(text.contains("re-extracted 1 query"), "{text}");
+        assert!(text.contains("v.p <- web.page, web.reg"), "{text}");
+        assert!(text.contains("impact of web.page: 1 column(s)"), "{text}");
+        assert!(text.contains("statements ingested : 2"), "{text}");
+        assert!(text.contains("queries   : 1"), "{text}");
+    }
+
+    #[test]
+    fn session_redefinition_reports_cone_and_errors_are_not_fatal() {
+        let text = run_session_script(
+            "CREATE TABLE t (a int);\n\
+             CREATE VIEW v AS SELECT a FROM t;\n\
+             CREATE VIEW w AS SELECT a FROM v;\n\
+             CREATE VIEW v AS SELECT a + a AS a FROM t;\n\
+             NOT EVEN SQL;\n\
+             \\tables\n\
+             \\nonsense\n",
+            &CommonOptions::default(),
+        );
+        assert!(text.contains("redefined v"), "{text}");
+        assert!(text.contains("re-extracted 2 queries"), "{text}");
+        assert!(text.contains("error:"), "{text}");
+        assert!(text.contains("w (View): a"), "{text}");
+        assert!(text.contains("unknown command"), "{text}");
+    }
+
+    #[test]
+    fn session_respects_ddl_option() {
+        let ddl = write_temp("session_schema.sql", "CREATE TABLE web (cid int, page text);");
+        let common = CommonOptions { ddl: Some(ddl), ..CommonOptions::default() };
+        let text = run_session_script("CREATE VIEW v AS SELECT * FROM web;\n\\tables\n", &common);
+        assert!(text.contains("v (View): cid, page"), "{text}");
     }
 
     #[test]

@@ -8,11 +8,18 @@
 //! lineagex extract  queries.sql [--ddl schema.sql] [--json out.json]
 //!                   [--dot out.dot] [--html out.html] [--trace]
 //!                   [--ambiguity all|first|error] [--no-auto-inference]
+//!                   [--jobs N]
+//! lineagex session  [--ddl schema.sql] [--jobs N]
 //! lineagex impact   <table.column> queries.sql [--ddl schema.sql]
 //! lineagex path     <from.column> <to.column> queries.sql [--ddl schema.sql]
 //! lineagex explain  queries.sql --ddl schema.sql
 //! lineagex compare  queries.sql [--ddl schema.sql]
 //! ```
+//!
+//! `extract --jobs N` (N > 1) routes through `lineagex-engine`'s parallel
+//! batch scheduler; `session` is the incremental REPL over the same
+//! engine — SQL statements stream in over stdin, `\`-commands (`\impact`,
+//! `\lineage`, `\stats`, ...) answer lineage questions between ingests.
 //!
 //! The command logic lives in this library (driven by string arguments
 //! and an output writer) so it is fully unit-testable; `main.rs` is a

@@ -117,110 +117,22 @@ impl InferenceEngine {
     }
 
     fn try_extract(&mut self, entry: &QueryEntry) -> Result<QueryLineage, LineageError> {
-        let mut extractor = Extractor::new(
-            entry.id.clone(),
+        let (lineage, trace) = extract_entry(
+            entry,
             &self.qd_ids,
             &self.processed,
             &self.catalog,
             &self.options,
             &mut self.inferred,
-        );
-        let outputs = extractor.extract(entry.query())?;
-        let trace = extractor.trace.take();
-        let cref = std::mem::take(&mut extractor.cref);
-        let tables = std::mem::take(&mut extractor.tables);
-        let warnings = std::mem::take(&mut extractor.warnings);
-        drop(extractor); // release &mut self.inferred before using self again
-        let outputs = self.apply_output_names(entry, outputs)?;
+        )?;
         if let Some(trace) = trace {
             self.traces.insert(entry.id.clone(), trace);
         }
-        Ok(QueryLineage {
-            id: entry.id.clone(),
-            kind: entry.kind.clone(),
-            outputs,
-            cref,
-            tables,
-            warnings,
-        })
-    }
-
-    /// Rename outputs by the declared column list (`CREATE VIEW v(a, b)`,
-    /// `INSERT INTO t (a, b)`); an INSERT without a list takes the target
-    /// table's column names when the catalog knows them.
-    fn apply_output_names(
-        &self,
-        entry: &QueryEntry,
-        outputs: Vec<OutputColumn>,
-    ) -> Result<Vec<OutputColumn>, LineageError> {
-        if !entry.declared_columns.is_empty() {
-            let idents: Vec<Ident> = entry.declared_columns.iter().map(Ident::new).collect();
-            return rename_outputs(outputs, &idents, &entry.id);
-        }
-        if matches!(entry.kind, QueryKind::Insert) {
-            let target = entry.id.split('#').next().unwrap_or(&entry.id);
-            if let Some(schema) = self.catalog.get(target) {
-                if schema.columns.len() == outputs.len() {
-                    let idents: Vec<Ident> =
-                        schema.columns.iter().map(|c| Ident::new(&c.name)).collect();
-                    return rename_outputs(outputs, &idents, &entry.id);
-                }
-            }
-        }
-        Ok(outputs)
+        Ok(lineage)
     }
 
     fn assemble(self) -> LineageResult {
-        let mut graph = LineageGraph::default();
-
-        // Catalog relations become base-table / view nodes.
-        for schema in self.catalog.relations() {
-            let kind = if schema.is_view() { NodeKind::View } else { NodeKind::BaseTable };
-            graph.nodes.insert(
-                schema.name.clone(),
-                Node {
-                    name: schema.name.clone(),
-                    kind,
-                    columns: schema.column_names().map(String::from).collect(),
-                },
-            );
-        }
-        // Query results become view/table/query nodes (shadowing catalog
-        // entries of the same name — the QD definition is fresher).
-        for (id, lineage) in &self.processed {
-            let kind = match lineage.kind {
-                QueryKind::View { .. } => NodeKind::View,
-                QueryKind::TableAs | QueryKind::Insert | QueryKind::Update => NodeKind::Table,
-                QueryKind::Select => NodeKind::QueryResult,
-            };
-            let mut columns: Vec<String> = lineage.outputs.iter().map(|o| o.name.clone()).collect();
-            // INSERT/UPDATE touch a subset of the target's columns; keep
-            // the full schema on the node when the catalog knows it.
-            if matches!(lineage.kind, QueryKind::Insert | QueryKind::Update) {
-                if let Some(existing) = graph.nodes.get(id.split('#').next().unwrap_or(id)) {
-                    let mut merged = existing.columns.clone();
-                    for c in columns {
-                        if !merged.contains(&c) {
-                            merged.push(c);
-                        }
-                    }
-                    columns = merged;
-                }
-            }
-            graph.nodes.insert(id.clone(), Node { name: id.clone(), kind, columns });
-        }
-        // Usage-inferred externals.
-        for (name, columns) in &self.inferred {
-            graph.nodes.entry(name.clone()).or_insert_with(|| Node {
-                name: name.clone(),
-                kind: NodeKind::External,
-                columns: columns.iter().cloned().collect(),
-            });
-        }
-
-        graph.queries = self.processed;
-        graph.order = self.order;
-
+        let graph = assemble_graph(&self.catalog, self.processed, &self.inferred, self.order);
         LineageResult {
             graph,
             traces: self.traces,
@@ -229,6 +141,136 @@ impl InferenceEngine {
             warnings: self.qd.warnings,
         }
     }
+}
+
+/// Extract one Query-Dictionary entry in isolation.
+///
+/// This is the unit of work the [`InferenceEngine`] drives via its
+/// deferral stack, exposed so a long-lived session engine
+/// (`lineagex-engine`) can re-extract a single view without re-running
+/// the whole log. `processed` must already contain the lineage of every
+/// dictionary entry this one scans, or the call returns
+/// [`LineageError::MissingDependency`]; `inferred` accumulates
+/// usage-inferred schemas of external relations.
+pub fn extract_entry(
+    entry: &QueryEntry,
+    qd_ids: &BTreeSet<String>,
+    processed: &BTreeMap<String, QueryLineage>,
+    catalog: &Catalog,
+    options: &ExtractOptions,
+    inferred: &mut BTreeMap<String, BTreeSet<String>>,
+) -> Result<(QueryLineage, Option<TraceLog>), LineageError> {
+    let mut extractor =
+        Extractor::new(entry.id.clone(), qd_ids, processed, catalog, options, inferred);
+    let outputs = extractor.extract(entry.query())?;
+    let trace = extractor.trace.take();
+    let cref = std::mem::take(&mut extractor.cref);
+    let tables = std::mem::take(&mut extractor.tables);
+    let warnings = std::mem::take(&mut extractor.warnings);
+    drop(extractor); // release &mut inferred
+    let outputs = apply_output_names(entry, outputs, catalog)?;
+    let lineage = QueryLineage {
+        id: entry.id.clone(),
+        kind: entry.kind.clone(),
+        outputs,
+        cref,
+        tables,
+        warnings,
+    };
+    Ok((lineage, trace))
+}
+
+/// Rename outputs by the declared column list (`CREATE VIEW v(a, b)`,
+/// `INSERT INTO t (a, b)`); an INSERT without a list takes the target
+/// table's column names when the catalog knows them.
+fn apply_output_names(
+    entry: &QueryEntry,
+    outputs: Vec<OutputColumn>,
+    catalog: &Catalog,
+) -> Result<Vec<OutputColumn>, LineageError> {
+    if !entry.declared_columns.is_empty() {
+        let idents: Vec<Ident> = entry.declared_columns.iter().map(Ident::new).collect();
+        return rename_outputs(outputs, &idents, &entry.id);
+    }
+    if matches!(entry.kind, QueryKind::Insert) {
+        let target = entry.id.split('#').next().unwrap_or(&entry.id);
+        if let Some(schema) = catalog.get(target) {
+            if schema.columns.len() == outputs.len() {
+                let idents: Vec<Ident> =
+                    schema.columns.iter().map(|c| Ident::new(&c.name)).collect();
+                return rename_outputs(outputs, &idents, &entry.id);
+            }
+        }
+    }
+    Ok(outputs)
+}
+
+/// Build the relation-node map of a lineage graph from its three sources:
+/// catalog relations, extracted query lineage (which shadows catalog
+/// entries of the same name — the dictionary definition is fresher), and
+/// usage-inferred externals (which never shadow anything).
+pub fn assemble_nodes(
+    catalog: &Catalog,
+    processed: &BTreeMap<String, QueryLineage>,
+    inferred: &BTreeMap<String, BTreeSet<String>>,
+) -> BTreeMap<String, Node> {
+    let mut nodes = BTreeMap::new();
+
+    // Catalog relations become base-table / view nodes.
+    for schema in catalog.relations() {
+        let kind = if schema.is_view() { NodeKind::View } else { NodeKind::BaseTable };
+        nodes.insert(
+            schema.name.clone(),
+            Node {
+                name: schema.name.clone(),
+                kind,
+                columns: schema.column_names().map(String::from).collect(),
+            },
+        );
+    }
+    // Query results become view/table/query nodes.
+    for (id, lineage) in processed {
+        let mut columns: Vec<String> = lineage.outputs.iter().map(|o| o.name.clone()).collect();
+        // INSERT/UPDATE touch a subset of the target's columns; keep
+        // the full schema on the node when the catalog knows it.
+        if matches!(lineage.kind, QueryKind::Insert | QueryKind::Update) {
+            if let Some(existing) = nodes.get(id.split('#').next().unwrap_or(id)) {
+                let mut merged = existing.columns.clone();
+                for c in columns {
+                    if !merged.contains(&c) {
+                        merged.push(c);
+                    }
+                }
+                columns = merged;
+            }
+        }
+        let kind = NodeKind::for_query(&lineage.kind);
+        nodes.insert(id.clone(), Node { name: id.clone(), kind, columns });
+    }
+    // Usage-inferred externals.
+    for (name, columns) in inferred {
+        nodes.entry(name.clone()).or_insert_with(|| Node {
+            name: name.clone(),
+            kind: NodeKind::External,
+            columns: columns.iter().cloned().collect(),
+        });
+    }
+    nodes
+}
+
+/// Assemble a full [`LineageGraph`] from extracted per-query lineage.
+///
+/// `order` must list the keys of `processed` in a dependency-consistent
+/// order (upstream before downstream); both the one-shot pipeline and the
+/// incremental engine guarantee that by construction.
+pub fn assemble_graph(
+    catalog: &Catalog,
+    processed: BTreeMap<String, QueryLineage>,
+    inferred: &BTreeMap<String, BTreeSet<String>>,
+    order: Vec<String>,
+) -> LineageGraph {
+    let nodes = assemble_nodes(catalog, &processed, inferred);
+    LineageGraph { nodes, queries: processed, order }
 }
 
 #[cfg(test)]

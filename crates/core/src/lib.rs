@@ -62,12 +62,12 @@ pub use api::{lineagex, LineageX};
 pub use error::LineageError;
 pub use explain_path::ExplainPathExtractor;
 pub use impact::{explore, impact_of, path_between, upstream_of, ExploreStep, ImpactReport};
-pub use infer::{InferenceEngine, LineageResult};
+pub use infer::{assemble_graph, assemble_nodes, extract_entry, InferenceEngine, LineageResult};
 pub use model::{
     Edge, EdgeKind, GraphStats, LineageGraph, Node, NodeKind, OutputColumn, QueryKind,
     QueryLineage, SourceColumn, Warning,
 };
 pub use options::{AmbiguityPolicy, ExtractOptions};
-pub use preprocess::{QueryDict, QueryEntry};
+pub use preprocess::{preprocess_statement, PreprocessedStatement, QueryDict, QueryEntry};
 pub use report::JsonReport;
 pub use trace::{Rule, TraceLog, TraceStep};

@@ -161,6 +161,17 @@ pub enum NodeKind {
     External,
 }
 
+impl NodeKind {
+    /// The node kind a query-lineage entry of `kind` produces.
+    pub fn for_query(kind: &QueryKind) -> NodeKind {
+        match kind {
+            QueryKind::View { .. } => NodeKind::View,
+            QueryKind::TableAs | QueryKind::Insert | QueryKind::Update => NodeKind::Table,
+            QueryKind::Select => NodeKind::QueryResult,
+        }
+    }
+}
+
 /// One node of the lineage graph: a relation and its columns.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Node {
@@ -197,6 +208,33 @@ pub struct LineageGraph {
 }
 
 impl LineageGraph {
+    /// Merge one query's lineage into the graph: upsert its lineage record
+    /// and relation node, and append it to the processing order if new.
+    ///
+    /// The node carries the query's direct output columns; the
+    /// INSERT/UPDATE full-schema merge and catalog/external shadowing
+    /// rules live in [`crate::infer::assemble_nodes`], which incremental
+    /// callers run once per batch of merges to settle the node map.
+    pub fn merge_query(&mut self, lineage: QueryLineage) {
+        let kind = NodeKind::for_query(&lineage.kind);
+        let columns = lineage.outputs.iter().map(|o| o.name.clone()).collect();
+        self.nodes.insert(lineage.id.clone(), Node { name: lineage.id.clone(), kind, columns });
+        if !self.order.iter().any(|id| id == &lineage.id) {
+            self.order.push(lineage.id.clone());
+        }
+        self.queries.insert(lineage.id.clone(), lineage);
+    }
+
+    /// Retract one query from the graph: remove its lineage record, its
+    /// relation node, and its slot in the processing order. Returns the
+    /// removed lineage, or `None` when `id` was not a query.
+    pub fn retract_query(&mut self, id: &str) -> Option<QueryLineage> {
+        let removed = self.queries.remove(id)?;
+        self.nodes.remove(id);
+        self.order.retain(|o| o != id);
+        Some(removed)
+    }
+
     /// Contribute-only edges (`C_con`), one per (source, output) pair.
     pub fn contribute_edges(&self) -> Vec<Edge> {
         let mut edges = Vec::new();
@@ -477,6 +515,31 @@ mod tests {
         assert_eq!(g.column_count(), 3);
         assert!(g.has_column(&SourceColumn::new("web", "page")));
         assert!(!g.has_column(&SourceColumn::new("web", "nope")));
+    }
+
+    #[test]
+    fn merge_and_retract_round_trip() {
+        let mut g = sample_graph();
+        let retracted = g.retract_query("v").unwrap();
+        assert!(g.queries.is_empty());
+        assert!(!g.nodes.contains_key("v"));
+        assert!(g.order.is_empty());
+        assert!(g.retract_query("v").is_none());
+        g.merge_query(retracted);
+        assert_eq!(g, sample_graph());
+        // Re-merging an existing query must not duplicate its order slot.
+        let again = g.queries["v"].clone();
+        g.merge_query(again);
+        assert_eq!(g.order, vec!["v"]);
+    }
+
+    #[test]
+    fn node_kind_for_query_maps_all_kinds() {
+        assert_eq!(NodeKind::for_query(&QueryKind::View { materialized: true }), NodeKind::View);
+        assert_eq!(NodeKind::for_query(&QueryKind::TableAs), NodeKind::Table);
+        assert_eq!(NodeKind::for_query(&QueryKind::Insert), NodeKind::Table);
+        assert_eq!(NodeKind::for_query(&QueryKind::Update), NodeKind::Table);
+        assert_eq!(NodeKind::for_query(&QueryKind::Select), NodeKind::QueryResult);
     }
 
     #[test]

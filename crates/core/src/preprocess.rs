@@ -44,6 +44,140 @@ impl QueryEntry {
     }
 }
 
+/// What preprocessing turned one statement into.
+///
+/// [`QueryDict::from_sql`] folds a whole log through this classification;
+/// the incremental engine (`lineagex-engine`) applies it one statement at
+/// a time, so both paths share exactly one set of preprocessing rules.
+#[derive(Debug, Clone)]
+pub enum PreprocessedStatement {
+    /// A lineage-bearing Query-Dictionary entry (boxed: an entry is two
+    /// orders of magnitude larger than the other variants).
+    Entry(Box<QueryEntry>),
+    /// Plain DDL: contributes schema, not lineage.
+    Schema(TableSchema),
+    /// A `DROP`: the dropped base names, as written. The one-shot pipeline
+    /// records these as skipped; a session engine retracts them.
+    Drop(Vec<String>),
+    /// A statement carrying neither lineage nor schema.
+    Skipped(Warning),
+}
+
+/// Classify one statement exactly as the Query Dictionary does.
+///
+/// `source_name` is the dbt-style file name for bare `SELECT`s,
+/// `anon_counter` numbers anonymous queries (`query_N`), and `taken`
+/// reports identifiers already in use so repeat `INSERT`/`UPDATE` targets
+/// disambiguate (`t`, `t#2`, ...). Duplicate-id handling is the caller's
+/// job: the one-shot dictionary rejects duplicates, a session replaces.
+pub fn preprocess_statement(
+    stmt: Statement,
+    source_name: Option<&str>,
+    anon_counter: &mut usize,
+    taken: &mut dyn FnMut(&str) -> bool,
+) -> PreprocessedStatement {
+    match stmt {
+        Statement::CreateView { ref name, ref columns, materialized, .. } => {
+            let id = name.base_name().to_string();
+            let declared = columns.iter().map(|c| c.value.clone()).collect();
+            let query = stmt.defining_query().expect("view has a query").clone();
+            PreprocessedStatement::Entry(Box::new(QueryEntry {
+                id,
+                kind: QueryKind::View { materialized },
+                statement: stmt,
+                query,
+                declared_columns: declared,
+            }))
+        }
+        Statement::CreateTable { ref name, ref columns, query: Some(_), .. } => {
+            let id = name.base_name().to_string();
+            let declared = columns.iter().map(|c| c.name.value.clone()).collect();
+            let query = stmt.defining_query().expect("CTAS has a query").clone();
+            PreprocessedStatement::Entry(Box::new(QueryEntry {
+                id,
+                kind: QueryKind::TableAs,
+                statement: stmt,
+                query,
+                declared_columns: declared,
+            }))
+        }
+        Statement::CreateTable { ref name, ref columns, query: None, .. } => {
+            PreprocessedStatement::Schema(TableSchema::base_table(
+                name.base_name().to_string(),
+                columns
+                    .iter()
+                    .map(|c| Column::new(c.name.value.clone(), c.data_type.to_string()))
+                    .collect(),
+            ))
+        }
+        Statement::Insert { ref table, ref columns, .. } => {
+            let id = unique_target_id(table.base_name(), taken);
+            let declared = columns.iter().map(|c| c.value.clone()).collect();
+            let query = stmt.defining_query().expect("insert has a source").clone();
+            PreprocessedStatement::Entry(Box::new(QueryEntry {
+                id,
+                kind: QueryKind::Insert,
+                statement: stmt,
+                query,
+                declared_columns: declared,
+            }))
+        }
+        Statement::Update { ref table, .. } => {
+            let id = unique_target_id(table.base_name(), taken);
+            let query = stmt.update_as_query().expect("update synthesises");
+            PreprocessedStatement::Entry(Box::new(QueryEntry {
+                id,
+                kind: QueryKind::Update,
+                statement: stmt,
+                query,
+                declared_columns: Vec::new(),
+            }))
+        }
+        Statement::Query(_) => {
+            let id = match source_name {
+                Some(name) => name.to_string(),
+                None => {
+                    *anon_counter += 1;
+                    format!("query_{anon_counter}")
+                }
+            };
+            let query = stmt.defining_query().expect("bare query").clone();
+            PreprocessedStatement::Entry(Box::new(QueryEntry {
+                id,
+                kind: QueryKind::Select,
+                statement: stmt,
+                query,
+                declared_columns: Vec::new(),
+            }))
+        }
+        Statement::Drop { ref names, .. } => {
+            PreprocessedStatement::Drop(names.iter().map(|n| n.base_name().to_string()).collect())
+        }
+        Statement::Delete { ref table, .. } => {
+            // A DELETE creates no columns; only its target matters for
+            // lineage, so it is recorded as skipped.
+            PreprocessedStatement::Skipped(Warning::SkippedStatement {
+                what: format!("DELETE FROM {}", table.base_name()),
+            })
+        }
+    }
+}
+
+/// First free identifier for a write target: `base`, then `base#2`, ...
+fn unique_target_id(base: &str, taken: &mut dyn FnMut(&str) -> bool) -> String {
+    if !taken(base) {
+        return base.to_string();
+    }
+    let mut n = 2;
+    loop {
+        let candidate = format!("{base}#{n}");
+        if !taken(&candidate) {
+            return candidate;
+        }
+        n += 1;
+    }
+}
+
 /// The Query Dictionary: ordered entries plus the schema contributed by
 /// plain DDL statements in the same log.
 #[derive(Debug, Clone, Default)]
@@ -84,99 +218,19 @@ impl QueryDict {
         let mut dict = QueryDict::default();
         let mut anon_counter = 0usize;
         for (source_name, stmt) in statements {
-            match stmt {
-                Statement::CreateView { ref name, ref columns, materialized, .. } => {
-                    let id = name.base_name().to_string();
-                    let declared = columns.iter().map(|c| c.value.clone()).collect();
-                    let query = stmt.defining_query().expect("view has a query").clone();
-                    dict.push(QueryEntry {
-                        id,
-                        kind: QueryKind::View { materialized },
-                        statement: stmt,
-                        query,
-                        declared_columns: declared,
-                    })?;
-                }
-                Statement::CreateTable { ref name, ref columns, query: Some(_), .. } => {
-                    let id = name.base_name().to_string();
-                    let declared = columns.iter().map(|c| c.name.value.clone()).collect();
-                    let query = stmt.defining_query().expect("CTAS has a query").clone();
-                    dict.push(QueryEntry {
-                        id,
-                        kind: QueryKind::TableAs,
-                        statement: stmt,
-                        query,
-                        declared_columns: declared,
-                    })?;
-                }
-                Statement::CreateTable { ref name, ref columns, query: None, .. } => {
-                    // Pure DDL: contributes schema, not lineage.
-                    let schema = TableSchema::base_table(
-                        name.base_name().to_string(),
-                        columns
-                            .iter()
-                            .map(|c| Column::new(c.name.value.clone(), c.data_type.to_string()))
-                            .collect(),
-                    );
-                    dict.ddl_catalog.add_or_replace(schema);
-                }
-                Statement::Insert { ref table, ref columns, .. } => {
-                    let base = table.base_name().to_string();
-                    let id = dict.unique_target_id(&base);
-                    let declared = columns.iter().map(|c| c.value.clone()).collect();
-                    let query = stmt.defining_query().expect("insert has a source").clone();
-                    dict.push(QueryEntry {
-                        id,
-                        kind: QueryKind::Insert,
-                        statement: stmt,
-                        query,
-                        declared_columns: declared,
-                    })?;
-                }
-                Statement::Update { ref table, .. } => {
-                    let base = table.base_name().to_string();
-                    let id = dict.unique_target_id(&base);
-                    let query = stmt.update_as_query().expect("update synthesises");
-                    dict.push(QueryEntry {
-                        id,
-                        kind: QueryKind::Update,
-                        statement: stmt,
-                        query,
-                        declared_columns: Vec::new(),
-                    })?;
-                }
-                Statement::Query(_) => {
-                    let id = match &source_name {
-                        Some(name) => name.clone(),
-                        None => {
-                            anon_counter += 1;
-                            format!("query_{anon_counter}")
-                        }
-                    };
-                    let query = stmt.defining_query().expect("bare query").clone();
-                    dict.push(QueryEntry {
-                        id,
-                        kind: QueryKind::Select,
-                        statement: stmt,
-                        query,
-                        declared_columns: Vec::new(),
-                    })?;
-                }
-                Statement::Drop { ref names, .. } => {
-                    let what = names
-                        .iter()
-                        .map(|n| n.base_name().to_string())
-                        .collect::<Vec<_>>()
-                        .join(", ");
-                    dict.warnings.push(Warning::SkippedStatement { what: format!("DROP {what}") });
-                }
-                Statement::Delete { ref table, .. } => {
-                    // A DELETE creates no columns; only its target matters
-                    // for lineage, so it is recorded as skipped.
-                    dict.warnings.push(Warning::SkippedStatement {
-                        what: format!("DELETE FROM {}", table.base_name()),
-                    });
-                }
+            let preprocessed = {
+                let entries = &dict.entries;
+                preprocess_statement(stmt, source_name.as_deref(), &mut anon_counter, &mut |id| {
+                    entries.iter().any(|e| e.id == id)
+                })
+            };
+            match preprocessed {
+                PreprocessedStatement::Entry(entry) => dict.push(*entry)?,
+                PreprocessedStatement::Schema(schema) => dict.ddl_catalog.add_or_replace(schema),
+                PreprocessedStatement::Drop(names) => dict
+                    .warnings
+                    .push(Warning::SkippedStatement { what: format!("DROP {}", names.join(", ")) }),
+                PreprocessedStatement::Skipped(warning) => dict.warnings.push(warning),
             }
         }
         Ok(dict)
@@ -188,20 +242,6 @@ impl QueryDict {
         }
         self.entries.push(entry);
         Ok(())
-    }
-
-    fn unique_target_id(&self, base: &str) -> String {
-        if !self.contains(base) {
-            return base.to_string();
-        }
-        let mut n = 2;
-        loop {
-            let candidate = format!("{base}#{n}");
-            if !self.contains(&candidate) {
-                return candidate;
-            }
-            n += 1;
-        }
     }
 
     /// Whether `id` names a dictionary entry.
@@ -308,5 +348,41 @@ mod tests {
     fn declared_columns_recorded() {
         let qd = QueryDict::from_sql("CREATE VIEW v(a, b) AS SELECT 1, 2").unwrap();
         assert_eq!(qd.get("v").unwrap().declared_columns, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn preprocess_statement_classifies_each_kind() {
+        let mut anon = 0usize;
+        let classify = |sql: &str, anon: &mut usize| {
+            let stmt = lineagex_sqlparse::parse_statement(sql).unwrap();
+            preprocess_statement(stmt, None, anon, &mut |_| false)
+        };
+        assert!(matches!(
+            classify("CREATE VIEW v AS SELECT 1", &mut anon),
+            PreprocessedStatement::Entry(e) if e.id == "v"
+        ));
+        assert!(matches!(
+            classify("CREATE TABLE t (a int)", &mut anon),
+            PreprocessedStatement::Schema(s) if s.name == "t"
+        ));
+        assert!(matches!(
+            classify("DROP VIEW a, b", &mut anon),
+            PreprocessedStatement::Drop(names) if names == vec!["a", "b"]
+        ));
+        assert!(matches!(
+            classify("DELETE FROM t", &mut anon),
+            PreprocessedStatement::Skipped(Warning::SkippedStatement { .. })
+        ));
+        assert!(matches!(
+            classify("SELECT 1", &mut anon),
+            PreprocessedStatement::Entry(e) if e.id == "query_1"
+        ));
+        // A taken insert target disambiguates with a #N suffix.
+        let stmt = lineagex_sqlparse::parse_statement("INSERT INTO t SELECT 1").unwrap();
+        let mut t_taken = |id: &str| id == "t";
+        assert!(matches!(
+            preprocess_statement(stmt, None, &mut anon, &mut t_taken),
+            PreprocessedStatement::Entry(e) if e.id == "t#2"
+        ));
     }
 }

@@ -1,0 +1,136 @@
+//! A content-hash AST cache: re-ingested identical SQL skips the parser.
+//!
+//! Long-lived sessions replay a lot of identical text — dashboards
+//! re-issue the same queries, orchestrators re-apply the same view
+//! definitions on every run. Keyed on an FNV-1a hash of the trimmed input
+//! (with full-text verification, so a 64-bit collision can never serve
+//! the wrong AST), the cache turns those replays into a clone of the
+//! already-parsed statements.
+
+use lineagex_core::LineageError;
+use lineagex_sqlparse::ast::Statement;
+use lineagex_sqlparse::parse_sql;
+use std::collections::HashMap;
+
+/// Default maximum number of cached scripts.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// A bounded parse cache with hit/miss counters.
+#[derive(Debug, Clone)]
+pub struct AstCache {
+    entries: HashMap<u64, Vec<(String, Vec<Statement>)>>,
+    len: usize,
+    capacity: usize,
+    /// Number of lookups served from the cache.
+    pub hits: u64,
+    /// Number of lookups that had to parse.
+    pub misses: u64,
+}
+
+impl Default for AstCache {
+    fn default() -> Self {
+        AstCache::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl AstCache {
+    /// A cache holding at most `capacity` scripts (0 disables caching).
+    pub fn with_capacity(capacity: usize) -> Self {
+        AstCache { entries: HashMap::new(), len: 0, capacity, hits: 0, misses: 0 }
+    }
+
+    /// Parse `sql`, serving the statements from the cache when the exact
+    /// text (modulo surrounding whitespace) was parsed before.
+    pub fn parse(&mut self, sql: &str) -> Result<Vec<Statement>, LineageError> {
+        let text = sql.trim();
+        let key = fnv1a(text.as_bytes());
+        if let Some(bucket) = self.entries.get(&key) {
+            // Verify the full text: a hash collision must never alias.
+            if let Some((_, statements)) = bucket.iter().find(|(t, _)| t == text) {
+                self.hits += 1;
+                return Ok(statements.clone());
+            }
+        }
+        self.misses += 1;
+        let statements = parse_sql(text).map_err(|e| LineageError::Parse(e.to_string()))?;
+        if self.capacity > 0 {
+            if self.len >= self.capacity {
+                // Whole-cache eviction keeps the bookkeeping trivial; a
+                // session that overflows 1024 distinct scripts simply
+                // starts a fresh generation.
+                self.entries.clear();
+                self.len = 0;
+            }
+            self.entries.entry(key).or_default().push((text.to_string(), statements.clone()));
+            self.len += 1;
+        }
+        Ok(statements)
+    }
+
+    /// Number of cached scripts.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// 64-bit FNV-1a.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_identical_text() {
+        let mut cache = AstCache::default();
+        let a = cache.parse("SELECT 1;").unwrap();
+        let b = cache.parse("  SELECT 1;  ").unwrap(); // whitespace-insensitive
+        assert_eq!(a, b);
+        assert_eq!(cache.hits, 1);
+        assert_eq!(cache.misses, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_text_misses() {
+        let mut cache = AstCache::default();
+        cache.parse("SELECT 1").unwrap();
+        cache.parse("SELECT 2").unwrap();
+        assert_eq!(cache.hits, 0);
+        assert_eq!(cache.misses, 2);
+    }
+
+    #[test]
+    fn parse_errors_are_not_cached() {
+        let mut cache = AstCache::default();
+        assert!(cache.parse("SELEC oops").is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_the_cache() {
+        let mut cache = AstCache::with_capacity(2);
+        cache.parse("SELECT 1").unwrap();
+        cache.parse("SELECT 2").unwrap();
+        cache.parse("SELECT 3").unwrap(); // evicts the full generation
+        assert_eq!(cache.len(), 1);
+        // Zero capacity disables caching entirely.
+        let mut off = AstCache::with_capacity(0);
+        off.parse("SELECT 1").unwrap();
+        off.parse("SELECT 1").unwrap();
+        assert_eq!(off.hits, 0);
+        assert_eq!(off.misses, 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! Static dependency discovery: which relations does a query scan?
+//!
+//! The one-shot pipeline discovers dependencies *during* extraction (a
+//! missing one raises `MissingDependency` and drives the paper's deferral
+//! stack). A session engine needs them *before* extraction, to build the
+//! view dependency DAG that powers dirty-cone invalidation and the
+//! parallel scheduler — so this module walks the AST directly, collecting
+//! every `FROM`-clause and subquery relation reference while respecting
+//! CTE scoping (a `WITH x AS (...)` binding shadows any relation named
+//! `x` inside its query, exactly as the extractor's `M_CTE` lookup does).
+
+use lineagex_sqlparse::ast::visit::ExprRefs;
+use lineagex_sqlparse::ast::{Expr, Query, SelectItem, SetExpr, TableFactor, TableWithJoins};
+use std::collections::BTreeSet;
+
+/// All relation base names a query references, as written (the extractor
+/// matches Query-Dictionary ids case-sensitively; catalog lookups
+/// normalise separately). CTE-shadowed names are excluded.
+pub fn referenced_relations(query: &Query) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut ctes: Vec<String> = Vec::new();
+    walk_query(query, &mut ctes, &mut out);
+    out
+}
+
+fn walk_query(query: &Query, ctes: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    let mark = ctes.len();
+    if let Some(with) = &query.with {
+        for cte in &with.ctes {
+            let name = cte.alias.name.value.clone();
+            if with.recursive {
+                // The CTE may scan itself; bind the name first.
+                ctes.push(name);
+                walk_query(&cte.query, ctes, out);
+            } else {
+                // Later CTEs see earlier ones, not themselves.
+                walk_query(&cte.query, ctes, out);
+                ctes.push(name);
+            }
+        }
+    }
+    walk_set_expr(&query.body, ctes, out);
+    for item in &query.order_by {
+        walk_expr(&item.expr, ctes, out);
+    }
+    for e in query.limit.iter().chain(query.offset.iter()) {
+        walk_expr(e, ctes, out);
+    }
+    ctes.truncate(mark);
+}
+
+fn walk_set_expr(body: &SetExpr, ctes: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    match body {
+        SetExpr::Select(select) => {
+            for twj in &select.from {
+                walk_table_with_joins(twj, ctes, out);
+            }
+            for item in &select.projection {
+                match item {
+                    SelectItem::UnnamedExpr(e) | SelectItem::ExprWithAlias { expr: e, .. } => {
+                        walk_expr(e, ctes, out)
+                    }
+                    SelectItem::QualifiedWildcard(_) | SelectItem::Wildcard => {}
+                }
+            }
+            for e in
+                select.selection.iter().chain(select.group_by.iter()).chain(select.having.iter())
+            {
+                walk_expr(e, ctes, out);
+            }
+        }
+        SetExpr::Query(query) => walk_query(query, ctes, out),
+        SetExpr::SetOperation { left, right, .. } => {
+            walk_set_expr(left, ctes, out);
+            walk_set_expr(right, ctes, out);
+        }
+        SetExpr::Values(values) => {
+            for row in &values.0 {
+                for e in row {
+                    walk_expr(e, ctes, out);
+                }
+            }
+        }
+    }
+}
+
+fn walk_table_with_joins(twj: &TableWithJoins, ctes: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    walk_factor(&twj.relation, ctes, out);
+    for join in &twj.joins {
+        walk_factor(&join.relation, ctes, out);
+        if let Some(lineagex_sqlparse::ast::JoinConstraint::On(expr)) =
+            join.join_operator.constraint()
+        {
+            walk_expr(expr, ctes, out);
+        }
+    }
+}
+
+fn walk_factor(factor: &TableFactor, ctes: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    match factor {
+        TableFactor::Table { name, .. } => {
+            let base = name.base_name();
+            if !ctes.iter().any(|c| c == base) {
+                out.insert(base.to_string());
+            }
+        }
+        TableFactor::Derived { subquery, .. } => walk_query(subquery, ctes, out),
+        TableFactor::NestedJoin(inner) => walk_table_with_joins(inner, ctes, out),
+    }
+}
+
+/// Walk one expression, descending into its subqueries.
+fn walk_expr(expr: &Expr, ctes: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    for subquery in ExprRefs::from_expr(expr).subqueries {
+        walk_query(subquery, ctes, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineagex_sqlparse::ast::Statement;
+    use lineagex_sqlparse::parse_statement;
+
+    fn deps(sql: &str) -> Vec<String> {
+        let stmt = parse_statement(sql).unwrap();
+        let query = match &stmt {
+            Statement::Update { .. } => return refs_of_query(&stmt.update_as_query().unwrap()),
+            _ => stmt.defining_query().expect("statement has a query").clone(),
+        };
+        refs_of_query(&query)
+    }
+
+    fn refs_of_query(q: &Query) -> Vec<String> {
+        referenced_relations(q).into_iter().collect()
+    }
+
+    #[test]
+    fn collects_from_and_joins() {
+        assert_eq!(deps("SELECT * FROM a JOIN b ON a.x = b.y, c"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn cte_names_shadow_relations() {
+        assert_eq!(
+            deps("WITH a AS (SELECT * FROM base) SELECT * FROM a JOIN b ON a.x = b.y"),
+            vec!["b", "base"]
+        );
+    }
+
+    #[test]
+    fn later_ctes_see_earlier_ones() {
+        assert_eq!(
+            deps("WITH a AS (SELECT * FROM t), b AS (SELECT * FROM a) SELECT * FROM b"),
+            vec!["t"]
+        );
+    }
+
+    #[test]
+    fn recursive_cte_does_not_depend_on_itself() {
+        assert_eq!(
+            deps(
+                "WITH RECURSIVE r AS (SELECT x FROM seed UNION ALL SELECT x + 1 FROM r) \
+                 SELECT * FROM r"
+            ),
+            vec!["seed"]
+        );
+    }
+
+    #[test]
+    fn cte_scope_ends_with_its_query() {
+        // The outer query's `a` is a real relation; only the inner one is
+        // shadowed by the derived table's CTE.
+        assert_eq!(
+            deps(
+                "SELECT * FROM (WITH a AS (SELECT * FROM t) SELECT * FROM a) d \
+                 JOIN a ON d.x = a.x"
+            ),
+            vec!["a", "t"]
+        );
+    }
+
+    #[test]
+    fn subqueries_in_predicates_and_projections_count() {
+        assert_eq!(
+            deps(
+                "SELECT (SELECT max(x) FROM m) FROM t \
+                 WHERE t.id IN (SELECT id FROM allowed) AND EXISTS (SELECT 1 FROM flags)"
+            ),
+            vec!["allowed", "flags", "m", "t"]
+        );
+    }
+
+    #[test]
+    fn set_operations_collect_both_branches() {
+        assert_eq!(deps("SELECT x FROM a UNION SELECT y FROM b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn update_references_target_and_from() {
+        assert_eq!(deps("UPDATE t SET a = s.v FROM s WHERE t.id = s.id"), vec!["s", "t"]);
+    }
+
+    #[test]
+    fn create_view_defining_query() {
+        assert_eq!(deps("CREATE VIEW v AS SELECT * FROM base WHERE reg"), vec!["base"]);
+    }
+}

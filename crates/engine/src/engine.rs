@@ -1,0 +1,510 @@
+//! The long-lived session [`Engine`].
+
+use crate::cache::AstCache;
+use crate::deps::referenced_relations;
+use crate::schedule::{run_level, topo_levels};
+use crate::stats::{EngineStats, IngestAction, StmtId};
+use lineagex_catalog::Catalog;
+use lineagex_core::{
+    assemble_nodes, extract_entry, preprocess_statement, ExtractOptions, ImpactReport,
+    LineageError, LineageGraph, LineageResult, PreprocessedStatement, QueryEntry, QueryKind,
+    SourceColumn, TraceLog, Warning,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Worker threads for batch extraction. `0`/`1` extract on the calling
+    /// thread; higher values parallelise each dependency level.
+    pub jobs: usize,
+    /// Per-query extraction options (ambiguity policy, tracing, ...).
+    pub extract: ExtractOptions,
+    /// Maximum scripts held by the AST cache (0 disables it).
+    pub ast_cache_capacity: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            jobs: 1,
+            extract: ExtractOptions::default(),
+            ast_cache_capacity: crate::cache::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+/// One live Query-Dictionary entry plus its statically-discovered
+/// dependencies (the engine's edge set of the view dependency DAG).
+#[derive(Debug, Clone)]
+struct EntryState {
+    entry: QueryEntry,
+    /// Relations the defining query scans, as written (matches
+    /// dictionary ids case-sensitively, like the extractor).
+    deps: BTreeSet<String>,
+    /// The same, normalised for invalidation matching against catalog
+    /// relations (which are case-insensitive).
+    deps_norm: BTreeSet<String>,
+}
+
+/// An incremental, parallel lineage engine for long-lived sessions.
+///
+/// Where [`lineagex_core::LineageX`] is batch-oriented — one call reads a
+/// whole query log and extracts everything — an `Engine` accepts a
+/// *stream* of statements over time and maintains the lineage graph
+/// continuously:
+///
+/// * [`Engine::ingest`] parses (through a content-hash AST cache),
+///   classifies, and registers statements, maintaining the catalog and a
+///   view dependency DAG with dirty tracking: redefining or dropping one
+///   view marks only its downstream cone for re-extraction;
+/// * [`Engine::refresh`] settles the dirty set, topologically levelling
+///   it and extracting independent views concurrently on up to
+///   `jobs` scoped worker threads;
+/// * [`Engine::graph`], [`Engine::lineage_of`], and [`Engine::impact_of`]
+///   answer lineage questions between ingests (refreshing lazily).
+///
+/// For fully-defined logs (every scanned relation defined in-log or in
+/// the provided catalog), the settled graph's nodes and per-query lineage
+/// are identical to a one-shot [`lineagex_core::LineageX::run`] over the
+/// same statements, and parallel extraction is byte-identical to
+/// sequential — the workspace property tests assert both invariants. The
+/// graph's `order` is a dependency-consistent processing order but not
+/// necessarily the one-shot deferral order. Two deliberate semantic
+/// differences from the one-shot pipeline: re-defining an existing view
+/// *replaces* it (the batch dictionary rejects duplicate ids), and `DROP`
+/// *retracts* (the batch pipeline records it as skipped).
+///
+/// ```
+/// use lineagex_engine::Engine;
+///
+/// let mut engine = Engine::new();
+/// engine.ingest("CREATE TABLE web (cid int, page text);").unwrap();
+/// engine.ingest("CREATE VIEW v AS SELECT page FROM web WHERE cid > 0;").unwrap();
+/// let graph = engine.graph().unwrap();
+/// assert_eq!(graph.queries["v"].output_names(), vec!["page"]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Engine {
+    options: EngineOptions,
+    catalog: Catalog,
+    entries: BTreeMap<String, EntryState>,
+    graph: LineageGraph,
+    /// Usage-inferred external schemas, attributed per inferring query so
+    /// retraction can take them back out.
+    inferred_by_query: BTreeMap<String, BTreeMap<String, BTreeSet<String>>>,
+    traces: BTreeMap<String, TraceLog>,
+    /// Entries awaiting (re-)extraction.
+    dirty_entries: BTreeSet<String>,
+    /// Relations (normalised) whose definition changed since the last
+    /// refresh; their dependents get invalidated transitively.
+    dirty_relations: BTreeSet<String>,
+    warnings: Vec<Warning>,
+    cache: AstCache,
+    stats: EngineStats,
+    anon_counter: usize,
+    seq: u64,
+}
+
+impl Engine {
+    /// A fresh engine with default options and an empty catalog.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// A fresh engine with the given options.
+    pub fn with_options(options: EngineOptions) -> Self {
+        let cache = AstCache::with_capacity(options.ast_cache_capacity);
+        Engine { options, cache, ..Engine::default() }
+    }
+
+    /// Provide base-table schemas up front.
+    pub fn with_catalog(mut self, catalog: Catalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// Ingest a `;`-separated script: parse (served from the AST cache on
+    /// re-ingest of identical text), classify each statement, update the
+    /// catalog and dependency DAG, and mark whatever the statements
+    /// invalidated as dirty. Extraction itself is deferred to the next
+    /// [`Engine::refresh`] (or lineage query), so a burst of ingests pays
+    /// for its re-extractions once.
+    ///
+    /// Returns one receipt per statement saying what the engine did.
+    pub fn ingest(&mut self, sql: &str) -> Result<Vec<StmtId>, LineageError> {
+        let statements = self.cache.parse(sql)?;
+        self.stats.parse_cache_hits = self.cache.hits;
+        self.stats.parse_cache_misses = self.cache.misses;
+        let mut receipts = Vec::with_capacity(statements.len());
+        for stmt in statements {
+            self.seq += 1;
+            self.stats.statements += 1;
+            let (target, action) = self.apply_statement(stmt);
+            receipts.push(StmtId { seq: self.seq, target, action });
+        }
+        Ok(receipts)
+    }
+
+    /// Route one parsed statement through the shared preprocessing rules
+    /// and apply its session effect.
+    fn apply_statement(
+        &mut self,
+        stmt: lineagex_sqlparse::ast::Statement,
+    ) -> (String, IngestAction) {
+        // Catalog effects first (plain DDL adds/replaces, DROP removes),
+        // via the catalog's own incremental API; every reported change
+        // seeds relation-level dirt.
+        let catalog_changes = self.catalog.apply_statement(&stmt);
+        for change in &catalog_changes {
+            self.dirty_relations.insert(normalize(change.relation()));
+        }
+        let preprocessed = {
+            let entries = &self.entries;
+            preprocess_statement(stmt, None, &mut self.anon_counter, &mut |id| {
+                entries.contains_key(id)
+            })
+        };
+        match preprocessed {
+            PreprocessedStatement::Entry(entry) => {
+                let id = entry.id.clone();
+                let action = match self.entries.get(&id) {
+                    Some(old) if old.entry.statement == entry.statement => {
+                        self.stats.unchanged += 1;
+                        IngestAction::Unchanged
+                    }
+                    existing => {
+                        let action = if existing.is_some() {
+                            self.stats.redefinitions += 1;
+                            IngestAction::Redefined
+                        } else {
+                            self.stats.defined += 1;
+                            IngestAction::Defined
+                        };
+                        let mut deps = referenced_relations(entry.query());
+                        if matches!(entry.kind, QueryKind::Insert | QueryKind::Update) {
+                            // A write's output names come from the target
+                            // table's catalog schema (`apply_output_names`),
+                            // so the target is a real dependency: its
+                            // redefinition must re-extract this entry.
+                            deps.insert(id.split('#').next().unwrap_or(&id).to_string());
+                        }
+                        let deps_norm = deps.iter().map(|d| normalize(d)).collect();
+                        self.entries
+                            .insert(id.clone(), EntryState { entry: *entry, deps, deps_norm });
+                        self.dirty_entries.insert(id.clone());
+                        self.dirty_relations.insert(normalize(&id));
+                        action
+                    }
+                };
+                (id, action)
+            }
+            // The catalog side already happened above; this arm only
+            // acknowledges the statement.
+            PreprocessedStatement::Schema(schema) => (schema.name, IngestAction::Schema),
+            PreprocessedStatement::Drop(names) => {
+                let mut touched = catalog_changes.len() as u64;
+                for name in &names {
+                    if self.entries.remove(name).is_some() {
+                        touched += 1;
+                        self.graph.retract_query(name);
+                        self.traces.remove(name);
+                        self.inferred_by_query.remove(name);
+                        self.dirty_entries.remove(name);
+                        self.dirty_relations.insert(normalize(name));
+                    }
+                }
+                self.stats.drops += touched;
+                let target = names.join(", ");
+                if touched == 0 {
+                    self.warnings.push(Warning::SkippedStatement {
+                        what: format!("DROP {target} (nothing matched)"),
+                    });
+                    (target, IngestAction::Skipped)
+                } else {
+                    (target, IngestAction::Dropped)
+                }
+            }
+            PreprocessedStatement::Skipped(warning) => {
+                let target = match &warning {
+                    Warning::SkippedStatement { what } => what.clone(),
+                    other => format!("{other:?}"),
+                };
+                self.warnings.push(warning);
+                (target, IngestAction::Skipped)
+            }
+        }
+    }
+
+    /// Settle all pending invalidations: close the dirty set over the
+    /// dependency DAG (downstream cones of every changed relation),
+    /// topologically level it, and (re-)extract — in parallel when
+    /// `jobs > 1`. Returns the number of extractions performed.
+    ///
+    /// On error, successfully extracted entries are kept and the failing
+    /// ones (plus anything scheduled behind them) stay dirty, so a
+    /// correcting ingest can retry.
+    pub fn refresh(&mut self) -> Result<usize, LineageError> {
+        if self.dirty_entries.is_empty() && self.dirty_relations.is_empty() {
+            return Ok(0);
+        }
+
+        // 1. Close the dirty set: an entry is dirty when marked directly
+        //    or when any (transitive) upstream relation changed.
+        let dirty = self.close_over_dependents(self.dirty_entries.clone(), {
+            let mut changed = self.dirty_relations.clone();
+            changed.extend(self.dirty_entries.iter().map(|id| normalize(id)));
+            changed
+        });
+
+        // 2. Level the cone topologically; clean upstreams are already
+        //    settled in the graph and don't constrain the schedule.
+        let levels = topo_levels(&dirty, |id| self.entries[id].deps.clone())
+            .map_err(LineageError::DependencyCycle)?;
+
+        // 3. Retract everything about to be re-extracted so stale lineage
+        //    can never leak into a dependent's extraction.
+        for id in &dirty {
+            self.graph.retract_query(id);
+            self.traces.remove(id);
+            self.inferred_by_query.remove(id);
+        }
+
+        // 4. Extract level by level. Within a level every entry sees the
+        //    same frozen snapshot (graph + inferred schemas), so parallel
+        //    and sequential execution produce identical results.
+        let qd_ids: BTreeSet<String> = self.entries.keys().cloned().collect();
+        let jobs = self.options.jobs;
+        let mut extracted = 0u64;
+        let mut failure: Option<LineageError> = None;
+        for level in levels {
+            let snapshot = self.merged_inferred();
+            let results = {
+                let entries = &self.entries;
+                let processed = &self.graph.queries;
+                let catalog = &self.catalog;
+                let options = &self.options.extract;
+                let qd_ids = &qd_ids;
+                let snapshot = &snapshot;
+                run_level(&level, jobs, move |id| {
+                    let mut inferred = snapshot.clone();
+                    extract_entry(
+                        &entries[id].entry,
+                        qd_ids,
+                        processed,
+                        catalog,
+                        options,
+                        &mut inferred,
+                    )
+                    .map(|(lineage, trace)| (lineage, trace, inferred_delta(snapshot, inferred)))
+                })
+            };
+            for (id, result) in results {
+                match result {
+                    Ok((lineage, trace, delta)) => {
+                        extracted += 1;
+                        self.dirty_entries.remove(&id);
+                        self.graph.merge_query(lineage);
+                        if let Some(trace) = trace {
+                            self.traces.insert(id.clone(), trace);
+                        }
+                        if !delta.is_empty() {
+                            self.inferred_by_query.insert(id, delta);
+                        }
+                    }
+                    Err(error) => {
+                        failure.get_or_insert(error);
+                    }
+                }
+            }
+            if failure.is_some() {
+                break;
+            }
+        }
+
+        // 5. Settle the node map (catalog / query / external shadowing).
+        self.graph.nodes =
+            assemble_nodes(&self.catalog, &self.graph.queries, &self.merged_inferred());
+        self.stats.extractions += extracted;
+        self.stats.last_refresh_extractions = extracted;
+        self.stats.refreshes += 1;
+
+        match failure {
+            None => {
+                self.dirty_entries.clear();
+                self.dirty_relations.clear();
+                Ok(extracted as usize)
+            }
+            Some(error) => {
+                self.dirty_entries =
+                    dirty.into_iter().filter(|id| !self.graph.queries.contains_key(id)).collect();
+                self.dirty_relations.clear();
+                Err(error)
+            }
+        }
+    }
+
+    /// The settled lineage graph (refreshing first if needed).
+    pub fn graph(&mut self) -> Result<&LineageGraph, LineageError> {
+        self.refresh()?;
+        Ok(&self.graph)
+    }
+
+    /// A point-in-time clone of the settled graph that survives further
+    /// ingests.
+    pub fn snapshot(&mut self) -> Result<LineageGraph, LineageError> {
+        self.refresh()?;
+        Ok(self.graph.clone())
+    }
+
+    /// Full lineage of one output column, `C_con(c) ∪ C_ref(Q)`.
+    pub fn lineage_of(
+        &mut self,
+        table: &str,
+        column: &str,
+    ) -> Result<Option<BTreeSet<SourceColumn>>, LineageError> {
+        self.refresh()?;
+        Ok(self.graph.queries.get(table).and_then(|q| q.lineage_of(column)))
+    }
+
+    /// Transitive impact analysis from one column (the paper's §IV demo
+    /// question), over the settled graph.
+    pub fn impact_of(&mut self, table: &str, column: &str) -> Result<ImpactReport, LineageError> {
+        self.refresh()?;
+        Ok(lineagex_core::impact_of(&self.graph, &SourceColumn::new(table, column)))
+    }
+
+    /// Package the session state as a one-shot-style [`LineageResult`]
+    /// (empty deferral log: the scheduler replaces the deferral stack).
+    pub fn result(&mut self) -> Result<LineageResult, LineageError> {
+        self.refresh()?;
+        Ok(LineageResult {
+            graph: self.graph.clone(),
+            traces: self.traces.clone(),
+            deferrals: Vec::new(),
+            inferred: self.merged_inferred(),
+            warnings: self.warnings.clone(),
+        })
+    }
+
+    /// Mark every entry dirty, forcing the next refresh to re-extract the
+    /// whole dictionary (benchmarking aid, and escape hatch after
+    /// out-of-band catalog edits).
+    pub fn invalidate_all(&mut self) {
+        self.dirty_entries.extend(self.entries.keys().cloned());
+    }
+
+    /// Entries directly scanning `relation` (one dirty-propagation hop).
+    pub fn dependents_of(&self, relation: &str) -> BTreeSet<String> {
+        let needle = normalize(relation);
+        self.entries
+            .iter()
+            .filter(|(_, state)| state.deps_norm.contains(&needle))
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+
+    /// `relation` plus everything transitively downstream of it — the set
+    /// a redefinition of `relation` re-extracts.
+    pub fn downstream_cone(&self, relation: &str) -> BTreeSet<String> {
+        let mut seed = BTreeSet::new();
+        if self.entries.contains_key(relation) {
+            seed.insert(relation.to_string());
+        }
+        self.close_over_dependents(seed, BTreeSet::from([normalize(relation)]))
+    }
+
+    /// Fixpoint closure over the dependency DAG: grow `entries` with every
+    /// entry depending (transitively) on a relation in `changed`, treating
+    /// each newly-added entry's own relation as changed too.
+    fn close_over_dependents(
+        &self,
+        mut entries: BTreeSet<String>,
+        mut changed: BTreeSet<String>,
+    ) -> BTreeSet<String> {
+        loop {
+            let mut grew = false;
+            for (id, state) in &self.entries {
+                if !entries.contains(id) && state.deps_norm.iter().any(|d| changed.contains(d)) {
+                    entries.insert(id.clone());
+                    changed.insert(normalize(id));
+                    grew = true;
+                }
+            }
+            if !grew {
+                return entries;
+            }
+        }
+    }
+
+    /// Session counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Engine-level warnings (skipped statements, no-match drops).
+    pub fn warnings(&self) -> &[Warning] {
+        &self.warnings
+    }
+
+    /// Traversal traces, when tracing is enabled in the options.
+    pub fn traces(&self) -> &BTreeMap<String, TraceLog> {
+        &self.traces
+    }
+
+    /// The current catalog (user schemas plus ingested DDL).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Number of live dictionary entries.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the next refresh has work to do.
+    pub fn has_pending_work(&self) -> bool {
+        !self.dirty_entries.is_empty() || !self.dirty_relations.is_empty()
+    }
+
+    /// Merge the per-query inferred-schema deltas into one map.
+    fn merged_inferred(&self) -> BTreeMap<String, BTreeSet<String>> {
+        let mut merged: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for delta in self.inferred_by_query.values() {
+            for (table, columns) in delta {
+                merged.entry(table.clone()).or_default().extend(columns.iter().cloned());
+            }
+        }
+        merged
+    }
+}
+
+/// What one extraction added to the inferred-schema snapshot it started
+/// from. A table key with an empty column set still counts (it records
+/// the relation's existence as an external).
+fn inferred_delta(
+    snapshot: &BTreeMap<String, BTreeSet<String>>,
+    local: BTreeMap<String, BTreeSet<String>>,
+) -> BTreeMap<String, BTreeSet<String>> {
+    let mut delta = BTreeMap::new();
+    for (table, columns) in local {
+        match snapshot.get(&table) {
+            None => {
+                delta.insert(table, columns);
+            }
+            Some(seen) => {
+                let fresh: BTreeSet<String> = columns.difference(seen).cloned().collect();
+                if !fresh.is_empty() {
+                    delta.insert(table, fresh);
+                }
+            }
+        }
+    }
+    delta
+}
+
+/// Strip any schema qualifier and lower-case, mirroring the catalog's
+/// name normalisation.
+fn normalize(name: &str) -> String {
+    name.rsplit('.').next().unwrap_or(name).to_lowercase()
+}

@@ -1,0 +1,175 @@
+//! The parallel extraction scheduler: topological leveling plus a scoped
+//! worker pool.
+//!
+//! Extraction of one view needs the finished lineage of everything it
+//! scans, and nothing else — so a batch of pending views parallelises by
+//! *levels*: level 0 holds views whose dependencies are already settled,
+//! level *n* holds views depending only on earlier levels. Within a level
+//! every extraction is independent; between levels the engine merges
+//! results, which keeps the shared state free of locks (workers only ever
+//! hold shared references to a frozen snapshot).
+//!
+//! Both execution modes run the exact same algorithm — `jobs <= 1` just
+//! skips the thread spawns — so parallel output is byte-identical to
+//! sequential output by construction, which the property tests assert.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Group `nodes` into dependency levels: every node's dependencies (as
+/// given by `deps_of`, already restricted however the caller likes) that
+/// are themselves in `nodes` land in a strictly earlier level. Levels and
+/// the ids inside them come out in deterministic sorted order.
+///
+/// Returns `Err(cycle)` — a path `[a, b, ..., a]` — when the nodes cannot
+/// be levelled because they form a dependency cycle.
+pub fn topo_levels(
+    nodes: &BTreeSet<String>,
+    mut deps_of: impl FnMut(&str) -> BTreeSet<String>,
+) -> Result<Vec<Vec<String>>, Vec<String>> {
+    // Dependencies restricted to the node set, self-edges dropped (a
+    // self-scan degrades to an external in extraction, not a cycle).
+    let deps: BTreeMap<String, BTreeSet<String>> = nodes
+        .iter()
+        .map(|n| {
+            let mut d: BTreeSet<String> =
+                deps_of(n).into_iter().filter(|d| nodes.contains(d)).collect();
+            d.remove(n.as_str());
+            (n.clone(), d)
+        })
+        .collect();
+
+    let mut levels: Vec<Vec<String>> = Vec::new();
+    let mut placed: BTreeSet<String> = BTreeSet::new();
+    let mut remaining: BTreeSet<String> = nodes.clone();
+    while !remaining.is_empty() {
+        let ready: Vec<String> = remaining
+            .iter()
+            .filter(|n| deps[*n].iter().all(|d| placed.contains(d)))
+            .cloned()
+            .collect();
+        if ready.is_empty() {
+            return Err(find_cycle(&remaining, &deps));
+        }
+        for r in &ready {
+            remaining.remove(r);
+            placed.insert(r.clone());
+        }
+        levels.push(ready);
+    }
+    Ok(levels)
+}
+
+/// Walk unresolved dependencies until a node repeats, producing the cycle
+/// path in the `[a, b, ..., a]` shape `LineageError::DependencyCycle`
+/// reports.
+fn find_cycle(
+    remaining: &BTreeSet<String>,
+    deps: &BTreeMap<String, BTreeSet<String>>,
+) -> Vec<String> {
+    let start = remaining.iter().next().expect("remaining is non-empty");
+    let mut path: Vec<String> = vec![start.clone()];
+    loop {
+        let current = path.last().expect("path starts non-empty");
+        let next = deps[current]
+            .iter()
+            .find(|d| remaining.contains(*d))
+            .expect("every stuck node has an unresolved dependency")
+            .clone();
+        if let Some(pos) = path.iter().position(|p| p == &next) {
+            let mut cycle = path.split_off(pos);
+            cycle.push(next);
+            return cycle;
+        }
+        path.push(next);
+    }
+}
+
+/// Run `work` over every id of one level, on up to `jobs` scoped worker
+/// threads, returning `(id, result)` pairs in input order regardless of
+/// completion order. `jobs <= 1` (or a single-item level) runs inline on
+/// the calling thread; both paths produce identical output.
+pub fn run_level<T, F>(ids: &[String], jobs: usize, work: F) -> Vec<(String, T)>
+where
+    T: Send,
+    F: Fn(&str) -> T + Sync,
+{
+    if jobs <= 1 || ids.len() <= 1 {
+        return ids.iter().map(|id| (id.clone(), work(id))).collect();
+    }
+    let workers = jobs.min(ids.len());
+    let chunk_size = ids.len().div_ceil(workers);
+    let work = &work;
+    let mut out = Vec::with_capacity(ids.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ids
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk.iter().map(|id| (id.clone(), work(id))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("extraction worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn levels_respect_dependencies() {
+        let nodes = set(&["a", "b", "c", "d"]);
+        // a <- b <- c, and d independent.
+        let levels = topo_levels(&nodes, |n| match n {
+            "b" => set(&["a"]),
+            "c" => set(&["b"]),
+            _ => BTreeSet::new(),
+        })
+        .unwrap();
+        assert_eq!(levels, vec![vec!["a", "d"], vec!["b"], vec!["c"]]);
+    }
+
+    #[test]
+    fn deps_outside_the_node_set_are_satisfied() {
+        let nodes = set(&["x"]);
+        let levels = topo_levels(&nodes, |_| set(&["already_done"])).unwrap();
+        assert_eq!(levels, vec![vec!["x"]]);
+    }
+
+    #[test]
+    fn self_edges_are_not_cycles() {
+        let nodes = set(&["x"]);
+        let levels = topo_levels(&nodes, |_| set(&["x"])).unwrap();
+        assert_eq!(levels, vec![vec!["x"]]);
+    }
+
+    #[test]
+    fn cycles_are_reported_as_paths() {
+        let nodes = set(&["a", "b", "c"]);
+        let err = topo_levels(&nodes, |n| match n {
+            "a" => set(&["b"]),
+            "b" => set(&["a"]),
+            _ => BTreeSet::new(),
+        })
+        .unwrap_err();
+        assert_eq!(err, vec!["a", "b", "a"]);
+    }
+
+    #[test]
+    fn run_level_orders_results_deterministically() {
+        let ids: Vec<String> = (0..17).map(|i| format!("id_{i:02}")).collect();
+        let sequential = run_level(&ids, 1, |id| id.len());
+        let parallel = run_level(&ids, 4, |id| id.len());
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.len(), 17);
+        assert_eq!(sequential[0].0, "id_00");
+    }
+}

@@ -1,0 +1,87 @@
+//! Session bookkeeping: per-statement ingest receipts and engine-level
+//! counters.
+
+use std::fmt;
+
+/// What the engine did with one ingested statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestAction {
+    /// A new lineage-bearing entry (view, CTAS, INSERT, UPDATE, SELECT).
+    Defined,
+    /// An existing entry was replaced by a different definition; its
+    /// downstream cone is now dirty.
+    Redefined,
+    /// The statement re-defined an entry with byte-identical content;
+    /// nothing was invalidated.
+    Unchanged,
+    /// Plain DDL: the catalog changed (added or replaced a base table).
+    Schema,
+    /// A `DROP` retracted entries and/or catalog schemas.
+    Dropped,
+    /// A statement carrying neither lineage nor schema (e.g. `DELETE`).
+    Skipped,
+}
+
+/// The receipt for one ingested statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StmtId {
+    /// Session-wide statement sequence number (1-based).
+    pub seq: u64,
+    /// The entry id or relation name the statement concerned.
+    pub target: String,
+    /// What the engine did with it.
+    pub action: IngestAction,
+}
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verb = match self.action {
+            IngestAction::Defined => "defined",
+            IngestAction::Redefined => "redefined",
+            IngestAction::Unchanged => "unchanged",
+            IngestAction::Schema => "schema",
+            IngestAction::Dropped => "dropped",
+            IngestAction::Skipped => "skipped",
+        };
+        write!(f, "#{} {} {}", self.seq, verb, self.target)
+    }
+}
+
+/// Counters describing the work a session has done. The extraction
+/// counters are the observable proof of incrementality: redefining one
+/// view on a long log must bump `last_refresh_extractions` by the size of
+/// its downstream cone, not by the size of the log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Statements ingested (including DDL, drops, and skips).
+    pub statements: u64,
+    /// Lineage entries defined (first definitions only).
+    pub defined: u64,
+    /// Entry redefinitions (changed content).
+    pub redefinitions: u64,
+    /// Re-ingests of byte-identical entry definitions (no-ops).
+    pub unchanged: u64,
+    /// Entries and schemas removed by `DROP`.
+    pub drops: u64,
+    /// Total per-query extractions performed over the session's lifetime.
+    pub extractions: u64,
+    /// Extractions performed by the most recent refresh.
+    pub last_refresh_extractions: u64,
+    /// Refreshes that did any work.
+    pub refreshes: u64,
+    /// Parser invocations skipped thanks to the AST cache.
+    pub parse_cache_hits: u64,
+    /// Parser invocations that missed the AST cache.
+    pub parse_cache_misses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stmt_id_displays_compactly() {
+        let id = StmtId { seq: 3, target: "v".into(), action: IngestAction::Redefined };
+        assert_eq!(id.to_string(), "#3 redefined v");
+    }
+}

@@ -1,0 +1,64 @@
+//! An incremental lineage session: ingest a pipeline statement by
+//! statement, query it, redefine one view, and watch the engine
+//! re-extract only that view's downstream cone.
+//!
+//! ```sh
+//! cargo run --example incremental_session
+//! ```
+
+use lineagex::prelude::*;
+
+fn main() -> Result<(), LineageError> {
+    let mut engine = Engine::new();
+
+    // 1. Statements arrive over time, like a service tailing a query log.
+    println!("== ingest (statement at a time) ==");
+    for statement in [
+        "CREATE TABLE customers (cid int, name text, city text)",
+        "CREATE TABLE orders (oid int, cid int, amount int)",
+        "CREATE VIEW enriched AS
+           SELECT c.city AS city, o.amount AS amount
+           FROM customers c JOIN orders o ON c.cid = o.cid",
+        "CREATE VIEW spend AS SELECT city, amount FROM enriched WHERE amount > 100",
+        "CREATE VIEW audit AS SELECT name FROM customers",
+    ] {
+        for receipt in engine.ingest(statement)? {
+            println!("  {receipt}");
+        }
+    }
+
+    // 2. Lineage questions between ingests settle the graph lazily.
+    println!("\n== query ==");
+    let lineage = engine.lineage_of("spend", "amount")?.expect("spend.amount exists");
+    let rendered: Vec<String> = lineage.iter().map(|s| s.to_string()).collect();
+    println!("  spend.amount <- {}", rendered.join(", "));
+    assert!(lineage.contains(&SourceColumn::new("enriched", "amount")));
+    let cold_extractions = engine.stats().extractions;
+    println!("  extractions so far: {cold_extractions} (the full pipeline, once)");
+
+    // 3. Redefine one view. Only its downstream cone — enriched and
+    //    spend, not audit — is re-extracted.
+    println!("\n== redefine `enriched` ==");
+    for receipt in engine.ingest(
+        "CREATE VIEW enriched AS
+           SELECT c.city AS city, o.amount + 0 AS amount
+           FROM customers c JOIN orders o ON c.cid = o.cid",
+    )? {
+        println!("  {receipt}");
+    }
+    let cone: Vec<String> = engine.downstream_cone("enriched").into_iter().collect();
+    println!("  downstream cone: {}", cone.join(", "));
+
+    // 4. Re-query: the graph self-heals, and the counters prove the
+    //    engine did cone-sized work, not log-sized work.
+    let impact = engine.impact_of("orders", "amount")?;
+    println!("\n== re-query ==");
+    println!("  impact of orders.amount: {} column(s)", impact.impacted.len());
+    assert!(impact.contains(&SourceColumn::new("spend", "amount")));
+    let delta = engine.stats().extractions - cold_extractions;
+    println!("  re-extracted {delta} of {} queries (cone only)", engine.graph()?.queries.len());
+    assert_eq!(delta as usize, cone.len());
+    assert_eq!(cone, vec!["enriched".to_string(), "spend".to_string()]);
+
+    Ok(())
+}

@@ -13,6 +13,7 @@
 //! | [`sqlparse`] | `lineagex-sqlparse` | SQL lexer, parser, AST |
 //! | [`catalog`] | `lineagex-catalog` | schemas, binder, simulated database |
 //! | [`core`] | `lineagex-core` | the lineage extraction engine |
+//! | [`engine`] | `lineagex-engine` | incremental session engine, parallel scheduler |
 //! | [`baseline`] | `lineagex-baseline` | SQLLineage-like & LLM-style baselines |
 //! | [`viz`] | `lineagex-viz` | JSON / DOT / interactive HTML output |
 //! | [`datasets`] | `lineagex-datasets` | Example 1, MIMIC-like, generators |
@@ -42,6 +43,7 @@ pub use lineagex_catalog as catalog;
 pub use lineagex_core as core;
 #[cfg(feature = "datasets")]
 pub use lineagex_datasets as datasets;
+pub use lineagex_engine as engine;
 pub use lineagex_sqlparse as sqlparse;
 #[cfg(feature = "viz")]
 pub use lineagex_viz as viz;
@@ -54,6 +56,7 @@ pub mod prelude {
         GraphStats, LineageError, LineageGraph, LineageResult, LineageX, QueryLineage,
         SourceColumn,
     };
+    pub use lineagex_engine::{Engine, EngineOptions, EngineStats, IngestAction, StmtId};
     #[cfg(feature = "viz")]
     pub use lineagex_viz::{to_dot, to_html, to_mermaid, to_output_json};
 }
