@@ -27,6 +27,13 @@ fi
 step "cargo test -q --workspace (tier-1, part 2 + all member crates)"
 cargo test -q --workspace
 
+# The resilience corpus is part of the workspace run above, but gate it
+# explicitly: lenient extraction over tests/corpus/messy_log.sql must
+# keep extracting every well-formed statement and keep the golden
+# diagnostics rendering stable (UPDATE_GOLDEN=1 regenerates).
+step "cargo test -q --test resilience (messy-log corpus + isolation property)"
+cargo test -q --test resilience
+
 # The workspace run above already builds and tests lineagex-engine; the
 # runnable session walkthrough (which asserts cone-sized re-extraction)
 # is the one engine surface it doesn't exercise.

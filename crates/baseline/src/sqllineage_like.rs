@@ -55,9 +55,11 @@ impl SqlLineageLike {
                 }
                 Statement::CreateTable { .. }
                 | Statement::Drop { .. }
-                // The tool family largely ignores DML mutations.
+                // The tool family largely ignores DML mutations and
+                // transaction/EXPLAIN noise.
                 | Statement::Update { .. }
-                | Statement::Delete { .. } => continue,
+                | Statement::Delete { .. }
+                | Statement::Noise(_) => continue,
                 Statement::Insert { table, .. } => {
                     (table.base_name().to_string(), QueryKind::Insert)
                 }
@@ -83,7 +85,8 @@ impl SqlLineageLike {
                 outputs,
                 cref: BTreeSet::new(), // the tool has no referenced-column concept
                 tables,
-                warnings: Vec::new(),
+                diagnostics: Vec::new(),
+                partial: false,
             };
             graph.nodes.insert(
                 id.clone(),

@@ -23,6 +23,8 @@ struct Report {
     statements: usize,
     jobs: usize,
     one_shot_qps: f64,
+    one_shot_lenient_qps: f64,
+    lenient_overhead_pct: f64,
     engine_cold_sequential_qps: f64,
     reextract_sequential_qps: f64,
     reextract_parallel_qps: f64,
@@ -80,8 +82,11 @@ fn main() {
         VIEWS
     );
 
-    // 1. One-shot batch: the paper's pipeline over the whole log.
+    // 1. One-shot batch: the paper's pipeline over the whole log — and
+    // the same run in lenient mode, which must stay within 5% on a clean
+    // log (resilience may not tax the happy path).
     let one_shot = best_of(BATCH_REPS, || LineageX::new().run(&sql).unwrap());
+    let one_shot_lenient = best_of(BATCH_REPS, || LineageX::new().lenient().run(&sql).unwrap());
 
     // 2. Engine cold batch, sequential: ingest (parse) + refresh (extract).
     let cold_seq = best_of(BATCH_REPS, || {
@@ -137,6 +142,9 @@ fn main() {
         statements: workload.statement_count(),
         jobs,
         one_shot_qps: qps(VIEWS, one_shot),
+        one_shot_lenient_qps: qps(VIEWS, one_shot_lenient),
+        lenient_overhead_pct: 100.0
+            * (one_shot_lenient.as_secs_f64() / one_shot.as_secs_f64() - 1.0),
         engine_cold_sequential_qps: qps(VIEWS, cold_seq),
         reextract_sequential_qps: qps(VIEWS, reextract_seq),
         reextract_parallel_qps: qps(VIEWS, reextract_par),
@@ -157,6 +165,13 @@ fn main() {
             (
                 "one-shot batch (LineageX::run)".into(),
                 format!("{:.0} views/s", report.one_shot_qps),
+            ),
+            (
+                "one-shot batch, lenient".into(),
+                format!(
+                    "{:.0} views/s ({:+.1}% vs strict)",
+                    report.one_shot_lenient_qps, report.lenient_overhead_pct
+                ),
             ),
             (
                 "engine cold batch, jobs=1".into(),
@@ -191,6 +206,12 @@ fn main() {
     assert!(
         report.incremental.speedup > 1.0,
         "incremental re-ingest must beat re-extracting the whole log"
+    );
+    assert!(
+        report.lenient_overhead_pct < 5.0,
+        "lenient mode must stay within 5% of strict on a clean log \
+         (measured {:+.1}%)",
+        report.lenient_overhead_pct
     );
 
     let json = serde_json::to_string_pretty(&report).expect("report serialises");

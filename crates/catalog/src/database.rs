@@ -57,6 +57,9 @@ impl SimulatedDatabase {
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<Option<BoundQuery>, DbError> {
         match stmt {
             Statement::Query(q) => Ok(Some(Binder::new(&self.catalog).bind(q)?)),
+            // Log noise (EXPLAIN, SET, transaction control, ANALYZE)
+            // neither changes the catalog nor produces rows.
+            Statement::Noise(_) => Ok(None),
             Statement::CreateView { name, columns, query, materialized, or_replace, .. } => {
                 let bound = Binder::new(&self.catalog).bind(query)?;
                 let view_name = name.base_name().to_string();

@@ -7,8 +7,9 @@ pub const USAGE: &str = "\
 usage:
   lineagex extract  <queries.sql> [--ddl <schema.sql>] [--json <out>] [--dot <out>]
                     [--html <out>] [--mermaid <out>] [--trace] [--ambiguity all|first|error]
-                    [--no-auto-inference] [--jobs <N>]
-  lineagex session  [--ddl <schema.sql>] [--jobs <N>] [--ambiguity all|first|error]
+                    [--no-auto-inference] [--jobs <N>] [--lenient]
+                    [--diagnostics-json <out>]
+  lineagex session  [--ddl <schema.sql>] [--jobs <N>] [--ambiguity all|first|error] [--lenient]
                     (incremental REPL: statements from stdin, \\commands for queries)
   lineagex impact   <table.column> <queries.sql> [--ddl <schema.sql>]
   lineagex path     <from.column> <to.column> <queries.sql> [--ddl <schema.sql>]
@@ -29,6 +30,9 @@ pub struct CommonOptions {
     /// Worker threads for batch extraction (0/1 = sequential; > 1 routes
     /// through the incremental engine's parallel scheduler).
     pub jobs: usize,
+    /// Lenient mode: corrupt statements, duplicate ids, and unresolvable
+    /// columns degrade into diagnostics instead of aborting.
+    pub lenient: bool,
 }
 
 /// A parsed command line.
@@ -46,6 +50,9 @@ pub enum Command {
         html: Option<String>,
         /// `--mermaid` output path.
         mermaid: Option<String>,
+        /// `--diagnostics-json` output path: every diagnostic of the run
+        /// as structured JSON (code, severity, span, excerpt).
+        diagnostics_json: Option<String>,
         /// Shared options.
         common: CommonOptions,
     },
@@ -99,6 +106,7 @@ impl Command {
         let mut dot = None;
         let mut html = None;
         let mut mermaid = None;
+        let mut diagnostics_json = None;
 
         let mut iter = argv.iter().peekable();
         let Some(sub) = iter.next() else {
@@ -112,7 +120,11 @@ impl Command {
                 "--dot" => dot = Some(take_value(&mut iter, "--dot")?),
                 "--html" => html = Some(take_value(&mut iter, "--html")?),
                 "--mermaid" => mermaid = Some(take_value(&mut iter, "--mermaid")?),
+                "--diagnostics-json" => {
+                    diagnostics_json = Some(take_value(&mut iter, "--diagnostics-json")?)
+                }
                 "--trace" => common.trace = true,
+                "--lenient" => common.lenient = true,
                 "--no-auto-inference" => common.no_auto_inference = true,
                 "--jobs" => {
                     let value = take_value(&mut iter, "--jobs")?;
@@ -142,7 +154,7 @@ impl Command {
         match sub.as_str() {
             "extract" => {
                 let [file] = take_positional::<1>(positional, "extract <queries.sql>")?;
-                Ok(Command::Extract { file, json, dot, html, mermaid, common })
+                Ok(Command::Extract { file, json, dot, html, mermaid, diagnostics_json, common })
             }
             "impact" => {
                 let [column, file] =
@@ -223,7 +235,7 @@ mod tests {
         ])
         .unwrap();
         match cmd {
-            Command::Extract { file, json, dot, html, mermaid, common } => {
+            Command::Extract { file, json, dot, html, mermaid, common, .. } => {
                 assert_eq!(file, "q.sql");
                 assert!(mermaid.is_none());
                 assert_eq!(json.as_deref(), Some("o.json"));
@@ -287,6 +299,24 @@ mod tests {
         }
         assert!(parse(&["extract", "q.sql", "--jobs", "lots"]).is_err());
         assert!(parse(&["session", "stray.sql"]).is_err());
+    }
+
+    #[test]
+    fn parses_lenient_and_diagnostics_json() {
+        let cmd =
+            parse(&["extract", "q.sql", "--lenient", "--diagnostics-json", "diags.json"]).unwrap();
+        match cmd {
+            Command::Extract { diagnostics_json, common, .. } => {
+                assert!(common.lenient);
+                assert_eq!(diagnostics_json.as_deref(), Some("diags.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&["session", "--lenient"]).unwrap();
+        match cmd {
+            Command::Session { common } => assert!(common.lenient),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

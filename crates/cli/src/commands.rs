@@ -4,7 +4,9 @@ use crate::args::{parse_column, Command, CommonOptions};
 use lineagex_baseline::metrics::{graph_contribute_edges, score_edges};
 use lineagex_baseline::SqlLineageLike;
 use lineagex_catalog::{Catalog, SimulatedDatabase};
-use lineagex_core::{path_between, ExtractOptions, LineageResult, LineageX, SourceColumn};
+use lineagex_core::{
+    path_between, Diagnostic, ExtractOptions, LineageResult, LineageX, SourceColumn,
+};
 use lineagex_engine::{Engine, EngineOptions};
 use lineagex_viz::{to_dot, to_html, to_mermaid, to_output_json};
 use std::io::{BufRead, Write};
@@ -14,9 +16,19 @@ type CmdResult = Result<(), String>;
 /// Execute a parsed command, writing human-readable output to `out`.
 pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
     match command {
-        Command::Extract { file, json, dot, html, mermaid, common } => {
-            let result = run_extraction(file, common)?;
-            summarize(&result, out)?;
+        Command::Extract { file, json, dot, html, mermaid, diagnostics_json, common } => {
+            let (result, sql) = run_extraction(file, common)?;
+            summarize(&result, file, &sql, out)?;
+            if let Some(path) = diagnostics_json {
+                let diagnostics: Vec<Diagnostic> = collect_diagnostics(&result)
+                    .into_iter()
+                    .map(|d| d.with_excerpt_from(&sql))
+                    .collect();
+                let rendered =
+                    serde_json::to_string_pretty(&diagnostics).map_err(|e| e.to_string())?;
+                write_file(path, &(rendered + "\n"))?;
+                wln(out, &format!("wrote {path}"))?;
+            }
             if let Some(path) = json {
                 write_file(path, &to_output_json(&result.graph))?;
                 wln(out, &format!("wrote {path}"))?;
@@ -41,7 +53,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
             Ok(())
         }
         Command::Impact { column, file, common } => {
-            let result = run_extraction(file, common)?;
+            let (result, _) = run_extraction(file, common)?;
             let origin = SourceColumn::new(&column.0, &column.1);
             if !result.graph.has_column(&origin) {
                 return Err(format!("column {origin} does not exist in the lineage graph"));
@@ -58,7 +70,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
             Ok(())
         }
         Command::Path { from, to, file, common } => {
-            let result = run_extraction(file, common)?;
+            let (result, _) = run_extraction(file, common)?;
             let from = SourceColumn::new(&from.0, &from.1);
             let to = SourceColumn::new(&to.0, &to.1);
             match path_between(&result.graph, &from, &to) {
@@ -128,9 +140,23 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
     }
 }
 
-fn run_extraction(file: &str, common: &CommonOptions) -> Result<LineageResult, String> {
+fn run_extraction(file: &str, common: &CommonOptions) -> Result<(LineageResult, String), String> {
     let sql = read_file(file)?;
-    run_extraction_sql(&sql, common)
+    let result = run_extraction_sql(&sql, common)?;
+    Ok((result, sql))
+}
+
+/// All of a run's diagnostics in reading order: run-level first (parse
+/// errors, skips, duplicates), then per-query extraction diagnostics in
+/// processing order.
+fn collect_diagnostics(result: &LineageResult) -> Vec<Diagnostic> {
+    let mut out = result.diagnostics.clone();
+    for id in &result.graph.order {
+        if let Some(q) = result.graph.queries.get(id) {
+            out.extend(q.diagnostics.iter().cloned());
+        }
+    }
+    out
 }
 
 fn run_extraction_sql(sql: &str, common: &CommonOptions) -> Result<LineageResult, String> {
@@ -141,28 +167,65 @@ fn run_extraction_sql(sql: &str, common: &CommonOptions) -> Result<LineageResult
     // would redefine).
     if common.jobs > 1 {
         let mut engine = build_engine(common)?;
-        let statements = lineagex_sqlparse::parse_sql(sql).map_err(|e| e.to_string())?;
-        let mut skipped = Vec::new();
+        // The shim parses the whole file once, so statement spans — and
+        // therefore every diagnostic the engine attaches — stay relative
+        // to the original file, exactly like the sequential path.
+        let mut diagnostics = Vec::new();
+        let statements = if common.lenient {
+            let script = lineagex_sqlparse::parse_statements_recovering(sql);
+            diagnostics.extend(script.errors.iter().map(|e| {
+                Diagnostic::new(lineagex_core::DiagnosticCode::ParseError, e.message.clone())
+                    .with_span(e.span)
+                    .with_excerpt_from(sql)
+            }));
+            script.statements
+        } else {
+            lineagex_sqlparse::parse_sql_spanned(sql).map_err(|e| e.to_string())?
+        };
         for stmt in statements {
-            if let lineagex_sqlparse::ast::Statement::Drop { ref names, .. } = stmt {
+            if let lineagex_sqlparse::ast::Statement::Drop { ref names, .. } = stmt.statement {
                 let what: Vec<String> = names.iter().map(|n| n.base_name().to_string()).collect();
-                skipped.push(lineagex_core::Warning::SkippedStatement {
-                    what: format!("DROP {}", what.join(", ")),
-                });
+                diagnostics.push(
+                    Diagnostic::new(
+                        lineagex_core::DiagnosticCode::SkippedStatement,
+                        format!("skipped DROP {}", what.join(", ")),
+                    )
+                    .with_span(stmt.span),
+                );
                 continue;
             }
-            for receipt in engine.ingest(&stmt.to_string()).map_err(|e| e.to_string())? {
-                if matches!(
+            for receipt in engine.ingest_parsed(vec![stmt], sql) {
+                let redefined = matches!(
                     receipt.action,
                     lineagex_engine::IngestAction::Redefined
                         | lineagex_engine::IngestAction::Unchanged
-                ) {
+                );
+                if redefined && !common.lenient {
                     return Err(format!("duplicate query id {:?}", receipt.target));
+                }
+                // Receipts carry noise/skip/duplicate diagnostics in
+                // statement order, matching the batch dictionary's.
+                diagnostics.extend(receipt.diagnostics.iter().cloned());
+                if receipt.action == lineagex_engine::IngestAction::Unchanged {
+                    // A byte-identical duplicate is a no-op to the
+                    // session but still a duplicate in a one-shot log.
+                    diagnostics.push(
+                        Diagnostic::new(
+                            lineagex_core::DiagnosticCode::DuplicateQueryId,
+                            format!(
+                                "duplicate query identifier {:?}: last definition wins",
+                                receipt.target
+                            ),
+                        )
+                        .for_statement(&receipt.target),
+                    );
                 }
             }
         }
         let mut result = engine.result().map_err(|e| e.to_string())?;
-        result.warnings.extend(skipped);
+        // The shim assembled the same findings in log order (parse
+        // errors first, then per-statement events); use that ordering.
+        result.diagnostics = diagnostics;
         return Ok(result);
     }
     let mut builder = LineageX::new().ambiguity(common.ambiguity);
@@ -176,6 +239,9 @@ fn run_extraction_sql(sql: &str, common: &CommonOptions) -> Result<LineageResult
     if common.no_auto_inference {
         builder = builder.without_auto_inference();
     }
+    if common.lenient {
+        builder = builder.lenient();
+    }
     builder.run(sql).map_err(|e| e.to_string())
 }
 
@@ -186,6 +252,9 @@ fn build_engine(common: &CommonOptions) -> Result<Engine, String> {
     }
     if common.no_auto_inference {
         extract = extract.without_auto_inference();
+    }
+    if common.lenient {
+        extract = extract.with_lenient();
     }
     let options = EngineOptions { jobs: common.jobs.max(1), extract, ..EngineOptions::default() };
     let mut engine = Engine::with_options(options);
@@ -234,17 +303,45 @@ pub fn run_session(
     Ok(())
 }
 
-/// Ingest one buffered script, reporting receipts and re-extraction work.
+/// Ingest one buffered script, reporting receipts (with their rendered
+/// diagnostics) and re-extraction work.
 fn session_ingest(engine: &mut Engine, sql: &str, out: &mut dyn Write) -> CmdResult {
     match engine.ingest(sql) {
         Err(error) => wln(out, &format!("error: {error}")),
         Ok(receipts) => {
+            // Receipt diagnostics carry spans into the trimmed ingest
+            // buffer; render them against it caret-style.
+            let source = sql.trim();
             for receipt in &receipts {
                 wln(out, &format!("  {receipt}"))?;
+                for diagnostic in &receipt.diagnostics {
+                    for line in diagnostic.render("stdin", source).lines() {
+                        wln(out, &format!("    {line}"))?;
+                    }
+                }
             }
             match engine.refresh() {
                 Ok(0) => Ok(()),
-                Ok(n) => wln(out, &format!("  re-extracted {n} quer{}", plural_y(n))),
+                Ok(n) => {
+                    wln(out, &format!("  re-extracted {n} quer{}", plural_y(n)))?;
+                    // Surface only the *fresh* extraction diagnostics —
+                    // what this refresh (re-)extracted — not the whole
+                    // session's accumulated history.
+                    let fresh = engine.last_refresh_ids().to_vec();
+                    let graph = engine.graph().map_err(|e| e.to_string())?;
+                    let mut rendered = Vec::new();
+                    for id in &fresh {
+                        if let Some(q) = graph.queries.get(id) {
+                            for diagnostic in &q.diagnostics {
+                                rendered.push(diagnostic.to_string());
+                            }
+                        }
+                    }
+                    for line in rendered {
+                        wln(out, &format!("    {line}"))?;
+                    }
+                    Ok(())
+                }
                 Err(error) => wln(out, &format!("error: {error} (entry stays pending)")),
             }
         }
@@ -269,6 +366,13 @@ fn session_meta(engine: &mut Engine, command: &str, out: &mut dyn Write) -> Resu
         ("\\stats", _) => {
             let stats = engine.stats().clone();
             wln(out, &format!("  statements ingested : {}", stats.statements))?;
+            wln(
+                out,
+                &format!(
+                    "  diagnostics         : {} live, {} parse failure(s)",
+                    stats.diagnostics, stats.parse_failures
+                ),
+            )?;
             wln(
                 out,
                 &format!(
@@ -355,7 +459,7 @@ fn plural_y(n: usize) -> &'static str {
     }
 }
 
-fn summarize(result: &LineageResult, out: &mut dyn Write) -> CmdResult {
+fn summarize(result: &LineageResult, file: &str, sql: &str, out: &mut dyn Write) -> CmdResult {
     wln(out, &format!("queries processed : {}", result.graph.queries.len()))?;
     wln(out, &format!("processing order  : {:?}", result.graph.order))?;
     if !result.deferrals.is_empty() {
@@ -364,15 +468,20 @@ fn summarize(result: &LineageResult, out: &mut dyn Write) -> CmdResult {
     wln(out, &format!("relations in graph: {}", result.graph.nodes.len()))?;
     wln(out, &format!("column nodes      : {}", result.graph.column_count()))?;
     wln(out, &format!("column edges      : {}", result.graph.all_edges().len()))?;
-    let mut warning_count = result.warnings.len();
-    for q in result.graph.queries.values() {
-        warning_count += q.warnings.len();
+    let partial: Vec<&str> = result
+        .graph
+        .order
+        .iter()
+        .filter(|id| result.graph.queries.get(*id).is_some_and(|q| q.partial))
+        .map(String::as_str)
+        .collect();
+    if !partial.is_empty() {
+        wln(out, &format!("partial lineage   : {partial:?}"))?;
     }
-    wln(out, &format!("warnings          : {warning_count}"))?;
-    for q in result.graph.queries.values() {
-        for w in &q.warnings {
-            wln(out, &format!("  [{}] {w:?}", q.id))?;
-        }
+    let diagnostics = collect_diagnostics(result);
+    wln(out, &format!("diagnostics       : {}", diagnostics.len()))?;
+    for diagnostic in &diagnostics {
+        wln(out, &diagnostic.render(file, sql))?;
     }
     Ok(())
 }
@@ -516,8 +625,8 @@ mod tests {
         par_result.unwrap();
         assert!(seq_text.contains("queries processed : 1"), "{seq_text}");
         assert!(par_text.contains("queries processed : 1"), "{par_text}");
-        assert!(seq_text.contains("warnings          : 1"), "{seq_text}");
-        assert!(par_text.contains("warnings          : 1"), "{par_text}");
+        assert!(seq_text.contains("diagnostics       : 1"), "{seq_text}");
+        assert!(par_text.contains("diagnostics       : 1"), "{par_text}");
         // A duplicate query id errors in both modes.
         let dup =
             write_temp("jobs_dup.sql", "CREATE VIEW v AS SELECT 1; CREATE VIEW v AS SELECT 2;");
@@ -584,6 +693,73 @@ mod tests {
         let common = CommonOptions { ddl: Some(ddl), ..CommonOptions::default() };
         let text = run_session_script("CREATE VIEW v AS SELECT * FROM web;\n\\tables\n", &common);
         assert!(text.contains("v (View): cid, page"), "{text}");
+    }
+
+    fn messy_log() -> &'static str {
+        "CREATE TABLE web (cid int, page text);\n\
+         SELECT FROM oops;\n\
+         CREATE VIEW v AS SELECT page FROM web;\n\
+         CREATE VIEW v AS SELECT cid FROM web;\n"
+    }
+
+    #[test]
+    fn strict_extract_fails_on_messy_log() {
+        let file = write_temp("messy_strict.sql", messy_log());
+        let cmd = Command::parse(&["extract".to_string(), file]).unwrap();
+        let (result, _) = execute_to_string(&cmd);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn lenient_extract_renders_caret_diagnostics() {
+        let file = write_temp("messy_lenient.sql", messy_log());
+        let cmd = Command::parse(&["extract".to_string(), file.clone(), "--lenient".to_string()])
+            .unwrap();
+        let (result, text) = execute_to_string(&cmd);
+        result.unwrap();
+        assert!(text.contains("queries processed : 1"), "{text}");
+        // The parse error points at its line with a source excerpt.
+        assert!(text.contains(&format!("{file}:2:8: error[parse-error]:")), "{text}");
+        assert!(text.contains("SELECT FROM oops;"), "{text}");
+        assert!(text.lines().any(|l| l.trim_start().starts_with('^')), "{text}");
+        // The duplicate resolved last-definition-wins.
+        assert!(text.contains("duplicate-query-id"), "{text}");
+    }
+
+    #[test]
+    fn diagnostics_json_dumps_structured_findings() {
+        let file = write_temp("messy_diag.sql", messy_log());
+        let diag = write_temp("messy_diag.json", "");
+        let cmd = Command::parse(&[
+            "extract".to_string(),
+            file,
+            "--lenient".to_string(),
+            "--diagnostics-json".to_string(),
+            diag.clone(),
+        ])
+        .unwrap();
+        execute_to_string(&cmd).0.unwrap();
+        let written = std::fs::read_to_string(&diag).unwrap();
+        assert!(written.contains("\"code\":"), "{written}");
+        assert!(written.contains("parse-error"), "{written}");
+        assert!(written.contains("\"line\":"), "{written}");
+        assert!(written.contains("\"excerpt\":"), "{written}");
+    }
+
+    #[test]
+    fn lenient_session_survives_corrupt_statements() {
+        let common = CommonOptions { lenient: true, ..CommonOptions::default() };
+        let text = run_session_script(
+            "CREATE TABLE t (a int);\n\
+             SELECT FROM nope;\n\
+             CREATE VIEW v AS SELECT a FROM t;\n\
+             \\stats\n\\q\n",
+            &common,
+        );
+        assert!(text.contains("failed <unparsable>"), "{text}");
+        assert!(text.contains("error[parse-error]"), "{text}");
+        assert!(text.contains("defined v"), "{text}");
+        assert!(text.contains("parse failure(s)"), "{text}");
     }
 
     #[test]

@@ -64,9 +64,19 @@ impl LineageX {
         self
     }
 
+    /// Enable lenient mode: unparsable statements, duplicate ids,
+    /// unresolvable columns, and dependency cycles degrade into
+    /// span-tagged [`crate::Diagnostic`]s (the affected lineage is marked
+    /// partial) instead of aborting the run — extraction over query logs
+    /// *as they are*, per the paper's §III promise.
+    pub fn lenient(mut self) -> Self {
+        self.options.lenient = true;
+        self
+    }
+
     /// Run over a `;`-separated SQL script (query-log style).
     pub fn run(&self, sql: &str) -> Result<LineageResult, LineageError> {
-        let qd = QueryDict::from_sql(sql)?;
+        let qd = QueryDict::from_sql_with(sql, self.options.lenient)?;
         InferenceEngine::new(qd, self.catalog.clone(), self.options.clone()).run()
     }
 
@@ -75,9 +85,16 @@ impl LineageX {
     where
         I: IntoIterator<Item = (&'a str, &'a str)>,
     {
-        let qd = QueryDict::from_named_sources(sources)?;
+        let qd = QueryDict::from_named_sources_with(sources, self.options.lenient)?;
         InferenceEngine::new(qd, self.catalog.clone(), self.options.clone()).run()
     }
+}
+
+/// One-call lenient convenience: like [`lineagex`], but messy logs —
+/// syntax errors, duplicate ids, noise statements — degrade into
+/// diagnostics instead of errors.
+pub fn lineagex_lenient(sql: &str) -> Result<LineageResult, LineageError> {
+    LineageX::new().lenient().run(sql)
 }
 
 /// One-call convenience: extract a lineage graph from a SQL script with

@@ -89,7 +89,7 @@ impl ExplainPathExtractor {
             traces: BTreeMap::new(),
             deferrals: self.deferrals,
             inferred: BTreeMap::new(),
-            warnings: self.qd.warnings,
+            diagnostics: self.qd.diagnostics,
         })
     }
 
@@ -167,7 +167,8 @@ impl ExplainPathExtractor {
             outputs,
             cref,
             tables: bound.tables,
-            warnings: Vec::new(),
+            diagnostics: Vec::new(),
+            partial: false,
         })
     }
 

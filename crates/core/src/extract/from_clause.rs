@@ -2,10 +2,12 @@
 //! subqueries, and join constraints.
 
 use super::{rename_outputs, Extractor, Relation, Scope};
+use crate::diagnostics::{Diagnostic, DiagnosticCode};
 use crate::error::LineageError;
-use crate::model::{OutputColumn, SourceColumn, Warning};
+use crate::model::{OutputColumn, SourceColumn};
 use crate::trace::Rule;
 use lineagex_sqlparse::ast::{JoinConstraint, TableFactor, TableWithJoins};
+use lineagex_sqlparse::Span;
 use std::collections::BTreeSet;
 
 impl Extractor<'_> {
@@ -60,6 +62,7 @@ impl Extractor<'_> {
                     for col in cols {
                         refs.extend(self.resolve_shared_column(
                             &col.value,
+                            Some(col.span),
                             &acc[chain_start..],
                             split - chain_start,
                         )?);
@@ -72,6 +75,7 @@ impl Extractor<'_> {
                     for col in shared {
                         refs.extend(self.resolve_shared_column(
                             &col,
+                            None,
                             &acc[chain_start..],
                             split - chain_start,
                         )?);
@@ -187,12 +191,19 @@ impl Extractor<'_> {
                 self.tables.insert(base.clone());
                 if !self.inferred.contains_key(&base) {
                     self.inferred.insert(base.clone(), BTreeSet::new());
-                    self.warnings.push(Warning::UnknownRelation {
-                        query: self.query_id.clone(),
-                        relation: base.clone(),
-                    });
+                    self.diagnostics.push(
+                        Diagnostic::new(
+                            DiagnosticCode::UnknownRelation,
+                            format!(
+                                "relation {base} is not defined in the log or catalog; \
+                                 inferring its schema from usage"
+                            ),
+                        )
+                        .for_statement(&self.query_id)
+                        .with_span(name.span()),
+                    );
                 }
-                let rel = Relation::open(binding, base);
+                let rel = Relation::open(binding, base).with_span(name.span());
                 self.trace_step(
                     Rule::FromTable,
                     format!("scan external {}", rel.name),
@@ -240,6 +251,7 @@ impl Extractor<'_> {
     fn resolve_shared_column(
         &mut self,
         column: &str,
+        span: Option<Span>,
         chain: &[Relation],
         split: usize,
     ) -> Result<BTreeSet<SourceColumn>, LineageError> {
@@ -256,17 +268,18 @@ impl Extractor<'_> {
             }
         }
         if !found && inferable.is_empty() {
-            return Err(LineageError::ColumnNotFound {
-                query: self.query_id.clone(),
-                column: column.to_string(),
-                relation: None,
-            });
+            let column = column.to_string();
+            return self.unresolved(
+                format!("column \"{column}\" does not exist"),
+                span.unwrap_or_default(),
+                || LineageError::ColumnNotFound { query: String::new(), column, relation: None },
+            );
         }
         if !found || split < chain.len() {
             // A USING column must exist on both sides; attribute it to any
             // open relation as an inferred column.
             for name in inferable {
-                out.extend(self.infer_column(&name, column));
+                out.extend(self.infer_column(&name, column, span));
             }
         }
         Ok(out)

@@ -22,8 +22,9 @@ pub(crate) mod resolve;
 pub(crate) mod scope;
 pub(crate) mod select;
 
+use crate::diagnostics::Diagnostic;
 use crate::error::LineageError;
-use crate::model::{OutputColumn, QueryLineage, SourceColumn, Warning};
+use crate::model::{OutputColumn, QueryLineage, SourceColumn};
 use crate::options::ExtractOptions;
 use crate::trace::{Rule, TraceLog};
 use lineagex_catalog::Catalog;
@@ -59,8 +60,10 @@ pub(crate) struct Extractor<'e> {
     pub tables: BTreeSet<String>,
     /// `M_CTE`: the CTE stack.
     pub ctes: Vec<CteInfo>,
-    /// Non-fatal findings.
-    pub warnings: Vec<Warning>,
+    /// Non-fatal findings, span-tagged where the source location is known.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Whether lenient mode degraded part of this query's lineage.
+    pub partial: bool,
     /// Optional traversal trace (Fig. 4).
     pub trace: Option<TraceLog>,
 }
@@ -86,7 +89,8 @@ impl<'e> Extractor<'e> {
             cref: BTreeSet::new(),
             tables: BTreeSet::new(),
             ctes: Vec::new(),
-            warnings: Vec::new(),
+            diagnostics: Vec::new(),
+            partial: false,
             trace,
         }
     }

@@ -1,12 +1,21 @@
 //! Column and expression resolution with ambiguity handling and
 //! usage-based schema inference (the paper's second challenge).
+//!
+//! In lenient mode ([`crate::ExtractOptions::lenient`]) a reference that
+//! strict mode would reject — an unknown qualifier, a column no relation
+//! in scope exposes — degrades into a span-tagged
+//! [`DiagnosticCode::UnresolvedColumn`] diagnostic: the reference
+//! contributes no sources, the query is marked partial, and extraction of
+//! everything else continues.
 
 use super::{Extractor, Scope};
+use crate::diagnostics::{Diagnostic, DiagnosticCode};
 use crate::error::LineageError;
-use crate::model::{SourceColumn, Warning};
+use crate::model::SourceColumn;
 use crate::options::AmbiguityPolicy;
 use lineagex_sqlparse::ast::visit::{ColumnRef, ExprRefs};
 use lineagex_sqlparse::ast::Expr;
+use lineagex_sqlparse::Span;
 use std::collections::BTreeSet;
 
 impl Extractor<'_> {
@@ -28,7 +37,11 @@ impl Extractor<'_> {
             out.extend(self.resolve_column(col, scope)?);
         }
         for wildcard in &refs.qualified_wildcards {
-            out.extend(self.resolve_relation_wildcard(wildcard.base_name(), scope)?);
+            out.extend(self.resolve_relation_wildcard(
+                wildcard.base_name(),
+                wildcard.span(),
+                scope,
+            )?);
         }
         for subquery in &refs.subqueries {
             let outputs = self.extract_query(subquery, scope)?;
@@ -43,20 +56,29 @@ impl Extractor<'_> {
     pub(crate) fn resolve_relation_wildcard(
         &mut self,
         binding: &str,
+        span: Span,
         scope: Option<&Scope<'_>>,
     ) -> Result<BTreeSet<SourceColumn>, LineageError> {
         let Some(rel) = scope.and_then(|s| s.find_binding(binding)) else {
-            return Err(LineageError::UnknownQualifier {
-                query: self.query_id.clone(),
-                qualifier: binding.to_string(),
-            });
+            return self.unresolved(
+                format!("missing FROM-clause entry for \"{binding}\""),
+                span,
+                || LineageError::UnknownQualifier {
+                    query: String::new(),
+                    qualifier: binding.to_string(),
+                },
+            );
         };
         if rel.open {
             let name = rel.name.clone();
-            self.warnings.push(Warning::UnresolvedWildcard {
-                query: self.query_id.clone(),
-                relation: name.clone(),
-            });
+            self.diagnostics.push(
+                Diagnostic::new(
+                    DiagnosticCode::UnresolvedWildcard,
+                    format!("cannot fully expand {binding}.* over schema-less relation {name}"),
+                )
+                .for_statement(&self.query_id)
+                .with_span(span),
+            );
             let cols = self.inferred.get(&name).cloned().unwrap_or_default();
             return Ok(cols.iter().map(|c| SourceColumn::new(&name, c)).collect());
         }
@@ -75,9 +97,10 @@ impl Extractor<'_> {
         scope: Option<&Scope<'_>>,
     ) -> Result<BTreeSet<SourceColumn>, LineageError> {
         let column = col.column.value.as_str();
+        let span = col.qualifier.iter().fold(col.column.span, |acc, part| acc.union(&part.span));
         match col.table() {
-            Some(qualifier) => self.resolve_qualified(qualifier, column, scope),
-            None => self.resolve_unqualified(column, scope),
+            Some(qualifier) => self.resolve_qualified(qualifier, column, span, scope),
+            None => self.resolve_unqualified(column, span, scope),
         }
     }
 
@@ -85,31 +108,40 @@ impl Extractor<'_> {
         &mut self,
         qualifier: &str,
         column: &str,
+        span: Span,
         scope: Option<&Scope<'_>>,
     ) -> Result<BTreeSet<SourceColumn>, LineageError> {
         let Some(rel) = scope.and_then(|s| s.find_binding(qualifier)) else {
-            return Err(LineageError::UnknownQualifier {
-                query: self.query_id.clone(),
-                qualifier: qualifier.to_string(),
-            });
+            let qualifier = qualifier.to_string();
+            return self.unresolved(
+                format!("missing FROM-clause entry for \"{qualifier}\""),
+                span,
+                || LineageError::UnknownQualifier { query: String::new(), qualifier },
+            );
         };
         if rel.open {
             let name = rel.name.clone();
-            return Ok(self.infer_column(&name, column));
+            return Ok(self.infer_column(&name, column, Some(span)));
         }
         match rel.sources_of(column) {
             Some(sources) => Ok(sources.clone()),
-            None => Err(LineageError::ColumnNotFound {
-                query: self.query_id.clone(),
-                column: column.to_string(),
-                relation: Some(qualifier.to_string()),
-            }),
+            None => {
+                let (qualifier, column) = (qualifier.to_string(), column.to_string());
+                self.unresolved(format!("column {qualifier}.{column} does not exist"), span, || {
+                    LineageError::ColumnNotFound {
+                        query: String::new(),
+                        column,
+                        relation: Some(qualifier),
+                    }
+                })
+            }
         }
     }
 
     fn resolve_unqualified(
         &mut self,
         column: &str,
+        span: Span,
         scope: Option<&Scope<'_>>,
     ) -> Result<BTreeSet<SourceColumn>, LineageError> {
         let mut current = scope;
@@ -144,24 +176,46 @@ impl Extractor<'_> {
                     // per the ambiguity policy.
                     match open_candidates.len() {
                         0 => current = s.parent,
-                        1 => return Ok(self.infer_column(&open_candidates[0], column)),
-                        _ => return self.attribute_ambiguous_open(column, open_candidates),
+                        1 => return Ok(self.infer_column(&open_candidates[0], column, Some(span))),
+                        _ => return self.attribute_ambiguous_open(column, span, open_candidates),
                     }
                 }
                 1 => return Ok(matches.pop().expect("one match").1),
-                _ => return self.attribute_ambiguous(column, matches),
+                _ => return self.attribute_ambiguous(column, span, matches),
             }
         }
-        Err(LineageError::ColumnNotFound {
-            query: self.query_id.clone(),
-            column: column.to_string(),
-            relation: None,
+        let column = column.to_string();
+        self.unresolved(format!("column \"{column}\" does not exist"), span, || {
+            LineageError::ColumnNotFound { query: String::new(), column, relation: None }
         })
+    }
+
+    /// The shared strict/lenient fork for a reference nothing in scope can
+    /// own: strict raises `make_error` (with the query id filled in),
+    /// lenient records an [`DiagnosticCode::UnresolvedColumn`] diagnostic,
+    /// marks the lineage partial, and resolves to no sources.
+    pub(crate) fn unresolved(
+        &mut self,
+        message: String,
+        span: Span,
+        make_error: impl FnOnce() -> LineageError,
+    ) -> Result<BTreeSet<SourceColumn>, LineageError> {
+        if !self.options.lenient {
+            return Err(fill_query(make_error(), &self.query_id));
+        }
+        self.diagnostics.push(
+            Diagnostic::new(DiagnosticCode::UnresolvedColumn, message)
+                .for_statement(&self.query_id)
+                .with_span(span),
+        );
+        self.partial = true;
+        Ok(BTreeSet::new())
     }
 
     fn attribute_ambiguous(
         &mut self,
         column: &str,
+        span: Span,
         matches: Vec<(String, BTreeSet<SourceColumn>)>,
     ) -> Result<BTreeSet<SourceColumn>, LineageError> {
         let candidates: Vec<String> = matches.iter().map(|(b, _)| b.clone()).collect();
@@ -172,19 +226,11 @@ impl Extractor<'_> {
                 candidates,
             }),
             AmbiguityPolicy::FirstMatch => {
-                self.warnings.push(Warning::AmbiguityResolved {
-                    query: self.query_id.clone(),
-                    column: column.to_string(),
-                    attributed_to: vec![candidates[0].clone()],
-                });
+                self.ambiguity_diagnostic(column, span, &candidates[..1]);
                 Ok(matches.into_iter().next().expect("non-empty").1)
             }
             AmbiguityPolicy::AttributeAll => {
-                self.warnings.push(Warning::AmbiguityResolved {
-                    query: self.query_id.clone(),
-                    column: column.to_string(),
-                    attributed_to: candidates,
-                });
+                self.ambiguity_diagnostic(column, span, &candidates);
                 let mut out = BTreeSet::new();
                 for (_, sources) in matches {
                     out.extend(sources);
@@ -197,6 +243,7 @@ impl Extractor<'_> {
     fn attribute_ambiguous_open(
         &mut self,
         column: &str,
+        span: Span,
         open_names: Vec<String>,
     ) -> Result<BTreeSet<SourceColumn>, LineageError> {
         match self.options.ambiguity {
@@ -206,37 +253,63 @@ impl Extractor<'_> {
                 candidates: open_names,
             }),
             AmbiguityPolicy::FirstMatch => {
-                self.warnings.push(Warning::AmbiguityResolved {
-                    query: self.query_id.clone(),
-                    column: column.to_string(),
-                    attributed_to: vec![open_names[0].clone()],
-                });
-                Ok(self.infer_column(&open_names[0], column))
+                self.ambiguity_diagnostic(column, span, &open_names[..1]);
+                Ok(self.infer_column(&open_names[0], column, Some(span)))
             }
             AmbiguityPolicy::AttributeAll => {
-                self.warnings.push(Warning::AmbiguityResolved {
-                    query: self.query_id.clone(),
-                    column: column.to_string(),
-                    attributed_to: open_names.clone(),
-                });
+                self.ambiguity_diagnostic(column, span, &open_names);
                 let mut out = BTreeSet::new();
-                for name in open_names {
-                    out.extend(self.infer_column(&name, column));
+                for name in &open_names {
+                    out.extend(self.infer_column(name, column, Some(span)));
                 }
                 Ok(out)
             }
         }
     }
 
+    fn ambiguity_diagnostic(&mut self, column: &str, span: Span, attributed_to: &[String]) {
+        self.diagnostics.push(
+            Diagnostic::new(
+                DiagnosticCode::AmbiguityResolved,
+                format!("ambiguous column \"{column}\" attributed to {}", attributed_to.join(", ")),
+            )
+            .for_statement(&self.query_id)
+            .with_span(span),
+        );
+    }
+
     /// Record a usage-inferred column on an external relation.
-    pub(crate) fn infer_column(&mut self, relation: &str, column: &str) -> BTreeSet<SourceColumn> {
+    pub(crate) fn infer_column(
+        &mut self,
+        relation: &str,
+        column: &str,
+        span: Option<Span>,
+    ) -> BTreeSet<SourceColumn> {
         let set = self.inferred.entry(relation.to_string()).or_default();
         if set.insert(column.to_string()) {
-            self.warnings.push(Warning::InferredColumn {
-                relation: relation.to_string(),
-                column: column.to_string(),
-            });
+            let mut diagnostic = Diagnostic::new(
+                DiagnosticCode::InferredColumn,
+                format!("inferred column {relation}.{column} from usage"),
+            )
+            .for_statement(&self.query_id);
+            if let Some(span) = span {
+                diagnostic = diagnostic.with_span(span);
+            }
+            self.diagnostics.push(diagnostic);
         }
         BTreeSet::from([SourceColumn::new(relation, column)])
+    }
+}
+
+/// Stamp the extractor's query id into an error built without one.
+fn fill_query(error: LineageError, id: &str) -> LineageError {
+    match error {
+        LineageError::ColumnNotFound { column, relation, .. } => {
+            LineageError::ColumnNotFound { query: id.to_string(), column, relation }
+        }
+        LineageError::UnknownQualifier { qualifier, .. } => {
+            LineageError::UnknownQualifier { query: id.to_string(), qualifier }
+        }
+        other => other,
     }
 }

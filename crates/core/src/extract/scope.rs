@@ -1,6 +1,7 @@
 //! Extraction-time scopes: the relations visible to a query block.
 
 use crate::model::{OutputColumn, SourceColumn};
+use lineagex_sqlparse::Span;
 use std::collections::BTreeSet;
 
 /// One relation visible in a `FROM` scope.
@@ -19,6 +20,9 @@ pub(crate) struct Relation {
     pub columns: Vec<OutputColumn>,
     /// True when the schema is unknown and inferred from usage.
     pub open: bool,
+    /// Where the relation was bound in the source (the table factor's
+    /// name), so diagnostics about the binding can point at it.
+    pub span: Span,
 }
 
 impl Relation {
@@ -28,12 +32,30 @@ impl Relation {
         name: impl Into<String>,
         columns: Vec<OutputColumn>,
     ) -> Self {
-        Relation { binding: binding.into(), name: name.into(), columns, open: false }
+        Relation {
+            binding: binding.into(),
+            name: name.into(),
+            columns,
+            open: false,
+            span: Span::default(),
+        }
     }
 
     /// An open (schema-less) relation.
     pub fn open(binding: impl Into<String>, name: impl Into<String>) -> Self {
-        Relation { binding: binding.into(), name: name.into(), columns: Vec::new(), open: true }
+        Relation {
+            binding: binding.into(),
+            name: name.into(),
+            columns: Vec::new(),
+            open: true,
+            span: Span::default(),
+        }
+    }
+
+    /// Attach the source span the relation was bound from.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
     }
 
     /// Whether this closed relation exposes `column`.

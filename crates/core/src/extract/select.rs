@@ -2,8 +2,9 @@
 //! `WHERE`/`GROUP BY`/`HAVING`/`DISTINCT ON` feeding `C_ref`.
 
 use super::{Extractor, Relation, Scope};
+use crate::diagnostics::{Diagnostic, DiagnosticCode};
 use crate::error::LineageError;
-use crate::model::{OutputColumn, SourceColumn, Warning};
+use crate::model::{OutputColumn, SourceColumn};
 use crate::trace::Rule;
 use lineagex_sqlparse::ast::visit::output_name;
 use lineagex_sqlparse::ast::{Distinct, Select, SelectItem};
@@ -58,10 +59,13 @@ impl Extractor<'_> {
                 SelectItem::QualifiedWildcard(name) => {
                     let binding = name.base_name();
                     let Some(rel) = scope.find_binding(binding) else {
-                        return Err(LineageError::UnknownQualifier {
-                            query: self.query_id.clone(),
-                            qualifier: binding.to_string(),
-                        });
+                        let qualifier = binding.to_string();
+                        self.unresolved(
+                            format!("missing FROM-clause entry for \"{qualifier}\""),
+                            name.span(),
+                            || LineageError::UnknownQualifier { query: String::new(), qualifier },
+                        )?;
+                        continue;
                     };
                     outputs.extend(self.expand_relation(rel));
                 }
@@ -88,10 +92,14 @@ impl Extractor<'_> {
     /// `table.*` entry here; see the baseline crate).
     fn expand_relation(&mut self, rel: &Relation) -> Vec<OutputColumn> {
         if rel.open {
-            self.warnings.push(Warning::UnresolvedWildcard {
-                query: self.query_id.clone(),
-                relation: rel.name.clone(),
-            });
+            self.diagnostics.push(
+                Diagnostic::new(
+                    DiagnosticCode::UnresolvedWildcard,
+                    format!("cannot fully expand * over schema-less relation {}", rel.name),
+                )
+                .for_statement(&self.query_id)
+                .with_span(rel.span),
+            );
             let cols = self.inferred.get(&rel.name).cloned().unwrap_or_default();
             return cols
                 .iter()

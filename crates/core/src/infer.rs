@@ -12,9 +12,10 @@
 //! is order-independent: shuffling the input statements never changes the
 //! extracted lineage, which the property tests assert.
 
+use crate::diagnostics::{Diagnostic, DiagnosticCode};
 use crate::error::LineageError;
 use crate::extract::{rename_outputs, Extractor};
-use crate::model::{LineageGraph, Node, NodeKind, OutputColumn, QueryKind, QueryLineage, Warning};
+use crate::model::{LineageGraph, Node, NodeKind, OutputColumn, QueryKind, QueryLineage};
 use crate::options::ExtractOptions;
 use crate::preprocess::{QueryDict, QueryEntry};
 use crate::trace::TraceLog;
@@ -34,8 +35,10 @@ pub struct LineageResult {
     pub deferrals: Vec<(String, String)>,
     /// Usage-inferred schemas of external tables.
     pub inferred: BTreeMap<String, BTreeSet<String>>,
-    /// Preprocessing warnings (skipped statements).
-    pub warnings: Vec<Warning>,
+    /// Run-level diagnostics: skipped statements, noise, and — in lenient
+    /// mode — parse errors and duplicate ids. Per-query findings live on
+    /// each [`QueryLineage::diagnostics`].
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// Drives extraction over a whole Query Dictionary.
@@ -105,7 +108,17 @@ impl InferenceEngine {
                     if let Some(pos) = stack.iter().position(|x| x == &dependency) {
                         let mut path: Vec<String> = stack[pos..].to_vec();
                         path.push(dependency);
-                        return Err(LineageError::DependencyCycle(path));
+                        if !self.options.lenient {
+                            return Err(LineageError::DependencyCycle(path));
+                        }
+                        // Lenient: break the cycle by stubbing the entry
+                        // that closed it; the rest of the cycle then
+                        // resolves against the stub (empty outputs).
+                        let stub = cycle_stub(&entry, &path);
+                        self.processed.insert(id.clone(), stub);
+                        self.order.push(id.clone());
+                        stack.pop();
+                        continue;
                     }
                     self.deferrals.push((id, dependency.clone()));
                     stack.push(dependency);
@@ -138,9 +151,46 @@ impl InferenceEngine {
             traces: self.traces,
             deferrals: self.deferrals,
             inferred: self.inferred,
-            warnings: self.qd.warnings,
+            diagnostics: self.qd.diagnostics,
         }
     }
+}
+
+/// The lineage stub recorded for an entry whose extraction lenient mode
+/// had to abandon: declared output names (when any were written) with no
+/// sources, no referenced columns, and a diagnostic explaining why.
+fn failure_stub(entry: &QueryEntry, diagnostic: Diagnostic) -> QueryLineage {
+    QueryLineage {
+        id: entry.id.clone(),
+        kind: entry.kind.clone(),
+        outputs: entry
+            .declared_columns
+            .iter()
+            .map(|name| OutputColumn::new(name, BTreeSet::new()))
+            .collect(),
+        cref: BTreeSet::new(),
+        tables: BTreeSet::new(),
+        diagnostics: vec![diagnostic],
+        partial: true,
+    }
+}
+
+/// The stub breaking a dependency cycle in lenient mode: declared output
+/// names with no sources, marked partial, carrying a
+/// [`DiagnosticCode::DependencyCycle`] diagnostic with the cycle path.
+/// The batch pipeline stubs the entry that *closed* the cycle (the top
+/// of the deferral stack); the session engine mirrors that choice by
+/// stubbing the second-to-last member of the detected cycle path.
+pub fn cycle_stub(entry: &QueryEntry, path: &[String]) -> QueryLineage {
+    failure_stub(
+        entry,
+        Diagnostic::new(
+            DiagnosticCode::DependencyCycle,
+            format!("dependency cycle: {}", path.join(" -> ")),
+        )
+        .for_statement(&entry.id)
+        .with_span(entry.span),
+    )
 }
 
 /// Extract one Query-Dictionary entry in isolation.
@@ -160,13 +210,42 @@ pub fn extract_entry(
     options: &ExtractOptions,
     inferred: &mut BTreeMap<String, BTreeSet<String>>,
 ) -> Result<(QueryLineage, Option<TraceLog>), LineageError> {
+    match try_extract_entry(entry, qd_ids, processed, catalog, options, inferred) {
+        Ok(done) => Ok(done),
+        // The deferral/scheduling machinery consumes this one; it must
+        // propagate even in lenient mode.
+        Err(error @ LineageError::MissingDependency { .. }) => Err(error),
+        Err(error) if options.lenient => {
+            // Anything else degrades to a partial stub so one broken
+            // query cannot poison the batch.
+            let diagnostic = Diagnostic::new(
+                DiagnosticCode::ExtractionFailed,
+                format!("lineage extraction failed: {error}"),
+            )
+            .for_statement(&entry.id)
+            .with_span(entry.span);
+            Ok((failure_stub(entry, diagnostic), None))
+        }
+        Err(error) => Err(error),
+    }
+}
+
+fn try_extract_entry(
+    entry: &QueryEntry,
+    qd_ids: &BTreeSet<String>,
+    processed: &BTreeMap<String, QueryLineage>,
+    catalog: &Catalog,
+    options: &ExtractOptions,
+    inferred: &mut BTreeMap<String, BTreeSet<String>>,
+) -> Result<(QueryLineage, Option<TraceLog>), LineageError> {
     let mut extractor =
         Extractor::new(entry.id.clone(), qd_ids, processed, catalog, options, inferred);
     let outputs = extractor.extract(entry.query())?;
     let trace = extractor.trace.take();
     let cref = std::mem::take(&mut extractor.cref);
     let tables = std::mem::take(&mut extractor.tables);
-    let warnings = std::mem::take(&mut extractor.warnings);
+    let diagnostics = std::mem::take(&mut extractor.diagnostics);
+    let partial = extractor.partial;
     drop(extractor); // release &mut inferred
     let outputs = apply_output_names(entry, outputs, catalog)?;
     let lineage = QueryLineage {
@@ -175,7 +254,8 @@ pub fn extract_entry(
         outputs,
         cref,
         tables,
-        warnings,
+        diagnostics,
+        partial,
     };
     Ok((lineage, trace))
 }

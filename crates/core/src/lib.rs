@@ -47,6 +47,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod api;
+pub mod diagnostics;
 pub mod error;
 pub mod explain_path;
 pub(crate) mod extract;
@@ -58,14 +59,17 @@ pub mod preprocess;
 pub mod report;
 pub mod trace;
 
-pub use api::{lineagex, LineageX};
+pub use api::{lineagex, lineagex_lenient, LineageX};
+pub use diagnostics::{Diagnostic, DiagnosticCode, DiagnosticSpan, Severity};
 pub use error::LineageError;
 pub use explain_path::ExplainPathExtractor;
 pub use impact::{explore, impact_of, path_between, upstream_of, ExploreStep, ImpactReport};
-pub use infer::{assemble_graph, assemble_nodes, extract_entry, InferenceEngine, LineageResult};
+pub use infer::{
+    assemble_graph, assemble_nodes, cycle_stub, extract_entry, InferenceEngine, LineageResult,
+};
 pub use model::{
     Edge, EdgeKind, GraphStats, LineageGraph, Node, NodeKind, OutputColumn, QueryKind,
-    QueryLineage, SourceColumn, Warning,
+    QueryLineage, SourceColumn,
 };
 pub use options::{AmbiguityPolicy, ExtractOptions};
 pub use preprocess::{preprocess_statement, PreprocessedStatement, QueryDict, QueryEntry};

@@ -11,6 +11,7 @@
 //! * table lineage `T` — the relations a query scans
 //!   ([`QueryLineage::tables`]).
 
+use crate::diagnostics::Diagnostic;
 pub use lineagex_catalog::SourceColumn;
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
@@ -61,48 +62,6 @@ pub enum QueryKind {
     Select,
 }
 
-/// Non-fatal findings recorded during extraction.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
-pub enum Warning {
-    /// A scanned relation is neither in the catalog nor in the Query
-    /// Dictionary; its schema is being inferred from usage.
-    UnknownRelation {
-        /// The query that scanned it.
-        query: String,
-        /// The relation name.
-        relation: String,
-    },
-    /// `*`/`t.*` over a schema-less relation cannot be fully expanded.
-    UnresolvedWildcard {
-        /// The query containing the wildcard.
-        query: String,
-        /// The schema-less relation.
-        relation: String,
-    },
-    /// An ambiguous unqualified column was attributed under a lenient
-    /// policy.
-    AmbiguityResolved {
-        /// The query containing the reference.
-        query: String,
-        /// The column name.
-        column: String,
-        /// The relations it was attributed to.
-        attributed_to: Vec<String>,
-    },
-    /// A column of a schema-less relation was inferred from usage.
-    InferredColumn {
-        /// The relation whose schema grew.
-        relation: String,
-        /// The inferred column.
-        column: String,
-    },
-    /// A statement was skipped (e.g. `DROP`).
-    SkippedStatement {
-        /// Description of what was skipped.
-        what: String,
-    },
-}
-
 /// The lineage extracted from a single query.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct QueryLineage {
@@ -116,8 +75,13 @@ pub struct QueryLineage {
     pub cref: BTreeSet<SourceColumn>,
     /// Table lineage `T`: the relations this query scans directly.
     pub tables: BTreeSet<String>,
-    /// Non-fatal findings.
-    pub warnings: Vec<Warning>,
+    /// Non-fatal findings, each with a span when the source location is
+    /// known.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Whether lenient mode had to degrade part of this query's lineage
+    /// (unresolvable columns dropped, extraction stubbed, ...). A partial
+    /// record is still safe to navigate — it just promises less.
+    pub partial: bool,
 }
 
 impl QueryLineage {
@@ -450,7 +414,8 @@ mod tests {
                 )],
                 cref: BTreeSet::from([SourceColumn::new("web", "cid")]),
                 tables: BTreeSet::from(["web".into()]),
-                warnings: vec![],
+                diagnostics: vec![],
+                partial: false,
             },
         );
         graph.order.push("v".into());

@@ -28,11 +28,24 @@ pub struct ExtractOptions {
     /// behave like unknown externals — the ablation showing what the
     /// stack mechanism buys (see the `ablation_stack` harness).
     pub auto_inference: bool,
+    /// Lenient mode: conditions that abort a strict run degrade into
+    /// span-tagged [`crate::Diagnostic`]s instead. Unparsable statements
+    /// are skipped (parsing resumes at the next `;`), duplicate query
+    /// ids resolve last-definition-wins, unresolvable columns and
+    /// dependency cycles mark the affected query's lineage *partial*
+    /// rather than failing the whole batch. Off by default: a clean log
+    /// should keep failing loudly when it breaks.
+    pub lenient: bool,
 }
 
 impl Default for ExtractOptions {
     fn default() -> Self {
-        ExtractOptions { ambiguity: AmbiguityPolicy::default(), trace: false, auto_inference: true }
+        ExtractOptions {
+            ambiguity: AmbiguityPolicy::default(),
+            trace: false,
+            auto_inference: true,
+            lenient: false,
+        }
     }
 }
 
@@ -59,6 +72,12 @@ impl ExtractOptions {
         self.auto_inference = false;
         self
     }
+
+    /// Enable lenient (error-recovering) extraction.
+    pub fn with_lenient(mut self) -> Self {
+        self.lenient = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -71,6 +90,7 @@ mod tests {
         assert_eq!(opts.ambiguity, AmbiguityPolicy::AttributeAll);
         assert!(!opts.trace);
         assert!(opts.auto_inference);
+        assert!(!opts.lenient);
     }
 
     #[test]
@@ -78,9 +98,11 @@ mod tests {
         let opts = ExtractOptions::new()
             .with_ambiguity(AmbiguityPolicy::Error)
             .with_trace()
-            .without_auto_inference();
+            .without_auto_inference()
+            .with_lenient();
         assert_eq!(opts.ambiguity, AmbiguityPolicy::Error);
         assert!(opts.trace);
         assert!(!opts.auto_inference);
+        assert!(opts.lenient);
     }
 }

@@ -12,13 +12,22 @@
 //!   dbt-style wrapper, footnote 1);
 //! * plain `CREATE TABLE` DDL carries no lineage but contributes schema,
 //!   collected into [`QueryDict::ddl_catalog`];
-//! * `DROP` statements are skipped with a warning.
+//! * `DROP` statements are skipped with a diagnostic;
+//! * log noise (`EXPLAIN`, `SET`, transaction control, `ANALYZE`) is
+//!   skipped with a typed [`Diagnostic`] instead of tripping the parser.
+//!
+//! In **lenient** mode ([`QueryDict::from_sql_lenient`]) the dictionary is
+//! built with the recovering parser — unparsable statements become
+//! span-tagged [`DiagnosticCode::ParseError`] diagnostics — and duplicate
+//! identifiers resolve last-definition-wins (matching the session
+//! engine's redefinition semantics) instead of aborting the run.
 
+use crate::diagnostics::{Diagnostic, DiagnosticCode};
 use crate::error::LineageError;
-use crate::model::{QueryKind, Warning};
+use crate::model::QueryKind;
 use lineagex_catalog::{Catalog, Column, TableSchema};
-use lineagex_sqlparse::ast::{Query, Statement};
-use lineagex_sqlparse::parse_sql;
+use lineagex_sqlparse::ast::{Query, SpannedStatement, Statement};
+use lineagex_sqlparse::{parse_sql_spanned, parse_statements_recovering, Span};
 
 /// One entry of the Query Dictionary.
 #[derive(Debug, Clone)]
@@ -29,6 +38,8 @@ pub struct QueryEntry {
     pub kind: QueryKind,
     /// The full parsed statement.
     pub statement: Statement,
+    /// The source span the statement occupies in its script.
+    pub span: Span,
     /// The defining query: the `SELECT` body, or the synthesised
     /// equivalent for `UPDATE` (see [`Statement::update_as_query`]).
     pub query: Query,
@@ -56,11 +67,13 @@ pub enum PreprocessedStatement {
     Entry(Box<QueryEntry>),
     /// Plain DDL: contributes schema, not lineage.
     Schema(TableSchema),
-    /// A `DROP`: the dropped base names, as written. The one-shot pipeline
-    /// records these as skipped; a session engine retracts them.
-    Drop(Vec<String>),
-    /// A statement carrying neither lineage nor schema.
-    Skipped(Warning),
+    /// A `DROP`: the dropped base names, as written, plus the statement's
+    /// span. The one-shot pipeline records these as skipped; a session
+    /// engine retracts them.
+    Drop(Vec<String>, Span),
+    /// A statement carrying neither lineage nor schema, with the typed
+    /// diagnostic explaining why it was skipped.
+    Skipped(Diagnostic),
 }
 
 /// Classify one statement exactly as the Query Dictionary does.
@@ -69,13 +82,15 @@ pub enum PreprocessedStatement {
 /// `anon_counter` numbers anonymous queries (`query_N`), and `taken`
 /// reports identifiers already in use so repeat `INSERT`/`UPDATE` targets
 /// disambiguate (`t`, `t#2`, ...). Duplicate-id handling is the caller's
-/// job: the one-shot dictionary rejects duplicates, a session replaces.
+/// job: the strict dictionary rejects duplicates, a lenient dictionary
+/// and the session engine replace (last definition wins).
 pub fn preprocess_statement(
-    stmt: Statement,
+    spanned: SpannedStatement,
     source_name: Option<&str>,
     anon_counter: &mut usize,
     taken: &mut dyn FnMut(&str) -> bool,
 ) -> PreprocessedStatement {
+    let SpannedStatement { statement: stmt, span } = spanned;
     match stmt {
         Statement::CreateView { ref name, ref columns, materialized, .. } => {
             let id = name.base_name().to_string();
@@ -85,6 +100,7 @@ pub fn preprocess_statement(
                 id,
                 kind: QueryKind::View { materialized },
                 statement: stmt,
+                span,
                 query,
                 declared_columns: declared,
             }))
@@ -97,6 +113,7 @@ pub fn preprocess_statement(
                 id,
                 kind: QueryKind::TableAs,
                 statement: stmt,
+                span,
                 query,
                 declared_columns: declared,
             }))
@@ -118,6 +135,7 @@ pub fn preprocess_statement(
                 id,
                 kind: QueryKind::Insert,
                 statement: stmt,
+                span,
                 query,
                 declared_columns: declared,
             }))
@@ -129,6 +147,7 @@ pub fn preprocess_statement(
                 id,
                 kind: QueryKind::Update,
                 statement: stmt,
+                span,
                 query,
                 declared_columns: Vec::new(),
             }))
@@ -146,20 +165,33 @@ pub fn preprocess_statement(
                 id,
                 kind: QueryKind::Select,
                 statement: stmt,
+                span,
                 query,
                 declared_columns: Vec::new(),
             }))
         }
-        Statement::Drop { ref names, .. } => {
-            PreprocessedStatement::Drop(names.iter().map(|n| n.base_name().to_string()).collect())
-        }
+        Statement::Drop { ref names, .. } => PreprocessedStatement::Drop(
+            names.iter().map(|n| n.base_name().to_string()).collect(),
+            span,
+        ),
         Statement::Delete { ref table, .. } => {
             // A DELETE creates no columns; only its target matters for
             // lineage, so it is recorded as skipped.
-            PreprocessedStatement::Skipped(Warning::SkippedStatement {
-                what: format!("DELETE FROM {}", table.base_name()),
-            })
+            PreprocessedStatement::Skipped(
+                Diagnostic::new(
+                    DiagnosticCode::SkippedStatement,
+                    format!("skipped DELETE FROM {}", table.base_name()),
+                )
+                .with_span(span),
+            )
         }
+        Statement::Noise(noise) => PreprocessedStatement::Skipped(
+            Diagnostic::new(
+                DiagnosticCode::NoiseStatement,
+                format!("skipped {} statement: {}", noise.kind.as_str(), noise.text),
+            )
+            .with_span(span),
+        ),
     }
 }
 
@@ -185,15 +217,50 @@ pub struct QueryDict {
     entries: Vec<QueryEntry>,
     /// Base-table schemas found in the log (plain `CREATE TABLE`).
     pub ddl_catalog: Catalog,
-    /// Warnings produced during preprocessing (skipped statements).
-    pub warnings: Vec<Warning>,
+    /// Diagnostics produced during preprocessing: skipped statements,
+    /// noise, and — in lenient mode — parse errors and duplicate ids.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl QueryDict {
-    /// Build the dictionary from a `;`-separated SQL script.
+    /// Build the dictionary from a `;`-separated SQL script, strictly: the
+    /// first parse error or duplicate identifier aborts.
     pub fn from_sql(sql: &str) -> Result<Self, LineageError> {
-        let statements = parse_sql(sql)?;
-        Self::from_statements(statements.into_iter().map(|s| (None, s)))
+        Self::from_sql_with(sql, false)
+    }
+
+    /// Build the dictionary leniently: unparsable statements become
+    /// [`DiagnosticCode::ParseError`] diagnostics (parsing resumes at the
+    /// next `;`) and duplicate identifiers resolve last-definition-wins
+    /// with a [`DiagnosticCode::DuplicateQueryId`] diagnostic.
+    pub fn from_sql_lenient(sql: &str) -> Self {
+        Self::from_sql_with(sql, true).expect("lenient preprocessing is infallible")
+    }
+
+    /// Build the dictionary with explicit strictness.
+    pub fn from_sql_with(sql: &str, lenient: bool) -> Result<Self, LineageError> {
+        if lenient {
+            let script = parse_statements_recovering(sql);
+            let mut dict =
+                Self::from_statements(script.statements.into_iter().map(|s| (None, s)), true)?;
+            // Parse errors come first: they were detected during parsing,
+            // before any classification happened.
+            let mut diagnostics: Vec<Diagnostic> = script
+                .errors
+                .iter()
+                .map(|e| {
+                    Diagnostic::new(DiagnosticCode::ParseError, e.message.clone())
+                        .with_span(e.span)
+                        .with_excerpt_from(sql)
+                })
+                .collect();
+            diagnostics.append(&mut dict.diagnostics);
+            dict.diagnostics = diagnostics;
+            Ok(dict)
+        } else {
+            let statements = parse_sql_spanned(sql)?;
+            Self::from_statements(statements.into_iter().map(|s| (None, s)), false)
+        }
     }
 
     /// Build the dictionary from named sources (dbt-style: one query per
@@ -202,18 +269,43 @@ impl QueryDict {
     where
         I: IntoIterator<Item = (&'a str, &'a str)>,
     {
-        let mut pairs = Vec::new();
-        for (name, sql) in sources {
-            for stmt in parse_sql(sql)? {
-                pairs.push((Some(name.to_string()), stmt));
-            }
-        }
-        Self::from_statements(pairs)
+        Self::from_named_sources_with(sources, false)
     }
 
-    fn from_statements<I>(statements: I) -> Result<Self, LineageError>
+    /// Named-source variant with explicit strictness (lenient recovers
+    /// per-file: a corrupt model file loses only its own statements).
+    pub fn from_named_sources_with<'a, I>(sources: I, lenient: bool) -> Result<Self, LineageError>
     where
-        I: IntoIterator<Item = (Option<String>, Statement)>,
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let mut pairs = Vec::new();
+        let mut parse_diagnostics = Vec::new();
+        for (name, sql) in sources {
+            if lenient {
+                let script = parse_statements_recovering(sql);
+                parse_diagnostics.extend(script.errors.iter().map(|e| {
+                    Diagnostic::new(DiagnosticCode::ParseError, format!("in {name}: {}", e.message))
+                        .with_span(e.span)
+                        .with_excerpt_from(sql)
+                }));
+                for stmt in script.statements {
+                    pairs.push((Some(name.to_string()), stmt));
+                }
+            } else {
+                for stmt in parse_sql_spanned(sql)? {
+                    pairs.push((Some(name.to_string()), stmt));
+                }
+            }
+        }
+        let mut dict = Self::from_statements(pairs, lenient)?;
+        parse_diagnostics.append(&mut dict.diagnostics);
+        dict.diagnostics = parse_diagnostics;
+        Ok(dict)
+    }
+
+    fn from_statements<I>(statements: I, lenient: bool) -> Result<Self, LineageError>
+    where
+        I: IntoIterator<Item = (Option<String>, SpannedStatement)>,
     {
         let mut dict = QueryDict::default();
         let mut anon_counter = 0usize;
@@ -225,22 +317,42 @@ impl QueryDict {
                 })
             };
             match preprocessed {
-                PreprocessedStatement::Entry(entry) => dict.push(*entry)?,
+                PreprocessedStatement::Entry(entry) => dict.push(*entry, lenient)?,
                 PreprocessedStatement::Schema(schema) => dict.ddl_catalog.add_or_replace(schema),
-                PreprocessedStatement::Drop(names) => dict
-                    .warnings
-                    .push(Warning::SkippedStatement { what: format!("DROP {}", names.join(", ")) }),
-                PreprocessedStatement::Skipped(warning) => dict.warnings.push(warning),
+                PreprocessedStatement::Drop(names, span) => dict.diagnostics.push(
+                    Diagnostic::new(
+                        DiagnosticCode::SkippedStatement,
+                        format!("skipped DROP {}", names.join(", ")),
+                    )
+                    .with_span(span),
+                ),
+                PreprocessedStatement::Skipped(diagnostic) => dict.diagnostics.push(diagnostic),
             }
         }
         Ok(dict)
     }
 
-    fn push(&mut self, entry: QueryEntry) -> Result<(), LineageError> {
-        if self.contains(&entry.id) {
+    fn push(&mut self, entry: QueryEntry, lenient: bool) -> Result<(), LineageError> {
+        let Some(existing) = self.entries.iter().position(|e| e.id == entry.id) else {
+            self.entries.push(entry);
+            return Ok(());
+        };
+        if !lenient {
             return Err(LineageError::DuplicateQueryId(entry.id));
         }
-        self.entries.push(entry);
+        // Last definition wins, in place: the entry keeps its slot in log
+        // order (the auto-inference stack makes processing order
+        // independent anyway), mirroring the session engine's
+        // redefinition semantics.
+        self.diagnostics.push(
+            Diagnostic::new(
+                DiagnosticCode::DuplicateQueryId,
+                format!("duplicate query identifier \"{}\": last definition wins", entry.id),
+            )
+            .for_statement(&entry.id)
+            .with_span(entry.span),
+        );
+        self.entries[existing] = entry;
         Ok(())
     }
 
@@ -278,6 +390,7 @@ impl QueryDict {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diagnostics::Severity;
 
     #[test]
     fn keys_views_by_created_name() {
@@ -329,19 +442,68 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_view_name_errors() {
+    fn duplicate_view_name_errors_strictly() {
         let err = QueryDict::from_sql("CREATE VIEW v AS SELECT 1; CREATE VIEW v AS SELECT 2")
             .unwrap_err();
         assert!(matches!(err, LineageError::DuplicateQueryId(id) if id == "v"));
     }
 
     #[test]
-    fn drop_is_skipped_with_warning() {
+    fn duplicate_view_name_is_last_definition_wins_leniently() {
+        let qd = QueryDict::from_sql_lenient(
+            "CREATE VIEW v AS SELECT 1 AS a;\nCREATE VIEW v AS SELECT 2 AS b;",
+        );
+        assert_eq!(qd.len(), 1);
+        // The later definition replaced the earlier one, in place.
+        let entry = qd.get("v").unwrap();
+        assert!(entry.statement.to_string().contains("AS b"), "{}", entry.statement);
+        let dup = qd
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagnosticCode::DuplicateQueryId)
+            .expect("duplicate diagnostic");
+        assert_eq!(dup.statement.as_deref(), Some("v"));
+        assert_eq!(dup.span.unwrap().line, 2);
+    }
+
+    #[test]
+    fn lenient_parse_errors_become_diagnostics() {
+        let qd = QueryDict::from_sql_lenient(
+            "CREATE VIEW good AS SELECT 1 AS x;\nSELECT FROM broken;\nSELECT 2 AS y;",
+        );
+        assert_eq!(qd.ids().collect::<Vec<_>>(), vec!["good", "query_1"]);
+        let parse = qd
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagnosticCode::ParseError)
+            .expect("parse diagnostic");
+        assert_eq!(parse.severity, Severity::Error);
+        assert_eq!(parse.span.unwrap().line, 2);
+        assert_eq!(parse.excerpt.as_deref(), Some("SELECT FROM broken;"));
+    }
+
+    #[test]
+    fn drop_is_skipped_with_diagnostic() {
         let qd = QueryDict::from_sql("DROP VIEW old_v; SELECT 1").unwrap();
         assert_eq!(qd.len(), 1);
-        assert!(
-            matches!(&qd.warnings[0], Warning::SkippedStatement { what } if what.contains("old_v"))
-        );
+        let d = &qd.diagnostics[0];
+        assert_eq!(d.code, DiagnosticCode::SkippedStatement);
+        assert!(d.message.contains("old_v"), "{}", d.message);
+        assert_eq!(d.span.unwrap().column, 1);
+    }
+
+    #[test]
+    fn noise_is_skipped_with_typed_diagnostic() {
+        let qd = QueryDict::from_sql(
+            "BEGIN;\nSET search_path = analytics;\nCREATE VIEW v AS SELECT 1 AS a;\n\
+             EXPLAIN SELECT * FROM v;\nCOMMIT;",
+        )
+        .unwrap();
+        assert_eq!(qd.ids().collect::<Vec<_>>(), vec!["v"]);
+        let kinds: Vec<_> = qd.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(kinds, vec![DiagnosticCode::NoiseStatement; 4]);
+        assert!(qd.diagnostics[1].message.contains("SET"), "{}", qd.diagnostics[1].message);
+        assert_eq!(qd.diagnostics[1].span.unwrap().line, 2);
     }
 
     #[test]
@@ -351,10 +513,20 @@ mod tests {
     }
 
     #[test]
+    fn entries_carry_statement_spans() {
+        let sql = "SELECT 1;\nCREATE VIEW v AS SELECT 2;";
+        let qd = QueryDict::from_sql(sql).unwrap();
+        assert_eq!(qd.get("query_1").unwrap().span.location.line, 1);
+        let v = qd.get("v").unwrap();
+        assert_eq!(v.span.location.line, 2);
+        assert_eq!(v.span.slice(sql), "CREATE VIEW v AS SELECT 2");
+    }
+
+    #[test]
     fn preprocess_statement_classifies_each_kind() {
         let mut anon = 0usize;
         let classify = |sql: &str, anon: &mut usize| {
-            let stmt = lineagex_sqlparse::parse_statement(sql).unwrap();
+            let stmt = lineagex_sqlparse::parse_sql_spanned(sql).unwrap().remove(0);
             preprocess_statement(stmt, None, anon, &mut |_| false)
         };
         assert!(matches!(
@@ -367,18 +539,23 @@ mod tests {
         ));
         assert!(matches!(
             classify("DROP VIEW a, b", &mut anon),
-            PreprocessedStatement::Drop(names) if names == vec!["a", "b"]
+            PreprocessedStatement::Drop(names, _) if names == vec!["a", "b"]
         ));
         assert!(matches!(
             classify("DELETE FROM t", &mut anon),
-            PreprocessedStatement::Skipped(Warning::SkippedStatement { .. })
+            PreprocessedStatement::Skipped(d) if d.code == DiagnosticCode::SkippedStatement
+        ));
+        assert!(matches!(
+            classify("BEGIN", &mut anon),
+            PreprocessedStatement::Skipped(d) if d.code == DiagnosticCode::NoiseStatement
         ));
         assert!(matches!(
             classify("SELECT 1", &mut anon),
             PreprocessedStatement::Entry(e) if e.id == "query_1"
         ));
         // A taken insert target disambiguates with a #N suffix.
-        let stmt = lineagex_sqlparse::parse_statement("INSERT INTO t SELECT 1").unwrap();
+        let stmt =
+            lineagex_sqlparse::parse_sql_spanned("INSERT INTO t SELECT 1").unwrap().remove(0);
         let mut t_taken = |id: &str| id == "t";
         assert!(matches!(
             preprocess_statement(stmt, None, &mut anon, &mut t_taken),

@@ -6,10 +6,17 @@
 //! (with full-text verification, so a 64-bit collision can never serve
 //! the wrong AST), the cache turns those replays into a clone of the
 //! already-parsed statements.
+//!
+//! Parsing always goes through the *recovering* parser, so one cached
+//! result serves both modes: strict callers ([`AstCache::parse`]) turn
+//! the first recorded error into a hard failure, lenient callers
+//! ([`AstCache::parse_recovering`]) get the healthy statements plus every
+//! span-tagged error. A session replaying a partially-corrupt dashboard
+//! script hits the cache either way.
 
 use lineagex_core::LineageError;
-use lineagex_sqlparse::ast::Statement;
-use lineagex_sqlparse::parse_sql;
+use lineagex_sqlparse::ast::SpannedStatement;
+use lineagex_sqlparse::{parse_statements_recovering, RecoveredScript};
 use std::collections::HashMap;
 
 /// Default maximum number of cached scripts.
@@ -18,7 +25,7 @@ pub const DEFAULT_CAPACITY: usize = 1024;
 /// A bounded parse cache with hit/miss counters.
 #[derive(Debug, Clone)]
 pub struct AstCache {
-    entries: HashMap<u64, Vec<(String, Vec<Statement>)>>,
+    entries: HashMap<u64, Vec<(String, RecoveredScript)>>,
     len: usize,
     capacity: usize,
     /// Number of lookups served from the cache.
@@ -39,20 +46,31 @@ impl AstCache {
         AstCache { entries: HashMap::new(), len: 0, capacity, hits: 0, misses: 0 }
     }
 
-    /// Parse `sql`, serving the statements from the cache when the exact
-    /// text (modulo surrounding whitespace) was parsed before.
-    pub fn parse(&mut self, sql: &str) -> Result<Vec<Statement>, LineageError> {
+    /// Parse `sql` strictly: the first unparsable region fails the whole
+    /// script, like [`lineagex_sqlparse::parse_sql`].
+    pub fn parse(&mut self, sql: &str) -> Result<Vec<SpannedStatement>, LineageError> {
+        let script = self.parse_recovering(sql);
+        match script.errors.first() {
+            Some(error) => Err(LineageError::Parse(error.to_string())),
+            None => Ok(script.statements),
+        }
+    }
+
+    /// Parse `sql` with error recovery, serving the result from the cache
+    /// when the exact text (modulo surrounding whitespace) was parsed
+    /// before. Spans are relative to the trimmed text.
+    pub fn parse_recovering(&mut self, sql: &str) -> RecoveredScript {
         let text = sql.trim();
         let key = fnv1a(text.as_bytes());
         if let Some(bucket) = self.entries.get(&key) {
             // Verify the full text: a hash collision must never alias.
-            if let Some((_, statements)) = bucket.iter().find(|(t, _)| t == text) {
+            if let Some((_, script)) = bucket.iter().find(|(t, _)| t == text) {
                 self.hits += 1;
-                return Ok(statements.clone());
+                return script.clone();
             }
         }
         self.misses += 1;
-        let statements = parse_sql(text).map_err(|e| LineageError::Parse(e.to_string()))?;
+        let script = parse_statements_recovering(text);
         if self.capacity > 0 {
             if self.len >= self.capacity {
                 // Whole-cache eviction keeps the bookkeeping trivial; a
@@ -61,10 +79,10 @@ impl AstCache {
                 self.entries.clear();
                 self.len = 0;
             }
-            self.entries.entry(key).or_default().push((text.to_string(), statements.clone()));
+            self.entries.entry(key).or_default().push((text.to_string(), script.clone()));
             self.len += 1;
         }
-        Ok(statements)
+        script
     }
 
     /// Number of cached scripts.
@@ -113,10 +131,26 @@ mod tests {
     }
 
     #[test]
-    fn parse_errors_are_not_cached() {
+    fn corrupt_scripts_are_cached_with_their_errors() {
         let mut cache = AstCache::default();
         assert!(cache.parse("SELEC oops").is_err());
-        assert!(cache.is_empty());
+        // The recovered result (0 statements, 1 error) was cached: a
+        // lenient re-ingest of the same text skips the parser.
+        let script = cache.parse_recovering("SELEC oops");
+        assert_eq!(cache.hits, 1);
+        assert!(script.statements.is_empty());
+        assert_eq!(script.errors.len(), 1);
+    }
+
+    #[test]
+    fn recovering_parse_serves_partial_scripts() {
+        let mut cache = AstCache::default();
+        let script = cache.parse_recovering("SELECT 1; SELECT FROM; SELECT 2");
+        assert_eq!(script.statements.len(), 2);
+        assert_eq!(script.errors.len(), 1);
+        // Strict parse of the same text reuses the cached recovery.
+        assert!(cache.parse("SELECT 1; SELECT FROM; SELECT 2").is_err());
+        assert_eq!(cache.hits, 1);
     }
 
     #[test]

@@ -6,10 +6,11 @@ use crate::schedule::{run_level, topo_levels};
 use crate::stats::{EngineStats, IngestAction, StmtId};
 use lineagex_catalog::Catalog;
 use lineagex_core::{
-    assemble_nodes, extract_entry, preprocess_statement, ExtractOptions, ImpactReport,
-    LineageError, LineageGraph, LineageResult, PreprocessedStatement, QueryEntry, QueryKind,
-    SourceColumn, TraceLog, Warning,
+    assemble_nodes, cycle_stub, extract_entry, preprocess_statement, Diagnostic, DiagnosticCode,
+    ExtractOptions, ImpactReport, LineageError, LineageGraph, LineageResult, PreprocessedStatement,
+    QueryEntry, QueryKind, SourceColumn, TraceLog,
 };
+use lineagex_sqlparse::ast::SpannedStatement;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Engine configuration.
@@ -99,7 +100,13 @@ pub struct Engine {
     /// Relations (normalised) whose definition changed since the last
     /// refresh; their dependents get invalidated transitively.
     dirty_relations: BTreeSet<String>,
-    warnings: Vec<Warning>,
+    /// Session-level diagnostics: skipped statements, noise, no-match
+    /// drops, and (lenient) parse failures. Per-query extraction
+    /// diagnostics live on the graph and are retracted with their query.
+    session_diagnostics: Vec<Diagnostic>,
+    /// Ids (re-)extracted or stubbed by the most recent refresh, in
+    /// completion order — what a UI should report as fresh.
+    last_refresh_ids: Vec<String>,
     cache: AstCache,
     stats: EngineStats,
     anon_counter: usize,
@@ -132,30 +139,102 @@ impl Engine {
     /// for its re-extractions once.
     ///
     /// Returns one receipt per statement saying what the engine did.
+    /// In lenient mode ([`ExtractOptions::lenient`]) unparsable regions
+    /// of the script do not fail the call: each becomes a receipt with
+    /// [`IngestAction::Failed`] carrying a span-tagged parse diagnostic,
+    /// and every healthy statement is still ingested.
     pub fn ingest(&mut self, sql: &str) -> Result<Vec<StmtId>, LineageError> {
-        let statements = self.cache.parse(sql)?;
+        let script = self.cache.parse_recovering(sql);
         self.stats.parse_cache_hits = self.cache.hits;
         self.stats.parse_cache_misses = self.cache.misses;
-        let mut receipts = Vec::with_capacity(statements.len());
-        for stmt in statements {
+        if !self.options.extract.lenient {
+            if let Some(error) = script.errors.first() {
+                return Err(LineageError::Parse(error.to_string()));
+            }
+        }
+        Ok(self.apply_script(script, sql.trim()))
+    }
+
+    /// Ingest statements that were parsed elsewhere, skipping the
+    /// engine's own parser and AST cache. `source` is the text the
+    /// statements' spans index into, used to attach excerpts to
+    /// diagnostics — so spans (and therefore receipts) stay relative to
+    /// the caller's original script rather than to per-statement
+    /// re-renders. This is how the CLI's `extract --jobs N` shim keeps
+    /// file-accurate diagnostics while feeding a one-shot log through
+    /// the session engine.
+    pub fn ingest_parsed(
+        &mut self,
+        statements: Vec<SpannedStatement>,
+        source: &str,
+    ) -> Vec<StmtId> {
+        self.apply_script(
+            lineagex_sqlparse::RecoveredScript { statements, errors: Vec::new() },
+            source,
+        )
+    }
+
+    /// Apply a recovered script: route statements through preprocessing
+    /// and turn unparsable regions into [`IngestAction::Failed`]
+    /// receipts, all interleaved back into source order so receipts read
+    /// like the script.
+    fn apply_script(
+        &mut self,
+        script: lineagex_sqlparse::RecoveredScript,
+        source: &str,
+    ) -> Vec<StmtId> {
+        enum Item {
+            Stmt(Box<SpannedStatement>),
+            Failed(lineagex_sqlparse::ParseError),
+        }
+        let mut items: Vec<(usize, Item)> = script
+            .statements
+            .into_iter()
+            .map(|s| (s.span.start, Item::Stmt(Box::new(s))))
+            .chain(script.errors.into_iter().map(|e| (e.span.start, Item::Failed(e))))
+            .collect();
+        items.sort_by_key(|(start, _)| *start);
+        let mut receipts = Vec::with_capacity(items.len());
+        for (_, item) in items {
             self.seq += 1;
             self.stats.statements += 1;
-            let (target, action) = self.apply_statement(stmt);
-            receipts.push(StmtId { seq: self.seq, target, action });
+            match item {
+                Item::Stmt(stmt) => {
+                    let (target, action, diagnostics) = self.apply_statement(*stmt, source);
+                    receipts.push(StmtId { seq: self.seq, target, action, diagnostics });
+                }
+                Item::Failed(error) => {
+                    self.stats.parse_failures += 1;
+                    let diagnostic =
+                        Diagnostic::new(DiagnosticCode::ParseError, error.message.clone())
+                            .with_span(error.span)
+                            .with_excerpt_from(source);
+                    self.session_diagnostics.push(diagnostic.clone());
+                    receipts.push(StmtId {
+                        seq: self.seq,
+                        target: "<unparsable>".into(),
+                        action: IngestAction::Failed,
+                        diagnostics: vec![diagnostic],
+                    });
+                }
+            }
         }
-        Ok(receipts)
+        self.settle_diagnostic_count();
+        receipts
     }
 
     /// Route one parsed statement through the shared preprocessing rules
-    /// and apply its session effect.
+    /// and apply its session effect. Returns the receipt's target, the
+    /// action taken, and any diagnostics the statement produced.
     fn apply_statement(
         &mut self,
-        stmt: lineagex_sqlparse::ast::Statement,
-    ) -> (String, IngestAction) {
+        stmt: SpannedStatement,
+        source: &str,
+    ) -> (String, IngestAction, Vec<Diagnostic>) {
         // Catalog effects first (plain DDL adds/replaces, DROP removes),
         // via the catalog's own incremental API; every reported change
         // seeds relation-level dirt.
-        let catalog_changes = self.catalog.apply_statement(&stmt);
+        let catalog_changes = self.catalog.apply_statement(&stmt.statement);
         for change in &catalog_changes {
             self.dirty_relations.insert(normalize(change.relation()));
         }
@@ -168,18 +247,30 @@ impl Engine {
         match preprocessed {
             PreprocessedStatement::Entry(entry) => {
                 let id = entry.id.clone();
-                let action = match self.entries.get(&id) {
+                match self.entries.get(&id) {
                     Some(old) if old.entry.statement == entry.statement => {
                         self.stats.unchanged += 1;
-                        IngestAction::Unchanged
+                        (id, IngestAction::Unchanged, Vec::new())
                     }
                     existing => {
-                        let action = if existing.is_some() {
+                        let (action, diagnostics) = if existing.is_some() {
                             self.stats.redefinitions += 1;
-                            IngestAction::Redefined
+                            // Redefinition is first-class in a session;
+                            // the notice still surfaces so receipts match
+                            // the batch pipeline's lenient diagnostics.
+                            let diagnostic = Diagnostic::new(
+                                DiagnosticCode::DuplicateQueryId,
+                                format!(
+                                    "duplicate query identifier \"{id}\": last definition wins"
+                                ),
+                            )
+                            .for_statement(&id)
+                            .with_span(entry.span)
+                            .with_excerpt_from(source);
+                            (IngestAction::Redefined, vec![diagnostic])
                         } else {
                             self.stats.defined += 1;
-                            IngestAction::Defined
+                            (IngestAction::Defined, Vec::new())
                         };
                         let mut deps = referenced_relations(entry.query());
                         if matches!(entry.kind, QueryKind::Insert | QueryKind::Update) {
@@ -194,15 +285,16 @@ impl Engine {
                             .insert(id.clone(), EntryState { entry: *entry, deps, deps_norm });
                         self.dirty_entries.insert(id.clone());
                         self.dirty_relations.insert(normalize(&id));
-                        action
+                        (id, action, diagnostics)
                     }
-                };
-                (id, action)
+                }
             }
             // The catalog side already happened above; this arm only
             // acknowledges the statement.
-            PreprocessedStatement::Schema(schema) => (schema.name, IngestAction::Schema),
-            PreprocessedStatement::Drop(names) => {
+            PreprocessedStatement::Schema(schema) => {
+                (schema.name, IngestAction::Schema, Vec::new())
+            }
+            PreprocessedStatement::Drop(names, span) => {
                 let mut touched = catalog_changes.len() as u64;
                 for name in &names {
                     if self.entries.remove(name).is_some() {
@@ -217,21 +309,23 @@ impl Engine {
                 self.stats.drops += touched;
                 let target = names.join(", ");
                 if touched == 0 {
-                    self.warnings.push(Warning::SkippedStatement {
-                        what: format!("DROP {target} (nothing matched)"),
-                    });
-                    (target, IngestAction::Skipped)
+                    let diagnostic = Diagnostic::new(
+                        DiagnosticCode::SkippedStatement,
+                        format!("DROP {target} matched nothing"),
+                    )
+                    .with_span(span)
+                    .with_excerpt_from(source);
+                    self.session_diagnostics.push(diagnostic.clone());
+                    (target, IngestAction::Skipped, vec![diagnostic])
                 } else {
-                    (target, IngestAction::Dropped)
+                    (target, IngestAction::Dropped, Vec::new())
                 }
             }
-            PreprocessedStatement::Skipped(warning) => {
-                let target = match &warning {
-                    Warning::SkippedStatement { what } => what.clone(),
-                    other => format!("{other:?}"),
-                };
-                self.warnings.push(warning);
-                (target, IngestAction::Skipped)
+            PreprocessedStatement::Skipped(diagnostic) => {
+                let diagnostic = diagnostic.with_excerpt_from(source);
+                let target = diagnostic.message.clone();
+                self.session_diagnostics.push(diagnostic.clone());
+                (target, IngestAction::Skipped, vec![diagnostic])
             }
         }
     }
@@ -248,6 +342,7 @@ impl Engine {
         if self.dirty_entries.is_empty() && self.dirty_relations.is_empty() {
             return Ok(0);
         }
+        self.last_refresh_ids.clear();
 
         // 1. Close the dirty set: an entry is dirty when marked directly
         //    or when any (transitive) upstream relation changed.
@@ -258,9 +353,32 @@ impl Engine {
         });
 
         // 2. Level the cone topologically; clean upstreams are already
-        //    settled in the graph and don't constrain the schedule.
-        let levels = topo_levels(&dirty, |id| self.entries[id].deps.clone())
-            .map_err(LineageError::DependencyCycle)?;
+        //    settled in the graph and don't constrain the schedule. In
+        //    lenient mode a dependency cycle is broken like the batch
+        //    deferral stack breaks it: the member that closes the cycle
+        //    (the second-to-last element of the `[a, .., x, a]` path)
+        //    gets an empty partial stub carrying the cycle path, and the
+        //    rest of the cone extracts against the stub.
+        let mut dirty = dirty;
+        let levels = loop {
+            match topo_levels(&dirty, |id| self.entries[id].deps.clone()) {
+                Ok(levels) => break levels,
+                Err(cycle) => {
+                    if !self.options.extract.lenient {
+                        return Err(LineageError::DependencyCycle(cycle));
+                    }
+                    let id = cycle[cycle.len() - 2].clone();
+                    self.graph.retract_query(&id);
+                    self.traces.remove(&id);
+                    self.inferred_by_query.remove(&id);
+                    self.graph.merge_query(cycle_stub(&self.entries[&id].entry, &cycle));
+                    self.stats.extractions += 1;
+                    self.last_refresh_ids.push(id.clone());
+                    dirty.remove(&id);
+                    self.dirty_entries.remove(&id);
+                }
+            }
+        };
 
         // 3. Retract everything about to be re-extracted so stale lineage
         //    can never leak into a dependent's extraction.
@@ -304,6 +422,7 @@ impl Engine {
                     Ok((lineage, trace, delta)) => {
                         extracted += 1;
                         self.dirty_entries.remove(&id);
+                        self.last_refresh_ids.push(id.clone());
                         self.graph.merge_query(lineage);
                         if let Some(trace) = trace {
                             self.traces.insert(id.clone(), trace);
@@ -328,6 +447,7 @@ impl Engine {
         self.stats.extractions += extracted;
         self.stats.last_refresh_extractions = extracted;
         self.stats.refreshes += 1;
+        self.settle_diagnostic_count();
 
         match failure {
             None => {
@@ -383,7 +503,7 @@ impl Engine {
             traces: self.traces.clone(),
             deferrals: Vec::new(),
             inferred: self.merged_inferred(),
-            warnings: self.warnings.clone(),
+            diagnostics: self.session_diagnostics.clone(),
         })
     }
 
@@ -442,9 +562,28 @@ impl Engine {
         &self.stats
     }
 
-    /// Engine-level warnings (skipped statements, no-match drops).
-    pub fn warnings(&self) -> &[Warning] {
-        &self.warnings
+    /// Session-level diagnostics (skipped statements, noise, no-match
+    /// drops, lenient parse failures). Per-query extraction diagnostics
+    /// live on [`LineageGraph::queries`] and are retracted with their
+    /// query on redefinition or `DROP`.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.session_diagnostics
+    }
+
+    /// The query ids the most recent refresh (re-)extracted or stubbed,
+    /// in completion order. Lets a caller surface only the *fresh*
+    /// extraction diagnostics after a refresh instead of re-reporting
+    /// the whole session's history.
+    pub fn last_refresh_ids(&self) -> &[String] {
+        &self.last_refresh_ids
+    }
+
+    /// Recount the live diagnostics (session-level plus per-query) into
+    /// [`EngineStats::diagnostics`]. Cheap: proportional to the number of
+    /// queries, not the graph size.
+    fn settle_diagnostic_count(&mut self) {
+        self.stats.diagnostics = self.session_diagnostics.len() as u64
+            + self.graph.queries.values().map(|q| q.diagnostics.len() as u64).sum::<u64>();
     }
 
     /// Traversal traces, when tracing is enabled in the options.

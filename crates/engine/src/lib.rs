@@ -147,13 +147,14 @@ mod tests {
         let mut engine = Engine::new();
         engine.ingest("CREATE VIEW v AS SELECT page FROM web").unwrap();
         assert!(engine.graph().unwrap().queries["v"]
-            .warnings
+            .diagnostics
             .iter()
-            .any(|w| matches!(w, lineagex_core::Warning::UnknownRelation { .. })));
+            .any(|d| d.code == lineagex_core::DiagnosticCode::UnknownRelation));
+        assert!(engine.stats().diagnostics > 0);
         engine.ingest("CREATE TABLE web (cid int, page text)").unwrap();
         let graph = engine.graph().unwrap();
         assert_eq!(graph.nodes["web"].kind, NodeKind::BaseTable);
-        assert!(graph.queries["v"].warnings.is_empty());
+        assert!(graph.queries["v"].diagnostics.is_empty());
     }
 
     #[test]
@@ -245,6 +246,107 @@ mod tests {
         assert!(!engine.has_pending_work());
     }
 
+    fn lenient_engine() -> Engine {
+        Engine::with_options(EngineOptions {
+            extract: lineagex_core::ExtractOptions::new().with_lenient(),
+            ..EngineOptions::default()
+        })
+    }
+
+    #[test]
+    fn lenient_ingest_skips_unparsable_regions() {
+        use lineagex_core::DiagnosticCode;
+        let mut engine = lenient_engine();
+        let receipts = engine
+            .ingest("CREATE TABLE t (a int);\nSELECT FROM oops;\nCREATE VIEW v AS SELECT a FROM t;")
+            .unwrap();
+        assert_eq!(receipts.len(), 3);
+        assert_eq!(receipts[1].action, IngestAction::Failed);
+        assert_eq!(receipts[1].diagnostics[0].code, DiagnosticCode::ParseError);
+        assert_eq!(receipts[1].diagnostics[0].span.unwrap().line, 2);
+        // The healthy statements around the corrupt one still landed.
+        let graph = engine.graph().unwrap();
+        assert_eq!(graph.queries["v"].output_names(), vec!["a"]);
+        assert_eq!(engine.stats().parse_failures, 1);
+        assert!(engine.stats().diagnostics >= 1);
+        // Strict mode fails the same ingest outright.
+        let mut strict = Engine::new();
+        assert!(strict.ingest("SELECT FROM oops").is_err());
+    }
+
+    #[test]
+    fn lenient_redefinition_receipt_carries_diagnostic() {
+        use lineagex_core::DiagnosticCode;
+        let mut engine = lenient_engine();
+        engine.ingest("CREATE VIEW v AS SELECT 1 AS a").unwrap();
+        let receipts = engine.ingest("CREATE VIEW v AS SELECT 2 AS a").unwrap();
+        assert_eq!(receipts[0].action, IngestAction::Redefined);
+        assert_eq!(receipts[0].diagnostics[0].code, DiagnosticCode::DuplicateQueryId);
+    }
+
+    #[test]
+    fn lenient_cycle_breaks_with_partial_stub() {
+        use lineagex_core::DiagnosticCode;
+        let log = "CREATE VIEW a AS SELECT * FROM b; CREATE VIEW b AS SELECT * FROM a";
+        let mut engine = lenient_engine();
+        engine.ingest(log).unwrap();
+        let graph = engine.graph().unwrap();
+        // The member that closes the cycle is stubbed (partial with the
+        // cycle diagnostic); the other extracted against the stub — the
+        // same choice the batch deferral stack makes.
+        let stub = &graph.queries["b"];
+        assert!(stub.partial);
+        assert_eq!(stub.diagnostics[0].code, DiagnosticCode::DependencyCycle);
+        assert!(!graph.queries["a"].partial);
+        let batch = lineagex_core::LineageX::new().lenient().run(log).unwrap();
+        assert_eq!(&graph.queries, &batch.graph.queries);
+        // A correcting redefinition heals the session.
+        engine.ingest("CREATE TABLE t (x int); CREATE VIEW b AS SELECT x FROM t").unwrap();
+        let graph = engine.graph().unwrap();
+        assert_eq!(graph.queries["a"].output_names(), vec!["x"]);
+        assert!(!graph.queries["a"].partial);
+    }
+
+    #[test]
+    fn diagnostics_are_retracted_with_their_query() {
+        let mut engine = Engine::new();
+        engine.ingest("CREATE VIEW v AS SELECT page FROM web").unwrap();
+        engine.refresh().unwrap();
+        // UnknownRelation + InferredColumn diagnostics live on v.
+        let before = engine.stats().diagnostics;
+        assert!(before >= 2, "expected live diagnostics, got {before}");
+        // Redefining v over a known table retracts its diagnostics.
+        engine.ingest("CREATE TABLE t (a int); CREATE VIEW v AS SELECT a FROM t").unwrap();
+        engine.refresh().unwrap();
+        assert_eq!(engine.stats().diagnostics, 0);
+        // And dropping a diagnostic-carrying query removes them too.
+        engine.ingest("CREATE VIEW w AS SELECT page FROM web").unwrap();
+        engine.refresh().unwrap();
+        assert!(engine.stats().diagnostics > 0);
+        engine.ingest("DROP VIEW w").unwrap();
+        engine.refresh().unwrap();
+        assert_eq!(engine.stats().diagnostics, 0);
+    }
+
+    #[test]
+    fn noise_statements_are_skipped_with_receipts() {
+        use lineagex_core::DiagnosticCode;
+        let mut engine = Engine::new();
+        let receipts = engine.ingest("BEGIN; CREATE TABLE t (a int); SET x = 1; COMMIT").unwrap();
+        let actions: Vec<IngestAction> = receipts.iter().map(|r| r.action).collect();
+        assert_eq!(
+            actions,
+            vec![
+                IngestAction::Skipped,
+                IngestAction::Schema,
+                IngestAction::Skipped,
+                IngestAction::Skipped,
+            ]
+        );
+        assert!(receipts[0].diagnostics.iter().all(|d| d.code == DiagnosticCode::NoiseStatement));
+        assert_eq!(engine.diagnostics().len(), 3);
+    }
+
     #[test]
     fn result_packages_session_state() {
         let mut engine = Engine::new();
@@ -253,6 +355,6 @@ mod tests {
         let result = engine.result().unwrap();
         assert_eq!(result.graph.queries.len(), 2);
         assert!(result.deferrals.is_empty());
-        assert_eq!(result.warnings.len(), 1);
+        assert_eq!(result.diagnostics.len(), 1);
     }
 }

@@ -1,6 +1,7 @@
 //! Session bookkeeping: per-statement ingest receipts and engine-level
 //! counters.
 
+use lineagex_core::Diagnostic;
 use std::fmt;
 
 /// What the engine did with one ingested statement.
@@ -18,12 +19,16 @@ pub enum IngestAction {
     Schema,
     /// A `DROP` retracted entries and/or catalog schemas.
     Dropped,
-    /// A statement carrying neither lineage nor schema (e.g. `DELETE`).
+    /// A statement carrying neither lineage nor schema (e.g. `DELETE`,
+    /// `EXPLAIN`, transaction control).
     Skipped,
+    /// A region of the ingested text failed to parse; lenient mode
+    /// skipped it (see the receipt's diagnostics for the span).
+    Failed,
 }
 
 /// The receipt for one ingested statement.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StmtId {
     /// Session-wide statement sequence number (1-based).
     pub seq: u64,
@@ -31,6 +36,10 @@ pub struct StmtId {
     pub target: String,
     /// What the engine did with it.
     pub action: IngestAction,
+    /// Diagnostics this statement produced at ingest time (parse errors,
+    /// skipped noise, redefinition notices). Extraction-time diagnostics
+    /// live on the query's lineage record and are retracted with it.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl fmt::Display for StmtId {
@@ -42,6 +51,7 @@ impl fmt::Display for StmtId {
             IngestAction::Schema => "schema",
             IngestAction::Dropped => "dropped",
             IngestAction::Skipped => "skipped",
+            IngestAction::Failed => "failed",
         };
         write!(f, "#{} {} {}", self.seq, verb, self.target)
     }
@@ -53,7 +63,8 @@ impl fmt::Display for StmtId {
 /// its downstream cone, not by the size of the log.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Statements ingested (including DDL, drops, and skips).
+    /// Statements ingested (including DDL, drops, skips, and — in
+    /// lenient mode — unparsable regions).
     pub statements: u64,
     /// Lineage entries defined (first definitions only).
     pub defined: u64,
@@ -63,6 +74,13 @@ pub struct EngineStats {
     pub unchanged: u64,
     /// Entries and schemas removed by `DROP`.
     pub drops: u64,
+    /// Unparsable regions skipped by lenient ingest.
+    pub parse_failures: u64,
+    /// Diagnostics currently live in the session: session-level ones
+    /// (skips, noise, failures) plus every settled query's extraction
+    /// diagnostics. Retracting a query (redefinition, `DROP`) takes its
+    /// diagnostics out of this count.
+    pub diagnostics: u64,
     /// Total per-query extractions performed over the session's lifetime.
     pub extractions: u64,
     /// Extractions performed by the most recent refresh.
@@ -81,7 +99,12 @@ mod tests {
 
     #[test]
     fn stmt_id_displays_compactly() {
-        let id = StmtId { seq: 3, target: "v".into(), action: IngestAction::Redefined };
+        let id = StmtId {
+            seq: 3,
+            target: "v".into(),
+            action: IngestAction::Redefined,
+            diagnostics: Vec::new(),
+        };
         assert_eq!(id.to_string(), "#3 redefined v");
     }
 }

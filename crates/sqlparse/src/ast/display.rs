@@ -460,6 +460,13 @@ impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Statement::Query(q) => write!(f, "{q}"),
+            Statement::Noise(noise) => {
+                if noise.text.is_empty() {
+                    f.write_str(noise.kind.as_str())
+                } else {
+                    f.write_str(&noise.text)
+                }
+            }
             Statement::CreateView {
                 or_replace,
                 materialized,

@@ -1,29 +1,76 @@
 //! Identifiers and dotted object names.
 
+use crate::span::Span;
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A single SQL identifier.
 ///
 /// Unquoted identifiers are case-normalised to lower case at parse time
 /// (Postgres semantics), so `Name`, `NAME`, and `name` compare equal.
 /// Quoted identifiers preserve their exact spelling.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Every parsed identifier carries the [`Span`] of the token it came from,
+/// so diagnostics anywhere in the pipeline can point back at the source.
+/// The span is *location metadata*, not identity: equality, ordering, and
+/// hashing deliberately ignore it, so a hand-built `Ident::new("x")`
+/// matches a parsed `x` regardless of where it appeared.
+#[derive(Debug, Clone)]
 pub struct Ident {
     /// The identifier text (already lower-cased when unquoted).
     pub value: String,
     /// Whether the identifier was written with quotes.
     pub quoted: bool,
+    /// Where the identifier appeared in the source (default for synthetic
+    /// identifiers).
+    pub span: Span,
 }
 
 impl Ident {
     /// An unquoted identifier; the value is lower-cased.
     pub fn new(value: impl AsRef<str>) -> Self {
-        Ident { value: value.as_ref().to_lowercase(), quoted: false }
+        Ident { value: value.as_ref().to_lowercase(), quoted: false, span: Span::default() }
     }
 
     /// A quoted identifier; the value is preserved verbatim.
     pub fn quoted(value: impl Into<String>) -> Self {
-        Ident { value: value.into(), quoted: true }
+        Ident { value: value.into(), quoted: true, span: Span::default() }
+    }
+
+    /// Attach the source span the identifier was parsed from.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
+    }
+}
+
+// Span is excluded from identity: two idents are the same name no matter
+// where they were written. Manual impls keep Eq/Ord/Hash consistent.
+impl PartialEq for Ident {
+    fn eq(&self, other: &Self) -> bool {
+        self.value == other.value && self.quoted == other.quoted
+    }
+}
+
+impl Eq for Ident {}
+
+impl PartialOrd for Ident {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ident {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.value.cmp(&other.value).then_with(|| self.quoted.cmp(&other.quoted))
+    }
+}
+
+impl Hash for Ident {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.value.hash(state);
+        self.quoted.hash(state);
     }
 }
 
@@ -62,6 +109,14 @@ impl ObjectName {
     pub fn full_name(&self) -> String {
         self.0.iter().map(|i| i.value.as_str()).collect::<Vec<_>>().join(".")
     }
+
+    /// The source span covering the whole dotted name (the union of its
+    /// parts' spans; default when the name is synthetic).
+    pub fn span(&self) -> Span {
+        let mut parts = self.0.iter();
+        let Some(first) = parts.next() else { return Span::default() };
+        parts.fold(first.span, |acc, part| acc.union(&part.span))
+    }
 }
 
 impl fmt::Display for ObjectName {
@@ -85,6 +140,7 @@ impl From<&str> for ObjectName {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::span::Location;
 
     #[test]
     fn unquoted_ident_lowercases() {
@@ -117,5 +173,28 @@ mod tests {
     fn idents_compare_case_insensitively_when_unquoted() {
         assert_eq!(Ident::new("ABC"), Ident::new("abc"));
         assert_ne!(Ident::quoted("ABC"), Ident::new("abc"));
+    }
+
+    #[test]
+    fn span_is_metadata_not_identity() {
+        let at = Ident::new("x").with_span(Span::new(7, 8, Location::new(2, 3)));
+        let bare = Ident::new("x");
+        assert_eq!(at, bare);
+        assert_eq!(at.cmp(&bare), Ordering::Equal);
+        let mut set = std::collections::HashSet::new();
+        set.insert(at.clone());
+        assert!(set.contains(&bare));
+        assert_eq!(at.span.start, 7);
+    }
+
+    #[test]
+    fn object_name_span_unions_parts() {
+        let name = ObjectName(vec![
+            Ident::new("public").with_span(Span::new(0, 6, Location::new(1, 1))),
+            Ident::new("orders").with_span(Span::new(7, 13, Location::new(1, 8))),
+        ]);
+        let span = name.span();
+        assert_eq!((span.start, span.end), (0, 13));
+        assert_eq!(ObjectName::single("t").span(), Span::default());
     }
 }

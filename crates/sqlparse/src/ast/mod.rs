@@ -20,6 +20,9 @@ pub use query::{
     Cte, Distinct, Join, JoinConstraint, JoinOperator, OrderByExpr, Query, Select, SelectItem,
     SetExpr, SetOperator, TableAlias, TableFactor, TableWithJoins, Values, With,
 };
-pub use stmt::{Assignment, ColumnDef, ColumnOption, ObjectType, Statement, TableConstraint};
+pub use stmt::{
+    Assignment, ColumnDef, ColumnOption, NoiseKind, NoiseStatement, ObjectType, SpannedStatement,
+    Statement, TableConstraint,
+};
 
 pub use expr::Expr;

@@ -3,6 +3,7 @@
 use super::expr::{DataType, Expr};
 use super::ident::{Ident, ObjectName};
 use super::query::Query;
+use crate::span::Span;
 
 /// A top-level SQL statement.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -85,6 +86,66 @@ pub enum Statement {
         /// The `WHERE` predicate.
         selection: Option<Expr>,
     },
+    /// Query-log noise that carries neither lineage nor schema:
+    /// `EXPLAIN`, `SET`, `BEGIN`/`COMMIT`/`ROLLBACK`, `ANALYZE`. The
+    /// parser recognises the leading keyword, consumes the statement to
+    /// its terminating `;`, and records which kind it saw plus the
+    /// token text — enough for downstream layers to emit a typed
+    /// diagnostic instead of tripping over real production logs.
+    Noise(NoiseStatement),
+}
+
+/// One recognised-but-skipped log-noise statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NoiseStatement {
+    /// Which noise family the statement belongs to.
+    pub kind: NoiseKind,
+    /// The statement rendered from its tokens (space-separated), e.g.
+    /// `EXPLAIN SELECT a FROM t`.
+    pub text: String,
+}
+
+/// The noise statement families the parser recognises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NoiseKind {
+    /// `EXPLAIN [ANALYZE] <statement>`.
+    Explain,
+    /// `SET parameter = value` (session configuration).
+    Set,
+    /// `BEGIN [TRANSACTION|WORK]`.
+    Begin,
+    /// `COMMIT [TRANSACTION|WORK]`.
+    Commit,
+    /// `ROLLBACK [TRANSACTION|WORK]`.
+    Rollback,
+    /// `ANALYZE [table]` (planner statistics).
+    Analyze,
+}
+
+impl NoiseKind {
+    /// The canonical upper-case name of the noise family.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            NoiseKind::Explain => "EXPLAIN",
+            NoiseKind::Set => "SET",
+            NoiseKind::Begin => "BEGIN",
+            NoiseKind::Commit => "COMMIT",
+            NoiseKind::Rollback => "ROLLBACK",
+            NoiseKind::Analyze => "ANALYZE",
+        }
+    }
+}
+
+/// A parsed statement together with the source span it covers (first to
+/// last token). [`crate::Parser::parse_sql_spanned`] and the recovering
+/// entry point return these so every downstream layer can report
+/// precisely where in the log a statement came from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SpannedStatement {
+    /// The parsed statement.
+    pub statement: Statement,
+    /// The source range the statement occupies (semicolon excluded).
+    pub span: Span,
 }
 
 /// One `SET` assignment of an `UPDATE`.
@@ -114,6 +175,11 @@ impl Statement {
         }
     }
 
+    /// Wrap the statement with a source span.
+    pub fn with_span(self, span: Span) -> SpannedStatement {
+        SpannedStatement { statement: self, span }
+    }
+
     /// The defining query of this statement, if any (`SELECT` body of a
     /// view/CTAS/insert, or the statement itself for bare queries).
     /// `UPDATE`/`DELETE` carry no query body; see
@@ -124,7 +190,10 @@ impl Statement {
             Statement::CreateView { query, .. } => Some(query),
             Statement::CreateTable { query, .. } => query.as_deref(),
             Statement::Insert { source, .. } => Some(source),
-            Statement::Drop { .. } | Statement::Update { .. } | Statement::Delete { .. } => None,
+            Statement::Drop { .. }
+            | Statement::Update { .. }
+            | Statement::Delete { .. }
+            | Statement::Noise(_) => None,
         }
     }
 

@@ -38,16 +38,19 @@ macro_rules! define_keywords {
 
 define_keywords!(
     ALL,
+    ANALYZE,
     AND,
     ANY,
     AS,
     ASC,
+    BEGIN,
     BETWEEN,
     BOTH,
     BY,
     CASE,
     CAST,
     CHECK,
+    COMMIT,
     CONSTRAINT,
     CREATE,
     CROSS,
@@ -61,6 +64,7 @@ define_keywords!(
     END,
     EXCEPT,
     EXISTS,
+    EXPLAIN,
     EXTRACT,
     FALSE,
     FETCH,
@@ -112,6 +116,7 @@ define_keywords!(
     REFERENCES,
     REPLACE,
     RIGHT,
+    ROLLBACK,
     ROW,
     ROWS,
     SELECT,

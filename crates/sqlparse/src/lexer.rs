@@ -38,6 +38,53 @@ impl<'a> Lexer<'a> {
         }
     }
 
+    /// Tokenize as much of the input as possible, collecting lex errors
+    /// instead of aborting on the first one.
+    ///
+    /// After an error the lexer resynchronises at the next `;` in the raw
+    /// text (the statement separator, which no token may contain), so one
+    /// corrupt statement cannot take down the rest of a query log. Line
+    /// and column accounting continue through the skipped region, so
+    /// every span — before and after the error — stays accurate.
+    pub fn tokenize_recovering(src: &'a str) -> (Vec<SpannedToken>, Vec<ParseError>) {
+        let mut lexer = Lexer::new(src);
+        let mut out = Vec::new();
+        let mut errors = Vec::new();
+        loop {
+            match lexer.next_token() {
+                Ok(tok) => {
+                    let eof = tok.token == Token::Eof;
+                    out.push(tok);
+                    if eof {
+                        return (out, errors);
+                    }
+                }
+                Err(error) => {
+                    errors.push(error);
+                    // The tokens since the last `;` belong to the corrupt
+                    // statement; a truncated prefix must not masquerade as
+                    // a complete statement, so discard them.
+                    let boundary = out
+                        .iter()
+                        .rposition(|t: &SpannedToken| t.token == Token::Semicolon)
+                        .map(|i| i + 1)
+                        .unwrap_or(0);
+                    out.truncate(boundary);
+                    // Skip to the statement separator; the `;` itself is
+                    // lexed normally on the next iteration. Every error
+                    // path in `next_token` consumes at least one byte, so
+                    // this loop always makes progress.
+                    while let Some(b) = lexer.peek() {
+                        if b == b';' {
+                            break;
+                        }
+                        lexer.advance_char();
+                    }
+                }
+            }
+        }
+    }
+
     fn location(&self) -> Location {
         Location::new(self.line, self.col)
     }

@@ -41,9 +41,10 @@ pub mod parser;
 pub mod span;
 pub mod token;
 
-pub use ast::{Expr, Ident, ObjectName, Query, Select, SetExpr, Statement};
+pub use ast::{Expr, Ident, ObjectName, Query, Select, SetExpr, SpannedStatement, Statement};
 pub use error::ParseError;
-pub use parser::Parser;
+pub use parser::{Parser, RecoveredScript};
+pub use span::{Location, Span};
 
 /// Parse a string that may contain several `;`-separated SQL statements.
 ///
@@ -51,6 +52,27 @@ pub use parser::Parser;
 /// trailing semicolons) are skipped.
 pub fn parse_sql(sql: &str) -> Result<Vec<Statement>, ParseError> {
     Parser::parse_sql(sql)
+}
+
+/// Like [`parse_sql`], but every statement keeps the source [`Span`] it
+/// was parsed from.
+pub fn parse_sql_spanned(sql: &str) -> Result<Vec<SpannedStatement>, ParseError> {
+    Parser::parse_sql_spanned(sql)
+}
+
+/// Parse a script that may contain corrupt statements, recovering at the
+/// next top-level `;` after each error instead of aborting.
+///
+/// ```
+/// let script = lineagex_sqlparse::parse_statements_recovering(
+///     "SELECT a FROM t; SELECT oops FROM; SELECT b FROM u",
+/// );
+/// assert_eq!(script.statements.len(), 2);
+/// assert_eq!(script.errors.len(), 1);
+/// assert_eq!(script.errors[0].span.location.line, 1);
+/// ```
+pub fn parse_statements_recovering(sql: &str) -> RecoveredScript {
+    Parser::parse_statements_recovering(sql)
 }
 
 /// Parse a string holding exactly one SQL statement.

@@ -18,6 +18,27 @@ use crate::token::{SpannedToken, Token, Word};
 /// clean error instead of overflowing the stack on adversarial input.
 pub const MAX_PARSE_DEPTH: usize = 100;
 
+/// The outcome of [`Parser::parse_statements_recovering`]: everything that
+/// parsed, plus a span-tagged error for every region that did not.
+///
+/// The two vectors are independent — a log with one corrupt statement
+/// yields all its other statements *and* one error. `statements` is in
+/// source order; `errors` is in detection order (also source order).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveredScript {
+    /// The statements that parsed, each with its source span.
+    pub statements: Vec<SpannedStatement>,
+    /// One error per unparsable region, each pointing into the source.
+    pub errors: Vec<ParseError>,
+}
+
+impl RecoveredScript {
+    /// Whether every statement parsed cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
 /// The parser: a cursor over the token stream.
 pub struct Parser {
     tokens: Vec<SpannedToken>,
@@ -28,6 +49,12 @@ pub struct Parser {
 impl Parser {
     /// Parse a semicolon-separated script into statements.
     pub fn parse_sql(sql: &str) -> Result<Vec<Statement>, ParseError> {
+        Ok(Self::parse_sql_spanned(sql)?.into_iter().map(|s| s.statement).collect())
+    }
+
+    /// Parse a semicolon-separated script, keeping each statement's source
+    /// span (first to last token, semicolon excluded).
+    pub fn parse_sql_spanned(sql: &str) -> Result<Vec<SpannedStatement>, ParseError> {
         let tokens = Lexer::tokenize(sql)?;
         let mut parser = Parser { tokens, index: 0, depth: 0 };
         let mut statements = Vec::new();
@@ -36,7 +63,9 @@ impl Parser {
             if parser.peek_token() == &Token::Eof {
                 break;
             }
-            statements.push(parser.parse_statement()?);
+            let start = parser.peek_span();
+            let statement = parser.parse_statement()?;
+            statements.push(statement.with_span(start.union(&parser.prev_span())));
             match parser.peek_token() {
                 Token::Semicolon | Token::Eof => {}
                 other => {
@@ -46,6 +75,67 @@ impl Parser {
             }
         }
         Ok(statements)
+    }
+
+    /// Parse a script that may contain corrupt statements, recovering at
+    /// statement boundaries instead of aborting.
+    ///
+    /// Both lexing and parsing recover: a lex error skips to the next `;`
+    /// in the raw text, and a parse error records the failure and
+    /// resynchronises at the next top-level `;` in the token stream. The
+    /// result carries every statement that parsed *and* every span-tagged
+    /// error, so callers can extract lineage from the healthy part of a
+    /// messy query log while reporting precisely what was skipped.
+    pub fn parse_statements_recovering(sql: &str) -> RecoveredScript {
+        let (tokens, lex_errors) = Lexer::tokenize_recovering(sql);
+        let mut script = RecoveredScript { statements: Vec::new(), errors: lex_errors };
+        let mut parser = Parser { tokens, index: 0, depth: 0 };
+        loop {
+            while parser.consume_token(&Token::Semicolon) {}
+            if parser.peek_token() == &Token::Eof {
+                break;
+            }
+            let start = parser.peek_span();
+            match parser.parse_statement() {
+                Ok(statement) => {
+                    let span = start.union(&parser.prev_span());
+                    match parser.peek_token() {
+                        Token::Semicolon | Token::Eof => {
+                            script.statements.push(statement.with_span(span));
+                        }
+                        other => {
+                            // The statement parsed but trailing garbage
+                            // follows; report the garbage and drop the
+                            // statement (its meaning is suspect).
+                            let msg = format!("expected end of statement, found {other}");
+                            script.errors.push(parser.error_here(msg));
+                            parser.skip_to_statement_boundary();
+                        }
+                    }
+                }
+                Err(error) => {
+                    script.errors.push(error);
+                    parser.skip_to_statement_boundary();
+                }
+            }
+        }
+        // Lex errors were collected before any parsing; put all errors in
+        // source order so reports read top-to-bottom.
+        script.errors.sort_by_key(|e| e.span.start);
+        script
+    }
+
+    /// Advance the cursor to the next `;` (or end of input) so recovery
+    /// can resume at the following statement.
+    fn skip_to_statement_boundary(&mut self) {
+        loop {
+            match self.peek_token() {
+                Token::Semicolon | Token::Eof => return,
+                _ => {
+                    self.next_token();
+                }
+            }
+        }
     }
 
     // ---- token cursor -------------------------------------------------
@@ -64,6 +154,15 @@ impl Parser {
             .map(|t| t.span)
             .or_else(|| self.tokens.last().map(|t| t.span))
             .unwrap_or_default()
+    }
+
+    /// The span of the most recently consumed token (the cursor's own
+    /// span before any token was consumed).
+    pub(crate) fn prev_span(&self) -> Span {
+        match self.index.checked_sub(1).and_then(|i| self.tokens.get(i)) {
+            Some(t) => t.span,
+            None => self.peek_span(),
+        }
     }
 
     pub(crate) fn next_token(&mut self) -> Token {
@@ -162,12 +261,12 @@ impl Parser {
 
     // ---- identifiers ---------------------------------------------------
 
-    fn word_to_ident(word: &Word) -> Ident {
+    fn word_to_ident(word: &Word, span: Span) -> Ident {
         if let Some(q) = word.quote {
             let _ = q;
-            Ident::quoted(word.value.clone())
+            Ident::quoted(word.value.clone()).with_span(span)
         } else {
-            Ident::new(&word.value)
+            Ident::new(&word.value).with_span(span)
         }
     }
 
@@ -181,8 +280,9 @@ impl Parser {
                 };
                 if acceptable {
                     let w = w.clone();
+                    let span = self.peek_span();
                     self.next_token();
-                    Ok(Self::word_to_ident(&w))
+                    Ok(Self::word_to_ident(&w, span))
                 } else {
                     Err(self.error_here(format!(
                         "expected identifier, found reserved keyword {}",
@@ -221,8 +321,9 @@ impl Parser {
                 };
                 if ok {
                     let w = w.clone();
+                    let span = self.peek_span();
                     self.next_token();
-                    Ok(Some(Self::word_to_ident(&w)))
+                    Ok(Some(Self::word_to_ident(&w, span)))
                 } else {
                     Ok(None)
                 }
@@ -278,11 +379,38 @@ impl Parser {
                 Some(Keyword::DROP) => self.parse_drop(),
                 Some(Keyword::UPDATE) => self.parse_update(),
                 Some(Keyword::DELETE) => self.parse_delete(),
+                Some(Keyword::EXPLAIN) => Ok(self.parse_noise(NoiseKind::Explain)),
+                Some(Keyword::SET) => Ok(self.parse_noise(NoiseKind::Set)),
+                Some(Keyword::BEGIN) => Ok(self.parse_noise(NoiseKind::Begin)),
+                Some(Keyword::COMMIT) => Ok(self.parse_noise(NoiseKind::Commit)),
+                Some(Keyword::ROLLBACK) => Ok(self.parse_noise(NoiseKind::Rollback)),
+                Some(Keyword::ANALYZE) => Ok(self.parse_noise(NoiseKind::Analyze)),
                 _ => Err(self.error_here(format!("unexpected start of statement: {}", w.value))),
             },
             Token::LParen => Ok(Statement::Query(Box::new(self.parse_query()?))),
             other => Err(self.error_here(format!("unexpected start of statement: {other}"))),
         }
+    }
+
+    /// Consume a recognised log-noise statement (`EXPLAIN`, `SET`,
+    /// transaction control, `ANALYZE`) up to its terminating `;`,
+    /// recording the statement's token text. Noise never fails: whatever
+    /// follows the leading keyword is part of the skipped statement.
+    fn parse_noise(&mut self, kind: NoiseKind) -> Statement {
+        let mut text = String::new();
+        loop {
+            match self.peek_token() {
+                Token::Semicolon | Token::Eof => break,
+                token => {
+                    if !text.is_empty() {
+                        text.push(' ');
+                    }
+                    text.push_str(&token.to_string());
+                    self.next_token();
+                }
+            }
+        }
+        Statement::Noise(NoiseStatement { kind, text })
     }
 
     fn parse_create(&mut self) -> Result<Statement, ParseError> {
@@ -639,6 +767,105 @@ mod tests {
     fn garbage_between_statements_errors() {
         let err = Parser::parse_sql("SELECT 1 SELECT 2").unwrap_err();
         assert!(err.message.contains("end of statement"), "{err}");
+    }
+
+    #[test]
+    fn spanned_statements_cover_their_source() {
+        let sql = "SELECT 1;\nCREATE VIEW v AS SELECT a FROM t;";
+        let stmts = Parser::parse_sql_spanned(sql).unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[0].span.slice(sql), "SELECT 1");
+        assert_eq!(stmts[1].span.slice(sql), "CREATE VIEW v AS SELECT a FROM t");
+        assert_eq!(stmts[1].span.location.line, 2);
+    }
+
+    #[test]
+    fn identifiers_carry_token_spans() {
+        let sql = "SELECT col FROM tbl";
+        let stmts = Parser::parse_sql_spanned(sql).unwrap();
+        let Statement::Query(q) = &stmts[0].statement else { panic!() };
+        let SetExpr::Select(sel) = &q.body else { panic!() };
+        let SelectItem::UnnamedExpr(Expr::Identifier(col)) = &sel.projection[0] else { panic!() };
+        assert_eq!(col.span.slice(sql), "col");
+        let TableFactor::Table { name, .. } = &sel.from[0].relation else { panic!() };
+        assert_eq!(name.span().slice(sql), "tbl");
+    }
+
+    #[test]
+    fn recovering_parse_keeps_good_statements() {
+        let sql = "SELECT a FROM t;\nSELECT FROM oops;\nSELECT b FROM u;";
+        let script = Parser::parse_statements_recovering(sql);
+        assert_eq!(script.statements.len(), 2);
+        assert_eq!(script.errors.len(), 1);
+        assert!(!script.is_clean());
+        assert_eq!(script.errors[0].span.location.line, 2);
+        assert_eq!(script.statements[1].span.location.line, 3);
+    }
+
+    #[test]
+    fn recovering_parse_survives_lex_errors() {
+        // `#` is not a valid SQL character; the lexer must resynchronise.
+        let sql = "SELECT a # b;\nSELECT c FROM t;";
+        let script = Parser::parse_statements_recovering(sql);
+        assert_eq!(script.errors.len(), 1);
+        assert_eq!(script.statements.len(), 1);
+        assert_eq!(script.statements[0].span.location.line, 2);
+    }
+
+    #[test]
+    fn recovering_parse_reports_trailing_garbage() {
+        let script = Parser::parse_statements_recovering("SELECT 1 SELECT 2; SELECT 3");
+        assert_eq!(script.errors.len(), 1);
+        assert_eq!(script.statements.len(), 1);
+        assert!(matches!(&script.statements[0].statement, Statement::Query(_)));
+    }
+
+    #[test]
+    fn recovering_parse_of_clean_script_matches_strict() {
+        let sql = "SELECT a FROM t; CREATE VIEW v AS SELECT 1;";
+        let strict = Parser::parse_sql(sql).unwrap();
+        let script = Parser::parse_statements_recovering(sql);
+        assert!(script.is_clean());
+        let recovered: Vec<Statement> =
+            script.statements.into_iter().map(|s| s.statement).collect();
+        assert_eq!(strict, recovered);
+    }
+
+    #[test]
+    fn noise_statements_parse_without_tripping() {
+        let sql = "BEGIN; SET search_path = public; EXPLAIN SELECT * FROM t; \
+                   ANALYZE web; COMMIT; ROLLBACK";
+        let stmts = Parser::parse_sql(sql).unwrap();
+        let kinds: Vec<NoiseKind> = stmts
+            .iter()
+            .map(|s| match s {
+                Statement::Noise(n) => n.kind,
+                other => panic!("expected noise, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                NoiseKind::Begin,
+                NoiseKind::Set,
+                NoiseKind::Explain,
+                NoiseKind::Analyze,
+                NoiseKind::Commit,
+                NoiseKind::Rollback,
+            ]
+        );
+        // The noise text preserves the tokens for diagnostics.
+        let Statement::Noise(explain) = &stmts[2] else { panic!() };
+        assert_eq!(explain.text, "EXPLAIN SELECT * FROM t");
+    }
+
+    #[test]
+    fn noise_statements_roundtrip_through_display() {
+        for sql in ["BEGIN", "SET search_path = public", "EXPLAIN SELECT a FROM t"] {
+            let stmt = crate::parse_statement(sql).unwrap();
+            let redisplayed = crate::parse_statement(&stmt.to_string()).unwrap();
+            assert_eq!(stmt, redisplayed);
+        }
     }
 
     #[test]

@@ -53,8 +53,13 @@ pub fn to_markdown(graph: &LineageGraph) -> String {
             code_list(&refs.iter().map(String::as_str).collect::<Vec<_>>())
         )
         .expect("write to string");
-        if !q.warnings.is_empty() {
-            writeln!(out, "> ⚠ {} warning(s): {:?}\n", q.warnings.len(), q.warnings)
+        if !q.diagnostics.is_empty() {
+            let rendered: Vec<String> = q.diagnostics.iter().map(|d| d.to_string()).collect();
+            writeln!(out, "> ⚠ {} diagnostic(s): {}\n", rendered.len(), rendered.join("; "))
+                .expect("write to string");
+        }
+        if q.partial {
+            writeln!(out, "> ⚠ lineage is partial (lenient degradation)\n")
                 .expect("write to string");
         }
     }

@@ -52,9 +52,9 @@ pub use lineagex_viz as viz;
 pub mod prelude {
     pub use lineagex_catalog::{Catalog, SimulatedDatabase};
     pub use lineagex_core::{
-        explore, impact_of, lineagex, path_between, upstream_of, AmbiguityPolicy, EdgeKind,
-        GraphStats, LineageError, LineageGraph, LineageResult, LineageX, QueryLineage,
-        SourceColumn,
+        explore, impact_of, lineagex, lineagex_lenient, path_between, upstream_of, AmbiguityPolicy,
+        Diagnostic, DiagnosticCode, EdgeKind, GraphStats, LineageError, LineageGraph,
+        LineageResult, LineageX, QueryLineage, Severity, SourceColumn,
     };
     pub use lineagex_engine::{Engine, EngineOptions, EngineStats, IngestAction, StmtId};
     #[cfg(feature = "viz")]

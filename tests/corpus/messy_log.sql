@@ -1,0 +1,42 @@
+-- LineageX resilience corpus: a deliberately messy production-style log.
+-- Every failure mode the lenient pipeline must survive appears once, so
+-- the golden diagnostics file exercises each diagnostic code.
+BEGIN;
+SET search_path = analytics;
+
+CREATE TABLE web (cid int, page text, reg boolean);
+CREATE TABLE events (eid int, cid int, kind text);
+
+-- A perfectly healthy view.
+CREATE VIEW webinfo AS SELECT cid AS wcid, page AS wpage FROM web WHERE reg;
+
+-- Syntax error: the parser must resynchronise at the ';'.
+CREATE VIEW broken AS SELECT FROM WHERE;
+
+-- Lex error: '#' is not SQL; the lexer must resynchronise too.
+SELECT cid # kind FROM events;
+
+-- Depends on a relation defined later (auto-inference handles it).
+CREATE VIEW funnel AS SELECT wcid, n FROM counts;
+
+CREATE VIEW counts AS SELECT e.cid AS wcid, count(*) AS n FROM events e GROUP BY e.cid;
+
+-- Scans an external feed nobody declared.
+CREATE VIEW scored AS
+SELECT w.wcid AS cid, s.score AS score
+FROM webinfo w JOIN ext_scores s ON w.wcid = s.cid;
+
+-- Duplicate id: the later definition must win, like a session redefinition.
+CREATE VIEW webinfo AS SELECT cid AS wcid, page AS wpage, reg AS wreg FROM web;
+
+-- References a column the schema does not have: partial lineage.
+CREATE VIEW ghost AS SELECT web.nope AS nope, web.page AS page FROM web;
+
+EXPLAIN SELECT * FROM webinfo;
+ANALYZE web;
+
+DELETE FROM events;
+DROP VIEW missing_view;
+
+COMMIT;
+ROLLBACK;

@@ -2,7 +2,7 @@
 //! and `DELETE` handling across both extraction paths.
 
 use lineagex::catalog::{Catalog, SimulatedDatabase};
-use lineagex::core::{ExplainPathExtractor, QueryDict, QueryKind, Warning};
+use lineagex::core::{ExplainPathExtractor, QueryDict, QueryKind};
 use lineagex::prelude::*;
 use std::collections::BTreeSet;
 
@@ -76,9 +76,9 @@ fn delete_is_skipped_with_warning() {
     let result = lineagex(&format!("{DDL} DELETE FROM web WHERE reg;")).unwrap();
     assert!(result.graph.queries.is_empty());
     assert!(result
-        .warnings
+        .diagnostics
         .iter()
-        .any(|w| matches!(w, Warning::SkippedStatement { what } if what.contains("web"))));
+        .any(|d| d.code == DiagnosticCode::SkippedStatement && d.message.contains("web")));
 }
 
 #[test]

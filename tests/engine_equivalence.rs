@@ -2,8 +2,9 @@
 //! generated workloads:
 //!
 //! 1. **incremental ≡ batch** — statement-at-a-time `Engine::ingest`
-//!    settles to the same lineage (nodes + per-query records, hence all
-//!    edges) as one-shot `LineageX::run` over the same log;
+//!    settles to the same lineage (nodes + per-query records — including
+//!    each record's diagnostics and partial flag — hence all edges) as
+//!    one-shot `LineageX::run` over the same log;
 //! 2. **parallel ≡ sequential** — `jobs > 1` is byte-identical to
 //!    `jobs = 1`, including the serialized graph;
 //! 3. **cone-sized invalidation** — redefining one view on a 200-view log

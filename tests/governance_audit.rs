@@ -3,7 +3,6 @@
 //! externals), warnings triage, policy switches, impact analysis, path
 //! explanations, statistics, and every report backend.
 
-use lineagex::core::Warning;
 use lineagex::prelude::*;
 use lineagex::viz::to_markdown;
 
@@ -54,12 +53,16 @@ fn messy_log_extracts_with_the_right_warnings() {
         ["uid", "score"].iter().map(|s| s.to_string()).collect()
     );
     let enriched = &result.graph.queries["enriched"];
-    assert!(enriched.warnings.iter().any(|w| matches!(w, Warning::UnknownRelation { .. })));
+    assert!(enriched.diagnostics.iter().any(|d| d.code == DiagnosticCode::UnknownRelation));
 
-    // The DROP produced a skip warning.
-    assert!(result.warnings.iter().any(
-        |w| matches!(w, Warning::SkippedStatement { what } if what.contains("obsolete_view"))
-    ));
+    // The DROP produced a skip diagnostic.
+    assert!(
+        result
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagnosticCode::SkippedStatement
+                && d.message.contains("obsolete_view"))
+    );
 }
 
 #[test]
@@ -117,7 +120,7 @@ fn strict_mode_surfaces_the_ambiguity_risk() {
     // The default policy records what it attributed.
     let lenient = lineagex(ambiguous).unwrap();
     assert!(lenient.graph.queries["v"]
-        .warnings
+        .diagnostics
         .iter()
-        .any(|w| matches!(w, Warning::AmbiguityResolved { .. })));
+        .any(|d| d.code == DiagnosticCode::AmbiguityResolved));
 }

@@ -1,0 +1,218 @@
+//! Resilient extraction over messy query logs.
+//!
+//! The corpus (`tests/corpus/messy_log.sql`) packs every failure mode the
+//! lenient pipeline must survive — syntax errors, lex errors, duplicate
+//! ids, missing dependencies, unresolvable columns, and log noise — into
+//! one log. Lenient mode must extract complete lineage for every
+//! well-formed statement, tag each failure with a resolvable `line:col`
+//! span, and render each against the source (asserted against the golden
+//! diagnostics file).
+//!
+//! The property test asserts the isolation guarantee behind all of it:
+//! injecting one corrupt statement into any valid log never changes the
+//! lineage extracted for the other statements.
+
+use lineagex::core::{DiagnosticCode, LineageX, Severity};
+use lineagex::datasets::{generator, GeneratorConfig};
+use lineagex::engine::{Engine, EngineOptions};
+use lineagex::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const CORPUS_PATH: &str = "tests/corpus/messy_log.sql";
+const GOLDEN_PATH: &str = "tests/golden/messy_log_diagnostics.txt";
+
+fn corpus() -> String {
+    std::fs::read_to_string(CORPUS_PATH).expect("corpus file exists")
+}
+
+/// Every diagnostic of a run, run-level first, then per-query in
+/// processing order (mirrors the CLI's reading order).
+fn all_diagnostics(result: &LineageResult) -> Vec<Diagnostic> {
+    let mut out = result.diagnostics.clone();
+    for id in &result.graph.order {
+        out.extend(result.graph.queries[id].diagnostics.iter().cloned());
+    }
+    out
+}
+
+#[test]
+fn strict_mode_rejects_the_corpus() {
+    assert!(lineagex(&corpus()).is_err());
+}
+
+#[test]
+fn lenient_mode_extracts_every_well_formed_statement() {
+    let sql = corpus();
+    let result = LineageX::new().lenient().run(&sql).unwrap();
+
+    // Every well-formed lineage-bearing statement got a complete record.
+    assert_eq!(
+        result.graph.queries.keys().map(String::as_str).collect::<Vec<_>>(),
+        vec!["counts", "funnel", "ghost", "scored", "webinfo"]
+    );
+    // The duplicate resolved last-definition-wins: webinfo has 3 outputs.
+    let webinfo = &result.graph.queries["webinfo"];
+    assert_eq!(webinfo.output_names(), vec!["wcid", "wpage", "wreg"]);
+    assert!(!webinfo.partial);
+    // The out-of-order dependency resolved through the deferral stack.
+    let funnel = &result.graph.queries["funnel"];
+    assert_eq!(funnel.output_names(), vec!["wcid", "n"]);
+    assert_eq!(funnel.outputs[1].ccon, BTreeSet::from([SourceColumn::new("counts", "n")]));
+    assert!(!funnel.partial);
+    // The external feed was inferred, not fatal.
+    assert!(result.inferred["ext_scores"].contains("score"));
+    // The unresolvable column degraded to a partial record that still
+    // carries full lineage for its healthy output.
+    let ghost = &result.graph.queries["ghost"];
+    assert!(ghost.partial);
+    assert_eq!(ghost.output_names(), vec!["nope", "page"]);
+    assert!(ghost.outputs[0].ccon.is_empty());
+    assert_eq!(ghost.outputs[1].ccon, BTreeSet::from([SourceColumn::new("web", "page")]));
+
+    // Every failure mode surfaced as a typed diagnostic.
+    let codes: BTreeSet<DiagnosticCode> = all_diagnostics(&result).iter().map(|d| d.code).collect();
+    for expected in [
+        DiagnosticCode::ParseError,
+        DiagnosticCode::DuplicateQueryId,
+        DiagnosticCode::UnknownRelation,
+        DiagnosticCode::UnresolvedColumn,
+        DiagnosticCode::InferredColumn,
+        DiagnosticCode::SkippedStatement,
+        DiagnosticCode::NoiseStatement,
+    ] {
+        assert!(codes.contains(&expected), "missing {expected} in {codes:?}");
+    }
+}
+
+#[test]
+fn every_corpus_diagnostic_resolves_to_its_source_line() {
+    let sql = corpus();
+    let result = LineageX::new().lenient().run(&sql).unwrap();
+    let diagnostics = all_diagnostics(&result);
+    assert!(!diagnostics.is_empty());
+    for diagnostic in &diagnostics {
+        let span =
+            diagnostic.span.unwrap_or_else(|| panic!("diagnostic without a span: {diagnostic}"));
+        // The span's line:col resolves inside the source.
+        let line = sql
+            .lines()
+            .nth(span.line as usize - 1)
+            .unwrap_or_else(|| panic!("line {} out of range for {diagnostic}", span.line));
+        assert!(
+            span.column as usize <= line.chars().count() + 1,
+            "column {} out of range on line {:?} for {diagnostic}",
+            span.column,
+            line,
+        );
+        // And its byte range slices real source text.
+        assert!(span.start < span.end, "empty span for {diagnostic}");
+        assert!(sql.get(span.start..span.end).is_some(), "unsliceable span for {diagnostic}");
+        // Rendering always produces the caret excerpt.
+        let rendered = diagnostic.render("messy_log.sql", &sql);
+        assert!(rendered.contains(&format!(":{}:{}:", span.line, span.column)), "{rendered}");
+        assert!(rendered.lines().count() == 3, "expected caret rendering:\n{rendered}");
+    }
+    // Severities are mixed: hard failures are errors, degradations are
+    // warnings, bookkeeping is info.
+    let severities: BTreeSet<Severity> = diagnostics.iter().map(|d| d.severity).collect();
+    assert_eq!(severities, BTreeSet::from([Severity::Info, Severity::Warning, Severity::Error]));
+}
+
+/// The golden rendering: regenerate with
+/// `UPDATE_GOLDEN=1 cargo test --test resilience golden`.
+#[test]
+fn golden_diagnostics_rendering() {
+    let sql = corpus();
+    let result = LineageX::new().lenient().run(&sql).unwrap();
+    let rendered: String = all_diagnostics(&result)
+        .iter()
+        .map(|d| d.render("messy_log.sql", &sql))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("can write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file exists");
+    assert_eq!(
+        rendered, golden,
+        "diagnostics rendering drifted from {GOLDEN_PATH}; \
+         run with UPDATE_GOLDEN=1 to regenerate"
+    );
+}
+
+#[test]
+fn lenient_session_matches_lenient_batch_on_the_corpus() {
+    let sql = corpus();
+    let batch = LineageX::new().lenient().run(&sql).unwrap();
+    let mut engine = Engine::with_options(EngineOptions {
+        extract: lineagex::core::ExtractOptions::new().with_lenient(),
+        ..EngineOptions::default()
+    });
+    engine.ingest(&sql).unwrap();
+    let graph = engine.graph().unwrap();
+    assert_eq!(&graph.queries, &batch.graph.queries);
+    assert_eq!(&graph.nodes, &batch.graph.nodes);
+}
+
+/// Corrupt statements for injection: each must fail to parse (or lex)
+/// without swallowing its neighbours. Unterminated quotes are excluded
+/// deliberately — a string literal legitimately consumes everything to
+/// the next quote, so no recovery can save the statements it swallows.
+const CORRUPT: &[&str] = &[
+    "SELECT FROM nowhere",
+    "CREATE VIEW broken AS SELEC 1",
+    "GROUP BY x",
+    "SELECT a # b FROM t",
+    "CREATE OR VIEW bad AS SELECT 1",
+    "%%%",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Injecting one corrupt statement into any valid log never changes
+    /// the lineage extracted for the other statements: lenient mode over
+    /// the corrupted log equals strict mode over the clean log, plus
+    /// exactly the injected failure's diagnostics.
+    #[test]
+    fn corrupt_statement_never_changes_other_lineage(
+        seed in 0u64..10_000,
+        position_pick in 0usize..1000,
+        corrupt_pick in 0usize..CORRUPT.len(),
+    ) {
+        let workload = generator::generate(&GeneratorConfig {
+            views: 8,
+            ..GeneratorConfig::seeded(seed)
+        });
+        let clean =
+            lineagex(&workload.full_sql()).map_err(|e| TestCaseError::fail(e.to_string()))?;
+
+        // Rebuild the log with one corrupt statement spliced in.
+        let mut statements: Vec<String> = workload
+            .ddl
+            .split(';')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+        statements.extend(workload.view_statements.iter().cloned());
+        let position = position_pick % (statements.len() + 1);
+        statements.insert(position, CORRUPT[corrupt_pick].to_string());
+        let corrupted = statements.join(";\n") + ";";
+
+        let lenient = LineageX::new()
+            .lenient()
+            .run(&corrupted)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(&lenient.graph.queries, &clean.graph.queries);
+        prop_assert_eq!(&lenient.graph.nodes, &clean.graph.nodes);
+        prop_assert_eq!(lenient.graph.all_edges(), clean.graph.all_edges());
+        // Exactly one parse failure was recorded, and nothing else.
+        let codes: Vec<DiagnosticCode> =
+            lenient.diagnostics.iter().map(|d| d.code).collect();
+        prop_assert_eq!(codes, vec![DiagnosticCode::ParseError]);
+    }
+}

@@ -1,7 +1,6 @@
 //! Feature-by-feature lineage semantics tests: each test pins the exact
 //! expected `C_con`/`C_ref` for one SQL construct.
 
-use lineagex::core::Warning;
 use lineagex::prelude::*;
 use std::collections::BTreeSet;
 
@@ -168,8 +167,8 @@ fn unknown_table_inference_warns_and_infers() {
     let result =
         lineagex("CREATE VIEW v AS SELECT w.page, w.cid FROM mystery w WHERE w.reg").unwrap();
     let v = &result.graph.queries["v"];
-    assert!(v.warnings.iter().any(|w| matches!(w, Warning::UnknownRelation { .. })));
-    assert!(v.warnings.iter().any(|w| matches!(w, Warning::InferredColumn { .. })));
+    assert!(v.diagnostics.iter().any(|d| d.code == DiagnosticCode::UnknownRelation));
+    assert!(v.diagnostics.iter().any(|d| d.code == DiagnosticCode::InferredColumn));
     assert_eq!(
         result.inferred["mystery"],
         BTreeSet::from(["page".to_string(), "cid".to_string(), "reg".to_string()])
@@ -180,7 +179,7 @@ fn unknown_table_inference_warns_and_infers() {
 fn wildcard_over_unknown_table_warns() {
     let result = lineagex("CREATE VIEW v AS SELECT * FROM mystery").unwrap();
     let v = &result.graph.queries["v"];
-    assert!(v.warnings.iter().any(|w| matches!(w, Warning::UnresolvedWildcard { .. })));
+    assert!(v.diagnostics.iter().any(|d| d.code == DiagnosticCode::UnresolvedWildcard));
     assert!(v.outputs.is_empty(), "nothing to expand without schema");
 }
 
@@ -194,7 +193,7 @@ fn ambiguity_policies_differ() {
     // AttributeAll (default): both.
     let v = lineagex(log).unwrap().graph.queries["v"].clone();
     assert_eq!(v.outputs[0].ccon, set(&[("a", "k"), ("b", "k")]));
-    assert!(v.warnings.iter().any(|w| matches!(w, Warning::AmbiguityResolved { .. })));
+    assert!(v.diagnostics.iter().any(|d| d.code == DiagnosticCode::AmbiguityResolved));
     // FirstMatch: the first relation in FROM order.
     let v = LineageX::new().ambiguity(AmbiguityPolicy::FirstMatch).run(log).unwrap().graph.queries
         ["v"]
