@@ -34,11 +34,23 @@ cargo test -q --workspace
 step "cargo test -q --test resilience (messy-log corpus + isolation property)"
 cargo test -q --test resilience
 
+# Public-API snapshot guard: the lineagex::prelude export list and the
+# Example 1 ReportV2 document are golden files (UPDATE_GOLDEN=1
+# regenerates) — accidental API or wire-format breaks fail the build.
+step "cargo test -q --test api_surface (prelude + ReportV2 golden guard)"
+cargo test -q --test api_surface
+
 # The workspace run above already builds and tests lineagex-engine; the
 # runnable session walkthrough (which asserts cone-sized re-extraction)
 # is the one engine surface it doesn't exercise.
 step "cargo run --example incremental_session"
 cargo run --quiet --example incremental_session
+
+# The unified-surface walkthrough asserts (at runtime) that GraphQuery
+# answers and ReportV2 bytes are identical across batch and session
+# backends.
+step "cargo run --example query_api"
+cargo run --quiet --example query_api
 
 step "cargo doc --no-deps --workspace (docs must keep compiling)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -48,7 +48,7 @@ fn main() {
         .map(|(t, c)| SourceColumn::new(t, c))
         .collect();
     let actual: std::collections::BTreeSet<SourceColumn> =
-        impact.impacted.iter().map(|c| c.column.clone()).collect();
+        impact.impacted().iter().map(|c| c.column.clone()).collect();
     assert_eq!(actual, expected);
     println!(
         "\n✔ impact = webinfo.wpage + all columns of webact and info ({} columns), as in §IV",

@@ -17,13 +17,13 @@ fn main() {
 
     section("LineageX impact analysis (contribution + reference)");
     let full = result.impact_of("web", "page");
-    for hit in &full.impacted {
+    for hit in full.impacted() {
         println!("  {} ({:?})", hit.column, hit.kind);
     }
 
     section("What the LLM-style analysis misses");
     let missed: Vec<&SourceColumn> =
-        full.impacted.iter().filter(|c| !llm.contains(&c.column)).map(|c| &c.column).collect();
+        full.impacted().iter().filter(|c| !llm.contains(&c.column)).map(|c| &c.column).collect();
     println!("  {}", join(missed.iter()));
 
     // Paper: GPT-4o finds the wpage chain (webinfo/webact/info) but not
@@ -39,7 +39,7 @@ fn main() {
         "LLM-style must miss referenced-only webact.wcid"
     );
     assert!(full
-        .impacted
+        .impacted()
         .iter()
         .any(|c| c.column == SourceColumn::new("webact", "wcid") && c.kind == EdgeKind::Reference));
     println!("\n✔ reproduces the paper's GPT-4o observation");

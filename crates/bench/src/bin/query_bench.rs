@@ -1,0 +1,132 @@
+//! QUERY — the GraphQuery layer's traversal throughput on the 200-view
+//! scaling workload: full cone queries (impact-style), upstream
+//! closures, depth-limited cones, edge-kind-filtered cones, and
+//! table-level explores, all through the unified `LineageView` surface.
+//!
+//! Writes `BENCH_query.json` into the working directory so the query
+//! layer joins the repo's perf trajectory alongside `BENCH_engine.json`.
+
+use lineagex_bench::section;
+use lineagex_core::{lineagex, EdgeKind, LineageView, QuerySpec, SourceColumn};
+use lineagex_datasets::{generator, GeneratorConfig};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+const VIEWS: usize = 200;
+const REPS: usize = 5;
+
+#[derive(Serialize)]
+struct Report {
+    views: usize,
+    origin_columns: usize,
+    downstream_cone_qps: f64,
+    upstream_closure_qps: f64,
+    depth3_cone_qps: f64,
+    contribute_only_qps: f64,
+    table_explore_qps: f64,
+    avg_cone_columns: f64,
+    max_cone_columns: usize,
+}
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn qps(queries: usize, elapsed: Duration) -> f64 {
+    queries as f64 / elapsed.as_secs_f64()
+}
+
+fn main() {
+    let workload =
+        generator::generate(&GeneratorConfig { views: VIEWS, ..GeneratorConfig::seeded(29) });
+    let sql = workload.full_sql();
+    let mut view = lineagex(&sql).expect("workload extracts");
+    let graph = view.settled_graph().expect("batch settles").clone();
+
+    // Every column of every relation is an origin: the worst-case sweep
+    // a lineage service answering per-column questions would face.
+    let origins: Vec<SourceColumn> = graph
+        .nodes
+        .values()
+        .flat_map(|n| n.columns.iter().map(|c| SourceColumn::new(&n.name, c)))
+        .collect();
+    let tables: Vec<String> = graph.nodes.keys().cloned().collect();
+
+    section("QUERY — workload");
+    println!(
+        "  {} statements ({} views), {} origin columns, {} relations",
+        workload.statement_count(),
+        VIEWS,
+        origins.len(),
+        tables.len()
+    );
+
+    let sweep = |spec_for: &dyn Fn(&SourceColumn) -> QuerySpec| -> (Duration, usize, usize) {
+        let mut total = 0usize;
+        let mut max = 0usize;
+        let elapsed = best_of(REPS, || {
+            total = 0;
+            max = 0;
+            for origin in &origins {
+                let answer = spec_for(origin).run_on(&graph);
+                total += answer.columns.len();
+                max = max.max(answer.columns.len());
+            }
+        });
+        (elapsed, total, max)
+    };
+
+    let (down, down_total, down_max) =
+        sweep(&|o| QuerySpec::new().from_column(&o.table, &o.column).downstream());
+    let (up, _, _) = sweep(&|o| QuerySpec::new().from_column(&o.table, &o.column).upstream());
+    let (depth3, _, _) =
+        sweep(&|o| QuerySpec::new().from_column(&o.table, &o.column).downstream().max_depth(3));
+    let (contribute, _, _) = sweep(&|o| {
+        QuerySpec::new()
+            .from_column(&o.table, &o.column)
+            .downstream()
+            .edge_kind(EdgeKind::Contribute)
+            .edge_kind(EdgeKind::Both)
+    });
+
+    let explore_elapsed = best_of(REPS, || {
+        for table in &tables {
+            std::hint::black_box(
+                QuerySpec::new().from_table(table).table_level().max_depth(1).run_on(&graph),
+            );
+        }
+    });
+
+    let report = Report {
+        views: VIEWS,
+        origin_columns: origins.len(),
+        downstream_cone_qps: qps(origins.len(), down),
+        upstream_closure_qps: qps(origins.len(), up),
+        depth3_cone_qps: qps(origins.len(), depth3),
+        contribute_only_qps: qps(origins.len(), contribute),
+        table_explore_qps: qps(tables.len(), explore_elapsed),
+        avg_cone_columns: down_total as f64 / origins.len() as f64,
+        max_cone_columns: down_max,
+    };
+
+    section("QUERY — GraphQuery traversal throughput");
+    println!("  downstream cone      : {:>10.0} queries/s", report.downstream_cone_qps);
+    println!("  upstream closure     : {:>10.0} queries/s", report.upstream_closure_qps);
+    println!("  depth-3 cone         : {:>10.0} queries/s", report.depth3_cone_qps);
+    println!("  contribute-only cone : {:>10.0} queries/s", report.contribute_only_qps);
+    println!("  table-level explore  : {:>10.0} queries/s", report.table_explore_qps);
+    println!(
+        "  cone size            : avg {:.1} columns, max {}",
+        report.avg_cone_columns, report.max_cone_columns
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write("BENCH_query.json", json + "\n").expect("can write BENCH_query.json");
+    println!("\n  wrote BENCH_query.json");
+}

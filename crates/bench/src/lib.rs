@@ -15,6 +15,7 @@
 //! | `explain_path` | §III connected mode — static vs EXPLAIN agreement |
 //! | `accuracy_sweep` | extension — F1 vs SQL-feature mix, ours vs baseline |
 //! | `engine_bench` | extension — session engine: batch vs incremental vs parallel (`BENCH_engine.json`) |
+//! | `query_bench` | extension — GraphQuery traversal throughput on the 200-view workload (`BENCH_query.json`) |
 
 #![deny(rustdoc::broken_intra_doc_links)]
 

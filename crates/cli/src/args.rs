@@ -5,16 +5,42 @@ use lineagex_core::AmbiguityPolicy;
 /// The usage banner.
 pub const USAGE: &str = "\
 usage:
-  lineagex extract  <queries.sql> [--ddl <schema.sql>] [--json <out>] [--dot <out>]
-                    [--html <out>] [--mermaid <out>] [--trace] [--ambiguity all|first|error]
-                    [--no-auto-inference] [--jobs <N>] [--lenient]
-                    [--diagnostics-json <out>]
+  lineagex extract  <queries.sql> [--ddl <schema.sql>] [--json <out>] [--json-v1 <out>]
+                    [--dot <out>] [--html <out>] [--mermaid <out>] [--trace]
+                    [--ambiguity all|first|error] [--no-auto-inference] [--jobs <N>]
+                    [--lenient] [--diagnostics-json <out>]
+                    (--json emits the versioned schema_version-2 document;
+                     --json-v1 keeps the legacy output.json)
+  lineagex query    <origin>[,<origin>...] <queries.sql> [--ddl <schema.sql>]
+                    [--direction down|up] [--depth <N>]
+                    [--edge-kind contribute|reference|both]... [--table-level]
+                    [--to <table.column>] [--format text|json|json-v1|dot|mermaid]
+                    [--jobs <N>] [--lenient]
+                    (composable GraphQuery: an origin is table.column, or a bare
+                     relation name for all of its columns)
   lineagex session  [--ddl <schema.sql>] [--jobs <N>] [--ambiguity all|first|error] [--lenient]
                     (incremental REPL: statements from stdin, \\commands for queries)
   lineagex impact   <table.column> <queries.sql> [--ddl <schema.sql>]
   lineagex path     <from.column> <to.column> <queries.sql> [--ddl <schema.sql>]
   lineagex explain  <queries.sql> --ddl <schema.sql>
   lineagex compare  <queries.sql> [--ddl <schema.sql>]";
+
+/// Output format of the `query` subcommand.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QueryFormat {
+    /// Human-readable summary (the default).
+    #[default]
+    Text,
+    /// The schema-version-2 query document.
+    Json,
+    /// The legacy whole-run v1 document (cone slicing is a v2
+    /// capability; this renders the full graph).
+    JsonV1,
+    /// Graphviz DOT of the traversal cone.
+    Dot,
+    /// Mermaid flowchart of the traversal cone.
+    Mermaid,
+}
 
 /// Options shared by every subcommand.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -42,8 +68,10 @@ pub enum Command {
     Extract {
         /// The SQL file to analyse.
         file: String,
-        /// `--json` output path.
+        /// `--json` output path (the versioned v2 document).
         json: Option<String>,
+        /// `--json-v1` output path (the legacy `output.json`).
+        json_v1: Option<String>,
         /// `--dot` output path.
         dot: Option<String>,
         /// `--html` output path.
@@ -53,6 +81,28 @@ pub enum Command {
         /// `--diagnostics-json` output path: every diagnostic of the run
         /// as structured JSON (code, severity, span, excerpt).
         diagnostics_json: Option<String>,
+        /// Shared options.
+        common: CommonOptions,
+    },
+    /// `query <origin>[,<origin>...]`: the composable GraphQuery front
+    /// door.
+    Query {
+        /// Origins: `table.column` specs or bare relation names.
+        origins: Vec<String>,
+        /// The SQL file.
+        file: String,
+        /// Walk upstream instead of downstream.
+        upstream: bool,
+        /// `--depth`: maximum hops.
+        depth: Option<usize>,
+        /// `--edge-kind` filters (repeatable).
+        edge_kinds: Vec<String>,
+        /// `--table-level`: relation-granularity traversal.
+        table_level: bool,
+        /// `--to`: also compute the shortest path to this column.
+        to: Option<(String, String)>,
+        /// `--format`: output format.
+        format: QueryFormat,
         /// Shared options.
         common: CommonOptions,
     },
@@ -103,10 +153,17 @@ impl Command {
         let mut positional: Vec<String> = Vec::new();
         let mut common = CommonOptions::default();
         let mut json = None;
+        let mut json_v1 = None;
         let mut dot = None;
         let mut html = None;
         let mut mermaid = None;
         let mut diagnostics_json = None;
+        let mut upstream = false;
+        let mut depth = None;
+        let mut edge_kinds = Vec::new();
+        let mut table_level = false;
+        let mut to = None;
+        let mut format = QueryFormat::default();
 
         let mut iter = argv.iter().peekable();
         let Some(sub) = iter.next() else {
@@ -117,6 +174,54 @@ impl Command {
             match arg.as_str() {
                 "--ddl" => common.ddl = Some(take_value(&mut iter, "--ddl")?),
                 "--json" => json = Some(take_value(&mut iter, "--json")?),
+                "--json-v1" => json_v1 = Some(take_value(&mut iter, "--json-v1")?),
+                "--direction" => {
+                    upstream = match take_value(&mut iter, "--direction")?.as_str() {
+                        "down" | "downstream" => false,
+                        "up" | "upstream" => true,
+                        other => {
+                            return Err(format!(
+                                "invalid --direction value {other:?} (use down|up)"
+                            ))
+                        }
+                    };
+                }
+                "--depth" => {
+                    let value = take_value(&mut iter, "--depth")?;
+                    depth =
+                        Some(value.parse().map_err(|_| {
+                            format!("invalid --depth value {value:?} (use a number)")
+                        })?);
+                }
+                "--edge-kind" => {
+                    let value = take_value(&mut iter, "--edge-kind")?;
+                    match value.as_str() {
+                        "contribute" | "reference" | "both" => edge_kinds.push(value),
+                        other => {
+                            return Err(format!(
+                                "invalid --edge-kind value {other:?} \
+                                 (use contribute|reference|both)"
+                            ))
+                        }
+                    }
+                }
+                "--table-level" => table_level = true,
+                "--to" => to = Some(parse_column(&take_value(&mut iter, "--to")?)?),
+                "--format" => {
+                    format = match take_value(&mut iter, "--format")?.as_str() {
+                        "text" => QueryFormat::Text,
+                        "json" => QueryFormat::Json,
+                        "json-v1" => QueryFormat::JsonV1,
+                        "dot" => QueryFormat::Dot,
+                        "mermaid" => QueryFormat::Mermaid,
+                        other => {
+                            return Err(format!(
+                                "invalid --format value {other:?} \
+                                 (use text|json|json-v1|dot|mermaid)"
+                            ))
+                        }
+                    };
+                }
                 "--dot" => dot = Some(take_value(&mut iter, "--dot")?),
                 "--html" => html = Some(take_value(&mut iter, "--html")?),
                 "--mermaid" => mermaid = Some(take_value(&mut iter, "--mermaid")?),
@@ -154,7 +259,40 @@ impl Command {
         match sub.as_str() {
             "extract" => {
                 let [file] = take_positional::<1>(positional, "extract <queries.sql>")?;
-                Ok(Command::Extract { file, json, dot, html, mermaid, diagnostics_json, common })
+                Ok(Command::Extract {
+                    file,
+                    json,
+                    json_v1,
+                    dot,
+                    html,
+                    mermaid,
+                    diagnostics_json,
+                    common,
+                })
+            }
+            "query" => {
+                let [origins, file] =
+                    take_positional::<2>(positional, "query <origin>[,<origin>...] <queries.sql>")?;
+                let origins: Vec<String> = origins
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.to_lowercase())
+                    .collect();
+                if origins.is_empty() {
+                    return Err("query requires at least one origin".into());
+                }
+                Ok(Command::Query {
+                    origins,
+                    file,
+                    upstream,
+                    depth,
+                    edge_kinds,
+                    table_level,
+                    to,
+                    format,
+                    common,
+                })
             }
             "impact" => {
                 let [column, file] =
@@ -243,6 +381,75 @@ mod tests {
                 assert_eq!(html.as_deref(), Some("o.html"));
                 assert_eq!(common.ddl.as_deref(), Some("s.sql"));
                 assert!(common.trace);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_query() {
+        let cmd = parse(&[
+            "query",
+            "web.page,web.cid",
+            "q.sql",
+            "--direction",
+            "up",
+            "--depth",
+            "3",
+            "--edge-kind",
+            "contribute",
+            "--edge-kind",
+            "reference",
+            "--to",
+            "info.wreg",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Query { origins, file, upstream, depth, edge_kinds, to, format, .. } => {
+                assert_eq!(origins, vec!["web.page", "web.cid"]);
+                assert_eq!(file, "q.sql");
+                assert!(upstream);
+                assert_eq!(depth, Some(3));
+                assert_eq!(edge_kinds, vec!["contribute", "reference"]);
+                assert_eq!(to, Some(("info".into(), "wreg".into())));
+                assert_eq!(format, QueryFormat::Json);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: downstream, unlimited depth, text format.
+        let cmd = parse(&["query", "web", "q.sql", "--table-level"]).unwrap();
+        match cmd {
+            Command::Query { origins, upstream, depth, table_level, format, .. } => {
+                assert_eq!(origins, vec!["web"]);
+                assert!(!upstream);
+                assert_eq!(depth, None);
+                assert!(table_level);
+                assert_eq!(format, QueryFormat::Text);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_error_cases() {
+        assert!(parse(&["query", "q.sql"]).is_err());
+        assert!(parse(&["query", ",", "q.sql"]).is_err());
+        assert!(parse(&["query", "t.c", "q.sql", "--direction", "sideways"]).is_err());
+        assert!(parse(&["query", "t.c", "q.sql", "--depth", "many"]).is_err());
+        assert!(parse(&["query", "t.c", "q.sql", "--edge-kind", "psychic"]).is_err());
+        assert!(parse(&["query", "t.c", "q.sql", "--format", "yaml"]).is_err());
+        assert!(parse(&["query", "t.c", "q.sql", "--to", "nodot"]).is_err());
+    }
+
+    #[test]
+    fn parses_extract_json_v1() {
+        let cmd = parse(&["extract", "q.sql", "--json-v1", "old.json"]).unwrap();
+        match cmd {
+            Command::Extract { json, json_v1, .. } => {
+                assert!(json.is_none());
+                assert_eq!(json_v1.as_deref(), Some("old.json"));
             }
             other => panic!("{other:?}"),
         }

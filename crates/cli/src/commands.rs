@@ -1,14 +1,18 @@
 //! Command execution.
 
-use crate::args::{parse_column, Command, CommonOptions};
+use crate::args::{parse_column, Command, CommonOptions, QueryFormat};
 use lineagex_baseline::metrics::{graph_contribute_edges, score_edges};
 use lineagex_baseline::SqlLineageLike;
 use lineagex_catalog::{Catalog, SimulatedDatabase};
 use lineagex_core::{
-    path_between, Diagnostic, ExtractOptions, LineageResult, LineageX, SourceColumn,
+    path_between, Diagnostic, EdgeKind, ExtractOptions, LineageResult, LineageView, LineageX,
+    QueryReport, SourceColumn,
 };
 use lineagex_engine::{Engine, EngineOptions};
-use lineagex_viz::{to_dot, to_html, to_mermaid, to_output_json};
+use lineagex_viz::{
+    subgraph_to_dot, subgraph_to_mermaid, to_dot, to_html, to_mermaid, to_output_json,
+    to_report_v2_json,
+};
 use std::io::{BufRead, Write};
 
 type CmdResult = Result<(), String>;
@@ -16,7 +20,7 @@ type CmdResult = Result<(), String>;
 /// Execute a parsed command, writing human-readable output to `out`.
 pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
     match command {
-        Command::Extract { file, json, dot, html, mermaid, diagnostics_json, common } => {
+        Command::Extract { file, json, json_v1, dot, html, mermaid, diagnostics_json, common } => {
             let (result, sql) = run_extraction(file, common)?;
             summarize(&result, file, &sql, out)?;
             if let Some(path) = diagnostics_json {
@@ -30,6 +34,12 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
                 wln(out, &format!("wrote {path}"))?;
             }
             if let Some(path) = json {
+                // The versioned v2 document: graph + per-query lineage +
+                // run diagnostics + stats, deterministic across backends.
+                write_file(path, &to_report_v2_json(&result.graph, &result.diagnostics))?;
+                wln(out, &format!("wrote {path}"))?;
+            }
+            if let Some(path) = json_v1 {
                 write_file(path, &to_output_json(&result.graph))?;
                 wln(out, &format!("wrote {path}"))?;
             }
@@ -52,6 +62,111 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
             }
             Ok(())
         }
+        Command::Query {
+            origins,
+            file,
+            upstream,
+            depth,
+            edge_kinds,
+            table_level,
+            to,
+            format,
+            common,
+        } => {
+            let (mut result, sql) = run_extraction(file, common)?;
+            // One front door: the CLI speaks GraphQuery over the
+            // LineageView trait, like any other application.
+            let mut query = result.query();
+            for origin in origins {
+                query = query.from(origin);
+            }
+            query = if *upstream { query.upstream() } else { query.downstream() };
+            if let Some(depth) = depth {
+                query = query.max_depth(*depth);
+            }
+            for kind in edge_kinds {
+                query = query.edge_kind(match kind.as_str() {
+                    "contribute" => EdgeKind::Contribute,
+                    "reference" => EdgeKind::Reference,
+                    _ => EdgeKind::Both,
+                });
+            }
+            if *table_level {
+                query = query.table_level();
+            }
+            if let Some((table, column)) = to {
+                query = query.to(table, column);
+            }
+            let answer = query.run().map_err(|e| e.to_string())?;
+            // A lenient run's degraded lineage must never present the
+            // cone as authoritative: partial relations and run
+            // diagnostics travel with every format that can carry them.
+            let partial: Vec<&str> = answer
+                .relations
+                .iter()
+                .filter(|r| result.graph.queries.get(&r.name).is_some_and(|q| q.partial))
+                .map(|r| r.name.as_str())
+                .collect();
+            match format {
+                QueryFormat::Json => wln(
+                    out,
+                    &QueryReport::from_answer(&answer)
+                        .with_context(&result.graph, &result.diagnostics)
+                        .to_json(),
+                ),
+                QueryFormat::JsonV1 => wln(out, &to_output_json(&result.graph)),
+                QueryFormat::Dot => wln(out, &subgraph_to_dot(&answer.subgraph)),
+                QueryFormat::Mermaid => wln(out, &subgraph_to_mermaid(&answer.subgraph)),
+                QueryFormat::Text => {
+                    let origins: Vec<String> = answer
+                        .origins
+                        .iter()
+                        .map(|o| if o.column.is_empty() { o.table.clone() } else { o.to_string() })
+                        .collect();
+                    wln(
+                        out,
+                        &format!(
+                            "{} of {}: {} column(s), {} relation(s)",
+                            answer.direction.as_str(),
+                            origins.join(", "),
+                            answer.columns.len(),
+                            answer.relations.len(),
+                        ),
+                    )?;
+                    for m in &answer.columns {
+                        wln(out, &format!("  {} ({:?}, {} hop(s))", m.column, m.kind, m.distance))?;
+                    }
+                    if *table_level {
+                        for r in &answer.relations {
+                            wln(out, &format!("  {} ({} hop(s))", r.name, r.distance))?;
+                        }
+                    }
+                    match (&answer.path, to) {
+                        (Some(path), _) => {
+                            wln(out, "shortest path:")?;
+                            for step in path {
+                                wln(out, &format!("  -> {} ({:?})", step.column, step.kind))?;
+                            }
+                        }
+                        (None, Some((table, column))) => {
+                            wln(out, &format!("target {table}.{column} is not reachable"))?;
+                        }
+                        (None, None) => {}
+                    }
+                    if !partial.is_empty() {
+                        wln(out, &format!("partial lineage   : {partial:?}"))?;
+                    }
+                    let diagnostics = collect_diagnostics(&result);
+                    if !diagnostics.is_empty() {
+                        wln(out, &format!("diagnostics       : {}", diagnostics.len()))?;
+                        for diagnostic in &diagnostics {
+                            wln(out, &diagnostic.render(file, &sql))?;
+                        }
+                    }
+                    Ok(())
+                }
+            }
+        }
         Command::Impact { column, file, common } => {
             let (result, _) = run_extraction(file, common)?;
             let origin = SourceColumn::new(&column.0, &column.1);
@@ -59,7 +174,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
                 return Err(format!("column {origin} does not exist in the lineage graph"));
             }
             let report = lineagex_core::impact_of(&result.graph, &origin);
-            wln(out, &format!("impact of {origin}: {} column(s)", report.impacted.len()))?;
+            wln(out, &format!("impact of {origin}: {} column(s)", report.impacted().len()))?;
             for (table, cols) in report.by_table() {
                 let rendered: Vec<String> = cols
                     .iter()
@@ -434,7 +549,7 @@ fn session_meta(engine: &mut Engine, command: &str, out: &mut dyn Write) -> Resu
                         out,
                         &format!(
                             "  impact of {table}.{column}: {} column(s)",
-                            report.impacted.len()
+                            report.impacted().len()
                         ),
                     )?;
                     for (table, cols) in report.by_table() {
@@ -542,6 +657,186 @@ mod tests {
         execute_to_string(&cmd).0.unwrap();
         let written = std::fs::read_to_string(&json).unwrap();
         assert!(written.contains("\"queries\""));
+    }
+
+    const CHAIN: &str = "
+        CREATE TABLE web (cid int, page text, reg boolean);
+        CREATE VIEW v AS SELECT page AS p FROM web WHERE reg;
+        CREATE VIEW w AS SELECT p AS q FROM v;
+    ";
+
+    #[test]
+    fn query_text_reports_cone() {
+        let file = write_temp("query.sql", CHAIN);
+        let cmd =
+            Command::parse(&["query".to_string(), "web.page".to_string(), file.clone()]).unwrap();
+        let (result, text) = execute_to_string(&cmd);
+        result.unwrap();
+        assert!(text.contains("downstream of web.page: 2 column(s)"), "{text}");
+        assert!(text.contains("v.p (Contribute, 1 hop(s))"), "{text}");
+        assert!(text.contains("w.q (Contribute, 2 hop(s))"), "{text}");
+        // Depth limit cuts the cone; upstream walks the other way.
+        let cmd = Command::parse(&[
+            "query".to_string(),
+            "web.page".to_string(),
+            file.clone(),
+            "--depth".to_string(),
+            "1".to_string(),
+        ])
+        .unwrap();
+        let (_, text) = execute_to_string(&cmd);
+        assert!(text.contains("1 column(s)"), "{text}");
+        let cmd = Command::parse(&[
+            "query".to_string(),
+            "w.q".to_string(),
+            file,
+            "--direction".to_string(),
+            "up".to_string(),
+        ])
+        .unwrap();
+        let (_, text) = execute_to_string(&cmd);
+        assert!(text.contains("upstream of w.q"), "{text}");
+        assert!(text.contains("web.page"), "{text}");
+    }
+
+    #[test]
+    fn query_formats_render_the_cone() {
+        let file = write_temp("query_fmt.sql", CHAIN);
+        let json = |args: &[&str]| {
+            let mut argv = vec!["query".to_string(), "web.page".to_string(), file.clone()];
+            argv.extend(args.iter().map(|s| s.to_string()));
+            execute_to_string(&Command::parse(&argv).unwrap())
+        };
+        let (result, text) = json(&["--format", "json"]);
+        result.unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(value["schema_version"], 2);
+        assert_eq!(value["direction"], "downstream");
+        assert_eq!(value["columns"][0]["column"], "v.p");
+        let (_, dot) = json(&["--format", "dot"]);
+        assert!(dot.contains("digraph lineage"), "{dot}");
+        assert!(!dot.contains("cid"), "the cone excludes untouched columns: {dot}");
+        let (_, mmd) = json(&["--format", "mermaid"]);
+        assert!(mmd.contains("flowchart LR"), "{mmd}");
+        let (_, v1) = json(&["--format", "json-v1"]);
+        let value: serde_json::Value = serde_json::from_str(&v1).unwrap();
+        assert!(value["processing_order"].is_array(), "{v1}");
+    }
+
+    #[test]
+    fn query_path_and_table_level() {
+        let file = write_temp("query_path.sql", CHAIN);
+        let cmd = Command::parse(&[
+            "query".to_string(),
+            "web.page".to_string(),
+            file.clone(),
+            "--to".to_string(),
+            "w.q".to_string(),
+        ])
+        .unwrap();
+        let (_, text) = execute_to_string(&cmd);
+        assert!(text.contains("shortest path:"), "{text}");
+        assert!(text.contains("-> w.q (Contribute)"), "{text}");
+        let cmd = Command::parse(&[
+            "query".to_string(),
+            "web".to_string(),
+            file,
+            "--table-level".to_string(),
+        ])
+        .unwrap();
+        let (_, text) = execute_to_string(&cmd);
+        assert!(text.contains("web (0 hop(s))"), "{text}");
+        assert!(text.contains("w (2 hop(s))"), "{text}");
+    }
+
+    #[test]
+    fn lenient_query_surfaces_diagnostics_and_partial_lineage() {
+        let file = write_temp("query_lenient.sql", messy_log());
+        let cmd = Command::parse(&[
+            "query".to_string(),
+            "web.page".to_string(),
+            file.clone(),
+            "--lenient".to_string(),
+        ])
+        .unwrap();
+        let (result, text) = execute_to_string(&cmd);
+        result.unwrap();
+        // The messy log's parse error and duplicate id must be visible,
+        // not silently dropped behind a confident-looking cone.
+        assert!(text.contains("diagnostics       :"), "{text}");
+        assert!(text.contains("parse-error"), "{text}");
+        // And the JSON envelope embeds the same context.
+        let cmd = Command::parse(&[
+            "query".to_string(),
+            "web.page".to_string(),
+            file,
+            "--lenient".to_string(),
+            "--format".to_string(),
+            "json".to_string(),
+        ])
+        .unwrap();
+        let (result, json) = execute_to_string(&cmd);
+        result.unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(!value["diagnostics"].as_array().unwrap().is_empty(), "{json}");
+        assert!(value["partial_relations"].is_array(), "{json}");
+    }
+
+    #[test]
+    fn query_json_is_byte_identical_across_jobs_and_backends() {
+        // The acceptance gate: schema_version-2 documents from the batch
+        // path (jobs=1) and the incremental engine path (jobs>1) are
+        // byte-identical.
+        let file = write_temp("query_jobs.sql", CHAIN);
+        let run = |extra: &[&str]| {
+            let mut argv = vec![
+                "query".to_string(),
+                "web.page".to_string(),
+                file.clone(),
+                "--format".to_string(),
+                "json".to_string(),
+            ];
+            argv.extend(extra.iter().map(|s| s.to_string()));
+            let (result, text) = execute_to_string(&Command::parse(&argv).unwrap());
+            result.unwrap();
+            text
+        };
+        let sequential = run(&[]);
+        let parallel = run(&["--jobs", "4"]);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn extract_json_v2_is_byte_identical_across_jobs() {
+        let file = write_temp("extract_v2_jobs.sql", CHAIN);
+        let run = |name: &str, extra: &[&str]| {
+            let json = write_temp(name, "");
+            let mut argv =
+                vec!["extract".to_string(), file.clone(), "--json".to_string(), json.clone()];
+            argv.extend(extra.iter().map(|s| s.to_string()));
+            execute_to_string(&Command::parse(&argv).unwrap()).0.unwrap();
+            std::fs::read_to_string(&json).unwrap()
+        };
+        let sequential = run("v2_seq.json", &[]);
+        let parallel = run("v2_par.json", &["--jobs", "4"]);
+        assert_eq!(sequential, parallel);
+        let value: serde_json::Value = serde_json::from_str(&sequential).unwrap();
+        assert_eq!(value["schema_version"], 2);
+        assert_eq!(value["stats"]["queries"], 2);
+    }
+
+    #[test]
+    fn extract_writes_v1_artifact_behind_json_v1() {
+        let file = write_temp("extract_v1.sql", LOG);
+        let v1 = write_temp("extract_v1.json", "");
+        let cmd =
+            Command::parse(&["extract".to_string(), file, "--json-v1".to_string(), v1.clone()])
+                .unwrap();
+        execute_to_string(&cmd).0.unwrap();
+        let written = std::fs::read_to_string(&v1).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&written).unwrap();
+        assert!(value["schema_version"].is_null(), "v1 has no version field");
+        assert!(value["processing_order"].is_array());
     }
 
     #[test]

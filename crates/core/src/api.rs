@@ -75,9 +75,13 @@ impl LineageX {
     }
 
     /// Run over a `;`-separated SQL script (query-log style).
+    ///
+    /// The catalog is *borrowed* for the run ([`InferenceEngine::over`]):
+    /// repeated runs over a large catalog never deep-copy it, and
+    /// [`ExtractOptions`] is plain `Copy` data.
     pub fn run(&self, sql: &str) -> Result<LineageResult, LineageError> {
         let qd = QueryDict::from_sql_with(sql, self.options.lenient)?;
-        InferenceEngine::new(qd, self.catalog.clone(), self.options.clone()).run()
+        InferenceEngine::over(qd, &self.catalog, self.options).run()
     }
 
     /// Run over named sources (dbt-style, file name = query id).
@@ -86,7 +90,7 @@ impl LineageX {
         I: IntoIterator<Item = (&'a str, &'a str)>,
     {
         let qd = QueryDict::from_named_sources_with(sources, self.options.lenient)?;
-        InferenceEngine::new(qd, self.catalog.clone(), self.options.clone()).run()
+        InferenceEngine::over(qd, &self.catalog, self.options).run()
     }
 }
 

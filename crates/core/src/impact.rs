@@ -2,20 +2,31 @@
 //! scenario (§IV, steps 2–4): starting from a column about to change, find
 //! every downstream column that may be affected, hop by hop or as a full
 //! transitive closure.
+//!
+//! Every function here is a thin shortcut over the composable query layer
+//! ([`crate::query::QuerySpec`]); the convention (see ROADMAP) is that
+//! *new* query capabilities land on [`crate::GraphQuery`], not as new
+//! free functions.
 
 use crate::model::{EdgeKind, LineageGraph, SourceColumn};
-use serde::Serialize;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use crate::query::{QueryAnswer, QuerySpec};
+use serde::{Content, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The result of an impact analysis from one starting column.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImpactReport {
     /// The column whose change is being analysed.
     pub origin: SourceColumn,
     /// Every transitively-impacted column, with the merged kind of all
     /// shortest paths into it and its distance (in queries) from the
-    /// origin.
-    pub impacted: Vec<ImpactedColumn>,
+    /// origin. Private so it can never drift out of sync with the
+    /// membership index; read it through [`ImpactReport::impacted`].
+    impacted: Vec<ImpactedColumn>,
+    /// Structural membership index over `impacted`: deduplication is a
+    /// set property, and [`ImpactReport::contains`] on wide cones is
+    /// O(log n) instead of a linear scan.
+    index: BTreeSet<SourceColumn>,
 }
 
 /// One impacted downstream column.
@@ -31,6 +42,27 @@ pub struct ImpactedColumn {
 }
 
 impl ImpactReport {
+    /// Build a report, deriving the membership index.
+    pub fn new(origin: SourceColumn, impacted: Vec<ImpactedColumn>) -> Self {
+        let index = impacted.iter().map(|c| c.column.clone()).collect();
+        ImpactReport { origin, impacted, index }
+    }
+
+    /// The impacted columns, sorted by `(distance, column)`.
+    pub fn impacted(&self) -> &[ImpactedColumn] {
+        &self.impacted
+    }
+
+    /// Number of impacted columns.
+    pub fn len(&self) -> usize {
+        self.impacted.len()
+    }
+
+    /// Whether nothing is impacted.
+    pub fn is_empty(&self) -> bool {
+        self.impacted.is_empty()
+    }
+
     /// Impacted columns grouped by table, in name order.
     pub fn by_table(&self) -> BTreeMap<&str, Vec<&ImpactedColumn>> {
         let mut out: BTreeMap<&str, Vec<&ImpactedColumn>> = BTreeMap::new();
@@ -45,84 +77,62 @@ impl ImpactReport {
         self.by_table().keys().copied().collect()
     }
 
-    /// Whether `column` is impacted.
+    /// Whether `column` is impacted (an O(log n) set lookup).
     pub fn contains(&self, column: &SourceColumn) -> bool {
-        self.impacted.iter().any(|c| &c.column == column)
+        self.index.contains(column)
+    }
+}
+
+// Manual impl: the wire shape stays `{origin, impacted}` — the index is
+// an internal acceleration structure, not part of the document.
+impl Serialize for ImpactReport {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("origin".to_string(), self.origin.to_content()),
+            ("impacted".to_string(), self.impacted.to_content()),
+        ])
     }
 }
 
 /// Compute the downstream transitive closure of `origin` — the paper's
 /// impact analysis. A column is impacted if the origin (or an impacted
 /// column) contributes to it (`C_con`) or is referenced by its defining
-/// query (`C_ref`).
+/// query (`C_ref`). Shortcut for a downstream [`QuerySpec`] with no depth
+/// limit or filters.
 pub fn impact_of(graph: &LineageGraph, origin: &SourceColumn) -> ImpactReport {
-    // Pass 1: BFS distances.
-    let mut distance: BTreeMap<SourceColumn, usize> = BTreeMap::new();
-    distance.insert(origin.clone(), 0);
-    let mut queue: VecDeque<(SourceColumn, usize)> = VecDeque::from([(origin.clone(), 0)]);
-    while let Some((current, dist)) = queue.pop_front() {
-        for (next, _) in graph.direct_downstream(&current) {
-            if !distance.contains_key(&next) {
-                distance.insert(next.clone(), dist + 1);
-                queue.push_back((next, dist + 1));
-            }
-        }
-    }
+    let answer =
+        QuerySpec::new().from_column(&origin.table, &origin.column).downstream().run_on(graph);
+    impact_report_from_answer(origin.clone(), answer)
+}
 
-    // Pass 2: merge the edge kinds of every predecessor on a shortest
-    // path, so a column reached at the same distance through both a
-    // contribution and a reference reports `Both` (the paper's orange).
-    let mut list: Vec<ImpactedColumn> = Vec::new();
-    for (column, dist) in &distance {
-        if column == origin {
-            continue;
-        }
-        let Some(query) = graph.queries.get(&column.table) else { continue };
-        let ccon = query.outputs.iter().find(|o| o.name == column.column).map(|o| &o.ccon);
-        let mut contributes = false;
-        let mut references = false;
-        for (pred, pred_dist) in &distance {
-            if pred_dist + 1 != *dist {
-                continue;
-            }
-            if ccon.map(|c| c.contains(pred)).unwrap_or(false) {
-                contributes = true;
-            }
-            if query.cref.contains(pred) {
-                references = true;
-            }
-        }
-        let kind = match (contributes, references) {
-            (true, true) => EdgeKind::Both,
-            (true, false) => EdgeKind::Contribute,
-            _ => EdgeKind::Reference,
-        };
-        list.push(ImpactedColumn { column: column.clone(), kind, distance: *dist });
-    }
-    list.sort_by(|a, b| (a.distance, &a.column).cmp(&(b.distance, &b.column)));
-    ImpactReport { origin: origin.clone(), impacted: list }
+/// Convert a downstream query answer into the legacy impact report shape.
+pub(crate) fn impact_report_from_answer(origin: SourceColumn, answer: QueryAnswer) -> ImpactReport {
+    let impacted = answer
+        .columns
+        .into_iter()
+        .map(|m| ImpactedColumn { column: m.column, kind: m.kind, distance: m.distance })
+        .collect();
+    ImpactReport::new(origin, impacted)
 }
 
 /// Compute the upstream transitive closure: every source column that the
 /// given column ultimately depends on (contribution or reference).
+/// Shortcut for an upstream [`QuerySpec`].
 pub fn upstream_of(graph: &LineageGraph, target: &SourceColumn) -> BTreeSet<SourceColumn> {
-    let mut out: BTreeSet<SourceColumn> = BTreeSet::new();
-    let mut queue: VecDeque<SourceColumn> = VecDeque::from([target.clone()]);
-    let mut visited: BTreeSet<SourceColumn> = BTreeSet::from([target.clone()]);
-    while let Some(current) = queue.pop_front() {
-        for up in graph.direct_upstream(&current) {
-            if visited.insert(up.clone()) {
-                out.insert(up.clone());
-                queue.push_back(up);
-            }
-        }
-    }
-    out
+    QuerySpec::new()
+        .from_column(&target.table, &target.column)
+        .upstream()
+        .run_on(graph)
+        .columns
+        .into_iter()
+        .map(|m| m.column)
+        .collect()
 }
 
 /// Explain *why* a column is impacted: the shortest lineage path from
 /// `origin` to `target`, as a sequence of `(column, kind-of-edge-into-it)`
 /// hops. Returns `None` when `target` is not downstream of `origin`.
+/// Shortcut for a downstream [`QuerySpec`] with a target.
 ///
 /// This answers the engineer's follow-up question in the paper's scenario:
 /// "through which views does `web.page` reach `info.wreg`?"
@@ -131,28 +141,13 @@ pub fn path_between(
     origin: &SourceColumn,
     target: &SourceColumn,
 ) -> Option<Vec<(SourceColumn, EdgeKind)>> {
-    let mut predecessor: BTreeMap<SourceColumn, (SourceColumn, EdgeKind)> = BTreeMap::new();
-    let mut queue: VecDeque<SourceColumn> = VecDeque::from([origin.clone()]);
-    let mut visited: BTreeSet<SourceColumn> = BTreeSet::from([origin.clone()]);
-    while let Some(current) = queue.pop_front() {
-        if &current == target {
-            let mut path = Vec::new();
-            let mut cursor = current;
-            while let Some((prev, kind)) = predecessor.get(&cursor) {
-                path.push((cursor.clone(), *kind));
-                cursor = prev.clone();
-            }
-            path.reverse();
-            return Some(path);
-        }
-        for (next, kind) in graph.direct_downstream(&current) {
-            if visited.insert(next.clone()) {
-                predecessor.insert(next.clone(), (current.clone(), kind));
-                queue.push_back(next);
-            }
-        }
-    }
-    None
+    QuerySpec::new()
+        .from_column(&origin.table, &origin.column)
+        .downstream()
+        .to(&target.table, &target.column)
+        .run_on(graph)
+        .path
+        .map(|steps| steps.into_iter().map(|s| (s.column, s.kind)).collect())
 }
 
 /// One `explore` click in the paper's UI (Fig. 5, step 3): the tables one
@@ -167,12 +162,35 @@ pub struct ExploreStep {
     pub downstream: Vec<String>,
 }
 
-/// Explore one hop around `table`.
+/// Explore one hop around `table`. Shortcut for a pair of depth-1
+/// table-granularity [`QuerySpec`]s.
 pub fn explore(graph: &LineageGraph, table: &str) -> ExploreStep {
+    // A relation feeding itself (`INSERT INTO t SELECT .. FROM t`) is its
+    // own one-hop neighbour in both directions; a BFS distance map can
+    // only report it at distance 0, so the self-loop is re-added here.
+    let self_loop = graph.queries.get(table).is_some_and(|q| q.tables.contains(table));
+    let one_hop = |direction_spec: QuerySpec| -> Vec<String> {
+        let mut names: Vec<String> = direction_spec
+            .from_table(table)
+            .table_level()
+            .max_depth(1)
+            .run_on(graph)
+            .relations
+            .into_iter()
+            .filter(|r| r.distance == 1)
+            .map(|r| r.name)
+            .collect();
+        if self_loop {
+            names.push(table.to_string());
+            names.sort();
+            names.dedup();
+        }
+        names
+    };
     ExploreStep {
         table: table.to_string(),
-        upstream: graph.upstream_tables(table).into_iter().map(String::from).collect(),
-        downstream: graph.downstream_tables(table).into_iter().map(String::from).collect(),
+        upstream: one_hop(QuerySpec::new().upstream()),
+        downstream: one_hop(QuerySpec::new().downstream()),
     }
 }
 
@@ -225,6 +243,7 @@ mod tests {
         let graph = chain_graph();
         let report = impact_of(&graph, &SourceColumn::new("top", "c"));
         assert!(report.impacted.is_empty());
+        assert!(!report.contains(&SourceColumn::new("mid", "b")));
     }
 
     #[test]
@@ -245,11 +264,38 @@ mod tests {
     }
 
     #[test]
+    fn explore_reports_self_loops() {
+        // A relation feeding itself is its own one-hop neighbour — the
+        // shortcut must match the graph's direct navigation exactly.
+        let sql = "CREATE TABLE t (a int); INSERT INTO t SELECT a + 1 FROM t;";
+        let qd = QueryDict::from_sql(sql).unwrap();
+        let graph = InferenceEngine::new(qd, Catalog::new(), ExtractOptions::default())
+            .run()
+            .unwrap()
+            .graph;
+        let step = explore(&graph, "t");
+        assert_eq!(step.downstream, graph.downstream_tables("t"));
+        assert_eq!(step.upstream, graph.upstream_tables("t"));
+        assert_eq!(step.downstream, vec!["t"]);
+        assert_eq!(step.upstream, vec!["t"]);
+    }
+
+    #[test]
     fn report_grouping() {
         let graph = chain_graph();
         let report = impact_of(&graph, &SourceColumn::new("base", "a"));
         assert_eq!(report.impacted_tables(), vec!["mid", "top"]);
         assert_eq!(report.by_table()["mid"].len(), 1);
+    }
+
+    #[test]
+    fn report_serialises_without_the_index() {
+        let graph = chain_graph();
+        let report = impact_of(&graph, &SourceColumn::new("base", "a"));
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"origin\""), "{json}");
+        assert!(json.contains("\"impacted\""), "{json}");
+        assert!(!json.contains("\"index\""), "{json}");
     }
 
     #[test]

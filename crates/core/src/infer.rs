@@ -21,6 +21,7 @@ use crate::preprocess::{QueryDict, QueryEntry};
 use crate::trace::TraceLog;
 use lineagex_catalog::Catalog;
 use lineagex_sqlparse::ast::Ident;
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The outcome of a full extraction run.
@@ -42,10 +43,16 @@ pub struct LineageResult {
 }
 
 /// Drives extraction over a whole Query Dictionary.
-pub struct InferenceEngine {
+///
+/// The catalog is held as a [`Cow`]: borrow it with
+/// [`InferenceEngine::over`] and a query-only log (no in-log DDL) runs
+/// without ever deep-copying the caller's — possibly very large —
+/// catalog. Only a log that actually carries `CREATE TABLE` statements
+/// pays a clone, when the DDL schemas are merged in.
+pub struct InferenceEngine<'a> {
     qd: QueryDict,
     qd_ids: BTreeSet<String>,
-    catalog: Catalog,
+    catalog: Cow<'a, Catalog>,
     options: ExtractOptions,
     processed: BTreeMap<String, QueryLineage>,
     order: Vec<String>,
@@ -54,13 +61,29 @@ pub struct InferenceEngine {
     traces: BTreeMap<String, TraceLog>,
 }
 
-impl InferenceEngine {
-    /// Create an engine over a dictionary, a user catalog, and options.
-    /// Schemas found as DDL in the log are merged into the catalog.
+impl InferenceEngine<'static> {
+    /// Create an engine that owns its catalog. Schemas found as DDL in
+    /// the log are merged into the catalog.
     pub fn new(qd: QueryDict, user_catalog: Catalog, options: ExtractOptions) -> Self {
-        let mut catalog = user_catalog;
-        for schema in qd.ddl_catalog.relations() {
-            catalog.add_or_replace(schema.clone());
+        InferenceEngine::build(qd, Cow::Owned(user_catalog), options)
+    }
+}
+
+impl<'a> InferenceEngine<'a> {
+    /// Create an engine *borrowing* the user catalog: repeated runs over
+    /// the same catalog (the [`crate::LineageX`] façade's pattern) pay no
+    /// deep copy. The catalog is cloned lazily, and only when the log
+    /// itself defines schemas that must be merged in.
+    pub fn over(qd: QueryDict, user_catalog: &'a Catalog, options: ExtractOptions) -> Self {
+        InferenceEngine::build(qd, Cow::Borrowed(user_catalog), options)
+    }
+
+    fn build(qd: QueryDict, mut catalog: Cow<'a, Catalog>, options: ExtractOptions) -> Self {
+        if qd.ddl_catalog.relations().next().is_some() {
+            let merged = catalog.to_mut();
+            for schema in qd.ddl_catalog.relations() {
+                merged.add_or_replace(schema.clone());
+            }
         }
         let qd_ids = qd.ids().map(String::from).collect();
         InferenceEngine {
@@ -134,7 +157,7 @@ impl InferenceEngine {
             entry,
             &self.qd_ids,
             &self.processed,
-            &self.catalog,
+            self.catalog.as_ref(),
             &self.options,
             &mut self.inferred,
         )?;
@@ -145,7 +168,8 @@ impl InferenceEngine {
     }
 
     fn assemble(self) -> LineageResult {
-        let graph = assemble_graph(&self.catalog, self.processed, &self.inferred, self.order);
+        let graph =
+            assemble_graph(self.catalog.as_ref(), self.processed, &self.inferred, self.order);
         LineageResult {
             graph,
             traces: self.traces,

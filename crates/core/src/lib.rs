@@ -56,8 +56,10 @@ pub mod infer;
 pub mod model;
 pub mod options;
 pub mod preprocess;
+pub mod query;
 pub mod report;
 pub mod trace;
+pub mod view;
 
 pub use api::{lineagex, lineagex_lenient, LineageX};
 pub use diagnostics::{Diagnostic, DiagnosticCode, DiagnosticSpan, Severity};
@@ -73,5 +75,9 @@ pub use model::{
 };
 pub use options::{AmbiguityPolicy, ExtractOptions};
 pub use preprocess::{preprocess_statement, PreprocessedStatement, QueryDict, QueryEntry};
-pub use report::JsonReport;
+pub use query::{
+    ColumnMatch, Direction, GraphQuery, PathStep, QueryAnswer, QuerySpec, RelationMatch, Subgraph,
+};
+pub use report::{JsonReport, QueryReport, ReportV2, SCHEMA_VERSION};
 pub use trace::{Rule, TraceLog, TraceStep};
+pub use view::LineageView;

@@ -286,6 +286,29 @@ impl LineageGraph {
         q.lineage_of(&column.column).map(|s| s.into_iter().collect()).unwrap_or_default()
     }
 
+    /// Direct upstream columns of `column` with the kind of the edge each
+    /// one feeds it through — the mirror of [`Self::direct_downstream`],
+    /// used by the query layer to filter upstream traversals by edge kind.
+    pub fn direct_upstream_with_kinds(
+        &self,
+        column: &SourceColumn,
+    ) -> Vec<(SourceColumn, EdgeKind)> {
+        let Some(q) = self.queries.get(&column.table) else { return Vec::new() };
+        let Some(out) = q.outputs.iter().find(|o| o.name == column.column) else {
+            return Vec::new();
+        };
+        let mut result = Vec::new();
+        for src in out.ccon.union(&q.cref) {
+            let kind = match (out.ccon.contains(src), q.cref.contains(src)) {
+                (true, true) => EdgeKind::Both,
+                (true, false) => EdgeKind::Contribute,
+                _ => EdgeKind::Reference,
+            };
+            result.push((src.clone(), kind));
+        }
+        result
+    }
+
     /// Relations directly downstream of `table` (one `explore` click in the
     /// paper's UI).
     pub fn downstream_tables(&self, table: &str) -> Vec<&str> {

@@ -16,7 +16,12 @@ pub enum AmbiguityPolicy {
 }
 
 /// Options controlling lineage extraction.
-#[derive(Debug, Clone)]
+///
+/// Deliberately `Copy`: the pipeline passes options through every layer
+/// (façade → inference engine → extractor), and keeping them plain data
+/// means repeated [`crate::LineageX::run`] calls never pay an allocation
+/// for configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExtractOptions {
     /// Ambiguity handling for unqualified columns.
     pub ambiguity: AmbiguityPolicy,

@@ -1,14 +1,33 @@
-//! The JSON lineage document (the paper's `output.json`).
+//! The JSON lineage documents.
 //!
-//! The Python LineageX emits one JSON object per query with its table
-//! lineage and the `C_con`/`C_ref`/`C_both` column sets. [`JsonReport`]
-//! mirrors that shape and serialises with `serde_json`.
+//! Two wire formats live here:
+//!
+//! * [`JsonReport`] — **v1**, the paper's `output.json`: one object per
+//!   query with its table lineage and the `C_con`/`C_ref`/`C_both`
+//!   column sets. Kept byte-stable for existing consumers (the CLI's
+//!   `--format json-v1`, the golden test).
+//! * [`ReportV2`] — **v2** (`schema_version: 2`), the versioned document
+//!   every front door serialises through: graph (relations + edges),
+//!   per-query lineage *including diagnostics and partial flags*, run
+//!   diagnostics, and stats, in one deterministic document. Because it
+//!   carries no processing order and every collection is sorted, equal
+//!   graphs produce byte-identical documents regardless of backend
+//!   (batch or incremental) or parallelism.
+//!
+//! [`QueryReport`] is the schema-version-2 envelope for one
+//! [`QueryAnswer`] (the `lineagex query`
+//! subcommand's `--format json`).
 
-use crate::model::{LineageGraph, SourceColumn};
+use crate::diagnostics::Diagnostic;
+use crate::model::{EdgeKind, LineageGraph, NodeKind, QueryKind, SourceColumn};
+use crate::query::QueryAnswer;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
-/// The serialisable lineage document for a whole run.
+/// The wire schema version emitted by [`ReportV2`] and [`QueryReport`].
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// The serialisable lineage document for a whole run (v1).
 #[derive(Debug, Clone, Serialize, PartialEq)]
 pub struct JsonReport {
     /// Per-query lineage records keyed by query id.
@@ -19,7 +38,7 @@ pub struct JsonReport {
     pub processing_order: Vec<String>,
 }
 
-/// One query's lineage record.
+/// One query's lineage record (v1).
 #[derive(Debug, Clone, Serialize, PartialEq)]
 pub struct QueryRecord {
     /// Source relations (table lineage `T`).
@@ -41,8 +60,40 @@ pub struct TableRecord {
     pub columns: Vec<String>,
 }
 
+/// The kebab label of a node kind on the wire.
+pub(crate) fn node_kind_label(kind: NodeKind) -> &'static str {
+    match kind {
+        NodeKind::BaseTable => "base_table",
+        NodeKind::View => "view",
+        NodeKind::Table => "table",
+        NodeKind::QueryResult => "query",
+        NodeKind::External => "external",
+    }
+}
+
+/// The kebab label of an edge kind on the wire.
+pub(crate) fn edge_kind_label(kind: EdgeKind) -> &'static str {
+    match kind {
+        EdgeKind::Contribute => "contribute",
+        EdgeKind::Reference => "reference",
+        EdgeKind::Both => "both",
+    }
+}
+
+/// The label of a query kind on the wire (v2).
+fn query_kind_label(kind: &QueryKind) -> &'static str {
+    match kind {
+        QueryKind::View { materialized: false } => "view",
+        QueryKind::View { materialized: true } => "materialized_view",
+        QueryKind::TableAs => "table_as",
+        QueryKind::Insert => "insert",
+        QueryKind::Update => "update",
+        QueryKind::Select => "select",
+    }
+}
+
 impl JsonReport {
-    /// Build the document from a lineage graph.
+    /// Build the v1 document from a lineage graph.
     pub fn from_graph(graph: &LineageGraph) -> Self {
         let mut queries = BTreeMap::new();
         for (id, q) in &graph.queries {
@@ -65,19 +116,295 @@ impl JsonReport {
         }
         let mut tables = BTreeMap::new();
         for (name, node) in &graph.nodes {
-            let kind = match node.kind {
-                crate::model::NodeKind::BaseTable => "base_table",
-                crate::model::NodeKind::View => "view",
-                crate::model::NodeKind::Table => "table",
-                crate::model::NodeKind::QueryResult => "query",
-                crate::model::NodeKind::External => "external",
-            };
             tables.insert(
                 name.clone(),
-                TableRecord { kind: kind.to_string(), columns: node.columns.clone() },
+                TableRecord {
+                    kind: node_kind_label(node.kind).to_string(),
+                    columns: node.columns.clone(),
+                },
             );
         }
         JsonReport { queries, tables, processing_order: graph.order.clone() }
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+}
+
+/// The versioned lineage document (v2): the one wire format `core`,
+/// `engine`, `cli`, and `viz` all serialise through.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct ReportV2 {
+    /// Always [`SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// All relation nodes with their kinds and columns.
+    pub relations: BTreeMap<String, TableRecord>,
+    /// Per-query lineage keyed by query id.
+    pub queries: BTreeMap<String, QueryRecordV2>,
+    /// Every column-level edge (paper semantics), sorted by
+    /// `(from, to)`.
+    pub edges: Vec<EdgeRecord>,
+    /// Run-/session-level diagnostics (per-query ones are embedded in
+    /// their query record).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Summary statistics of the graph.
+    pub stats: crate::model::GraphStats,
+}
+
+/// One query's lineage record (v2). Unlike v1, outputs keep projection
+/// order and the record embeds its diagnostics and partial flag.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct QueryRecordV2 {
+    /// Statement kind (`view`, `materialized_view`, `table_as`,
+    /// `insert`, `update`, `select`).
+    pub kind: String,
+    /// Source relations (table lineage `T`).
+    pub tables: Vec<String>,
+    /// Output columns in projection order with their `C_con` sources.
+    pub outputs: Vec<OutputRecord>,
+    /// Query-level referenced columns (`C_ref`).
+    pub referenced: Vec<String>,
+    /// Columns both contributed and referenced (`C_both`).
+    pub both: Vec<String>,
+    /// Whether lenient mode degraded part of this lineage.
+    pub partial: bool,
+    /// The query's extraction diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// One output column with its contributing sources (v2).
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct OutputRecord {
+    /// The output column name.
+    pub name: String,
+    /// `C_con` as `table.column` strings, sorted.
+    pub sources: Vec<String>,
+}
+
+/// One column-level edge on the wire.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct EdgeRecord {
+    /// `table.column` source.
+    pub from: String,
+    /// `table.column` target.
+    pub to: String,
+    /// `contribute` / `reference` / `both`.
+    pub kind: String,
+}
+
+impl ReportV2 {
+    /// Build the v2 document from a settled graph and run diagnostics.
+    pub fn from_graph(graph: &LineageGraph, run_diagnostics: &[Diagnostic]) -> Self {
+        let mut relations = BTreeMap::new();
+        for (name, node) in &graph.nodes {
+            relations.insert(
+                name.clone(),
+                TableRecord {
+                    kind: node_kind_label(node.kind).to_string(),
+                    columns: node.columns.clone(),
+                },
+            );
+        }
+        let mut queries = BTreeMap::new();
+        for (id, q) in &graph.queries {
+            queries.insert(
+                id.clone(),
+                QueryRecordV2 {
+                    kind: query_kind_label(&q.kind).to_string(),
+                    tables: q.tables.iter().cloned().collect(),
+                    outputs: q
+                        .outputs
+                        .iter()
+                        .map(|out| OutputRecord {
+                            name: out.name.clone(),
+                            sources: out.ccon.iter().map(SourceColumn::to_string).collect(),
+                        })
+                        .collect(),
+                    referenced: q.cref.iter().map(SourceColumn::to_string).collect(),
+                    both: q.cboth().iter().map(SourceColumn::to_string).collect(),
+                    partial: q.partial,
+                    diagnostics: q.diagnostics.clone(),
+                },
+            );
+        }
+        let edges = graph
+            .all_edges()
+            .into_iter()
+            .map(|e| EdgeRecord {
+                from: e.from.to_string(),
+                to: e.to.to_string(),
+                kind: edge_kind_label(e.kind).to_string(),
+            })
+            .collect();
+        ReportV2 {
+            schema_version: SCHEMA_VERSION,
+            relations,
+            queries,
+            edges,
+            diagnostics: run_diagnostics.to_vec(),
+            stats: graph.stats(),
+        }
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+}
+
+/// The schema-version-2 envelope for one graph-query answer — what
+/// `lineagex query … --format json` emits.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct QueryReport {
+    /// Always [`SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// The direction that was walked (`downstream` / `upstream`).
+    pub direction: String,
+    /// Resolved origins as `table.column` strings (bare relation names
+    /// at table granularity).
+    pub origins: Vec<String>,
+    /// Columns reached, sorted by `(distance, column)`.
+    pub columns: Vec<QueryColumnRecord>,
+    /// Relations reached (origins at distance 0), sorted by
+    /// `(distance, name)`.
+    pub relations: Vec<QueryRelationRecord>,
+    /// The shortest path to the requested target, when one was set and
+    /// reachable.
+    pub path: Option<Vec<QueryPathRecord>>,
+    /// Touched relations whose lineage is *partial* (lenient mode
+    /// degraded part of it) — the answer should not be read as
+    /// authoritative for these. Populated by
+    /// [`QueryReport::with_context`].
+    pub partial_relations: Vec<String>,
+    /// Run-level diagnostics of the extraction the query ran over.
+    /// Populated by [`QueryReport::with_context`].
+    pub diagnostics: Vec<Diagnostic>,
+    /// The renderable traversal cone.
+    pub subgraph: SubgraphRecord,
+}
+
+/// One reached column on the wire.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct QueryColumnRecord {
+    /// `table.column`.
+    pub column: String,
+    /// Merged edge kind into it.
+    pub kind: String,
+    /// Hops from the nearest origin.
+    pub distance: usize,
+}
+
+/// One reached relation on the wire.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct QueryRelationRecord {
+    /// Relation name.
+    pub name: String,
+    /// Hops from the nearest origin.
+    pub distance: usize,
+}
+
+/// One path hop on the wire.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct QueryPathRecord {
+    /// `table.column` stepped onto.
+    pub column: String,
+    /// Kind of the edge into it.
+    pub kind: String,
+}
+
+/// The traversal cone on the wire.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct SubgraphRecord {
+    /// Touched relations (column lists restricted to touched columns).
+    pub relations: BTreeMap<String, TableRecord>,
+    /// Edges between touched columns.
+    pub edges: Vec<EdgeRecord>,
+}
+
+impl QueryReport {
+    /// Build the wire envelope from a typed answer.
+    pub fn from_answer(answer: &QueryAnswer) -> Self {
+        let origins = answer
+            .origins
+            .iter()
+            .map(|o| if o.column.is_empty() { o.table.clone() } else { o.to_string() })
+            .collect();
+        let columns = answer
+            .columns
+            .iter()
+            .map(|m| QueryColumnRecord {
+                column: m.column.to_string(),
+                kind: edge_kind_label(m.kind).to_string(),
+                distance: m.distance,
+            })
+            .collect();
+        let relations = answer
+            .relations
+            .iter()
+            .map(|r| QueryRelationRecord { name: r.name.clone(), distance: r.distance })
+            .collect();
+        let path = answer.path.as_ref().map(|steps| {
+            steps
+                .iter()
+                .map(|s| QueryPathRecord {
+                    column: s.column.to_string(),
+                    kind: edge_kind_label(s.kind).to_string(),
+                })
+                .collect()
+        });
+        let subgraph = SubgraphRecord {
+            relations: answer
+                .subgraph
+                .nodes
+                .iter()
+                .map(|(name, node)| {
+                    (
+                        name.clone(),
+                        TableRecord {
+                            kind: node_kind_label(node.kind).to_string(),
+                            columns: node.columns.clone(),
+                        },
+                    )
+                })
+                .collect(),
+            edges: answer
+                .subgraph
+                .edges
+                .iter()
+                .map(|e| EdgeRecord {
+                    from: e.from.to_string(),
+                    to: e.to.to_string(),
+                    kind: edge_kind_label(e.kind).to_string(),
+                })
+                .collect(),
+        };
+        QueryReport {
+            schema_version: SCHEMA_VERSION,
+            direction: answer.direction.as_str().to_string(),
+            origins,
+            columns,
+            relations,
+            path,
+            partial_relations: Vec::new(),
+            diagnostics: Vec::new(),
+            subgraph,
+        }
+    }
+
+    /// Attach the extraction context: run-level diagnostics and the
+    /// partial flags of the touched relations, so a lenient run's
+    /// degraded lineage is never silently presented as authoritative.
+    pub fn with_context(mut self, graph: &LineageGraph, run_diagnostics: &[Diagnostic]) -> Self {
+        self.partial_relations = self
+            .relations
+            .iter()
+            .filter(|r| graph.queries.get(&r.name).is_some_and(|q| q.partial))
+            .map(|r| r.name.clone())
+            .collect();
+        self.diagnostics = run_diagnostics.to_vec();
+        self
     }
 
     /// Serialise to pretty JSON.
@@ -92,6 +419,7 @@ mod tests {
     use crate::infer::InferenceEngine;
     use crate::options::ExtractOptions;
     use crate::preprocess::QueryDict;
+    use crate::query::QuerySpec;
     use lineagex_catalog::Catalog;
 
     fn graph() -> LineageGraph {
@@ -138,5 +466,56 @@ mod tests {
             .graph;
         let report = JsonReport::from_graph(&graph);
         assert_eq!(report.queries["v"].both, vec!["t.a"]);
+    }
+
+    #[test]
+    fn report_v2_structure() {
+        let report = ReportV2::from_graph(&graph(), &[]);
+        assert_eq!(report.schema_version, 2);
+        assert_eq!(report.relations["t"].kind, "base_table");
+        let v = &report.queries["v"];
+        assert_eq!(v.kind, "view");
+        assert_eq!(v.outputs[0].name, "a");
+        assert_eq!(v.outputs[0].sources, vec!["t.a"]);
+        assert_eq!(v.referenced, vec!["t.b"]);
+        assert!(!v.partial);
+        assert_eq!(report.edges.len(), 2);
+        assert_eq!(report.stats.queries, 1);
+        let json = report.to_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["schema_version"], 2);
+        assert_eq!(parsed["queries"]["v"]["outputs"][0]["name"], "a");
+        assert_eq!(parsed["stats"]["relations"], 2);
+    }
+
+    #[test]
+    fn report_v2_is_deterministic_and_orderless() {
+        // Same graph value, different processing order: identical bytes.
+        let mut g1 = graph();
+        let mut g2 = graph();
+        g1.order = vec!["v".into()];
+        g2.order = vec!["v".into(), "v".into()];
+        assert_eq!(
+            ReportV2::from_graph(&g1, &[]).to_json(),
+            ReportV2::from_graph(&g2, &[]).to_json()
+        );
+    }
+
+    #[test]
+    fn query_report_envelope() {
+        let g = graph();
+        let answer = QuerySpec::new().from("t.a").downstream().run_on(&g);
+        let report = QueryReport::from_answer(&answer);
+        assert_eq!(report.schema_version, 2);
+        assert_eq!(report.direction, "downstream");
+        assert_eq!(report.origins, vec!["t.a"]);
+        assert_eq!(report.columns[0].column, "v.a");
+        assert_eq!(report.columns[0].kind, "contribute");
+        assert_eq!(report.relations[0].name, "t");
+        assert!(report.path.is_none());
+        assert_eq!(report.subgraph.relations["t"].columns, vec!["a"]);
+        let parsed: serde_json::Value = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(parsed["schema_version"], 2);
+        assert_eq!(parsed["columns"][0]["distance"], 1);
     }
 }

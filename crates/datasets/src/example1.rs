@@ -143,7 +143,7 @@ mod tests {
         let expected: std::collections::BTreeSet<SourceColumn> =
             expected_page_impact().into_iter().map(|(t, c)| SourceColumn::new(t, c)).collect();
         let actual: std::collections::BTreeSet<SourceColumn> =
-            report.impacted.iter().map(|c| c.column.clone()).collect();
+            report.impacted().iter().map(|c| c.column.clone()).collect();
         assert_eq!(actual, expected, "impact set diverges from the paper's step 4");
     }
 
@@ -153,7 +153,7 @@ mod tests {
         let result = lineagex(&full_log()).unwrap();
         let report = result.impact_of("web", "page");
         let kind_of = |t: &str, c: &str| {
-            report.impacted.iter().find(|i| i.column == SourceColumn::new(t, c)).map(|i| i.kind)
+            report.impacted().iter().find(|i| i.column == SourceColumn::new(t, c)).map(|i| i.kind)
         };
         // web.page contributes to webact.wpage AND is referenced → Both.
         assert_eq!(kind_of("webact", "wpage"), Some(EdgeKind::Both));

@@ -7,8 +7,8 @@ use crate::stats::{EngineStats, IngestAction, StmtId};
 use lineagex_catalog::Catalog;
 use lineagex_core::{
     assemble_nodes, cycle_stub, extract_entry, preprocess_statement, Diagnostic, DiagnosticCode,
-    ExtractOptions, ImpactReport, LineageError, LineageGraph, LineageResult, PreprocessedStatement,
-    QueryEntry, QueryKind, SourceColumn, TraceLog,
+    ExtractOptions, ImpactReport, LineageError, LineageGraph, LineageResult, LineageView,
+    PreprocessedStatement, QueryEntry, QueryKind, SourceColumn, TraceLog,
 };
 use lineagex_sqlparse::ast::SpannedStatement;
 use std::collections::{BTreeMap, BTreeSet};
@@ -615,6 +615,38 @@ impl Engine {
             }
         }
         merged
+    }
+}
+
+/// The engine is the *session* backend of the unified query surface:
+/// everything written against [`LineageView`] — the [`GraphQuery`]
+/// builder, [`ReportV2`] serialisation, stats — runs unchanged over a
+/// live session, settling pending work first.
+///
+/// [`GraphQuery`]: lineagex_core::GraphQuery
+/// [`ReportV2`]: lineagex_core::ReportV2
+///
+/// ```
+/// use lineagex_engine::Engine;
+/// use lineagex_core::LineageView;
+///
+/// let mut engine = Engine::new();
+/// engine.ingest("CREATE TABLE web (cid int, page text);").unwrap();
+/// engine.ingest("CREATE VIEW v AS SELECT page FROM web;").unwrap();
+/// let answer = engine.query().from("web.page").downstream().run().unwrap();
+/// assert_eq!(answer.columns[0].column.to_string(), "v.page");
+/// ```
+impl LineageView for Engine {
+    fn settled_graph(&mut self) -> Result<&LineageGraph, LineageError> {
+        self.graph()
+    }
+
+    fn run_diagnostics(&self) -> Vec<Diagnostic> {
+        self.session_diagnostics.clone()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "session"
     }
 }
 

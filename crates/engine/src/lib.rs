@@ -348,6 +348,29 @@ mod tests {
     }
 
     #[test]
+    fn lineage_view_unifies_batch_and_session() {
+        use lineagex_core::LineageView;
+        let mut engine = Engine::new();
+        engine.ingest(PIPELINE).unwrap();
+        let mut batch = lineagex(PIPELINE).unwrap();
+        // Identical code runs over either backend through the trait…
+        let session_answer =
+            engine.query().from("web.page").downstream().max_depth(3).run().unwrap();
+        let batch_answer = batch.query().from("web.page").downstream().max_depth(3).run().unwrap();
+        assert_eq!(session_answer, batch_answer);
+        assert_eq!(session_answer.columns.len(), 2);
+        // …and the versioned wire document is byte-identical.
+        assert_eq!(engine.report_v2().unwrap().to_json(), batch.report_v2().unwrap().to_json());
+        assert_eq!(engine.backend_name(), "session");
+        assert_eq!(batch.backend_name(), "batch");
+        assert_eq!(
+            engine.column_lineage("webinfo", "wpage").unwrap(),
+            batch.column_lineage("webinfo", "wpage").unwrap()
+        );
+        assert_eq!(engine.graph_stats().unwrap(), batch.graph_stats().unwrap());
+    }
+
+    #[test]
     fn result_packages_session_state() {
         let mut engine = Engine::new();
         engine.ingest(PIPELINE).unwrap();

@@ -4,16 +4,27 @@
 //! column-level edges attach to the right row. Edge colours follow the
 //! paper's palette: contribute = black, reference = blue, both = orange.
 
-use lineagex_core::{EdgeKind, LineageGraph, NodeKind};
+use lineagex_core::{Edge, EdgeKind, LineageGraph, Node, NodeKind, Subgraph};
 use std::fmt::Write;
 
 /// Render a lineage graph as Graphviz DOT.
 pub fn to_dot(graph: &LineageGraph) -> String {
+    render_dot(graph.nodes.values(), &graph.all_edges())
+}
+
+/// Render a query answer's traversal cone ([`Subgraph`]) as Graphviz DOT
+/// — the slice a [`lineagex_core::GraphQuery`] touched, instead of the
+/// whole graph.
+pub fn subgraph_to_dot(subgraph: &Subgraph) -> String {
+    render_dot(subgraph.nodes.values(), &subgraph.edges)
+}
+
+fn render_dot<'a>(nodes: impl Iterator<Item = &'a Node>, edges: &[Edge]) -> String {
     let mut out = String::new();
     out.push_str("digraph lineage {\n");
     out.push_str("  rankdir=LR;\n  node [shape=record, fontname=\"Helvetica\"];\n");
 
-    for node in graph.nodes.values() {
+    for node in nodes {
         let fill = match node.kind {
             NodeKind::BaseTable => "#e8f0fe",
             NodeKind::View => "#fef7e0",
@@ -36,7 +47,7 @@ pub fn to_dot(graph: &LineageGraph) -> String {
         .expect("write to string");
     }
 
-    for edge in graph.all_edges() {
+    for edge in edges {
         let (color, style) = match edge.kind {
             EdgeKind::Contribute => ("black", "solid"),
             EdgeKind::Reference => ("blue", "dashed"),
@@ -107,5 +118,26 @@ mod tests {
     fn weird_column_names_are_sanitised() {
         assert_eq!(sanitize_port("?column?"), "p__column_");
         assert_eq!(sanitize_port("a b"), "p_a_b");
+    }
+
+    #[test]
+    fn subgraph_renders_only_the_cone() {
+        use lineagex_core::{LineageView, QuerySpec};
+        let mut result = lineagex(
+            "CREATE TABLE t (a int, b int);
+             CREATE VIEW v AS SELECT a FROM t;
+             CREATE VIEW unrelated AS SELECT b FROM t;",
+        )
+        .unwrap();
+        let answer = result.query().from("t.a").downstream().run().unwrap();
+        let dot = subgraph_to_dot(&answer.subgraph);
+        assert!(dot.contains("\"v\""), "{dot}");
+        assert!(!dot.contains("unrelated"), "{dot}");
+        // t's untouched column b stays out of the record label.
+        assert!(dot.contains("<p_a> a"), "{dot}");
+        assert!(!dot.contains("<p_b> b"), "{dot}");
+        // The cone renderer and the full renderer agree on shape.
+        let full = QuerySpec::new().from("t.a").from("t.b").run_on(&result.graph);
+        assert!(subgraph_to_dot(&full.subgraph).contains("unrelated"));
     }
 }

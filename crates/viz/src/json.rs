@@ -1,6 +1,6 @@
 //! JSON artefacts: the lineage document and the graph JSON for the viewer.
 
-use lineagex_core::{EdgeKind, JsonReport, LineageGraph};
+use lineagex_core::{Diagnostic, EdgeKind, JsonReport, LineageGraph, ReportV2};
 use serde::Serialize;
 
 /// A node in the graph JSON.
@@ -35,9 +35,17 @@ pub struct GraphJson {
     pub edges: Vec<GraphEdge>,
 }
 
-/// Serialise the per-query lineage document (the paper's `output.json`).
+/// Serialise the v1 per-query lineage document (the paper's
+/// `output.json`; the CLI's `--format json-v1`).
 pub fn to_output_json(graph: &LineageGraph) -> String {
     JsonReport::from_graph(graph).to_json()
+}
+
+/// Serialise the versioned v2 lineage document ([`ReportV2`],
+/// `schema_version: 2`): graph, per-query lineage, the given run
+/// diagnostics, and stats in one deterministic document.
+pub fn to_report_v2_json(graph: &LineageGraph, run_diagnostics: &[Diagnostic]) -> String {
+    ReportV2::from_graph(graph, run_diagnostics).to_json()
 }
 
 /// Build the graph JSON for the viewer.
@@ -86,6 +94,18 @@ mod tests {
         let json = to_output_json(&graph());
         let value: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert!(value["queries"]["v"].is_object());
+        // v1 carries no schema version; v2 declares itself.
+        assert!(value["schema_version"].is_null());
+    }
+
+    #[test]
+    fn report_v2_json_is_versioned() {
+        let json = to_report_v2_json(&graph(), &[]);
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["schema_version"], 2);
+        assert_eq!(value["relations"]["t"]["kind"], "base_table");
+        assert_eq!(value["queries"]["v"]["outputs"][0]["name"], "a");
+        assert_eq!(value["diagnostics"].as_array().unwrap().len(), 0);
     }
 
     #[test]

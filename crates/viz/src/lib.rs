@@ -3,8 +3,9 @@
 //! Rendering backends for LineageX lineage graphs, standing in for the
 //! paper's web UI (Fig. 5). Three artefacts are produced:
 //!
-//! * [`json`] — the machine-readable lineage document plus a
-//!   nodes-and-edges graph JSON (the paper's `output.json`);
+//! * [`json`] — the machine-readable lineage documents (the versioned v2
+//!   report, the paper's v1 `output.json`) plus a nodes-and-edges graph
+//!   JSON for the viewer;
 //! * [`dot`] — Graphviz DOT with one record node per relation and edges
 //!   coloured by kind (contribute = black, reference = blue, both =
 //!   orange, matching the paper's palette);
@@ -21,8 +22,8 @@ pub mod json;
 pub mod markdown;
 pub mod mermaid;
 
-pub use dot::to_dot;
+pub use dot::{subgraph_to_dot, to_dot};
 pub use html::to_html;
-pub use json::{graph_json, to_output_json};
+pub use json::{graph_json, to_output_json, to_report_v2_json};
 pub use markdown::to_markdown;
-pub use mermaid::to_mermaid;
+pub use mermaid::{subgraph_to_mermaid, to_mermaid};

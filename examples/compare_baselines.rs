@@ -59,7 +59,7 @@ fn main() -> Result<(), LineageError> {
     let llm_found = llm_style_impact(&ours.graph, &SourceColumn::new("web", "page"));
     let full = ours.impact_of("web", "page");
     let missed: Vec<String> = full
-        .impacted
+        .impacted()
         .iter()
         .filter(|c| !llm_found.contains(&c.column))
         .map(|c| c.column.to_string())

@@ -53,7 +53,7 @@ fn main() -> Result<(), LineageError> {
     // The whole point of dbt lineage: trace a raw column to the mart.
     let impact = result.impact_of("raw_customers", "name");
     println!("raw_customers.name flows into:");
-    for hit in &impact.impacted {
+    for hit in impact.impacted() {
         println!("  {} ({} hop(s))", hit.column, hit.distance);
     }
     assert!(impact.contains(&SourceColumn::new("fct_customer_orders", "customer_name")));

@@ -28,7 +28,7 @@ fn main() -> Result<(), LineageError> {
 
     // Step 4 — solving the case: the full impact set.
     let impact = result.impact_of("web", "page");
-    println!("\nStep 4: impact of editing web.page ({} columns):", impact.impacted.len());
+    println!("\nStep 4: impact of editing web.page ({} columns):", impact.impacted().len());
     for (table, cols) in impact.by_table() {
         let rendered: Vec<String> =
             cols.iter().map(|c| format!("{} ({:?})", c.column.column, c.kind)).collect();
@@ -38,7 +38,7 @@ fn main() -> Result<(), LineageError> {
     // Cross-check against the paper's stated answer.
     let expected = example1::expected_page_impact();
     let all_found = expected.iter().all(|(t, c)| impact.contains(&SourceColumn::new(*t, *c)));
-    assert!(all_found && impact.impacted.len() == expected.len());
+    assert!(all_found && impact.impacted().len() == expected.len());
     println!("\n✔ matches the paper's §IV step 4 answer exactly");
 
     Ok(())

@@ -53,7 +53,7 @@ fn main() -> Result<(), LineageError> {
     //    engine did cone-sized work, not log-sized work.
     let impact = engine.impact_of("orders", "amount")?;
     println!("\n== re-query ==");
-    println!("  impact of orders.amount: {} column(s)", impact.impacted.len());
+    println!("  impact of orders.amount: {} column(s)", impact.impacted().len());
     assert!(impact.contains(&SourceColumn::new("spend", "amount")));
     let delta = engine.stats().extractions - cold_extractions;
     println!("  re-extracted {delta} of {} queries (cone only)", engine.graph()?.queries.len());

@@ -39,7 +39,7 @@ fn main() -> Result<(), LineageError> {
     let impact = result.impact_of("labevents", "valuenum");
     println!(
         "\nimpact of labevents.valuenum: {} columns in {} views",
-        impact.impacted.len(),
+        impact.impacted().len(),
         impact.impacted_tables().len()
     );
     for table in impact.impacted_tables().iter().take(10) {

@@ -45,7 +45,7 @@ fn main() -> Result<(), LineageError> {
 
     println!("== impact of changing customers.city ==");
     let impact = result.impact_of("customers", "city");
-    for hit in &impact.impacted {
+    for hit in impact.impacted() {
         println!("  {} ({:?}, {} hop(s))", hit.column, hit.kind, hit.distance);
     }
 

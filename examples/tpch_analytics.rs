@@ -32,7 +32,7 @@ fn main() -> Result<(), LineageError> {
     let impact = result.impact_of("lineitem", "l_discount");
     println!(
         "impact of lineitem.l_discount: {} columns across {:?}",
-        impact.impacted.len(),
+        impact.impacted().len(),
         impact.impacted_tables()
     );
 

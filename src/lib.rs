@@ -49,14 +49,28 @@ pub use lineagex_sqlparse as sqlparse;
 pub use lineagex_viz as viz;
 
 /// The most commonly used items in one import.
+///
+/// The query surface convention: application code talks to a backend —
+/// batch [`LineageResult`](lineagex_core::LineageResult) or session
+/// [`Engine`](lineagex_engine::Engine) — through the
+/// [`LineageView`](lineagex_core::LineageView) trait, composes questions
+/// with [`GraphQuery`](lineagex_core::GraphQuery), and serialises through
+/// the versioned [`ReportV2`](lineagex_core::ReportV2) document. The
+/// legacy free functions (`impact_of`, `upstream_of`, `path_between`,
+/// `explore`) are thin shortcuts over the same engine.
 pub mod prelude {
     pub use lineagex_catalog::{Catalog, SimulatedDatabase};
     pub use lineagex_core::{
         explore, impact_of, lineagex, lineagex_lenient, path_between, upstream_of, AmbiguityPolicy,
-        Diagnostic, DiagnosticCode, EdgeKind, GraphStats, LineageError, LineageGraph,
-        LineageResult, LineageX, QueryLineage, Severity, SourceColumn,
+        ColumnMatch, Diagnostic, DiagnosticCode, Direction, EdgeKind, GraphQuery, GraphStats,
+        LineageError, LineageGraph, LineageResult, LineageView, LineageX, QueryAnswer,
+        QueryLineage, QueryReport, QuerySpec, RelationMatch, ReportV2, Severity, SourceColumn,
+        Subgraph, SCHEMA_VERSION,
     };
     pub use lineagex_engine::{Engine, EngineOptions, EngineStats, IngestAction, StmtId};
     #[cfg(feature = "viz")]
-    pub use lineagex_viz::{to_dot, to_html, to_mermaid, to_output_json};
+    pub use lineagex_viz::{
+        subgraph_to_dot, subgraph_to_mermaid, to_dot, to_html, to_mermaid, to_output_json,
+        to_report_v2_json,
+    };
 }

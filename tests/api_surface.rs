@@ -1,0 +1,114 @@
+//! Public-API snapshot guard.
+//!
+//! Two golden files pin the workspace's front door:
+//!
+//! * `tests/golden/prelude_api.txt` — the sorted export list of
+//!   `lineagex::prelude`, parsed from `src/lib.rs`. An accidental
+//!   removal (or unreviewed addition) of a prelude export fails CI.
+//! * `tests/golden/report_v2.json` — the `ReportV2` document for the
+//!   paper's Example 1. The v2 wire format is versioned: byte drift
+//!   without a `schema_version` bump is a breaking change.
+//!
+//! Regenerate intentionally with
+//! `UPDATE_GOLDEN=1 cargo test --test api_surface`.
+
+use lineagex::datasets::example1;
+use lineagex::prelude::*;
+
+const PRELUDE_GOLDEN: &str = "tests/golden/prelude_api.txt";
+const REPORT_GOLDEN: &str = "tests/golden/report_v2.json";
+
+/// Extract the exported identifiers from the `pub mod prelude` block of
+/// `src/lib.rs`: every leaf of every `pub use` list, sorted and deduped.
+fn prelude_exports() -> Vec<String> {
+    let source = include_str!("../src/lib.rs");
+    let start = source.find("pub mod prelude {").expect("src/lib.rs has a prelude");
+    let block = &source[start..];
+    let mut exports = std::collections::BTreeSet::new();
+    for statement in block.split(';') {
+        let Some(use_pos) = statement.find("pub use ") else { continue };
+        let path = statement[use_pos + "pub use ".len()..].trim();
+        let leaves: Vec<&str> = match (path.find('{'), path.rfind('}')) {
+            (Some(open), Some(close)) => path[open + 1..close].split(',').collect(),
+            _ => path.rsplit("::").take(1).collect(),
+        };
+        for leaf in leaves {
+            let leaf = leaf.trim();
+            if !leaf.is_empty() {
+                exports.insert(leaf.to_string());
+            }
+        }
+    }
+    exports.into_iter().collect()
+}
+
+#[test]
+fn prelude_export_list_is_pinned() {
+    let rendered = prelude_exports().join("\n") + "\n";
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(PRELUDE_GOLDEN, &rendered).expect("can write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(PRELUDE_GOLDEN).expect("golden file exists");
+    assert_eq!(
+        rendered, golden,
+        "the lineagex::prelude export list drifted from {PRELUDE_GOLDEN}; \
+         if the API change is intentional, run with UPDATE_GOLDEN=1 to regenerate"
+    );
+}
+
+#[test]
+fn prelude_parser_sees_the_new_surface() {
+    // Sanity-check the source parser itself: the unified query surface
+    // must be part of what the guard pins.
+    let exports = prelude_exports();
+    for name in ["LineageView", "GraphQuery", "QuerySpec", "QueryAnswer", "ReportV2", "lineagex"] {
+        assert!(exports.contains(&name.to_string()), "prelude must export {name}");
+    }
+}
+
+#[test]
+fn example1_report_v2_is_golden() {
+    let mut result = lineagex(&example1::full_log()).unwrap();
+    let rendered = result.report_v2().unwrap().to_json() + "\n";
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(REPORT_GOLDEN, &rendered).expect("can write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(REPORT_GOLDEN).expect("golden file exists");
+    assert_eq!(
+        rendered, golden,
+        "the ReportV2 document drifted from {REPORT_GOLDEN}; the v2 wire format is \
+         versioned — if the change is intentional, regenerate with UPDATE_GOLDEN=1 \
+         (and bump SCHEMA_VERSION if the shape changed)"
+    );
+}
+
+#[test]
+fn report_v2_golden_sanity() {
+    // Spot-check the golden content so a bad regeneration cannot lock in
+    // wrong lineage.
+    let golden = std::fs::read_to_string(REPORT_GOLDEN).expect("golden file exists");
+    let value: serde_json::Value = serde_json::from_str(&golden).unwrap();
+    assert_eq!(value["schema_version"], 2);
+    assert_eq!(value["relations"]["web"]["kind"], "base_table");
+    assert_eq!(value["relations"]["webinfo"]["kind"], "view");
+    let outputs = value["queries"]["webinfo"]["outputs"].as_array().unwrap();
+    assert_eq!(outputs[0]["name"], "wcid");
+    assert_eq!(outputs[0]["sources"][0], "customers.cid");
+    assert_eq!(value["queries"]["webinfo"]["partial"], false);
+    assert!(value["edges"].as_array().unwrap().len() > 10);
+    assert_eq!(value["stats"]["relations"], 6);
+    assert_eq!(value["diagnostics"].as_array().unwrap().len(), 0);
+}
+
+#[test]
+fn report_v2_is_backend_independent_on_example1() {
+    // The same document must come out of the incremental engine.
+    let mut batch = lineagex(&example1::full_log()).unwrap();
+    let mut engine = Engine::new();
+    for statement in example1::full_log().split(';').filter(|s| !s.trim().is_empty()) {
+        engine.ingest(statement).unwrap();
+    }
+    assert_eq!(batch.report_v2().unwrap().to_json(), engine.report_v2().unwrap().to_json());
+}

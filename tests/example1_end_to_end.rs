@@ -73,7 +73,8 @@ fn impact_analysis_matches_section4() {
         .into_iter()
         .map(|(t, c)| SourceColumn::new(t, c))
         .collect();
-    let actual: BTreeSet<SourceColumn> = impact.impacted.iter().map(|i| i.column.clone()).collect();
+    let actual: BTreeSet<SourceColumn> =
+        impact.impacted().iter().map(|i| i.column.clone()).collect();
     assert_eq!(actual, expected);
 }
 
@@ -104,7 +105,7 @@ fn llm_simulation_finds_contributing_misses_referenced() {
     }
     // The full impact strictly contains the LLM's answer.
     let full = result.impact_of("web", "page");
-    assert!(full.impacted.len() > llm.len());
+    assert!(full.impacted().len() > llm.len());
 }
 
 #[test]

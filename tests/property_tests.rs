@@ -87,7 +87,7 @@ proptest! {
             for col in node.columns.iter().take(2) {
                 let origin = SourceColumn::new(&node.name, col);
                 let report = impact_of(graph, &origin);
-                for hit in &report.impacted {
+                for hit in report.impacted() {
                     prop_assert!(hit.distance >= 1);
                 }
             }

@@ -28,8 +28,8 @@ fn thousand_deep_reversed_chain_extracts() {
     let top = &result.graph.queries[&format!("v_{}", depth - 1)];
     assert_eq!(top.output_names(), vec!["a", "b"]);
     let impact = result.impact_of("base", "a");
-    assert_eq!(impact.impacted.len(), depth, "one column per view");
-    let farthest = impact.impacted.iter().map(|c| c.distance).max().unwrap();
+    assert_eq!(impact.impacted().len(), depth, "one column per view");
+    let farthest = impact.impacted().iter().map(|c| c.distance).max().unwrap();
     assert_eq!(farthest, depth);
 }
 
@@ -44,7 +44,7 @@ fn wide_fanout_extracts() {
     assert_eq!(result.graph.queries.len(), 500);
     assert!(result.deferrals.is_empty());
     let impact = result.impact_of("base", "a");
-    assert_eq!(impact.impacted.len(), 500);
+    assert_eq!(impact.impacted().len(), 500);
 }
 
 #[test]
@@ -62,7 +62,7 @@ fn wide_star_diamond() {
     assert_eq!(result.graph.queries.len(), 300);
     let impact = result.impact_of("base", "k");
     // k is referenced by every top view's join (through l/r columns).
-    assert!(impact.impacted.len() >= 400, "got {}", impact.impacted.len());
+    assert!(impact.impacted().len() >= 400, "got {}", impact.impacted().len());
 }
 
 #[test]
