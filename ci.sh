@@ -1,15 +1,46 @@
 #!/usr/bin/env bash
 # CI gate for the LineageX workspace. Mirrors what a hosted pipeline
-# would run; keep it in sync with docs/ARCHITECTURE.md's conventions.
+# would run — and is mirrored step-for-step by
+# .github/workflows/ci.yml; keep all three in sync with
+# docs/ARCHITECTURE.md's conventions.
 #
-#   ./ci.sh          # run everything
-#   ./ci.sh fast     # skip the release build (dev-profile tests only)
+#   ./ci.sh          # run everything (incl. the bench-regression gate)
+#   ./ci.sh fast     # skip the release build and the bench gate
+#                    # (dev-profile tests only)
+#   ./ci.sh regen    # run every UPDATE_GOLDEN=1 refresh in one command:
+#                    # tests/golden/messy_log_diagnostics.txt (resilience),
+#                    # tests/golden/prelude_api.txt and
+#                    # tests/golden/report_v2.json (api_surface) — then
+#                    # exit. Review the diff before committing.
+#
+# Every step prints its wall-clock duration when it finishes, so slow
+# steps are visible in CI logs.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-fast=${1:-}
+mode=${1:-}
 
-step() { printf '\n==> %s\n' "$*"; }
+step_name=""
+step_ts=$SECONDS
+step() {
+    local now=$SECONDS
+    if [ -n "$step_name" ]; then
+        printf '    [%3ds] %s\n' "$((now - step_ts))" "$step_name"
+    fi
+    step_name="$*"
+    step_ts=$now
+    printf '\n==> %s\n' "$*"
+}
+
+if [ "$mode" = "regen" ]; then
+    step "UPDATE_GOLDEN=1 cargo test -q --test resilience (messy-log diagnostics golden)"
+    UPDATE_GOLDEN=1 cargo test -q --test resilience
+    step "UPDATE_GOLDEN=1 cargo test -q --test api_surface (prelude + ReportV2 goldens)"
+    UPDATE_GOLDEN=1 cargo test -q --test api_surface
+    step "goldens regenerated"
+    git --no-pager status --short tests/golden/ || true
+    exit 0
+fi
 
 step "cargo fmt --check"
 cargo fmt --check
@@ -17,7 +48,7 @@ cargo fmt --check
 step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-if [ "$fast" != "fast" ]; then
+if [ "$mode" != "fast" ]; then
     step "cargo build --release (tier-1, part 1)"
     cargo build --release
 fi
@@ -30,12 +61,12 @@ cargo test -q --workspace
 # The resilience corpus is part of the workspace run above, but gate it
 # explicitly: lenient extraction over tests/corpus/messy_log.sql must
 # keep extracting every well-formed statement and keep the golden
-# diagnostics rendering stable (UPDATE_GOLDEN=1 regenerates).
+# diagnostics rendering stable (./ci.sh regen regenerates).
 step "cargo test -q --test resilience (messy-log corpus + isolation property)"
 cargo test -q --test resilience
 
 # Public-API snapshot guard: the lineagex::prelude export list and the
-# Example 1 ReportV2 document are golden files (UPDATE_GOLDEN=1
+# Example 1 ReportV2 document are golden files (./ci.sh regen
 # regenerates) — accidental API or wire-format breaks fail the build.
 step "cargo test -q --test api_surface (prelude + ReportV2 golden guard)"
 cargo test -q --test api_surface
@@ -54,5 +85,14 @@ cargo run --quiet --example query_api
 
 step "cargo doc --no-deps --workspace (docs must keep compiling)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# Perf contracts: quick re-runs of engine_bench/query_bench must keep
+# lenient overhead < 5%, incremental speedup >= 2x, and indexed query
+# throughput within 30% of the committed BENCH_query.json. Needs the
+# release profile, so `fast` skips it.
+if [ "$mode" != "fast" ]; then
+    step "scripts/check_bench.sh (bench-regression gate)"
+    scripts/check_bench.sh
+fi
 
 step "all green"

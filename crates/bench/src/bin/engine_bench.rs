@@ -3,7 +3,9 @@
 //! incremental re-ingest of a single redefined view.
 //!
 //! Writes `BENCH_engine.json` into the working directory so the numbers
-//! land in the repo's perf trajectory.
+//! land in the repo's perf trajectory. `scripts/check_bench.sh` re-runs
+//! this binary (with `BENCH_QUICK=1` for fewer repetitions) to gate the
+//! lenient overhead and the incremental speedup in CI.
 
 use lineagex_bench::{section, table2};
 use lineagex_core::LineageX;
@@ -14,8 +16,17 @@ use serde::Serialize;
 use std::time::{Duration, Instant};
 
 const VIEWS: usize = 200;
-const BATCH_REPS: usize = 5;
-const INCREMENTAL_REPS: usize = 30;
+
+/// Repetition counts: best-of-5 batch runs and 30 incremental re-ingests
+/// normally; 2 and 10 under `BENCH_QUICK=1` (the CI regression gate's
+/// quick mode — same 200-view workload, less smoothing).
+fn rep_counts() -> (usize, usize) {
+    if std::env::var_os("BENCH_QUICK").is_some() {
+        (2, 10)
+    } else {
+        (5, 30)
+    }
+}
 
 #[derive(Serialize)]
 struct Report {
@@ -70,6 +81,7 @@ fn redefinition(original: &str, limit: u64) -> String {
 }
 
 fn main() {
+    let (batch_reps, incremental_reps) = rep_counts();
     let workload =
         generator::generate(&GeneratorConfig { views: VIEWS, ..GeneratorConfig::seeded(29) });
     let sql = workload.full_sql();
@@ -85,11 +97,11 @@ fn main() {
     // 1. One-shot batch: the paper's pipeline over the whole log — and
     // the same run in lenient mode, which must stay within 5% on a clean
     // log (resilience may not tax the happy path).
-    let one_shot = best_of(BATCH_REPS, || LineageX::new().run(&sql).unwrap());
-    let one_shot_lenient = best_of(BATCH_REPS, || LineageX::new().lenient().run(&sql).unwrap());
+    let one_shot = best_of(batch_reps, || LineageX::new().run(&sql).unwrap());
+    let one_shot_lenient = best_of(batch_reps, || LineageX::new().lenient().run(&sql).unwrap());
 
     // 2. Engine cold batch, sequential: ingest (parse) + refresh (extract).
-    let cold_seq = best_of(BATCH_REPS, || {
+    let cold_seq = best_of(batch_reps, || {
         let mut engine = Engine::new();
         engine.ingest(&sql).unwrap();
         engine.refresh().unwrap()
@@ -100,14 +112,14 @@ fn main() {
     let mut seq_engine = Engine::new();
     seq_engine.ingest(&sql).unwrap();
     seq_engine.refresh().unwrap();
-    let reextract_seq = best_of(BATCH_REPS, || {
+    let reextract_seq = best_of(batch_reps, || {
         seq_engine.invalidate_all();
         seq_engine.refresh().unwrap()
     });
     let mut par_engine = Engine::with_options(EngineOptions { jobs, ..EngineOptions::default() });
     par_engine.ingest(&sql).unwrap();
     par_engine.refresh().unwrap();
-    let reextract_par = best_of(BATCH_REPS, || {
+    let reextract_par = best_of(batch_reps, || {
         par_engine.invalidate_all();
         par_engine.refresh().unwrap()
     });
@@ -130,12 +142,12 @@ fn main() {
         .expect("target is a workload view");
     let texts = [redefinition(original, 1_000_001), redefinition(original, 1_000_002)];
     let incremental_start = Instant::now();
-    for i in 0..INCREMENTAL_REPS {
+    for i in 0..incremental_reps {
         seq_engine.ingest(&texts[i % 2]).unwrap();
         let extracted = seq_engine.refresh().unwrap();
         assert_eq!(extracted, cone_size, "cone invalidation must be exact");
     }
-    let incremental = incremental_start.elapsed() / INCREMENTAL_REPS as u32;
+    let incremental = incremental_start.elapsed() / incremental_reps as u32;
 
     let report = Report {
         views: VIEWS,

@@ -90,6 +90,7 @@ impl ExplainPathExtractor {
             deferrals: self.deferrals,
             inferred: BTreeMap::new(),
             diagnostics: self.qd.diagnostics,
+            index: Default::default(),
         })
     }
 

@@ -81,6 +81,18 @@ impl ImpactReport {
     pub fn contains(&self, column: &SourceColumn) -> bool {
         self.index.contains(column)
     }
+
+    /// Convert a *downstream* [`QueryAnswer`] into the legacy impact
+    /// report shape — how both backends' `impact_of` shortcuts package
+    /// an indexed traversal.
+    pub fn from_answer(origin: SourceColumn, answer: QueryAnswer) -> ImpactReport {
+        let impacted = answer
+            .columns
+            .into_iter()
+            .map(|m| ImpactedColumn { column: m.column, kind: m.kind, distance: m.distance })
+            .collect();
+        ImpactReport::new(origin, impacted)
+    }
 }
 
 // Manual impl: the wire shape stays `{origin, impacted}` — the index is
@@ -99,20 +111,19 @@ impl Serialize for ImpactReport {
 /// column) contributes to it (`C_con`) or is referenced by its defining
 /// query (`C_ref`). Shortcut for a downstream [`QuerySpec`] with no depth
 /// limit or filters.
+///
+/// The free functions here take a bare graph, so no index cache can
+/// help them; they run the cone-proportional string walk
+/// ([`QuerySpec::run_on_unindexed`]) rather than paying an `O(graph)`
+/// [`crate::graph::GraphIndex`] build per call. Backends answering many
+/// questions go through [`crate::LineageView`], whose cached index
+/// serves the same answers byte-identically.
 pub fn impact_of(graph: &LineageGraph, origin: &SourceColumn) -> ImpactReport {
-    let answer =
-        QuerySpec::new().from_column(&origin.table, &origin.column).downstream().run_on(graph);
-    impact_report_from_answer(origin.clone(), answer)
-}
-
-/// Convert a downstream query answer into the legacy impact report shape.
-pub(crate) fn impact_report_from_answer(origin: SourceColumn, answer: QueryAnswer) -> ImpactReport {
-    let impacted = answer
-        .columns
-        .into_iter()
-        .map(|m| ImpactedColumn { column: m.column, kind: m.kind, distance: m.distance })
-        .collect();
-    ImpactReport::new(origin, impacted)
+    let answer = QuerySpec::new()
+        .from_column(&origin.table, &origin.column)
+        .downstream()
+        .run_on_unindexed(graph);
+    ImpactReport::from_answer(origin.clone(), answer)
 }
 
 /// Compute the upstream transitive closure: every source column that the
@@ -122,7 +133,7 @@ pub fn upstream_of(graph: &LineageGraph, target: &SourceColumn) -> BTreeSet<Sour
     QuerySpec::new()
         .from_column(&target.table, &target.column)
         .upstream()
-        .run_on(graph)
+        .run_on_unindexed(graph)
         .columns
         .into_iter()
         .map(|m| m.column)
@@ -145,7 +156,7 @@ pub fn path_between(
         .from_column(&origin.table, &origin.column)
         .downstream()
         .to(&target.table, &target.column)
-        .run_on(graph)
+        .run_on_unindexed(graph)
         .path
         .map(|steps| steps.into_iter().map(|s| (s.column, s.kind)).collect())
 }
@@ -163,7 +174,8 @@ pub struct ExploreStep {
 }
 
 /// Explore one hop around `table`. Shortcut for a pair of depth-1
-/// table-granularity [`QuerySpec`]s.
+/// table-granularity [`QuerySpec`]s over the string walk (see
+/// [`impact_of`] for why the one-shot shortcuts skip the index).
 pub fn explore(graph: &LineageGraph, table: &str) -> ExploreStep {
     // A relation feeding itself (`INSERT INTO t SELECT .. FROM t`) is its
     // own one-hop neighbour in both directions; a BFS distance map can
@@ -174,7 +186,7 @@ pub fn explore(graph: &LineageGraph, table: &str) -> ExploreStep {
             .from_table(table)
             .table_level()
             .max_depth(1)
-            .run_on(graph)
+            .run_on_unindexed(graph)
             .relations
             .into_iter()
             .filter(|r| r.distance == 1)

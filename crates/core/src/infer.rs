@@ -40,6 +40,12 @@ pub struct LineageResult {
     /// mode — parse errors and duplicate ids. Per-query findings live on
     /// each [`QueryLineage::diagnostics`].
     pub diagnostics: Vec<Diagnostic>,
+    /// Build-once cache for the interned traversal index
+    /// ([`crate::graph::GraphIndex`]); populated lazily by the first
+    /// query through [`crate::LineageView`]. Call
+    /// [`crate::graph::GraphIndexCache::invalidate`] after mutating
+    /// [`LineageResult::graph`] in place.
+    pub index: crate::graph::GraphIndexCache,
 }
 
 /// Drives extraction over a whole Query Dictionary.
@@ -176,6 +182,7 @@ impl<'a> InferenceEngine<'a> {
             deferrals: self.deferrals,
             inferred: self.inferred,
             diagnostics: self.qd.diagnostics,
+            index: Default::default(),
         }
     }
 }

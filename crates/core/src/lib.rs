@@ -51,6 +51,7 @@ pub mod diagnostics;
 pub mod error;
 pub mod explain_path;
 pub(crate) mod extract;
+pub mod graph;
 pub mod impact;
 pub mod infer;
 pub mod model;
@@ -65,6 +66,7 @@ pub use api::{lineagex, lineagex_lenient, LineageX};
 pub use diagnostics::{Diagnostic, DiagnosticCode, DiagnosticSpan, Severity};
 pub use error::LineageError;
 pub use explain_path::ExplainPathExtractor;
+pub use graph::{ColumnId, GraphIndex, GraphIndexCache, Interner, RelationId, Symbol};
 pub use impact::{explore, impact_of, path_between, upstream_of, ExploreStep, ImpactReport};
 pub use infer::{
     assemble_graph, assemble_nodes, cycle_stub, extract_entry, InferenceEngine, LineageResult,

@@ -96,10 +96,20 @@ impl QueryLineage {
     }
 
     /// The full lineage of one output column per the paper's semantics:
-    /// `C(c_out) = C_con(c_out) ∪ C_ref(Q)`.
+    /// `C(c_out) = C_con(c_out) ∪ C_ref(Q)`. When the projection writes
+    /// the same output name twice (`SELECT a AS x, b AS x`), the
+    /// duplicates denote one graph column, so their `C_con` sets merge —
+    /// consistent with [`LineageGraph::all_edges`].
     pub fn lineage_of(&self, output: &str) -> Option<BTreeSet<SourceColumn>> {
-        let col = self.outputs.iter().find(|o| o.name == output)?;
-        let mut all = col.ccon.clone();
+        let mut matched = false;
+        let mut all = BTreeSet::new();
+        for col in self.outputs.iter().filter(|o| o.name == output) {
+            matched = true;
+            all.extend(col.ccon.iter().cloned());
+        }
+        if !matched {
+            return None;
+        }
         all.extend(self.cref.iter().cloned());
         Some(all)
     }
@@ -248,7 +258,12 @@ impl LineageGraph {
         edges.into_iter().map(|((from, to), kind)| Edge { from, to, kind }).collect()
     }
 
-    /// Table-level edges: `(source relation, derived relation)` pairs.
+    /// Table-level edges: `(source relation, derived relation)` pairs,
+    /// sorted and **deduplicated** — a relation scanned several ways by
+    /// one query (self-joins, CTE re-use, set-operation branches)
+    /// produces exactly one pair. Consumers (viz renderers, the
+    /// table-level traversal, [`GraphStats::max_pipeline_depth`]) rely
+    /// on the set semantics; the unit tests pin it.
     pub fn table_edges(&self) -> Vec<(String, String)> {
         let mut out = BTreeSet::new();
         for q in self.queries.values() {
@@ -260,20 +275,27 @@ impl LineageGraph {
     }
 
     /// Direct downstream columns of `column`, with edge kinds — what the
-    /// paper's UI highlights on hover (Fig. 5, step 3).
+    /// paper's UI highlights on hover (Fig. 5, step 3). One entry per
+    /// distinct downstream column: same-named outputs of one query merge
+    /// (contribution through either occurrence counts), matching
+    /// [`LineageGraph::all_edges`].
     pub fn direct_downstream(&self, column: &SourceColumn) -> Vec<(SourceColumn, EdgeKind)> {
         let mut out = Vec::new();
         for q in self.queries.values() {
             let referenced = q.cref.contains(column);
+            let mut contributes_by_name: BTreeMap<&str, bool> = BTreeMap::new();
             for o in &q.outputs {
-                let contributes = o.ccon.contains(column);
+                *contributes_by_name.entry(o.name.as_str()).or_insert(false) |=
+                    o.ccon.contains(column);
+            }
+            for (name, contributes) in contributes_by_name {
                 let kind = match (contributes, referenced) {
                     (true, true) => EdgeKind::Both,
                     (true, false) => EdgeKind::Contribute,
                     (false, true) => EdgeKind::Reference,
                     (false, false) => continue,
                 };
-                out.push((SourceColumn::new(&q.id, &o.name), kind));
+                out.push((SourceColumn::new(&q.id, name), kind));
             }
         }
         out.sort();
@@ -288,18 +310,26 @@ impl LineageGraph {
 
     /// Direct upstream columns of `column` with the kind of the edge each
     /// one feeds it through — the mirror of [`Self::direct_downstream`],
-    /// used by the query layer to filter upstream traversals by edge kind.
+    /// used by the query layer to filter upstream traversals by edge
+    /// kind. Same-named outputs merge their `C_con` sets, like
+    /// [`LineageGraph::all_edges`].
     pub fn direct_upstream_with_kinds(
         &self,
         column: &SourceColumn,
     ) -> Vec<(SourceColumn, EdgeKind)> {
         let Some(q) = self.queries.get(&column.table) else { return Vec::new() };
-        let Some(out) = q.outputs.iter().find(|o| o.name == column.column) else {
+        let mut matched = false;
+        let mut ccon: BTreeSet<&SourceColumn> = BTreeSet::new();
+        for out in q.outputs.iter().filter(|o| o.name == column.column) {
+            matched = true;
+            ccon.extend(out.ccon.iter());
+        }
+        if !matched {
             return Vec::new();
-        };
+        }
         let mut result = Vec::new();
-        for src in out.ccon.union(&q.cref) {
-            let kind = match (out.ccon.contains(src), q.cref.contains(src)) {
+        for src in ccon.iter().copied().chain(q.cref.iter()).collect::<BTreeSet<_>>() {
+            let kind = match (ccon.contains(src), q.cref.contains(src)) {
                 (true, true) => EdgeKind::Both,
                 (true, false) => EdgeKind::Contribute,
                 _ => EdgeKind::Reference,
@@ -503,6 +533,47 @@ mod tests {
         assert_eq!(g.column_count(), 3);
         assert!(g.has_column(&SourceColumn::new("web", "page")));
         assert!(!g.has_column(&SourceColumn::new("web", "nope")));
+    }
+
+    #[test]
+    fn table_edges_are_sorted_and_deduplicated() {
+        // One view scanning `web` through two aliases (a self-join) plus
+        // a second reader: every (source, derived) pair appears exactly
+        // once, in sorted order, no matter how many columns or aliases
+        // the scan fans out through.
+        let mut g = sample_graph();
+        g.queries.insert(
+            "w2".into(),
+            QueryLineage {
+                id: "w2".into(),
+                kind: QueryKind::View { materialized: false },
+                outputs: vec![
+                    OutputColumn::new("l", BTreeSet::from([SourceColumn::new("web", "page")])),
+                    OutputColumn::new("r", BTreeSet::from([SourceColumn::new("web", "cid")])),
+                ],
+                cref: BTreeSet::from([
+                    SourceColumn::new("web", "page"),
+                    SourceColumn::new("web", "cid"),
+                ]),
+                // `tables` is a set, so the double scan collapses before
+                // it ever reaches table_edges — this pins that the edge
+                // list stays a set even if that changes.
+                tables: BTreeSet::from(["web".into()]),
+                diagnostics: vec![],
+                partial: false,
+            },
+        );
+        g.order.push("w2".into());
+        let edges = g.table_edges();
+        assert_eq!(
+            edges,
+            vec![("web".to_string(), "v".to_string()), ("web".to_string(), "w2".to_string())]
+        );
+        let unique: BTreeSet<&(String, String)> = edges.iter().collect();
+        assert_eq!(unique.len(), edges.len(), "table_edges must never contain duplicates");
+        let mut sorted = edges.clone();
+        sorted.sort();
+        assert_eq!(sorted, edges, "table_edges must come out sorted");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! cone) so `lineagex-viz` can draw exactly the part of the graph a
 //! question touched instead of the whole thing.
 
+use crate::graph::{ColumnId, GraphIndex, RelationId};
 use crate::model::{Edge, EdgeKind, LineageGraph, Node, NodeKind, SourceColumn};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -183,7 +184,32 @@ impl QuerySpec {
     }
 
     /// Execute against a settled lineage graph.
+    ///
+    /// Builds a throw-away [`GraphIndex`] and runs [`QuerySpec::run_with`]
+    /// over it — fine for one-off questions. Callers answering many
+    /// queries over the same settled graph should build (or borrow) the
+    /// index once: both [`crate::LineageView`] backends cache one and the
+    /// [`GraphQuery`] builder uses it automatically.
     pub fn run_on(&self, graph: &LineageGraph) -> QueryAnswer {
+        self.run_with(&GraphIndex::build(graph))
+    }
+
+    /// Execute against a prebuilt [`GraphIndex`] — the fast path: BFS
+    /// over dense integer ids and CSR adjacency, translating back to
+    /// strings only at the answer boundary. Produces byte-identical
+    /// answers to [`QuerySpec::run_on_unindexed`].
+    pub fn run_with(&self, index: &GraphIndex) -> QueryAnswer {
+        match self.granularity {
+            Granularity::Column => run_columns_indexed(index, self),
+            Granularity::Table => run_tables_indexed(index, self),
+        }
+    }
+
+    /// Execute with the legacy string-keyed walk, without building an
+    /// index. Kept as the *reference implementation*: the equivalence
+    /// property tests and the bench-regression gate assert that
+    /// [`QuerySpec::run_with`] answers match it byte for byte.
+    pub fn run_on_unindexed(&self, graph: &LineageGraph) -> QueryAnswer {
         match self.granularity {
             Granularity::Column => run_columns(graph, self),
             Granularity::Table => run_tables(graph, self),
@@ -200,6 +226,20 @@ impl QuerySpec {
             Some(kinds) => {
                 graph.nodes.get(relation).map(|n| kinds.contains(&n.kind)).unwrap_or(true)
             }
+        }
+    }
+
+    /// The indexed twin of [`QuerySpec::allows_node`]: a relation with no
+    /// node (externals referenced only inside lineage records) is always
+    /// admitted, exactly like the string walk admits a missing `nodes`
+    /// entry.
+    fn allows_node_id(&self, index: &GraphIndex, relation: RelationId) -> bool {
+        match &self.node_kinds {
+            None => true,
+            Some(kinds) => match index.relation_kind(relation) {
+                Some(kind) => kinds.contains(&kind),
+                None => true,
+            },
         }
     }
 }
@@ -362,14 +402,20 @@ fn run_columns(graph: &LineageGraph, spec: &QuerySpec) -> QueryAnswer {
         match spec.direction {
             Direction::Downstream => {
                 // Every predecessor feeds the same query, so the output's
-                // `C_con` set is looked up once, not per predecessor.
+                // `C_con` sets are looked up once, not per predecessor
+                // (plural: same-named outputs merge, like `all_edges`).
                 let Some(query) = graph.queries.get(&column.table) else { continue };
-                let ccon = query.outputs.iter().find(|o| o.name == column.column).map(|o| &o.ccon);
+                let ccons: Vec<_> = query
+                    .outputs
+                    .iter()
+                    .filter(|o| o.name == column.column)
+                    .map(|o| &o.ccon)
+                    .collect();
                 for (pred, pred_dist) in &distance {
                     if pred_dist + 1 != *dist {
                         continue;
                     }
-                    let c = ccon.is_some_and(|ccon| ccon.contains(pred));
+                    let c = ccons.iter().any(|ccon| ccon.contains(pred));
                     merge(pair_kind(c, query.cref.contains(pred)));
                 }
             }
@@ -426,6 +472,7 @@ fn pair_kind(contributes: bool, references: bool) -> Option<EdgeKind> {
 }
 
 /// The merged kind of the direct edge `from -> to`, if one exists.
+/// Same-named outputs merge their `C_con` sets, like `all_edges`.
 fn edge_kind_between(
     graph: &LineageGraph,
     from: &SourceColumn,
@@ -433,7 +480,7 @@ fn edge_kind_between(
 ) -> Option<EdgeKind> {
     let query = graph.queries.get(&to.table)?;
     let contributes =
-        query.outputs.iter().find(|o| o.name == to.column).is_some_and(|o| o.ccon.contains(from));
+        query.outputs.iter().filter(|o| o.name == to.column).any(|o| o.ccon.contains(from));
     pair_kind(contributes, query.cref.contains(from))
 }
 
@@ -631,6 +678,392 @@ fn slice_subgraph<'a>(
     Subgraph { nodes, edges }
 }
 
+// ---------------------------------------------------------------------
+// Indexed execution: the same two-pass BFS + kind-merge algorithms, run
+// over `GraphIndex`'s dense ids and CSR adjacency. Ids are assigned in
+// lexicographic name order and CSR rows are sorted by id, so visit
+// orders — and therefore every tie-break the answers depend on — match
+// the string walk exactly.
+// ---------------------------------------------------------------------
+
+/// The spec's origins resolved against an index: the legacy origin list
+/// (order-preserving, deduplicated), each with its column id when the
+/// column is actually indexed. Unknown origins still appear in answers
+/// (distance 0, no edges), exactly like the string walk kept them in its
+/// distance map.
+fn resolve_origins_indexed(
+    index: &GraphIndex,
+    spec: &QuerySpec,
+) -> Vec<(SourceColumn, Option<ColumnId>)> {
+    let mut seen = BTreeSet::new();
+    let mut resolved = Vec::new();
+    let mut push = |col: SourceColumn, id: Option<ColumnId>| {
+        if seen.insert(col.clone()) {
+            resolved.push((col, id));
+        }
+    };
+    for origin in &spec.origins {
+        match origin {
+            OriginSpec::Column(col) => {
+                let id = index.lookup_column(&col.table, &col.column);
+                push(col.clone(), id);
+            }
+            OriginSpec::Table(name) => {
+                // Whole-relation origins expand through the *node's*
+                // declared column list (a relation without a node
+                // contributes nothing), matching the string walk.
+                if let Some(rel) = index.lookup_relation(name) {
+                    for &col in index.declared_columns(rel) {
+                        push(index.source_column(col), Some(col));
+                    }
+                }
+            }
+        }
+    }
+    resolved
+}
+
+/// Column-granularity execution over the index.
+fn run_columns_indexed(index: &GraphIndex, spec: &QuerySpec) -> QueryAnswer {
+    let resolved = resolve_origins_indexed(index, spec);
+
+    // Pass 1: BFS distances over allowed edges and nodes, on dense ids.
+    let mut dist: Vec<u32> = vec![u32::MAX; index.column_count()];
+    let mut touched: Vec<ColumnId> = Vec::new();
+    let mut queue: VecDeque<ColumnId> = VecDeque::new();
+    for (_, id) in &resolved {
+        if let Some(id) = *id {
+            if dist[id.index()] == u32::MAX {
+                dist[id.index()] = 0;
+                touched.push(id);
+                queue.push_back(id);
+            }
+        }
+    }
+    while let Some(current) = queue.pop_front() {
+        let d = dist[current.index()];
+        if spec.max_depth.is_some_and(|limit| d as usize >= limit) {
+            continue;
+        }
+        let row = match spec.direction {
+            Direction::Downstream => index.out_edges(current),
+            Direction::Upstream => index.in_edges(current),
+        };
+        for &(next, kind) in row {
+            if !spec.allows_edge(kind) {
+                continue;
+            }
+            let next = ColumnId::from_index(next as usize);
+            if dist[next.index()] != u32::MAX
+                || !spec.allows_node_id(index, index.column_relation(next))
+            {
+                continue;
+            }
+            dist[next.index()] = d + 1;
+            touched.push(next);
+            queue.push_back(next);
+        }
+    }
+
+    // Pass 2: merge the edge kinds of every shortest-path predecessor.
+    // Predecessors of a reached column are exactly its CSR neighbours in
+    // the *opposite* direction sitting one hop closer to the origins.
+    let mut matches: Vec<(u32, ColumnId, EdgeKind)> = Vec::new();
+    for &id in &touched {
+        let d = dist[id.index()];
+        if d == 0 {
+            continue;
+        }
+        let mut contributes = false;
+        let mut references = false;
+        let preds = match spec.direction {
+            Direction::Downstream => index.in_edges(id),
+            Direction::Upstream => index.out_edges(id),
+        };
+        for &(pred, kind) in preds {
+            let pd = dist[pred as usize];
+            if pd == u32::MAX || pd + 1 != d || !spec.allows_edge(kind) {
+                continue;
+            }
+            contributes |= matches!(kind, EdgeKind::Contribute | EdgeKind::Both);
+            references |= matches!(kind, EdgeKind::Reference | EdgeKind::Both);
+        }
+        let kind = match (contributes, references) {
+            (true, true) => EdgeKind::Both,
+            (true, false) => EdgeKind::Contribute,
+            _ => EdgeKind::Reference,
+        };
+        matches.push((d, id, kind));
+    }
+    matches.sort_unstable_by_key(|&(d, id, _)| (d, id));
+    let columns = matches
+        .into_iter()
+        .map(|(d, id, kind)| ColumnMatch {
+            column: index.source_column(id),
+            kind,
+            distance: d as usize,
+        })
+        .collect();
+
+    let path = spec
+        .target
+        .as_ref()
+        .and_then(|target| shortest_path_indexed(index, spec, &resolved, target));
+
+    // Relations reached, with min distance over their columns; unknown
+    // origins count as distance-0 members of their (possibly unknown)
+    // relation.
+    let mut relation_distance: BTreeMap<&str, usize> = BTreeMap::new();
+    for &id in &touched {
+        let name = index.relation_name(index.column_relation(id));
+        let d = dist[id.index()] as usize;
+        relation_distance.entry(name).and_modify(|cur| *cur = (*cur).min(d)).or_insert(d);
+    }
+    let unknown: Vec<&SourceColumn> =
+        resolved.iter().filter(|(_, id)| id.is_none()).map(|(col, _)| col).collect();
+    for col in &unknown {
+        relation_distance.entry(col.table.as_str()).and_modify(|cur| *cur = 0).or_insert(0);
+    }
+    let mut relations: Vec<RelationMatch> = relation_distance
+        .into_iter()
+        .map(|(name, distance)| RelationMatch { name: name.to_string(), distance })
+        .collect();
+    relations.sort_by(|a, b| (a.distance, &a.name).cmp(&(b.distance, &b.name)));
+
+    let subgraph = slice_subgraph_indexed(index, spec, &dist, &touched, &unknown);
+    QueryAnswer {
+        direction: spec.direction,
+        origins: resolved.into_iter().map(|(col, _)| col).collect(),
+        columns,
+        relations,
+        path,
+        subgraph,
+    }
+}
+
+/// Indexed BFS shortest path from any origin to `target`.
+fn shortest_path_indexed(
+    index: &GraphIndex,
+    spec: &QuerySpec,
+    resolved: &[(SourceColumn, Option<ColumnId>)],
+    target: &SourceColumn,
+) -> Option<Vec<PathStep>> {
+    let Some(target_id) = index.lookup_column(&target.table, &target.column) else {
+        // An unindexed target is reachable only as a trivial path to an
+        // origin naming the same column.
+        return resolved.iter().any(|(origin, _)| origin == target).then(Vec::new);
+    };
+    let mut predecessor: Vec<u32> = vec![u32::MAX; index.column_count()];
+    let mut pred_kind: Vec<EdgeKind> = vec![EdgeKind::Contribute; index.column_count()];
+    let mut visited: Vec<bool> = vec![false; index.column_count()];
+    let mut queue: VecDeque<(ColumnId, usize)> = VecDeque::new();
+    for (_, id) in resolved {
+        if let Some(id) = *id {
+            if !visited[id.index()] {
+                visited[id.index()] = true;
+                queue.push_back((id, 0));
+            }
+        }
+    }
+    while let Some((current, d)) = queue.pop_front() {
+        if current == target_id {
+            let mut path = Vec::new();
+            let mut cursor = current;
+            while predecessor[cursor.index()] != u32::MAX {
+                path.push(PathStep {
+                    column: index.source_column(cursor),
+                    kind: pred_kind[cursor.index()],
+                });
+                cursor = ColumnId::from_index(predecessor[cursor.index()] as usize);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if spec.max_depth.is_some_and(|limit| d >= limit) {
+            continue;
+        }
+        let row = match spec.direction {
+            Direction::Downstream => index.out_edges(current),
+            Direction::Upstream => index.in_edges(current),
+        };
+        for &(next, kind) in row {
+            if !spec.allows_edge(kind) {
+                continue;
+            }
+            let next = ColumnId::from_index(next as usize);
+            if visited[next.index()] || !spec.allows_node_id(index, index.column_relation(next)) {
+                continue;
+            }
+            visited[next.index()] = true;
+            predecessor[next.index()] = current.index() as u32;
+            pred_kind[next.index()] = kind;
+            queue.push_back((next, d + 1));
+        }
+    }
+    None
+}
+
+/// Table-granularity execution over the index's relation-level CSR.
+fn run_tables_indexed(index: &GraphIndex, spec: &QuerySpec) -> QueryAnswer {
+    let mut seen = BTreeSet::new();
+    let mut origin_names: Vec<String> = Vec::new();
+    for origin in &spec.origins {
+        let name = match origin {
+            OriginSpec::Table(name) => name.clone(),
+            OriginSpec::Column(col) => col.table.clone(),
+        };
+        if seen.insert(name.clone()) {
+            origin_names.push(name);
+        }
+    }
+
+    let mut dist: Vec<u32> = vec![u32::MAX; index.relation_count()];
+    let mut reached: Vec<RelationId> = Vec::new();
+    let mut unknown_relations: Vec<&str> = Vec::new();
+    let mut queue: VecDeque<RelationId> = VecDeque::new();
+    for name in &origin_names {
+        match index.lookup_relation(name) {
+            Some(rel) if dist[rel.index()] == u32::MAX => {
+                dist[rel.index()] = 0;
+                reached.push(rel);
+                queue.push_back(rel);
+            }
+            Some(_) => {}
+            None => unknown_relations.push(name.as_str()),
+        }
+    }
+    while let Some(current) = queue.pop_front() {
+        let d = dist[current.index()];
+        if spec.max_depth.is_some_and(|limit| d as usize >= limit) {
+            continue;
+        }
+        let row = match spec.direction {
+            Direction::Downstream => index.table_out(current),
+            Direction::Upstream => index.table_in(current),
+        };
+        for &(next, _) in row {
+            let next = RelationId::from_index(next as usize);
+            if dist[next.index()] != u32::MAX || !spec.allows_node_id(index, next) {
+                continue;
+            }
+            dist[next.index()] = d + 1;
+            reached.push(next);
+            queue.push_back(next);
+        }
+    }
+
+    let mut relation_distance: BTreeMap<&str, usize> = BTreeMap::new();
+    for &rel in &reached {
+        relation_distance.insert(index.relation_name(rel), dist[rel.index()] as usize);
+    }
+    for name in &unknown_relations {
+        relation_distance.entry(name).or_insert(0);
+    }
+    let mut relations: Vec<RelationMatch> = relation_distance
+        .into_iter()
+        .map(|(name, distance)| RelationMatch { name: name.to_string(), distance })
+        .collect();
+    relations.sort_by(|a, b| (a.distance, &a.name).cmp(&(b.distance, &b.name)));
+
+    // The cone at table granularity includes every declared column of
+    // the touched relations (relations without a node contribute none).
+    // Deduplicate as we go: same-named outputs repeat their ColumnId in
+    // the declared list, and the slice must enumerate each column's
+    // edges exactly once.
+    let mut col_dist: Vec<u32> = vec![u32::MAX; index.column_count()];
+    let mut touched: Vec<ColumnId> = Vec::new();
+    for &rel in &reached {
+        for &col in index.declared_columns(rel) {
+            if col_dist[col.index()] == u32::MAX {
+                col_dist[col.index()] = 0;
+                touched.push(col);
+            }
+        }
+    }
+    let subgraph = slice_subgraph_indexed(index, spec, &col_dist, &touched, &[]);
+    QueryAnswer {
+        direction: spec.direction,
+        origins: origin_names.into_iter().map(|name| SourceColumn::new(name, "")).collect(),
+        columns: Vec::new(),
+        relations,
+        path: None,
+        subgraph,
+    }
+}
+
+/// Indexed cone slicing: touched relations with declared-order column
+/// lists restricted to the touched set, plus every kept edge between
+/// touched columns — enumerated straight off the reverse CSR, cost
+/// proportional to the cone.
+fn slice_subgraph_indexed(
+    index: &GraphIndex,
+    spec: &QuerySpec,
+    dist: &[u32],
+    touched: &[ColumnId],
+    unknown: &[&SourceColumn],
+) -> Subgraph {
+    let mut by_table: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for &id in touched {
+        by_table
+            .entry(index.relation_name(index.column_relation(id)))
+            .or_default()
+            .insert(index.column_name(id));
+    }
+    for col in unknown {
+        by_table.entry(col.table.as_str()).or_default().insert(col.column.as_str());
+    }
+    let mut nodes = BTreeMap::new();
+    for (table, columns) in &by_table {
+        let indexed_node = index
+            .lookup_relation(table)
+            .and_then(|rel| index.relation_kind(rel).map(|kind| (rel, kind)));
+        let node = match indexed_node {
+            Some((rel, kind)) => Node {
+                name: (*table).to_string(),
+                kind,
+                columns: index
+                    .declared_columns(rel)
+                    .iter()
+                    .map(|&c| index.column_name(c))
+                    .filter(|c| columns.contains(c))
+                    .map(str::to_string)
+                    .collect(),
+            },
+            None => Node {
+                name: (*table).to_string(),
+                kind: NodeKind::External,
+                columns: columns.iter().map(|c| (*c).to_string()).collect(),
+            },
+        };
+        nodes.insert((*table).to_string(), node);
+    }
+    // The edge-kind filter is a column-granularity concept; table-level
+    // cones keep every edge between their relations (see the string-walk
+    // twin for the rationale).
+    let keep = |kind: EdgeKind| match spec.granularity {
+        Granularity::Column => spec.allows_edge(kind),
+        Granularity::Table => true,
+    };
+    let mut edge_ids: Vec<(u32, ColumnId, EdgeKind)> = Vec::new();
+    for &id in touched {
+        for &(from, kind) in index.in_edges(id) {
+            if dist[from as usize] != u32::MAX && keep(kind) {
+                edge_ids.push((from, id, kind));
+            }
+        }
+    }
+    edge_ids.sort_unstable_by_key(|&(from, to, _)| (from, to));
+    let edges = edge_ids
+        .into_iter()
+        .map(|(from, to, kind)| Edge {
+            from: index.source_column(ColumnId::from_index(from as usize)),
+            to: index.source_column(to),
+            kind,
+        })
+        .collect();
+    Subgraph { nodes, edges }
+}
+
 /// The fluent query builder returned by [`crate::LineageView::query`]:
 /// accumulates a [`QuerySpec`], then settles the backing view and runs
 /// the spec against its graph.
@@ -711,10 +1144,10 @@ impl<'v, V: crate::view::LineageView> GraphQuery<'v, V> {
     }
 
     /// Settle the view (refreshing an incremental backend if needed) and
-    /// execute.
+    /// execute over its cached [`GraphIndex`].
     pub fn run(self) -> Result<QueryAnswer, crate::error::LineageError> {
-        let graph = self.view.settled_graph()?;
-        Ok(self.spec.run_on(graph))
+        let index = self.view.settled_index()?;
+        Ok(self.spec.run_with(&index))
     }
 }
 
@@ -883,5 +1316,121 @@ mod tests {
         assert_eq!(answer.origins, vec![SourceColumn::new("ghost", "col")]);
         let answer = QuerySpec::new().from("ghost_table").run_on(&graph());
         assert!(answer.origins.is_empty());
+    }
+
+    /// Every spec shape the builder can express, for the indexed-vs-
+    /// string equivalence sweeps below.
+    fn spec_zoo() -> Vec<QuerySpec> {
+        vec![
+            QuerySpec::new().from("base.a"),
+            QuerySpec::new().from("base.a").max_depth(1),
+            QuerySpec::new().from("base.a").max_depth(0),
+            QuerySpec::new().from("base.k").edge_kind(EdgeKind::Contribute),
+            QuerySpec::new().from("base.k").edge_kind(EdgeKind::Reference),
+            QuerySpec::new().from("base.a").from("mid.b"),
+            QuerySpec::new().from("base"),
+            QuerySpec::new().from("top.c").upstream(),
+            QuerySpec::new().from("base.a").node_kind(NodeKind::BaseTable),
+            QuerySpec::new().from("base.a").to("top", "c"),
+            QuerySpec::new().from("top.c").to("base", "a"),
+            QuerySpec::new().from("base.a").to("base", "a"),
+            QuerySpec::new().from_table("base").table_level(),
+            QuerySpec::new().from_table("base").table_level().max_depth(1),
+            QuerySpec::new().from_table("top").table_level().upstream(),
+            QuerySpec::new().from("ghost.col"),
+            QuerySpec::new().from("ghost.col").to("ghost", "col"),
+            QuerySpec::new().from("base.ghost"),
+            QuerySpec::new().from_table("ghost_table").table_level(),
+            QuerySpec::new().from("mid.b").upstream().edge_kind(EdgeKind::Reference),
+        ]
+    }
+
+    #[test]
+    fn indexed_execution_matches_the_string_walk() {
+        let g = graph();
+        let index = crate::graph::GraphIndex::build(&g);
+        for (i, spec) in spec_zoo().into_iter().enumerate() {
+            let legacy = spec.run_on_unindexed(&g);
+            let indexed = spec.run_with(&index);
+            assert_eq!(indexed, legacy, "spec #{i} diverged");
+            assert_eq!(
+                serde_json::to_string(&indexed).unwrap(),
+                serde_json::to_string(&legacy).unwrap(),
+                "spec #{i} serialisation diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_execution_matches_on_self_loops_and_writes() {
+        // INSERT-into-self and multi-writer targets stress the table
+        // level: self edges, '#'-suffixed ids, shared scan sources.
+        let g = lineagex(
+            "CREATE TABLE t (a int);
+             CREATE TABLE s (b int);
+             INSERT INTO t SELECT a + 1 FROM t;
+             INSERT INTO t SELECT b FROM s WHERE b > 0;",
+        )
+        .unwrap()
+        .graph;
+        let index = crate::graph::GraphIndex::build(&g);
+        for spec in [
+            QuerySpec::new().from("t.a"),
+            QuerySpec::new().from("t.a").upstream(),
+            QuerySpec::new().from_table("t").table_level(),
+            QuerySpec::new().from_table("t").table_level().upstream(),
+            QuerySpec::new().from_table("s").table_level().max_depth(1),
+        ] {
+            assert_eq!(spec.run_with(&index), spec.run_on_unindexed(&g));
+        }
+    }
+
+    #[test]
+    fn indexed_execution_matches_on_duplicate_output_names() {
+        // `SELECT a AS x, b AS x` writes one graph column `v.x` through
+        // two projection slots. Both implementations treat the
+        // duplicates as one column with merged C_con (the `all_edges`
+        // semantics), in every direction and granularity.
+        let g = lineagex(
+            "CREATE TABLE t (a int, b int);
+             CREATE VIEW v AS SELECT a AS x, b AS x FROM t WHERE b > 0;",
+        )
+        .unwrap()
+        .graph;
+        assert_eq!(g.queries["v"].outputs.len(), 2, "the projection must keep both slots");
+        let index = crate::graph::GraphIndex::build(&g);
+        for spec in [
+            QuerySpec::new().from("t.a"),
+            QuerySpec::new().from("t.b"),
+            QuerySpec::new().from("v.x").upstream(),
+            QuerySpec::new().from("t.a").to("v", "x"),
+            QuerySpec::new().from_table("t").table_level(),
+            QuerySpec::new().from_table("v").table_level().upstream(),
+        ] {
+            let legacy = spec.run_on_unindexed(&g);
+            let indexed = spec.run_with(&index);
+            assert_eq!(indexed, legacy);
+            // A table-level cone must list the duplicate-named edge once.
+            let unique: BTreeSet<&Edge> = indexed.subgraph.edges.iter().collect();
+            assert_eq!(unique.len(), indexed.subgraph.edges.len(), "no duplicate edges");
+        }
+        // The merged upstream sees *both* contributing sources.
+        let up = QuerySpec::new().from("v.x").upstream().run_on(&g);
+        assert!(up.reaches(&SourceColumn::new("t", "a")));
+        assert!(up.reaches(&SourceColumn::new("t", "b")));
+        let a = up.columns.iter().find(|m| m.column.column == "a").unwrap();
+        assert_eq!(a.kind, EdgeKind::Contribute);
+        let b = up.columns.iter().find(|m| m.column.column == "b").unwrap();
+        assert_eq!(b.kind, EdgeKind::Both, "b contributes and is referenced by the WHERE");
+    }
+
+    #[test]
+    fn run_on_uses_the_indexed_path() {
+        // `run_on` is now a build-and-run convenience over `run_with`:
+        // same answer object either way.
+        let g = graph();
+        let index = crate::graph::GraphIndex::build(&g);
+        let spec = QuerySpec::new().from("base.a").to("top", "c");
+        assert_eq!(spec.run_on(&g), spec.run_with(&index));
     }
 }

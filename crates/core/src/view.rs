@@ -15,11 +15,13 @@
 
 use crate::diagnostics::Diagnostic;
 use crate::error::LineageError;
+use crate::graph::GraphIndex;
 use crate::infer::LineageResult;
 use crate::model::{GraphStats, LineageGraph, SourceColumn};
 use crate::query::GraphQuery;
 use crate::report::ReportV2;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// A queryable view over a settled lineage graph, implemented by both the
 /// batch [`LineageResult`] and the session `Engine`.
@@ -37,6 +39,17 @@ pub trait LineageView {
     /// logging and UIs — deliberately *not* part of the wire documents,
     /// which must stay byte-identical across backends.
     fn backend_name(&self) -> &'static str;
+
+    /// Settle the backend and return the interned traversal index
+    /// ([`GraphIndex`]) over its graph — what [`GraphQuery::run`]
+    /// traverses. The default builds a fresh index per call; both
+    /// workspace backends override it with a cached one (the batch
+    /// result behind a structural fingerprint, the session engine
+    /// invalidating alongside its dirty-cone state), so a burst of
+    /// queries over one settled graph pays the build once.
+    fn settled_index(&mut self) -> Result<Arc<GraphIndex>, LineageError> {
+        Ok(Arc::new(GraphIndex::build(self.settled_graph()?)))
+    }
 
     /// Start a composable [`GraphQuery`] over this view.
     ///
@@ -95,6 +108,10 @@ impl LineageView for LineageResult {
     fn backend_name(&self) -> &'static str {
         "batch"
     }
+
+    fn settled_index(&mut self) -> Result<Arc<GraphIndex>, LineageError> {
+        Ok(self.index.get_or_build(&self.graph))
+    }
 }
 
 #[cfg(test)]
@@ -143,5 +160,17 @@ mod tests {
         let report = view.report_v2().unwrap();
         assert_eq!(report.schema_version, 2);
         assert!(report.queries.contains_key("v"));
+    }
+
+    #[test]
+    fn batch_view_caches_its_index() {
+        let mut view = result();
+        let first = view.settled_index().unwrap();
+        let second = view.settled_index().unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "repeat queries must reuse the index");
+        assert!(first.lookup_column("v", "a").is_some());
+        // Builder answers come off the same index and stay correct.
+        let answer = view.query().from("t.a").downstream().run().unwrap();
+        assert_eq!(answer.columns[0].column, SourceColumn::new("v", "a"));
     }
 }

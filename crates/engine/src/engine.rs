@@ -7,11 +7,13 @@ use crate::stats::{EngineStats, IngestAction, StmtId};
 use lineagex_catalog::Catalog;
 use lineagex_core::{
     assemble_nodes, cycle_stub, extract_entry, preprocess_statement, Diagnostic, DiagnosticCode,
-    ExtractOptions, ImpactReport, LineageError, LineageGraph, LineageResult, LineageView,
-    PreprocessedStatement, QueryEntry, QueryKind, SourceColumn, TraceLog,
+    ExtractOptions, GraphIndex, GraphIndexCache, ImpactReport, LineageError, LineageGraph,
+    LineageResult, LineageView, PreprocessedStatement, QueryEntry, QueryKind, QuerySpec,
+    SourceColumn, TraceLog,
 };
 use lineagex_sqlparse::ast::SpannedStatement;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -108,6 +110,16 @@ pub struct Engine {
     /// completion order — what a UI should report as fresh.
     last_refresh_ids: Vec<String>,
     cache: AstCache,
+    /// Build-once cache for the interned traversal index over the
+    /// settled graph, invalidated alongside the dirty-cone state: any
+    /// refresh that extracts (or a `DROP` that retracts) drops it, so
+    /// queries between ingests reuse one [`GraphIndex`] and pay the
+    /// rebuild only after lineage actually changed.
+    index_cache: GraphIndexCache,
+    /// Monotonic settled-graph revision, bumped at every graph
+    /// mutation; keys the index cache so a cache hit is one integer
+    /// compare instead of a graph walk.
+    graph_revision: u64,
     stats: EngineStats,
     anon_counter: usize,
     seq: u64,
@@ -300,6 +312,11 @@ impl Engine {
                     if self.entries.remove(name).is_some() {
                         touched += 1;
                         self.graph.retract_query(name);
+                        // The retraction mutated the settled graph
+                        // directly (no refresh will run unless something
+                        // is dirty), so the traversal index is stale now.
+                        self.graph_revision += 1;
+                        self.index_cache.invalidate();
                         self.traces.remove(name);
                         self.inferred_by_query.remove(name);
                         self.dirty_entries.remove(name);
@@ -343,6 +360,11 @@ impl Engine {
             return Ok(0);
         }
         self.last_refresh_ids.clear();
+        // Everything below mutates the settled graph (retractions, cycle
+        // stubs, merges, node assembly): the traversal index dies with
+        // the old revision and is rebuilt lazily by the next query.
+        self.graph_revision += 1;
+        self.index_cache.invalidate();
 
         // 1. Close the dirty set: an entry is dirty when marked directly
         //    or when any (transitive) upstream relation changed.
@@ -470,6 +492,16 @@ impl Engine {
         Ok(&self.graph)
     }
 
+    /// The interned traversal index ([`GraphIndex`]) over the settled
+    /// graph, refreshing first if needed. Cached per settled revision:
+    /// repeated queries between ingests share one index (a hit costs
+    /// one integer compare, no graph walk), and any refresh or
+    /// retraction that changes the graph bumps the revision.
+    pub fn graph_index(&mut self) -> Result<Arc<GraphIndex>, LineageError> {
+        self.refresh()?;
+        Ok(self.index_cache.get_or_build_at(self.graph_revision, &self.graph))
+    }
+
     /// A point-in-time clone of the settled graph that survives further
     /// ingests.
     pub fn snapshot(&mut self) -> Result<LineageGraph, LineageError> {
@@ -488,10 +520,11 @@ impl Engine {
     }
 
     /// Transitive impact analysis from one column (the paper's §IV demo
-    /// question), over the settled graph.
+    /// question), over the settled graph's cached traversal index.
     pub fn impact_of(&mut self, table: &str, column: &str) -> Result<ImpactReport, LineageError> {
-        self.refresh()?;
-        Ok(lineagex_core::impact_of(&self.graph, &SourceColumn::new(table, column)))
+        let index = self.graph_index()?;
+        let answer = QuerySpec::new().from_column(table, column).downstream().run_with(&index);
+        Ok(ImpactReport::from_answer(SourceColumn::new(table, column), answer))
     }
 
     /// Package the session state as a one-shot-style [`LineageResult`]
@@ -504,6 +537,7 @@ impl Engine {
             deferrals: Vec::new(),
             inferred: self.merged_inferred(),
             diagnostics: self.session_diagnostics.clone(),
+            index: self.index_cache.clone(),
         })
     }
 
@@ -647,6 +681,10 @@ impl LineageView for Engine {
 
     fn backend_name(&self) -> &'static str {
         "session"
+    }
+
+    fn settled_index(&mut self) -> Result<Arc<GraphIndex>, LineageError> {
+        self.graph_index()
     }
 }
 

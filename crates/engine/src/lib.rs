@@ -380,4 +380,64 @@ mod tests {
         assert!(result.deferrals.is_empty());
         assert_eq!(result.diagnostics.len(), 1);
     }
+
+    #[test]
+    fn graph_index_is_cached_between_queries() {
+        let mut engine = Engine::new();
+        engine.ingest(PIPELINE).unwrap();
+        let first = engine.graph_index().unwrap();
+        let second = engine.graph_index().unwrap();
+        assert!(std::sync::Arc::ptr_eq(&first, &second), "settled session must reuse the index");
+        // A no-op refresh (nothing dirty) keeps the cache too.
+        assert_eq!(engine.refresh().unwrap(), 0);
+        assert!(std::sync::Arc::ptr_eq(&first, &engine.graph_index().unwrap()));
+    }
+
+    #[test]
+    fn graph_index_invalidates_on_redefinition() {
+        let mut engine = Engine::new();
+        engine.ingest(PIPELINE).unwrap();
+        let before = engine.graph_index().unwrap();
+        assert!(before.lookup_column("webinfo", "wpage").is_some());
+        // Redefine the hub view (same outputs, no WHERE): the next
+        // settled index must be a fresh build reflecting the new lineage
+        // — the `web.reg` reference edges are gone — not the cached
+        // revision.
+        engine
+            .ingest("CREATE VIEW webinfo AS SELECT cid AS wcid, page AS wpage FROM web;")
+            .unwrap();
+        let after = engine.graph_index().unwrap();
+        assert!(!std::sync::Arc::ptr_eq(&before, &after), "redefinition must rebuild the index");
+        assert!(after.edge_count() < before.edge_count(), "reference edges must be gone");
+        // Answers through the view surface see the new shape: web.reg no
+        // longer impacts anything.
+        use lineagex_core::LineageView;
+        let answer = engine.query().from("web.reg").downstream().run().unwrap();
+        assert!(answer.columns.is_empty());
+    }
+
+    #[test]
+    fn graph_index_invalidates_on_drop() {
+        let mut engine = Engine::new();
+        engine.ingest(PIPELINE).unwrap();
+        let before = engine.graph_index().unwrap();
+        // DROP retracts from the settled graph without needing a refresh:
+        // the cached index must not survive it.
+        engine.ingest("DROP VIEW info;").unwrap();
+        let after = engine.graph_index().unwrap();
+        assert!(!std::sync::Arc::ptr_eq(&before, &after), "drop must rebuild the index");
+        assert!(before.lookup_relation("info").is_some());
+        assert!(after.lookup_relation("info").is_none());
+    }
+
+    #[test]
+    fn engine_impact_runs_on_the_cached_index() {
+        let mut engine = Engine::new();
+        engine.ingest(PIPELINE).unwrap();
+        let report = engine.impact_of("web", "page").unwrap();
+        let batch = lineagex(PIPELINE).unwrap();
+        let legacy = lineagex_core::impact_of(&batch.graph, &SourceColumn::new("web", "page"));
+        assert_eq!(report.impacted(), legacy.impacted());
+        assert!(report.contains(&SourceColumn::new("info", "wpage")));
+    }
 }

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Bench-regression gate: re-runs engine_bench and query_bench in quick
+# mode (BENCH_QUICK=1 — same 200-view workload, fewer repetitions) in a
+# scratch directory, then fails if the fresh numbers violate the
+# workspace's perf contracts:
+#
+#   * lenient_overhead_pct  < 5     (lenient mode may not tax clean logs)
+#   * incremental.speedup   >= 2    (cone re-ingest must beat a full
+#                                    re-extraction)
+#   * downstream_cone_qps   >= 70% of the committed BENCH_query.json
+#   * upstream_closure_qps  >= 70% of the committed BENCH_query.json
+#
+# The committed qps numbers are a *machine baseline*: they were measured
+# on the machine that committed them, so the 70% floor assumes CI runs
+# on comparable hardware. On a slower runner, scale the floor instead of
+# deleting the gate, e.g. CHECK_BENCH_FLOOR=0.3 scripts/check_bench.sh.
+# The machine-independent contract (indexed >= 5x the string walk) is
+# asserted inside query_bench itself on every run, including this one.
+#
+# The committed BENCH_*.json files in the repo root are never touched:
+# the quick run writes into a temp dir. Regenerate the committed numbers
+# intentionally by running the binaries from the repo root:
+#
+#   cargo run --release -p lineagex-bench --bin engine_bench
+#   cargo run --release -p lineagex-bench --bin query_bench
+set -euo pipefail
+
+floor=${CHECK_BENCH_FLOOR:-0.7}
+cd "$(dirname "$0")/.."
+root=$(pwd)
+
+echo "building bench binaries (release)"
+cargo build --release -q -p lineagex-bench --bin engine_bench --bin query_bench
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "running engine_bench + query_bench (BENCH_QUICK=1) in $tmp"
+(cd "$tmp" && BENCH_QUICK=1 "$root/target/release/engine_bench" >engine_bench.log) || {
+    echo "engine_bench failed:" >&2
+    cat "$tmp/engine_bench.log" >&2
+    exit 1
+}
+(cd "$tmp" && BENCH_QUICK=1 "$root/target/release/query_bench" >query_bench.log) || {
+    echo "query_bench failed:" >&2
+    cat "$tmp/query_bench.log" >&2
+    exit 1
+}
+
+# Extract a numeric field from a flat pretty-printed JSON file. The
+# nested incremental object is covered too: its keys ("speedup", ...)
+# don't collide with any top-level key.
+json_num() {
+    local value
+    value=$(grep -oE "\"$2\": *-?[0-9.eE+-]+" "$1" | head -1 | sed 's/.*: *//')
+    if [ -z "$value" ]; then
+        echo "missing key \"$2\" in $1" >&2
+        exit 1
+    fi
+    printf '%s\n' "$value"
+}
+
+failures=0
+# check <label> <actual> <op> <bound>
+check() {
+    if awk -v a="$2" -v b="$4" "BEGIN { exit !(a $3 b) }"; then
+        printf '  ok    %-42s %14s  (want %s %s)\n' "$1" "$2" "$3" "$4"
+    else
+        printf '  FAIL  %-42s %14s  (want %s %s)\n' "$1" "$2" "$3" "$4"
+        failures=$((failures + 1))
+    fi
+}
+
+fresh_engine="$tmp/BENCH_engine.json"
+fresh_query="$tmp/BENCH_query.json"
+committed_query="$root/BENCH_query.json"
+
+lenient=$(json_num "$fresh_engine" lenient_overhead_pct)
+incremental=$(json_num "$fresh_engine" speedup)
+down=$(json_num "$fresh_query" downstream_cone_qps)
+up=$(json_num "$fresh_query" upstream_closure_qps)
+down_committed=$(json_num "$committed_query" downstream_cone_qps)
+up_committed=$(json_num "$committed_query" upstream_closure_qps)
+down_floor=$(awk -v v="$down_committed" -v f="$floor" 'BEGIN { printf "%.4f", f * v }')
+up_floor=$(awk -v v="$up_committed" -v f="$floor" 'BEGIN { printf "%.4f", f * v }')
+
+echo "bench-regression gate (floor = committed * $floor):"
+check "lenient_overhead_pct" "$lenient" "<" 5
+check "incremental.speedup" "$incremental" ">=" 2
+check "downstream_cone_qps vs committed floor" "$down" ">=" "$down_floor"
+check "upstream_closure_qps vs committed floor" "$up" ">=" "$up_floor"
+
+if [ "$failures" -ne 0 ]; then
+    echo "bench-regression gate: $failures check(s) failed" >&2
+    echo "quick-run artifacts:" >&2
+    cat "$fresh_engine" "$fresh_query" >&2
+    exit 1
+fi
+echo "bench-regression gate: all green"

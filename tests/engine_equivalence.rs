@@ -13,7 +13,14 @@
 //!    downstream/upstream answers are exactly the legacy
 //!    `impact_of`/`upstream_of` results, and byte-identical across the
 //!    `LineageView` backends (batch `LineageResult` and session
-//!    `Engine`).
+//!    `Engine`);
+//! 5. **indexed ≡ string walk** — traversals over the interned
+//!    `GraphIndex` (`QuerySpec::run_with`, the path every backend
+//!    serves) answer byte-identically to the legacy string-keyed
+//!    reference (`QuerySpec::run_on_unindexed`), for every direction,
+//!    granularity, and filter shape, on both backends and
+//!    `jobs ∈ {1, 4}` — and the `ReportV2` wire bytes stay identical
+//!    everywhere.
 
 use lineagex::datasets::{generator, GeneratorConfig};
 use lineagex::engine::{Engine, EngineOptions};
@@ -164,6 +171,97 @@ proptest! {
                 serde_json::to_string(&engine_answer).unwrap(),
                 serde_json::to_string(batch_answer).unwrap()
             );
+        }
+    }
+
+    /// The interned-index traversals are byte-identical to the legacy
+    /// string walk, on generated logs, over both backends and
+    /// `jobs ∈ {1, 4}`: same `QueryAnswer` (value and serialized bytes)
+    /// for every spec shape, and the same `ReportV2` bytes from every
+    /// backend.
+    #[test]
+    fn indexed_traversal_matches_string_walk(
+        seed in 0u64..10_000,
+        star in 0.0f64..0.9,
+        setop in 0.0f64..0.9,
+        pick in proptest::prelude::any::<usize>(),
+    ) {
+        let workload = generator::generate(&GeneratorConfig {
+            views: 8,
+            star_probability: star,
+            setop_probability: setop,
+            ..GeneratorConfig::seeded(seed)
+        });
+        let sql = workload.full_sql();
+        let mut batch = lineagex(&sql).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let graph = batch.graph.clone();
+        let columns: Vec<SourceColumn> = graph
+            .nodes
+            .values()
+            .flat_map(|n| n.columns.iter().map(|c| SourceColumn::new(&n.name, c)))
+            .collect();
+        prop_assert!(!columns.is_empty());
+        let origin = columns[pick % columns.len()].clone();
+        let target = columns[pick / 7 % columns.len()].clone();
+
+        let specs = [
+            QuerySpec::new().from_column(&origin.table, &origin.column).downstream(),
+            QuerySpec::new().from_column(&origin.table, &origin.column).upstream(),
+            QuerySpec::new().from_column(&origin.table, &origin.column).max_depth(2),
+            QuerySpec::new()
+                .from_column(&origin.table, &origin.column)
+                .edge_kind(EdgeKind::Contribute)
+                .edge_kind(EdgeKind::Both),
+            QuerySpec::new().from_table(&origin.table),
+            QuerySpec::new()
+                .from_column(&origin.table, &origin.column)
+                .to(&target.table, &target.column),
+            QuerySpec::new().from_table(&origin.table).table_level(),
+            QuerySpec::new().from_table(&origin.table).table_level().upstream().max_depth(1),
+        ];
+
+        // The session backends settle once; their cached indexes answer
+        // every spec below.
+        let mut engines: Vec<(usize, Engine)> = [1usize, 4]
+            .into_iter()
+            .map(|jobs| {
+                (jobs, Engine::with_options(EngineOptions { jobs, ..EngineOptions::default() }))
+            })
+            .collect();
+        for (_, engine) in &mut engines {
+            engine.ingest(&sql).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        }
+
+        for (i, spec) in specs.iter().enumerate() {
+            let legacy = spec.run_on_unindexed(&graph);
+            let indexed = spec.run_on(&graph);
+            prop_assert_eq!(&indexed, &legacy, "spec #{} diverged from the string walk", i);
+            prop_assert_eq!(
+                serde_json::to_string(&indexed).unwrap(),
+                serde_json::to_string(&legacy).unwrap(),
+                "spec #{} serialisation diverged", i
+            );
+            // Batch backend (cached index) and both session engines.
+            let batch_index =
+                batch.settled_index().map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(&spec.run_with(&batch_index), &legacy);
+            for (jobs, engine) in &mut engines {
+                let index =
+                    engine.settled_index().map_err(|e| TestCaseError::fail(e.to_string()))?;
+                prop_assert_eq!(
+                    &spec.run_with(&index),
+                    &legacy,
+                    "jobs={} diverged on spec #{}", jobs, i
+                );
+            }
+        }
+
+        // The wire document is untouched by the index and byte-identical
+        // across every backend.
+        let batch_report = batch.report_v2().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        for (_, engine) in &mut engines {
+            let report = engine.report_v2().map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(report.to_json(), batch_report.to_json());
         }
     }
 
