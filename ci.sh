@@ -9,9 +9,10 @@
 #                    # (dev-profile tests only)
 #   ./ci.sh regen    # run every UPDATE_GOLDEN=1 refresh in one command:
 #                    # tests/golden/messy_log_diagnostics.txt (resilience),
-#                    # tests/golden/prelude_api.txt and
-#                    # tests/golden/report_v2.json (api_surface) — then
-#                    # exit. Review the diff before committing.
+#                    # tests/golden/prelude_api.txt,
+#                    # tests/golden/report_v2.json (api_surface), and
+#                    # tests/golden/serve_proto.txt (serve_protocol) —
+#                    # then exit. Review the diff before committing.
 #
 # Every step prints its wall-clock duration when it finishes, so slow
 # steps are visible in CI logs.
@@ -37,6 +38,8 @@ if [ "$mode" = "regen" ]; then
     UPDATE_GOLDEN=1 cargo test -q --test resilience
     step "UPDATE_GOLDEN=1 cargo test -q --test api_surface (prelude + ReportV2 goldens)"
     UPDATE_GOLDEN=1 cargo test -q --test api_surface
+    step "UPDATE_GOLDEN=1 cargo test -q --test serve_protocol (serve wire transcript golden)"
+    UPDATE_GOLDEN=1 cargo test -q --test serve_protocol
     step "goldens regenerated"
     git --no-pager status --short tests/golden/ || true
     exit 0
@@ -71,6 +74,45 @@ cargo test -q --test resilience
 step "cargo test -q --test api_surface (prelude + ReportV2 golden guard)"
 cargo test -q --test api_surface
 
+# The serve battery, gated explicitly like the resilience corpus: the
+# golden wire transcript (protocol drift fails the build; ./ci.sh regen
+# regenerates) and the concurrency soak (every served revision must
+# byte-match a batch replay of that statement prefix).
+step "cargo test -q --test serve_protocol --test serve_concurrency (serve battery)"
+cargo test -q --test serve_protocol
+cargo test -q --test serve_concurrency
+
+# Serve smoke: a real `lineagex serve` process on an OS-assigned port, a
+# scripted `lineagex client` round-trip (ping, ingest, query), and a
+# clean wire shutdown that the server process must survive to exit 0.
+step "serve smoke (lineagex serve + client round-trip + wire shutdown)"
+cargo build -q -p lineagex-cli
+smoke_dir=$(mktemp -d)
+target/debug/lineagex serve --addr 127.0.0.1:0 >"$smoke_dir/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$smoke_dir/serve.log" | head -1 || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve smoke: server never printed its address" >&2
+    cat "$smoke_dir/serve.log" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$smoke_dir"
+    exit 1
+fi
+printf 'CREATE TABLE web (cid int, page text);\nCREATE VIEW v AS SELECT page FROM web;\n' \
+    >"$smoke_dir/smoke.sql"
+target/debug/lineagex client "$addr" ping
+target/debug/lineagex client "$addr" ingest "$smoke_dir/smoke.sql"
+target/debug/lineagex client "$addr" query web.page
+target/debug/lineagex client "$addr" shutdown
+wait "$serve_pid"
+grep -q "server stopped" "$smoke_dir/serve.log"
+rm -rf "$smoke_dir"
+
 # The workspace run above already builds and tests lineagex-engine; the
 # runnable session walkthrough (which asserts cone-sized re-extraction)
 # is the one engine surface it doesn't exercise.
@@ -86,10 +128,12 @@ cargo run --quiet --example query_api
 step "cargo doc --no-deps --workspace (docs must keep compiling)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
-# Perf contracts: quick re-runs of engine_bench/query_bench must keep
-# lenient overhead < 5%, incremental speedup >= 2x, and indexed query
-# throughput within 30% of the committed BENCH_query.json. Needs the
-# release profile, so `fast` skips it.
+# Perf contracts: quick re-runs of engine_bench/query_bench/serve_bench
+# must keep lenient overhead < 5%, incremental speedup >= 2x, indexed
+# query throughput within 30% of the committed BENCH_query.json, serve
+# mixed throughput within 30% of the committed BENCH_serve.json, and
+# read p99 under churn within 3x of idle. Needs the release profile, so
+# `fast` skips it.
 if [ "$mode" != "fast" ]; then
     step "scripts/check_bench.sh (bench-regression gate)"
     scripts/check_bench.sh

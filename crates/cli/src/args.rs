@@ -20,6 +20,17 @@ usage:
                      relation name for all of its columns)
   lineagex session  [--ddl <schema.sql>] [--jobs <N>] [--ambiguity all|first|error] [--lenient]
                     (incremental REPL: statements from stdin, \\commands for queries)
+  lineagex serve    [--addr <host:port>] [--ddl <schema.sql>] [--jobs <N>]
+                    [--ambiguity all|first|error] [--lenient]
+                    (long-lived JSON-lines lineage service; default addr
+                     127.0.0.1:7117; stop with `lineagex client <addr> shutdown`)
+  lineagex client   <host:port> <op> [args] [query flags]
+                    (ops: ping | report | stats | diagnostics | refresh | shutdown
+                     | ingest <file.sql> | drop <name>[,<name>...]
+                     | query <origin>[,<origin>...] [--direction down|up]
+                       [--depth <N>] [--edge-kind contribute|reference|both]
+                       [--table-level] [--to <table.column>];
+                     prints the server's raw JSON response line)
   lineagex impact   <table.column> <queries.sql> [--ddl <schema.sql>]
   lineagex path     <from.column> <to.column> <queries.sql> [--ddl <schema.sql>]
   lineagex explain  <queries.sql> --ddl <schema.sql>
@@ -145,6 +156,64 @@ pub enum Command {
         /// Shared options.
         common: CommonOptions,
     },
+    /// `serve`: the long-lived JSON-lines lineage service.
+    Serve {
+        /// `--addr`: the address to bind.
+        addr: String,
+        /// Shared options (`--ddl` preloads schemas; `--jobs` sizes the
+        /// refresh worker pool).
+        common: CommonOptions,
+    },
+    /// `client <addr> <op>`: one scripted request against a running
+    /// server; prints the raw response line.
+    Client {
+        /// The server address.
+        addr: String,
+        /// The request to send.
+        op: ClientOp,
+    },
+}
+
+/// One `lineagex client` operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientOp {
+    /// Liveness probe.
+    Ping,
+    /// Fetch the full `ReportV2` document.
+    Report,
+    /// Fetch graph/engine/server statistics.
+    Stats,
+    /// Fetch session-level diagnostics.
+    Diagnostics,
+    /// Settle pending work.
+    Refresh,
+    /// Drain and stop the server.
+    Shutdown,
+    /// Ingest a SQL file.
+    Ingest {
+        /// Path of the SQL file to send.
+        file: String,
+    },
+    /// Drop relations by name.
+    Drop {
+        /// Relations to drop.
+        names: Vec<String>,
+    },
+    /// Run a graph query against the served snapshot.
+    Query {
+        /// Origins: `table.column` specs or bare relation names.
+        origins: Vec<String>,
+        /// Walk upstream instead of downstream.
+        upstream: bool,
+        /// `--depth`: maximum hops.
+        depth: Option<usize>,
+        /// `--edge-kind` filter (at most one over the wire).
+        edge_kind: Option<String>,
+        /// `--table-level`: relation-granularity traversal.
+        table_level: bool,
+        /// `--to`: also compute the shortest path to this column.
+        to: Option<(String, String)>,
+    },
 }
 
 impl Command {
@@ -164,6 +233,7 @@ impl Command {
         let mut table_level = false;
         let mut to = None;
         let mut format = QueryFormat::default();
+        let mut addr = None;
 
         let mut iter = argv.iter().peekable();
         let Some(sub) = iter.next() else {
@@ -173,6 +243,7 @@ impl Command {
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--ddl" => common.ddl = Some(take_value(&mut iter, "--ddl")?),
+                "--addr" => addr = Some(take_value(&mut iter, "--addr")?),
                 "--json" => json = Some(take_value(&mut iter, "--json")?),
                 "--json-v1" => json_v1 = Some(take_value(&mut iter, "--json-v1")?),
                 "--direction" => {
@@ -326,6 +397,80 @@ impl Command {
                 let [] = take_positional::<0>(positional, "session (no positional arguments)")?;
                 Ok(Command::Session { common })
             }
+            "serve" => {
+                let [] = take_positional::<0>(positional, "serve (no positional arguments)")?;
+                Ok(Command::Serve {
+                    addr: addr.unwrap_or_else(|| "127.0.0.1:7117".to_string()),
+                    common,
+                })
+            }
+            "client" => {
+                if positional.len() < 2 {
+                    return Err("expected client <host:port> <op> [args]".into());
+                }
+                let mut parts = positional.into_iter();
+                let addr = parts.next().expect("len checked");
+                let op_name = parts.next().expect("len checked");
+                let rest: Vec<String> = parts.collect();
+                let no_args = |op: ClientOp| {
+                    if rest.is_empty() {
+                        Ok(op)
+                    } else {
+                        Err(format!("client {op_name} takes no further arguments"))
+                    }
+                };
+                let op = match op_name.as_str() {
+                    "ping" => no_args(ClientOp::Ping)?,
+                    "report" => no_args(ClientOp::Report)?,
+                    "stats" => no_args(ClientOp::Stats)?,
+                    "diagnostics" => no_args(ClientOp::Diagnostics)?,
+                    "refresh" => no_args(ClientOp::Refresh)?,
+                    "shutdown" => no_args(ClientOp::Shutdown)?,
+                    "ingest" => {
+                        let [file] = take_positional::<1>(rest, "client <addr> ingest <file.sql>")?;
+                        ClientOp::Ingest { file }
+                    }
+                    "drop" => {
+                        let [names] =
+                            take_positional::<1>(rest, "client <addr> drop <name>[,<name>...]")?;
+                        let names: Vec<String> = split_list(&names);
+                        if names.is_empty() {
+                            return Err("drop requires at least one relation name".into());
+                        }
+                        ClientOp::Drop { names }
+                    }
+                    "query" => {
+                        let [origins] = take_positional::<1>(
+                            rest,
+                            "client <addr> query <origin>[,<origin>...]",
+                        )?;
+                        let origins = split_list(&origins);
+                        if origins.is_empty() {
+                            return Err("query requires at least one origin".into());
+                        }
+                        if edge_kinds.len() > 1 {
+                            return Err(
+                                "client query supports at most one --edge-kind filter".into()
+                            );
+                        }
+                        ClientOp::Query {
+                            origins,
+                            upstream,
+                            depth,
+                            edge_kind: edge_kinds.pop(),
+                            table_level,
+                            to,
+                        }
+                    }
+                    other => {
+                        return Err(format!(
+                            "unknown client op {other:?} (use ping|report|stats|diagnostics|\
+                             refresh|shutdown|ingest|drop|query)"
+                        ))
+                    }
+                };
+                Ok(Command::Client { addr, op })
+            }
             other => Err(format!("unknown command {other:?}")),
         }
     }
@@ -345,6 +490,11 @@ fn take_positional<const N: usize>(
     positional
         .try_into()
         .map_err(|got: Vec<String>| format!("expected {shape}, got {} argument(s)", got.len()))
+}
+
+/// Split a comma-separated list, trimming and lower-casing each item.
+fn split_list(raw: &str) -> Vec<String> {
+    raw.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_lowercase).collect()
 }
 
 /// Split `table.column` (the column part may not contain further dots).
@@ -524,6 +674,111 @@ mod tests {
             Command::Session { common } => assert!(common.lenient),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_serve() {
+        let cmd = parse(&["serve"]).unwrap();
+        match cmd {
+            Command::Serve { addr, common } => {
+                assert_eq!(addr, "127.0.0.1:7117");
+                assert_eq!(common.jobs, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&["serve", "--addr", "0.0.0.0:9999", "--jobs", "4", "--lenient"]).unwrap();
+        match cmd {
+            Command::Serve { addr, common } => {
+                assert_eq!(addr, "0.0.0.0:9999");
+                assert_eq!(common.jobs, 4);
+                assert!(common.lenient);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["serve", "stray.sql"]).is_err());
+    }
+
+    #[test]
+    fn parses_client_ops() {
+        for (op_name, expected) in [
+            ("ping", ClientOp::Ping),
+            ("report", ClientOp::Report),
+            ("stats", ClientOp::Stats),
+            ("diagnostics", ClientOp::Diagnostics),
+            ("refresh", ClientOp::Refresh),
+            ("shutdown", ClientOp::Shutdown),
+        ] {
+            let cmd = parse(&["client", "127.0.0.1:7117", op_name]).unwrap();
+            match cmd {
+                Command::Client { addr, op } => {
+                    assert_eq!(addr, "127.0.0.1:7117");
+                    assert_eq!(op, expected);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        let cmd = parse(&["client", "h:1", "ingest", "more.sql"]).unwrap();
+        assert!(
+            matches!(cmd, Command::Client { op: ClientOp::Ingest { file }, .. } if file == "more.sql")
+        );
+        let cmd = parse(&["client", "h:1", "drop", "v1,V2"]).unwrap();
+        assert!(
+            matches!(cmd, Command::Client { op: ClientOp::Drop { names }, .. } if names == vec!["v1", "v2"])
+        );
+    }
+
+    #[test]
+    fn parses_client_query_with_flags() {
+        let cmd = parse(&[
+            "client",
+            "127.0.0.1:7117",
+            "query",
+            "web.page,web.cid",
+            "--direction",
+            "up",
+            "--depth",
+            "2",
+            "--edge-kind",
+            "contribute",
+            "--table-level",
+            "--to",
+            "info.wreg",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Client {
+                op: ClientOp::Query { origins, upstream, depth, edge_kind, table_level, to },
+                ..
+            } => {
+                assert_eq!(origins, vec!["web.page", "web.cid"]);
+                assert!(upstream);
+                assert_eq!(depth, Some(2));
+                assert_eq!(edge_kind.as_deref(), Some("contribute"));
+                assert!(table_level);
+                assert_eq!(to, Some(("info".into(), "wreg".into())));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn client_error_cases() {
+        assert!(parse(&["client", "127.0.0.1:7117"]).is_err());
+        assert!(parse(&["client", "h:1", "teleport"]).is_err());
+        assert!(parse(&["client", "h:1", "ping", "extra"]).is_err());
+        assert!(parse(&["client", "h:1", "ingest"]).is_err());
+        assert!(parse(&["client", "h:1", "drop", ","]).is_err());
+        assert!(parse(&[
+            "client",
+            "h:1",
+            "query",
+            "t.c",
+            "--edge-kind",
+            "contribute",
+            "--edge-kind",
+            "reference"
+        ])
+        .is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Command execution.
 
-use crate::args::{parse_column, Command, CommonOptions, QueryFormat};
+use crate::args::{parse_column, ClientOp, Command, CommonOptions, QueryFormat};
 use lineagex_baseline::metrics::{graph_contribute_edges, score_edges};
 use lineagex_baseline::SqlLineageLike;
 use lineagex_catalog::{Catalog, SimulatedDatabase};
@@ -9,6 +9,8 @@ use lineagex_core::{
     QueryReport, SourceColumn,
 };
 use lineagex_engine::{Engine, EngineOptions};
+use lineagex_serve::proto::{QueryParams, Request, PROTOCOL_VERSION};
+use lineagex_serve::{Client, ServeOptions, Server};
 use lineagex_viz::{
     subgraph_to_dot, subgraph_to_mermaid, to_dot, to_html, to_mermaid, to_output_json,
     to_report_v2_json,
@@ -222,6 +224,61 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
             let stdin = std::io::stdin();
             run_session(&mut stdin.lock(), out, common)
         }
+        Command::Serve { addr, common } => {
+            let options =
+                ServeOptions { engine: engine_options(common), catalog: load_catalog(common)? };
+            let server =
+                Server::start(addr, options).map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+            wln(
+                out,
+                &format!(
+                    "lineagex serving on {} (protocol schema_version {PROTOCOL_VERSION})",
+                    server.local_addr()
+                ),
+            )?;
+            wln(out, "stop with: lineagex client <addr> shutdown")?;
+            out.flush().map_err(|e| e.to_string())?;
+            server.wait();
+            wln(out, "server stopped")
+        }
+        Command::Client { addr, op } => {
+            let request = match op {
+                ClientOp::Ping => Request::Ping,
+                ClientOp::Report => Request::Report,
+                ClientOp::Stats => Request::Stats,
+                ClientOp::Diagnostics => Request::Diagnostics,
+                ClientOp::Refresh => Request::Refresh,
+                ClientOp::Shutdown => Request::Shutdown,
+                ClientOp::Ingest { file } => Request::Ingest { sql: read_file(file)? },
+                ClientOp::Drop { names } => Request::Drop { names: names.clone() },
+                ClientOp::Query { origins, upstream, depth, edge_kind, table_level, to } => {
+                    Request::Query(QueryParams {
+                        origins: origins.clone(),
+                        upstream: *upstream,
+                        depth: *depth,
+                        edge_kind: edge_kind.as_deref().map(|kind| match kind {
+                            "contribute" => EdgeKind::Contribute,
+                            "reference" => EdgeKind::Reference,
+                            _ => EdgeKind::Both,
+                        }),
+                        table_level: *table_level,
+                        to: to.as_ref().map(|(table, column)| format!("{table}.{column}")),
+                    })
+                }
+            };
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let reply = client.request(&request).map_err(|e| e.to_string())?;
+            wln(out, &reply.line)?;
+            if reply.ok() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "server rejected the request ({})",
+                    reply.error_code().unwrap_or_else(|| "unknown error".into())
+                ))
+            }
+        }
         Command::Compare { file, common } => {
             let sql = read_file(file)?;
             let ours = run_extraction_sql(&sql, common)?;
@@ -360,7 +417,7 @@ fn run_extraction_sql(sql: &str, common: &CommonOptions) -> Result<LineageResult
     builder.run(sql).map_err(|e| e.to_string())
 }
 
-fn build_engine(common: &CommonOptions) -> Result<Engine, String> {
+fn engine_options(common: &CommonOptions) -> EngineOptions {
     let mut extract = ExtractOptions::new().with_ambiguity(common.ambiguity);
     if common.trace {
         extract = extract.with_trace();
@@ -371,11 +428,22 @@ fn build_engine(common: &CommonOptions) -> Result<Engine, String> {
     if common.lenient {
         extract = extract.with_lenient();
     }
-    let options = EngineOptions { jobs: common.jobs.max(1), extract, ..EngineOptions::default() };
-    let mut engine = Engine::with_options(options);
-    if let Some(ddl_path) = &common.ddl {
-        let ddl = read_file(ddl_path)?;
-        let catalog = Catalog::from_ddl(&ddl).map_err(|e| e.to_string())?;
+    EngineOptions { jobs: common.jobs.max(1), extract, ..EngineOptions::default() }
+}
+
+fn load_catalog(common: &CommonOptions) -> Result<Option<Catalog>, String> {
+    match &common.ddl {
+        None => Ok(None),
+        Some(ddl_path) => {
+            let ddl = read_file(ddl_path)?;
+            Ok(Some(Catalog::from_ddl(&ddl).map_err(|e| e.to_string())?))
+        }
+    }
+}
+
+fn build_engine(common: &CommonOptions) -> Result<Engine, String> {
+    let mut engine = Engine::with_options(engine_options(common));
+    if let Some(catalog) = load_catalog(common)? {
         engine = engine.with_catalog(catalog);
     }
     Ok(engine)
@@ -1055,6 +1123,52 @@ mod tests {
         assert!(text.contains("error[parse-error]"), "{text}");
         assert!(text.contains("defined v"), "{text}");
         assert!(text.contains("parse failure(s)"), "{text}");
+    }
+
+    #[test]
+    fn client_round_trips_against_a_server() {
+        let server = Server::start("127.0.0.1:0", ServeOptions::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let run = |args: Vec<String>| {
+            let mut argv = vec!["client".to_string(), addr.clone()];
+            argv.extend(args);
+            execute_to_string(&Command::parse(&argv).unwrap())
+        };
+        // Seed over the wire from a file, like a script would.
+        let file = write_temp("client_seed.sql", CHAIN);
+        let (result, text) = run(vec!["ingest".into(), file]);
+        result.unwrap();
+        assert!(text.contains("\"ok\":true"), "{text}");
+        assert!(text.contains("\"action\":\"defined\""), "{text}");
+        // Query the served snapshot.
+        let (result, text) =
+            run(vec!["query".into(), "web.page".into(), "--direction".into(), "down".into()]);
+        result.unwrap();
+        assert!(text.contains("\"column\":\"w.q\""), "{text}");
+        // Stats and ping speak the same envelope.
+        let (result, text) = run(vec!["stats".into()]);
+        result.unwrap();
+        assert!(text.contains("\"entries\":2"), "{text}");
+        let (result, text) = run(vec!["ping".into()]);
+        result.unwrap();
+        assert!(text.contains("\"pong\":true"), "{text}");
+        // A rejected request prints the line and errors.
+        let (result, text) = run(vec!["drop".into(), "w".into()]);
+        result.unwrap();
+        assert!(text.contains("\"action\":\"dropped\""), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_reports_connection_failure() {
+        // A port nothing listens on: bind-then-drop to find a free one.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let cmd = Command::parse(&["client".to_string(), addr, "ping".to_string()]).unwrap();
+        let (result, _) = execute_to_string(&cmd);
+        assert!(result.unwrap_err().contains("cannot connect"));
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!                   [--ambiguity all|first|error] [--no-auto-inference]
 //!                   [--jobs N]
 //! lineagex session  [--ddl schema.sql] [--jobs N]
+//! lineagex serve    [--addr host:port] [--ddl schema.sql] [--jobs N]
+//! lineagex client   <host:port> <op> [args]
 //! lineagex impact   <table.column> queries.sql [--ddl schema.sql]
 //! lineagex path     <from.column> <to.column> queries.sql [--ddl schema.sql]
 //! lineagex explain  queries.sql --ddl schema.sql
@@ -20,6 +22,9 @@
 //! batch scheduler; `session` is the incremental REPL over the same
 //! engine — SQL statements stream in over stdin, `\`-commands (`\impact`,
 //! `\lineage`, `\stats`, ...) answer lineage questions between ingests.
+//! `serve` exposes the same engine as a long-lived JSON-lines TCP
+//! service (`lineagex-serve`), and `client` scripts one request against
+//! it, printing the server's raw response line.
 //!
 //! The command logic lives in this library (driven by string arguments
 //! and an output writer) so it is fully unit-testable; `main.rs` is a

@@ -85,6 +85,13 @@ pub enum DiagnosticCode {
     /// Extraction of one query failed outright; its lineage record is a
     /// partial stub (lenient mode only).
     ExtractionFailed,
+    /// A service request was malformed (bad JSON shape, missing or
+    /// mistyped fields, unknown operation). The request was rejected;
+    /// the connection and every other client are unaffected.
+    InvalidRequest,
+    /// A service request declared a protocol `schema_version` this
+    /// server does not speak.
+    UnsupportedSchemaVersion,
 }
 
 impl DiagnosticCode {
@@ -102,13 +109,17 @@ impl DiagnosticCode {
             DiagnosticCode::NoiseStatement => "noise-statement",
             DiagnosticCode::DependencyCycle => "dependency-cycle",
             DiagnosticCode::ExtractionFailed => "extraction-failed",
+            DiagnosticCode::InvalidRequest => "invalid-request",
+            DiagnosticCode::UnsupportedSchemaVersion => "unsupported-schema-version",
         }
     }
 
     /// The default severity for this code.
     pub fn default_severity(&self) -> Severity {
         match self {
-            DiagnosticCode::ParseError => Severity::Error,
+            DiagnosticCode::ParseError
+            | DiagnosticCode::InvalidRequest
+            | DiagnosticCode::UnsupportedSchemaVersion => Severity::Error,
             DiagnosticCode::DuplicateQueryId
             | DiagnosticCode::UnresolvedColumn
             | DiagnosticCode::UnresolvedWildcard

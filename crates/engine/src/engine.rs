@@ -50,6 +50,30 @@ struct EntryState {
     deps_norm: BTreeSet<String>,
 }
 
+/// An immutable, revision-stamped view of a settled engine, published by
+/// [`Engine::publish`].
+///
+/// Everything is behind an `Arc`, so cloning a snapshot is O(1) and a
+/// clone stays valid (and internally consistent — graph, index, and
+/// diagnostics all describe the same `revision`) no matter what the
+/// engine does afterwards. This is what a concurrent server hands to
+/// reader threads.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    /// The settled-graph revision this snapshot was published at.
+    pub revision: u64,
+    /// The settled lineage graph.
+    pub graph: Arc<LineageGraph>,
+    /// The interned traversal index over `graph`.
+    pub index: Arc<GraphIndex>,
+    /// Session-level diagnostics at publish time.
+    pub diagnostics: Arc<Vec<Diagnostic>>,
+    /// Session counters at publish time.
+    pub stats: EngineStats,
+    /// Live Query-Dictionary entries at publish time.
+    pub entries: usize,
+}
+
 /// An incremental, parallel lineage engine for long-lived sessions.
 ///
 /// Where [`lineagex_core::LineageX`] is batch-oriented — one call reads a
@@ -120,6 +144,10 @@ pub struct Engine {
     /// mutation; keys the index cache so a cache hit is one integer
     /// compare instead of a graph walk.
     graph_revision: u64,
+    /// The most recently published graph snapshot, keyed by revision so
+    /// repeat [`Engine::publish`] calls with no intervening mutation
+    /// reuse one `Arc` instead of re-cloning the graph.
+    published: Option<(u64, Arc<LineageGraph>)>,
     stats: EngineStats,
     anon_counter: usize,
     seq: u64,
@@ -507,6 +535,46 @@ impl Engine {
     pub fn snapshot(&mut self) -> Result<LineageGraph, LineageError> {
         self.refresh()?;
         Ok(self.graph.clone())
+    }
+
+    /// The current settled-graph revision. Monotonic: every graph
+    /// mutation (refresh extraction, `DROP` retraction) bumps it, so two
+    /// equal revisions always denote the identical settled graph.
+    pub fn revision(&self) -> u64 {
+        self.graph_revision
+    }
+
+    /// Settle pending work and publish an immutable, shareable
+    /// [`EngineSnapshot`]: the revision-stamped graph, its interned
+    /// traversal index, and the session diagnostics, all behind `Arc`s.
+    ///
+    /// This is the engine half of the serving layer's swap-on-refresh
+    /// protocol: a server thread calls `publish` after each settled
+    /// write and swaps the snapshot into a shared slot; readers clone
+    /// the `Arc`s and answer lock-free while the engine keeps mutating.
+    /// Publishing twice without an intervening mutation reuses the same
+    /// graph and index `Arc`s (one integer compare, no clone). On error
+    /// the previous snapshot stays valid — nothing is published for a
+    /// refresh that failed to settle.
+    pub fn publish(&mut self) -> Result<EngineSnapshot, LineageError> {
+        self.refresh()?;
+        let index = self.index_cache.get_or_build_at(self.graph_revision, &self.graph);
+        let graph = match &self.published {
+            Some((revision, graph)) if *revision == self.graph_revision => Arc::clone(graph),
+            _ => {
+                let graph = Arc::new(self.graph.clone());
+                self.published = Some((self.graph_revision, Arc::clone(&graph)));
+                graph
+            }
+        };
+        Ok(EngineSnapshot {
+            revision: self.graph_revision,
+            graph,
+            index,
+            diagnostics: Arc::new(self.session_diagnostics.clone()),
+            stats: self.stats.clone(),
+            entries: self.entries.len(),
+        })
     }
 
     /// Full lineage of one output column, `C_con(c) ∪ C_ref(Q)`.

@@ -40,7 +40,7 @@ mod stats;
 
 pub use cache::AstCache;
 pub use deps::referenced_relations;
-pub use engine::{Engine, EngineOptions};
+pub use engine::{Engine, EngineOptions, EngineSnapshot};
 pub use stats::{EngineStats, IngestAction, StmtId};
 
 #[cfg(test)]

@@ -1,0 +1,128 @@
+//! A small blocking client for the JSON-lines protocol — what
+//! `lineagex client` and the test suites drive the server with.
+
+use crate::proto::{QueryParams, Request};
+use serde_json::Value;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One response line, parsed just enough to be inspected.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// The raw line exactly as the server sent it (no newline).
+    pub line: String,
+    /// The parsed JSON document.
+    pub value: Value,
+}
+
+impl Reply {
+    /// Whether the server answered `ok: true`.
+    pub fn ok(&self) -> bool {
+        self.value.get("ok").and_then(Value::as_bool).unwrap_or(false)
+    }
+
+    /// The settled-graph revision the answer was computed from.
+    pub fn revision(&self) -> u64 {
+        self.value.get("revision").and_then(Value::as_u64).unwrap_or(0)
+    }
+
+    /// The error code of a failed response.
+    pub fn error_code(&self) -> Option<String> {
+        self.value.get("error")?.get("code")?.as_str().map(str::to_string)
+    }
+
+    /// The `result` body of a successful response.
+    pub fn result(&self) -> Option<&Value> {
+        self.value.get("result")
+    }
+}
+
+/// A blocking connection to a running server. Each call writes one
+/// request line (with an auto-incrementing `id`) and reads exactly one
+/// response line.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let _ = writer.set_nodelay(true);
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer, next_id: 1 })
+    }
+
+    /// Send a raw line (malformed input welcome — that's the point) and
+    /// read the one-line reply.
+    pub fn send_line(&mut self, line: &str) -> io::Result<Reply> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let read = self.reader.read_line(&mut response)?;
+        if read == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let line = response.trim_end_matches('\n').to_string();
+        let value = serde_json::from_str(&line)
+            .map_err(|error| io::Error::new(io::ErrorKind::InvalidData, error.to_string()))?;
+        Ok(Reply { line, value })
+    }
+
+    /// Send a typed request with the next auto-assigned id.
+    pub fn request(&mut self, request: &Request) -> io::Result<Reply> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send_line(&request.to_line(Some(id)))
+    }
+
+    /// Liveness probe; returns the current revision.
+    pub fn ping(&mut self) -> io::Result<u64> {
+        Ok(self.request(&Request::Ping)?.revision())
+    }
+
+    /// Ingest a SQL script and wait for it to settle.
+    pub fn ingest(&mut self, sql: &str) -> io::Result<Reply> {
+        self.request(&Request::Ingest { sql: sql.to_string() })
+    }
+
+    /// Run a graph query against the published snapshot.
+    pub fn query(&mut self, params: QueryParams) -> io::Result<Reply> {
+        self.request(&Request::Query(params))
+    }
+
+    /// Fetch the full `ReportV2` document.
+    pub fn report(&mut self) -> io::Result<Reply> {
+        self.request(&Request::Report)
+    }
+
+    /// Fetch graph/engine/server statistics.
+    pub fn stats(&mut self) -> io::Result<Reply> {
+        self.request(&Request::Stats)
+    }
+
+    /// Fetch session-level diagnostics.
+    pub fn diagnostics(&mut self) -> io::Result<Reply> {
+        self.request(&Request::Diagnostics)
+    }
+
+    /// Settle any pending work.
+    pub fn refresh(&mut self) -> io::Result<Reply> {
+        self.request(&Request::Refresh)
+    }
+
+    /// Drop relations by name.
+    pub fn drop_relations(&mut self, names: &[String]) -> io::Result<Reply> {
+        self.request(&Request::Drop { names: names.to_vec() })
+    }
+
+    /// Ask the server to drain and stop.
+    pub fn shutdown(&mut self) -> io::Result<Reply> {
+        self.request(&Request::Shutdown)
+    }
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Bench-regression gate: re-runs engine_bench and query_bench in quick
-# mode (BENCH_QUICK=1 — same 200-view workload, fewer repetitions) in a
+# Bench-regression gate: re-runs engine_bench, query_bench, and
+# serve_bench in quick mode (BENCH_QUICK=1 — same 200-view workload,
+# fewer repetitions) in a
 # scratch directory, then fails if the fresh numbers violate the
 # workspace's perf contracts:
 #
@@ -9,6 +10,8 @@
 #                                    re-extraction)
 #   * downstream_cone_qps   >= 70% of the committed BENCH_query.json
 #   * upstream_closure_qps  >= 70% of the committed BENCH_query.json
+#   * serve mixed_qps       >= 70% of the committed BENCH_serve.json
+#   * serve refresh_p99_ratio <= 3  (read tail under churn vs idle)
 #
 # The committed qps numbers are a *machine baseline*: they were measured
 # on the machine that committed them, so the 70% floor assumes CI runs
@@ -23,6 +26,7 @@
 #
 #   cargo run --release -p lineagex-bench --bin engine_bench
 #   cargo run --release -p lineagex-bench --bin query_bench
+#   cargo run --release -p lineagex-bench --bin serve_bench
 set -euo pipefail
 
 floor=${CHECK_BENCH_FLOOR:-0.7}
@@ -30,12 +34,12 @@ cd "$(dirname "$0")/.."
 root=$(pwd)
 
 echo "building bench binaries (release)"
-cargo build --release -q -p lineagex-bench --bin engine_bench --bin query_bench
+cargo build --release -q -p lineagex-bench --bin engine_bench --bin query_bench --bin serve_bench
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-echo "running engine_bench + query_bench (BENCH_QUICK=1) in $tmp"
+echo "running engine_bench + query_bench + serve_bench (BENCH_QUICK=1) in $tmp"
 (cd "$tmp" && BENCH_QUICK=1 "$root/target/release/engine_bench" >engine_bench.log) || {
     echo "engine_bench failed:" >&2
     cat "$tmp/engine_bench.log" >&2
@@ -44,6 +48,11 @@ echo "running engine_bench + query_bench (BENCH_QUICK=1) in $tmp"
 (cd "$tmp" && BENCH_QUICK=1 "$root/target/release/query_bench" >query_bench.log) || {
     echo "query_bench failed:" >&2
     cat "$tmp/query_bench.log" >&2
+    exit 1
+}
+(cd "$tmp" && BENCH_QUICK=1 "$root/target/release/serve_bench" >serve_bench.log) || {
+    echo "serve_bench failed:" >&2
+    cat "$tmp/serve_bench.log" >&2
     exit 1
 }
 
@@ -73,27 +82,35 @@ check() {
 
 fresh_engine="$tmp/BENCH_engine.json"
 fresh_query="$tmp/BENCH_query.json"
+fresh_serve="$tmp/BENCH_serve.json"
 committed_query="$root/BENCH_query.json"
+committed_serve="$root/BENCH_serve.json"
 
 lenient=$(json_num "$fresh_engine" lenient_overhead_pct)
 incremental=$(json_num "$fresh_engine" speedup)
 down=$(json_num "$fresh_query" downstream_cone_qps)
 up=$(json_num "$fresh_query" upstream_closure_qps)
+mixed=$(json_num "$fresh_serve" mixed_qps)
+ratio=$(json_num "$fresh_serve" refresh_p99_ratio)
 down_committed=$(json_num "$committed_query" downstream_cone_qps)
 up_committed=$(json_num "$committed_query" upstream_closure_qps)
+mixed_committed=$(json_num "$committed_serve" mixed_qps)
 down_floor=$(awk -v v="$down_committed" -v f="$floor" 'BEGIN { printf "%.4f", f * v }')
 up_floor=$(awk -v v="$up_committed" -v f="$floor" 'BEGIN { printf "%.4f", f * v }')
+mixed_floor=$(awk -v v="$mixed_committed" -v f="$floor" 'BEGIN { printf "%.4f", f * v }')
 
 echo "bench-regression gate (floor = committed * $floor):"
 check "lenient_overhead_pct" "$lenient" "<" 5
 check "incremental.speedup" "$incremental" ">=" 2
 check "downstream_cone_qps vs committed floor" "$down" ">=" "$down_floor"
 check "upstream_closure_qps vs committed floor" "$up" ">=" "$up_floor"
+check "serve mixed_qps vs committed floor" "$mixed" ">=" "$mixed_floor"
+check "serve refresh_p99_ratio" "$ratio" "<=" 3
 
 if [ "$failures" -ne 0 ]; then
     echo "bench-regression gate: $failures check(s) failed" >&2
     echo "quick-run artifacts:" >&2
-    cat "$fresh_engine" "$fresh_query" >&2
+    cat "$fresh_engine" "$fresh_query" "$fresh_serve" >&2
     exit 1
 fi
 echo "bench-regression gate: all green"

@@ -14,6 +14,7 @@
 //! | [`catalog`] | `lineagex-catalog` | schemas, binder, simulated database |
 //! | [`core`] | `lineagex-core` | the lineage extraction engine |
 //! | [`engine`] | `lineagex-engine` | incremental session engine, parallel scheduler |
+//! | [`serve`] | `lineagex-serve` | concurrent JSON-lines lineage service over TCP |
 //! | [`baseline`] | `lineagex-baseline` | SQLLineage-like & LLM-style baselines |
 //! | [`viz`] | `lineagex-viz` | JSON / DOT / interactive HTML output |
 //! | [`datasets`] | `lineagex-datasets` | Example 1, MIMIC-like, generators |
@@ -44,6 +45,7 @@ pub use lineagex_core as core;
 #[cfg(feature = "datasets")]
 pub use lineagex_datasets as datasets;
 pub use lineagex_engine as engine;
+pub use lineagex_serve as serve;
 pub use lineagex_sqlparse as sqlparse;
 #[cfg(feature = "viz")]
 pub use lineagex_viz as viz;
@@ -67,7 +69,10 @@ pub mod prelude {
         LineageX, QueryAnswer, QueryLineage, QueryReport, QuerySpec, RelationMatch, ReportV2,
         Severity, SourceColumn, Subgraph, Symbol, SCHEMA_VERSION,
     };
-    pub use lineagex_engine::{Engine, EngineOptions, EngineStats, IngestAction, StmtId};
+    pub use lineagex_engine::{
+        Engine, EngineOptions, EngineSnapshot, EngineStats, IngestAction, StmtId,
+    };
+    pub use lineagex_serve::{ServeClient, ServeOptions, Server};
     #[cfg(feature = "viz")]
     pub use lineagex_viz::{
         subgraph_to_dot, subgraph_to_mermaid, to_dot, to_html, to_mermaid, to_output_json,
