@@ -82,13 +82,16 @@ step "cargo test -q --test serve_protocol --test serve_concurrency (serve batter
 cargo test -q --test serve_protocol
 cargo test -q --test serve_concurrency
 
-# Serve smoke: a real `lineagex serve` process on an OS-assigned port, a
-# scripted `lineagex client` round-trip (ping, ingest, query), and a
-# clean wire shutdown that the server process must survive to exit 0.
-step "serve smoke (lineagex serve + client round-trip + wire shutdown)"
+# Serve smoke: a real `lineagex serve --verbose` process on an
+# OS-assigned port, a scripted `lineagex client` round-trip (ping,
+# ingest, query), a metrics scrape that must show the traffic (non-zero
+# request counters, a populated ingest histogram), and a clean wire
+# shutdown that the server process must survive to exit 0.
+step "serve smoke (lineagex serve + client round-trip + metrics scrape + wire shutdown)"
 cargo build -q -p lineagex-cli
 smoke_dir=$(mktemp -d)
-target/debug/lineagex serve --addr 127.0.0.1:0 >"$smoke_dir/serve.log" &
+target/debug/lineagex serve --addr 127.0.0.1:0 --verbose \
+    >"$smoke_dir/serve.log" 2>"$smoke_dir/serve.events.log" &
 serve_pid=$!
 addr=""
 for _ in $(seq 1 100); do
@@ -108,9 +111,17 @@ printf 'CREATE TABLE web (cid int, page text);\nCREATE VIEW v AS SELECT page FRO
 target/debug/lineagex client "$addr" ping
 target/debug/lineagex client "$addr" ingest "$smoke_dir/smoke.sql"
 target/debug/lineagex client "$addr" query web.page
+# Scrape the observability registry: the scripted traffic above must be
+# visible as non-zero serve counters and a populated ingest histogram.
+target/debug/lineagex client "$addr" metrics >"$smoke_dir/metrics.json"
+grep -qE '"serve\.requests":[1-9]' "$smoke_dir/metrics.json"
+grep -qE '"engine\.ingest_us":\{"count":[1-9]' "$smoke_dir/metrics.json"
 target/debug/lineagex client "$addr" shutdown
 wait "$serve_pid"
 grep -q "server stopped" "$smoke_dir/serve.log"
+# --verbose wrote one structured event line per connection to stderr.
+grep -q "event=conn_open" "$smoke_dir/serve.events.log"
+grep -q "event=publish" "$smoke_dir/serve.events.log"
 rm -rf "$smoke_dir"
 
 # The workspace run above already builds and tests lineagex-engine; the
@@ -131,9 +142,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 # Perf contracts: quick re-runs of engine_bench/query_bench/serve_bench
 # must keep lenient overhead < 5%, incremental speedup >= 2x, indexed
 # query throughput within 30% of the committed BENCH_query.json, serve
-# mixed throughput within 30% of the committed BENCH_serve.json, and
-# read p99 under churn within 3x of idle. Needs the release profile, so
-# `fast` skips it.
+# mixed throughput within 30% of the committed BENCH_serve.json, read
+# p99 under churn within 3x of idle, and obs recording overhead under
+# 3%. Needs the release profile, so `fast` skips it.
 if [ "$mode" != "fast" ]; then
     step "scripts/check_bench.sh (bench-regression gate)"
     scripts/check_bench.sh

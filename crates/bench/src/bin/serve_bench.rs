@@ -57,6 +57,7 @@ struct Report {
     write_p99_ms: f64,
     idle_read_qps: f64,
     mixed_qps: f64,
+    obs_overhead_pct: f64,
 }
 
 fn percentile(sorted: &[Duration], p: f64) -> f64 {
@@ -79,6 +80,78 @@ fn read_sweep(client: &mut Client, origins: &[String], reads: usize) -> Vec<Dura
     }
     latencies.sort();
     latencies
+}
+
+/// The obs-overhead phase: back-to-back request *pairs* under churn,
+/// one request per pair with the metrics layer force-disabled and one
+/// enabled, compared on the median of within-pair differences. One
+/// churn writer runs across the whole phase so both modes see the same
+/// background load. The server runs in-process, so the kill switch
+/// reaches its record paths directly.
+fn obs_overhead_pct(
+    addr: std::net::SocketAddr,
+    reader: &mut Client,
+    origins: &[String],
+    churn_source: &str,
+    reads: usize,
+) -> f64 {
+    let pairs = reads.max(1000);
+    let done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let done = Arc::clone(&done);
+        let churn_source = churn_source.to_string();
+        thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("writer connects");
+            let mut round = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let sql = if round.is_multiple_of(2) {
+                    format!("CREATE VIEW bench_churn AS SELECT * FROM {churn_source};")
+                } else {
+                    "DROP VIEW IF EXISTS bench_churn;".to_string()
+                };
+                let reply = client.ingest(&sql).expect("churn write reply");
+                assert!(reply.ok(), "churn write failed: {}", reply.line);
+                round += 1;
+            }
+        })
+    };
+    // Each pair issues the *same* query twice back to back — once with
+    // the kill switch off, once on — microseconds apart, so scheduler
+    // preemption, churn bursts, and frequency drift hit both sides of a
+    // pair near-identically and cancel in the difference. The in-pair
+    // order alternates per pair to cancel warm-cache position bias, and
+    // the median over all pairwise differences discards the pairs where
+    // one side ate a preemption (those show up as huge one-sided
+    // outliers a mean would absorb).
+    let _ = read_sweep(reader, origins, pairs / 4); // warm-up
+    let mut timed = |obs_on: bool, origin: &str| {
+        lineagex_obs::set_enabled(obs_on);
+        let params = QueryParams { origins: vec![origin.to_string()], ..Default::default() };
+        let start = Instant::now();
+        let reply = reader.query(params).expect("query reply");
+        let elapsed = start.elapsed();
+        assert!(reply.ok(), "query failed: {}", reply.line);
+        elapsed.as_secs_f64()
+    };
+    let mut diffs_us = Vec::with_capacity(pairs);
+    let mut off_us = Vec::with_capacity(pairs);
+    for k in 0..pairs {
+        let origin = &origins[k % origins.len()];
+        let on_first = !k.is_multiple_of(2);
+        let first = timed(on_first, origin);
+        let second = timed(!on_first, origin);
+        let (on, off) = if on_first { (first, second) } else { (second, first) };
+        diffs_us.push(1e6 * (on - off));
+        off_us.push(1e6 * off);
+    }
+    lineagex_obs::set_enabled(true);
+    done.store(true, Ordering::Relaxed);
+    writer.join().expect("writer panicked");
+    diffs_us.sort_by(f64::total_cmp);
+    off_us.sort_by(f64::total_cmp);
+    let median_diff = diffs_us[diffs_us.len() / 2];
+    let baseline = off_us[off_us.len() / 2];
+    (median_diff / baseline * 100.0).max(0.0)
 }
 
 fn main() {
@@ -151,6 +224,9 @@ fn main() {
     let churn_elapsed = churn_start.elapsed();
     done.store(true, Ordering::Relaxed);
     let write_latencies = writer.join().expect("writer panicked");
+
+    // Phase 3 — obs overhead under the mixed workload.
+    let obs_overhead_pct = obs_overhead_pct(addr, &mut reader, &origins, &churn_source, reads);
     server.shutdown();
 
     let idle_p99 = percentile(&idle, 99.0);
@@ -171,6 +247,7 @@ fn main() {
         write_p99_ms: percentile(&write_latencies, 99.0),
         idle_read_qps: reads as f64 / idle_elapsed.as_secs_f64(),
         mixed_qps: (reads + write_latencies.len()) as f64 / churn_elapsed.as_secs_f64(),
+        obs_overhead_pct,
     };
 
     section("SERVE — read latency, idle vs active refresh");
@@ -189,6 +266,10 @@ fn main() {
     println!(
         "  refresh p99 ratio: {:.2}x of max(idle p99, {} ms floor)",
         report.refresh_p99_ratio, report.refresh_p99_floor_ms
+    );
+    println!(
+        "  obs overhead: {:.2}% on read latency under churn (median of paired differences)",
+        report.obs_overhead_pct
     );
 
     // The headline serving contract: snapshot swaps keep readers off the

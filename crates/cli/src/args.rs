@@ -8,9 +8,10 @@ usage:
   lineagex extract  <queries.sql> [--ddl <schema.sql>] [--json <out>] [--json-v1 <out>]
                     [--dot <out>] [--html <out>] [--mermaid <out>] [--trace]
                     [--ambiguity all|first|error] [--no-auto-inference] [--jobs <N>]
-                    [--lenient] [--diagnostics-json <out>]
+                    [--lenient] [--diagnostics-json <out>] [--timings]
                     (--json emits the versioned schema_version-2 document;
-                     --json-v1 keeps the legacy output.json)
+                     --json-v1 keeps the legacy output.json; --timings prints a
+                     phase/metrics summary to stderr)
   lineagex query    <origin>[,<origin>...] <queries.sql> [--ddl <schema.sql>]
                     [--direction down|up] [--depth <N>]
                     [--edge-kind contribute|reference|both]... [--table-level]
@@ -22,15 +23,19 @@ usage:
                     (incremental REPL: statements from stdin, \\commands for queries)
   lineagex serve    [--addr <host:port>] [--ddl <schema.sql>] [--jobs <N>]
                     [--ambiguity all|first|error] [--lenient]
+                    [--verbose] [--slow-ms <N>]
                     (long-lived JSON-lines lineage service; default addr
-                     127.0.0.1:7117; stop with `lineagex client <addr> shutdown`)
-  lineagex client   <host:port> <op> [args] [query flags]
-                    (ops: ping | report | stats | diagnostics | refresh | shutdown
-                     | ingest <file.sql> | drop <name>[,<name>...]
+                     127.0.0.1:7117; stop with `lineagex client <addr> shutdown`;
+                     --verbose logs one stderr line per connection/publish/slow
+                     request, --slow-ms sets the slow threshold, default 100)
+  lineagex client   <host:port> <op> [args] [query flags] [--pretty]
+                    (ops: ping | report | stats | diagnostics | metrics | refresh
+                     | shutdown | ingest <file.sql> | drop <name>[,<name>...]
                      | query <origin>[,<origin>...] [--direction down|up]
                        [--depth <N>] [--edge-kind contribute|reference|both]
                        [--table-level] [--to <table.column>];
-                     prints the server's raw JSON response line)
+                     prints the server's raw JSON response line, or an indented
+                     rendering with --pretty)
   lineagex impact   <table.column> <queries.sql> [--ddl <schema.sql>]
   lineagex path     <from.column> <to.column> <queries.sql> [--ddl <schema.sql>]
   lineagex explain  <queries.sql> --ddl <schema.sql>
@@ -92,6 +97,8 @@ pub enum Command {
         /// `--diagnostics-json` output path: every diagnostic of the run
         /// as structured JSON (code, severity, span, excerpt).
         diagnostics_json: Option<String>,
+        /// `--timings`: print a phase/metrics summary to stderr.
+        timings: bool,
         /// Shared options.
         common: CommonOptions,
     },
@@ -160,6 +167,11 @@ pub enum Command {
     Serve {
         /// `--addr`: the address to bind.
         addr: String,
+        /// `--verbose`: one structured stderr line per server event.
+        verbose: bool,
+        /// `--slow-ms`: slow-request threshold in milliseconds (unset =
+        /// the server default).
+        slow_ms: Option<u64>,
         /// Shared options (`--ddl` preloads schemas; `--jobs` sizes the
         /// refresh worker pool).
         common: CommonOptions,
@@ -171,6 +183,9 @@ pub enum Command {
         addr: String,
         /// The request to send.
         op: ClientOp,
+        /// `--pretty`: pretty-print the JSON response instead of dumping
+        /// the raw line.
+        pretty: bool,
     },
 }
 
@@ -185,6 +200,8 @@ pub enum ClientOp {
     Stats,
     /// Fetch session-level diagnostics.
     Diagnostics,
+    /// Fetch a snapshot of the server's observability registry.
+    Metrics,
     /// Settle pending work.
     Refresh,
     /// Drain and stop the server.
@@ -234,6 +251,10 @@ impl Command {
         let mut to = None;
         let mut format = QueryFormat::default();
         let mut addr = None;
+        let mut timings = false;
+        let mut verbose = false;
+        let mut slow_ms = None;
+        let mut pretty = false;
 
         let mut iter = argv.iter().peekable();
         let Some(sub) = iter.next() else {
@@ -300,6 +321,15 @@ impl Command {
                     diagnostics_json = Some(take_value(&mut iter, "--diagnostics-json")?)
                 }
                 "--trace" => common.trace = true,
+                "--timings" => timings = true,
+                "--verbose" => verbose = true,
+                "--pretty" => pretty = true,
+                "--slow-ms" => {
+                    let value = take_value(&mut iter, "--slow-ms")?;
+                    slow_ms = Some(value.parse().map_err(|_| {
+                        format!("invalid --slow-ms value {value:?} (use a number)")
+                    })?);
+                }
                 "--lenient" => common.lenient = true,
                 "--no-auto-inference" => common.no_auto_inference = true,
                 "--jobs" => {
@@ -338,6 +368,7 @@ impl Command {
                     html,
                     mermaid,
                     diagnostics_json,
+                    timings,
                     common,
                 })
             }
@@ -401,6 +432,8 @@ impl Command {
                 let [] = take_positional::<0>(positional, "serve (no positional arguments)")?;
                 Ok(Command::Serve {
                     addr: addr.unwrap_or_else(|| "127.0.0.1:7117".to_string()),
+                    verbose,
+                    slow_ms,
                     common,
                 })
             }
@@ -424,6 +457,7 @@ impl Command {
                     "report" => no_args(ClientOp::Report)?,
                     "stats" => no_args(ClientOp::Stats)?,
                     "diagnostics" => no_args(ClientOp::Diagnostics)?,
+                    "metrics" => no_args(ClientOp::Metrics)?,
                     "refresh" => no_args(ClientOp::Refresh)?,
                     "shutdown" => no_args(ClientOp::Shutdown)?,
                     "ingest" => {
@@ -465,11 +499,11 @@ impl Command {
                     other => {
                         return Err(format!(
                             "unknown client op {other:?} (use ping|report|stats|diagnostics|\
-                             refresh|shutdown|ingest|drop|query)"
+                             metrics|refresh|shutdown|ingest|drop|query)"
                         ))
                     }
                 };
-                Ok(Command::Client { addr, op })
+                Ok(Command::Client { addr, op, pretty })
             }
             other => Err(format!("unknown command {other:?}")),
         }
@@ -680,15 +714,17 @@ mod tests {
     fn parses_serve() {
         let cmd = parse(&["serve"]).unwrap();
         match cmd {
-            Command::Serve { addr, common } => {
+            Command::Serve { addr, verbose, slow_ms, common } => {
                 assert_eq!(addr, "127.0.0.1:7117");
                 assert_eq!(common.jobs, 0);
+                assert!(!verbose);
+                assert_eq!(slow_ms, None);
             }
             other => panic!("{other:?}"),
         }
         let cmd = parse(&["serve", "--addr", "0.0.0.0:9999", "--jobs", "4", "--lenient"]).unwrap();
         match cmd {
-            Command::Serve { addr, common } => {
+            Command::Serve { addr, common, .. } => {
                 assert_eq!(addr, "0.0.0.0:9999");
                 assert_eq!(common.jobs, 4);
                 assert!(common.lenient);
@@ -699,20 +735,36 @@ mod tests {
     }
 
     #[test]
+    fn parses_serve_observability_flags() {
+        let cmd = parse(&["serve", "--verbose", "--slow-ms", "250"]).unwrap();
+        match cmd {
+            Command::Serve { verbose, slow_ms, .. } => {
+                assert!(verbose);
+                assert_eq!(slow_ms, Some(250));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["serve", "--slow-ms", "soon"]).is_err());
+        assert!(parse(&["serve", "--slow-ms"]).is_err());
+    }
+
+    #[test]
     fn parses_client_ops() {
         for (op_name, expected) in [
             ("ping", ClientOp::Ping),
             ("report", ClientOp::Report),
             ("stats", ClientOp::Stats),
             ("diagnostics", ClientOp::Diagnostics),
+            ("metrics", ClientOp::Metrics),
             ("refresh", ClientOp::Refresh),
             ("shutdown", ClientOp::Shutdown),
         ] {
             let cmd = parse(&["client", "127.0.0.1:7117", op_name]).unwrap();
             match cmd {
-                Command::Client { addr, op } => {
+                Command::Client { addr, op, pretty } => {
                     assert_eq!(addr, "127.0.0.1:7117");
                     assert_eq!(op, expected);
+                    assert!(!pretty);
                 }
                 other => panic!("{other:?}"),
             }
@@ -725,6 +777,8 @@ mod tests {
         assert!(
             matches!(cmd, Command::Client { op: ClientOp::Drop { names }, .. } if names == vec!["v1", "v2"])
         );
+        let cmd = parse(&["client", "h:1", "metrics", "--pretty"]).unwrap();
+        assert!(matches!(cmd, Command::Client { op: ClientOp::Metrics, pretty: true, .. }));
     }
 
     #[test]

@@ -22,8 +22,26 @@ type CmdResult = Result<(), String>;
 /// Execute a parsed command, writing human-readable output to `out`.
 pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
     match command {
-        Command::Extract { file, json, json_v1, dot, html, mermaid, diagnostics_json, common } => {
+        Command::Extract {
+            file,
+            json,
+            json_v1,
+            dot,
+            html,
+            mermaid,
+            diagnostics_json,
+            timings,
+            common,
+        } => {
+            let started = std::time::Instant::now();
             let (result, sql) = run_extraction(file, common)?;
+            if *timings {
+                // Stderr so piped stdout artifacts stay clean.
+                eprintln!(
+                    "{}",
+                    timings_summary(started.elapsed(), &lineagex_obs::registry().snapshot())
+                );
+            }
             summarize(&result, file, &sql, out)?;
             if let Some(path) = diagnostics_json {
                 let diagnostics: Vec<Diagnostic> = collect_diagnostics(&result)
@@ -224,9 +242,13 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
             let stdin = std::io::stdin();
             run_session(&mut stdin.lock(), out, common)
         }
-        Command::Serve { addr, common } => {
-            let options =
-                ServeOptions { engine: engine_options(common), catalog: load_catalog(common)? };
+        Command::Serve { addr, verbose, slow_ms, common } => {
+            let options = ServeOptions {
+                engine: engine_options(common),
+                catalog: load_catalog(common)?,
+                verbose: *verbose,
+                slow_ms: slow_ms.unwrap_or(lineagex_serve::DEFAULT_SLOW_MS),
+            };
             let server =
                 Server::start(addr, options).map_err(|e| format!("cannot serve on {addr}: {e}"))?;
             wln(
@@ -241,12 +263,13 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
             server.wait();
             wln(out, "server stopped")
         }
-        Command::Client { addr, op } => {
+        Command::Client { addr, op, pretty } => {
             let request = match op {
                 ClientOp::Ping => Request::Ping,
                 ClientOp::Report => Request::Report,
                 ClientOp::Stats => Request::Stats,
                 ClientOp::Diagnostics => Request::Diagnostics,
+                ClientOp::Metrics => Request::Metrics,
                 ClientOp::Refresh => Request::Refresh,
                 ClientOp::Shutdown => Request::Shutdown,
                 ClientOp::Ingest { file } => Request::Ingest { sql: read_file(file)? },
@@ -269,7 +292,11 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
             let mut client =
                 Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
             let reply = client.request(&request).map_err(|e| e.to_string())?;
-            wln(out, &reply.line)?;
+            if *pretty {
+                wln(out, &serde_json::to_string_pretty(&reply.value).map_err(|e| e.to_string())?)?;
+            } else {
+                wln(out, &reply.line)?;
+            }
             if reply.ok() {
                 Ok(())
             } else {
@@ -667,6 +694,26 @@ fn summarize(result: &LineageResult, file: &str, sql: &str, out: &mut dyn Write)
         wln(out, &diagnostic.render(file, sql))?;
     }
     Ok(())
+}
+
+/// The `extract --timings` stderr summary: total wall time plus every
+/// engine/query histogram that actually recorded something. The batch
+/// path (jobs = 1) never touches the engine, so a sequential run prints
+/// just the wall-time line — the histograms light up under `--jobs N`.
+fn timings_summary(total: std::time::Duration, snapshot: &lineagex_obs::MetricsSnapshot) -> String {
+    let mut out = format!("[timings] total: {:.1} ms", total.as_secs_f64() * 1e3);
+    for (name, h) in &snapshot.histograms {
+        let relevant = name.starts_with("engine.") || name.starts_with("query.");
+        if !relevant || h.count == 0 {
+            continue;
+        }
+        let unit = if name.ends_with("_us") { "us" } else { "" };
+        out.push_str(&format!(
+            "\n[timings] {name}: count={} p50={}{unit} p99={}{unit} max={}{unit}",
+            h.count, h.p50, h.p99, h.max
+        ));
+    }
+    out
 }
 
 fn wln(out: &mut dyn Write, line: &str) -> CmdResult {
@@ -1169,6 +1216,75 @@ mod tests {
         let cmd = Command::parse(&["client".to_string(), addr, "ping".to_string()]).unwrap();
         let (result, _) = execute_to_string(&cmd);
         assert!(result.unwrap_err().contains("cannot connect"));
+    }
+
+    #[test]
+    fn timings_summary_lists_populated_histograms_only() {
+        use lineagex_obs::{HistogramSummary, MetricsSnapshot};
+        use std::collections::BTreeMap;
+        let mut histograms = BTreeMap::new();
+        histograms.insert(
+            "engine.ingest_us".to_string(),
+            HistogramSummary { count: 3, sum: 90, max: 63, p50: 31, p90: 63, p99: 63 },
+        );
+        histograms.insert(
+            "engine.refresh_us".to_string(),
+            HistogramSummary { count: 0, sum: 0, max: 0, p50: 0, p90: 0, p99: 0 },
+        );
+        histograms.insert(
+            "serve.op.ping_us".to_string(),
+            HistogramSummary { count: 9, sum: 9, max: 1, p50: 1, p90: 1, p99: 1 },
+        );
+        let snapshot = MetricsSnapshot {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms,
+            slow_ops: Vec::new(),
+        };
+        let text = timings_summary(std::time::Duration::from_millis(12), &snapshot);
+        assert!(text.starts_with("[timings] total: 12.0 ms"), "{text}");
+        assert!(text.contains("engine.ingest_us: count=3 p50=31us p99=63us max=63us"), "{text}");
+        assert!(!text.contains("refresh_us"), "empty histograms are omitted: {text}");
+        assert!(!text.contains("serve.op"), "serve metrics are not extract timings: {text}");
+    }
+
+    #[test]
+    fn extract_timings_flag_parses_and_runs() {
+        let file = write_temp("timings.sql", LOG);
+        let cmd = Command::parse(&["extract".to_string(), file, "--timings".to_string()]).unwrap();
+        let (result, text) = execute_to_string(&cmd);
+        result.unwrap();
+        // The summary goes to stderr; stdout stays the normal report.
+        assert!(text.contains("queries processed : 1"), "{text}");
+        assert!(!text.contains("[timings]"), "{text}");
+    }
+
+    #[test]
+    fn client_metrics_and_pretty_round_trip() {
+        let server = Server::start("127.0.0.1:0", ServeOptions::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let file = write_temp("metrics_seed.sql", CHAIN);
+        let cmd = Command::parse(&["client".to_string(), addr.clone(), "ingest".to_string(), file])
+            .unwrap();
+        execute_to_string(&cmd).0.unwrap();
+        let cmd =
+            Command::parse(&["client".to_string(), addr.clone(), "metrics".to_string()]).unwrap();
+        let (result, text) = execute_to_string(&cmd);
+        result.unwrap();
+        assert!(text.contains("\"counters\""), "{text}");
+        assert!(text.contains("\"serve.requests\""), "{text}");
+        // --pretty re-renders the same document with indentation.
+        let cmd = Command::parse(&[
+            "client".to_string(),
+            addr,
+            "metrics".to_string(),
+            "--pretty".to_string(),
+        ])
+        .unwrap();
+        let (result, text) = execute_to_string(&cmd);
+        result.unwrap();
+        assert!(text.contains("    \"counters\": {"), "{text}");
+        server.shutdown();
     }
 
     #[test]

@@ -38,8 +38,22 @@
 //! bit.
 
 use crate::model::{EdgeKind, LineageGraph, NodeKind, SourceColumn};
+use lineagex_obs::Histogram;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Wall time per [`GraphIndex::build`], in µs (its `count` is the number
+/// of index builds this process has run).
+fn index_build_us() -> &'static Histogram {
+    static METRIC: OnceLock<Histogram> = OnceLock::new();
+    METRIC.get_or_init(|| lineagex_obs::registry().histogram("query.index_build_us"))
+}
+
+/// Idempotently register this module's metric names; see
+/// [`crate::query::register_metrics`].
+pub(crate) fn register_metrics() {
+    let _ = index_build_us();
+}
 
 /// A dense interned-string id. Two names are equal iff their symbols are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -208,6 +222,7 @@ impl GraphIndex {
     /// sorting's log factor; run it once per settled revision and reuse
     /// (see [`GraphIndexCache`]).
     pub fn build(graph: &LineageGraph) -> GraphIndex {
+        let _timer = index_build_us().time();
         // 1. Collect every relation and its column-name set, borrowed
         //    from the graph: node schemas, query outputs, every C_con /
         //    C_ref endpoint, and scanned relations (for the table level).

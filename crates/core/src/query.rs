@@ -36,8 +36,40 @@
 
 use crate::graph::{ColumnId, GraphIndex, RelationId};
 use crate::model::{Edge, EdgeKind, LineageGraph, Node, NodeKind, SourceColumn};
+use lineagex_obs::{Counter, Histogram};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::OnceLock;
+
+/// Query-layer handles into the process-wide metrics registry, created
+/// once and shared across every query.
+struct QueryMetrics {
+    /// Wall time per executed [`QuerySpec`], in µs.
+    spec_us: Histogram,
+    /// Total BFS nodes visited (columns at column granularity, relations
+    /// at table granularity).
+    bfs_nodes: Counter,
+}
+
+fn query_metrics() -> &'static QueryMetrics {
+    static METRICS: OnceLock<QueryMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = lineagex_obs::registry();
+        QueryMetrics {
+            spec_us: registry.histogram("query.spec_us"),
+            bfs_nodes: registry.counter("query.bfs_nodes"),
+        }
+    })
+}
+
+/// Idempotently register the query-layer metric names (`query.spec_us`,
+/// `query.bfs_nodes`, `query.index_build_us`) in the process-wide
+/// registry, so metric snapshots have a stable shape even before the
+/// first query runs. `lineagex-serve` calls this at startup.
+pub fn register_metrics() {
+    let _ = query_metrics();
+    crate::graph::register_metrics();
+}
 
 /// Traversal direction over the lineage graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -199,6 +231,9 @@ impl QuerySpec {
     /// strings only at the answer boundary. Produces byte-identical
     /// answers to [`QuerySpec::run_on_unindexed`].
     pub fn run_with(&self, index: &GraphIndex) -> QueryAnswer {
+        // Metrics never touch the answer: the indexed ≡ unindexed
+        // byte-identity property holds with instrumentation enabled.
+        let _timer = query_metrics().spec_us.time();
         match self.granularity {
             Granularity::Column => run_columns_indexed(index, self),
             Granularity::Table => run_tables_indexed(index, self),
@@ -764,6 +799,7 @@ fn run_columns_indexed(index: &GraphIndex, spec: &QuerySpec) -> QueryAnswer {
             queue.push_back(next);
         }
     }
+    query_metrics().bfs_nodes.add(touched.len() as u64);
 
     // Pass 2: merge the edge kinds of every shortest-path predecessor.
     // Predecessors of a reached column are exactly its CSR neighbours in
@@ -951,6 +987,7 @@ fn run_tables_indexed(index: &GraphIndex, spec: &QuerySpec) -> QueryAnswer {
             queue.push_back(next);
         }
     }
+    query_metrics().bfs_nodes.add(reached.len() as u64);
 
     let mut relation_distance: BTreeMap<&str, usize> = BTreeMap::new();
     for &rel in &reached {

@@ -11,9 +11,49 @@ use lineagex_core::{
     LineageResult, LineageView, PreprocessedStatement, QueryEntry, QueryKind, QuerySpec,
     SourceColumn, TraceLog,
 };
+use lineagex_obs::{Counter, Histogram};
 use lineagex_sqlparse::ast::SpannedStatement;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// Engine-layer handles into the process-wide metrics registry. Created
+/// at engine construction (so snapshots have a stable shape from the
+/// first one) and shared by name across every engine in the process.
+#[derive(Debug, Clone)]
+struct EngineMetrics {
+    /// [`Engine::ingest`] / [`Engine::ingest_parsed`] wall time, µs.
+    ingest_us: Histogram,
+    /// Non-empty [`Engine::refresh`] wall time, µs.
+    refresh_us: Histogram,
+    /// Wall time per topological level inside a refresh, µs.
+    refresh_level_us: Histogram,
+    /// [`Engine::publish`] wall time (refresh + index + snapshot), µs.
+    publish_us: Histogram,
+    /// Entries re-extracted per refresh (the closed dirty cone).
+    dirty_cone_size: Histogram,
+    /// Cumulative AST-cache hits across all engines.
+    ast_cache_hits: Counter,
+    /// Cumulative AST-cache misses across all engines.
+    ast_cache_misses: Counter,
+    /// Traversal-index cache invalidations (refreshes + retractions).
+    index_invalidations: Counter,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        let registry = lineagex_obs::registry();
+        EngineMetrics {
+            ingest_us: registry.histogram("engine.ingest_us"),
+            refresh_us: registry.histogram("engine.refresh_us"),
+            refresh_level_us: registry.histogram("engine.refresh_level_us"),
+            publish_us: registry.histogram("engine.publish_us"),
+            dirty_cone_size: registry.histogram("engine.dirty_cone_size"),
+            ast_cache_hits: registry.counter("engine.ast_cache.hits"),
+            ast_cache_misses: registry.counter("engine.ast_cache.misses"),
+            index_invalidations: registry.counter("engine.index_invalidations"),
+        }
+    }
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -149,6 +189,10 @@ pub struct Engine {
     /// reuse one `Arc` instead of re-cloning the graph.
     published: Option<(u64, Arc<LineageGraph>)>,
     stats: EngineStats,
+    /// Shared handles into the process-wide metrics registry; recording
+    /// never touches engine state, so instrumentation is invisible to
+    /// the incremental ≡ batch and `jobs`-independence invariants.
+    metrics: EngineMetrics,
     anon_counter: usize,
     seq: u64,
 }
@@ -184,7 +228,11 @@ impl Engine {
     /// [`IngestAction::Failed`] carrying a span-tagged parse diagnostic,
     /// and every healthy statement is still ingested.
     pub fn ingest(&mut self, sql: &str) -> Result<Vec<StmtId>, LineageError> {
+        let _timer = self.metrics.ingest_us.time();
+        let (hits_before, misses_before) = (self.cache.hits, self.cache.misses);
         let script = self.cache.parse_recovering(sql);
+        self.metrics.ast_cache_hits.add(self.cache.hits - hits_before);
+        self.metrics.ast_cache_misses.add(self.cache.misses - misses_before);
         self.stats.parse_cache_hits = self.cache.hits;
         self.stats.parse_cache_misses = self.cache.misses;
         if !self.options.extract.lenient {
@@ -208,6 +256,7 @@ impl Engine {
         statements: Vec<SpannedStatement>,
         source: &str,
     ) -> Vec<StmtId> {
+        let _timer = self.metrics.ingest_us.time();
         self.apply_script(
             lineagex_sqlparse::RecoveredScript { statements, errors: Vec::new() },
             source,
@@ -345,6 +394,7 @@ impl Engine {
                         // is dirty), so the traversal index is stale now.
                         self.graph_revision += 1;
                         self.index_cache.invalidate();
+                        self.metrics.index_invalidations.inc();
                         self.traces.remove(name);
                         self.inferred_by_query.remove(name);
                         self.dirty_entries.remove(name);
@@ -387,12 +437,14 @@ impl Engine {
         if self.dirty_entries.is_empty() && self.dirty_relations.is_empty() {
             return Ok(0);
         }
+        let _timer = self.metrics.refresh_us.time();
         self.last_refresh_ids.clear();
         // Everything below mutates the settled graph (retractions, cycle
         // stubs, merges, node assembly): the traversal index dies with
         // the old revision and is rebuilt lazily by the next query.
         self.graph_revision += 1;
         self.index_cache.invalidate();
+        self.metrics.index_invalidations.inc();
 
         // 1. Close the dirty set: an entry is dirty when marked directly
         //    or when any (transitive) upstream relation changed.
@@ -429,6 +481,7 @@ impl Engine {
                 }
             }
         };
+        self.metrics.dirty_cone_size.record(dirty.len() as u64);
 
         // 3. Retract everything about to be re-extracted so stale lineage
         //    can never leak into a dependent's extraction.
@@ -446,6 +499,7 @@ impl Engine {
         let mut extracted = 0u64;
         let mut failure: Option<LineageError> = None;
         for level in levels {
+            let _level_timer = self.metrics.refresh_level_us.time();
             let snapshot = self.merged_inferred();
             let results = {
                 let entries = &self.entries;
@@ -557,6 +611,7 @@ impl Engine {
     /// the previous snapshot stays valid — nothing is published for a
     /// refresh that failed to settle.
     pub fn publish(&mut self) -> Result<EngineSnapshot, LineageError> {
+        let _timer = self.metrics.publish_us.time();
         self.refresh()?;
         let index = self.index_cache.get_or_build_at(self.graph_revision, &self.graph);
         let graph = match &self.published {

@@ -1,0 +1,78 @@
+//! Property tests for the observability primitives.
+//!
+//! * **Merge order-independence**: folding a set of shard histograms
+//!   into an accumulator must yield the same state in any merge order
+//!   (bucket-wise addition is commutative and associative) — and the
+//!   merged state must equal recording every value into one histogram.
+//! * **Quantile bound**: the log₂-bucket readout reports the upper
+//!   bound of the bucket holding the true rank, so it must bound the
+//!   true quantile within one bucket: `true ≤ reported ≤ 2·true`
+//!   (with equality at zero).
+
+use lineagex_obs::Histogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// The true rank-based quantile the histogram approximates: the value at
+/// rank ⌈q·n/100⌉ (1-based) of the sorted recordings.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank - 1]
+}
+
+fn recorded(values: &[u64]) -> Histogram {
+    let h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn merge_is_order_independent(
+        shards in vec(vec(0u64..1_000_000, 0..40), 1..6),
+        rotate in 0usize..6,
+    ) {
+        // Merge the shards in two different orders (identity vs rotated)
+        // and also record the concatenation directly into one histogram.
+        let forward = Histogram::default();
+        for shard in &shards {
+            forward.merge_from(&recorded(shard));
+        }
+        let rotated = Histogram::default();
+        let pivot = rotate % shards.len();
+        for shard in shards[pivot..].iter().chain(&shards[..pivot]) {
+            rotated.merge_from(&recorded(shard));
+        }
+        let all: Vec<u64> = shards.iter().flatten().copied().collect();
+        let direct = recorded(&all);
+
+        prop_assert_eq!(forward.summary(), rotated.summary());
+        prop_assert_eq!(forward.summary(), direct.summary());
+    }
+
+    #[test]
+    fn quantiles_bound_the_true_quantile_within_one_bucket(
+        values in vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let h = recorded(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [50.0, 90.0, 99.0] {
+            let truth = true_quantile(&sorted, q);
+            let reported = h.quantile(q);
+            prop_assert!(
+                reported >= truth,
+                "q{} under-reported: true {} reported {}", q, truth, reported
+            );
+            prop_assert!(
+                reported <= truth.saturating_mul(2),
+                "q{} more than one bucket off: true {} reported {}", q, truth, reported
+            );
+        }
+    }
+}

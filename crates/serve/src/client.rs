@@ -111,6 +111,11 @@ impl Client {
         self.request(&Request::Diagnostics)
     }
 
+    /// Fetch a snapshot of the server's observability registry.
+    pub fn metrics(&mut self) -> io::Result<Reply> {
+        self.request(&Request::Metrics)
+    }
+
     /// Settle any pending work.
     pub fn refresh(&mut self) -> io::Result<Reply> {
         self.request(&Request::Refresh)

@@ -26,7 +26,11 @@ use serde::{Content, Serialize};
 use serde_json::Value;
 
 /// The protocol envelope version this crate speaks.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// History: `1` — the PR 6 launch surface; `2` — adds the `metrics` op
+/// (a deterministic-shaped snapshot of the process-wide observability
+/// registry).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// A typed service error: a [`DiagnosticCode`] plus a human message.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -115,6 +119,9 @@ pub enum Request {
         /// Relations to drop.
         names: Vec<String>,
     },
+    /// Lock-free read: a snapshot of the observability registry
+    /// (counters, gauges, histogram summaries, recent slow ops).
+    Metrics,
     /// Liveness probe; replies with the current revision.
     Ping,
     /// Ask the server to drain in-flight requests and stop.
@@ -142,6 +149,7 @@ impl Request {
             Request::Ingest { .. } => "ingest",
             Request::Refresh => "refresh",
             Request::Drop { .. } => "drop",
+            Request::Metrics => "metrics",
             Request::Ping => "ping",
             Request::Shutdown => "shutdown",
         }
@@ -259,6 +267,7 @@ fn parse_body(value: &Value) -> Result<Request, WireError> {
             }
             Ok(Request::Drop { names })
         }
+        "metrics" => Ok(Request::Metrics),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(WireError::invalid(format!("unknown op `{other}`"))),
@@ -447,6 +456,9 @@ pub enum Payload {
     Diagnostics(Vec<Diagnostic>),
     /// A settled write.
     Write(WriteReceipt),
+    /// An observability-registry snapshot, pre-rendered to [`Content`]
+    /// by the server (the snapshot type lives in `lineagex-obs`).
+    Metrics(Content),
     /// A `ping` acknowledgement.
     Pong,
     /// A `shutdown` acknowledgement: the server is draining.
@@ -463,6 +475,7 @@ impl Payload {
                 Content::Map(vec![("diagnostics".into(), diagnostics.to_content())])
             }
             Payload::Write(receipt) => receipt.to_content(),
+            Payload::Metrics(snapshot) => snapshot.clone(),
             Payload::Pong => Content::Map(vec![("pong".into(), Content::Bool(true))]),
             Payload::Stopping => Content::Map(vec![("stopping".into(), Content::Bool(true))]),
         }
@@ -555,6 +568,7 @@ mod tests {
             Request::Ingest { sql: "CREATE TABLE t (a int);".into() },
             Request::Refresh,
             Request::Drop { names: vec!["v".into()] },
+            Request::Metrics,
             Request::Ping,
             Request::Shutdown,
         ];
@@ -592,13 +606,13 @@ mod tests {
         let response = Response::ok(Some(2), 5, Payload::Pong);
         assert_eq!(
             response.to_line(),
-            r#"{"schema_version":1,"id":2,"ok":true,"revision":5,"result":{"pong":true}}"#
+            r#"{"schema_version":2,"id":2,"ok":true,"revision":5,"result":{"pong":true}}"#
         );
         let response =
             Response::error(None, 0, WireError::new(DiagnosticCode::InvalidRequest, "nope"));
         assert_eq!(
             response.to_line(),
-            r#"{"schema_version":1,"id":null,"ok":false,"revision":0,"error":{"code":"invalid-request","message":"nope"}}"#
+            r#"{"schema_version":2,"id":null,"ok":false,"revision":0,"error":{"code":"invalid-request","message":"nope"}}"#
         );
     }
 }

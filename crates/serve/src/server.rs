@@ -28,25 +28,130 @@ use crate::proto::{
 use lineagex_catalog::Catalog;
 use lineagex_core::{DiagnosticCode, LineageError, QueryReport, ReportV2};
 use lineagex_engine::{Engine, EngineOptions, EngineSnapshot};
+use lineagex_obs::{Counter, Gauge, Histogram};
+use serde::Serialize;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, RwLock};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a blocked read waits before re-checking the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
 
+/// Default [`ServeOptions::slow_ms`]: requests slower than this enter
+/// the registry's slow-op ring (and the `--verbose` event log).
+pub const DEFAULT_SLOW_MS: u64 = 100;
+
 /// Server configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Engine options (worker threads per refresh, extraction options,
     /// AST cache size).
     pub engine: EngineOptions,
     /// Base-table schemas to preload.
     pub catalog: Option<Catalog>,
+    /// Log one structured line per server event (connection open/close,
+    /// write publishes, slow requests) to stderr.
+    pub verbose: bool,
+    /// Threshold (in milliseconds) above which a handled request counts
+    /// as slow: it is pushed into the observability registry's slow-op
+    /// ring and, with `verbose`, logged as a `slow_request` event.
+    pub slow_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            engine: EngineOptions::default(),
+            catalog: None,
+            verbose: false,
+            slow_ms: DEFAULT_SLOW_MS,
+        }
+    }
+}
+
+/// Every `op` the wire knows, plus the `invalid` pseudo-op unparsable
+/// requests are accounted under. Pre-registered at startup so the
+/// metrics snapshot has a stable shape from the first request on.
+const SERVE_OPS: [&str; 11] = [
+    "diagnostics",
+    "drop",
+    "ingest",
+    "invalid",
+    "metrics",
+    "ping",
+    "query",
+    "refresh",
+    "report",
+    "shutdown",
+    "stats",
+];
+
+/// The [`DiagnosticCode`]s the serve layer itself can put on the wire,
+/// pre-registered as `serve.errors.<code>` counters for a stable
+/// snapshot shape. Codes outside this set register lazily.
+const SERVE_ERROR_CODES: [DiagnosticCode; 5] = [
+    DiagnosticCode::InvalidRequest,
+    DiagnosticCode::UnsupportedSchemaVersion,
+    DiagnosticCode::ParseError,
+    DiagnosticCode::DependencyCycle,
+    DiagnosticCode::ExtractionFailed,
+];
+
+/// Serve-layer handles into the process-wide metrics registry.
+struct ServerMetrics {
+    /// Requests handled (any op, success or error).
+    requests: Counter,
+    /// Connections accepted over the process lifetime.
+    connections_total: Counter,
+    /// Connections currently open.
+    connections_live: Gauge,
+    /// Request bytes read off the wire (including line terminators).
+    bytes_in: Counter,
+    /// Response bytes written to the wire (including line terminators).
+    bytes_out: Counter,
+    /// Per-op request latency histograms (`serve.op.<op>_us`).
+    ops: Vec<(&'static str, Histogram)>,
+    /// Error replies by code (`serve.errors.<code>`).
+    errors: Vec<(DiagnosticCode, Counter)>,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        let registry = lineagex_obs::registry();
+        ServerMetrics {
+            requests: registry.counter("serve.requests"),
+            connections_total: registry.counter("serve.connections"),
+            connections_live: registry.gauge("serve.connections_live"),
+            bytes_in: registry.counter("serve.bytes_in"),
+            bytes_out: registry.counter("serve.bytes_out"),
+            ops: SERVE_OPS
+                .iter()
+                .map(|op| (*op, registry.histogram(&format!("serve.op.{op}_us"))))
+                .collect(),
+            errors: SERVE_ERROR_CODES
+                .iter()
+                .map(|code| (*code, registry.counter(&format!("serve.errors.{}", code.as_str()))))
+                .collect(),
+        }
+    }
+
+    fn op_histogram(&self, op: &str) -> Histogram {
+        match self.ops.iter().find(|(name, _)| *name == op) {
+            Some((_, histogram)) => histogram.clone(),
+            None => lineagex_obs::registry().histogram(&format!("serve.op.{op}_us")),
+        }
+    }
+
+    fn error_counter(&self, code: DiagnosticCode) -> Counter {
+        match self.errors.iter().find(|(known, _)| *known == code) {
+            Some((_, counter)) => counter.clone(),
+            None => lineagex_obs::registry().counter(&format!("serve.errors.{}", code.as_str())),
+        }
+    }
 }
 
 struct Shared {
@@ -54,6 +159,9 @@ struct Shared {
     shutdown: AtomicBool,
     connections: AtomicU64,
     requests: AtomicU64,
+    metrics: ServerMetrics,
+    verbose: bool,
+    slow_ms: u64,
 }
 
 impl Shared {
@@ -97,6 +205,12 @@ impl Server {
     pub fn start(addr: &str, options: ServeOptions) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        // Pin every metric name this process can emit (serve ops and
+        // error codes here, query-layer names below, engine names at
+        // engine construction) so `metrics` snapshots have a stable,
+        // deterministic shape from the first request on.
+        lineagex_core::query::register_metrics();
+        let metrics = ServerMetrics::new();
         let mut engine = Engine::with_options(options.engine);
         if let Some(catalog) = options.catalog {
             engine = engine.with_catalog(catalog);
@@ -107,6 +221,9 @@ impl Server {
             shutdown: AtomicBool::new(false),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
+            metrics,
+            verbose: options.verbose,
+            slow_ms: options.slow_ms,
         });
         let (write_tx, write_rx) = mpsc::channel::<WriteJob>();
         let engine_shared = Arc::clone(&shared);
@@ -177,6 +294,11 @@ impl Drop for Server {
 /// revision `r` includes it.
 fn engine_loop(mut engine: Engine, shared: Arc<Shared>, jobs: mpsc::Receiver<WriteJob>) {
     while let Ok(job) = jobs.recv() {
+        let op = match &job.cmd {
+            WriteCmd::Ingest(_) => "ingest",
+            WriteCmd::Drop(_) => "drop",
+            WriteCmd::Refresh => "refresh",
+        };
         let receipts = match job.cmd {
             WriteCmd::Ingest(sql) => engine.ingest(&sql),
             WriteCmd::Drop(names) => engine.ingest(&drop_script(&names)),
@@ -187,6 +309,12 @@ fn engine_loop(mut engine: Engine, shared: Arc<Shared>, jobs: mpsc::Receiver<Wri
             let snapshot = engine.publish()?;
             let extracted = (engine.stats().extractions - before) as usize;
             *shared.snapshot.write().expect("snapshot lock poisoned") = snapshot.clone();
+            if shared.verbose {
+                eprintln!(
+                    "[lineagex-serve] event=publish op={op} revision={} extracted={extracted}",
+                    snapshot.revision
+                );
+            }
             let receipts = receipts.iter().map(ReceiptRecord::from).collect();
             Ok((snapshot.revision, WriteReceipt { receipts, extracted }))
         });
@@ -257,21 +385,31 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>, write_tx: mpsc::Sende
         Ok(clone) => clone,
         Err(_) => return,
     };
+    let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "unknown".into());
     let mut reader = BufReader::new(reader);
     let mut writer = stream;
     let mut line = String::new();
+    shared.metrics.connections_total.inc();
+    shared.metrics.connections_live.inc();
+    if shared.verbose {
+        eprintln!(
+            "[lineagex-serve] event=conn_open peer={peer} live={}",
+            shared.metrics.connections_live.get()
+        );
+    }
     loop {
         match reader.read_line(&mut line) {
             Ok(0) => break,
-            Ok(_) => {
+            Ok(read) => {
+                shared.metrics.bytes_in.add(read as u64);
                 let stop = if line.trim().is_empty() {
                     false
                 } else {
                     shared.requests.fetch_add(1, Ordering::Relaxed);
                     let (response, stop) = dispatch(line.trim(), &shared, &write_tx);
-                    let wrote = writeln!(writer, "{}", response.to_line())
-                        .and_then(|()| writer.flush())
-                        .is_ok();
+                    let out = response.to_line();
+                    shared.metrics.bytes_out.add(out.len() as u64 + 1);
+                    let wrote = writeln!(writer, "{out}").and_then(|()| writer.flush()).is_ok();
                     stop || !wrote
                 };
                 line.clear();
@@ -293,19 +431,63 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>, write_tx: mpsc::Sende
             Err(_) => break,
         }
     }
+    shared.metrics.connections_live.dec();
+    if shared.verbose {
+        eprintln!(
+            "[lineagex-serve] event=conn_close peer={peer} live={}",
+            shared.metrics.connections_live.get()
+        );
+    }
 }
 
 /// Answer one request line. Returns the response plus whether this
 /// connection should stop serving (after acknowledging `shutdown`).
+///
+/// Accounting wraps the whole exchange: per-op latency histograms (the
+/// `invalid` pseudo-op for unparsable lines), error counters by
+/// [`DiagnosticCode`], and the slow-op ring for requests over the
+/// configured threshold.
 fn dispatch(line: &str, shared: &Shared, write_tx: &mpsc::Sender<WriteJob>) -> (Response, bool) {
+    let start = Instant::now();
     let Incoming { id, request } = Request::parse_line(line);
-    let request = match request {
-        Ok(request) => request,
+    let (op, origins) = match &request {
+        Ok(Request::Query(params)) => ("query", params.origins.len() as u64),
+        Ok(request) => (request.op(), 0),
+        Err(_) => ("invalid", 0),
+    };
+    let (response, stop) = match request {
+        Ok(request) => handle(id, request, shared, write_tx),
         Err(error) => {
             let revision = shared.snapshot.read().expect("snapshot lock poisoned").revision;
-            return (Response::error(id, revision, error), false);
+            (Response::error(id, revision, error), false)
         }
     };
+    let elapsed = start.elapsed();
+    shared.metrics.requests.inc();
+    shared.metrics.op_histogram(op).record_duration(elapsed);
+    if let Err(error) = &response.body {
+        shared.metrics.error_counter(error.code).inc();
+    }
+    if elapsed >= Duration::from_millis(shared.slow_ms) {
+        lineagex_obs::registry().record_slow(op, elapsed, response.revision, origins);
+        if shared.verbose {
+            eprintln!(
+                "[lineagex-serve] event=slow_request op={op} ms={} revision={}",
+                elapsed.as_millis(),
+                response.revision
+            );
+        }
+    }
+    (response, stop)
+}
+
+/// Execute one parsed request.
+fn handle(
+    id: Option<u64>,
+    request: Request,
+    shared: &Shared,
+    write_tx: &mpsc::Sender<WriteJob>,
+) -> (Response, bool) {
     match request {
         Request::Query(params) => {
             let snapshot = shared.current();
@@ -334,6 +516,11 @@ fn dispatch(line: &str, shared: &Shared, write_tx: &mpsc::Sender<WriteJob>) -> (
             let snapshot = shared.current();
             let diagnostics = snapshot.diagnostics.as_ref().clone();
             (Response::ok(id, snapshot.revision, Payload::Diagnostics(diagnostics)), false)
+        }
+        Request::Metrics => {
+            let revision = shared.snapshot.read().expect("snapshot lock poisoned").revision;
+            let snapshot = lineagex_obs::registry().snapshot();
+            (Response::ok(id, revision, Payload::Metrics(snapshot.to_content())), false)
         }
         Request::Ingest { sql } => (run_write(id, WriteCmd::Ingest(sql), shared, write_tx), false),
         Request::Refresh => (run_write(id, WriteCmd::Refresh, shared, write_tx), false),

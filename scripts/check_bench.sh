@@ -12,6 +12,8 @@
 #   * upstream_closure_qps  >= 70% of the committed BENCH_query.json
 #   * serve mixed_qps       >= 70% of the committed BENCH_serve.json
 #   * serve refresh_p99_ratio <= 3  (read tail under churn vs idle)
+#   * serve obs_overhead_pct  < 3   (metrics recording must stay
+#                                    invisible at request granularity)
 #
 # The committed qps numbers are a *machine baseline*: they were measured
 # on the machine that committed them, so the 70% floor assumes CI runs
@@ -92,6 +94,7 @@ down=$(json_num "$fresh_query" downstream_cone_qps)
 up=$(json_num "$fresh_query" upstream_closure_qps)
 mixed=$(json_num "$fresh_serve" mixed_qps)
 ratio=$(json_num "$fresh_serve" refresh_p99_ratio)
+obs_overhead=$(json_num "$fresh_serve" obs_overhead_pct)
 down_committed=$(json_num "$committed_query" downstream_cone_qps)
 up_committed=$(json_num "$committed_query" upstream_closure_qps)
 mixed_committed=$(json_num "$committed_serve" mixed_qps)
@@ -106,6 +109,7 @@ check "downstream_cone_qps vs committed floor" "$down" ">=" "$down_floor"
 check "upstream_closure_qps vs committed floor" "$up" ">=" "$up_floor"
 check "serve mixed_qps vs committed floor" "$mixed" ">=" "$mixed_floor"
 check "serve refresh_p99_ratio" "$ratio" "<=" 3
+check "serve obs_overhead_pct" "$obs_overhead" "<" 3
 
 if [ "$failures" -ne 0 ]; then
     echo "bench-regression gate: $failures check(s) failed" >&2

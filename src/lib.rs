@@ -15,6 +15,7 @@
 //! | [`core`] | `lineagex-core` | the lineage extraction engine |
 //! | [`engine`] | `lineagex-engine` | incremental session engine, parallel scheduler |
 //! | [`serve`] | `lineagex-serve` | concurrent JSON-lines lineage service over TCP |
+//! | [`obs`] | `lineagex-obs` | lock-free metrics registry: counters, histograms, span timers |
 //! | [`baseline`] | `lineagex-baseline` | SQLLineage-like & LLM-style baselines |
 //! | [`viz`] | `lineagex-viz` | JSON / DOT / interactive HTML output |
 //! | [`datasets`] | `lineagex-datasets` | Example 1, MIMIC-like, generators |
@@ -45,6 +46,7 @@ pub use lineagex_core as core;
 #[cfg(feature = "datasets")]
 pub use lineagex_datasets as datasets;
 pub use lineagex_engine as engine;
+pub use lineagex_obs as obs;
 pub use lineagex_serve as serve;
 pub use lineagex_sqlparse as sqlparse;
 #[cfg(feature = "viz")]
@@ -71,6 +73,9 @@ pub mod prelude {
     };
     pub use lineagex_engine::{
         Engine, EngineOptions, EngineSnapshot, EngineStats, IngestAction, StmtId,
+    };
+    pub use lineagex_obs::{
+        registry, Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry, SpanTimer,
     };
     pub use lineagex_serve::{ServeClient, ServeOptions, Server};
     #[cfg(feature = "viz")]

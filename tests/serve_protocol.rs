@@ -75,6 +75,7 @@ fn script() -> Vec<String> {
             12,
             Request::Query(QueryParams { origins: vec!["web.page".into()], ..Default::default() }),
         ),
+        (13, Request::Metrics),
     ];
     let mut lines: Vec<String> =
         typed.into_iter().map(|(id, request)| request.to_line(Some(id))).collect();
@@ -83,14 +84,64 @@ fn script() -> Vec<String> {
     lines.push("[1,2,3]".to_string());
     lines.push("{\"id\":\"twelve\",\"op\":\"ping\"}".to_string());
     // ... and body failures (id echoed back for correlation).
-    lines.push("{\"id\":13,\"op\":\"frobnicate\"}".to_string());
-    lines.push("{\"schema_version\":99,\"id\":14,\"op\":\"ping\"}".to_string());
-    lines.push("{\"id\":15,\"op\":\"query\"}".to_string());
-    lines.push("{\"id\":16,\"op\":\"ingest\"}".to_string());
+    lines.push("{\"id\":14,\"op\":\"frobnicate\"}".to_string());
+    lines.push("{\"schema_version\":99,\"id\":15,\"op\":\"ping\"}".to_string());
+    lines.push("{\"id\":16,\"op\":\"query\"}".to_string());
+    lines.push("{\"id\":17,\"op\":\"ingest\"}".to_string());
     lines
-        .push("{\"id\":17,\"op\":\"ingest\",\"sql\":\"CREATE VIEW broken AS SELEC;\"}".to_string());
-    lines.push(Request::Shutdown.to_line(Some(18)));
+        .push("{\"id\":18,\"op\":\"ingest\",\"sql\":\"CREATE VIEW broken AS SELEC;\"}".to_string());
+    lines.push(Request::Shutdown.to_line(Some(19)));
     lines
+}
+
+/// Metric *values* vary run to run (wall-clock histograms, process-wide
+/// counters shared across tests); the golden pins the *shape*. Within
+/// the metrics reply's `result` object every JSON number token becomes
+/// `0` and the timing-dependent `slow_ops` ring is emptied — the key
+/// set, key order, and envelope survive byte-for-byte.
+fn normalize_metrics_reply(line: &str) -> String {
+    let marker = ",\"result\":";
+    let Some(at) = line.find(marker) else { return line.to_string() };
+    let start = at + marker.len();
+    let end = line.len() - 1; // the envelope's closing '}'
+    let mut result = String::with_capacity(end - start);
+    let mut chars = line[start..end].chars().peekable();
+    let mut in_string = false;
+    let mut escaped = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            result.push(c);
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                result.push(c);
+            }
+            '0'..='9' | '-' => {
+                while chars
+                    .peek()
+                    .is_some_and(|n| n.is_ascii_digit() || matches!(n, '.' | 'e' | 'E' | '+' | '-'))
+                {
+                    chars.next();
+                }
+                result.push('0');
+            }
+            _ => result.push(c),
+        }
+    }
+    // `slow_ops` is the snapshot's final field: truncate its entries.
+    if let Some(open) = result.find("\"slow_ops\":[") {
+        result.truncate(open + "\"slow_ops\":[".len());
+        result.push_str("]}");
+    }
+    format!("{}{}{}", &line[..start], result, "}")
 }
 
 /// Run the scripted session against a fresh server, returning the
@@ -101,10 +152,15 @@ fn transcript(jobs: usize) -> String {
     let mut out = String::new();
     for line in script() {
         let reply = client.send_line(&line).expect("server replies");
+        let reply = if line.contains("\"op\":\"metrics\"") {
+            normalize_metrics_reply(&reply.line)
+        } else {
+            reply.line
+        };
         out.push_str(">> ");
         out.push_str(&line);
         out.push_str("\n<< ");
-        out.push_str(&reply.line);
+        out.push_str(&reply);
         out.push('\n');
     }
     server.wait();
@@ -148,7 +204,7 @@ fn golden_transcript_sanity() {
     assert!(golden.contains("\"code\":\"parse-error\""));
     // Every reply carries the envelope, in pinned field order.
     for reply in &replies {
-        assert!(reply.starts_with("{\"schema_version\":1,\"id\":"), "bad envelope: {reply}");
+        assert!(reply.starts_with("{\"schema_version\":2,\"id\":"), "bad envelope: {reply}");
         assert!(reply.contains("\"revision\":"), "unstamped reply: {reply}");
     }
     // The drop retracts `info`: the final query must not reach it.
@@ -157,6 +213,12 @@ fn golden_transcript_sanity() {
         !last_query.contains("\"column\":\"info.wpage\""),
         "drop did not retract: {last_query}"
     );
+    // The metrics reply pins every layer's key set, values normalized.
+    let metrics = replies[12];
+    assert!(metrics.contains("\"serve.requests\":0"), "unnormalized or missing: {metrics}");
+    assert!(metrics.contains("\"engine.ingest_us\":{\"count\":0"), "{metrics}");
+    assert!(metrics.contains("\"query.bfs_nodes\":0"), "{metrics}");
+    assert!(metrics.contains("\"slow_ops\":[]"), "slow-op ring must be emptied: {metrics}");
 }
 
 #[test]
