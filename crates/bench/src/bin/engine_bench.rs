@@ -9,22 +9,25 @@
 
 use lineagex_bench::{section, table2};
 use lineagex_core::LineageX;
-use lineagex_datasets::{generator, GeneratorConfig};
+use lineagex_datasets::{generate_scaled, generator, GeneratorConfig, ScaleConfig};
 use lineagex_engine::{Engine, EngineOptions};
 use lineagex_sqlparse::ast::{Expr, Literal, Statement};
 use serde::Serialize;
 use std::time::{Duration, Instant};
 
 const VIEWS: usize = 200;
+const SCALE_VIEWS: usize = 10_000;
+const SCALE_JOBS: usize = 4;
 
-/// Repetition counts: best-of-5 batch runs and 30 incremental re-ingests
-/// normally; 2 and 10 under `BENCH_QUICK=1` (the CI regression gate's
-/// quick mode — same 200-view workload, less smoothing).
-fn rep_counts() -> (usize, usize) {
+/// Repetition counts: best-of-5 batch runs, 30 incremental re-ingests,
+/// and best-of-3 scale-tier runs normally; 2, 10, and 1 under
+/// `BENCH_QUICK=1` (the CI regression gate's quick mode — same
+/// workloads, less smoothing).
+fn rep_counts() -> (usize, usize, usize) {
     if std::env::var_os("BENCH_QUICK").is_some() {
-        (2, 10)
+        (2, 10, 1)
     } else {
-        (5, 30)
+        (5, 30, 3)
     }
 }
 
@@ -41,6 +44,7 @@ struct Report {
     reextract_parallel_qps: f64,
     parallel_speedup: f64,
     incremental: IncrementalReport,
+    scale: ScaleReport,
 }
 
 #[derive(Serialize)]
@@ -52,6 +56,29 @@ struct IncrementalReport {
     speedup: f64,
 }
 
+/// The large-catalog tier. Key names carry a `_10k` suffix so
+/// `scripts/check_bench.sh`'s flat first-match JSON scraping can never
+/// confuse them with the 200-view tier above.
+#[derive(Serialize)]
+struct ScaleReport {
+    views_10k: usize,
+    components_10k: usize,
+    jobs_10k: usize,
+    sharded_extract_ms_10k: f64,
+    levelled_extract_ms_10k: f64,
+    sharded_speedup_10k: f64,
+    refresh_cone_10k: usize,
+    refresh_ms_10k: f64,
+    full_reextract_ms_10k: f64,
+    refresh_speedup_10k: f64,
+    snapshot_bytes_10k: u64,
+    snapshot_save_ms_10k: f64,
+    snapshot_load_ms_10k: f64,
+    cold_start_ms_10k: f64,
+    cold_start_speedup_10k: f64,
+    peak_graph_bytes_10k: i64,
+}
+
 fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
     let mut best = Duration::MAX;
     for _ in 0..reps {
@@ -60,6 +87,45 @@ fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
         best = best.min(start.elapsed());
     }
     best
+}
+
+fn time_once<R>(f: &mut impl FnMut() -> R) -> Duration {
+    let start = Instant::now();
+    std::hint::black_box(f());
+    start.elapsed()
+}
+
+/// Measure two workloads as interleaved back-to-back pairs, alternating
+/// the in-pair order every repetition so neither side systematically
+/// inherits a warm cache or a thermal penalty. Returns the best time of
+/// each side plus the difference of the bests (b − a, seconds) as the
+/// estimator of b's true overhead over a: scheduler and allocator noise
+/// on a shared host is strictly additive, so each side's minimum is its
+/// cleanest observation, and interleaving keeps slow machine-wide drift
+/// from favouring whichever side ran later (the old two-block scheme
+/// showed that drift as a spurious negative overhead; a small-sample
+/// median of in-pair differences proved noisier still).
+fn paired<A, B>(
+    pairs: usize,
+    mut a: impl FnMut() -> A,
+    mut b: impl FnMut() -> B,
+) -> (Duration, Duration, f64) {
+    let mut best_a = Duration::MAX;
+    let mut best_b = Duration::MAX;
+    for i in 0..pairs {
+        let (ta, tb) = if i % 2 == 0 {
+            let ta = time_once(&mut a);
+            let tb = time_once(&mut b);
+            (ta, tb)
+        } else {
+            let tb = time_once(&mut b);
+            let ta = time_once(&mut a);
+            (ta, tb)
+        };
+        best_a = best_a.min(ta);
+        best_b = best_b.min(tb);
+    }
+    (best_a, best_b, best_b.as_secs_f64() - best_a.as_secs_f64())
 }
 
 fn qps(views: usize, elapsed: Duration) -> f64 {
@@ -81,7 +147,7 @@ fn redefinition(original: &str, limit: u64) -> String {
 }
 
 fn main() {
-    let (batch_reps, incremental_reps) = rep_counts();
+    let (batch_reps, incremental_reps, scale_reps) = rep_counts();
     let workload =
         generator::generate(&GeneratorConfig { views: VIEWS, ..GeneratorConfig::seeded(29) });
     let sql = workload.full_sql();
@@ -96,9 +162,19 @@ fn main() {
 
     // 1. One-shot batch: the paper's pipeline over the whole log — and
     // the same run in lenient mode, which must stay within 5% on a clean
-    // log (resilience may not tax the happy path).
-    let one_shot = best_of(batch_reps, || LineageX::new().run(&sql).unwrap());
-    let one_shot_lenient = best_of(batch_reps, || LineageX::new().lenient().run(&sql).unwrap());
+    // log (resilience may not tax the happy path). Strict and lenient
+    // run as interleaved pairs and the overhead is the median in-pair
+    // difference, clamped at 0: lenient cannot meaningfully be *faster*
+    // than strict, so a negative median is measurement noise. The pair
+    // count is floored at 16 even in quick mode — a single run is a few
+    // milliseconds, and a small-sample median is noisy enough on a busy
+    // single-core host to trip the 5% assertion below spuriously.
+    let (one_shot, one_shot_lenient, lenient_diff) = paired(
+        (2 * batch_reps).max(16),
+        || LineageX::new().run(&sql).unwrap(),
+        || LineageX::new().lenient().run(&sql).unwrap(),
+    );
+    let lenient_overhead_pct = (100.0 * lenient_diff / one_shot.as_secs_f64()).max(0.0);
 
     // 2. Engine cold batch, sequential: ingest (parse) + refresh (extract).
     let cold_seq = best_of(batch_reps, || {
@@ -149,14 +225,20 @@ fn main() {
     }
     let incremental = incremental_start.elapsed() / incremental_reps as u32;
 
+    // 6. The large-catalog tier: 10k views as independent diamond-stack
+    // components, extracted with the component-sharded scheduler vs the
+    // flat level scheduler, then churned (dirty-cone refresh vs full
+    // re-extraction) and persisted (binary snapshot cold-start vs
+    // re-extracting from SQL).
+    let scale = run_scale_tier(scale_reps);
+
     let report = Report {
         views: VIEWS,
         statements: workload.statement_count(),
         jobs,
         one_shot_qps: qps(VIEWS, one_shot),
         one_shot_lenient_qps: qps(VIEWS, one_shot_lenient),
-        lenient_overhead_pct: 100.0
-            * (one_shot_lenient.as_secs_f64() / one_shot.as_secs_f64() - 1.0),
+        lenient_overhead_pct,
         engine_cold_sequential_qps: qps(VIEWS, cold_seq),
         reextract_sequential_qps: qps(VIEWS, reextract_seq),
         reextract_parallel_qps: qps(VIEWS, reextract_par),
@@ -168,6 +250,7 @@ fn main() {
             incremental_refresh_ms: ms(incremental),
             speedup: reextract_seq.as_secs_f64() / incremental.as_secs_f64(),
         },
+        scale,
     };
 
     section("ENGINE — results (best-of runs)");
@@ -226,7 +309,144 @@ fn main() {
         report.lenient_overhead_pct
     );
 
+    section("ENGINE — 10k-view scale tier");
+    table2(
+        ("phase", "result"),
+        &[
+            (
+                format!("catalog ({} comps, jobs={})", report.scale.components_10k, SCALE_JOBS),
+                format!("{} views", report.scale.views_10k),
+            ),
+            (
+                "re-extract all, component-sharded".into(),
+                format!("{:.0} ms", report.scale.sharded_extract_ms_10k),
+            ),
+            (
+                "re-extract all, flat levels".into(),
+                format!(
+                    "{:.0} ms ({:.2}x slower than sharded)",
+                    report.scale.levelled_extract_ms_10k, report.scale.sharded_speedup_10k
+                ),
+            ),
+            (
+                format!("dirty-cone refresh (cone {})", report.scale.refresh_cone_10k),
+                format!(
+                    "{:.2} ms vs {:.0} ms full ({:.0}x)",
+                    report.scale.refresh_ms_10k,
+                    report.scale.full_reextract_ms_10k,
+                    report.scale.refresh_speedup_10k
+                ),
+            ),
+            (
+                "snapshot save / load".into(),
+                format!(
+                    "{:.1} ms / {:.1} ms ({} bytes)",
+                    report.scale.snapshot_save_ms_10k,
+                    report.scale.snapshot_load_ms_10k,
+                    report.scale.snapshot_bytes_10k
+                ),
+            ),
+            (
+                "cold start: snapshot vs SQL".into(),
+                format!(
+                    "{:.1} ms vs {:.0} ms ({:.0}x)",
+                    report.scale.snapshot_load_ms_10k,
+                    report.scale.cold_start_ms_10k,
+                    report.scale.cold_start_speedup_10k
+                ),
+            ),
+            ("peak graph + index bytes".into(), format!("{}", report.scale.peak_graph_bytes_10k)),
+        ],
+    );
+
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write("BENCH_engine.json", json + "\n").expect("can write BENCH_engine.json");
     println!("\n  wrote BENCH_engine.json");
+}
+
+/// Measure the large-catalog tier and return its report block.
+fn run_scale_tier(reps: usize) -> ScaleReport {
+    let config = ScaleConfig::with_views(31, SCALE_VIEWS);
+    let workload = generate_scaled(&config);
+    let sql = workload.full_sql();
+    let options = |shard: bool| EngineOptions {
+        jobs: SCALE_JOBS,
+        shard_components: shard,
+        ..EngineOptions::default()
+    };
+
+    // Component-sharded vs flat-levelled re-extraction of the full
+    // catalog, same jobs, same session contents. Interleaved pairs for
+    // the same reason as the lenient comparison above: each side takes
+    // hundreds of milliseconds, so measuring them in two separate
+    // blocks lets machine-wide drift masquerade as a scheduling effect.
+    let mut sharded = Engine::with_options(options(true));
+    sharded.ingest(&sql).unwrap();
+    sharded.refresh().unwrap();
+    let mut levelled = Engine::with_options(options(false));
+    levelled.ingest(&sql).unwrap();
+    levelled.refresh().unwrap();
+    let (sharded_extract, levelled_extract, _) = paired(
+        reps.max(2),
+        || {
+            sharded.invalidate_all();
+            sharded.refresh().unwrap()
+        },
+        || {
+            levelled.invalidate_all();
+            levelled.refresh().unwrap()
+        },
+    );
+    drop(levelled);
+
+    // Dirty-cone refresh: redefine the deepest view (every churn step is
+    // a real redefinition), so refresh re-extracts exactly its cone.
+    let churn_reps = (10 * reps).max(10);
+    let cone = workload.deep_cone.len();
+    let churn_start = Instant::now();
+    for i in 0..churn_reps {
+        sharded.ingest(&workload.churn_statement(i)).unwrap();
+        let extracted = sharded.refresh().unwrap();
+        assert_eq!(extracted, cone, "churn must dirty exactly the deep cone");
+    }
+    let refresh = churn_start.elapsed() / churn_reps as u32;
+
+    // Snapshot persistence: save the settled session, then cold-start
+    // from the file vs re-ingesting + re-extracting the SQL. Publishing
+    // is part of both paths — a server is not up until it can answer.
+    let snapshot_path = std::env::temp_dir().join("lineagex_engine_bench_10k.lxsn");
+    let save = best_of(reps, || sharded.save_snapshot(&snapshot_path).unwrap());
+    let snapshot_bytes = std::fs::metadata(&snapshot_path).unwrap().len();
+    sharded.publish().unwrap();
+    let cold_start = best_of(reps, || {
+        let mut engine = Engine::with_options(options(true));
+        engine.ingest(&sql).unwrap();
+        engine.publish().unwrap()
+    });
+    let load = best_of(reps, || {
+        let mut engine = Engine::load_snapshot(&snapshot_path, options(true)).unwrap();
+        engine.publish().unwrap()
+    });
+    std::fs::remove_file(&snapshot_path).ok();
+
+    let peak_graph_bytes = lineagex_obs::registry().gauge("engine.peak_graph_bytes").get();
+
+    ScaleReport {
+        views_10k: config.views(),
+        components_10k: config.components,
+        jobs_10k: SCALE_JOBS,
+        sharded_extract_ms_10k: ms(sharded_extract),
+        levelled_extract_ms_10k: ms(levelled_extract),
+        sharded_speedup_10k: levelled_extract.as_secs_f64() / sharded_extract.as_secs_f64(),
+        refresh_cone_10k: cone,
+        refresh_ms_10k: ms(refresh),
+        full_reextract_ms_10k: ms(sharded_extract),
+        refresh_speedup_10k: sharded_extract.as_secs_f64() / refresh.as_secs_f64(),
+        snapshot_bytes_10k: snapshot_bytes,
+        snapshot_save_ms_10k: ms(save),
+        snapshot_load_ms_10k: ms(load),
+        cold_start_ms_10k: ms(cold_start),
+        cold_start_speedup_10k: cold_start.as_secs_f64() / load.as_secs_f64(),
+        peak_graph_bytes_10k: peak_graph_bytes,
+    }
 }

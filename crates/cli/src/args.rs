@@ -9,9 +9,12 @@ usage:
                     [--dot <out>] [--html <out>] [--mermaid <out>] [--trace]
                     [--ambiguity all|first|error] [--no-auto-inference] [--jobs <N>]
                     [--lenient] [--diagnostics-json <out>] [--timings]
+                    [--save-snapshot <out.lxsn>]
                     (--json emits the versioned schema_version-2 document;
                      --json-v1 keeps the legacy output.json; --timings prints a
-                     phase/metrics summary to stderr)
+                     phase/metrics summary to stderr; --save-snapshot persists
+                     the settled session in the binary snapshot format for
+                     `serve --load-snapshot`)
   lineagex query    <origin>[,<origin>...] <queries.sql> [--ddl <schema.sql>]
                     [--direction down|up] [--depth <N>]
                     [--edge-kind contribute|reference|both]... [--table-level]
@@ -23,11 +26,13 @@ usage:
                     (incremental REPL: statements from stdin, \\commands for queries)
   lineagex serve    [--addr <host:port>] [--ddl <schema.sql>] [--jobs <N>]
                     [--ambiguity all|first|error] [--lenient]
-                    [--verbose] [--slow-ms <N>]
+                    [--verbose] [--slow-ms <N>] [--load-snapshot <in.lxsn>]
                     (long-lived JSON-lines lineage service; default addr
                      127.0.0.1:7117; stop with `lineagex client <addr> shutdown`;
                      --verbose logs one stderr line per connection/publish/slow
-                     request, --slow-ms sets the slow threshold, default 100)
+                     request, --slow-ms sets the slow threshold, default 100;
+                     --load-snapshot cold-starts from an `extract
+                     --save-snapshot` file without re-parsing or re-extracting)
   lineagex client   <host:port> <op> [args] [query flags] [--pretty]
                     (ops: ping | report | stats | diagnostics | metrics | refresh
                      | shutdown | ingest <file.sql> | drop <name>[,<name>...]
@@ -99,6 +104,9 @@ pub enum Command {
         diagnostics_json: Option<String>,
         /// `--timings`: print a phase/metrics summary to stderr.
         timings: bool,
+        /// `--save-snapshot` output path: persist the settled session in
+        /// the binary snapshot format (forces the engine path).
+        save_snapshot: Option<String>,
         /// Shared options.
         common: CommonOptions,
     },
@@ -172,6 +180,9 @@ pub enum Command {
         /// `--slow-ms`: slow-request threshold in milliseconds (unset =
         /// the server default).
         slow_ms: Option<u64>,
+        /// `--load-snapshot`: restore the session from a binary snapshot
+        /// instead of starting empty.
+        load_snapshot: Option<String>,
         /// Shared options (`--ddl` preloads schemas; `--jobs` sizes the
         /// refresh worker pool).
         common: CommonOptions,
@@ -255,6 +266,8 @@ impl Command {
         let mut verbose = false;
         let mut slow_ms = None;
         let mut pretty = false;
+        let mut save_snapshot = None;
+        let mut load_snapshot = None;
 
         let mut iter = argv.iter().peekable();
         let Some(sub) = iter.next() else {
@@ -320,6 +333,12 @@ impl Command {
                 "--diagnostics-json" => {
                     diagnostics_json = Some(take_value(&mut iter, "--diagnostics-json")?)
                 }
+                "--save-snapshot" => {
+                    save_snapshot = Some(take_value(&mut iter, "--save-snapshot")?)
+                }
+                "--load-snapshot" => {
+                    load_snapshot = Some(take_value(&mut iter, "--load-snapshot")?)
+                }
                 "--trace" => common.trace = true,
                 "--timings" => timings = true,
                 "--verbose" => verbose = true,
@@ -369,6 +388,7 @@ impl Command {
                     mermaid,
                     diagnostics_json,
                     timings,
+                    save_snapshot,
                     common,
                 })
             }
@@ -434,6 +454,7 @@ impl Command {
                     addr: addr.unwrap_or_else(|| "127.0.0.1:7117".to_string()),
                     verbose,
                     slow_ms,
+                    load_snapshot,
                     common,
                 })
             }
@@ -714,11 +735,12 @@ mod tests {
     fn parses_serve() {
         let cmd = parse(&["serve"]).unwrap();
         match cmd {
-            Command::Serve { addr, verbose, slow_ms, common } => {
+            Command::Serve { addr, verbose, slow_ms, load_snapshot, common } => {
                 assert_eq!(addr, "127.0.0.1:7117");
                 assert_eq!(common.jobs, 0);
                 assert!(!verbose);
                 assert_eq!(slow_ms, None);
+                assert_eq!(load_snapshot, None);
             }
             other => panic!("{other:?}"),
         }
@@ -833,6 +855,27 @@ mod tests {
             "reference"
         ])
         .is_err());
+    }
+
+    #[test]
+    fn parses_snapshot_flags() {
+        let cmd = parse(&["extract", "q.sql", "--save-snapshot", "state.lxsn"]).unwrap();
+        match cmd {
+            Command::Extract { save_snapshot, .. } => {
+                assert_eq!(save_snapshot.as_deref(), Some("state.lxsn"));
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&["serve", "--load-snapshot", "state.lxsn", "--jobs", "2"]).unwrap();
+        match cmd {
+            Command::Serve { load_snapshot, common, .. } => {
+                assert_eq!(load_snapshot.as_deref(), Some("state.lxsn"));
+                assert_eq!(common.jobs, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["extract", "q.sql", "--save-snapshot"]).is_err());
+        assert!(parse(&["serve", "--load-snapshot"]).is_err());
     }
 
     #[test]

@@ -31,10 +31,20 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
             mermaid,
             diagnostics_json,
             timings,
+            save_snapshot,
             common,
         } => {
             let started = std::time::Instant::now();
-            let (result, sql) = run_extraction(file, common)?;
+            // --save-snapshot needs the live session after settling, so
+            // it forces the engine path even at jobs = 1; the engine
+            // shim keeps one-shot log semantics, so results match.
+            let sql = read_file(file)?;
+            let (result, mut engine) = if save_snapshot.is_some() {
+                let (engine, result) = run_engine_extraction(&sql, common)?;
+                (result, Some(engine))
+            } else {
+                (run_extraction_sql(&sql, common)?, None)
+            };
             if *timings {
                 // Stderr so piped stdout artifacts stay clean.
                 eprintln!(
@@ -73,6 +83,13 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
             }
             if let Some(path) = mermaid {
                 write_file(path, &to_mermaid(&result.graph))?;
+                wln(out, &format!("wrote {path}"))?;
+            }
+            if let Some(path) = save_snapshot {
+                let engine = engine.as_mut().expect("snapshot runs use the engine path");
+                engine
+                    .save_snapshot(std::path::Path::new(path))
+                    .map_err(|e| format!("cannot write snapshot {path}: {e}"))?;
                 wln(out, &format!("wrote {path}"))?;
             }
             if common.trace {
@@ -242,12 +259,13 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
             let stdin = std::io::stdin();
             run_session(&mut stdin.lock(), out, common)
         }
-        Command::Serve { addr, verbose, slow_ms, common } => {
+        Command::Serve { addr, verbose, slow_ms, load_snapshot, common } => {
             let options = ServeOptions {
                 engine: engine_options(common),
                 catalog: load_catalog(common)?,
                 verbose: *verbose,
                 slow_ms: slow_ms.unwrap_or(lineagex_serve::DEFAULT_SLOW_MS),
+                snapshot_path: load_snapshot.as_ref().map(std::path::PathBuf::from),
             };
             let server =
                 Server::start(addr, options).map_err(|e| format!("cannot serve on {addr}: {e}"))?;
@@ -365,67 +383,7 @@ fn run_extraction_sql(sql: &str, common: &CommonOptions) -> Result<LineageResult
     // (a session would retract) and a duplicate id is an error (a session
     // would redefine).
     if common.jobs > 1 {
-        let mut engine = build_engine(common)?;
-        // The shim parses the whole file once, so statement spans — and
-        // therefore every diagnostic the engine attaches — stay relative
-        // to the original file, exactly like the sequential path.
-        let mut diagnostics = Vec::new();
-        let statements = if common.lenient {
-            let script = lineagex_sqlparse::parse_statements_recovering(sql);
-            diagnostics.extend(script.errors.iter().map(|e| {
-                Diagnostic::new(lineagex_core::DiagnosticCode::ParseError, e.message.clone())
-                    .with_span(e.span)
-                    .with_excerpt_from(sql)
-            }));
-            script.statements
-        } else {
-            lineagex_sqlparse::parse_sql_spanned(sql).map_err(|e| e.to_string())?
-        };
-        for stmt in statements {
-            if let lineagex_sqlparse::ast::Statement::Drop { ref names, .. } = stmt.statement {
-                let what: Vec<String> = names.iter().map(|n| n.base_name().to_string()).collect();
-                diagnostics.push(
-                    Diagnostic::new(
-                        lineagex_core::DiagnosticCode::SkippedStatement,
-                        format!("skipped DROP {}", what.join(", ")),
-                    )
-                    .with_span(stmt.span),
-                );
-                continue;
-            }
-            for receipt in engine.ingest_parsed(vec![stmt], sql) {
-                let redefined = matches!(
-                    receipt.action,
-                    lineagex_engine::IngestAction::Redefined
-                        | lineagex_engine::IngestAction::Unchanged
-                );
-                if redefined && !common.lenient {
-                    return Err(format!("duplicate query id {:?}", receipt.target));
-                }
-                // Receipts carry noise/skip/duplicate diagnostics in
-                // statement order, matching the batch dictionary's.
-                diagnostics.extend(receipt.diagnostics.iter().cloned());
-                if receipt.action == lineagex_engine::IngestAction::Unchanged {
-                    // A byte-identical duplicate is a no-op to the
-                    // session but still a duplicate in a one-shot log.
-                    diagnostics.push(
-                        Diagnostic::new(
-                            lineagex_core::DiagnosticCode::DuplicateQueryId,
-                            format!(
-                                "duplicate query identifier {:?}: last definition wins",
-                                receipt.target
-                            ),
-                        )
-                        .for_statement(&receipt.target),
-                    );
-                }
-            }
-        }
-        let mut result = engine.result().map_err(|e| e.to_string())?;
-        // The shim assembled the same findings in log order (parse
-        // errors first, then per-statement events); use that ordering.
-        result.diagnostics = diagnostics;
-        return Ok(result);
+        return run_engine_extraction(sql, common).map(|(_, result)| result);
     }
     let mut builder = LineageX::new().ambiguity(common.ambiguity);
     if let Some(ddl_path) = &common.ddl {
@@ -442,6 +400,75 @@ fn run_extraction_sql(sql: &str, common: &CommonOptions) -> Result<LineageResult
         builder = builder.lenient();
     }
     builder.run(sql).map_err(|e| e.to_string())
+}
+
+/// Run a one-shot log through the incremental engine and settle it,
+/// returning the live session alongside the result so callers can
+/// persist it (`--save-snapshot`).
+fn run_engine_extraction(
+    sql: &str,
+    common: &CommonOptions,
+) -> Result<(Engine, LineageResult), String> {
+    let mut engine = build_engine(common)?;
+    // The shim parses the whole file once, so statement spans — and
+    // therefore every diagnostic the engine attaches — stay relative
+    // to the original file, exactly like the sequential path.
+    let mut diagnostics = Vec::new();
+    let statements = if common.lenient {
+        let script = lineagex_sqlparse::parse_statements_recovering(sql);
+        diagnostics.extend(script.errors.iter().map(|e| {
+            Diagnostic::new(lineagex_core::DiagnosticCode::ParseError, e.message.clone())
+                .with_span(e.span)
+                .with_excerpt_from(sql)
+        }));
+        script.statements
+    } else {
+        lineagex_sqlparse::parse_sql_spanned(sql).map_err(|e| e.to_string())?
+    };
+    for stmt in statements {
+        if let lineagex_sqlparse::ast::Statement::Drop { ref names, .. } = stmt.statement {
+            let what: Vec<String> = names.iter().map(|n| n.base_name().to_string()).collect();
+            diagnostics.push(
+                Diagnostic::new(
+                    lineagex_core::DiagnosticCode::SkippedStatement,
+                    format!("skipped DROP {}", what.join(", ")),
+                )
+                .with_span(stmt.span),
+            );
+            continue;
+        }
+        for receipt in engine.ingest_parsed(vec![stmt], sql) {
+            let redefined = matches!(
+                receipt.action,
+                lineagex_engine::IngestAction::Redefined | lineagex_engine::IngestAction::Unchanged
+            );
+            if redefined && !common.lenient {
+                return Err(format!("duplicate query id {:?}", receipt.target));
+            }
+            // Receipts carry noise/skip/duplicate diagnostics in
+            // statement order, matching the batch dictionary's.
+            diagnostics.extend(receipt.diagnostics.iter().cloned());
+            if receipt.action == lineagex_engine::IngestAction::Unchanged {
+                // A byte-identical duplicate is a no-op to the
+                // session but still a duplicate in a one-shot log.
+                diagnostics.push(
+                    Diagnostic::new(
+                        lineagex_core::DiagnosticCode::DuplicateQueryId,
+                        format!(
+                            "duplicate query identifier {:?}: last definition wins",
+                            receipt.target
+                        ),
+                    )
+                    .for_statement(&receipt.target),
+                );
+            }
+        }
+    }
+    let mut result = engine.result().map_err(|e| e.to_string())?;
+    // The shim assembled the same findings in log order (parse
+    // errors first, then per-statement events); use that ordering.
+    result.diagnostics = diagnostics;
+    Ok((engine, result))
 }
 
 fn engine_options(common: &CommonOptions) -> EngineOptions {

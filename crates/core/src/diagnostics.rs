@@ -92,6 +92,10 @@ pub enum DiagnosticCode {
     /// A service request declared a protocol `schema_version` this
     /// server does not speak.
     UnsupportedSchemaVersion,
+    /// A binary snapshot file could not be loaded: wrong magic, an
+    /// unsupported format version, a truncated payload, or a checksum
+    /// mismatch. The session starts empty instead.
+    SnapshotCorrupt,
 }
 
 impl DiagnosticCode {
@@ -111,6 +115,7 @@ impl DiagnosticCode {
             DiagnosticCode::ExtractionFailed => "extraction-failed",
             DiagnosticCode::InvalidRequest => "invalid-request",
             DiagnosticCode::UnsupportedSchemaVersion => "unsupported-schema-version",
+            DiagnosticCode::SnapshotCorrupt => "snapshot-corrupt",
         }
     }
 
@@ -119,7 +124,8 @@ impl DiagnosticCode {
         match self {
             DiagnosticCode::ParseError
             | DiagnosticCode::InvalidRequest
-            | DiagnosticCode::UnsupportedSchemaVersion => Severity::Error,
+            | DiagnosticCode::UnsupportedSchemaVersion
+            | DiagnosticCode::SnapshotCorrupt => Severity::Error,
             DiagnosticCode::DuplicateQueryId
             | DiagnosticCode::UnresolvedColumn
             | DiagnosticCode::UnresolvedWildcard

@@ -76,6 +76,11 @@ pub enum LineageError {
     /// An error reported by the (simulated) database connection in
     /// EXPLAIN-based extraction.
     Database(String),
+    /// A binary snapshot could not be written or read back (I/O failure,
+    /// wrong magic, unsupported version, truncation, checksum mismatch).
+    /// Carries the typed [`crate::DiagnosticCode::SnapshotCorrupt`]
+    /// classification via [`crate::snapshot::SnapshotError`].
+    Snapshot(String),
 }
 
 impl fmt::Display for LineageError {
@@ -118,6 +123,7 @@ impl fmt::Display for LineageError {
             ),
             LineageError::Unsupported(what) => write!(f, "unsupported: {what}"),
             LineageError::Database(msg) => write!(f, "database error: {msg}"),
+            LineageError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
         }
     }
 }

@@ -147,6 +147,19 @@ impl Interner {
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
     }
+
+    /// Rebuild an interner from its dense name table (symbol `i` is
+    /// `names[i]`): the decode half of the snapshot codec.
+    pub(crate) fn from_names(names: Vec<String>) -> Interner {
+        let lookup = names.iter().enumerate().map(|(i, name)| (name.clone(), i as u32)).collect();
+        Interner { names, lookup }
+    }
+
+    /// The dense name table (symbol `i` is `names[i]`): the encode half
+    /// of the snapshot codec.
+    pub(crate) fn names(&self) -> &[String] {
+        &self.names
+    }
 }
 
 /// Per-relation index record.
@@ -465,6 +478,110 @@ impl GraphIndex {
     pub fn table_in(&self, relation: RelationId) -> &[(u32, EdgeKind)] {
         self.tbl_rev.row(relation.0)
     }
+
+    /// Approximate resident size of the index in bytes: the dense arrays
+    /// plus interned string payloads. An estimate for the
+    /// `engine.peak_graph_bytes` gauge, not an allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let strings: usize = self.interner.names().iter().map(|n| n.len() + 24).sum();
+        let relations = self.relations.len() * std::mem::size_of::<RelationInfo>()
+            + self.relations.iter().map(|r| r.declared.len() * 4).sum::<usize>();
+        let columns = self.columns.len() * 8;
+        let csr = |c: &Csr| c.offsets.len() * 4 + c.edges.len() * 8;
+        strings
+            + relations
+            + columns
+            + csr(&self.fwd)
+            + csr(&self.rev)
+            + csr(&self.tbl_fwd)
+            + csr(&self.tbl_rev)
+    }
+
+    /// Decompose into the dense arrays the binary snapshot serialises.
+    /// [`GraphIndex::from_raw`] is the exact inverse; round-tripping
+    /// preserves every id assignment and adjacency row bit for bit.
+    pub(crate) fn to_raw(&self) -> RawGraphIndex {
+        RawGraphIndex {
+            names: self.interner.names().to_vec(),
+            relations: self
+                .relations
+                .iter()
+                .map(|r| RawRelation {
+                    kind: r.kind,
+                    declared: r.declared.iter().map(|c| c.0).collect(),
+                    col_start: r.col_start,
+                    col_end: r.col_end,
+                })
+                .collect(),
+            columns: self.columns.iter().map(|&(rel, sym)| (rel.0, sym.0)).collect(),
+            fwd: (self.fwd.offsets.clone(), self.fwd.edges.clone()),
+            rev: (self.rev.offsets.clone(), self.rev.edges.clone()),
+            tbl_fwd: (self.tbl_fwd.offsets.clone(), self.tbl_fwd.edges.clone()),
+            tbl_rev: (self.tbl_rev.offsets.clone(), self.tbl_rev.edges.clone()),
+        }
+    }
+
+    /// Reassemble an index from snapshot arrays without re-running
+    /// [`GraphIndex::build`] — deserialisation is array moves plus one
+    /// interner lookup-table rebuild, which is what makes snapshot
+    /// cold-start sub-linear in extraction cost.
+    pub(crate) fn from_raw(raw: RawGraphIndex) -> GraphIndex {
+        let csr = |(offsets, edges): RawCsr| Csr { offsets, edges };
+        GraphIndex {
+            interner: Interner::from_names(raw.names),
+            relations: raw
+                .relations
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| RelationInfo {
+                    name: Symbol(i as u32),
+                    kind: r.kind,
+                    declared: r.declared.into_iter().map(ColumnId).collect(),
+                    col_start: r.col_start,
+                    col_end: r.col_end,
+                })
+                .collect(),
+            columns: raw
+                .columns
+                .into_iter()
+                .map(|(rel, sym)| (RelationId(rel), Symbol(sym)))
+                .collect(),
+            fwd: csr(raw.fwd),
+            rev: csr(raw.rev),
+            tbl_fwd: csr(raw.tbl_fwd),
+            tbl_rev: csr(raw.tbl_rev),
+        }
+    }
+}
+
+/// One CSR as plain arrays: `(offsets, edges)`.
+pub(crate) type RawCsr = (Vec<u32>, Vec<(u32, EdgeKind)>);
+
+/// One relation record of a [`RawGraphIndex`]; the relation's name
+/// symbol is its position in the list.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RawRelation {
+    pub kind: Option<NodeKind>,
+    pub declared: Vec<u32>,
+    pub col_start: u32,
+    pub col_end: u32,
+}
+
+/// The dense arrays behind a [`GraphIndex`], exposed to the binary
+/// snapshot codec (`crate::snapshot`) so a persisted index can be
+/// reloaded without paying a full rebuild.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RawGraphIndex {
+    /// The interner's name table (symbol `i` is `names[i]`; the first
+    /// `relations.len()` entries are the relation names, in id order).
+    pub names: Vec<String>,
+    pub relations: Vec<RawRelation>,
+    /// Per column: `(relation id, name symbol)`.
+    pub columns: Vec<(u32, u32)>,
+    pub fwd: RawCsr,
+    pub rev: RawCsr,
+    pub tbl_fwd: RawCsr,
+    pub tbl_rev: RawCsr,
 }
 
 /// A cheap structural fingerprint of a graph, used by
@@ -592,6 +709,14 @@ impl GraphIndexCache {
     /// Drop the cached index (the graph changed, or is about to).
     pub fn invalidate(&mut self) {
         self.slot = None;
+    }
+
+    /// Seed the cache with a pre-built index at a caller-managed
+    /// revision, e.g. one deserialised from a snapshot: the next
+    /// [`GraphIndexCache::get_or_build_at`] at that revision is a hit
+    /// instead of a rebuild.
+    pub fn prime_at(&mut self, revision: u64, index: Arc<GraphIndex>) {
+        self.slot = Some((CacheKey::Revision(revision), index));
     }
 
     /// Whether an index is currently cached.
@@ -790,6 +915,47 @@ mod tests {
         let second = cache.get_or_build(&g);
         assert!(!Arc::ptr_eq(&first, &second), "a length-changing swap must rebuild");
         assert!(second.lookup_column("base", "a_renamed").is_some());
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_the_index() {
+        let g = graph();
+        let index = GraphIndex::build(&g);
+        let rebuilt = GraphIndex::from_raw(index.to_raw());
+        assert_eq!(rebuilt.column_count(), index.column_count());
+        assert_eq!(rebuilt.relation_count(), index.relation_count());
+        assert_eq!(rebuilt.edge_count(), index.edge_count());
+        for i in 0..index.column_count() {
+            let col = ColumnId(i as u32);
+            assert_eq!(rebuilt.source_column(col), index.source_column(col));
+            assert_eq!(rebuilt.out_edges(col), index.out_edges(col));
+            assert_eq!(rebuilt.in_edges(col), index.in_edges(col));
+        }
+        for i in 0..index.relation_count() {
+            let rel = RelationId(i as u32);
+            assert_eq!(rebuilt.relation_name(rel), index.relation_name(rel));
+            assert_eq!(rebuilt.relation_kind(rel), index.relation_kind(rel));
+            assert_eq!(rebuilt.declared_columns(rel), index.declared_columns(rel));
+            assert_eq!(rebuilt.table_out(rel), index.table_out(rel));
+            assert_eq!(rebuilt.table_in(rel), index.table_in(rel));
+        }
+        // Lookups go through the rebuilt interner's hash table.
+        assert_eq!(rebuilt.lookup_relation("mid"), index.lookup_relation("mid"));
+        assert_eq!(rebuilt.lookup_column("mid", "b"), index.lookup_column("mid", "b"));
+        assert!(rebuilt.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn primed_cache_serves_the_seeded_index() {
+        let g = graph();
+        let index = Arc::new(GraphIndex::build(&g));
+        let mut cache = GraphIndexCache::new();
+        cache.prime_at(42, Arc::clone(&index));
+        assert!(cache.is_cached());
+        let served = cache.get_or_build_at(42, &g);
+        assert!(Arc::ptr_eq(&served, &index), "a primed revision must hit");
+        let rebuilt = cache.get_or_build_at(43, &g);
+        assert!(!Arc::ptr_eq(&rebuilt, &index), "a later revision rebuilds");
     }
 
     #[test]

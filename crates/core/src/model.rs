@@ -374,6 +374,42 @@ impl LineageGraph {
         self.nodes.values().map(|n| n.columns.len()).sum()
     }
 
+    /// A cheap O(nodes + lineage entries) estimate of this graph's heap
+    /// footprint in bytes — string payloads plus per-allocation overhead,
+    /// ignoring the `BTreeMap` internals. Feeds the
+    /// `engine.peak_graph_bytes` gauge; it is a capacity-planning signal,
+    /// not an allocator-accurate measurement.
+    pub fn approx_bytes(&self) -> usize {
+        fn str_bytes(s: &str) -> usize {
+            s.len() + 24
+        }
+        fn source_bytes(sc: &SourceColumn) -> usize {
+            str_bytes(&sc.table) + str_bytes(&sc.column)
+        }
+        let mut total = 0usize;
+        for (key, node) in &self.nodes {
+            total += str_bytes(key) + str_bytes(&node.name);
+            total += node.columns.iter().map(|c| str_bytes(c)).sum::<usize>();
+        }
+        for (key, q) in &self.queries {
+            total += str_bytes(key) + str_bytes(&q.id);
+            for out in &q.outputs {
+                total += str_bytes(&out.name);
+                total += out.ccon.iter().map(source_bytes).sum::<usize>();
+            }
+            total += q.cref.iter().map(source_bytes).sum::<usize>();
+            total += q.tables.iter().map(|t| str_bytes(t)).sum::<usize>();
+            for d in &q.diagnostics {
+                total += str_bytes(&d.message)
+                    + d.statement.as_deref().map_or(0, str_bytes)
+                    + d.excerpt.as_deref().map_or(0, str_bytes)
+                    + std::mem::size_of::<Diagnostic>();
+            }
+        }
+        total += self.order.iter().map(|id| str_bytes(id)).sum::<usize>();
+        total
+    }
+
     /// Summary statistics of the graph (for reports and the CLI).
     pub fn stats(&self) -> GraphStats {
         let mut by_kind = BTreeMap::new();

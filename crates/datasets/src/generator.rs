@@ -390,6 +390,173 @@ fn generate_cte_view(
     (sql, outputs)
 }
 
+/// Knobs for the large-catalog tier: deep diamond DAGs plus wide
+/// fan-out marts, emitted in dependency order with linear string
+/// building, so 10k–100k view logs generate in milliseconds.
+///
+/// Each *component* is an independent pipeline over its own base table
+/// (`t_c{i}`): `depth` diamond steps (two filter branches joined back
+/// into a merge view) stacked end to end, topped by `fanout` leaf marts
+/// reading the final merge. Components share no relations, which is
+/// exactly the shape component-sharded scheduling exploits.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// RNG seed; equal seeds give byte-identical SQL.
+    pub seed: u64,
+    /// Number of independent pipeline components.
+    pub components: usize,
+    /// Diamond steps per component (3 views each: two branches + merge).
+    pub depth: usize,
+    /// Leaf marts reading each component's top merge view.
+    pub fanout: usize,
+}
+
+impl ScaleConfig {
+    /// A config with explicit shape knobs.
+    pub fn new(seed: u64, components: usize, depth: usize, fanout: usize) -> Self {
+        ScaleConfig { seed, components, depth, fanout }
+    }
+
+    /// A config sized to roughly `views` total views, using the default
+    /// shape (depth 50, fanout 50 → 200 views per component).
+    pub fn with_views(seed: u64, views: usize) -> Self {
+        let per_component = 3 * 50 + 50;
+        ScaleConfig {
+            seed,
+            components: views.div_ceil(per_component).max(1),
+            depth: 50,
+            fanout: 50,
+        }
+    }
+
+    /// Total views this config generates.
+    pub fn views(&self) -> usize {
+        self.components * (3 * self.depth + self.fanout)
+    }
+}
+
+/// A large-catalog workload: SQL in dependency order plus the handles
+/// the scale benchmarks need (a deep view and its downstream cone).
+#[derive(Debug, Clone)]
+pub struct ScaledWorkload {
+    /// Base-table DDL (one table per component).
+    pub ddl: String,
+    /// `CREATE VIEW` statements, no trailing semicolon, dependency order.
+    pub view_statements: Vec<String>,
+    /// View names in the same order.
+    pub view_names: Vec<String>,
+    /// A view at the bottom of component 0's diamond stack — redefining
+    /// it dirties the deepest possible cone.
+    pub deep_view: String,
+    /// `deep_view` plus everything downstream of it, in dependency order.
+    pub deep_cone: Vec<String>,
+}
+
+impl ScaledWorkload {
+    /// The full log (DDL + views) as one script, built with a single
+    /// pre-sized allocation — no quadratic re-copying at 100k views.
+    pub fn full_sql(&self) -> String {
+        let total =
+            self.ddl.len() + self.view_statements.iter().map(|s| s.len() + 2).sum::<usize>();
+        let mut out = String::with_capacity(total);
+        out.push_str(&self.ddl);
+        for stmt in &self.view_statements {
+            out.push('\n');
+            out.push_str(stmt);
+            out.push(';');
+        }
+        out
+    }
+
+    /// Total number of statements (DDL + views).
+    pub fn statement_count(&self) -> usize {
+        self.ddl.matches(';').count() + self.view_statements.len()
+    }
+
+    /// The `i`-th churn script step: a redefinition of [`Self::deep_view`]
+    /// whose predicate constant varies with `i`, so every step really
+    /// changes the definition and dirties the full deep cone.
+    pub fn churn_statement(&self, i: usize) -> String {
+        let base =
+            self.deep_view.split('_').next().map(|c| c.trim_start_matches('c')).unwrap_or("0");
+        format!(
+            "CREATE VIEW {} AS SELECT v0, v1, v2 FROM t_c{base} WHERE v1 > {}",
+            self.deep_view,
+            1000 + i
+        )
+    }
+}
+
+/// Generate a large-catalog workload. Statements come out in dependency
+/// order (each view only reads relations emitted before it), so batch
+/// ingestion never hits the deferral stack.
+pub fn generate_scaled(config: &ScaleConfig) -> ScaledWorkload {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let views = config.views();
+    let mut ddl = String::with_capacity(64 * config.components);
+    let mut view_statements = Vec::with_capacity(views);
+    let mut view_names = Vec::with_capacity(views);
+    let mut deep_cone = Vec::new();
+
+    for ci in 0..config.components {
+        let base = format!("t_c{ci}");
+        ddl.push_str(&format!("CREATE TABLE {base} (id int, v0 int, v1 int, v2 int);\n"));
+
+        let mut prev = base.clone();
+        let mut top = base.clone();
+        for d in 0..config.depth {
+            let a = format!("c{ci}_a{d}");
+            let b = format!("c{ci}_b{d}");
+            let m = format!("c{ci}_m{d}");
+            let ka: u32 = rng.gen_range(1..100);
+            let kb: u32 = rng.gen_range(1..100);
+            view_statements
+                .push(format!("CREATE VIEW {a} AS SELECT v0, v1, v2 FROM {prev} WHERE v1 > {ka}"));
+            view_statements
+                .push(format!("CREATE VIEW {b} AS SELECT v0, v1, v2 FROM {prev} WHERE v2 > {kb}"));
+            view_statements.push(format!(
+                "CREATE VIEW {m} AS SELECT a.v0 AS v0, a.v1 AS v1, b.v2 AS v2 \
+                 FROM {a} AS a JOIN {b} AS b ON a.v0 = b.v0"
+            ));
+            if ci == 0 {
+                // Everything from the first merge up is downstream of a0.
+                if d == 0 {
+                    deep_cone.push(a.clone());
+                } else {
+                    deep_cone.push(a.clone());
+                    deep_cone.push(b.clone());
+                }
+                deep_cone.push(m.clone());
+            }
+            view_names.push(a);
+            view_names.push(b);
+            view_names.push(m.clone());
+            prev = m.clone();
+            top = m;
+        }
+
+        for j in 0..config.fanout {
+            let leaf = format!("c{ci}_leaf{j}");
+            let col = ["v1", "v2"][rng.gen_range(0..2)];
+            let k: u32 = rng.gen_range(1..100);
+            view_statements.push(format!(
+                "CREATE VIEW {leaf} AS SELECT v0, {col} FROM {top} WHERE {col} > {k}"
+            ));
+            if ci == 0 && config.depth > 0 {
+                deep_cone.push(leaf.clone());
+            }
+            view_names.push(leaf);
+        }
+    }
+
+    let deep_view = if config.depth > 0 {
+        "c0_a0".to_string()
+    } else {
+        view_names.first().cloned().unwrap_or_default()
+    };
+    ScaledWorkload { ddl, view_statements, view_names, deep_view, deep_cone }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +608,45 @@ mod tests {
         if reads_view {
             assert!(!result.deferrals.is_empty());
         }
+    }
+
+    #[test]
+    fn scaled_generator_is_deterministic_at_10k_views() {
+        let config = ScaleConfig::with_views(11, 10_000);
+        assert!(config.views() >= 10_000);
+        let a = generate_scaled(&config);
+        let b = generate_scaled(&config);
+        assert_eq!(a.full_sql(), b.full_sql(), "same seed must be byte-identical");
+        assert_eq!(a.view_names.len(), config.views());
+        let c = generate_scaled(&ScaleConfig::with_views(12, 10_000));
+        assert_ne!(a.full_sql(), c.full_sql(), "different seeds must differ");
+    }
+
+    #[test]
+    fn scaled_workload_extracts_and_the_deep_cone_is_exact() {
+        let config = ScaleConfig::new(5, 3, 4, 2);
+        let workload = generate_scaled(&config);
+        assert_eq!(workload.view_names.len(), config.views());
+        let result = lineagex(&workload.full_sql())
+            .unwrap_or_else(|e| panic!("{e}\n{}", workload.full_sql()));
+        assert_eq!(result.graph.queries.len(), workload.view_names.len());
+        // Dependency order: no deferrals needed.
+        assert!(result.deferrals.is_empty());
+        // The recorded deep cone matches the graph's actual reachability.
+        let mut reachable = std::collections::BTreeSet::from([workload.deep_view.clone()]);
+        let mut frontier = vec![workload.deep_view.clone()];
+        while let Some(next) = frontier.pop() {
+            for down in result.graph.downstream_tables(&next) {
+                if reachable.insert(down.to_string()) {
+                    frontier.push(down.to_string());
+                }
+            }
+        }
+        let cone: std::collections::BTreeSet<String> = workload.deep_cone.iter().cloned().collect();
+        assert_eq!(cone, reachable);
+        // Churn statements really change the definition every step.
+        assert_ne!(workload.churn_statement(0), workload.churn_statement(1));
+        assert!(workload.churn_statement(3).contains(&workload.deep_view));
     }
 
     #[test]

@@ -21,5 +21,7 @@ pub mod groundtruth;
 pub mod mimic;
 pub mod tpch;
 
-pub use generator::{GeneratorConfig, PipelineWorkload};
+pub use generator::{
+    generate_scaled, GeneratorConfig, PipelineWorkload, ScaleConfig, ScaledWorkload,
+};
 pub use groundtruth::GroundTruth;

@@ -2,18 +2,19 @@
 
 use crate::cache::AstCache;
 use crate::deps::referenced_relations;
-use crate::schedule::{run_level, topo_levels};
+use crate::schedule::{components, run_level, run_tasks, topo_levels};
 use crate::stats::{EngineStats, IngestAction, StmtId};
 use lineagex_catalog::Catalog;
 use lineagex_core::{
     assemble_nodes, cycle_stub, extract_entry, preprocess_statement, Diagnostic, DiagnosticCode,
-    ExtractOptions, GraphIndex, GraphIndexCache, ImpactReport, LineageError, LineageGraph,
-    LineageResult, LineageView, PreprocessedStatement, QueryEntry, QueryKind, QuerySpec,
-    SourceColumn, TraceLog,
+    ExtractOptions, GraphIndex, GraphIndexCache, GraphSnapshot, ImpactReport, LineageError,
+    LineageGraph, LineageResult, LineageView, Node, NodeKind, PreprocessedStatement, QueryEntry,
+    QueryKind, QueryLineage, QuerySpec, SnapshotEntry, SourceColumn, TraceLog,
 };
-use lineagex_obs::{Counter, Histogram};
-use lineagex_sqlparse::ast::SpannedStatement;
+use lineagex_obs::{Counter, Gauge, Histogram};
+use lineagex_sqlparse::ast::{SpannedStatement, Statement};
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Engine-layer handles into the process-wide metrics registry. Created
@@ -37,6 +38,10 @@ struct EngineMetrics {
     ast_cache_misses: Counter,
     /// Traversal-index cache invalidations (refreshes + retractions).
     index_invalidations: Counter,
+    /// High-water mark of the published graph + index heap estimate.
+    peak_graph_bytes: Gauge,
+    /// Wall time of the most recent [`Engine::load_snapshot`], µs.
+    snapshot_load_us: Gauge,
 }
 
 impl Default for EngineMetrics {
@@ -51,6 +56,8 @@ impl Default for EngineMetrics {
             ast_cache_hits: registry.counter("engine.ast_cache.hits"),
             ast_cache_misses: registry.counter("engine.ast_cache.misses"),
             index_invalidations: registry.counter("engine.index_invalidations"),
+            peak_graph_bytes: registry.gauge("engine.peak_graph_bytes"),
+            snapshot_load_us: registry.gauge("engine.snapshot_load_us"),
         }
     }
 }
@@ -65,6 +72,15 @@ pub struct EngineOptions {
     pub extract: ExtractOptions,
     /// Maximum scripts held by the AST cache (0 disables it).
     pub ast_cache_capacity: usize,
+    /// Partition each refresh's dirty cone into connected components of
+    /// the dependency DAG and extract unrelated components in parallel
+    /// (the default). `false` keeps every component behind one global
+    /// level barrier — the pre-sharding scheduler, retained for
+    /// benchmarking and as an equivalence oracle. Both modes produce
+    /// identical settled graphs for fully-defined logs; they can
+    /// attribute usage-inferred external schemas to different inferring
+    /// queries when disconnected components share an undefined relation.
+    pub shard_components: bool,
 }
 
 impl Default for EngineOptions {
@@ -73,6 +89,7 @@ impl Default for EngineOptions {
             jobs: 1,
             extract: ExtractOptions::default(),
             ast_cache_capacity: crate::cache::DEFAULT_CAPACITY,
+            shard_components: true,
         }
     }
 }
@@ -81,13 +98,56 @@ impl Default for EngineOptions {
 /// dependencies (the engine's edge set of the view dependency DAG).
 #[derive(Debug, Clone)]
 struct EntryState {
-    entry: QueryEntry,
+    slot: EntrySlot,
     /// Relations the defining query scans, as written (matches
     /// dictionary ids case-sensitively, like the extractor).
     deps: BTreeSet<String>,
     /// The same, normalised for invalidation matching against catalog
     /// relations (which are case-insensitive).
     deps_norm: BTreeSet<String>,
+}
+
+/// An entry's definition: parsed (live ingests) or cold SQL text
+/// (snapshot-loaded). Cold entries carry everything scheduling needs —
+/// the dependency sets live on [`EntryState`] — and are hydrated
+/// (re-parsed and re-preprocessed) only when they actually become dirty,
+/// so loading a 100k-view snapshot parses nothing. The parsed entry
+/// stays boxed (as the preprocessor hands it over) so a cold dictionary
+/// costs one `String` per entry, not a `QueryEntry`-sized slot.
+#[derive(Debug, Clone)]
+enum EntrySlot {
+    Parsed(Box<QueryEntry>),
+    Cold { sql: String },
+}
+
+impl EntryState {
+    /// Whether this entry's definition is the same statement, without
+    /// hydrating: cold entries compare the incoming statement's canonical
+    /// rendering against the stored text (which is itself a rendering).
+    fn same_statement(&self, statement: &Statement) -> bool {
+        match &self.slot {
+            EntrySlot::Parsed(entry) => entry.statement == *statement,
+            EntrySlot::Cold { sql } => *sql == statement.to_string(),
+        }
+    }
+
+    /// The parsed entry; panics if the entry is still cold. Every dirty
+    /// entry is hydrated at the top of a refresh, so extraction-side
+    /// callers can rely on this.
+    fn parsed(&self) -> &QueryEntry {
+        match &self.slot {
+            EntrySlot::Parsed(entry) => entry,
+            EntrySlot::Cold { .. } => unreachable!("dirty entries are hydrated before extraction"),
+        }
+    }
+
+    /// The definition's SQL text, rendering when parsed.
+    fn sql_text(&self) -> String {
+        match &self.slot {
+            EntrySlot::Parsed(entry) => entry.statement.to_string(),
+            EntrySlot::Cold { sql } => sql.clone(),
+        }
+    }
 }
 
 /// An immutable, revision-stamped view of a settled engine, published by
@@ -156,7 +216,21 @@ pub struct Engine {
     options: EngineOptions,
     catalog: Catalog,
     entries: BTreeMap<String, EntryState>,
-    graph: LineageGraph,
+    /// Mirror of `entries`' key set, maintained on every insert/remove so
+    /// a refresh doesn't re-collect 100k ids just to pass them to the
+    /// extractor.
+    qd_ids: BTreeSet<String>,
+    /// Reverse dependency index: normalised relation name → ids of the
+    /// entries scanning it. Turns dirty-cone closure into a worklist walk
+    /// proportional to the cone, instead of a fixpoint over the whole
+    /// entry table.
+    rdeps: BTreeMap<String, BTreeSet<String>>,
+    /// The settled graph, copy-on-write: [`Engine::publish`] and
+    /// [`Engine::load_snapshot`] share this `Arc` with served snapshots
+    /// for free, and the first mutation after a share pays one clone
+    /// (`Arc::make_mut`) — exactly the clone `publish` used to pay every
+    /// new revision, moved off the read/cold-start path.
+    graph: Arc<LineageGraph>,
     /// Usage-inferred external schemas, attributed per inferring query so
     /// retraction can take them back out.
     inferred_by_query: BTreeMap<String, BTreeMap<String, BTreeSet<String>>>,
@@ -193,6 +267,18 @@ pub struct Engine {
     /// never touches engine state, so instrumentation is invisible to
     /// the incremental ≡ batch and `jobs`-independence invariants.
     metrics: EngineMetrics,
+    /// Running total of per-query extraction diagnostics on the settled
+    /// graph, maintained through [`Engine::merge_lineage`] /
+    /// [`Engine::retract_lineage`] so diagnostic accounting never walks
+    /// the whole query map.
+    graph_diag_count: u64,
+    /// Whether `graph.nodes` is up to date enough for *incremental*
+    /// resettling. Starts `false` (the first refresh always assembles in
+    /// full) and drops back to `false` on the rare mutations whose node
+    /// fallout isn't cone-shaped: catalog changes, `DROP` retractions,
+    /// and cycle stubs. Steady-state view churn keeps it `true`, so a
+    /// refresh only touches nodes in the dirty cone.
+    nodes_settled: bool,
     anon_counter: usize,
     seq: u64,
 }
@@ -213,6 +299,19 @@ impl Engine {
     pub fn with_catalog(mut self, catalog: Catalog) -> Self {
         self.catalog = catalog;
         self
+    }
+
+    /// Merge base-table schemas into the live session catalog (the
+    /// incoming definition wins on collision), dirtying dependents of
+    /// every merged relation. This is how a snapshot-restored server
+    /// applies a preload catalog *on top of* the snapshot's own catalog
+    /// instead of clobbering it.
+    pub fn merge_catalog(&mut self, catalog: Catalog) {
+        for schema in catalog.relations() {
+            self.dirty_relations.insert(normalize(&schema.name));
+            self.catalog.add_or_replace(schema.clone());
+            self.nodes_settled = false;
+        }
     }
 
     /// Ingest a `;`-separated script: parse (served from the AST cache on
@@ -327,6 +426,11 @@ impl Engine {
         for change in &catalog_changes {
             self.dirty_relations.insert(normalize(change.relation()));
         }
+        if !catalog_changes.is_empty() {
+            // Catalog fallout isn't cone-shaped (a schema can shadow or
+            // unshadow any node), so the next refresh assembles in full.
+            self.nodes_settled = false;
+        }
         let preprocessed = {
             let entries = &self.entries;
             preprocess_statement(stmt, None, &mut self.anon_counter, &mut |id| {
@@ -337,7 +441,7 @@ impl Engine {
             PreprocessedStatement::Entry(entry) => {
                 let id = entry.id.clone();
                 match self.entries.get(&id) {
-                    Some(old) if old.entry.statement == entry.statement => {
+                    Some(old) if old.same_statement(&entry.statement) => {
                         self.stats.unchanged += 1;
                         (id, IngestAction::Unchanged, Vec::new())
                     }
@@ -369,9 +473,10 @@ impl Engine {
                             // redefinition must re-extract this entry.
                             deps.insert(id.split('#').next().unwrap_or(&id).to_string());
                         }
-                        let deps_norm = deps.iter().map(|d| normalize(d)).collect();
-                        self.entries
-                            .insert(id.clone(), EntryState { entry: *entry, deps, deps_norm });
+                        let deps_norm: BTreeSet<String> =
+                            deps.iter().map(|d| normalize(d)).collect();
+                        let state = EntryState { slot: EntrySlot::Parsed(entry), deps, deps_norm };
+                        self.link_entry(id.clone(), state);
                         self.dirty_entries.insert(id.clone());
                         self.dirty_relations.insert(normalize(&id));
                         (id, action, diagnostics)
@@ -386,15 +491,17 @@ impl Engine {
             PreprocessedStatement::Drop(names, span) => {
                 let mut touched = catalog_changes.len() as u64;
                 for name in &names {
-                    if self.entries.remove(name).is_some() {
+                    if let Some(old) = self.entries.remove(name) {
                         touched += 1;
-                        self.graph.retract_query(name);
+                        self.unlink_entry(name, &old);
+                        self.retract_lineage(name);
                         // The retraction mutated the settled graph
                         // directly (no refresh will run unless something
                         // is dirty), so the traversal index is stale now.
                         self.graph_revision += 1;
                         self.index_cache.invalidate();
                         self.metrics.index_invalidations.inc();
+                        self.nodes_settled = false;
                         self.traces.remove(name);
                         self.inferred_by_query.remove(name);
                         self.dirty_entries.remove(name);
@@ -426,9 +533,16 @@ impl Engine {
     }
 
     /// Settle all pending invalidations: close the dirty set over the
-    /// dependency DAG (downstream cones of every changed relation),
-    /// topologically level it, and (re-)extract — in parallel when
-    /// `jobs > 1`. Returns the number of extractions performed.
+    /// reverse-dependency index (downstream cones of every changed
+    /// relation), partition it into connected components of the
+    /// dependency DAG, and (re-)extract — unrelated components in
+    /// parallel when `jobs > 1`. Returns the number of extractions
+    /// performed.
+    ///
+    /// Every step is proportional to the touched cone, never the whole
+    /// catalog: closure walks the reverse-dependency index, scheduling
+    /// levels only the cone, and node settling re-derives only nodes the
+    /// cone (or its inferred-schema fallout) could have changed.
     ///
     /// On error, successfully extracted entries are kept and the failing
     /// ones (plus anything scheduled behind them) stay dirty, so a
@@ -448,106 +562,159 @@ impl Engine {
 
         // 1. Close the dirty set: an entry is dirty when marked directly
         //    or when any (transitive) upstream relation changed.
-        let dirty = self.close_over_dependents(self.dirty_entries.clone(), {
+        let mut dirty = self.close_over_dependents(self.dirty_entries.clone(), {
             let mut changed = self.dirty_relations.clone();
             changed.extend(self.dirty_entries.iter().map(|id| normalize(id)));
             changed
         });
 
-        // 2. Level the cone topologically; clean upstreams are already
-        //    settled in the graph and don't constrain the schedule. In
-        //    lenient mode a dependency cycle is broken like the batch
-        //    deferral stack breaks it: the member that closes the cycle
-        //    (the second-to-last element of the `[a, .., x, a]` path)
-        //    gets an empty partial stub carrying the cycle path, and the
-        //    rest of the cone extracts against the stub.
-        let mut dirty = dirty;
-        let levels = loop {
-            match topo_levels(&dirty, |id| self.entries[id].deps.clone()) {
-                Ok(levels) => break levels,
-                Err(cycle) => {
-                    if !self.options.extract.lenient {
-                        return Err(LineageError::DependencyCycle(cycle));
-                    }
-                    let id = cycle[cycle.len() - 2].clone();
-                    self.graph.retract_query(&id);
-                    self.traces.remove(&id);
-                    self.inferred_by_query.remove(&id);
-                    self.graph.merge_query(cycle_stub(&self.entries[&id].entry, &cycle));
-                    self.stats.extractions += 1;
-                    self.last_refresh_ids.push(id.clone());
-                    dirty.remove(&id);
-                    self.dirty_entries.remove(&id);
-                }
-            }
+        // 2. Hydrate snapshot-loaded entries on first dirt: cold slots
+        //    re-parse their stored definition here, and only here, so a
+        //    loaded session pays parsing per touched entry, not per
+        //    catalog entry.
+        let cold: Vec<String> = dirty
+            .iter()
+            .filter(|id| matches!(self.entries[id.as_str()].slot, EntrySlot::Cold { .. }))
+            .cloned()
+            .collect();
+        for id in &cold {
+            self.hydrate(id)?;
+        }
+
+        // 3. Partition the cone into connected components (or keep one
+        //    global component in the legacy scheduler) and level each
+        //    one topologically; clean upstreams are already settled in
+        //    the graph and don't constrain the schedule. In lenient mode
+        //    a dependency cycle is broken like the batch deferral stack
+        //    breaks it: the member that closes the cycle (the
+        //    second-to-last element of the `[a, .., x, a]` path) gets an
+        //    empty partial stub carrying the cycle path, and the rest of
+        //    the cone extracts against the stub.
+        let comps = if self.options.shard_components {
+            components(&dirty, |id| self.entries[id].deps.clone())
+        } else {
+            vec![dirty.clone()]
         };
+        let mut plans: Vec<ComponentPlan> = Vec::with_capacity(comps.len());
+        for mut members in comps {
+            let levels = loop {
+                match topo_levels(&members, |id| self.entries[id].deps.clone()) {
+                    Ok(levels) => break levels,
+                    Err(cycle) => {
+                        if !self.options.extract.lenient {
+                            return Err(LineageError::DependencyCycle(cycle));
+                        }
+                        let id = cycle[cycle.len() - 2].clone();
+                        self.retract_lineage(&id);
+                        self.traces.remove(&id);
+                        self.inferred_by_query.remove(&id);
+                        let stub = cycle_stub(self.entries[&id].parsed(), &cycle);
+                        self.merge_lineage(stub);
+                        self.nodes_settled = false;
+                        self.stats.extractions += 1;
+                        self.last_refresh_ids.push(id.clone());
+                        members.remove(&id);
+                        dirty.remove(&id);
+                        self.dirty_entries.remove(&id);
+                    }
+                }
+            };
+            if !members.is_empty() {
+                plans.push(ComponentPlan { members, levels });
+            }
+        }
         self.metrics.dirty_cone_size.record(dirty.len() as u64);
 
-        // 3. Retract everything about to be re-extracted so stale lineage
-        //    can never leak into a dependent's extraction.
+        // 4. Retract everything about to be re-extracted so stale lineage
+        //    can never leak into a dependent's extraction. Inferred-schema
+        //    keys the retractions touched feed the node resettle below.
+        let mut inferred_touched: BTreeSet<String> = BTreeSet::new();
         for id in &dirty {
-            self.graph.retract_query(id);
+            self.retract_lineage(id);
             self.traces.remove(id);
-            self.inferred_by_query.remove(id);
+            if let Some(delta) = self.inferred_by_query.remove(id) {
+                inferred_touched.extend(delta.into_keys());
+            }
         }
 
-        // 4. Extract level by level. Within a level every entry sees the
-        //    same frozen snapshot (graph + inferred schemas), so parallel
-        //    and sequential execution produce identical results.
-        let qd_ids: BTreeSet<String> = self.entries.keys().cloned().collect();
-        let jobs = self.options.jobs;
+        // 5. Extract component by component. A single component keeps the
+        //    pre-sharding behaviour — `jobs` workers inside each level —
+        //    while multiple components put the workers *across*
+        //    components (one thread per component), which avoids the
+        //    global level barrier entirely. The mode depends only on the
+        //    component count, never on `jobs`, so results stay
+        //    `jobs`-independent.
+        let base_inferred = self.merged_inferred();
+        let jobs = self.options.jobs.max(1);
+        let outer_jobs = jobs.min(plans.len().max(1));
+        let inner_jobs = if plans.len() <= 1 { jobs } else { 1 };
+        let outcomes = {
+            let plans = &plans;
+            let entries = &self.entries;
+            let settled = &self.graph.queries;
+            let qd_ids = &self.qd_ids;
+            let catalog = &self.catalog;
+            let options = &self.options.extract;
+            let base_inferred = &base_inferred;
+            let level_us = &self.metrics.refresh_level_us;
+            run_tasks(plans.len(), outer_jobs, move |ci| {
+                extract_component(
+                    &plans[ci],
+                    entries,
+                    settled,
+                    qd_ids,
+                    catalog,
+                    options,
+                    base_inferred,
+                    inner_jobs,
+                    level_us,
+                )
+            })
+        };
         let mut extracted = 0u64;
         let mut failure: Option<LineageError> = None;
-        for level in levels {
-            let _level_timer = self.metrics.refresh_level_us.time();
-            let snapshot = self.merged_inferred();
-            let results = {
-                let entries = &self.entries;
-                let processed = &self.graph.queries;
-                let catalog = &self.catalog;
-                let options = &self.options.extract;
-                let qd_ids = &qd_ids;
-                let snapshot = &snapshot;
-                run_level(&level, jobs, move |id| {
-                    let mut inferred = snapshot.clone();
-                    extract_entry(
-                        &entries[id].entry,
-                        qd_ids,
-                        processed,
-                        catalog,
-                        options,
-                        &mut inferred,
-                    )
-                    .map(|(lineage, trace)| (lineage, trace, inferred_delta(snapshot, inferred)))
-                })
-            };
-            for (id, result) in results {
-                match result {
-                    Ok((lineage, trace, delta)) => {
-                        extracted += 1;
-                        self.dirty_entries.remove(&id);
-                        self.last_refresh_ids.push(id.clone());
-                        self.graph.merge_query(lineage);
-                        if let Some(trace) = trace {
-                            self.traces.insert(id.clone(), trace);
-                        }
-                        if !delta.is_empty() {
-                            self.inferred_by_query.insert(id, delta);
-                        }
+        for (id, result) in outcomes.into_iter().flatten() {
+            match result {
+                Ok((lineage, trace, delta)) => {
+                    extracted += 1;
+                    self.dirty_entries.remove(&id);
+                    self.last_refresh_ids.push(id.clone());
+                    self.merge_lineage(lineage);
+                    if let Some(trace) = trace {
+                        self.traces.insert(id.clone(), trace);
                     }
-                    Err(error) => {
-                        failure.get_or_insert(error);
+                    if !delta.is_empty() {
+                        inferred_touched.extend(delta.keys().cloned());
+                        self.inferred_by_query.insert(id, delta);
                     }
                 }
-            }
-            if failure.is_some() {
-                break;
+                Err(error) => {
+                    failure.get_or_insert(error);
+                }
             }
         }
 
-        // 5. Settle the node map (catalog / query / external shadowing).
-        self.graph.nodes =
-            assemble_nodes(&self.catalog, &self.graph.queries, &self.merged_inferred());
+        // 6. Settle the node map (catalog / query / external shadowing).
+        //    Steady-state view churn resettles only the touched keys;
+        //    catalog changes, drops, and cycle stubs fall back to one
+        //    full assembly (and re-arm the incremental path).
+        if self.nodes_settled {
+            self.resettle_nodes(&dirty, inferred_touched);
+        } else {
+            let nodes = assemble_nodes(&self.catalog, &self.graph.queries, &self.merged_inferred());
+            Arc::make_mut(&mut self.graph).nodes = nodes;
+            self.nodes_settled = true;
+        }
+        debug_assert_eq!(
+            self.graph.nodes,
+            assemble_nodes(&self.catalog, &self.graph.queries, &self.merged_inferred()),
+            "incremental node settle must match full assembly"
+        );
+        debug_assert_eq!(
+            self.graph_diag_count,
+            self.graph.queries.values().map(|q| q.diagnostics.len() as u64).sum::<u64>(),
+            "running diagnostic count must match a recount"
+        );
         self.stats.extractions += extracted;
         self.stats.last_refresh_extractions = extracted;
         self.stats.refreshes += 1;
@@ -564,6 +731,112 @@ impl Engine {
                     dirty.into_iter().filter(|id| !self.graph.queries.contains_key(id)).collect();
                 self.dirty_relations.clear();
                 Err(error)
+            }
+        }
+    }
+
+    /// Re-parse a snapshot-loaded (cold) entry's stored definition into a
+    /// live [`QueryEntry`]. No-op for already-parsed entries.
+    fn hydrate(&mut self, id: &str) -> Result<(), LineageError> {
+        let sql = match &self.entries[id].slot {
+            EntrySlot::Parsed(_) => return Ok(()),
+            EntrySlot::Cold { sql } => sql.clone(),
+        };
+        let statements = lineagex_sqlparse::parse_sql_spanned(&sql).map_err(|e| {
+            LineageError::Snapshot(format!("snapshot entry \"{id}\" no longer parses: {e}"))
+        })?;
+        let stmt = statements
+            .into_iter()
+            .next()
+            .ok_or_else(|| LineageError::Snapshot(format!("snapshot entry \"{id}\" is empty")))?;
+        // The stored text is one statement rendered from one entry, so
+        // preprocessing is deterministic; the anonymous counter and the
+        // duplicate-id probe are irrelevant here because the id is
+        // pinned to the dictionary key afterwards.
+        let mut counter = 0usize;
+        match preprocess_statement(stmt, None, &mut counter, &mut |_| false) {
+            PreprocessedStatement::Entry(mut entry) => {
+                entry.id = id.to_string();
+                self.entries.get_mut(id).expect("hydrating a live entry").slot =
+                    EntrySlot::Parsed(entry);
+                Ok(())
+            }
+            _ => Err(LineageError::Snapshot(format!(
+                "snapshot entry \"{id}\" is not a lineage query"
+            ))),
+        }
+    }
+
+    /// Re-derive the node-map keys this refresh could have changed: the
+    /// dirty ids themselves, their `table#N` write clusters (a write's
+    /// node merges the base node's columns), and every relation whose
+    /// usage-inferred schema was touched. Mirrors [`assemble_nodes`]'s
+    /// shadowing rules key by key; the refresh `debug_assert` checks the
+    /// mirror against a full assembly.
+    fn resettle_nodes(&mut self, dirty: &BTreeSet<String>, inferred_touched: BTreeSet<String>) {
+        let mut touched = inferred_touched;
+        for id in dirty {
+            touched.insert(id.clone());
+            let base = id.split('#').next().unwrap_or(id).to_string();
+            let prefix = format!("{base}#");
+            for key in self
+                .graph
+                .queries
+                .range(base.clone()..)
+                .map(|(key, _)| key)
+                .take_while(|key| **key == base || key.starts_with(&prefix))
+            {
+                touched.insert(key.clone());
+            }
+            touched.insert(base);
+        }
+        let merged = self.merged_inferred();
+        let catalog = &self.catalog;
+        let graph = Arc::make_mut(&mut self.graph);
+        for key in &touched {
+            let node = if let Some(lineage) = graph.queries.get(key) {
+                let mut columns: Vec<String> =
+                    lineage.outputs.iter().map(|o| o.name.clone()).collect();
+                if matches!(lineage.kind, QueryKind::Insert | QueryKind::Update) {
+                    // Mirror full assembly's insertion order: when the
+                    // write's base is itself a settled query it was
+                    // (re)derived before this `base#N` key (`base` sorts
+                    // first and `touched` is iterated in order);
+                    // otherwise the node the full pass consulted at that
+                    // point is the catalog's.
+                    let base = key.split('#').next().unwrap_or(key);
+                    let existing = if base != key && graph.queries.contains_key(base) {
+                        graph.nodes.get(base).cloned()
+                    } else {
+                        catalog_node(catalog, base)
+                    };
+                    if let Some(existing) = existing {
+                        let mut merged_columns = existing.columns;
+                        for column in columns {
+                            if !merged_columns.contains(&column) {
+                                merged_columns.push(column);
+                            }
+                        }
+                        columns = merged_columns;
+                    }
+                }
+                Some(Node { name: key.clone(), kind: NodeKind::for_query(&lineage.kind), columns })
+            } else if let Some(node) = catalog_node(catalog, key) {
+                Some(node)
+            } else {
+                merged.get(key).map(|columns| Node {
+                    name: key.clone(),
+                    kind: NodeKind::External,
+                    columns: columns.iter().cloned().collect(),
+                })
+            };
+            match node {
+                Some(node) => {
+                    graph.nodes.insert(key.clone(), node);
+                }
+                None => {
+                    graph.nodes.remove(key);
+                }
             }
         }
     }
@@ -588,7 +861,7 @@ impl Engine {
     /// ingests.
     pub fn snapshot(&mut self) -> Result<LineageGraph, LineageError> {
         self.refresh()?;
-        Ok(self.graph.clone())
+        Ok((*self.graph).clone())
     }
 
     /// The current settled-graph revision. Monotonic: every graph
@@ -617,8 +890,17 @@ impl Engine {
         let graph = match &self.published {
             Some((revision, graph)) if *revision == self.graph_revision => Arc::clone(graph),
             _ => {
-                let graph = Arc::new(self.graph.clone());
+                // Copy-on-write: the engine's next graph mutation pays
+                // the clone (`Arc::make_mut`), not this publish.
+                let graph = Arc::clone(&self.graph);
                 self.published = Some((self.graph_revision, Arc::clone(&graph)));
+                // A fresh revision is the natural high-water-mark probe:
+                // the estimate covers exactly what a server now retains
+                // (settled graph + interned index).
+                let bytes = (graph.approx_bytes() + index.approx_bytes()) as i64;
+                if bytes > self.metrics.peak_graph_bytes.get() {
+                    self.metrics.peak_graph_bytes.set(bytes);
+                }
                 graph
             }
         };
@@ -630,6 +912,147 @@ impl Engine {
             stats: self.stats.clone(),
             entries: self.entries.len(),
         })
+    }
+
+    /// Settle pending work and persist the whole session — catalog,
+    /// settled graph, interned traversal index, session diagnostics,
+    /// inferred schemas, dictionary entries, revision, and counters — to
+    /// `path` in the versioned binary snapshot format
+    /// ([`lineagex_core::snapshot`]).
+    ///
+    /// A session restored with [`Engine::load_snapshot`] answers every
+    /// query identically to this one without re-parsing or re-extracting
+    /// anything: entry definitions are stored as SQL text and re-parsed
+    /// lazily, only if a later ingest actually dirties them. Traversal
+    /// traces are the one thing deliberately not persisted (they are a
+    /// debugging aid, unbounded, and reproducible by re-extracting).
+    pub fn save_snapshot(&mut self, path: &Path) -> Result<(), LineageError> {
+        self.refresh()?;
+        let index = self.index_cache.get_or_build_at(self.graph_revision, &self.graph);
+        let entries = self
+            .entries
+            .iter()
+            .map(|(id, state)| SnapshotEntry {
+                id: id.clone(),
+                sql: state.sql_text(),
+                deps: state.deps.iter().cloned().collect(),
+                deps_norm: state.deps_norm.iter().cloned().collect(),
+            })
+            .collect();
+        let snapshot = GraphSnapshot {
+            catalog: self.catalog.clone(),
+            graph: (*self.graph).clone(),
+            index: (*index).clone(),
+            diagnostics: self.session_diagnostics.clone(),
+            inferred: self.inferred_by_query.clone(),
+            entries,
+            revision: self.graph_revision,
+            counters: self.counters_out(),
+        };
+        lineagex_core::write_snapshot_file(path, &snapshot)?;
+        Ok(())
+    }
+
+    /// Restore a session persisted by [`Engine::save_snapshot`]: decode,
+    /// rebuild the in-memory indexes (reverse dependencies, id mirror),
+    /// and prime the traversal-index cache at the stored revision — no
+    /// SQL is parsed and nothing is extracted, so cold-start cost is
+    /// decode-bound. Corrupted, truncated, or version-mismatched files
+    /// fail with a typed [`LineageError::Snapshot`], never a panic.
+    pub fn load_snapshot(path: &Path, options: EngineOptions) -> Result<Engine, LineageError> {
+        let start = std::time::Instant::now();
+        let snapshot = lineagex_core::read_snapshot_file(path)?;
+        let mut engine = Engine::with_options(options);
+        engine.catalog = snapshot.catalog;
+        engine.graph = Arc::new(snapshot.graph);
+        // Prime the publish slot: a server's first publish after loading
+        // is then an `Arc` bump, not a 10k-query graph clone.
+        engine.published = Some((snapshot.revision, Arc::clone(&engine.graph)));
+        engine.session_diagnostics = snapshot.diagnostics;
+        engine.inferred_by_query = snapshot.inferred;
+        // Bulk-build the dictionary and its reverse-dependency index:
+        // snapshot entries arrive sorted by id, so collecting pairs and
+        // building each tree once beats 10k+ `link_entry` rebalances.
+        let mut rdep_pairs: Vec<(String, String)> = Vec::new();
+        let mut states: Vec<(String, EntryState)> = Vec::with_capacity(snapshot.entries.len());
+        for entry in snapshot.entries {
+            let SnapshotEntry { id, sql, deps, deps_norm } = entry;
+            let state = EntryState {
+                slot: EntrySlot::Cold { sql },
+                deps: deps.into_iter().collect(),
+                deps_norm: deps_norm.into_iter().collect(),
+            };
+            for dep in &state.deps_norm {
+                rdep_pairs.push((dep.clone(), id.clone()));
+            }
+            states.push((id, state));
+        }
+        engine.qd_ids = states.iter().map(|(id, _)| id.clone()).collect();
+        engine.entries = states.into_iter().collect();
+        rdep_pairs.sort();
+        let mut rdeps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (dep, id) in rdep_pairs {
+            rdeps.entry(dep).or_default().insert(id);
+        }
+        engine.rdeps = rdeps;
+        engine.graph_revision = snapshot.revision;
+        let index = Arc::new(snapshot.index);
+        let bytes = (engine.graph.approx_bytes() + index.approx_bytes()) as i64;
+        if bytes > engine.metrics.peak_graph_bytes.get() {
+            engine.metrics.peak_graph_bytes.set(bytes);
+        }
+        engine.index_cache.prime_at(snapshot.revision, index);
+        for (name, value) in snapshot.counters {
+            engine.restore_counter(&name, value);
+        }
+        engine.graph_diag_count =
+            engine.graph.queries.values().map(|q| q.diagnostics.len() as u64).sum();
+        engine.settle_diagnostic_count();
+        engine.metrics.snapshot_load_us.set(start.elapsed().as_micros() as i64);
+        Ok(engine)
+    }
+
+    /// The session counters as stable-named pairs for the snapshot codec.
+    fn counters_out(&self) -> Vec<(String, u64)> {
+        vec![
+            ("stats.statements".into(), self.stats.statements),
+            ("stats.defined".into(), self.stats.defined),
+            ("stats.redefinitions".into(), self.stats.redefinitions),
+            ("stats.unchanged".into(), self.stats.unchanged),
+            ("stats.drops".into(), self.stats.drops),
+            ("stats.parse_failures".into(), self.stats.parse_failures),
+            ("stats.diagnostics".into(), self.stats.diagnostics),
+            ("stats.extractions".into(), self.stats.extractions),
+            ("stats.last_refresh_extractions".into(), self.stats.last_refresh_extractions),
+            ("stats.refreshes".into(), self.stats.refreshes),
+            ("stats.parse_cache_hits".into(), self.stats.parse_cache_hits),
+            ("stats.parse_cache_misses".into(), self.stats.parse_cache_misses),
+            ("engine.anon_counter".into(), self.anon_counter as u64),
+            ("engine.seq".into(), self.seq),
+        ]
+    }
+
+    /// Restore one snapshot counter by name; unknown names are ignored so
+    /// old engines load snapshots from newer writers of the same format
+    /// version.
+    fn restore_counter(&mut self, name: &str, value: u64) {
+        match name {
+            "stats.statements" => self.stats.statements = value,
+            "stats.defined" => self.stats.defined = value,
+            "stats.redefinitions" => self.stats.redefinitions = value,
+            "stats.unchanged" => self.stats.unchanged = value,
+            "stats.drops" => self.stats.drops = value,
+            "stats.parse_failures" => self.stats.parse_failures = value,
+            "stats.diagnostics" => self.stats.diagnostics = value,
+            "stats.extractions" => self.stats.extractions = value,
+            "stats.last_refresh_extractions" => self.stats.last_refresh_extractions = value,
+            "stats.refreshes" => self.stats.refreshes = value,
+            "stats.parse_cache_hits" => self.stats.parse_cache_hits = value,
+            "stats.parse_cache_misses" => self.stats.parse_cache_misses = value,
+            "engine.anon_counter" => self.anon_counter = value as usize,
+            "engine.seq" => self.seq = value,
+            _ => {}
+        }
     }
 
     /// Full lineage of one output column, `C_con(c) ∪ C_ref(Q)`.
@@ -655,7 +1078,7 @@ impl Engine {
     pub fn result(&mut self) -> Result<LineageResult, LineageError> {
         self.refresh()?;
         Ok(LineageResult {
-            graph: self.graph.clone(),
+            graph: (*self.graph).clone(),
             traces: self.traces.clone(),
             deferrals: Vec::new(),
             inferred: self.merged_inferred(),
@@ -673,12 +1096,7 @@ impl Engine {
 
     /// Entries directly scanning `relation` (one dirty-propagation hop).
     pub fn dependents_of(&self, relation: &str) -> BTreeSet<String> {
-        let needle = normalize(relation);
-        self.entries
-            .iter()
-            .filter(|(_, state)| state.deps_norm.contains(&needle))
-            .map(|(id, _)| id.clone())
-            .collect()
+        self.rdeps.get(&normalize(relation)).cloned().unwrap_or_default()
     }
 
     /// `relation` plus everything transitively downstream of it — the set
@@ -691,26 +1109,72 @@ impl Engine {
         self.close_over_dependents(seed, BTreeSet::from([normalize(relation)]))
     }
 
-    /// Fixpoint closure over the dependency DAG: grow `entries` with every
-    /// entry depending (transitively) on a relation in `changed`, treating
-    /// each newly-added entry's own relation as changed too.
+    /// Closure over the dependency DAG: grow `entries` with every entry
+    /// depending (transitively) on a relation in `changed`, treating each
+    /// newly-added entry's own relation as changed too. A worklist walk
+    /// over the reverse-dependency index, so cost is proportional to the
+    /// resulting cone — not to the size of the dictionary.
     fn close_over_dependents(
         &self,
         mut entries: BTreeSet<String>,
-        mut changed: BTreeSet<String>,
+        changed: BTreeSet<String>,
     ) -> BTreeSet<String> {
-        loop {
-            let mut grew = false;
-            for (id, state) in &self.entries {
-                if !entries.contains(id) && state.deps_norm.iter().any(|d| changed.contains(d)) {
-                    entries.insert(id.clone());
-                    changed.insert(normalize(id));
-                    grew = true;
+        let mut seen: BTreeSet<String> = changed;
+        let mut queue: Vec<String> = seen.iter().cloned().collect();
+        while let Some(relation) = queue.pop() {
+            if let Some(dependents) = self.rdeps.get(&relation) {
+                for id in dependents {
+                    if entries.insert(id.clone()) {
+                        let norm = normalize(id);
+                        if seen.insert(norm.clone()) {
+                            queue.push(norm);
+                        }
+                    }
                 }
             }
-            if !grew {
-                return entries;
+        }
+        entries
+    }
+
+    /// Register (or re-register) a dictionary entry, keeping the id
+    /// mirror and the reverse-dependency index in sync.
+    fn link_entry(&mut self, id: String, state: EntryState) {
+        if let Some(old) = self.entries.remove(&id) {
+            self.unlink_entry(&id, &old);
+        }
+        for dep in &state.deps_norm {
+            self.rdeps.entry(dep.clone()).or_default().insert(id.clone());
+        }
+        self.qd_ids.insert(id.clone());
+        self.entries.insert(id, state);
+    }
+
+    /// Drop a (already removed) entry's edges from the id mirror and the
+    /// reverse-dependency index.
+    fn unlink_entry(&mut self, id: &str, old: &EntryState) {
+        for dep in &old.deps_norm {
+            if let Some(dependents) = self.rdeps.get_mut(dep) {
+                dependents.remove(id);
+                if dependents.is_empty() {
+                    self.rdeps.remove(dep);
+                }
             }
+        }
+        self.qd_ids.remove(id);
+    }
+
+    /// Merge per-query lineage into the settled graph, keeping the
+    /// running diagnostic total current.
+    fn merge_lineage(&mut self, lineage: QueryLineage) {
+        self.graph_diag_count += lineage.diagnostics.len() as u64;
+        Arc::make_mut(&mut self.graph).merge_query(lineage);
+    }
+
+    /// Retract per-query lineage from the settled graph, keeping the
+    /// running diagnostic total current.
+    fn retract_lineage(&mut self, id: &str) {
+        if let Some(old) = Arc::make_mut(&mut self.graph).retract_query(id) {
+            self.graph_diag_count -= old.diagnostics.len() as u64;
         }
     }
 
@@ -735,12 +1199,12 @@ impl Engine {
         &self.last_refresh_ids
     }
 
-    /// Recount the live diagnostics (session-level plus per-query) into
-    /// [`EngineStats::diagnostics`]. Cheap: proportional to the number of
-    /// queries, not the graph size.
+    /// Settle the live diagnostic total (session-level plus per-query)
+    /// into [`EngineStats::diagnostics`]. O(1): the per-query half is a
+    /// running count maintained by [`Engine::merge_lineage`] /
+    /// [`Engine::retract_lineage`].
     fn settle_diagnostic_count(&mut self) {
-        self.stats.diagnostics = self.session_diagnostics.len() as u64
-            + self.graph.queries.values().map(|q| q.diagnostics.len() as u64).sum::<u64>();
+        self.stats.diagnostics = self.session_diagnostics.len() as u64 + self.graph_diag_count;
     }
 
     /// Traversal traces, when tracing is enabled in the options.
@@ -811,6 +1275,97 @@ impl LineageView for Engine {
     }
 }
 
+/// One scheduled connected component of a refresh's dirty cone: its
+/// member set plus its topological levels.
+struct ComponentPlan {
+    members: BTreeSet<String>,
+    levels: Vec<Vec<String>>,
+}
+
+/// Per-entry extraction outcome inside a component: the settled lineage,
+/// the optional trace, and the inferred-schema delta the extraction
+/// contributed.
+type ExtractOutcome = (
+    String,
+    Result<(QueryLineage, Option<TraceLog>, BTreeMap<String, BTreeSet<String>>), LineageError>,
+);
+
+/// Extract one component level by level against an immutable slice of
+/// engine state, accumulating inferred-schema deltas locally. The
+/// settled-lineage view is seeded with the members' already-settled
+/// direct dependencies — extraction only ever looks up a query's direct
+/// dependencies, so the thin slice is equivalent to the full map. A
+/// failing level records its results and skips the component's remaining
+/// levels (they could only see stale upstreams), leaving other
+/// components untouched.
+#[allow(clippy::too_many_arguments)]
+fn extract_component(
+    plan: &ComponentPlan,
+    entries: &BTreeMap<String, EntryState>,
+    settled: &BTreeMap<String, QueryLineage>,
+    qd_ids: &BTreeSet<String>,
+    catalog: &Catalog,
+    options: &ExtractOptions,
+    base_inferred: &BTreeMap<String, BTreeSet<String>>,
+    inner_jobs: usize,
+    level_us: &Histogram,
+) -> Vec<ExtractOutcome> {
+    let mut processed: BTreeMap<String, QueryLineage> = BTreeMap::new();
+    for member in &plan.members {
+        for dep in &entries[member].deps {
+            if !plan.members.contains(dep) {
+                if let Some(lineage) = settled.get(dep) {
+                    processed.entry(dep.clone()).or_insert_with(|| lineage.clone());
+                }
+            }
+        }
+    }
+    let mut extra: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut outcomes: Vec<ExtractOutcome> = Vec::new();
+    let mut failed = false;
+    for level in &plan.levels {
+        if failed {
+            break;
+        }
+        let _timer = level_us.time();
+        // Within a level every entry sees the same frozen snapshot
+        // (settled lineage + inferred schemas), so parallel and
+        // sequential execution produce identical results.
+        let mut snapshot = base_inferred.clone();
+        for (table, columns) in &extra {
+            snapshot.entry(table.clone()).or_default().extend(columns.iter().cloned());
+        }
+        let results = {
+            let processed = &processed;
+            let snapshot = &snapshot;
+            run_level(level, inner_jobs, move |id| {
+                let mut inferred = snapshot.clone();
+                extract_entry(
+                    entries[id].parsed(),
+                    qd_ids,
+                    processed,
+                    catalog,
+                    options,
+                    &mut inferred,
+                )
+                .map(|(lineage, trace)| (lineage, trace, inferred_delta(snapshot, inferred)))
+            })
+        };
+        for (id, result) in results {
+            if let Ok((lineage, _, delta)) = &result {
+                processed.insert(id.clone(), lineage.clone());
+                for (table, columns) in delta {
+                    extra.entry(table.clone()).or_default().extend(columns.iter().cloned());
+                }
+            } else {
+                failed = true;
+            }
+            outcomes.push((id, result));
+        }
+    }
+    outcomes
+}
+
 /// What one extraction added to the inferred-schema snapshot it started
 /// from. A table key with an empty column set still counts (it records
 /// the relation's existence as an external).
@@ -833,6 +1388,21 @@ fn inferred_delta(
         }
     }
     delta
+}
+
+/// The node a catalog relation contributes to the graph's node map,
+/// `None` when `name` is not an exact catalog key.
+fn catalog_node(catalog: &Catalog, name: &str) -> Option<Node> {
+    let schema = catalog.get(name)?;
+    if schema.name != name {
+        return None;
+    }
+    let kind = if schema.is_view() { NodeKind::View } else { NodeKind::BaseTable };
+    Some(Node {
+        name: schema.name.clone(),
+        kind,
+        columns: schema.column_names().map(String::from).collect(),
+    })
 }
 
 /// Strip any schema qualifier and lower-case, mirroring the catalog's

@@ -38,25 +38,133 @@ pub fn topo_levels(
         })
         .collect();
 
+    // Kahn's algorithm in level batches: O(V log V + E) instead of the
+    // former fixpoint's O(V · levels), which mattered once deep diamond
+    // stacks pushed level counts into the hundreds. A node's level is
+    // 1 + the maximum level of its in-set dependencies, so the output is
+    // identical to the fixpoint formulation (the unit tests pin it).
+    let mut waiting: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut dependents: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (node, node_deps) in &deps {
+        waiting.insert(node, node_deps.len());
+        for dep in node_deps {
+            dependents.entry(dep).or_default().push(node);
+        }
+    }
+    let mut ready: Vec<&str> =
+        deps.iter().filter(|(_, d)| d.is_empty()).map(|(n, _)| n.as_str()).collect();
     let mut levels: Vec<Vec<String>> = Vec::new();
-    let mut placed: BTreeSet<String> = BTreeSet::new();
-    let mut remaining: BTreeSet<String> = nodes.clone();
-    while !remaining.is_empty() {
-        let ready: Vec<String> = remaining
-            .iter()
-            .filter(|n| deps[*n].iter().all(|d| placed.contains(d)))
-            .cloned()
-            .collect();
-        if ready.is_empty() {
-            return Err(find_cycle(&remaining, &deps));
+    let mut placed = 0usize;
+    while !ready.is_empty() {
+        placed += ready.len();
+        let mut next: Vec<&str> = Vec::new();
+        for node in &ready {
+            for dependent in dependents.get(node).map_or(&[][..], |d| d) {
+                let n = waiting.get_mut(dependent).expect("every node has a waiting count");
+                *n -= 1;
+                if *n == 0 {
+                    next.push(dependent);
+                }
+            }
         }
-        for r in &ready {
-            remaining.remove(r);
-            placed.insert(r.clone());
-        }
-        levels.push(ready);
+        next.sort_unstable();
+        levels.push(ready.iter().map(|n| n.to_string()).collect());
+        ready = next;
+    }
+    if placed < nodes.len() {
+        let remaining: BTreeSet<String> =
+            waiting.iter().filter(|(_, n)| **n > 0).map(|(node, _)| node.to_string()).collect();
+        return Err(find_cycle(&remaining, &deps));
     }
     Ok(levels)
+}
+
+/// Partition `nodes` into connected components of the dependency graph
+/// (edges = `deps_of` restricted to the node set, direction ignored).
+/// Components come out sorted by their smallest member, members sorted —
+/// fully deterministic, so a scheduler iterating components in order
+/// produces the same merge order no matter how they executed.
+///
+/// Two nodes sharing only an *out-of-set* dependency (say, a base table)
+/// are **not** connected: nothing about one's extraction can influence
+/// the other, which is exactly the independence component-sharded
+/// extraction exploits.
+pub fn components(
+    nodes: &BTreeSet<String>,
+    mut deps_of: impl FnMut(&str) -> BTreeSet<String>,
+) -> Vec<BTreeSet<String>> {
+    let ids: Vec<&String> = nodes.iter().collect();
+    let index: BTreeMap<&str, usize> =
+        ids.iter().enumerate().map(|(i, s)| (s.as_str(), i)).collect();
+    let mut parent: Vec<usize> = (0..ids.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]]; // path halving
+            i = parent[i];
+        }
+        i
+    }
+    for (i, id) in ids.iter().enumerate() {
+        for dep in deps_of(id) {
+            if let Some(&j) = index.get(dep.as_str()) {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri.max(rj)] = ri.min(rj);
+                }
+            }
+        }
+    }
+    let mut groups: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    for (i, id) in ids.iter().enumerate() {
+        groups.entry(find(&mut parent, i)).or_default().insert((*id).clone());
+    }
+    // Roots are minimal indices of their group and ids are sorted, so
+    // ascending root order IS ascending smallest-member order.
+    groups.into_values().collect()
+}
+
+/// Run `work(0..count)` over a shared work queue on up to `jobs` scoped
+/// worker threads, returning results in index order regardless of
+/// completion order. Unlike [`run_level`]'s static chunking, tasks here
+/// are claimed one at a time — the right shape when tasks have very
+/// uneven sizes (whole dependency components vs single extractions).
+/// `jobs <= 1` (or a single task) runs inline on the calling thread.
+pub fn run_tasks<T, F>(count: usize, jobs: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || count <= 1 {
+        return (0..count).map(&work).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let next = &next;
+        let work = &work;
+        let handles: Vec<_> = (0..jobs.min(count))
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        local.push((i, work(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("component worker panicked") {
+                out[i] = Some(result);
+            }
+        }
+    });
+    out.into_iter().map(|slot| slot.expect("every task index was claimed exactly once")).collect()
 }
 
 /// Walk unresolved dependencies until a node repeats, producing the cycle
@@ -161,6 +269,52 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err, vec!["a", "b", "a"]);
+    }
+
+    #[test]
+    fn components_split_on_connectivity_not_shared_externals() {
+        let nodes = set(&["a", "b", "c", "d", "e"]);
+        // a <- b, c <- d; e shares only the out-of-set dep "base".
+        let comps = components(&nodes, |n| match n {
+            "b" => set(&["a"]),
+            "d" => set(&["c"]),
+            _ => set(&["base"]),
+        });
+        assert_eq!(comps, vec![set(&["a", "b"]), set(&["c", "d"]), set(&["e"])]);
+    }
+
+    #[test]
+    fn components_are_sorted_by_smallest_member() {
+        let nodes = set(&["m", "z", "a"]);
+        // z <- a joins {a, z}; m alone.
+        let comps = components(&nodes, |n| if n == "z" { set(&["a"]) } else { BTreeSet::new() });
+        assert_eq!(comps, vec![set(&["a", "z"]), set(&["m"])]);
+    }
+
+    #[test]
+    fn deep_chains_level_in_linear_time() {
+        // 500 levels: the fixpoint formulation would take 250k scans.
+        let nodes: BTreeSet<String> = (0..500).map(|i| format!("v{i:03}")).collect();
+        let levels = topo_levels(&nodes, |n| {
+            let i: usize = n[1..].parse().unwrap();
+            if i == 0 {
+                BTreeSet::new()
+            } else {
+                set(&[&format!("v{:03}", i - 1)])
+            }
+        })
+        .unwrap();
+        assert_eq!(levels.len(), 500);
+        assert!(levels.iter().all(|l| l.len() == 1));
+    }
+
+    #[test]
+    fn run_tasks_matches_inline_execution() {
+        let sequential = run_tasks(23, 1, |i| i * i);
+        let parallel = run_tasks(23, 4, |i| i * i);
+        assert_eq!(sequential, parallel);
+        assert_eq!(parallel[7], 49);
+        assert!(run_tasks(0, 4, |i| i).is_empty());
     }
 
     #[test]

@@ -60,6 +60,12 @@ pub struct ServeOptions {
     /// as slow: it is pushed into the observability registry's slow-op
     /// ring and, with `verbose`, logged as a `slow_request` event.
     pub slow_ms: u64,
+    /// Restore the session from a binary snapshot
+    /// ([`Engine::save_snapshot`]) instead of starting empty. A preload
+    /// `catalog` is merged on top of the snapshot's catalog. Corrupt or
+    /// version-mismatched files fail [`Server::start`] with a typed
+    /// error instead of serving a half-loaded session.
+    pub snapshot_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -69,6 +75,7 @@ impl Default for ServeOptions {
             catalog: None,
             verbose: false,
             slow_ms: DEFAULT_SLOW_MS,
+            snapshot_path: None,
         }
     }
 }
@@ -211,11 +218,22 @@ impl Server {
         // deterministic shape from the first request on.
         lineagex_core::query::register_metrics();
         let metrics = ServerMetrics::new();
-        let mut engine = Engine::with_options(options.engine);
+        let mut engine = match &options.snapshot_path {
+            Some(path) => Engine::load_snapshot(path, options.engine).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("snapshot {path:?}: {e}"))
+            })?,
+            None => Engine::with_options(options.engine),
+        };
         if let Some(catalog) = options.catalog {
-            engine = engine.with_catalog(catalog);
+            if options.snapshot_path.is_some() {
+                engine.merge_catalog(catalog);
+            } else {
+                engine = engine.with_catalog(catalog);
+            }
         }
-        let initial = engine.publish().expect("an empty engine settles");
+        let initial = engine.publish().map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("initial publish failed: {e}"))
+        })?;
         let shared = Arc::new(Shared {
             snapshot: RwLock::new(initial),
             shutdown: AtomicBool::new(false),

@@ -15,6 +15,30 @@
 #   * serve obs_overhead_pct  < 3   (metrics recording must stay
 #                                    invisible at request granularity)
 #
+# 10k-view scale tier (engine_bench "scale" block; the *_10k key names
+# are unique on purpose so json_num's first-match grep stays correct):
+#
+#   * sharded_speedup_10k    >= 1.2 * floor  (component-sharded
+#                                    re-extraction vs flat level barriers;
+#                                    on a single-core host the win is
+#                                    overhead elimination only — one
+#                                    thread-pool spawn per refresh instead
+#                                    of one per topological level — so the
+#                                    measured ratio is ~1.1-1.2x there and
+#                                    grows with real cores)
+#   * refresh_speedup_10k    >= 10 * floor   (dirty-cone refresh vs full
+#                                    re-extraction — the sub-linear claim)
+#   * cold_start_speedup_10k >= 6 * floor    (snapshot load + publish vs
+#                                    re-parsing the SQL log)
+#
+# The cold-start bound is deliberately below the headline "50x" ambition:
+# on the single-core reference machine the binary decode is string-alloc
+# bound (~60 ms for 10k views vs ~450 ms for the SQL path, i.e. ~7x), and
+# the SQL side itself got faster when publish went copy-on-write. 50x
+# needs a zero-copy/mmap snapshot layout; the gate pins what the current
+# format actually delivers so a regression (e.g. an accidental per-insert
+# tree rebuild in decode) still fails loudly.
+#
 # The committed qps numbers are a *machine baseline*: they were measured
 # on the machine that committed them, so the 70% floor assumes CI runs
 # on comparable hardware. On a slower runner, scale the floor instead of
@@ -90,6 +114,9 @@ committed_serve="$root/BENCH_serve.json"
 
 lenient=$(json_num "$fresh_engine" lenient_overhead_pct)
 incremental=$(json_num "$fresh_engine" speedup)
+sharded_10k=$(json_num "$fresh_engine" sharded_speedup_10k)
+refresh_10k=$(json_num "$fresh_engine" refresh_speedup_10k)
+cold_10k=$(json_num "$fresh_engine" cold_start_speedup_10k)
 down=$(json_num "$fresh_query" downstream_cone_qps)
 up=$(json_num "$fresh_query" upstream_closure_qps)
 mixed=$(json_num "$fresh_serve" mixed_qps)
@@ -102,9 +129,16 @@ down_floor=$(awk -v v="$down_committed" -v f="$floor" 'BEGIN { printf "%.4f", f 
 up_floor=$(awk -v v="$up_committed" -v f="$floor" 'BEGIN { printf "%.4f", f * v }')
 mixed_floor=$(awk -v v="$mixed_committed" -v f="$floor" 'BEGIN { printf "%.4f", f * v }')
 
+sharded_floor=$(awk -v f="$floor" 'BEGIN { printf "%.4f", f * 1.2 }')
+refresh_floor=$(awk -v f="$floor" 'BEGIN { printf "%.4f", f * 10 }')
+cold_floor=$(awk -v f="$floor" 'BEGIN { printf "%.4f", f * 6 }')
+
 echo "bench-regression gate (floor = committed * $floor):"
 check "lenient_overhead_pct" "$lenient" "<" 5
 check "incremental.speedup" "$incremental" ">=" 2
+check "sharded_speedup_10k" "$sharded_10k" ">=" "$sharded_floor"
+check "refresh_speedup_10k" "$refresh_10k" ">=" "$refresh_floor"
+check "cold_start_speedup_10k" "$cold_10k" ">=" "$cold_floor"
 check "downstream_cone_qps vs committed floor" "$down" ">=" "$down_floor"
 check "upstream_closure_qps vs committed floor" "$up" ">=" "$up_floor"
 check "serve mixed_qps vs committed floor" "$mixed" ">=" "$mixed_floor"
