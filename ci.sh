@@ -68,6 +68,13 @@ cargo test -q --workspace
 step "cargo test -q --test resilience (messy-log corpus + isolation property)"
 cargo test -q --test resilience
 
+# The dialect corpus runner: every dialect fixture under
+# tests/corpus/dialects/ must go through the full pipeline under its own
+# dialect with zero error-severity diagnostics (strict and lenient), and
+# the engine session must settle to the batch graph on each.
+step "cargo test -q --test dialect_corpus (per-dialect corpus runner)"
+cargo test -q --test dialect_corpus
+
 # Public-API snapshot guard: the lineagex::prelude export list and the
 # Example 1 ReportV2 document are golden files (./ci.sh regen
 # regenerates) — accidental API or wire-format breaks fail the build.

@@ -59,6 +59,7 @@ impl SqlLineageLike {
                 // transaction/EXPLAIN noise.
                 | Statement::Update { .. }
                 | Statement::Delete { .. }
+                | Statement::Merge(_)
                 | Statement::Noise(_) => continue,
                 Statement::Insert { table, .. } => {
                     (table.base_name().to_string(), QueryKind::Insert)

@@ -8,7 +8,7 @@
 //! lenient overhead and the incremental speedup in CI.
 
 use lineagex_bench::{section, table2};
-use lineagex_core::LineageX;
+use lineagex_core::{DialectKind, LineageX};
 use lineagex_datasets::{generate_scaled, generator, GeneratorConfig, ScaleConfig};
 use lineagex_engine::{Engine, EngineOptions};
 use lineagex_sqlparse::ast::{Expr, Literal, Statement};
@@ -39,6 +39,7 @@ struct Report {
     one_shot_qps: f64,
     one_shot_lenient_qps: f64,
     lenient_overhead_pct: f64,
+    dialect_overhead_pct: f64,
     engine_cold_sequential_qps: f64,
     reextract_sequential_qps: f64,
     reextract_parallel_qps: f64,
@@ -176,6 +177,19 @@ fn main() {
     );
     let lenient_overhead_pct = (100.0 * lenient_diff / one_shot.as_secs_f64()).max(0.0);
 
+    // 1b. The dialect front end on the same log: every dialect flows
+    // through the shared lexer/parser with per-token feature checks, so
+    // selecting a non-default dialect on pure-ANSI input measures the
+    // dispatch cost of the whole subsystem. Snowflake is the busiest
+    // front end (extra comment style + QUALIFY), so it bounds the rest.
+    // Same paired estimator as lenient, gated < 3%.
+    let (dialect_base, _dialect_run, dialect_diff) = paired(
+        (2 * batch_reps).max(16),
+        || LineageX::new().run(&sql).unwrap(),
+        || LineageX::new().dialect(std::hint::black_box(DialectKind::Snowflake)).run(&sql).unwrap(),
+    );
+    let dialect_overhead_pct = (100.0 * dialect_diff / dialect_base.as_secs_f64()).max(0.0);
+
     // 2. Engine cold batch, sequential: ingest (parse) + refresh (extract).
     let cold_seq = best_of(batch_reps, || {
         let mut engine = Engine::new();
@@ -239,6 +253,7 @@ fn main() {
         one_shot_qps: qps(VIEWS, one_shot),
         one_shot_lenient_qps: qps(VIEWS, one_shot_lenient),
         lenient_overhead_pct,
+        dialect_overhead_pct,
         engine_cold_sequential_qps: qps(VIEWS, cold_seq),
         reextract_sequential_qps: qps(VIEWS, reextract_seq),
         reextract_parallel_qps: qps(VIEWS, reextract_par),
@@ -267,6 +282,10 @@ fn main() {
                     "{:.0} views/s ({:+.1}% vs strict)",
                     report.one_shot_lenient_qps, report.lenient_overhead_pct
                 ),
+            ),
+            (
+                "one-shot batch, snowflake front end".into(),
+                format!("{:+.1}% vs default dialect", report.dialect_overhead_pct),
             ),
             (
                 "engine cold batch, jobs=1".into(),
@@ -307,6 +326,12 @@ fn main() {
         "lenient mode must stay within 5% of strict on a clean log \
          (measured {:+.1}%)",
         report.lenient_overhead_pct
+    );
+    assert!(
+        report.dialect_overhead_pct < 3.0,
+        "the dialect front end must stay within 3% of the default path \
+         on ANSI input (measured {:+.1}%)",
+        report.dialect_overhead_pct
     );
 
     section("ENGINE — 10k-view scale tier");

@@ -455,11 +455,13 @@ impl<'a> Binder<'a> {
                 // Bind the inner tree as a standalone FROM item.
                 let inner = Select {
                     distinct: None,
+                    top: None,
                     projection: vec![SelectItem::Wildcard],
                     from: vec![(**twj).clone()],
                     selection: None,
                     group_by: Vec::new(),
                     having: None,
+                    qualify: None,
                 };
                 let (plan, rels) = self.bind_select(&inner, ctx, outer)?;
                 // Unwrap the synthetic projection: expose the join beneath.

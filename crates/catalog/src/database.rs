@@ -153,6 +153,7 @@ impl SimulatedDatabase {
                 from.extend(using.iter().cloned());
                 let probe = lineagex_sqlparse::ast::Query::from_select(Select {
                     distinct: None,
+                    top: None,
                     projection: vec![SelectItem::UnnamedExpr(Expr::Literal(Literal::Number(
                         "1".into(),
                     )))],
@@ -160,6 +161,7 @@ impl SimulatedDatabase {
                     selection: selection.clone(),
                     group_by: Vec::new(),
                     having: None,
+                    qualify: None,
                 });
                 Binder::new(&self.catalog).bind(&probe)?;
                 Ok(None)
@@ -183,6 +185,15 @@ impl SimulatedDatabase {
                             self.catalog.remove(base);
                         }
                     }
+                }
+                Ok(None)
+            }
+            // MERGE is parsed shallowly (dialect front end) and mutates
+            // rows, not schema: validate the target exists, touch nothing.
+            Statement::Merge(merge) => {
+                let name = merge.target.base_name();
+                if !self.catalog.contains(name) {
+                    return Err(DbError::UndefinedTable(name.to_string()));
                 }
                 Ok(None)
             }

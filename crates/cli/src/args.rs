@@ -1,6 +1,6 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
-use lineagex_core::AmbiguityPolicy;
+use lineagex_core::{AmbiguityPolicy, DialectKind};
 
 /// The usage banner.
 pub const USAGE: &str = "\
@@ -9,7 +9,7 @@ usage:
                     [--dot <out>] [--html <out>] [--mermaid <out>] [--trace]
                     [--ambiguity all|first|error] [--no-auto-inference] [--jobs <N>]
                     [--lenient] [--diagnostics-json <out>] [--timings]
-                    [--save-snapshot <out.lxsn>]
+                    [--save-snapshot <out.lxsn>] [--dialect <name>]
                     (--json emits the versioned schema_version-2 document;
                      --json-v1 keeps the legacy output.json; --timings prints a
                      phase/metrics summary to stderr; --save-snapshot persists
@@ -19,13 +19,14 @@ usage:
                     [--direction down|up] [--depth <N>]
                     [--edge-kind contribute|reference|both]... [--table-level]
                     [--to <table.column>] [--format text|json|json-v1|dot|mermaid]
-                    [--jobs <N>] [--lenient]
+                    [--jobs <N>] [--lenient] [--dialect <name>]
                     (composable GraphQuery: an origin is table.column, or a bare
                      relation name for all of its columns)
   lineagex session  [--ddl <schema.sql>] [--jobs <N>] [--ambiguity all|first|error] [--lenient]
+                    [--dialect <name>]
                     (incremental REPL: statements from stdin, \\commands for queries)
   lineagex serve    [--addr <host:port>] [--ddl <schema.sql>] [--jobs <N>]
-                    [--ambiguity all|first|error] [--lenient]
+                    [--ambiguity all|first|error] [--lenient] [--dialect <name>]
                     [--verbose] [--slow-ms <N>] [--load-snapshot <in.lxsn>]
                     (long-lived JSON-lines lineage service; default addr
                      127.0.0.1:7117; stop with `lineagex client <addr> shutdown`;
@@ -35,7 +36,8 @@ usage:
                      --save-snapshot` file without re-parsing or re-extracting)
   lineagex client   <host:port> <op> [args] [query flags] [--pretty]
                     (ops: ping | report | stats | diagnostics | metrics | refresh
-                     | shutdown | ingest <file.sql> | drop <name>[,<name>...]
+                     | shutdown | ingest <file.sql> [--dialect <name>]
+                     | drop <name>[,<name>...]
                      | query <origin>[,<origin>...] [--direction down|up]
                        [--depth <N>] [--edge-kind contribute|reference|both]
                        [--table-level] [--to <table.column>];
@@ -44,7 +46,13 @@ usage:
   lineagex impact   <table.column> <queries.sql> [--ddl <schema.sql>]
   lineagex path     <from.column> <to.column> <queries.sql> [--ddl <schema.sql>]
   lineagex explain  <queries.sql> --ddl <schema.sql>
-  lineagex compare  <queries.sql> [--ddl <schema.sql>]";
+  lineagex compare  <queries.sql> [--ddl <schema.sql>]
+
+  --dialect <name> picks the SQL dialect front end:
+  ansi (default) | postgres | snowflake | bigquery | tsql.
+  serve --load-snapshot adopts the snapshot's recorded dialect unless
+  --dialect pins one (a mismatch then fails startup); client ingest
+  --dialect checks the server session's dialect before sending SQL.";
 
 /// Output format of the `query` subcommand.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -80,6 +88,10 @@ pub struct CommonOptions {
     /// Lenient mode: corrupt statements, duplicate ids, and unresolvable
     /// columns degrade into diagnostics instead of aborting.
     pub lenient: bool,
+    /// `--dialect`: the SQL dialect front end. `None` means the flag was
+    /// not given — commands default to ANSI, and `serve --load-snapshot`
+    /// adopts the snapshot's recorded dialect.
+    pub dialect: Option<DialectKind>,
 }
 
 /// A parsed command line.
@@ -221,6 +233,9 @@ pub enum ClientOp {
     Ingest {
         /// Path of the SQL file to send.
         file: String,
+        /// `--dialect`: refuse to send unless the server session is
+        /// pinned to this dialect (checked via the `stats` op).
+        dialect: Option<DialectKind>,
     },
     /// Drop relations by name.
     Drop {
@@ -350,6 +365,15 @@ impl Command {
                     })?);
                 }
                 "--lenient" => common.lenient = true,
+                "--dialect" => {
+                    let value = take_value(&mut iter, "--dialect")?;
+                    common.dialect = Some(DialectKind::parse(&value).ok_or_else(|| {
+                        format!(
+                            "invalid --dialect value {value:?} \
+                             (use ansi|postgres|snowflake|bigquery|tsql)"
+                        )
+                    })?);
+                }
                 "--no-auto-inference" => common.no_auto_inference = true,
                 "--jobs" => {
                     let value = take_value(&mut iter, "--jobs")?;
@@ -483,7 +507,7 @@ impl Command {
                     "shutdown" => no_args(ClientOp::Shutdown)?,
                     "ingest" => {
                         let [file] = take_positional::<1>(rest, "client <addr> ingest <file.sql>")?;
-                        ClientOp::Ingest { file }
+                        ClientOp::Ingest { file, dialect: common.dialect }
                     }
                     "drop" => {
                         let [names] =
@@ -793,7 +817,7 @@ mod tests {
         }
         let cmd = parse(&["client", "h:1", "ingest", "more.sql"]).unwrap();
         assert!(
-            matches!(cmd, Command::Client { op: ClientOp::Ingest { file }, .. } if file == "more.sql")
+            matches!(cmd, Command::Client { op: ClientOp::Ingest { file, dialect: None }, .. } if file == "more.sql")
         );
         let cmd = parse(&["client", "h:1", "drop", "v1,V2"]).unwrap();
         assert!(
@@ -855,6 +879,52 @@ mod tests {
             "reference"
         ])
         .is_err());
+    }
+
+    #[test]
+    fn parses_dialect_flag() {
+        // Unset everywhere by default.
+        let cmd = parse(&["extract", "q.sql"]).unwrap();
+        match cmd {
+            Command::Extract { common, .. } => assert_eq!(common.dialect, None),
+            other => panic!("{other:?}"),
+        }
+        // Case-insensitive names on every dialect-aware subcommand.
+        for (value, expected) in [
+            ("ansi", DialectKind::Ansi),
+            ("Postgres", DialectKind::Postgres),
+            ("SNOWFLAKE", DialectKind::Snowflake),
+            ("bigquery", DialectKind::BigQuery),
+            ("tsql", DialectKind::TSql),
+        ] {
+            let cmd = parse(&["extract", "q.sql", "--dialect", value]).unwrap();
+            match cmd {
+                Command::Extract { common, .. } => assert_eq!(common.dialect, Some(expected)),
+                other => panic!("{other:?}"),
+            }
+        }
+        let cmd = parse(&["session", "--dialect", "tsql"]).unwrap();
+        match cmd {
+            Command::Session { common } => assert_eq!(common.dialect, Some(DialectKind::TSql)),
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&["serve", "--dialect", "bigquery"]).unwrap();
+        match cmd {
+            Command::Serve { common, .. } => {
+                assert_eq!(common.dialect, Some(DialectKind::BigQuery))
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&["client", "h:1", "ingest", "q.sql", "--dialect", "snowflake"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Client {
+                op: ClientOp::Ingest { dialect: Some(DialectKind::Snowflake), .. },
+                ..
+            }
+        ));
+        assert!(parse(&["extract", "q.sql", "--dialect", "oracle"]).is_err());
+        assert!(parse(&["extract", "q.sql", "--dialect"]).is_err());
     }
 
     #[test]

@@ -5,8 +5,8 @@ use lineagex_baseline::metrics::{graph_contribute_edges, score_edges};
 use lineagex_baseline::SqlLineageLike;
 use lineagex_catalog::{Catalog, SimulatedDatabase};
 use lineagex_core::{
-    path_between, Diagnostic, EdgeKind, ExtractOptions, LineageResult, LineageView, LineageX,
-    QueryReport, SourceColumn,
+    path_between, Diagnostic, DialectKind, EdgeKind, ExtractOptions, LineageResult, LineageView,
+    LineageX, QueryReport, SourceColumn,
 };
 use lineagex_engine::{Engine, EngineOptions};
 use lineagex_serve::proto::{QueryParams, Request, PROTOCOL_VERSION};
@@ -266,6 +266,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
                 verbose: *verbose,
                 slow_ms: slow_ms.unwrap_or(lineagex_serve::DEFAULT_SLOW_MS),
                 snapshot_path: load_snapshot.as_ref().map(std::path::PathBuf::from),
+                dialect_pinned: common.dialect.is_some(),
             };
             let server =
                 Server::start(addr, options).map_err(|e| format!("cannot serve on {addr}: {e}"))?;
@@ -282,15 +283,33 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
             wln(out, "server stopped")
         }
         Command::Client { addr, op, pretty } => {
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
             let request = match op {
                 ClientOp::Ping => Request::Ping,
                 ClientOp::Report => Request::Report,
                 ClientOp::Stats => Request::Stats,
                 ClientOp::Diagnostics => Request::Diagnostics,
-                ClientOp::Metrics => Request::Metrics,
                 ClientOp::Refresh => Request::Refresh,
+                ClientOp::Metrics => Request::Metrics,
                 ClientOp::Shutdown => Request::Shutdown,
-                ClientOp::Ingest { file } => Request::Ingest { sql: read_file(file)? },
+                ClientOp::Ingest { file, dialect } => {
+                    // SQL written for one grammar must not be fed to a
+                    // session pinned to another: check before sending.
+                    if let Some(expected) = dialect {
+                        let server = client.server_dialect().map_err(|e| e.to_string())?;
+                        if server != expected.name() {
+                            return Err(format!(
+                                "server session speaks dialect {server:?} but the script was \
+                                 written for {:?}; restart the server with --dialect {} or drop \
+                                 the client-side check",
+                                expected.name(),
+                                expected.name()
+                            ));
+                        }
+                    }
+                    Request::Ingest { sql: read_file(file)? }
+                }
                 ClientOp::Drop { names } => Request::Drop { names: names.clone() },
                 ClientOp::Query { origins, upstream, depth, edge_kind, table_level, to } => {
                     Request::Query(QueryParams {
@@ -307,8 +326,6 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> CmdResult {
                     })
                 }
             };
-            let mut client =
-                Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
             let reply = client.request(&request).map_err(|e| e.to_string())?;
             if *pretty {
                 wln(out, &serde_json::to_string_pretty(&reply.value).map_err(|e| e.to_string())?)?;
@@ -386,6 +403,9 @@ fn run_extraction_sql(sql: &str, common: &CommonOptions) -> Result<LineageResult
         return run_engine_extraction(sql, common).map(|(_, result)| result);
     }
     let mut builder = LineageX::new().ambiguity(common.ambiguity);
+    if let Some(dialect) = common.dialect {
+        builder = builder.dialect(dialect);
+    }
     if let Some(ddl_path) = &common.ddl {
         let ddl = read_file(ddl_path)?;
         builder = builder.with_ddl(&ddl).map_err(|e| e.to_string())?;
@@ -414,8 +434,9 @@ fn run_engine_extraction(
     // therefore every diagnostic the engine attaches — stay relative
     // to the original file, exactly like the sequential path.
     let mut diagnostics = Vec::new();
+    let dialect = common.dialect.unwrap_or(DialectKind::Ansi);
     let statements = if common.lenient {
-        let script = lineagex_sqlparse::parse_statements_recovering(sql);
+        let script = lineagex_sqlparse::parse_statements_recovering_with(sql, dialect);
         diagnostics.extend(script.errors.iter().map(|e| {
             Diagnostic::new(lineagex_core::DiagnosticCode::ParseError, e.message.clone())
                 .with_span(e.span)
@@ -423,7 +444,7 @@ fn run_engine_extraction(
         }));
         script.statements
     } else {
-        lineagex_sqlparse::parse_sql_spanned(sql).map_err(|e| e.to_string())?
+        lineagex_sqlparse::parse_sql_spanned_with(sql, dialect).map_err(|e| e.to_string())?
     };
     for stmt in statements {
         if let lineagex_sqlparse::ast::Statement::Drop { ref names, .. } = stmt.statement {
@@ -473,6 +494,9 @@ fn run_engine_extraction(
 
 fn engine_options(common: &CommonOptions) -> EngineOptions {
     let mut extract = ExtractOptions::new().with_ambiguity(common.ambiguity);
+    if let Some(dialect) = common.dialect {
+        extract = extract.with_dialect(dialect);
+    }
     if common.trace {
         extract = extract.with_trace();
     }
@@ -1311,6 +1335,134 @@ mod tests {
         let (result, text) = execute_to_string(&cmd);
         result.unwrap();
         assert!(text.contains("    \"counters\": {"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn extract_respects_the_dialect_flag() {
+        let tsql = "CREATE TABLE [raw web] (cid int, page text);\n\
+                    CREATE VIEW v AS SELECT TOP 5 page AS p FROM [raw web];\n";
+        let file = write_temp("dialect_extract.sql", tsql);
+        // Under the default (ANSI-permissive) grammar TOP is a parse error.
+        let cmd = Command::parse(&["extract".to_string(), file.clone()]).unwrap();
+        assert!(execute_to_string(&cmd).0.is_err());
+        // Under --dialect tsql the same file extracts cleanly — on the
+        // batch path and the engine path alike.
+        for extra in [vec![], vec!["--jobs".to_string(), "2".to_string()]] {
+            let mut argv =
+                vec!["extract".to_string(), file.clone(), "--dialect".to_string(), "tsql".into()];
+            argv.extend(extra);
+            let (result, text) = execute_to_string(&Command::parse(&argv).unwrap());
+            result.unwrap();
+            assert!(text.contains("queries processed : 1"), "{text}");
+        }
+    }
+
+    #[test]
+    fn session_respects_the_dialect_flag() {
+        let common =
+            CommonOptions { dialect: Some(DialectKind::BigQuery), ..CommonOptions::default() };
+        let text = run_session_script(
+            "# BigQuery hash comment\n\
+             CREATE TABLE `raw web` (cid INT64, page STRING);\n\
+             CREATE VIEW v AS SELECT page AS p FROM `raw web`;\n\
+             \\lineage v.p\n\\q\n",
+            &common,
+        );
+        assert!(text.contains("defined v"), "{text}");
+        assert!(text.contains("v.p <- raw web.page"), "{text}");
+    }
+
+    #[test]
+    fn client_ingest_checks_the_server_dialect() {
+        let server = Server::start("127.0.0.1:0", ServeOptions::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let file = write_temp("dialect_client.sql", CHAIN);
+        // The server session is pinned to ANSI: a matching check passes...
+        let cmd = Command::parse(&[
+            "client".to_string(),
+            addr.clone(),
+            "ingest".to_string(),
+            file.clone(),
+            "--dialect".to_string(),
+            "ansi".to_string(),
+        ])
+        .unwrap();
+        let (result, text) = execute_to_string(&cmd);
+        result.unwrap();
+        assert!(text.contains("\"ok\":true"), "{text}");
+        // ... and a mismatched one refuses before sending any SQL.
+        let cmd = Command::parse(&[
+            "client".to_string(),
+            addr,
+            "ingest".to_string(),
+            file,
+            "--dialect".to_string(),
+            "snowflake".to_string(),
+        ])
+        .unwrap();
+        let (result, _) = execute_to_string(&cmd);
+        let message = result.unwrap_err();
+        assert!(message.contains("\"ansi\""), "{message}");
+        assert!(message.contains("\"snowflake\""), "{message}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_adopts_or_rejects_a_snapshot_dialect() {
+        // Build a Snowflake-dialect snapshot via extract --save-snapshot.
+        let sql = "CREATE TABLE web (cid int, page text);\n\
+                   // Snowflake line comment\n\
+                   CREATE VIEW v AS SELECT page AS p FROM web QUALIFY 1 = 1;\n";
+        let file = write_temp("dialect_snapshot.sql", sql);
+        let snap = write_temp("dialect_snapshot.lxsn", "");
+        let cmd = Command::parse(&[
+            "extract".to_string(),
+            file,
+            "--dialect".to_string(),
+            "snowflake".to_string(),
+            "--save-snapshot".to_string(),
+            snap.clone(),
+        ])
+        .unwrap();
+        execute_to_string(&cmd).0.unwrap();
+        // Unpinned serve adopts the snapshot's dialect.
+        let options = ServeOptions {
+            snapshot_path: Some(std::path::PathBuf::from(&snap)),
+            ..ServeOptions::default()
+        };
+        let server = Server::start("127.0.0.1:0", options).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(client.server_dialect().unwrap(), "snowflake");
+        server.shutdown();
+        // A conflicting pinned dialect fails startup with a typed error.
+        let options = ServeOptions {
+            snapshot_path: Some(std::path::PathBuf::from(&snap)),
+            engine: EngineOptions {
+                extract: ExtractOptions::new().with_dialect(DialectKind::TSql),
+                ..EngineOptions::default()
+            },
+            dialect_pinned: true,
+            ..ServeOptions::default()
+        };
+        let error = match Server::start("127.0.0.1:0", options) {
+            Err(error) => error,
+            Ok(_) => panic!("a conflicting pinned dialect must fail startup"),
+        };
+        assert!(error.to_string().contains("snowflake"), "{error}");
+        // A matching pinned dialect starts fine.
+        let options = ServeOptions {
+            snapshot_path: Some(std::path::PathBuf::from(&snap)),
+            engine: EngineOptions {
+                extract: ExtractOptions::new().with_dialect(DialectKind::Snowflake),
+                ..EngineOptions::default()
+            },
+            dialect_pinned: true,
+            ..ServeOptions::default()
+        };
+        let server = Server::start("127.0.0.1:0", options).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(client.server_dialect().unwrap(), "snowflake");
         server.shutdown();
     }
 

@@ -74,13 +74,22 @@ impl LineageX {
         self
     }
 
+    /// Select the SQL dialect the log is lexed and parsed under. Defaults
+    /// to the permissive ANSI core; a named dialect unlocks its grammar
+    /// extensions (`QUALIFY`, `TOP n`, `MERGE`, dialect comment styles)
+    /// and tightens quoting to that engine's rules.
+    pub fn dialect(mut self, dialect: lineagex_sqlparse::DialectKind) -> Self {
+        self.options.dialect = dialect;
+        self
+    }
+
     /// Run over a `;`-separated SQL script (query-log style).
     ///
     /// The catalog is *borrowed* for the run ([`InferenceEngine::over`]):
     /// repeated runs over a large catalog never deep-copy it, and
     /// [`ExtractOptions`] is plain `Copy` data.
     pub fn run(&self, sql: &str) -> Result<LineageResult, LineageError> {
-        let qd = QueryDict::from_sql_with(sql, self.options.lenient)?;
+        let qd = QueryDict::from_sql_dialect(sql, self.options.lenient, self.options.dialect)?;
         InferenceEngine::over(qd, &self.catalog, self.options).run()
     }
 
@@ -89,7 +98,11 @@ impl LineageX {
     where
         I: IntoIterator<Item = (&'a str, &'a str)>,
     {
-        let qd = QueryDict::from_named_sources_with(sources, self.options.lenient)?;
+        let qd = QueryDict::from_named_sources_dialect(
+            sources,
+            self.options.lenient,
+            self.options.dialect,
+        )?;
         InferenceEngine::over(qd, &self.catalog, self.options).run()
     }
 }
@@ -174,6 +187,18 @@ mod tests {
         .unwrap();
         let report = result.impact_of("t", "a");
         assert!(report.contains(&SourceColumn::new("v", "x")));
+    }
+
+    #[test]
+    fn dialect_selection_reaches_the_parser() {
+        let sql = "CREATE TABLE t (a int, rn int);
+                   CREATE VIEW v AS SELECT a FROM t QUALIFY rn = 1;";
+        let result =
+            LineageX::new().dialect(lineagex_sqlparse::DialectKind::Snowflake).run(sql).unwrap();
+        // QUALIFY contributes a referenced (C_ref) column, like HAVING.
+        assert_eq!(result.to_json_report().queries["v"].referenced, vec!["t.rn"]);
+        // Under the default ANSI grammar the same log is a parse error.
+        assert!(LineageX::new().run(sql).is_err());
     }
 
     #[test]

@@ -96,6 +96,10 @@ pub enum DiagnosticCode {
     /// unsupported format version, a truncated payload, or a checksum
     /// mismatch. The session starts empty instead.
     SnapshotCorrupt,
+    /// A dialect-specific construct was recognised but not modelled
+    /// (e.g. `MERGE`); the statement was skipped with its span so the
+    /// rest of the log extracts normally.
+    DialectFallback,
 }
 
 impl DiagnosticCode {
@@ -116,6 +120,7 @@ impl DiagnosticCode {
             DiagnosticCode::InvalidRequest => "invalid-request",
             DiagnosticCode::UnsupportedSchemaVersion => "unsupported-schema-version",
             DiagnosticCode::SnapshotCorrupt => "snapshot-corrupt",
+            DiagnosticCode::DialectFallback => "dialect-fallback",
         }
     }
 
@@ -131,7 +136,8 @@ impl DiagnosticCode {
             | DiagnosticCode::UnresolvedWildcard
             | DiagnosticCode::UnknownRelation
             | DiagnosticCode::DependencyCycle
-            | DiagnosticCode::ExtractionFailed => Severity::Warning,
+            | DiagnosticCode::ExtractionFailed
+            | DiagnosticCode::DialectFallback => Severity::Warning,
             DiagnosticCode::AmbiguityResolved
             | DiagnosticCode::InferredColumn
             | DiagnosticCode::SkippedStatement

@@ -1,5 +1,5 @@
 //! The SELECT rule of Table I: resolve `C_con` for each projection, with
-//! `WHERE`/`GROUP BY`/`HAVING`/`DISTINCT ON` feeding `C_ref`.
+//! `WHERE`/`GROUP BY`/`HAVING`/`QUALIFY`/`DISTINCT ON` feeding `C_ref`.
 
 use super::{Extractor, Relation, Scope};
 use crate::diagnostics::{Diagnostic, DiagnosticCode};
@@ -38,6 +38,14 @@ impl Extractor<'_> {
             let refs = self.resolve_expr(having, Some(&scope))?;
             self.cref.extend(refs);
             self.trace_step(Rule::OtherKeywords, "HAVING", Vec::new(), Vec::new());
+        }
+        // Dialect extensions filter rows, never columns, so they feed
+        // C_ref exactly like WHERE/HAVING (QUALIFY) or touch nothing at
+        // all (T-SQL's TOP n literal carries no column references).
+        if let Some(qualify) = &select.qualify {
+            let refs = self.resolve_expr(qualify, Some(&scope))?;
+            self.cref.extend(refs);
+            self.trace_step(Rule::OtherKeywords, "QUALIFY", Vec::new(), Vec::new());
         }
         if let Some(Distinct::On(exprs)) = &select.distinct {
             for expr in exprs {

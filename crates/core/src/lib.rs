@@ -72,6 +72,7 @@ pub use impact::{explore, impact_of, path_between, upstream_of, ExploreStep, Imp
 pub use infer::{
     assemble_graph, assemble_nodes, cycle_stub, extract_entry, InferenceEngine, LineageResult,
 };
+pub use lineagex_sqlparse::DialectKind;
 pub use model::{
     Edge, EdgeKind, GraphStats, LineageGraph, Node, NodeKind, OutputColumn, QueryKind,
     QueryLineage, SourceColumn,

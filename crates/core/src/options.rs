@@ -1,5 +1,7 @@
 //! Extraction configuration.
 
+use lineagex_sqlparse::DialectKind;
+
 /// How to handle an unqualified column that matches several relations in
 /// the same scope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,6 +43,12 @@ pub struct ExtractOptions {
     /// rather than failing the whole batch. Off by default: a clean log
     /// should keep failing loudly when it breaks.
     pub lenient: bool,
+    /// The SQL dialect the pipeline lexes and parses under. Defaults to
+    /// the permissive ANSI core; selecting a named dialect enables its
+    /// grammar extensions (`QUALIFY`, `TOP n`, `MERGE`, dialect comment
+    /// and quoting forms) and tightens quoting to what that engine
+    /// actually accepts.
+    pub dialect: DialectKind,
 }
 
 impl Default for ExtractOptions {
@@ -50,6 +58,7 @@ impl Default for ExtractOptions {
             trace: false,
             auto_inference: true,
             lenient: false,
+            dialect: DialectKind::Ansi,
         }
     }
 }
@@ -83,6 +92,12 @@ impl ExtractOptions {
         self.lenient = true;
         self
     }
+
+    /// Select the SQL dialect to lex and parse under.
+    pub fn with_dialect(mut self, dialect: DialectKind) -> Self {
+        self.dialect = dialect;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +111,7 @@ mod tests {
         assert!(!opts.trace);
         assert!(opts.auto_inference);
         assert!(!opts.lenient);
+        assert_eq!(opts.dialect, DialectKind::Ansi);
     }
 
     #[test]
@@ -104,10 +120,12 @@ mod tests {
             .with_ambiguity(AmbiguityPolicy::Error)
             .with_trace()
             .without_auto_inference()
-            .with_lenient();
+            .with_lenient()
+            .with_dialect(DialectKind::Snowflake);
         assert_eq!(opts.ambiguity, AmbiguityPolicy::Error);
         assert!(opts.trace);
         assert!(!opts.auto_inference);
         assert!(opts.lenient);
+        assert_eq!(opts.dialect, DialectKind::Snowflake);
     }
 }

@@ -27,7 +27,9 @@ use crate::error::LineageError;
 use crate::model::QueryKind;
 use lineagex_catalog::{Catalog, Column, TableSchema};
 use lineagex_sqlparse::ast::{Query, SpannedStatement, Statement};
-use lineagex_sqlparse::{parse_sql_spanned, parse_statements_recovering, Span};
+use lineagex_sqlparse::{
+    parse_sql_spanned_with, parse_statements_recovering_with, DialectKind, Span,
+};
 
 /// One entry of the Query Dictionary.
 #[derive(Debug, Clone)]
@@ -192,6 +194,21 @@ pub fn preprocess_statement(
             )
             .with_span(span),
         ),
+        Statement::Merge(ref merge) => {
+            // The parser recognises MERGE only under dialects that support
+            // it, but does not model its WHEN clauses structurally, so the
+            // statement degrades into a span-tagged fallback diagnostic
+            // rather than pretending to know its lineage.
+            let target = merge.target.base_name().to_string();
+            PreprocessedStatement::Skipped(
+                Diagnostic::new(
+                    DiagnosticCode::DialectFallback,
+                    format!("skipped MERGE INTO {target}: statement form not modelled for lineage"),
+                )
+                .for_statement(&target)
+                .with_span(span),
+            )
+        }
     }
 }
 
@@ -239,8 +256,20 @@ impl QueryDict {
 
     /// Build the dictionary with explicit strictness.
     pub fn from_sql_with(sql: &str, lenient: bool) -> Result<Self, LineageError> {
+        Self::from_sql_dialect(sql, lenient, DialectKind::Ansi)
+    }
+
+    /// Build the dictionary under a specific SQL [`DialectKind`], with
+    /// explicit strictness. Dialect selection only affects lexing and
+    /// parsing; classification downstream of the parser is shared by every
+    /// dialect.
+    pub fn from_sql_dialect(
+        sql: &str,
+        lenient: bool,
+        dialect: DialectKind,
+    ) -> Result<Self, LineageError> {
         if lenient {
-            let script = parse_statements_recovering(sql);
+            let script = parse_statements_recovering_with(sql, dialect);
             let mut dict =
                 Self::from_statements(script.statements.into_iter().map(|s| (None, s)), true)?;
             // Parse errors come first: they were detected during parsing,
@@ -258,7 +287,7 @@ impl QueryDict {
             dict.diagnostics = diagnostics;
             Ok(dict)
         } else {
-            let statements = parse_sql_spanned(sql)?;
+            let statements = parse_sql_spanned_with(sql, dialect)?;
             Self::from_statements(statements.into_iter().map(|s| (None, s)), false)
         }
     }
@@ -278,11 +307,23 @@ impl QueryDict {
     where
         I: IntoIterator<Item = (&'a str, &'a str)>,
     {
+        Self::from_named_sources_dialect(sources, lenient, DialectKind::Ansi)
+    }
+
+    /// Named-source variant under a specific SQL [`DialectKind`].
+    pub fn from_named_sources_dialect<'a, I>(
+        sources: I,
+        lenient: bool,
+        dialect: DialectKind,
+    ) -> Result<Self, LineageError>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
         let mut pairs = Vec::new();
         let mut parse_diagnostics = Vec::new();
         for (name, sql) in sources {
             if lenient {
-                let script = parse_statements_recovering(sql);
+                let script = parse_statements_recovering_with(sql, dialect);
                 parse_diagnostics.extend(script.errors.iter().map(|e| {
                     Diagnostic::new(DiagnosticCode::ParseError, format!("in {name}: {}", e.message))
                         .with_span(e.span)
@@ -292,7 +333,7 @@ impl QueryDict {
                     pairs.push((Some(name.to_string()), stmt));
                 }
             } else {
-                for stmt in parse_sql_spanned(sql)? {
+                for stmt in parse_sql_spanned_with(sql, dialect)? {
                     pairs.push((Some(name.to_string()), stmt));
                 }
             }
@@ -504,6 +545,40 @@ mod tests {
         assert_eq!(kinds, vec![DiagnosticCode::NoiseStatement; 4]);
         assert!(qd.diagnostics[1].message.contains("SET"), "{}", qd.diagnostics[1].message);
         assert_eq!(qd.diagnostics[1].span.unwrap().line, 2);
+    }
+
+    #[test]
+    fn merge_degrades_to_dialect_fallback_diagnostic() {
+        let qd = QueryDict::from_sql_dialect(
+            "CREATE VIEW v AS SELECT 1 AS a;\n\
+             MERGE INTO tgt USING src ON tgt.id = src.id WHEN MATCHED THEN UPDATE SET x = 1;",
+            false,
+            DialectKind::Snowflake,
+        )
+        .unwrap();
+        assert_eq!(qd.ids().collect::<Vec<_>>(), vec!["v"]);
+        let d = &qd.diagnostics[0];
+        assert_eq!(d.code, DiagnosticCode::DialectFallback);
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.statement.as_deref(), Some("tgt"));
+        assert_eq!(d.span.unwrap().line, 2);
+        assert!(d.message.contains("MERGE INTO tgt"), "{}", d.message);
+    }
+
+    #[test]
+    fn dialect_constructor_parses_dialect_forms() {
+        let qd = QueryDict::from_sql_dialect(
+            "# comment style\nCREATE VIEW v AS SELECT a FROM `raw tbl` QUALIFY a = 1",
+            false,
+            DialectKind::BigQuery,
+        )
+        .unwrap();
+        assert_eq!(qd.ids().collect::<Vec<_>>(), vec!["v"]);
+        // The same text is a hard error under the strict ANSI default.
+        assert!(QueryDict::from_sql(
+            "# comment style\nCREATE VIEW v AS SELECT a FROM `raw tbl` QUALIFY a = 1"
+        )
+        .is_err());
     }
 
     #[test]

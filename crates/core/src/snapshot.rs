@@ -22,7 +22,8 @@
 //! [0..4)  magic  "LXSN"
 //! [4]     format version (SNAPSHOT_VERSION)
 //! [5..]   sections, in order: catalog, graph, index, session
-//!         diagnostics, inferred schemas, entries, revision, counters
+//!         diagnostics, inferred schemas, entries, revision, counters,
+//!         dialect (version 2+: the session's SQL dialect name)
 //! [-8..]  FNV-1a 64 checksum of every preceding byte, little-endian
 //! ```
 //!
@@ -56,7 +57,10 @@ use std::path::Path;
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"LXSN";
 
 /// The current format version. Bumping it invalidates every older file.
-pub const SNAPSHOT_VERSION: u8 = 1;
+/// History: 1 = initial format; 2 = trailing dialect section (the SQL
+/// dialect the session was built under, so a service restart cannot
+/// silently re-parse the log under different grammar rules).
+pub const SNAPSHOT_VERSION: u8 = 2;
 
 /// A snapshot load/store failure, classified under the typed
 /// [`DiagnosticCode::SnapshotCorrupt`] diagnostic code.
@@ -131,6 +135,10 @@ pub struct GraphSnapshot {
     pub revision: u64,
     /// Named engine counters (stats, id-allocation state).
     pub counters: Vec<(String, u64)>,
+    /// The SQL dialect name the session lexed and parsed under
+    /// ([`lineagex_sqlparse::DialectKind::name`]). Loaders must refuse a
+    /// conflicting explicit dialect rather than mix grammars.
+    pub dialect: String,
 }
 
 /// Serialise a snapshot to its byte representation.
@@ -176,6 +184,7 @@ pub fn write_snapshot(snapshot: &GraphSnapshot) -> Vec<u8> {
         w.str(name);
         w.u64(*value);
     }
+    w.str(&snapshot.dialect);
     let checksum = fnv1a(&w.buf);
     w.u64(checksum);
     w.buf
@@ -252,13 +261,24 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<GraphSnapshot, SnapshotError> {
         let value = r.u64()?;
         counters.push((name, value));
     }
+    let dialect = r.str()?;
     if r.pos != payload.len() {
         return Err(SnapshotError::corrupt(format!(
             "{} trailing byte(s) after the last section",
             payload.len() - r.pos
         )));
     }
-    Ok(GraphSnapshot { catalog, graph, index, diagnostics, inferred, entries, revision, counters })
+    Ok(GraphSnapshot {
+        catalog,
+        graph,
+        index,
+        diagnostics,
+        inferred,
+        entries,
+        revision,
+        counters,
+        dialect,
+    })
 }
 
 /// Serialise a snapshot straight to a file.
@@ -670,6 +690,7 @@ fn diagnostic_code_from(s: &str) -> Result<DiagnosticCode, SnapshotError> {
         "inferred-column" => DiagnosticCode::InferredColumn,
         "skipped-statement" => DiagnosticCode::SkippedStatement,
         "noise-statement" => DiagnosticCode::NoiseStatement,
+        "dialect-fallback" => DiagnosticCode::DialectFallback,
         "dependency-cycle" => DiagnosticCode::DependencyCycle,
         "extraction-failed" => DiagnosticCode::ExtractionFailed,
         "invalid-request" => DiagnosticCode::InvalidRequest,
@@ -853,6 +874,7 @@ mod tests {
             }],
             revision: 7,
             counters: vec![("engine.statements".into(), 3)],
+            dialect: "snowflake".into(),
         }
     }
 
@@ -868,6 +890,7 @@ mod tests {
         assert_eq!(loaded.entries, snapshot.entries);
         assert_eq!(loaded.revision, 7);
         assert_eq!(loaded.counters, snapshot.counters);
+        assert_eq!(loaded.dialect, "snowflake");
         assert_eq!(loaded.index.column_count(), snapshot.index.column_count());
         assert_eq!(loaded.index.edge_count(), snapshot.index.edge_count());
         // Re-serialising the loaded snapshot is byte-identical.

@@ -16,18 +16,23 @@
 
 use lineagex_core::LineageError;
 use lineagex_sqlparse::ast::SpannedStatement;
-use lineagex_sqlparse::{parse_statements_recovering, RecoveredScript};
+use lineagex_sqlparse::{parse_statements_recovering_with, DialectKind, RecoveredScript};
 use std::collections::HashMap;
 
 /// Default maximum number of cached scripts.
 pub const DEFAULT_CAPACITY: usize = 1024;
 
 /// A bounded parse cache with hit/miss counters.
+///
+/// A session parses under exactly one [`DialectKind`] for its whole
+/// lifetime (the engine pins it at construction), so the dialect is part
+/// of the cache — not of every key.
 #[derive(Debug, Clone)]
 pub struct AstCache {
     entries: HashMap<u64, Vec<(String, RecoveredScript)>>,
     len: usize,
     capacity: usize,
+    dialect: DialectKind,
     /// Number of lookups served from the cache.
     pub hits: u64,
     /// Number of lookups that had to parse.
@@ -41,9 +46,15 @@ impl Default for AstCache {
 }
 
 impl AstCache {
-    /// A cache holding at most `capacity` scripts (0 disables caching).
+    /// A cache holding at most `capacity` scripts (0 disables caching),
+    /// parsing under the permissive ANSI core.
     pub fn with_capacity(capacity: usize) -> Self {
-        AstCache { entries: HashMap::new(), len: 0, capacity, hits: 0, misses: 0 }
+        AstCache::with_capacity_dialect(capacity, DialectKind::Ansi)
+    }
+
+    /// A cache parsing everything under `dialect`.
+    pub fn with_capacity_dialect(capacity: usize, dialect: DialectKind) -> Self {
+        AstCache { entries: HashMap::new(), len: 0, capacity, dialect, hits: 0, misses: 0 }
     }
 
     /// Parse `sql` strictly: the first unparsable region fails the whole
@@ -70,7 +81,7 @@ impl AstCache {
             }
         }
         self.misses += 1;
-        let script = parse_statements_recovering(text);
+        let script = parse_statements_recovering_with(text, self.dialect);
         if self.capacity > 0 {
             if self.len >= self.capacity {
                 // Whole-cache eviction keeps the bookkeeping trivial; a
@@ -151,6 +162,15 @@ mod tests {
         // Strict parse of the same text reuses the cached recovery.
         assert!(cache.parse("SELECT 1; SELECT FROM; SELECT 2").is_err());
         assert_eq!(cache.hits, 1);
+    }
+
+    #[test]
+    fn parses_under_its_pinned_dialect() {
+        let mut cache = AstCache::with_capacity_dialect(16, DialectKind::TSql);
+        let stmts = cache.parse("SELECT TOP 3 a FROM [raw t]").unwrap();
+        assert_eq!(stmts.len(), 1);
+        // The default (ANSI) cache rejects the same text.
+        assert!(AstCache::default().parse("SELECT TOP 3 a FROM [raw t]").is_err());
     }
 
     #[test]

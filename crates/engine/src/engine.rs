@@ -42,6 +42,13 @@ struct EngineMetrics {
     peak_graph_bytes: Gauge,
     /// Wall time of the most recent [`Engine::load_snapshot`], µs.
     snapshot_load_us: Gauge,
+    /// The session's pinned SQL dialect, as its stable id
+    /// ([`lineagex_sqlparse::DialectKind::id`]), set at construction.
+    dialect: Gauge,
+    /// Dialect constructs the parser recognised but preprocessing
+    /// skipped ([`DiagnosticCode::DialectFallback`] receipts, e.g.
+    /// `MERGE` bodies).
+    dialect_fallbacks: Counter,
 }
 
 impl Default for EngineMetrics {
@@ -58,6 +65,8 @@ impl Default for EngineMetrics {
             index_invalidations: registry.counter("engine.index_invalidations"),
             peak_graph_bytes: registry.gauge("engine.peak_graph_bytes"),
             snapshot_load_us: registry.gauge("engine.snapshot_load_us"),
+            dialect: registry.gauge("engine.dialect"),
+            dialect_fallbacks: registry.counter("sqlparse.dialect_fallbacks"),
         }
     }
 }
@@ -286,13 +295,20 @@ pub struct Engine {
 impl Engine {
     /// A fresh engine with default options and an empty catalog.
     pub fn new() -> Self {
-        Engine::default()
+        Engine::with_options(EngineOptions::default())
     }
 
-    /// A fresh engine with the given options.
+    /// A fresh engine with the given options. The extraction options'
+    /// [`DialectKind`](lineagex_sqlparse::DialectKind) is pinned here for
+    /// the session's lifetime: the AST cache, the stats surface, and the
+    /// `engine.dialect` gauge all reflect it from the first statement.
     pub fn with_options(options: EngineOptions) -> Self {
-        let cache = AstCache::with_capacity(options.ast_cache_capacity);
-        Engine { options, cache, ..Engine::default() }
+        let dialect = options.extract.dialect;
+        let cache = AstCache::with_capacity_dialect(options.ast_cache_capacity, dialect);
+        let mut engine = Engine { options, cache, ..Engine::default() };
+        engine.stats.dialect = dialect.name().to_string();
+        engine.metrics.dialect.set(dialect.id() as i64);
+        engine
     }
 
     /// Provide base-table schemas up front.
@@ -524,6 +540,9 @@ impl Engine {
                 }
             }
             PreprocessedStatement::Skipped(diagnostic) => {
+                if diagnostic.code == DiagnosticCode::DialectFallback {
+                    self.metrics.dialect_fallbacks.inc();
+                }
                 let diagnostic = diagnostic.with_excerpt_from(source);
                 let target = diagnostic.message.clone();
                 self.session_diagnostics.push(diagnostic.clone());
@@ -742,9 +761,12 @@ impl Engine {
             EntrySlot::Parsed(_) => return Ok(()),
             EntrySlot::Cold { sql } => sql.clone(),
         };
-        let statements = lineagex_sqlparse::parse_sql_spanned(&sql).map_err(|e| {
-            LineageError::Snapshot(format!("snapshot entry \"{id}\" no longer parses: {e}"))
-        })?;
+        let statements =
+            lineagex_sqlparse::parse_sql_spanned_with(&sql, self.options.extract.dialect).map_err(
+                |e| {
+                    LineageError::Snapshot(format!("snapshot entry \"{id}\" no longer parses: {e}"))
+                },
+            )?;
         let stmt = statements
             .into_iter()
             .next()
@@ -948,6 +970,7 @@ impl Engine {
             entries,
             revision: self.graph_revision,
             counters: self.counters_out(),
+            dialect: self.options.extract.dialect.name().to_string(),
         };
         lineagex_core::write_snapshot_file(path, &snapshot)?;
         Ok(())
@@ -959,9 +982,51 @@ impl Engine {
     /// SQL is parsed and nothing is extracted, so cold-start cost is
     /// decode-bound. Corrupted, truncated, or version-mismatched files
     /// fail with a typed [`LineageError::Snapshot`], never a panic.
+    ///
+    /// The snapshot records the SQL dialect its session parsed under;
+    /// this strict loader refuses to restore it when `options` request a
+    /// *different* dialect — entry definitions would re-hydrate under
+    /// grammar rules that never produced them. Callers with no explicit
+    /// dialect preference should use [`Engine::load_snapshot_adopting`].
     pub fn load_snapshot(path: &Path, options: EngineOptions) -> Result<Engine, LineageError> {
+        Engine::load_snapshot_inner(path, options, false)
+    }
+
+    /// Like [`Engine::load_snapshot`], but adopt the snapshot's recorded
+    /// dialect instead of requiring `options` to match it. This is the
+    /// right loader when the caller did not pin a dialect explicitly
+    /// (e.g. a server restart without `--dialect`).
+    pub fn load_snapshot_adopting(
+        path: &Path,
+        options: EngineOptions,
+    ) -> Result<Engine, LineageError> {
+        Engine::load_snapshot_inner(path, options, true)
+    }
+
+    fn load_snapshot_inner(
+        path: &Path,
+        mut options: EngineOptions,
+        adopt_dialect: bool,
+    ) -> Result<Engine, LineageError> {
         let start = std::time::Instant::now();
         let snapshot = lineagex_core::read_snapshot_file(path)?;
+        let Some(snapshot_dialect) = lineagex_sqlparse::DialectKind::parse(&snapshot.dialect)
+        else {
+            return Err(LineageError::Snapshot(format!(
+                "snapshot records dialect {:?}, which this build does not know",
+                snapshot.dialect
+            )));
+        };
+        if adopt_dialect {
+            options.extract.dialect = snapshot_dialect;
+        } else if options.extract.dialect != snapshot_dialect {
+            return Err(LineageError::Snapshot(format!(
+                "snapshot was built under dialect \"{snapshot_dialect}\" but \"{}\" was \
+                 requested; drop the explicit dialect to adopt the snapshot's, or re-extract \
+                 the log under the new dialect",
+                options.extract.dialect
+            )));
+        }
         let mut engine = Engine::with_options(options);
         engine.catalog = snapshot.catalog;
         engine.graph = Arc::new(snapshot.graph);

@@ -61,8 +61,14 @@ impl fmt::Display for StmtId {
 /// counters are the observable proof of incrementality: redefining one
 /// view on a long log must bump `last_refresh_extractions` by the size of
 /// its downstream cone, not by the size of the log.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineStats {
+    /// The SQL dialect name the session lexes and parses under
+    /// ([`lineagex_sqlparse::DialectKind::name`]), pinned at engine
+    /// construction. Carried in the stats so every stats surface (CLI
+    /// summary, serve `stats` reply) reports which grammar produced the
+    /// numbers.
+    pub dialect: String,
     /// Statements ingested (including DDL, drops, skips, and — in
     /// lenient mode — unparsable regions).
     pub statements: u64,
@@ -93,9 +99,34 @@ pub struct EngineStats {
     pub parse_cache_misses: u64,
 }
 
+impl Default for EngineStats {
+    fn default() -> Self {
+        EngineStats {
+            dialect: lineagex_sqlparse::DialectKind::Ansi.name().to_string(),
+            statements: 0,
+            defined: 0,
+            redefinitions: 0,
+            unchanged: 0,
+            drops: 0,
+            parse_failures: 0,
+            diagnostics: 0,
+            extractions: 0,
+            last_refresh_extractions: 0,
+            refreshes: 0,
+            parse_cache_hits: 0,
+            parse_cache_misses: 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_stats_report_the_ansi_dialect() {
+        assert_eq!(EngineStats::default().dialect, "ansi");
+    }
 
     #[test]
     fn stmt_id_displays_compactly() {

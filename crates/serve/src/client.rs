@@ -106,6 +106,26 @@ impl Client {
         self.request(&Request::Stats)
     }
 
+    /// The SQL dialect the server's session is pinned to, read from the
+    /// `stats` reply (`result.engine.dialect`). What `lineagex client
+    /// ingest --dialect` checks before shipping SQL written for a
+    /// specific grammar.
+    pub fn server_dialect(&mut self) -> io::Result<String> {
+        let reply = self.stats()?;
+        reply
+            .result()
+            .and_then(|r| r.get("engine"))
+            .and_then(|e| e.get("dialect"))
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "stats reply carries no engine.dialect (pre-v3 server?)",
+                )
+            })
+    }
+
     /// Fetch session-level diagnostics.
     pub fn diagnostics(&mut self) -> io::Result<Reply> {
         self.request(&Request::Diagnostics)

@@ -29,8 +29,11 @@ use serde_json::Value;
 ///
 /// History: `1` — the PR 6 launch surface; `2` — adds the `metrics` op
 /// (a deterministic-shaped snapshot of the process-wide observability
-/// registry).
-pub const PROTOCOL_VERSION: u32 = 2;
+/// registry); `3` — the `stats` reply's `engine` block leads with the
+/// session's pinned SQL `dialect` (and the engine's metrics registry
+/// grew `engine.dialect` / `sqlparse.dialect_fallbacks`, visible through
+/// the `metrics` op).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// A typed service error: a [`DiagnosticCode`] plus a human message.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -417,6 +420,7 @@ impl Serialize for StatsBody {
         // EngineStats lives in a serde-free crate; map it by hand.
         let e = &self.engine;
         let engine = Content::Map(vec![
+            ("dialect".into(), Content::Str(e.dialect.clone())),
             ("statements".into(), Content::U64(e.statements)),
             ("defined".into(), Content::U64(e.defined)),
             ("redefinitions".into(), Content::U64(e.redefinitions)),
@@ -606,13 +610,13 @@ mod tests {
         let response = Response::ok(Some(2), 5, Payload::Pong);
         assert_eq!(
             response.to_line(),
-            r#"{"schema_version":2,"id":2,"ok":true,"revision":5,"result":{"pong":true}}"#
+            r#"{"schema_version":3,"id":2,"ok":true,"revision":5,"result":{"pong":true}}"#
         );
         let response =
             Response::error(None, 0, WireError::new(DiagnosticCode::InvalidRequest, "nope"));
         assert_eq!(
             response.to_line(),
-            r#"{"schema_version":2,"id":null,"ok":false,"revision":0,"error":{"code":"invalid-request","message":"nope"}}"#
+            r#"{"schema_version":3,"id":null,"ok":false,"revision":0,"error":{"code":"invalid-request","message":"nope"}}"#
         );
     }
 }

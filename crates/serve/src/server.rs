@@ -66,6 +66,11 @@ pub struct ServeOptions {
     /// version-mismatched files fail [`Server::start`] with a typed
     /// error instead of serving a half-loaded session.
     pub snapshot_path: Option<std::path::PathBuf>,
+    /// Whether `engine.extract.dialect` was pinned explicitly (e.g. a
+    /// `--dialect` flag). A pinned dialect must match a restored
+    /// snapshot's recorded dialect or [`Server::start`] fails with a
+    /// typed error; unpinned servers adopt the snapshot's dialect.
+    pub dialect_pinned: bool,
 }
 
 impl Default for ServeOptions {
@@ -76,6 +81,7 @@ impl Default for ServeOptions {
             verbose: false,
             slow_ms: DEFAULT_SLOW_MS,
             snapshot_path: None,
+            dialect_pinned: false,
         }
     }
 }
@@ -219,9 +225,16 @@ impl Server {
         lineagex_core::query::register_metrics();
         let metrics = ServerMetrics::new();
         let mut engine = match &options.snapshot_path {
-            Some(path) => Engine::load_snapshot(path, options.engine).map_err(|e| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("snapshot {path:?}: {e}"))
-            })?,
+            Some(path) => {
+                let loaded = if options.dialect_pinned {
+                    Engine::load_snapshot(path, options.engine)
+                } else {
+                    Engine::load_snapshot_adopting(path, options.engine)
+                };
+                loaded.map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("snapshot {path:?}: {e}"))
+                })?
+            }
             None => Engine::with_options(options.engine),
         };
         if let Some(catalog) = options.catalog {

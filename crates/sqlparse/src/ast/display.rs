@@ -326,6 +326,9 @@ impl fmt::Display for Select {
             }
             None => {}
         }
+        if let Some(top) = &self.top {
+            write!(f, "TOP {top} ")?;
+        }
         comma_sep(f, &self.projection)?;
         if !self.from.is_empty() {
             f.write_str(" FROM ")?;
@@ -340,6 +343,9 @@ impl fmt::Display for Select {
         }
         if let Some(having) = &self.having {
             write!(f, " HAVING {having}")?;
+        }
+        if let Some(qualify) = &self.qualify {
+            write!(f, " QUALIFY {qualify}")?;
         }
         Ok(())
     }
@@ -465,6 +471,13 @@ impl fmt::Display for Statement {
                     f.write_str(noise.kind.as_str())
                 } else {
                     f.write_str(&noise.text)
+                }
+            }
+            Statement::Merge(merge) => {
+                if merge.text.is_empty() {
+                    write!(f, "MERGE INTO {}", merge.target)
+                } else {
+                    f.write_str(&merge.text)
                 }
             }
             Statement::CreateView {

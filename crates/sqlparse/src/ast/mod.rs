@@ -21,8 +21,8 @@ pub use query::{
     SetExpr, SetOperator, TableAlias, TableFactor, TableWithJoins, Values, With,
 };
 pub use stmt::{
-    Assignment, ColumnDef, ColumnOption, NoiseKind, NoiseStatement, ObjectType, SpannedStatement,
-    Statement, TableConstraint,
+    Assignment, ColumnDef, ColumnOption, MergeStatement, NoiseKind, NoiseStatement, ObjectType,
+    SpannedStatement, Statement, TableConstraint,
 };
 
 pub use expr::Expr;

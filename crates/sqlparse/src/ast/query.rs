@@ -109,6 +109,8 @@ pub enum Distinct {
 pub struct Select {
     /// Optional `DISTINCT` / `DISTINCT ON`.
     pub distinct: Option<Distinct>,
+    /// T-SQL `TOP n` row limit (dialect-gated at parse time).
+    pub top: Option<Expr>,
     /// The projection list.
     pub projection: Vec<SelectItem>,
     /// The `FROM` clause: one entry per comma-separated factor.
@@ -119,6 +121,9 @@ pub struct Select {
     pub group_by: Vec<Expr>,
     /// `HAVING` predicate.
     pub having: Option<Expr>,
+    /// Snowflake/BigQuery `QUALIFY` predicate (dialect-gated at parse
+    /// time).
+    pub qualify: Option<Expr>,
 }
 
 impl Select {
@@ -126,11 +131,13 @@ impl Select {
     pub fn projecting(projection: Vec<SelectItem>) -> Select {
         Select {
             distinct: None,
+            top: None,
             projection,
             from: Vec::new(),
             selection: None,
             group_by: Vec::new(),
             having: None,
+            qualify: None,
         }
     }
 }

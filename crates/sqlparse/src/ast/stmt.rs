@@ -93,6 +93,22 @@ pub enum Statement {
     /// token text — enough for downstream layers to emit a typed
     /// diagnostic instead of tripping over real production logs.
     Noise(NoiseStatement),
+    /// A dialect-specific statement the parser recognises but does not
+    /// model structurally (today: `MERGE [INTO] target ...` under the
+    /// dialects that support it). Parsed shallowly — the target name is
+    /// captured for diagnostics and the rest is consumed to the
+    /// terminating `;` — so downstream layers degrade it to a
+    /// `dialect-fallback` diagnostic instead of an opaque parse error.
+    Merge(MergeStatement),
+}
+
+/// A shallowly-parsed `MERGE` statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MergeStatement {
+    /// The merge target's (possibly qualified) name, for diagnostics.
+    pub target: ObjectName,
+    /// The statement rendered from its tokens (space-separated).
+    pub text: String,
 }
 
 /// One recognised-but-skipped log-noise statement.
@@ -193,7 +209,8 @@ impl Statement {
             Statement::Drop { .. }
             | Statement::Update { .. }
             | Statement::Delete { .. }
-            | Statement::Noise(_) => None,
+            | Statement::Noise(_)
+            | Statement::Merge(_) => None,
         }
     }
 
@@ -221,6 +238,7 @@ impl Statement {
         from_items.extend(from.iter().cloned());
         let select = Select {
             distinct: None,
+            top: None,
             projection: assignments
                 .iter()
                 .map(|a| SelectItem::ExprWithAlias {
@@ -232,6 +250,7 @@ impl Statement {
             selection: selection.clone(),
             group_by: Vec::new(),
             having: None,
+            qualify: None,
         };
         Some(Query::from_select(select))
     }

@@ -1,0 +1,312 @@
+//! The dialect subsystem: one pluggable surface for every lexing and
+//! parsing decision that differs between SQL engines.
+//!
+//! Real query logs come from Postgres, Snowflake, BigQuery, and SQL
+//! Server, and each one bends the ANSI grammar in small, well-documented
+//! ways: which quote characters delimit identifiers, which characters
+//! start a line comment, and which statement forms exist at all
+//! (`QUALIFY`, `TOP n`, `MERGE`). Before this module those decisions
+//! were hardcoded constants scattered through the lexer and parser; now
+//! they are methods on the [`Dialect`] trait, and the lexer/parser hold
+//! a `&'static dyn Dialect` they consult at each decision point.
+//!
+//! Two layers make up the surface:
+//!
+//! * [`Dialect`] — the behaviour object. Every method has an ANSI
+//!   default, so a dialect implementation only overrides what it
+//!   actually changes (the sqruff/sqlfluff layering model).
+//! * [`DialectKind`] — a `Copy` selector enum that travels through
+//!   options structs, CLI flags, snapshots, and wire protocols, and
+//!   resolves to the behaviour object via [`DialectKind::behavior`].
+//!
+//! The [`Ansi`] dialect is deliberately the *permissive* legacy
+//! grammar: it accepts all three identifier-quoting styles (`"x"`,
+//! `` `x` ``, `[x]`) exactly as the pre-dialect lexer did, so every
+//! existing caller, test, and golden file is unchanged. The named
+//! dialects are stricter where their engines are: quoting a Snowflake
+//! identifier with brackets is a lex error there, which is exactly how a
+//! wrong-dialect log surfaces as span-tagged diagnostics instead of a
+//! silently mis-shaped lineage graph.
+
+use std::fmt;
+
+/// Behaviour hooks the lexer and parser consult, one method per
+/// decision point. Defaults are the ANSI core; dialects override only
+/// their deviations.
+pub trait Dialect: Sync + fmt::Debug {
+    /// The lower-case dialect name (`"ansi"`, `"postgres"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Whether `# ...` starts a line comment (BigQuery, MySQL).
+    fn hash_line_comments(&self) -> bool {
+        false
+    }
+
+    /// Whether `// ...` starts a line comment (Snowflake).
+    fn double_slash_line_comments(&self) -> bool {
+        false
+    }
+
+    /// Whether `` `x` `` is a quoted identifier (BigQuery; the
+    /// permissive ANSI core also accepts it).
+    fn backtick_identifiers(&self) -> bool {
+        false
+    }
+
+    /// Whether `[x]` is a quoted identifier (T-SQL; the permissive ANSI
+    /// core also accepts it).
+    fn bracket_identifiers(&self) -> bool {
+        false
+    }
+
+    /// Whether a `QUALIFY <predicate>` clause may follow `HAVING`
+    /// (Snowflake, BigQuery).
+    fn supports_qualify(&self) -> bool {
+        false
+    }
+
+    /// Whether `SELECT TOP n ...` is recognised (T-SQL).
+    fn supports_top(&self) -> bool {
+        false
+    }
+
+    /// Whether `MERGE [INTO] ...` is recognised at statement level.
+    /// Recognised statements parse shallowly and degrade to a
+    /// `dialect-fallback` diagnostic downstream — lineage is not
+    /// extracted from them, but they can never corrupt neighbours.
+    fn supports_merge(&self) -> bool {
+        false
+    }
+}
+
+/// The permissive legacy grammar: every quoting style, `--` and
+/// `/* */` comments only, no dialect-specific statement forms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ansi;
+
+impl Dialect for Ansi {
+    fn name(&self) -> &'static str {
+        "ansi"
+    }
+
+    fn backtick_identifiers(&self) -> bool {
+        true
+    }
+
+    fn bracket_identifiers(&self) -> bool {
+        true
+    }
+}
+
+/// PostgreSQL: strict `"x"` identifier quoting, `MERGE` (15+).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Postgres;
+
+impl Dialect for Postgres {
+    fn name(&self) -> &'static str {
+        "postgres"
+    }
+
+    fn supports_merge(&self) -> bool {
+        true
+    }
+}
+
+/// Snowflake: `//` line comments, `"x"` quoting, `QUALIFY`, `MERGE`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Snowflake;
+
+impl Dialect for Snowflake {
+    fn name(&self) -> &'static str {
+        "snowflake"
+    }
+
+    fn double_slash_line_comments(&self) -> bool {
+        true
+    }
+
+    fn supports_qualify(&self) -> bool {
+        true
+    }
+
+    fn supports_merge(&self) -> bool {
+        true
+    }
+}
+
+/// BigQuery: `#` line comments, backtick identifiers, `QUALIFY`,
+/// `MERGE`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BigQuery;
+
+impl Dialect for BigQuery {
+    fn name(&self) -> &'static str {
+        "bigquery"
+    }
+
+    fn hash_line_comments(&self) -> bool {
+        true
+    }
+
+    fn backtick_identifiers(&self) -> bool {
+        true
+    }
+
+    fn supports_qualify(&self) -> bool {
+        true
+    }
+
+    fn supports_merge(&self) -> bool {
+        true
+    }
+}
+
+/// SQL Server (T-SQL): `[x]` identifiers, `TOP n`, `MERGE`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TSql;
+
+impl Dialect for TSql {
+    fn name(&self) -> &'static str {
+        "tsql"
+    }
+
+    fn bracket_identifiers(&self) -> bool {
+        true
+    }
+
+    fn supports_top(&self) -> bool {
+        true
+    }
+
+    fn supports_merge(&self) -> bool {
+        true
+    }
+}
+
+static ANSI: Ansi = Ansi;
+static POSTGRES: Postgres = Postgres;
+static SNOWFLAKE: Snowflake = Snowflake;
+static BIGQUERY: BigQuery = BigQuery;
+static TSQL: TSql = TSql;
+
+/// The `Copy` dialect selector that travels through options structs,
+/// CLI flags, snapshots, and the serve protocol. Resolve to the
+/// behaviour object with [`DialectKind::behavior`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DialectKind {
+    /// The permissive ANSI core (the default).
+    #[default]
+    Ansi,
+    /// PostgreSQL.
+    Postgres,
+    /// Snowflake.
+    Snowflake,
+    /// Google BigQuery.
+    BigQuery,
+    /// Microsoft SQL Server (T-SQL).
+    TSql,
+}
+
+impl DialectKind {
+    /// Every selectable dialect, in stable id order.
+    pub const ALL: [DialectKind; 5] = [
+        DialectKind::Ansi,
+        DialectKind::Postgres,
+        DialectKind::Snowflake,
+        DialectKind::BigQuery,
+        DialectKind::TSql,
+    ];
+
+    /// The lower-case name used on CLIs, in snapshots, and on the wire.
+    pub fn name(self) -> &'static str {
+        self.behavior().name()
+    }
+
+    /// Parse a (case-insensitive) dialect name.
+    pub fn parse(name: &str) -> Option<DialectKind> {
+        let lower = name.to_ascii_lowercase();
+        DialectKind::ALL.into_iter().find(|kind| kind.name() == lower)
+    }
+
+    /// A stable numeric id (used by the `engine.dialect` gauge and the
+    /// snapshot format).
+    pub fn id(self) -> u8 {
+        match self {
+            DialectKind::Ansi => 0,
+            DialectKind::Postgres => 1,
+            DialectKind::Snowflake => 2,
+            DialectKind::BigQuery => 3,
+            DialectKind::TSql => 4,
+        }
+    }
+
+    /// The inverse of [`DialectKind::id`].
+    pub fn from_id(id: u8) -> Option<DialectKind> {
+        DialectKind::ALL.into_iter().find(|kind| kind.id() == id)
+    }
+
+    /// The behaviour object the lexer and parser consult.
+    pub fn behavior(self) -> &'static dyn Dialect {
+        match self {
+            DialectKind::Ansi => &ANSI,
+            DialectKind::Postgres => &POSTGRES,
+            DialectKind::Snowflake => &SNOWFLAKE,
+            DialectKind::BigQuery => &BIGQUERY,
+            DialectKind::TSql => &TSQL,
+        }
+    }
+}
+
+impl fmt::Display for DialectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_parse_back_case_insensitively() {
+        for kind in DialectKind::ALL {
+            assert_eq!(DialectKind::parse(kind.name()), Some(kind));
+            assert_eq!(DialectKind::parse(&kind.name().to_uppercase()), Some(kind));
+        }
+        assert_eq!(DialectKind::parse("oracle"), None);
+        assert_eq!(DialectKind::parse(""), None);
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        for kind in DialectKind::ALL {
+            assert_eq!(DialectKind::from_id(kind.id()), Some(kind));
+        }
+        assert_eq!(DialectKind::from_id(200), None);
+    }
+
+    #[test]
+    fn default_is_the_permissive_ansi_core() {
+        let ansi = DialectKind::default().behavior();
+        assert_eq!(ansi.name(), "ansi");
+        assert!(ansi.backtick_identifiers());
+        assert!(ansi.bracket_identifiers());
+        assert!(!ansi.hash_line_comments());
+        assert!(!ansi.supports_qualify());
+        assert!(!ansi.supports_top());
+        assert!(!ansi.supports_merge());
+    }
+
+    #[test]
+    fn feature_matrix_matches_the_engines() {
+        assert!(!DialectKind::Postgres.behavior().backtick_identifiers());
+        assert!(!DialectKind::Postgres.behavior().bracket_identifiers());
+        assert!(DialectKind::Postgres.behavior().supports_merge());
+        assert!(DialectKind::Snowflake.behavior().double_slash_line_comments());
+        assert!(DialectKind::Snowflake.behavior().supports_qualify());
+        assert!(DialectKind::BigQuery.behavior().hash_line_comments());
+        assert!(DialectKind::BigQuery.behavior().backtick_identifiers());
+        assert!(DialectKind::TSql.behavior().bracket_identifiers());
+        assert!(DialectKind::TSql.behavior().supports_top());
+    }
+}

@@ -95,6 +95,7 @@ define_keywords!(
     LIKE,
     LIMIT,
     MATERIALIZED,
+    MERGE,
     NATURAL,
     NEXT,
     NOT,
@@ -111,6 +112,7 @@ define_keywords!(
     POSITION,
     PRECEDING,
     PRIMARY,
+    QUALIFY,
     RANGE,
     RECURSIVE,
     REFERENCES,
@@ -128,6 +130,7 @@ define_keywords!(
     TEMP,
     TEMPORARY,
     THEN,
+    TOP,
     TRAILING,
     TRIM,
     TRUE,
@@ -194,6 +197,7 @@ impl Keyword {
                 | OUTER
                 | OVER
                 | PARTITION
+                | QUALIFY
                 | RIGHT
                 | SELECT
                 | SET
@@ -262,5 +266,11 @@ mod tests {
         // Type-ish words can serve as aliases.
         assert!(!Keyword::KEY.is_reserved_for_alias());
         assert!(!Keyword::FIRST.is_reserved_for_alias());
+        // QUALIFY introduces a clause in the dialects that have it, so a
+        // bare alias may never shadow it; TOP and MERGE only matter at
+        // positions where an alias is impossible.
+        assert!(Keyword::QUALIFY.is_reserved_for_alias());
+        assert!(!Keyword::TOP.is_reserved_for_alias());
+        assert!(!Keyword::MERGE.is_reserved_for_alias());
     }
 }

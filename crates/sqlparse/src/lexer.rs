@@ -5,6 +5,7 @@
 //! strings, double-quoted / backtick / bracket identifiers, numbers with
 //! exponents, and all multi-character operators used by the parser.
 
+use crate::dialect::{Dialect, DialectKind};
 use crate::error::ParseError;
 use crate::span::{Location, Span};
 use crate::token::{SpannedToken, Token, Word};
@@ -16,17 +17,32 @@ pub struct Lexer<'a> {
     pos: usize,
     line: u32,
     col: u32,
+    dialect: &'static dyn Dialect,
 }
 
 impl<'a> Lexer<'a> {
-    /// Create a lexer over `src`.
+    /// Create a lexer over `src` using the permissive ANSI dialect.
     pub fn new(src: &'a str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer::with_dialect(src, DialectKind::Ansi)
+    }
+
+    /// Create a lexer over `src` for a specific dialect.
+    pub fn with_dialect(src: &'a str, dialect: DialectKind) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, dialect: dialect.behavior() }
     }
 
     /// Tokenize the entire input, appending a final [`Token::Eof`].
     pub fn tokenize(src: &'a str) -> Result<Vec<SpannedToken>, ParseError> {
-        let mut lexer = Lexer::new(src);
+        Lexer::tokenize_with(src, DialectKind::Ansi)
+    }
+
+    /// Tokenize the entire input under `dialect`, appending a final
+    /// [`Token::Eof`].
+    pub fn tokenize_with(
+        src: &'a str,
+        dialect: DialectKind,
+    ) -> Result<Vec<SpannedToken>, ParseError> {
+        let mut lexer = Lexer::with_dialect(src, dialect);
         let mut out = Vec::new();
         loop {
             let tok = lexer.next_token()?;
@@ -47,7 +63,15 @@ impl<'a> Lexer<'a> {
     /// and column accounting continue through the skipped region, so
     /// every span — before and after the error — stays accurate.
     pub fn tokenize_recovering(src: &'a str) -> (Vec<SpannedToken>, Vec<ParseError>) {
-        let mut lexer = Lexer::new(src);
+        Lexer::tokenize_recovering_with(src, DialectKind::Ansi)
+    }
+
+    /// [`Lexer::tokenize_recovering`] under a specific dialect.
+    pub fn tokenize_recovering_with(
+        src: &'a str,
+        dialect: DialectKind,
+    ) -> (Vec<SpannedToken>, Vec<ParseError>) {
+        let mut lexer = Lexer::with_dialect(src, dialect);
         let mut out = Vec::new();
         let mut errors = Vec::new();
         loop {
@@ -131,12 +155,16 @@ impl<'a> Lexer<'a> {
                     self.bump();
                 }
                 Some(b'-') if self.peek_at(1) == Some(b'-') => {
-                    while let Some(b) = self.peek() {
-                        if b == b'\n' {
-                            break;
-                        }
-                        self.advance_char();
-                    }
+                    self.skip_to_line_end();
+                }
+                Some(b'#') if self.dialect.hash_line_comments() => {
+                    self.skip_to_line_end();
+                }
+                Some(b'/')
+                    if self.peek_at(1) == Some(b'/')
+                        && self.dialect.double_slash_line_comments() =>
+                {
+                    self.skip_to_line_end();
                 }
                 Some(b'/') if self.peek_at(1) == Some(b'*') => {
                     let start = self.location();
@@ -174,6 +202,15 @@ impl<'a> Lexer<'a> {
         }
     }
 
+    fn skip_to_line_end(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.advance_char();
+        }
+    }
+
     /// Produce the next token.
     pub fn next_token(&mut self) -> Result<SpannedToken, ParseError> {
         self.skip_whitespace_and_comments()?;
@@ -194,11 +231,11 @@ impl<'a> Lexer<'a> {
                 let s = self.lex_quoted_ident(b'"', b'"', start_pos, start_loc)?;
                 Token::Word(Word::quoted(s, '"'))
             }
-            b'`' => {
+            b'`' if self.dialect.backtick_identifiers() => {
                 let s = self.lex_quoted_ident(b'`', b'`', start_pos, start_loc)?;
                 Token::Word(Word::quoted(s, '`'))
             }
-            b'[' => {
+            b'[' if self.dialect.bracket_identifiers() => {
                 let s = self.lex_quoted_ident(b'[', b']', start_pos, start_loc)?;
                 Token::Word(Word::quoted(s, '['))
             }
@@ -668,5 +705,68 @@ mod tests {
         let t = toks("sélect_col täble");
         assert!(matches!(&t[0], Token::Word(w) if w.value == "sélect_col"));
         assert!(matches!(&t[1], Token::Word(w) if w.value == "täble"));
+    }
+
+    fn toks_with(sql: &str, dialect: DialectKind) -> Vec<Token> {
+        Lexer::tokenize_with(sql, dialect).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn bigquery_hash_comments() {
+        let t = toks_with("SELECT # trailing\n a", DialectKind::BigQuery);
+        assert_eq!(t.len(), 3);
+        // Under every other dialect `#` stays a lex error.
+        assert!(Lexer::tokenize_with("SELECT # x", DialectKind::Ansi).is_err());
+        assert!(Lexer::tokenize_with("SELECT # x", DialectKind::Snowflake).is_err());
+    }
+
+    #[test]
+    fn snowflake_double_slash_comments() {
+        let t = toks_with("SELECT // trailing\n a", DialectKind::Snowflake);
+        assert_eq!(t.len(), 3);
+        // Elsewhere `//` is two division operators, not a comment.
+        let t = toks_with("a // b", DialectKind::Ansi);
+        assert_eq!(t[1], Token::Slash);
+        assert_eq!(t[2], Token::Slash);
+    }
+
+    #[test]
+    fn quoting_styles_follow_the_dialect() {
+        // Backticks: BigQuery and permissive ANSI only.
+        assert!(matches!(
+            &toks_with("`q`", DialectKind::BigQuery)[0],
+            Token::Word(w) if w.value == "q" && w.quote == Some('`')
+        ));
+        assert!(Lexer::tokenize_with("`q`", DialectKind::Postgres).is_err());
+        assert!(Lexer::tokenize_with("`q`", DialectKind::TSql).is_err());
+        // Brackets: T-SQL and permissive ANSI only.
+        assert!(matches!(
+            &toks_with("[q]", DialectKind::TSql)[0],
+            Token::Word(w) if w.value == "q" && w.quote == Some('[')
+        ));
+        assert!(Lexer::tokenize_with("[q]", DialectKind::Snowflake).is_err());
+        // Double quotes work everywhere.
+        for kind in DialectKind::ALL {
+            assert!(matches!(
+                &toks_with(r#""q""#, kind)[0],
+                Token::Word(w) if w.value == "q" && w.quote == Some('"')
+            ));
+        }
+    }
+
+    #[test]
+    fn wrong_dialect_quote_errors_carry_spans() {
+        let err = Lexer::tokenize_with("SELECT `q` FROM t", DialectKind::Postgres).unwrap_err();
+        assert_eq!(err.span.location.line, 1);
+        assert_eq!(err.span.location.column, 8);
+    }
+
+    #[test]
+    fn recovery_works_under_every_dialect() {
+        for kind in DialectKind::ALL {
+            let (toks, errors) = Lexer::tokenize_recovering_with("SELECT ~bad; SELECT ok", kind);
+            assert_eq!(errors.len(), 1);
+            assert!(toks.iter().any(|t| matches!(&t.token, Token::Word(w) if w.value == "ok")));
+        }
     }
 }

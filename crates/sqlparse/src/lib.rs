@@ -34,6 +34,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod ast;
+pub mod dialect;
 pub mod error;
 pub mod keywords;
 pub mod lexer;
@@ -42,6 +43,7 @@ pub mod span;
 pub mod token;
 
 pub use ast::{Expr, Ident, ObjectName, Query, Select, SetExpr, SpannedStatement, Statement};
+pub use dialect::{Ansi, BigQuery, Dialect, DialectKind, Postgres, Snowflake, TSql};
 pub use error::ParseError;
 pub use parser::{Parser, RecoveredScript};
 pub use span::{Location, Span};
@@ -54,10 +56,30 @@ pub fn parse_sql(sql: &str) -> Result<Vec<Statement>, ParseError> {
     Parser::parse_sql(sql)
 }
 
+/// Like [`parse_sql`], under a specific [`DialectKind`].
+///
+/// ```
+/// use lineagex_sqlparse::{parse_sql_with, DialectKind};
+///
+/// let stmts = parse_sql_with("SELECT TOP 3 name FROM [user table]", DialectKind::TSql).unwrap();
+/// assert_eq!(stmts.len(), 1);
+/// ```
+pub fn parse_sql_with(sql: &str, dialect: DialectKind) -> Result<Vec<Statement>, ParseError> {
+    Parser::parse_sql_with(sql, dialect)
+}
+
 /// Like [`parse_sql`], but every statement keeps the source [`Span`] it
 /// was parsed from.
 pub fn parse_sql_spanned(sql: &str) -> Result<Vec<SpannedStatement>, ParseError> {
     Parser::parse_sql_spanned(sql)
+}
+
+/// Like [`parse_sql_spanned`], under a specific [`DialectKind`].
+pub fn parse_sql_spanned_with(
+    sql: &str,
+    dialect: DialectKind,
+) -> Result<Vec<SpannedStatement>, ParseError> {
+    Parser::parse_sql_spanned_with(sql, dialect)
 }
 
 /// Parse a script that may contain corrupt statements, recovering at the
@@ -73,6 +95,11 @@ pub fn parse_sql_spanned(sql: &str) -> Result<Vec<SpannedStatement>, ParseError>
 /// ```
 pub fn parse_statements_recovering(sql: &str) -> RecoveredScript {
     Parser::parse_statements_recovering(sql)
+}
+
+/// Like [`parse_statements_recovering`], under a specific [`DialectKind`].
+pub fn parse_statements_recovering_with(sql: &str, dialect: DialectKind) -> RecoveredScript {
+    Parser::parse_statements_recovering_with(sql, dialect)
 }
 
 /// Parse a string holding exactly one SQL statement.

@@ -8,6 +8,7 @@ mod expr;
 mod query;
 
 use crate::ast::*;
+use crate::dialect::{Dialect, DialectKind};
 use crate::error::ParseError;
 use crate::keywords::Keyword;
 use crate::lexer::Lexer;
@@ -44,19 +45,33 @@ pub struct Parser {
     tokens: Vec<SpannedToken>,
     index: usize,
     depth: usize,
+    dialect: &'static dyn Dialect,
 }
 
 impl Parser {
     /// Parse a semicolon-separated script into statements.
     pub fn parse_sql(sql: &str) -> Result<Vec<Statement>, ParseError> {
-        Ok(Self::parse_sql_spanned(sql)?.into_iter().map(|s| s.statement).collect())
+        Self::parse_sql_with(sql, DialectKind::Ansi)
+    }
+
+    /// [`Parser::parse_sql`] under a specific dialect.
+    pub fn parse_sql_with(sql: &str, dialect: DialectKind) -> Result<Vec<Statement>, ParseError> {
+        Ok(Self::parse_sql_spanned_with(sql, dialect)?.into_iter().map(|s| s.statement).collect())
     }
 
     /// Parse a semicolon-separated script, keeping each statement's source
     /// span (first to last token, semicolon excluded).
     pub fn parse_sql_spanned(sql: &str) -> Result<Vec<SpannedStatement>, ParseError> {
-        let tokens = Lexer::tokenize(sql)?;
-        let mut parser = Parser { tokens, index: 0, depth: 0 };
+        Self::parse_sql_spanned_with(sql, DialectKind::Ansi)
+    }
+
+    /// [`Parser::parse_sql_spanned`] under a specific dialect.
+    pub fn parse_sql_spanned_with(
+        sql: &str,
+        dialect: DialectKind,
+    ) -> Result<Vec<SpannedStatement>, ParseError> {
+        let tokens = Lexer::tokenize_with(sql, dialect)?;
+        let mut parser = Parser { tokens, index: 0, depth: 0, dialect: dialect.behavior() };
         let mut statements = Vec::new();
         loop {
             while parser.consume_token(&Token::Semicolon) {}
@@ -87,9 +102,14 @@ impl Parser {
     /// error, so callers can extract lineage from the healthy part of a
     /// messy query log while reporting precisely what was skipped.
     pub fn parse_statements_recovering(sql: &str) -> RecoveredScript {
-        let (tokens, lex_errors) = Lexer::tokenize_recovering(sql);
+        Self::parse_statements_recovering_with(sql, DialectKind::Ansi)
+    }
+
+    /// [`Parser::parse_statements_recovering`] under a specific dialect.
+    pub fn parse_statements_recovering_with(sql: &str, dialect: DialectKind) -> RecoveredScript {
+        let (tokens, lex_errors) = Lexer::tokenize_recovering_with(sql, dialect);
         let mut script = RecoveredScript { statements: Vec::new(), errors: lex_errors };
-        let mut parser = Parser { tokens, index: 0, depth: 0 };
+        let mut parser = Parser { tokens, index: 0, depth: 0, dialect: dialect.behavior() };
         loop {
             while parser.consume_token(&Token::Semicolon) {}
             if parser.peek_token() == &Token::Eof {
@@ -385,6 +405,7 @@ impl Parser {
                 Some(Keyword::COMMIT) => Ok(self.parse_noise(NoiseKind::Commit)),
                 Some(Keyword::ROLLBACK) => Ok(self.parse_noise(NoiseKind::Rollback)),
                 Some(Keyword::ANALYZE) => Ok(self.parse_noise(NoiseKind::Analyze)),
+                Some(Keyword::MERGE) if self.dialect.supports_merge() => self.parse_merge(),
                 _ => Err(self.error_here(format!("unexpected start of statement: {}", w.value))),
             },
             Token::LParen => Ok(Statement::Query(Box::new(self.parse_query()?))),
@@ -411,6 +432,35 @@ impl Parser {
             }
         }
         Statement::Noise(NoiseStatement { kind, text })
+    }
+
+    /// Shallowly parse a dialect `MERGE` statement: the target name is
+    /// extracted for diagnostics and everything up to the terminating `;`
+    /// is captured as token text. The body is deliberately not modelled —
+    /// downstream layers degrade the statement to a `dialect-fallback`
+    /// diagnostic rather than extracting lineage from it.
+    fn parse_merge(&mut self) -> Result<Statement, ParseError> {
+        let snapshot = self.snapshot();
+        self.expect_keyword(Keyword::MERGE)?;
+        self.parse_keyword(Keyword::INTO);
+        let target = self.parse_object_name()?;
+        // Re-walk from MERGE so the captured text covers the whole
+        // statement, target included.
+        self.rollback(snapshot);
+        let mut text = String::new();
+        loop {
+            match self.peek_token() {
+                Token::Semicolon | Token::Eof => break,
+                token => {
+                    if !text.is_empty() {
+                        text.push(' ');
+                    }
+                    text.push_str(&token.to_string());
+                    self.next_token();
+                }
+            }
+        }
+        Ok(Statement::Merge(MergeStatement { target, text }))
     }
 
     fn parse_create(&mut self) -> Result<Statement, ParseError> {

@@ -186,6 +186,34 @@ impl Parser {
             None
         };
 
+        // T-SQL `TOP n` / `TOP (n)`, dialect-gated. Speculative: `TOP`
+        // is not reserved, so `SELECT top FROM t` must keep `top` as a
+        // plain projected column — only a following number (possibly
+        // parenthesised) commits the clause.
+        // The count is consumed as a bare literal, not via `parse_expr`,
+        // so `TOP 5 * FROM t` cannot be misread as the product `5 * FROM`.
+        let mut top = None;
+        if self.dialect.supports_top() && self.peek_token().is_keyword(Keyword::TOP) {
+            let snapshot = self.snapshot();
+            self.next_token();
+            match self.peek_token().clone() {
+                Token::Number(n) => {
+                    self.next_token();
+                    top = Some(Expr::Literal(Literal::Number(n)));
+                }
+                Token::LParen
+                    if matches!(self.peek_nth(1), Token::Number(_))
+                        && self.peek_nth(2) == &Token::RParen =>
+                {
+                    self.next_token();
+                    let Token::Number(n) = self.next_token() else { unreachable!() };
+                    self.next_token();
+                    top = Some(Expr::Nested(Box::new(Expr::Literal(Literal::Number(n)))));
+                }
+                _ => self.rollback(snapshot),
+            }
+        }
+
         let mut projection = Vec::new();
         loop {
             projection.push(self.parse_select_item()?);
@@ -220,7 +248,14 @@ impl Parser {
         let having =
             if self.parse_keyword(Keyword::HAVING) { Some(self.parse_expr()?) } else { None };
 
-        Ok(Select { distinct, projection, from, selection, group_by, having })
+        // Snowflake/BigQuery window-filter clause, dialect-gated.
+        let qualify = if self.dialect.supports_qualify() && self.parse_keyword(Keyword::QUALIFY) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        Ok(Select { distinct, top, projection, from, selection, group_by, having, qualify })
     }
 
     fn parse_select_item(&mut self) -> Result<SelectItem, ParseError> {
@@ -422,6 +457,77 @@ mod tests {
             SetExpr::Select(s) => *s,
             other => panic!("expected select, got {other:?}"),
         }
+    }
+
+    fn select_of_dialect(sql: &str, dialect: crate::dialect::DialectKind) -> Select {
+        let mut stmts = Parser::parse_sql_with(sql, dialect).unwrap();
+        match stmts.remove(0) {
+            Statement::Query(q) => match q.body {
+                SetExpr::Select(s) => *s,
+                other => panic!("expected select, got {other:?}"),
+            },
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tsql_top_parses_and_roundtrips() {
+        use crate::dialect::DialectKind;
+        let s = select_of_dialect("SELECT TOP 5 * FROM t", DialectKind::TSql);
+        assert_eq!(s.top, Some(Expr::Literal(Literal::Number("5".into()))));
+        assert_eq!(s.to_string(), "SELECT TOP 5 * FROM t");
+        // Parenthesised count.
+        let s = select_of_dialect("SELECT TOP (10) a FROM t", DialectKind::TSql);
+        assert!(matches!(s.top, Some(Expr::Nested(_))));
+        // `top` as a plain column survives, even under T-SQL.
+        let s = select_of_dialect("SELECT top FROM t", DialectKind::TSql);
+        assert!(s.top.is_none());
+        assert!(
+            matches!(&s.projection[0], SelectItem::UnnamedExpr(Expr::Identifier(i)) if i.value == "top")
+        );
+        // Under ANSI, `TOP 5` is a syntax error (5 cannot follow the
+        // projected column `top`), caught at end-of-statement checking.
+        assert!(Parser::parse_sql_with("SELECT TOP 5 * FROM t", DialectKind::Ansi).is_err());
+    }
+
+    #[test]
+    fn qualify_parses_under_snowflake_and_bigquery() {
+        use crate::dialect::DialectKind;
+        let sql = "SELECT a, row_number() OVER (PARTITION BY a ORDER BY b) AS rn \
+                   FROM t QUALIFY rn = 1";
+        for kind in [DialectKind::Snowflake, DialectKind::BigQuery] {
+            let s = select_of_dialect(sql, kind);
+            assert!(s.qualify.is_some(), "{kind}");
+            assert!(s.to_string().contains("QUALIFY rn = 1"));
+        }
+        // QUALIFY is reserved, so ANSI fails cleanly instead of taking it
+        // as an alias.
+        assert!(Parser::parse_sql_with(sql, DialectKind::Ansi).is_err());
+        assert!(Parser::parse_sql_with(sql, DialectKind::Postgres).is_err());
+    }
+
+    #[test]
+    fn merge_parses_shallowly_under_supporting_dialects() {
+        use crate::dialect::DialectKind;
+        let sql = "MERGE INTO tgt USING src ON tgt.id = src.id \
+                   WHEN MATCHED THEN UPDATE SET v = src.v";
+        for kind in [
+            DialectKind::Postgres,
+            DialectKind::Snowflake,
+            DialectKind::BigQuery,
+            DialectKind::TSql,
+        ] {
+            let mut stmts = Parser::parse_sql_with(sql, kind).unwrap();
+            match stmts.remove(0) {
+                Statement::Merge(m) => {
+                    assert_eq!(m.target.base_name(), "tgt");
+                    assert!(m.text.starts_with("MERGE INTO tgt"));
+                }
+                other => panic!("expected merge, got {other:?}"),
+            }
+        }
+        // ANSI does not recognise MERGE at all.
+        assert!(Parser::parse_sql_with(sql, DialectKind::Ansi).is_err());
     }
 
     #[test]

@@ -6,6 +6,8 @@
 # workspace's perf contracts:
 #
 #   * lenient_overhead_pct  < 5     (lenient mode may not tax clean logs)
+#   * dialect_overhead_pct  < 3     (the dialect front end may not tax
+#                                    pure-ANSI input)
 #   * incremental.speedup   >= 2    (cone re-ingest must beat a full
 #                                    re-extraction)
 #   * downstream_cone_qps   >= 70% of the committed BENCH_query.json
@@ -113,6 +115,7 @@ committed_query="$root/BENCH_query.json"
 committed_serve="$root/BENCH_serve.json"
 
 lenient=$(json_num "$fresh_engine" lenient_overhead_pct)
+dialect=$(json_num "$fresh_engine" dialect_overhead_pct)
 incremental=$(json_num "$fresh_engine" speedup)
 sharded_10k=$(json_num "$fresh_engine" sharded_speedup_10k)
 refresh_10k=$(json_num "$fresh_engine" refresh_speedup_10k)
@@ -135,6 +138,7 @@ cold_floor=$(awk -v f="$floor" 'BEGIN { printf "%.4f", f * 6 }')
 
 echo "bench-regression gate (floor = committed * $floor):"
 check "lenient_overhead_pct" "$lenient" "<" 5
+check "dialect_overhead_pct" "$dialect" "<" 3
 check "incremental.speedup" "$incremental" ">=" 2
 check "sharded_speedup_10k" "$sharded_10k" ">=" "$sharded_floor"
 check "refresh_speedup_10k" "$refresh_10k" ">=" "$refresh_floor"

@@ -66,10 +66,10 @@ pub mod prelude {
     pub use lineagex_catalog::{Catalog, SimulatedDatabase};
     pub use lineagex_core::{
         explore, impact_of, lineagex, lineagex_lenient, path_between, upstream_of, AmbiguityPolicy,
-        ColumnMatch, Diagnostic, DiagnosticCode, Direction, EdgeKind, GraphIndex, GraphIndexCache,
-        GraphQuery, GraphStats, Interner, LineageError, LineageGraph, LineageResult, LineageView,
-        LineageX, QueryAnswer, QueryLineage, QueryReport, QuerySpec, RelationMatch, ReportV2,
-        Severity, SourceColumn, Subgraph, Symbol, SCHEMA_VERSION,
+        ColumnMatch, Diagnostic, DiagnosticCode, DialectKind, Direction, EdgeKind, GraphIndex,
+        GraphIndexCache, GraphQuery, GraphStats, Interner, LineageError, LineageGraph,
+        LineageResult, LineageView, LineageX, QueryAnswer, QueryLineage, QueryReport, QuerySpec,
+        RelationMatch, ReportV2, Severity, SourceColumn, Subgraph, Symbol, SCHEMA_VERSION,
     };
     pub use lineagex_engine::{
         Engine, EngineOptions, EngineSnapshot, EngineStats, IngestAction, StmtId,

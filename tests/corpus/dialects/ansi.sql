@@ -1,0 +1,34 @@
+-- ANSI corpus: the permissive core grammar every dialect builds on.
+-- Double-quoted identifiers, standard comments, CTEs, and set ops.
+
+CREATE TABLE web (cid int, "date" date, page text, reg boolean);
+CREATE TABLE customers (cid int, name text, region text);
+
+CREATE VIEW webinfo AS
+  SELECT cid AS wcid, "date" AS wdate, page AS wpage, reg AS wreg
+  FROM web
+  WHERE reg;
+
+/* block comments are core grammar */
+CREATE VIEW "regional activity" AS
+  SELECT c.region, w.wpage
+  FROM webinfo w
+  JOIN customers c ON c.cid = w.wcid;
+
+CREATE TABLE page_counts AS
+  WITH hits AS (
+    SELECT wpage, wcid FROM webinfo
+  )
+  SELECT wpage, COUNT(wcid) AS n
+  FROM hits
+  GROUP BY wpage;
+
+CREATE VIEW combined AS
+  SELECT wpage FROM webinfo
+  UNION
+  SELECT page FROM web;
+
+INSERT INTO page_counts
+  SELECT wpage, COUNT(*) AS n FROM webinfo GROUP BY wpage;
+
+UPDATE page_counts SET n = n + 1 WHERE wpage IS NOT NULL;

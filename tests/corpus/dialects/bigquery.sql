@@ -1,0 +1,32 @@
+# BigQuery corpus: # line comments, backtick identifiers, QUALIFY, MERGE.
+
+CREATE TABLE `raw web` (cid INT64, event_date DATE, page STRING, reg BOOL);
+CREATE TABLE customers (cid INT64, name STRING, region STRING);
+CREATE TABLE page_counts (wpage STRING, n INT64);
+
+# Backticks quote any identifier, spaces included.
+CREATE VIEW webinfo AS
+  SELECT cid AS wcid, event_date AS wdate, page AS wpage, reg AS wreg
+  FROM `raw web`
+  WHERE reg;
+
+CREATE VIEW `regional activity` AS
+  SELECT c.region, w.wpage
+  FROM webinfo w
+  JOIN customers c ON c.cid = w.wcid;
+
+CREATE VIEW first_hits AS  # QUALIFY is BigQuery surface
+  SELECT wcid, wpage, wdate
+  FROM webinfo
+  QUALIFY wdate = wdate;
+
+CREATE TABLE top_pages AS
+  SELECT wpage, COUNT(*) AS n
+  FROM webinfo
+  GROUP BY wpage;
+
+MERGE INTO page_counts p
+USING top_pages t ON p.wpage = t.wpage
+WHEN MATCHED THEN UPDATE SET n = t.n;
+
+INSERT INTO page_counts SELECT wpage, n FROM top_pages;

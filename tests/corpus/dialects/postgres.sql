@@ -1,0 +1,30 @@
+-- Postgres corpus: standard quoting and comments, MERGE support
+-- (PostgreSQL 15+). Backticks and brackets are NOT identifiers here.
+
+CREATE TABLE web (cid int, "date" date, page text, reg boolean);
+CREATE TABLE customers (cid int, name text, region text);
+CREATE TABLE page_counts (wpage text, n int);
+
+CREATE VIEW webinfo AS
+  SELECT cid AS wcid, "date" AS wdate, page AS wpage, reg AS wreg
+  FROM web
+  WHERE reg;
+
+CREATE MATERIALIZED VIEW "regional activity" AS
+  SELECT c.region, w.wpage
+  FROM webinfo w
+  JOIN customers c ON c.cid = w.wcid;
+
+CREATE TABLE top_pages AS
+  SELECT wpage, COUNT(*) AS n
+  FROM webinfo
+  GROUP BY wpage;
+
+-- MERGE is recognized and skipped with a dialect-fallback diagnostic:
+-- the statement form carries no modelled lineage yet.
+MERGE INTO page_counts p
+USING top_pages t ON p.wpage = t.wpage
+WHEN MATCHED THEN UPDATE SET n = t.n
+WHEN NOT MATCHED THEN INSERT (wpage, n) VALUES (t.wpage, t.n);
+
+INSERT INTO page_counts SELECT wpage, n FROM top_pages;

@@ -1,0 +1,35 @@
+-- Snowflake corpus: // line comments, QUALIFY, and MERGE.
+
+CREATE TABLE web (cid int, event_date date, page text, reg boolean);
+CREATE TABLE customers (cid int, name text, region text);
+CREATE TABLE page_counts (wpage text, n int);
+
+// Snowflake also keeps the standard comment styles.
+CREATE VIEW webinfo AS
+  SELECT cid AS wcid, event_date AS wdate, page AS wpage, reg AS wreg
+  FROM web
+  WHERE reg;
+
+CREATE VIEW "regional activity" AS  // trailing dialect comment
+  SELECT c.region, w.wpage
+  FROM webinfo w
+  JOIN customers c ON c.cid = w.wcid;
+
+// QUALIFY filters after windowing; its column references are lineage
+// references, like a WHERE clause's.
+CREATE VIEW first_hits AS
+  SELECT wcid, wpage, wdate
+  FROM webinfo
+  QUALIFY wdate = wdate;
+
+CREATE TABLE top_pages AS
+  SELECT wpage, COUNT(*) AS n
+  FROM webinfo
+  GROUP BY wpage
+  QUALIFY wpage = wpage;
+
+MERGE INTO page_counts p
+USING top_pages t ON p.wpage = t.wpage
+WHEN MATCHED THEN UPDATE SET n = t.n;
+
+INSERT INTO page_counts SELECT wpage, n FROM top_pages;

@@ -1,0 +1,32 @@
+-- T-SQL corpus: [bracket] identifiers, SELECT TOP n, and MERGE.
+
+CREATE TABLE [raw web] (cid int, event_date date, page text, reg bit);
+CREATE TABLE customers (cid int, name text, region text);
+CREATE TABLE page_counts (wpage text, n int);
+
+CREATE VIEW webinfo AS
+  SELECT cid AS wcid, event_date AS wdate, page AS wpage, reg AS wreg
+  FROM [raw web]
+  WHERE reg = 1;
+
+CREATE VIEW [regional activity] AS
+  SELECT c.region, w.wpage
+  FROM webinfo w
+  JOIN customers c ON c.cid = w.wcid;
+
+-- TOP bounds the row count; it touches no columns, so lineage is
+-- unchanged by it.
+CREATE VIEW recent_hits AS
+  SELECT TOP 10 wcid, wpage, wdate
+  FROM webinfo;
+
+CREATE TABLE top_pages AS
+  SELECT TOP (5) wpage, COUNT(*) AS n
+  FROM webinfo
+  GROUP BY wpage;
+
+MERGE INTO page_counts p
+USING top_pages t ON p.wpage = t.wpage
+WHEN MATCHED THEN UPDATE SET n = t.n;
+
+INSERT INTO page_counts SELECT TOP 100 wpage, n FROM top_pages;

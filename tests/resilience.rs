@@ -157,6 +157,69 @@ fn lenient_session_matches_lenient_batch_on_the_corpus() {
     assert_eq!(&graph.nodes, &batch.graph.nodes);
 }
 
+/// Running a dialect corpus under the *wrong* dialect is just another
+/// flavour of messy log: unknown comment styles, quoting, and statement
+/// forms must degrade into span-tagged diagnostics in lenient mode —
+/// never a panic, never corrupted lineage for the statements that do
+/// parse.
+#[test]
+fn wrong_dialect_degrades_with_span_tagged_diagnostics() {
+    for fixture_kind in DialectKind::ALL {
+        let path = format!("tests/corpus/dialects/{}.sql", fixture_kind.name());
+        let sql = std::fs::read_to_string(&path).expect("dialect corpus exists");
+        for run_kind in DialectKind::ALL {
+            let result =
+                LineageX::new().dialect(run_kind).lenient().run(&sql).unwrap_or_else(|e| {
+                    panic!(
+                        "{} corpus under {} must not fail: {e}",
+                        fixture_kind.name(),
+                        run_kind.name()
+                    )
+                });
+            // Whatever went wrong is tagged with a span resolving into
+            // the source, so the failure is diagnosable.
+            for diagnostic in all_diagnostics(&result) {
+                if let Some(span) = diagnostic.span {
+                    assert!(
+                        sql.get(span.start..span.end).is_some(),
+                        "{} under {}: unsliceable span for {diagnostic}",
+                        fixture_kind.name(),
+                        run_kind.name(),
+                    );
+                }
+            }
+            // Nothing disappears silently: either lineage came out, or
+            // diagnostics explain what was lost.
+            assert!(
+                !result.graph.queries.is_empty() || !all_diagnostics(&result).is_empty(),
+                "{} under {} lost statements without a diagnostic",
+                fixture_kind.name(),
+                run_kind.name(),
+            );
+        }
+    }
+}
+
+/// The engine session survives a wrong-dialect ingest the same way the
+/// batch path does: diagnostics, not panics or corrupted state, and the
+/// session stays usable for follow-up ANSI statements.
+#[test]
+fn engine_survives_wrong_dialect_ingest() {
+    let bigquery = std::fs::read_to_string("tests/corpus/dialects/bigquery.sql").unwrap();
+    let mut engine = Engine::with_options(EngineOptions {
+        extract: lineagex::core::ExtractOptions::new().with_lenient(),
+        ..EngineOptions::default()
+    });
+    // BigQuery `#` comments and QUALIFY are not ANSI; the ingest must
+    // degrade, not panic, and must leave the session consistent.
+    let _ = engine.ingest(&bigquery);
+    engine
+        .ingest("CREATE TABLE t (a int); CREATE VIEW v AS SELECT a FROM t;")
+        .expect("session stays usable after a wrong-dialect ingest");
+    let graph = engine.graph().unwrap();
+    assert_eq!(graph.queries["v"].outputs[0].ccon, BTreeSet::from([SourceColumn::new("t", "a")]));
+}
+
 /// Corrupt statements for injection: each must fail to parse (or lex)
 /// without swallowing its neighbours. Unterminated quotes are excluded
 /// deliberately — a string literal legitimately consumes everything to
@@ -214,5 +277,31 @@ proptest! {
         let codes: Vec<DiagnosticCode> =
             lenient.diagnostics.iter().map(|d| d.code).collect();
         prop_assert_eq!(codes, vec![DiagnosticCode::ParseError]);
+    }
+
+    /// Dialect selection is a pure front-end concern: for input that uses
+    /// only the ANSI core surface, every dialect produces byte-identical
+    /// lineage output.
+    #[test]
+    fn dialect_never_changes_lineage_for_ansi_input(seed in 0u64..10_000) {
+        let workload = generator::generate(&GeneratorConfig {
+            views: 6,
+            ..GeneratorConfig::seeded(seed)
+        });
+        let sql = workload.full_sql();
+        let baseline = lineagex(&sql).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let baseline_bytes = lineagex::viz::to_output_json(&baseline.graph);
+        for kind in DialectKind::ALL {
+            let result = LineageX::new()
+                .dialect(kind)
+                .run(&sql)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", kind.name())))?;
+            prop_assert_eq!(
+                lineagex::viz::to_output_json(&result.graph),
+                baseline_bytes.clone(),
+                "dialect {} changed pure-ANSI lineage bytes",
+                kind.name()
+            );
+        }
     }
 }

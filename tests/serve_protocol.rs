@@ -204,9 +204,12 @@ fn golden_transcript_sanity() {
     assert!(golden.contains("\"code\":\"parse-error\""));
     // Every reply carries the envelope, in pinned field order.
     for reply in &replies {
-        assert!(reply.starts_with("{\"schema_version\":2,\"id\":"), "bad envelope: {reply}");
+        assert!(reply.starts_with("{\"schema_version\":3,\"id\":"), "bad envelope: {reply}");
         assert!(reply.contains("\"revision\":"), "unstamped reply: {reply}");
     }
+    // The stats reply leads its engine block with the session's dialect.
+    let stats = replies[7];
+    assert!(stats.contains("\"engine\":{\"dialect\":\"ansi\""), "stats lacks dialect: {stats}");
     // The drop retracts `info`: the final query must not reach it.
     let last_query = replies[11];
     assert!(
